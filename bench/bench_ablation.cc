@@ -1,0 +1,112 @@
+// Ablations for design choices DESIGN.md calls out.
+//
+//  A1 — snoop's local timer: stall-gated (ours) vs fixed-period (naive).
+//       Deep drop-tail queues inflate the RTT past any fixed timer, so the
+//       naive variant duplicates merely-delayed segments; the duplicates
+//       come back as dupacks and poke the sender into spurious recovery.
+//
+//  A2 — ARQ window size: the link-layer ARQ protects at most W frames at a
+//       time; beyond W packets travel unprotected. Sweeps W to show the
+//       protection/throughput trade-off at 8% loss.
+//
+//  A3 — TCP receive window vs the 32-packet bottleneck queue: why the
+//       scenario sits in the window-limited regime the experiments assume.
+#include "bench/common.h"
+
+#include "src/baselines/link_arq.h"
+
+using namespace commabench;
+
+namespace {
+
+BulkRunResult RunSnoopVariant(bool fixed_timer, double loss, uint64_t seed) {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = loss;
+  config.scenario.seed = seed;
+  config.start_eem = false;
+  config.start_command_server = false;
+  auto setup = [fixed_timer](core::CommaSystem& comma) {
+    proxy::StreamKey key{net::Ipv4Address(), 0, comma.scenario().mobile_addr(), 0};
+    std::string error;
+    if (fixed_timer) {
+      comma.sp().AddService("launcher", key, {"tcp", "snoop:fixed"}, &error);
+    } else {
+      comma.sp().AddService("launcher", key, {"tcp", "snoop"}, &error);
+    }
+  };
+  return RunBulk(config, 400'000, setup, 2000 * sim::kSecond);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("ABL", "Ablations",
+              "Design-choice ablations: snoop timer policy, ARQ window size,\n"
+              "receive-window vs queue regime.");
+
+  std::printf("A1: snoop local-timer policy (400 KB transfer, 5 seeds)\n");
+  std::printf("%-8s | %-26s | %-26s\n", "", "stall-gated (default)", "fixed-period");
+  std::printf("%-8s | %12s %12s | %12s %12s\n", "loss", "kbit/s", "sender retx", "kbit/s",
+              "sender retx");
+  for (double loss : {0.0, 0.02, 0.10}) {
+    double goodput[2] = {0, 0};
+    uint64_t retx[2] = {0, 0};
+    for (int rep = 0; rep < 5; ++rep) {
+      for (int fixed = 0; fixed <= 1; ++fixed) {
+        BulkRunResult r =
+            RunSnoopVariant(fixed != 0, loss, 7000 + static_cast<uint64_t>(loss * 1000) + rep);
+        goodput[fixed] += r.goodput_kbps / 5;
+        retx[fixed] += r.bytes_retransmitted / 5;
+      }
+    }
+    std::printf("%-8.2f | %12.1f %12llu | %12.1f %12llu\n", loss, goodput[0],
+                static_cast<unsigned long long>(retx[0]), goodput[1],
+                static_cast<unsigned long long>(retx[1]));
+  }
+
+  std::printf("\nA2: ARQ window size at 8%% loss (200 KB transfer)\n");
+  std::printf("%-10s %14s %14s %16s\n", "window", "goodput kbit/s", "link retx",
+              "sender retx B");
+  for (size_t window : {4ul, 16ul, 64ul, 256ul}) {
+    core::ScenarioConfig scenario;
+    scenario.wireless.loss_probability = 0.08;
+    scenario.seed = 8800;
+    core::WirelessScenario s(scenario);
+    baselines::ArqConfig arq_cfg;
+    arq_cfg.window = window;
+    baselines::ArqEndpoint gw(&s.gateway(), s.mobile_addr(),
+                              baselines::ArqEndpoint::WrapMode::kTowardPeerAddress, arq_cfg);
+    baselines::ArqEndpoint mob(&s.mobile_host(), s.gateway_wireless_addr(),
+                               baselines::ArqEndpoint::WrapMode::kEverything, arq_cfg);
+    apps::BulkSink sink(&s.mobile_host(), 80);
+    apps::BulkSender sender(&s.wired_host(), s.mobile_addr(), 80, apps::PatternPayload(200'000));
+    while (!sender.finished() && s.sim().Now() < 2000 * sim::kSecond) {
+      s.sim().RunFor(100 * sim::kMillisecond);
+    }
+    std::printf("%-10zu %14.1f %14llu %16llu\n", window, sender.GoodputBps() / 1000.0,
+                static_cast<unsigned long long>(gw.stats().retransmissions),
+                static_cast<unsigned long long>(
+                    sender.connection()->stats().bytes_retransmitted));
+  }
+
+  std::printf("\nA3: receive window vs queue (clean link, 400 KB)\n");
+  std::printf("%-14s %14s\n", "recv window", "goodput kbit/s");
+  for (uint32_t window : {8u * 1024, 16u * 1024, 32u * 1024, 60u * 1024}) {
+    core::ScenarioConfig scenario;
+    scenario.wireless.loss_probability = 0.0;
+    core::WirelessScenario s(scenario);
+    tcp::TcpConfig cfg;
+    cfg.recv_buffer = window;
+    apps::BulkSink sink(&s.mobile_host(), 80, cfg);
+    apps::BulkSender sender(&s.wired_host(), s.mobile_addr(), 80, apps::PatternPayload(400'000),
+                            cfg);
+    while (!sender.finished() && s.sim().Now() < 600 * sim::kSecond) {
+      s.sim().RunFor(100 * sim::kMillisecond);
+    }
+    std::printf("%-14u %14.1f\n", window, sender.GoodputBps() / 1000.0);
+  }
+  std::printf("\nThe default 32 KB window roughly matches the 32-packet queue: the\n"
+              "flow is window-limited, which is why cwnd halvings are cheap (E5's\n"
+              "low-loss crossover) and queueing delay dominates the RTT.\n");
+  return 0;
+}

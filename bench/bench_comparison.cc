@@ -1,0 +1,120 @@
+// E1 (thesis Table 3.1): a comparison of the reviewed approaches. The
+// thesis's table is qualitative; this bench reprints those verdicts for the
+// systems we implemented and backs them with a measured column: goodput of
+// the same 400 KB transfer over the same 5%-lossy wireless hop, same seed.
+#include "bench/common.h"
+
+#include "src/baselines/itcp.h"
+#include "src/baselines/link_arq.h"
+
+using namespace commabench;
+
+namespace {
+
+constexpr double kLoss = 0.05;
+constexpr size_t kBytes = 400'000;
+constexpr int kRepeats = 5;
+uint64_t kSeed = 5150;  // Varied per repeat below.
+
+double Averaged(double (*fn)()) {
+  double total = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    kSeed = 5150 + static_cast<uint64_t>(rep);
+    total += fn();
+  }
+  return total / kRepeats;
+}
+
+double RunPlain() {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = kLoss;
+  config.scenario.seed = kSeed;
+  config.start_eem = false;
+  config.start_command_server = false;
+  return RunBulk(config, kBytes, nullptr, 2000 * sim::kSecond).goodput_kbps;
+}
+
+double RunSnoopComma() {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = kLoss;
+  config.scenario.seed = kSeed;
+  config.start_eem = false;
+  config.start_command_server = false;
+  auto setup = [](core::CommaSystem& comma) {
+    proxy::StreamKey key{net::Ipv4Address(), 0, comma.scenario().mobile_addr(), 0};
+    std::string error;
+    comma.sp().AddService("launcher", key, {"tcp", "snoop"}, &error);
+  };
+  return RunBulk(config, kBytes, setup, 2000 * sim::kSecond).goodput_kbps;
+}
+
+double RunItcp() {
+  core::ScenarioConfig scenario;
+  scenario.wireless.loss_probability = kLoss;
+  scenario.seed = kSeed;
+  core::WirelessScenario s(scenario);
+  baselines::ItcpRelay relay(&s.gateway(), 8080, s.mobile_addr(), 80);
+  apps::BulkSink sink(&s.mobile_host(), 80);
+  apps::BulkSender sender(&s.wired_host(), s.gateway_wired_addr(), 8080,
+                          apps::PatternPayload(kBytes));
+  while (sink.bytes_received() < kBytes && s.sim().Now() < 2000 * sim::kSecond) {
+    s.sim().RunFor(100 * sim::kMillisecond);
+  }
+  return kBytes * 8.0 / sim::DurationToSeconds(s.sim().Now()) / 1000.0;
+}
+
+double RunArq() {
+  core::ScenarioConfig scenario;
+  scenario.wireless.loss_probability = kLoss;
+  scenario.seed = kSeed;
+  core::WirelessScenario s(scenario);
+  baselines::ArqEndpoint gw(&s.gateway(), s.mobile_addr(),
+                            baselines::ArqEndpoint::WrapMode::kTowardPeerAddress);
+  baselines::ArqEndpoint mob(&s.mobile_host(), s.gateway_wireless_addr(),
+                             baselines::ArqEndpoint::WrapMode::kEverything);
+  apps::BulkSink sink(&s.mobile_host(), 80);
+  apps::BulkSender sender(&s.wired_host(), s.mobile_addr(), 80, apps::PatternPayload(kBytes));
+  while (!sender.finished() && s.sim().Now() < 2000 * sim::kSecond) {
+    s.sim().RunFor(100 * sim::kMillisecond);
+  }
+  return sender.GoodputBps() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E1", "Table 3.1 — a comparison of the work reviewed",
+              "Thesis verdicts (protocol transparency / application transparency /\n"
+              "general applicability), with measured goodput on an identical\n"
+              "5%-lossy 1 Mbit/s hop for the approaches implemented here.");
+
+  std::printf("%-14s %-10s %-10s %-10s %16s\n", "approach", "protocol", "app",
+              "general", "goodput kbit/s");
+  auto row = [](const char* name, const char* p, const char* a, const char* g, double kbps) {
+    if (kbps >= 0) {
+      std::printf("%-14s %-10s %-10s %-10s %16.1f\n", name, p, a, g, kbps);
+    } else {
+      std::printf("%-14s %-10s %-10s %-10s %16s\n", name, p, a, g, "(not built)");
+    }
+  };
+  // Rows from the thesis Table 3.1 (Coda/Rover/WIT are application-level
+  // toolkits outside this repo's scope — their verdicts are reprinted for
+  // completeness).
+  row("Coda", "Yes", "Yes", "No", -1);
+  row("Rover", "Yes", "No", "Yes", -1);
+  row("WIT", "Yes", "No", "Yes", -1);
+  row("(plain TCP)", "-", "-", "-", Averaged(RunPlain));
+  row("I-TCP", "No", "Yes", "No", Averaged(RunItcp));
+  const double snoop_goodput = Averaged(RunSnoopComma);
+  row("Snoop", "Yes", "Yes", "No", snoop_goodput);
+  row("AIRMAIL ARQ", "Yes", "Yes", "No", Averaged(RunArq));
+  row("BSSP", "Yes", "Yes", "No", -1);
+  row("TranSend", "No", "No", "No", -1);
+  row("MOWGLI", "No", "No", "No", -1);
+  row("Comma (this)", "Yes", "Yes", "Yes", snoop_goodput);
+
+  std::printf("\nComma subsumes the protocol-level services (snoop, wsize) as proxy\n"
+              "filters while preserving both transparencies and staying general —\n"
+              "the thesis's argument for the proxied approach (3.4).\n");
+  return 0;
+}

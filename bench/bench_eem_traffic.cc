@@ -1,0 +1,93 @@
+// E12 (thesis §6.1.2/§6.1.3): monitor traffic by notification method. The
+// thesis centralizes gathering on servers and batches updates specifically
+// to keep wireless monitor traffic low; this bench measures the bytes each
+// client strategy actually generates for the same information need
+// (tracking 5 variables for 60 s).
+#include "bench/common.h"
+
+#include "src/monitor/eem_client.h"
+#include "src/monitor/eem_server.h"
+
+using namespace commabench;
+
+namespace {
+
+const char* kVariables[] = {"sysUpTime", "ipInReceives", "bytes_rx", "ethInAvg", "cpuLoadAvg"};
+
+struct TrafficResult {
+  uint64_t client_tx = 0;
+  uint64_t server_tx = 0;
+  uint64_t datagrams = 0;
+};
+
+TrafficResult Run(const std::string& strategy) {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.0;
+  config.eem.check_interval = sim::kSecond;
+  config.eem.update_interval = 10 * sim::kSecond;  // The thesis's ~10 s.
+  config.start_command_server = false;
+  core::CommaSystem comma(config);
+  monitor::EemClient client(&comma.scenario().mobile_host());
+
+  auto id_for = [&](const char* name) {
+    monitor::VariableId id;
+    id.name = name;
+    id.server = comma.scenario().gateway_wireless_addr();
+    return id;
+  };
+
+  // Keep some background traffic so counters keep changing.
+  apps::BulkSink sink(&comma.scenario().mobile_host(), 80);
+  apps::BulkSender sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                          apps::PatternPayload(4'000'000));
+
+  if (strategy == "periodic" || strategy == "interrupt") {
+    const monitor::NotifyMode mode = strategy == "periodic"
+                                         ? monitor::NotifyMode::kPeriodic
+                                         : monitor::NotifyMode::kInterrupt;
+    for (const char* name : kVariables) {
+      client.Register(id_for(name), monitor::Attr::Always(mode));
+    }
+    comma.sim().RunFor(60 * sim::kSecond);
+  } else {
+    // Polling: ask for each variable once a second, as a poll-based client
+    // with a 1 Hz display would.
+    for (int second = 0; second < 60; ++second) {
+      for (const char* name : kVariables) {
+        client.GetValueOnce(id_for(name), nullptr);
+      }
+      comma.sim().RunFor(sim::kSecond);
+    }
+  }
+  TrafficResult r;
+  r.client_tx = client.bytes_sent();
+  r.server_tx = comma.eem_server()->bytes_sent();
+  r.datagrams = comma.eem_server()->updates_sent() + comma.eem_server()->notifies_sent();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E12", "EEM monitor traffic by notification method",
+              "Five variables tracked for 60 s across the wireless hop.\n"
+              "Expected shape: polling costs an order of magnitude more than the\n"
+              "server-push methods; batched periodic updates cost the least per\n"
+              "variable; interrupts pay only for actual changes.");
+
+  std::printf("%-12s %14s %14s %14s\n", "method", "client tx B", "server tx B",
+              "server msgs");
+  for (const char* strategy_name : {"poll", "periodic", "interrupt"}) {
+    const std::string strategy(strategy_name);
+    TrafficResult r = Run(strategy);
+    std::printf("%-12s %14llu %14llu %14llu\n", strategy.c_str(),
+                static_cast<unsigned long long>(r.client_tx),
+                static_cast<unsigned long long>(r.server_tx),
+                static_cast<unsigned long long>(r.datagrams));
+  }
+  std::printf("\n\"Communication overhead is greatly increased since different\n"
+              "metrics must be queried separately, where both periodic and\n"
+              "interrupt-style updates can include all related information in a\n"
+              "single message\" (6.1.3).\n");
+  return 0;
+}

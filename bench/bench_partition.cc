@@ -1,0 +1,96 @@
+// E15 (thesis Ch. 1 "Support for Partitioned Applications", §5.2's first
+// service class): the qcache filter moves the answering half of a query
+// application onto the proxy. Three effects to show:
+//  - repeated queries answer from the proxy: lower latency;
+//  - the wired hop carries only cold queries: less upstream traffic;
+//  - during a wired-side outage, known queries keep working
+//    ("processing can continue if the mobile becomes disconnected").
+#include "bench/common.h"
+
+#include "src/apps/query.h"
+#include "src/filters/qcache_filter.h"
+
+using namespace commabench;
+
+namespace {
+
+struct PartitionResult {
+  double median_ms = 0;
+  uint64_t upstream_queries = 0;
+  int answered_during_outage = 0;
+  int asked_during_outage = 0;
+};
+
+PartitionResult Run(bool with_qcache) {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.0;
+  config.start_eem = false;
+  config.start_command_server = false;
+  core::CommaSystem comma(config);
+
+  if (with_qcache) {
+    proxy::StreamKey requests{comma.scenario().mobile_addr(), 0,
+                              comma.scenario().wired_addr(), filters::kQueryPort};
+    std::string error;
+    comma.sp().AddService("qcache", requests, {}, &error);
+  }
+
+  apps::QueryServer server(&comma.scenario().wired_host());
+  apps::QueryClient client(&comma.scenario().mobile_host(), comma.scenario().wired_addr());
+
+  // A Zipf-ish workload: 200 queries over 20 keys, hot keys repeated.
+  auto ask = [&](const std::string& key, int* ok_count) {
+    bool done = false;
+    client.Query(key, [&](bool ok, const util::Bytes&) {
+      done = true;
+      if (ok && ok_count != nullptr) {
+        ++*ok_count;
+      }
+    });
+    for (int step = 0; step < 600 && !done; step += 1) {
+      comma.sim().RunFor(10 * sim::kMillisecond);
+    }
+  };
+  sim::Random rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const int key = static_cast<int>(rng.NextBelow(rng.NextBelow(20) + 1));
+    ask("key" + std::to_string(key), nullptr);
+  }
+
+  PartitionResult result;
+  result.median_ms = client.latencies_ms().Median();
+  result.upstream_queries = server.queries_answered();
+
+  // Outage: the wired side disappears; ask 20 hot queries.
+  comma.scenario().wired_link().SetUp(false);
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) {
+    ask("key" + std::to_string(i % 5), &answered);
+  }
+  result.asked_during_outage = 20;
+  result.answered_during_outage = answered;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E15", "Application partitioning (qcache)",
+              "A query application; 200 queries over 20 hot keys, then a wired-\n"
+              "side outage. The qcache filter hosts the answering half of the\n"
+              "application at the proxy (ch. 1's partitioned applications).");
+
+  std::printf("%-12s %14s %18s %22s\n", "service", "median ms", "upstream queries",
+              "answered in outage");
+  for (bool with_qcache : {false, true}) {
+    PartitionResult r = Run(with_qcache);
+    std::printf("%-12s %14.1f %18llu %15d / %d\n", with_qcache ? "qcache" : "none",
+                r.median_ms, static_cast<unsigned long long>(r.upstream_queries),
+                r.answered_during_outage, r.asked_during_outage);
+  }
+  std::printf("\nRepeated queries never cross the wired network (upstream traffic\n"
+              "collapses), answer faster (the wired hop is skipped), and keep\n"
+              "answering while the wired side is gone - the proxy is running\n"
+              "part of the application.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E6b (thesis §8.2.2): stream prioritization by advertised-window clamping.
+// Two concurrent bulk streams share the wireless hop; the low-priority
+// stream's ACKs are clamped to successively smaller windows. Expected
+// shape: the priority stream's share of the link grows as the clamp
+// tightens, and the interactive latency of a third, small-request stream
+// drops.
+#include "bench/common.h"
+
+#include "src/util/strings.h"
+
+#include "src/apps/request_response.h"
+
+using namespace commabench;
+
+int main() {
+  PrintHeader("E6b", "BSSP window-clamp prioritization",
+              "Two competing bulk streams for 30 s; the low-priority stream's\n"
+              "window is clamped. Plus an interactive request/response stream\n"
+              "whose median latency benefits.");
+
+  std::printf("(a) bandwidth share: clamp the low-priority stream's window\n");
+  std::printf("%-14s %16s %16s %10s\n", "clamp (bytes)", "low-prio KB", "high-prio KB",
+              "high share");
+  for (uint32_t clamp : {65535u, 8000u, 4000u, 2000u, 1000u}) {
+    core::CommaSystemConfig config;
+    config.scenario.wireless.loss_probability = 0.0;
+    config.start_eem = false;
+    config.start_command_server = false;
+    core::CommaSystem comma(config);
+
+    // Clamp the ACK path of the low-priority stream (port 81).
+    proxy::StreamKey low_acks{comma.scenario().mobile_addr(), 81, net::Ipv4Address(), 0};
+    std::string error;
+    comma.sp().AddService("launcher", low_acks,
+                          {"tcp", util::Format("wsize:clamp:%u", clamp)}, &error);
+
+    apps::BulkSink low_sink(&comma.scenario().mobile_host(), 81);
+    apps::BulkSink high_sink(&comma.scenario().mobile_host(), 82);
+    apps::BulkSender low(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 81,
+                         apps::PatternPayload(20'000'000));
+    apps::BulkSender high(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 82,
+                          apps::PatternPayload(20'000'000));
+    comma.sim().RunFor(30 * sim::kSecond);
+
+    const double low_kb = static_cast<double>(low_sink.bytes_received()) / 1000.0;
+    const double high_kb = static_cast<double>(high_sink.bytes_received()) / 1000.0;
+    std::printf("%-14u %16.0f %16.0f %9.0f%%\n", clamp, low_kb, high_kb,
+                100.0 * high_kb / (low_kb + high_kb));
+  }
+
+  std::printf("\n(b) interactive delay: an RPC stream competes with a clamped bulk\n");
+  std::printf("%-14s %20s %16s\n", "bulk clamp", "interactive med ms", "p95 ms");
+  for (uint32_t clamp : {65535u, 8000u, 2000u}) {
+    core::CommaSystemConfig config;
+    config.scenario.wireless.loss_probability = 0.0;
+    config.scenario.wireless.queue_limit_packets = 64;  // Deep queue: delay hurts.
+    config.start_eem = false;
+    config.start_command_server = false;
+    core::CommaSystem comma(config);
+    proxy::StreamKey bulk_acks{comma.scenario().mobile_addr(), 81, net::Ipv4Address(), 0};
+    std::string error;
+    comma.sp().AddService("launcher", bulk_acks,
+                          {"tcp", util::Format("wsize:clamp:%u", clamp)}, &error);
+    apps::BulkSink bulk_sink(&comma.scenario().mobile_host(), 81);
+    apps::BulkSender bulk(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 81,
+                          apps::PatternPayload(20'000'000));
+    apps::RequestResponseServer rr_server(&comma.scenario().mobile_host(), 83, 100, 200);
+    apps::RequestResponseClient rr_client(&comma.scenario().wired_host(),
+                                          comma.scenario().mobile_addr(), 83, 100, 200, 150);
+    comma.sim().RunFor(60 * sim::kSecond);
+    std::printf("%-14u %20.1f %16.1f\n", clamp, rr_client.latencies_ms().Median(),
+                rr_client.latencies_ms().Percentile(95));
+  }
+  std::printf("\n\"This forces them to send more slowly as the window fills sooner,\n"
+              "allowing priority streams more bandwidth and smaller delay\" (8.2.2).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E11 (thesis §5.1.3): the run-time environment question — what does the
+// native (binary) filter environment cost per packet? Google-benchmark
+// microbenchmarks of the proxy's hot paths: packet construction, checksum
+// work, the in/out filter queues, TTSF transformation, and the raw
+// simulator event loop.
+#include <benchmark/benchmark.h>
+
+#include "src/filters/standard_set.h"
+#include "src/net/checksum.h"
+#include "src/proxy/service_proxy.h"
+#include "src/core/scenario.h"
+#include "src/util/compress.h"
+
+namespace {
+
+using namespace comma;
+
+net::PacketPtr MakeSegment(size_t payload_len) {
+  net::TcpHeader h;
+  h.src_port = 7;
+  h.dst_port = 1169;
+  h.seq = 1000;
+  h.flags = net::kTcpAck;
+  h.window = 8192;
+  return net::Packet::MakeTcp(net::Ipv4Address(10, 0, 0, 99), net::Ipv4Address(11, 11, 10, 10),
+                              h, util::Bytes(payload_len, 0x55));
+}
+
+void BM_PacketConstructTcp(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeSegment(static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PacketConstructTcp)->Arg(0)->Arg(1000);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  util::Bytes data(static_cast<size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::InternetChecksum(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500)->Arg(65536);
+
+void BM_UpdateChecksums(benchmark::State& state) {
+  auto p = MakeSegment(1000);
+  for (auto _ : state) {
+    p->tcp().window ^= 1;  // Dirty it.
+    p->UpdateChecksums();
+    benchmark::DoNotOptimize(p->tcp().checksum);
+  }
+}
+BENCHMARK(BM_UpdateChecksums);
+
+// The per-packet cost of the proxy with N filters attached to the stream.
+void BM_FilterQueue(benchmark::State& state) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = 0.0;
+  core::WirelessScenario scenario(cfg);
+  proxy::ServiceProxy sp(&scenario.gateway(), filters::StandardRegistry());
+  proxy::StreamKey key{scenario.wired_addr(), 7, scenario.mobile_addr(), 1169};
+  std::string error;
+  const int n_filters = static_cast<int>(state.range(0));
+  if (n_filters >= 1) {
+    sp.AddService("tcp", key, {}, &error);
+  }
+  if (n_filters >= 2) {
+    sp.AddService("meter", key, {}, &error);
+  }
+  if (n_filters >= 3) {
+    sp.AddService("wsize", key, {"clamp", "8192"}, &error);
+  }
+  if (n_filters >= 4) {
+    sp.AddService("rdrop", key, {"0"}, &error);
+  }
+  net::TapContext ctx{&scenario.gateway(), 0};
+  for (auto _ : state) {
+    net::PacketPtr p = MakeSegment(1000);
+    benchmark::DoNotOptimize(sp.OnPacket(p, ctx));
+  }
+}
+BENCHMARK(BM_FilterQueue)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_CompressLz(benchmark::State& state) {
+  util::Bytes text;
+  const char* phrase = "transparent communication management in wireless networks ";
+  while (text.size() < 1000) {
+    text.insert(text.end(), phrase, phrase + strlen(phrase));
+  }
+  text.resize(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Compress(text, util::Codec::kLz));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_CompressLz);
+
+void BM_DecompressLz(benchmark::State& state) {
+  util::Bytes text(1000);
+  for (size_t i = 0; i < text.size(); ++i) {
+    text[i] = static_cast<uint8_t>("abcdabcdefef"[i % 12]);
+  }
+  util::Bytes compressed = util::Compress(text, util::Codec::kLz);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Decompress(compressed));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_DecompressLz);
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [] {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

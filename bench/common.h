@@ -1,0 +1,74 @@
+// Shared helpers for the experiment benches. Each bench regenerates one of
+// the thesis artifacts catalogued in DESIGN.md / EXPERIMENTS.md and prints a
+// self-describing table; absolute numbers are simulator-specific, the
+// *shape* is what reproduces the paper.
+#ifndef COMMA_BENCH_COMMON_H_
+#define COMMA_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/apps/bulk.h"
+#include "src/core/comma_system.h"
+
+namespace commabench {
+
+using namespace comma;  // Bench binaries only.
+
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("================================================================\n");
+}
+
+struct BulkRunResult {
+  bool completed = false;
+  double seconds = 0;
+  double goodput_kbps = 0;
+  uint64_t bytes_retransmitted = 0;
+  uint64_t timeouts = 0;
+  uint64_t fast_retransmits = 0;
+  uint64_t wireless_tx_bytes = 0;
+  size_t delivered = 0;
+};
+
+// Runs a wired->mobile bulk transfer of `bytes` through a CommaSystem built
+// from `config`; `setup` may install services before traffic starts.
+inline BulkRunResult RunBulk(const core::CommaSystemConfig& config, size_t bytes,
+                             const std::function<void(core::CommaSystem&)>& setup = nullptr,
+                             sim::Duration limit = 600 * sim::kSecond,
+                             const util::Bytes* payload_override = nullptr) {
+  core::CommaSystem comma(config);
+  if (setup) {
+    setup(comma);
+  }
+  const util::Bytes payload =
+      payload_override != nullptr ? *payload_override : apps::PatternPayload(bytes);
+  apps::BulkSink sink(&comma.scenario().mobile_host(), 80);
+  apps::BulkSender sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                          payload);
+  const uint64_t wireless_before = comma.scenario().wireless_link().stats(0).tx_bytes;
+  while (!sender.finished() && comma.sim().Now() < limit) {
+    comma.sim().RunFor(100 * sim::kMillisecond);
+  }
+  BulkRunResult result;
+  result.completed = sender.finished() && sink.bytes_received() == payload.size();
+  result.delivered = sink.bytes_received();
+  if (sender.finished()) {
+    result.seconds = sim::DurationToSeconds(sender.finished_at() - sender.started_at());
+    result.goodput_kbps = sender.GoodputBps() / 1000.0;
+  }
+  const auto& st = sender.connection()->stats();
+  result.bytes_retransmitted = st.bytes_retransmitted;
+  result.timeouts = st.retransmit_timeouts;
+  result.fast_retransmits = st.fast_retransmits;
+  result.wireless_tx_bytes = comma.scenario().wireless_link().stats(0).tx_bytes - wireless_before;
+  return result;
+}
+
+}  // namespace commabench
+
+#endif  // COMMA_BENCH_COMMON_H_

@@ -1,0 +1,95 @@
+// Disconnection management with zero-window-size messages (thesis §8.2.2):
+// the wsize filter, driven by the EEM's link-status interrupt, stalls the
+// wired sender during an outage and restarts it the moment the mobile
+// reconnects — while an unserviced connection backs off exponentially and
+// dies.
+#include <cstdio>
+
+#include "src/apps/bulk.h"
+#include "src/core/comma_system.h"
+
+using namespace comma;
+
+namespace {
+
+struct RunResult {
+  bool survived = false;
+  size_t delivered = 0;
+  double resume_seconds = 0;  // Outage end -> first new byte at mobile.
+};
+
+RunResult Run(bool with_zwsm, sim::Duration outage) {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.0;
+  config.eem.check_interval = 100 * sim::kMillisecond;
+  core::CommaSystem comma(config);
+
+  if (with_zwsm) {
+    // The ack path runs mobile -> wired; that's where windows are rewritten.
+    // ifindex 2 is the gateway's wireless interface (SNMP 1-based).
+    proxy::StreamKey ack_path{comma.scenario().mobile_addr(), 80, net::Ipv4Address(), 0};
+    std::string error;
+    if (!comma.sp().AddService("launcher", ack_path, {"tcp", "wsize:zwsm:2"}, &error)) {
+      std::fprintf(stderr, "setup: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+
+  tcp::TcpConfig tcp_config;
+  tcp_config.max_data_retries = 8;
+  apps::BulkSink sink(&comma.scenario().mobile_host(), 80, tcp_config);
+  apps::BulkSender sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                          apps::PatternPayload(3'000'000), tcp_config);
+
+  comma.sim().RunFor(3 * sim::kSecond);  // Stream in full flight.
+  comma.scenario().wireless_link().SetUp(false);
+  comma.sim().RunFor(outage);
+  const size_t delivered_at_reconnect = sink.bytes_received();
+  comma.scenario().wireless_link().SetUp(true);
+
+  // Measure time until the mobile sees new bytes.
+  const sim::TimePoint reconnect_at = comma.sim().Now();
+  sim::TimePoint resumed_at = -1;
+  while (comma.sim().Now() < reconnect_at + 300 * sim::kSecond) {
+    comma.sim().RunFor(50 * sim::kMillisecond);
+    if (resumed_at < 0 && sink.bytes_received() > delivered_at_reconnect) {
+      resumed_at = comma.sim().Now();
+      break;
+    }
+    if (sender.connection()->state() == tcp::TcpState::kClosed && !sender.finished()) {
+      break;  // Connection aborted during/after the outage.
+    }
+  }
+
+  RunResult result;
+  result.survived = resumed_at >= 0;
+  result.delivered = sink.bytes_received();
+  result.resume_seconds =
+      resumed_at >= 0 ? sim::DurationToSeconds(resumed_at - reconnect_at) : -1;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ZWSM disconnection management (thesis 8.2.2)\n");
+  std::printf("============================================\n");
+  std::printf("A bulk stream suffers a wireless outage mid-transfer.\n\n");
+  std::printf("%-10s %-12s %-10s %-18s\n", "outage", "service", "survived", "resume after (s)");
+
+  for (sim::Duration outage : {30 * sim::kSecond, 120 * sim::kSecond, 400 * sim::kSecond}) {
+    for (bool zwsm : {false, true}) {
+      RunResult r = Run(zwsm, outage);
+      std::printf("%-10s %-12s %-10s %-18s\n",
+                  sim::FormatTime(outage).c_str(), zwsm ? "wsize:zwsm" : "none",
+                  r.survived ? "yes" : "NO",
+                  r.survived ? std::to_string(r.resume_seconds).substr(0, 6).c_str() : "-");
+    }
+  }
+  std::printf(
+      "\nWith ZWSM the sender parks in persist mode (alive indefinitely) and the\n"
+      "injected window-update restarts it immediately; without it, backed-off\n"
+      "retransmission timers stretch the resume time and eventually kill the\n"
+      "connection outright.\n");
+  return 0;
+}

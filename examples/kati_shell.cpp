@@ -1,0 +1,88 @@
+// An interactive Kati session (thesis Ch. 7): you are the mobile user,
+// controlling the Service Proxy and monitoring the network from your shell.
+//
+// A background bulk transfer and a media stream keep the proxy busy so
+// `streams`, `report`, `netload`, and the service commands have something to
+// show. Reads commands from stdin; with --demo it runs a scripted session.
+//
+// Try:  service list
+//       service add realtime-thin 0.0.0.0 0 11.11.10.10 80
+//       report
+//       streams
+//       watch ifOutQLen 2
+//       vars
+//       netload
+#include <cstdio>
+#include <iostream>
+
+#include "src/apps/bulk.h"
+#include "src/apps/media.h"
+#include "src/core/comma_system.h"
+
+using namespace comma;
+
+namespace {
+
+// Keeps traffic flowing so the shell has live streams to inspect.
+struct BackgroundTraffic {
+  explicit BackgroundTraffic(core::CommaSystem& comma)
+      : sink(&comma.scenario().mobile_host(), 80),
+        sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+               apps::TextPayload(50'000'000)),
+        media_sink(&comma.scenario().mobile_host(), 5004),
+        media(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), {}) {
+    media.Start();
+  }
+  apps::BulkSink sink;
+  apps::BulkSender sender;
+  apps::MediaSink media_sink;
+  apps::LayeredMediaSource media;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.01;
+  config.eem.check_interval = 500 * sim::kMillisecond;
+  config.eem.update_interval = 2 * sim::kSecond;
+  core::CommaSystem comma(config);
+  BackgroundTraffic traffic(comma);
+
+  auto shell = comma.MakeKati([](const std::string& text) { std::fputs(text.c_str(), stdout); });
+  comma.sim().RunFor(2 * sim::kSecond);  // Let the handshakes settle.
+
+  auto run_command = [&](const std::string& line) {
+    const uint64_t before = shell->responses_received();
+    shell->Execute(line);
+    for (int step = 0; step < 100 && shell->responses_received() == before; ++step) {
+      comma.sim().RunFor(100 * sim::kMillisecond);
+    }
+    comma.sim().RunFor(100 * sim::kMillisecond);
+  };
+
+  const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+  std::printf("kati: connected to the service proxy at %s:12000 (type `help`, ^D quits)\n",
+              comma.scenario().gateway_wireless_addr().ToString().c_str());
+
+  if (demo) {
+    for (const char* line :
+         {"help", "service list", "service add monitored 0.0.0.0 0 11.11.10.10 80", "streams",
+          "report", "poll sysUpTime", "netload"}) {
+      std::printf("kati> %s\n", line);
+      run_command(line);
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("kati> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    run_command(line);
+    std::printf("kati> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nConnection closed.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces the thesis's Service-Proxy interface example (§5.3.2,
+// Fig. 5.3): a user "telnets" to port 12000 of the proxy — here, a Kati
+// SP client over the simulated network — loads filters, adds and removes
+// services, and reads reports.
+#include <cstdio>
+
+#include "src/core/comma_system.h"
+#include "src/kati/sp_client.h"
+
+using namespace comma;
+
+namespace {
+
+void Transact(core::CommaSystem& comma, kati::SpClient& client, const std::string& command) {
+  std::printf("> %s\n", command.c_str());
+  bool done = false;
+  client.Send(command, [&](const std::string& response) {
+    if (!response.empty()) {
+      std::printf("%s", response.c_str());
+    }
+    done = true;
+  });
+  while (!done) {
+    comma.sim().RunFor(50 * sim::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.0;
+  config.load_filters = {"none"};  // Fresh proxy: nothing loaded yet.
+  core::CommaSystem comma(config);
+
+  std::printf("styx:~> telnet eramosa 12000\n");
+  std::printf("Trying %s...\n", comma.scenario().gateway_wireless_addr().ToString().c_str());
+  kati::SpClient client(&comma.scenario().mobile_host(),
+                        comma.scenario().gateway_wireless_addr());
+  comma.sim().RunFor(sim::kSecond);
+  std::printf("Connected to eramosa.uwaterloo.ca.\nEscape character is '^]'.\n\n");
+
+  // The session of Fig. 5.3.
+  Transact(comma, client, "load tcp");
+  Transact(comma, client, "load launcher");
+  Transact(comma, client, "load wsize");
+  Transact(comma, client, "load rdrop");
+  Transact(comma, client, "add launcher 11.11.10.10 0 0.0.0.0 0 tcp wsize");
+  Transact(comma, client, "add tcp 11.11.10.99 7 11.11.10.10 1169");
+  Transact(comma, client, "add wsize 11.11.10.99 7 11.11.10.10 1169");
+  Transact(comma, client, "report");
+  std::printf("\n");
+  Transact(comma, client, "add rdrop 11.11.10.99 7 11.11.10.10 1169 50");
+  Transact(comma, client, "report");
+  std::printf("\n");
+  Transact(comma, client, "delete wsize 11.11.10.99 7 11.11.10.10 1169");
+  Transact(comma, client, "report");
+
+  std::printf("\n^]\ntelnet> quit\nConnection closed.\n");
+  return 0;
+}

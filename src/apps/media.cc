@@ -1,0 +1,72 @@
+#include "src/apps/media.h"
+
+namespace comma::apps {
+
+LayeredMediaSource::LayeredMediaSource(core::Host* host, net::Ipv4Address sink,
+                                       const MediaSourceConfig& config)
+    : host_(host), sink_(sink), config_(config) {
+  socket_ = host_->udp().Bind(0);
+}
+
+LayeredMediaSource::~LayeredMediaSource() { Stop(); }
+
+void LayeredMediaSource::Start() {
+  if (timer_ == sim::kInvalidTimerId) {
+    timer_ = host_->simulator()->ScheduleTimer(config_.frame_interval, [this] { Tick(); });
+  }
+}
+
+void LayeredMediaSource::Stop() {
+  if (timer_ != sim::kInvalidTimerId) {
+    host_->simulator()->Cancel(timer_);
+    timer_ = sim::kInvalidTimerId;
+  }
+}
+
+void LayeredMediaSource::Tick() {
+  timer_ = sim::kInvalidTimerId;
+  // Frame layout: [layer, type, u64 send-time, body]. The timestamp lets the
+  // sink measure in-network latency; filters only interpret the first two
+  // bytes (data-type translation garbles the timestamp by design — it
+  // rewrites the body).
+  util::Bytes frame;
+  frame.reserve(2 + 8 + config_.frame_body);
+  frame.push_back(static_cast<uint8_t>(frame_index_ % static_cast<uint32_t>(config_.layers)));
+  frame.push_back(config_.type);
+  util::ByteWriter w(&frame);
+  w.WriteU64(static_cast<uint64_t>(host_->simulator()->Now()));
+  frame.insert(frame.end(), config_.frame_body, static_cast<uint8_t>(frame_index_));
+  socket_->SendTo(sink_, config_.port, std::move(frame));
+  ++frames_sent_;
+  ++frame_index_;
+  timer_ = host_->simulator()->ScheduleTimer(config_.frame_interval, [this] { Tick(); });
+}
+
+MediaSink::MediaSink(core::Host* host, uint16_t port, sim::Duration deadline)
+    : host_(host), deadline_(deadline) {
+  socket_ = host_->udp().Bind(port);
+  socket_->set_on_receive([this](const util::Bytes& data, const udp::UdpEndpoint&) {
+    if (data.size() < filters::kMediaHeaderSize) {
+      return;
+    }
+    ++frames_received_;
+    const uint8_t layer = data[0];
+    if (layer < per_layer_.size()) {
+      ++per_layer_[layer];
+    }
+    if (data.size() >= filters::kMediaHeaderSize + 8) {
+      util::ByteReader r(data.data() + filters::kMediaHeaderSize, 8);
+      const auto sent_at = static_cast<sim::TimePoint>(r.ReadU64());
+      const sim::TimePoint now = host_->simulator()->Now();
+      if (sent_at >= 0 && sent_at <= now) {
+        const sim::Duration latency = now - sent_at;
+        latencies_ms_.Add(sim::DurationToSeconds(latency) * 1000.0);
+        if (latency > deadline_) {
+          ++late_frames_;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace comma::apps

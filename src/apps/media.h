@@ -1,0 +1,76 @@
+// Real-time layered media workload over UDP (thesis §1 "Data Reduction",
+// §8.3 data manipulation).
+//
+// Frames carry the two-byte header the media filters understand:
+// [layer, type]. A source emits frames at a constant rate, cycling through
+// layers (0 = base, 1..n = enhancements); the sink tracks per-layer
+// delivery, latency, and late frames.
+#ifndef COMMA_APPS_MEDIA_H_
+#define COMMA_APPS_MEDIA_H_
+
+#include <array>
+#include <functional>
+
+#include "src/core/host.h"
+#include "src/filters/media_filters.h"
+#include "src/util/stats.h"
+
+namespace comma::apps {
+
+struct MediaSourceConfig {
+  uint16_t port = 5004;
+  sim::Duration frame_interval = 20 * sim::kMillisecond;  // 50 fps aggregate.
+  size_t frame_body = 400;                                 // Bytes per frame.
+  int layers = 3;
+  uint8_t type = filters::kMediaTypeMonoImage;
+};
+
+class LayeredMediaSource {
+ public:
+  LayeredMediaSource(core::Host* host, net::Ipv4Address sink, const MediaSourceConfig& config);
+  ~LayeredMediaSource();
+
+  void Start();
+  void Stop();
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t bytes_sent() const { return socket_->bytes_sent(); }
+
+ private:
+  void Tick();
+
+  core::Host* host_;
+  net::Ipv4Address sink_;
+  MediaSourceConfig config_;
+  std::unique_ptr<udp::UdpSocket> socket_;
+  sim::TimerId timer_ = sim::kInvalidTimerId;
+  uint64_t frames_sent_ = 0;
+  uint32_t frame_index_ = 0;
+};
+
+class MediaSink {
+ public:
+  MediaSink(core::Host* host, uint16_t port, sim::Duration deadline = 200 * sim::kMillisecond);
+
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t frames_per_layer(int layer) const {
+    return layer >= 0 && layer < 16 ? per_layer_[static_cast<size_t>(layer)] : 0;
+  }
+  uint64_t bytes_received() const { return socket_->bytes_received(); }
+  // Frames whose in-network latency exceeded the deadline ("out of date by
+  // the time they reach the proxy", §1).
+  uint64_t late_frames() const { return late_frames_; }
+  const util::Percentiles& latencies_ms() const { return latencies_ms_; }
+
+ private:
+  core::Host* host_;
+  sim::Duration deadline_;
+  std::unique_ptr<udp::UdpSocket> socket_;
+  uint64_t frames_received_ = 0;
+  uint64_t late_frames_ = 0;
+  std::array<uint64_t, 16> per_layer_{};
+  util::Percentiles latencies_ms_;
+};
+
+}  // namespace comma::apps
+
+#endif  // COMMA_APPS_MEDIA_H_

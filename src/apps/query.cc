@@ -1,0 +1,99 @@
+#include "src/apps/query.h"
+
+namespace comma::apps {
+
+QueryServer::QueryServer(core::Host* host, uint16_t port) {
+  socket_ = host->udp().Bind(port);
+  socket_->set_on_receive([this](const util::Bytes& data, const udp::UdpEndpoint& from) {
+    auto request = DecodeQueryRequest(data);
+    if (!request.has_value()) {
+      return;
+    }
+    ++queries_answered_;
+    QueryResponse response;
+    response.id = request->id;
+    response.key = request->key;
+    response.value = ValueFor(request->key);
+    socket_->SendTo(from.addr, from.port, EncodeQueryResponse(response));
+  });
+}
+
+util::Bytes QueryServer::ValueFor(const std::string& key) {
+  // Deterministic 64-byte value: a simple keyed generator.
+  util::Bytes value(64);
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  for (size_t i = 0; i < value.size(); ++i) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    value[i] = static_cast<uint8_t>(h >> 56);
+  }
+  return value;
+}
+
+QueryClient::QueryClient(core::Host* host, net::Ipv4Address server, uint16_t port,
+                         sim::Duration timeout, int max_retries)
+    : host_(host), server_(server), port_(port), timeout_(timeout), max_retries_(max_retries) {
+  socket_ = host_->udp().Bind(0);
+  socket_->set_on_receive([this](const util::Bytes& data, const udp::UdpEndpoint&) {
+    auto response = DecodeQueryResponse(data);
+    if (!response.has_value()) {
+      return;
+    }
+    auto it = pending_.find(response->id);
+    if (it == pending_.end()) {
+      return;  // Late duplicate.
+    }
+    host_->simulator()->Cancel(it->second.timer);
+    Callback cb = std::move(it->second.cb);
+    latencies_ms_.Add(
+        sim::DurationToSeconds(host_->simulator()->Now() - it->second.started) * 1000.0);
+    pending_.erase(it);
+    ++responses_received_;
+    if (cb) {
+      cb(true, response->value);
+    }
+  });
+}
+
+void QueryClient::Query(const std::string& key, Callback cb) {
+  const uint32_t id = next_id_++;
+  Pending pending;
+  pending.key = key;
+  pending.cb = std::move(cb);
+  pending.started = host_->simulator()->Now();
+  pending.retries_left = max_retries_;
+  pending_[id] = std::move(pending);
+  SendRequest(id);
+}
+
+void QueryClient::SendRequest(uint32_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;
+  }
+  ++queries_sent_;
+  socket_->SendTo(server_, port_, EncodeQueryRequest({id, it->second.key}));
+  it->second.timer =
+      host_->simulator()->ScheduleTimer(timeout_, [this, id] { OnTimeout(id); });
+}
+
+void QueryClient::OnTimeout(uint32_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;
+  }
+  if (it->second.retries_left-- > 0) {
+    SendRequest(id);
+    return;
+  }
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  ++failures_;
+  if (cb) {
+    cb(false, {});
+  }
+}
+
+}  // namespace comma::apps

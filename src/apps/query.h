@@ -1,0 +1,84 @@
+// A small UDP query/response application (DNS-shaped), the workload for the
+// application-partitioning service class (thesis Ch. 1 "Support for
+// Partitioned Applications", §5.2's first class of wireless services): part
+// of the application's answering logic migrates to the proxy, where the
+// qcache filter serves repeated queries — even while the mobile's upstream
+// is disconnected.
+//
+#ifndef COMMA_APPS_QUERY_H_
+#define COMMA_APPS_QUERY_H_
+
+#include <functional>
+#include <map>
+
+#include "src/core/host.h"
+#include "src/filters/query_protocol.h"
+#include "src/util/stats.h"
+
+namespace comma::apps {
+
+using filters::DecodeQueryRequest;
+using filters::DecodeQueryResponse;
+using filters::EncodeQueryRequest;
+using filters::EncodeQueryResponse;
+using filters::kQueryPort;
+using filters::QueryRequest;
+using filters::QueryResponse;
+
+// Answers queries with a deterministic value derived from the key (so any
+// cache can be validated for correctness).
+class QueryServer {
+ public:
+  QueryServer(core::Host* host, uint16_t port = kQueryPort);
+
+  static util::Bytes ValueFor(const std::string& key);
+  uint64_t queries_answered() const { return queries_answered_; }
+
+ private:
+  std::unique_ptr<udp::UdpSocket> socket_;
+  uint64_t queries_answered_ = 0;
+};
+
+// Issues queries with retry; records latency and outcome per query.
+class QueryClient {
+ public:
+  QueryClient(core::Host* host, net::Ipv4Address server, uint16_t port = kQueryPort,
+              sim::Duration timeout = sim::kSecond, int max_retries = 3);
+
+  using Callback = std::function<void(bool ok, const util::Bytes& value)>;
+  void Query(const std::string& key, Callback cb);
+
+  uint64_t queries_sent() const { return queries_sent_; }
+  uint64_t responses_received() const { return responses_received_; }
+  uint64_t failures() const { return failures_; }
+  const util::Percentiles& latencies_ms() const { return latencies_ms_; }
+
+ private:
+  struct Pending {
+    std::string key;
+    Callback cb;
+    sim::TimePoint started = 0;
+    int retries_left = 0;
+    sim::TimerId timer = sim::kInvalidTimerId;
+  };
+
+  void SendRequest(uint32_t id);
+  void OnTimeout(uint32_t id);
+
+  core::Host* host_;
+  net::Ipv4Address server_;
+  uint16_t port_;
+  sim::Duration timeout_;
+  int max_retries_;
+  std::unique_ptr<udp::UdpSocket> socket_;
+  uint32_t next_id_ = 1;
+  std::map<uint32_t, Pending> pending_;
+  uint64_t queries_sent_ = 0;
+  uint64_t responses_received_ = 0;
+  uint64_t failures_ = 0;
+  util::Percentiles latencies_ms_;
+};
+
+}  // namespace comma::apps
+
+#endif  // COMMA_APPS_QUERY_H_

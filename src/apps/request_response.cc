@@ -1,0 +1,67 @@
+#include "src/apps/request_response.h"
+
+namespace comma::apps {
+
+RequestResponseServer::RequestResponseServer(core::Host* host, uint16_t port, size_t request_size,
+                                             size_t response_size)
+    : host_(host), request_size_(request_size), response_size_(response_size) {
+  host_->tcp().Listen(port, [this](tcp::TcpConnection* conn) {
+    auto buffered = std::make_shared<size_t>(0);
+    conn->set_on_data([this, conn, buffered](const util::Bytes& data) {
+      *buffered += data.size();
+      while (*buffered >= request_size_) {
+        *buffered -= request_size_;
+        ++requests_served_;
+        util::Bytes response(response_size_, 0x52);
+        conn->Send(response);
+      }
+    });
+    conn->set_on_remote_close([conn] { conn->Close(); });
+  });
+}
+
+RequestResponseClient::RequestResponseClient(core::Host* host, net::Ipv4Address server,
+                                             uint16_t port, size_t request_size,
+                                             size_t response_size, int count)
+    : host_(host),
+      request_size_(request_size),
+      response_size_(response_size),
+      remaining_(count) {
+  conn_ = host_->tcp().Connect(server, port);
+  conn_->set_on_connected([this] { SendRequest(); });
+  conn_->set_on_data([this](const util::Bytes& data) {
+    if (response_pending_ == 0) {
+      return;
+    }
+    if (data.size() >= response_pending_) {
+      response_pending_ = 0;
+      ++completed_;
+      latencies_ms_.Add(
+          sim::DurationToSeconds(host_->simulator()->Now() - request_sent_at_) * 1000.0);
+      if (remaining_ > 0) {
+        SendRequest();
+      } else {
+        finished_ = true;
+        conn_->Close();
+        if (on_finished_) {
+          on_finished_();
+        }
+      }
+    } else {
+      response_pending_ -= data.size();
+    }
+  });
+}
+
+void RequestResponseClient::SendRequest() {
+  if (remaining_ <= 0) {
+    return;
+  }
+  --remaining_;
+  response_pending_ = response_size_;
+  request_sent_at_ = host_->simulator()->Now();
+  util::Bytes request(request_size_, 0x51);
+  conn_->Send(request);
+}
+
+}  // namespace comma::apps

@@ -1,0 +1,59 @@
+// Interactive request/response workload (telnet/RPC-style): measures
+// per-exchange latency, the metric prioritization services improve (§8.2.2).
+#ifndef COMMA_APPS_REQUEST_RESPONSE_H_
+#define COMMA_APPS_REQUEST_RESPONSE_H_
+
+#include <functional>
+
+#include "src/core/host.h"
+#include "src/util/stats.h"
+
+namespace comma::apps {
+
+// Echo-style server: replies to each `request_size`-byte request with a
+// `response_size`-byte response.
+class RequestResponseServer {
+ public:
+  RequestResponseServer(core::Host* host, uint16_t port, size_t request_size,
+                        size_t response_size);
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  core::Host* host_;
+  size_t request_size_;
+  size_t response_size_;
+  uint64_t requests_served_ = 0;
+};
+
+// Sends `count` requests back-to-back (next sent when the full response
+// arrives); records latency per exchange.
+class RequestResponseClient {
+ public:
+  RequestResponseClient(core::Host* host, net::Ipv4Address server, uint16_t port,
+                        size_t request_size, size_t response_size, int count);
+
+  bool finished() const { return finished_; }
+  int completed() const { return completed_; }
+  const util::Percentiles& latencies_ms() const { return latencies_ms_; }
+  void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
+
+ private:
+  void SendRequest();
+
+  core::Host* host_;
+  tcp::TcpConnection* conn_;
+  size_t request_size_;
+  size_t response_size_;
+  int remaining_;
+  int completed_ = 0;
+  bool finished_ = false;
+  size_t response_pending_ = 0;
+  sim::TimePoint request_sent_at_ = 0;
+  util::Percentiles latencies_ms_;
+  std::function<void()> on_finished_;
+};
+
+}  // namespace comma::apps
+
+#endif  // COMMA_APPS_REQUEST_RESPONSE_H_

@@ -1,0 +1,79 @@
+#include "src/baselines/itcp.h"
+
+namespace comma::baselines {
+
+tcp::TcpConfig ItcpRelay::WirelessTuned() {
+  tcp::TcpConfig cfg;
+  cfg.rto_min = 200 * sim::kMillisecond;  // Retransmit lost packets sooner.
+  cfg.rto_initial = sim::kSecond;
+  cfg.initial_cwnd_segments = 2;
+  return cfg;
+}
+
+ItcpRelay::ItcpRelay(core::Host* msr, uint16_t listen_port, net::Ipv4Address target,
+                     uint16_t target_port, const tcp::TcpConfig& wireless_config)
+    : msr_(msr), target_(target), target_port_(target_port), wireless_config_(wireless_config) {
+  msr_->tcp().Listen(listen_port, [this](tcp::TcpConnection* wired) { OnAccept(wired); });
+}
+
+void ItcpRelay::OnAccept(tcp::TcpConnection* wired) {
+  ++stats_.connections_spliced;
+  auto splice = std::make_shared<Splice>();
+  splice->wired = wired;
+  splice->wireless = msr_->tcp().Connect(target_, target_port_, wireless_config_);
+
+  // Wired -> relay: data is acknowledged to the sender by the relay's own
+  // TCP the moment it arrives — the end-to-end break (§5.1.2).
+  wired->set_on_data([this, splice](const util::Bytes& data) {
+    stats_.bytes_wired_in += data.size();
+    splice->pending.insert(splice->pending.end(), data.begin(), data.end());
+    PumpToWireless(splice);
+  });
+  wired->set_on_remote_close([this, splice] {
+    splice->wired_closed = true;
+    splice->wired->Close();
+    PumpToWireless(splice);
+  });
+
+  splice->wireless->set_on_connected([this, splice] { PumpToWireless(splice); });
+  splice->wireless->set_on_writable([this, splice] { PumpToWireless(splice); });
+  // Relay -> wired (reverse data path).
+  splice->wireless->set_on_data([splice](const util::Bytes& data) {
+    splice->wired->Send(data);
+  });
+  splice->wireless->set_on_error([this, splice](const std::string&) {
+    // The wireless leg died. Everything the sender was told is delivered
+    // but the mobile never received is orphaned: bytes still queued at the
+    // relay plus bytes stuck unacknowledged in the wireless send buffer
+    // ("the possibly catastrophic position where the sender has received
+    // acknowledgment of data which has not yet reached the mobile").
+    stats_.bytes_orphaned +=
+        splice->pending.size() + splice->wireless->BufferedSendBytes();
+    splice->wired->Abort();
+  });
+  splice->wireless->set_on_remote_close([splice] {
+    splice->wireless->Close();
+    splice->wired->Close();
+  });
+}
+
+void ItcpRelay::PumpToWireless(const std::shared_ptr<Splice>& splice) {
+  while (!splice->pending.empty()) {
+    const size_t n = splice->wireless->Send(splice->pending.data(), splice->pending.size());
+    if (n == 0) {
+      break;
+    }
+    stats_.bytes_wireless_out += n;
+    splice->pending.erase(splice->pending.begin(), splice->pending.begin() + static_cast<long>(n));
+  }
+  // What actually reached the mobile: accepted bytes minus those still
+  // sitting (unsent or unacknowledged) in the wireless send buffer.
+  const size_t buffered = splice->wireless->BufferedSendBytes();
+  stats_.bytes_wireless_acked =
+      stats_.bytes_wireless_out > buffered ? stats_.bytes_wireless_out - buffered : 0;
+  if (splice->pending.empty() && splice->wired_closed) {
+    splice->wireless->Close();
+  }
+}
+
+}  // namespace comma::baselines

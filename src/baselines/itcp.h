@@ -1,0 +1,70 @@
+// I-TCP baseline (thesis §3.2, after Bakre & Badrinath).
+//
+// A split-connection relay at the Mobility Support Router: the wired-side
+// TCP connection terminates at the relay, which opens a second, separately
+// tuned connection across the wireless hop and splices bytes between them.
+//
+// This is the approach the thesis argues *against*: it acknowledges data to
+// the wired sender before the mobile has it, breaking end-to-end semantics
+// (§5.1.2). The relay tracks the exposure explicitly — bytes acked to the
+// sender that were never delivered to the mobile — so experiment E13 can
+// quantify the violation.
+//
+// Transparent interception is simulated by connecting the client to the
+// relay's port rather than the server's (the thesis's MSR redirects with
+// routing tricks; the splice semantics are identical).
+#ifndef COMMA_BASELINES_ITCP_H_
+#define COMMA_BASELINES_ITCP_H_
+
+#include <map>
+#include <memory>
+
+#include "src/core/host.h"
+
+namespace comma::baselines {
+
+struct ItcpStats {
+  uint64_t connections_spliced = 0;
+  uint64_t bytes_wired_in = 0;       // Received (and acked) from the sender.
+  uint64_t bytes_wireless_out = 0;   // Accepted by the wireless-side socket.
+  uint64_t bytes_wireless_acked = 0; // Actually delivered to the mobile.
+  // The end-to-end violation: data the sender believes delivered that the
+  // mobile never received when the wireless side died.
+  uint64_t bytes_orphaned = 0;
+};
+
+class ItcpRelay {
+ public:
+  // Splices connections arriving on `listen_port` of `msr` to
+  // `target`:`target_port`, using `wireless_config` for the second leg
+  // (I-TCP's wireless-specific protocol, here a tuned TCP).
+  ItcpRelay(core::Host* msr, uint16_t listen_port, net::Ipv4Address target, uint16_t target_port,
+            const tcp::TcpConfig& wireless_config = WirelessTuned());
+
+  // An aggressive profile for the wireless leg: short RTO floor, small
+  // initial timeout — loss is assumed transient, not congestive.
+  static tcp::TcpConfig WirelessTuned();
+
+  const ItcpStats& stats() const { return stats_; }
+
+ private:
+  struct Splice {
+    tcp::TcpConnection* wired = nullptr;
+    tcp::TcpConnection* wireless = nullptr;
+    util::Bytes pending;          // Received from wired, not yet accepted by wireless.
+    bool wired_closed = false;
+  };
+
+  void OnAccept(tcp::TcpConnection* wired);
+  void PumpToWireless(const std::shared_ptr<Splice>& splice);
+
+  core::Host* msr_;
+  net::Ipv4Address target_;
+  uint16_t target_port_;
+  tcp::TcpConfig wireless_config_;
+  ItcpStats stats_;
+};
+
+}  // namespace comma::baselines
+
+#endif  // COMMA_BASELINES_ITCP_H_

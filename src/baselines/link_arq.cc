@@ -1,0 +1,122 @@
+#include "src/baselines/link_arq.h"
+
+namespace comma::baselines {
+
+namespace {
+constexpr uint8_t kFrameData = 0;
+constexpr uint8_t kFrameAck = 1;
+}  // namespace
+
+ArqEndpoint::ArqEndpoint(core::Host* host, net::Ipv4Address peer, WrapMode mode,
+                         const ArqConfig& config)
+    : host_(host), peer_(peer), mode_(mode), config_(config) {
+  host_->RegisterProtocol(net::IpProtocol::kArq,
+                          [this](net::PacketPtr p) { OnArqPacket(std::move(p)); });
+  host_->AddTap(this);
+  ArmTimer();
+}
+
+ArqEndpoint::~ArqEndpoint() {
+  host_->RemoveTap(this);
+  if (timer_ != sim::kInvalidTimerId) {
+    host_->simulator()->Cancel(timer_);
+  }
+}
+
+net::TapVerdict ArqEndpoint::OnPacket(net::PacketPtr& packet, const net::TapContext& ctx) {
+  if (packet->ip().protocol == static_cast<uint8_t>(net::IpProtocol::kArq)) {
+    return net::TapVerdict::kPass;  // Never wrap ARQ frames.
+  }
+  const bool should_wrap = mode_ == WrapMode::kTowardPeerAddress
+                               ? !ctx.outbound && packet->ip().dst == peer_
+                               : ctx.outbound;
+  if (!should_wrap) {
+    return net::TapVerdict::kPass;
+  }
+  if (unacked_.size() >= config_.window) {
+    // Window full: let the packet take its chances unprotected rather than
+    // head-of-line-block everything behind it.
+    return net::TapVerdict::kPass;
+  }
+  WrapAndSend(std::move(packet));
+  return net::TapVerdict::kConsume;
+}
+
+void ArqEndpoint::WrapAndSend(net::PacketPtr packet) {
+  const uint32_t seq = next_seq_++;
+  net::PacketPtr frame = net::Packet::Encapsulate(std::move(packet), host_->PrimaryAddress(),
+                                                  peer_, net::IpProtocol::kArq);
+  util::ByteWriter w(&frame->payload());
+  w.WriteU8(kFrameData);
+  w.WriteU32(seq);
+  frame->UpdateChecksums();
+  ++stats_.frames_sent;
+  unacked_[seq] = PendingFrame{frame->Clone(), 0, host_->simulator()->Now()};
+  host_->InjectPacket(std::move(frame));
+}
+
+void ArqEndpoint::OnArqPacket(net::PacketPtr packet) {
+  util::ByteReader r(packet->payload());
+  const uint8_t type = r.ReadU8();
+  const uint32_t seq = r.ReadU32();
+  if (r.failed()) {
+    return;
+  }
+  if (type == kFrameAck) {
+    unacked_.erase(seq);
+    return;
+  }
+  // Data frame: always (re-)acknowledge, deliver once.
+  SendAck(seq);
+  if (!seen_.insert(seq).second) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  if (seen_.size() > 4096) {
+    seen_.erase(seen_.begin());
+  }
+  net::PacketPtr inner = packet->Decapsulate();
+  if (inner != nullptr) {
+    ++stats_.frames_delivered;
+    host_->InjectPacket(std::move(inner));
+  }
+}
+
+void ArqEndpoint::SendAck(uint32_t seq) {
+  util::Bytes payload;
+  util::ByteWriter w(&payload);
+  w.WriteU8(kFrameAck);
+  w.WriteU32(seq);
+  ++stats_.acks_sent;
+  host_->InjectPacket(net::Packet::MakeRaw(host_->PrimaryAddress(), peer_,
+                                           net::IpProtocol::kArq, std::move(payload)));
+}
+
+void ArqEndpoint::ArmTimer() {
+  timer_ = host_->simulator()->ScheduleTimer(config_.retransmit_timeout, [this] { OnTimer(); });
+}
+
+void ArqEndpoint::OnTimer() {
+  timer_ = sim::kInvalidTimerId;
+  const sim::TimePoint now = host_->simulator()->Now();
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    PendingFrame& pending = it->second;
+    if (now - pending.sent_at < config_.retransmit_timeout) {
+      ++it;
+      continue;  // Still waiting on the first (or latest) transmission.
+    }
+    if (pending.retries >= config_.max_retries) {
+      ++stats_.frames_abandoned;
+      it = unacked_.erase(it);
+      continue;
+    }
+    ++pending.retries;
+    ++stats_.retransmissions;
+    pending.sent_at = now;
+    host_->InjectPacket(pending.frame->Clone());
+    ++it;
+  }
+  ArmTimer();
+}
+
+}  // namespace comma::baselines

@@ -1,0 +1,81 @@
+// AIRMAIL-style link-layer ARQ baseline (thesis §3.2).
+//
+// A pair of ArqEndpoints straddling the wireless hop gives it reliable
+// delivery below IP: the sending side frames each packet with a sequence
+// number, buffers it, and retransmits on a short link timer until the peer
+// acknowledges. Duplicates are suppressed at the receiver, but delivery is
+// *not* reordered — exactly the property Snoop (§8.2.1) criticizes: a
+// transport above may see out-of-order arrivals after link recovery and
+// fire duplicate acks.
+//
+// Framing: IP protocol kArq; the original packet rides encapsulated; the
+// outer payload is [type(0=data,1=ack), u32 seq].
+#ifndef COMMA_BASELINES_LINK_ARQ_H_
+#define COMMA_BASELINES_LINK_ARQ_H_
+
+#include <map>
+#include <set>
+
+#include "src/core/host.h"
+
+namespace comma::baselines {
+
+struct ArqStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t retransmissions = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t acks_sent = 0;
+  uint64_t frames_abandoned = 0;  // Retry limit exceeded.
+};
+
+struct ArqConfig {
+  sim::Duration retransmit_timeout = 60 * sim::kMillisecond;
+  int max_retries = 10;
+  size_t window = 64;  // Max unacknowledged frames.
+};
+
+class ArqEndpoint : public net::PacketTap {
+ public:
+  enum class WrapMode {
+    kTowardPeerAddress,  // Wrap transit packets destined exactly for the peer
+                         // (gateway side: only mobile-bound traffic).
+    kEverything,         // Wrap all locally-originated packets (mobile side:
+                         // its only path is the wireless link).
+  };
+
+  ArqEndpoint(core::Host* host, net::Ipv4Address peer, WrapMode mode,
+              const ArqConfig& config = {});
+  ~ArqEndpoint() override;
+
+  const ArqStats& stats() const { return stats_; }
+
+  net::TapVerdict OnPacket(net::PacketPtr& packet, const net::TapContext& ctx) override;
+
+ private:
+  struct PendingFrame {
+    net::PacketPtr frame;  // The full ARQ-framed packet, ready to resend.
+    int retries = 0;
+    sim::TimePoint sent_at = 0;
+  };
+
+  void WrapAndSend(net::PacketPtr packet);
+  void OnArqPacket(net::PacketPtr packet);
+  void SendAck(uint32_t seq);
+  void ArmTimer();
+  void OnTimer();
+
+  core::Host* host_;
+  net::Ipv4Address peer_;
+  WrapMode mode_;
+  ArqConfig config_;
+  uint32_t next_seq_ = 1;
+  std::map<uint32_t, PendingFrame> unacked_;
+  std::set<uint32_t> seen_;  // Receiver-side dedupe (bounded).
+  sim::TimerId timer_ = sim::kInvalidTimerId;
+  ArqStats stats_;
+};
+
+}  // namespace comma::baselines
+
+#endif  // COMMA_BASELINES_LINK_ARQ_H_

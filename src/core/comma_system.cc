@@ -1,0 +1,35 @@
+#include "src/core/comma_system.h"
+
+namespace comma::core {
+
+CommaSystem::CommaSystem(const CommaSystemConfig& config)
+    : config_(config), scenario_(config.scenario), catalog_(filters::StandardCatalog()) {
+  sp_ = std::make_unique<proxy::ServiceProxy>(&scenario_.gateway(),
+                                              filters::StandardRegistry(config.load_filters));
+  sp_->set_catalog(&catalog_);
+  if (config.start_command_server) {
+    command_server_ =
+        std::make_unique<proxy::CommandServer>(&scenario_.gateway().tcp(), sp_.get());
+  }
+  if (config.start_eem) {
+    eem_server_ = std::make_unique<monitor::EemServer>(&scenario_.gateway(), config.eem);
+    proxy_eem_client_ = std::make_unique<monitor::EemClient>(&scenario_.gateway());
+    sp_->set_eem(proxy_eem_client_.get());
+  }
+}
+
+std::unique_ptr<kati::Shell> CommaSystem::MakeKati(kati::Shell::OutputSink sink) {
+  return std::make_unique<kati::Shell>(&scenario_.mobile_host(),
+                                       scenario_.gateway_wireless_addr(), std::move(sink));
+}
+
+proxy::ServiceProxy& CommaSystem::MobileProxy() {
+  if (mobile_sp_ == nullptr) {
+    mobile_sp_ = std::make_unique<proxy::ServiceProxy>(
+        &scenario_.mobile_host(), filters::StandardRegistry(config_.load_filters));
+    mobile_sp_->set_catalog(&catalog_);
+  }
+  return *mobile_sp_;
+}
+
+}  // namespace comma::core

@@ -1,0 +1,64 @@
+// The assembled Comma system (thesis Fig. 4.1): the wireless scenario with
+//  - a Service Proxy on the gateway (the enhanced-proxy architecture's
+//    filtering mechanism);
+//  - the SP command server on simulated TCP port 12000;
+//  - an EEM server on the gateway plus a co-located EEM client wired into
+//    the proxy so filters can monitor their execution environment;
+//  - factories for Kati shells and a mobile-side proxy (the double-proxy
+//    arrangement of §10.2.4).
+#ifndef COMMA_CORE_COMMA_SYSTEM_H_
+#define COMMA_CORE_COMMA_SYSTEM_H_
+
+#include <memory>
+
+#include "src/core/scenario.h"
+#include "src/filters/standard_set.h"
+#include "src/kati/shell.h"
+#include "src/monitor/eem_client.h"
+#include "src/monitor/eem_server.h"
+#include "src/proxy/command_server.h"
+#include "src/proxy/service_catalog.h"
+#include "src/proxy/service_proxy.h"
+
+namespace comma::core {
+
+struct CommaSystemConfig {
+  ScenarioConfig scenario;
+  monitor::EemServerConfig eem;
+  // Filters preloaded into the gateway proxy; empty = the full standard set.
+  std::vector<std::string> load_filters;
+  bool start_command_server = true;
+  bool start_eem = true;
+};
+
+class CommaSystem {
+ public:
+  explicit CommaSystem(const CommaSystemConfig& config = {});
+
+  WirelessScenario& scenario() { return scenario_; }
+  sim::Simulator& sim() { return scenario_.sim(); }
+  proxy::ServiceProxy& sp() { return *sp_; }
+  monitor::EemServer* eem_server() { return eem_server_.get(); }
+  const proxy::ServiceCatalog& catalog() const { return catalog_; }
+
+  // A Kati shell running on the mobile host, connected to this proxy.
+  std::unique_ptr<kati::Shell> MakeKati(kati::Shell::OutputSink sink);
+
+  // Creates (once) a second Service Proxy on the mobile host — the mobile
+  // half of a double-proxy deployment. Loads the same filter set.
+  proxy::ServiceProxy& MobileProxy();
+
+ private:
+  CommaSystemConfig config_;
+  WirelessScenario scenario_;
+  proxy::ServiceCatalog catalog_;
+  std::unique_ptr<proxy::ServiceProxy> sp_;
+  std::unique_ptr<proxy::CommandServer> command_server_;
+  std::unique_ptr<monitor::EemServer> eem_server_;
+  std::unique_ptr<monitor::EemClient> proxy_eem_client_;
+  std::unique_ptr<proxy::ServiceProxy> mobile_sp_;
+};
+
+}  // namespace comma::core
+
+#endif  // COMMA_CORE_COMMA_SYSTEM_H_

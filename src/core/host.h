@@ -1,0 +1,38 @@
+// A Host is a Node with transport stacks attached — the "wired host" and
+// "wireless host" endpoints of Fig. 1.1.
+#ifndef COMMA_CORE_HOST_H_
+#define COMMA_CORE_HOST_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/ping.h"
+#include "src/net/node.h"
+#include "src/tcp/tcp_stack.h"
+#include "src/udp/udp_stack.h"
+
+namespace comma::core {
+
+class Host : public net::Node {
+ public:
+  Host(sim::Simulator* sim, std::string name, sim::Random rng)
+      : net::Node(sim, std::move(name)),
+        tcp_(std::make_unique<tcp::TcpStack>(this, rng)),
+        udp_(std::make_unique<udp::UdpStack>(this)),
+        icmp_(std::make_unique<IcmpResponder>(this)) {}
+
+  tcp::TcpStack& tcp() { return *tcp_; }
+  udp::UdpStack& udp() { return *udp_; }
+  // Every host answers pings; a component installing its own ICMP handler
+  // (e.g. a Pinger) should chain requests back to this responder.
+  IcmpResponder& icmp_responder() { return *icmp_; }
+
+ private:
+  std::unique_ptr<tcp::TcpStack> tcp_;
+  std::unique_ptr<udp::UdpStack> udp_;
+  std::unique_ptr<IcmpResponder> icmp_;
+};
+
+}  // namespace comma::core
+
+#endif  // COMMA_CORE_HOST_H_

@@ -1,0 +1,135 @@
+#include "src/core/ping.h"
+
+namespace comma::core {
+
+namespace {
+
+struct EchoFields {
+  uint8_t type = 0;
+  uint16_t id = 0;
+  uint16_t seq = 0;
+  uint64_t sent_at = 0;
+};
+
+std::optional<EchoFields> ParseEcho(const net::Packet& packet) {
+  util::ByteReader r(packet.payload());
+  EchoFields f;
+  f.type = r.ReadU8();
+  r.ReadU8();  // Code, unused.
+  f.id = r.ReadU16();
+  f.seq = r.ReadU16();
+  f.sent_at = r.ReadU64();
+  if (r.failed()) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+util::Bytes BuildEcho(uint8_t type, uint16_t id, uint16_t seq, uint64_t sent_at) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(type);
+  w.WriteU8(0);
+  w.WriteU16(id);
+  w.WriteU16(seq);
+  w.WriteU64(sent_at);
+  // Classic 64-byte ping padding.
+  out.resize(56, 0);
+  return out;
+}
+
+}  // namespace
+
+IcmpResponder::IcmpResponder(net::Node* node) : node_(node) {
+  node_->RegisterProtocol(net::IpProtocol::kIcmp, [this](net::PacketPtr p) { Handle(*p); });
+}
+
+bool IcmpResponder::Handle(const net::Packet& packet) {
+  auto echo = ParseEcho(packet);
+  if (!echo.has_value() || echo->type != kIcmpEchoRequest) {
+    return false;
+  }
+  ++requests_answered_;
+  node_->SendPacket(net::Packet::MakeRaw(
+      packet.ip().dst, packet.ip().src, net::IpProtocol::kIcmp,
+      BuildEcho(kIcmpEchoReply, echo->id, echo->seq, echo->sent_at)));
+  return true;
+}
+
+namespace {
+// Deterministic id allocation keeps simulations bit-for-bit reproducible.
+uint16_t next_pinger_id = 1;
+}  // namespace
+
+Pinger::Pinger(net::Node* node, IcmpResponder* responder, sim::Duration timeout)
+    : node_(node), responder_(responder), timeout_(timeout), id_(next_pinger_id++) {
+  // Take over the ICMP handler, chaining to the responder for requests.
+  node_->RegisterProtocol(net::IpProtocol::kIcmp,
+                          [this](net::PacketPtr p) { OnIcmp(std::move(p)); });
+}
+
+Pinger::~Pinger() {
+  for (auto& [seq, pending] : pending_) {
+    node_->simulator()->Cancel(pending.timer);
+  }
+  // Hand ICMP handling back to the plain responder so in-flight replies
+  // never reach a dead object.
+  IcmpResponder* responder = responder_;
+  if (responder != nullptr) {
+    node_->RegisterProtocol(net::IpProtocol::kIcmp,
+                            [responder](net::PacketPtr p) { responder->Handle(*p); });
+  }
+}
+
+void Pinger::Ping(net::Ipv4Address target, Callback cb) {
+  const uint16_t seq = next_seq_++;
+  ++pings_sent_;
+  Pending pending;
+  pending.cb = std::move(cb);
+  pending.timer = node_->simulator()->ScheduleTimer(timeout_, [this, seq] {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) {
+      return;
+    }
+    Callback expired = std::move(it->second.cb);
+    pending_.erase(it);
+    ++timeouts_;
+    if (expired) {
+      expired(-1);
+    }
+  });
+  pending_[seq] = std::move(pending);
+  node_->SendPacket(net::Packet::MakeRaw(
+      node_->PrimaryAddress(), target, net::IpProtocol::kIcmp,
+      BuildEcho(kIcmpEchoRequest, id_, seq, static_cast<uint64_t>(node_->simulator()->Now()))));
+}
+
+void Pinger::OnIcmp(net::PacketPtr packet) {
+  auto echo = ParseEcho(*packet);
+  if (!echo.has_value()) {
+    return;
+  }
+  if (echo->type == kIcmpEchoRequest) {
+    if (responder_ != nullptr) {
+      responder_->Handle(*packet);
+    }
+    return;
+  }
+  if (echo->type != kIcmpEchoReply || echo->id != id_) {
+    return;
+  }
+  auto it = pending_.find(echo->seq);
+  if (it == pending_.end()) {
+    return;  // Late reply after timeout.
+  }
+  node_->simulator()->Cancel(it->second.timer);
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  ++replies_received_;
+  last_rtt_ = node_->simulator()->Now() - static_cast<sim::TimePoint>(echo->sent_at);
+  if (cb) {
+    cb(last_rtt_);
+  }
+}
+
+}  // namespace comma::core

@@ -1,0 +1,81 @@
+// ICMP echo (ping), used by the EEM's netLatency metric exactly as Table 6.2
+// defines it: "measure of the network latency from ping RTTs to the default
+// router". Every Host answers echo requests; a Pinger issues them and
+// reports round-trip times.
+#ifndef COMMA_CORE_PING_H_
+#define COMMA_CORE_PING_H_
+
+#include <functional>
+#include <map>
+
+#include "src/net/node.h"
+
+namespace comma::core {
+
+// ICMP payload layout: [type, code, u16 id, u16 seq, u64 sent-at].
+inline constexpr uint8_t kIcmpEchoRequest = 8;
+inline constexpr uint8_t kIcmpEchoReply = 0;
+
+// Answers echo requests arriving at `node`. One per host; installed by the
+// Pinger-capable hosts' setup (see Host).
+class IcmpResponder {
+ public:
+  explicit IcmpResponder(net::Node* node);
+  uint64_t requests_answered() const { return requests_answered_; }
+
+  // Handles one ICMP packet; returns true if it was an echo request (and
+  // was answered). Exposed so a node can chain its own ICMP handling.
+  bool Handle(const net::Packet& packet);
+
+ private:
+  net::Node* node_;
+  uint64_t requests_answered_ = 0;
+};
+
+// Issues echo requests and matches replies. Callbacks fire with the RTT, or
+// a negative duration on timeout.
+class Pinger {
+ public:
+  using Callback = std::function<void(sim::Duration rtt)>;
+
+  // `responder` is the host's responder, so replies can be demultiplexed
+  // from requests arriving at the same protocol handler.
+  Pinger(net::Node* node, IcmpResponder* responder,
+         sim::Duration timeout = 2 * sim::kSecond);
+  // Restores the responder as the node's ICMP handler and cancels every
+  // outstanding probe.
+  ~Pinger();
+  Pinger(const Pinger&) = delete;
+  Pinger& operator=(const Pinger&) = delete;
+
+  void Ping(net::Ipv4Address target, Callback cb);
+
+  uint64_t pings_sent() const { return pings_sent_; }
+  uint64_t replies_received() const { return replies_received_; }
+  uint64_t timeouts() const { return timeouts_; }
+  // Most recent successful RTT (0 until the first reply).
+  sim::Duration last_rtt() const { return last_rtt_; }
+
+ private:
+  struct Pending {
+    Callback cb;
+    sim::TimerId timer = sim::kInvalidTimerId;
+  };
+
+  void OnIcmp(net::PacketPtr packet);
+
+  net::Node* node_;
+  IcmpResponder* responder_;
+  sim::Duration timeout_;
+  uint16_t id_;
+  uint16_t next_seq_ = 1;
+  std::map<uint16_t, Pending> pending_;  // By sequence number.
+  uint64_t pings_sent_ = 0;
+  uint64_t replies_received_ = 0;
+  uint64_t timeouts_ = 0;
+  sim::Duration last_rtt_ = 0;
+};
+
+}  // namespace comma::core
+
+#endif  // COMMA_CORE_PING_H_

@@ -1,0 +1,41 @@
+#include "src/core/scenario.h"
+
+namespace comma::core {
+
+namespace {
+const net::Ipv4Address kWiredHostAddr(10, 0, 0, 99);
+const net::Ipv4Address kGatewayWiredAddr(10, 0, 0, 1);
+const net::Ipv4Address kGatewayWirelessAddr(11, 11, 10, 1);
+const net::Ipv4Address kMobileHostAddr(11, 11, 10, 10);
+}  // namespace
+
+WirelessScenario::WirelessScenario(const ScenarioConfig& config) : rng_(config.seed) {
+  wired_host_ = std::make_unique<Host>(&sim_, "wired-host", rng_.Fork());
+  gateway_ = std::make_unique<Host>(&sim_, "gateway", rng_.Fork());
+  mobile_host_ = std::make_unique<Host>(&sim_, "mobile-host", rng_.Fork());
+
+  wired_link_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wired, "wired");
+  wireless_link_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wireless, "wireless");
+
+  const uint32_t wh_if = wired_host_->AddInterface(kWiredHostAddr);
+  const uint32_t gw_wired_if = gateway_->AddInterface(kGatewayWiredAddr);
+  const uint32_t gw_wireless_if = gateway_->AddInterface(kGatewayWirelessAddr);
+  const uint32_t mh_if = mobile_host_->AddInterface(kMobileHostAddr);
+
+  wired_host_->AttachLink(wh_if, wired_link_.get(), 0);
+  gateway_->AttachLink(gw_wired_if, wired_link_.get(), 1);
+  gateway_->AttachLink(gw_wireless_if, wireless_link_.get(), 0);
+  mobile_host_->AttachLink(mh_if, wireless_link_.get(), 1);
+
+  wired_host_->SetDefaultRoute(wh_if);
+  mobile_host_->SetDefaultRoute(mh_if);
+  gateway_->AddRoute(*net::Ipv4Prefix::Parse("10.0.0.0/24"), gw_wired_if);
+  gateway_->AddRoute(*net::Ipv4Prefix::Parse("11.11.10.0/24"), gw_wireless_if);
+}
+
+net::Ipv4Address WirelessScenario::wired_addr() const { return kWiredHostAddr; }
+net::Ipv4Address WirelessScenario::mobile_addr() const { return kMobileHostAddr; }
+net::Ipv4Address WirelessScenario::gateway_wired_addr() const { return kGatewayWiredAddr; }
+net::Ipv4Address WirelessScenario::gateway_wireless_addr() const { return kGatewayWirelessAddr; }
+
+}  // namespace comma::core

@@ -1,0 +1,59 @@
+// Canonical test/bench topology: the network model of thesis Fig. 1.1.
+//
+//   wired host ──(wired link)── gateway ──(wireless link)── mobile host
+//
+// The gateway is the natural routing bottleneck where the Service Proxy
+// attaches (§5.1.1). Tests, examples, and benches all build on this scenario
+// so that experiments share one faithful network model.
+#ifndef COMMA_CORE_SCENARIO_H_
+#define COMMA_CORE_SCENARIO_H_
+
+#include <memory>
+
+#include "src/core/host.h"
+#include "src/net/link.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace comma::core {
+
+struct ScenarioConfig {
+  net::LinkConfig wired = net::WiredLinkConfig();
+  net::LinkConfig wireless = net::WirelessLinkConfig();
+  uint64_t seed = 42;
+};
+
+// Addresses follow the thesis's interface example (§5.3.2): the mobile host
+// is 11.11.10.10 and the wired host lives on a distinct wired subnet.
+class WirelessScenario {
+ public:
+  explicit WirelessScenario(const ScenarioConfig& config = {});
+  WirelessScenario(const WirelessScenario&) = delete;
+  WirelessScenario& operator=(const WirelessScenario&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  Host& wired_host() { return *wired_host_; }
+  Host& gateway() { return *gateway_; }
+  Host& mobile_host() { return *mobile_host_; }
+  net::Link& wired_link() { return *wired_link_; }
+  net::Link& wireless_link() { return *wireless_link_; }
+  sim::Random& rng() { return rng_; }
+
+  net::Ipv4Address wired_addr() const;
+  net::Ipv4Address mobile_addr() const;
+  net::Ipv4Address gateway_wired_addr() const;
+  net::Ipv4Address gateway_wireless_addr() const;
+
+ private:
+  sim::Simulator sim_;
+  sim::Random rng_;
+  std::unique_ptr<Host> wired_host_;
+  std::unique_ptr<Host> gateway_;
+  std::unique_ptr<Host> mobile_host_;
+  std::unique_ptr<net::Link> wired_link_;
+  std::unique_ptr<net::Link> wireless_link_;
+};
+
+}  // namespace comma::core
+
+#endif  // COMMA_CORE_SCENARIO_H_

@@ -1,0 +1,49 @@
+#include "src/filters/launcher_filter.h"
+
+#include "src/proxy/service_proxy.h"
+
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+bool LauncherFilter::OnInsert(proxy::FilterContext&, const proxy::StreamKey& key,
+                              const std::vector<std::string>& args, std::string* error) {
+  if (!key.IsWildcard()) {
+    if (error != nullptr) {
+      *error = "launcher expects a wild-card key";
+    }
+    return false;
+  }
+  if (args.empty()) {
+    if (error != nullptr) {
+      *error = "launcher requires a service list, e.g. \"tcp wsize\"";
+    }
+    return false;
+  }
+  for (const std::string& token : args) {
+    auto parts = util::Split(token, ':');
+    Service service;
+    service.filter = parts[0];
+    service.args.assign(parts.begin() + 1, parts.end());
+    services_.push_back(std::move(service));
+  }
+  return true;
+}
+
+void LauncherFilter::OnNewStream(proxy::FilterContext& ctx, const proxy::StreamKey& stream) {
+  ++streams_launched_;
+  for (const Service& service : services_) {
+    std::string error;
+    if (!ctx.proxy().AddService(service.filter, stream, service.args, &error)) {
+      ctx.tracer().Logf(sim::TraceLevel::kWarn, "launcher", "cannot launch %s on %s: %s",
+                        service.filter.c_str(), stream.ToString().c_str(), error.c_str());
+    }
+  }
+}
+
+std::string LauncherFilter::Status() const {
+  return util::Format("launched=%llu services=%zu",
+                      static_cast<unsigned long long>(streams_launched_), services_.size());
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,36 @@
+// The `launcher` filter (thesis §5.3.2): attached to a wild-card key; when
+// the first packet of a new stream matching that key arrives, it adds a
+// configured set of services to the new stream.
+//
+// Arguments: the service list, one token per filter, with optional filter
+// arguments separated by colons — e.g. "tcp wsize" or "tcp rdrop:50".
+#ifndef COMMA_FILTERS_LAUNCHER_FILTER_H_
+#define COMMA_FILTERS_LAUNCHER_FILTER_H_
+
+#include "src/proxy/filter.h"
+
+namespace comma::filters {
+
+class LauncherFilter : public proxy::Filter {
+ public:
+  LauncherFilter() : Filter("launcher", proxy::FilterPriority::kHighest) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  void OnNewStream(proxy::FilterContext& ctx, const proxy::StreamKey& stream) override;
+  std::string Status() const override;
+
+  uint64_t streams_launched() const { return streams_launched_; }
+
+ private:
+  struct Service {
+    std::string filter;
+    std::vector<std::string> args;
+  };
+  std::vector<Service> services_;
+  uint64_t streams_launched_ = 0;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_LAUNCHER_FILTER_H_

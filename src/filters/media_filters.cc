@@ -1,0 +1,213 @@
+#include "src/filters/media_filters.h"
+
+#include "src/proxy/service_proxy.h"
+
+#include "src/monitor/eem_client.h"
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+// --- hdiscard ---
+
+bool HdiscardFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& /*key*/,
+                              const std::vector<std::string>& args, std::string* error) {
+  ctx_ = &ctx.proxy().context();
+  if (args.empty()) {
+    max_layer_ = 0;  // Base layer only.
+    return true;
+  }
+  if (args[0] == "auto") {
+    auto_mode_ = true;
+    max_layer_ = configured_max_;
+    if (args.size() >= 2) {
+      util::ParseU32(args[1], &ifindex_);
+    }
+    if (ifindex_ == 0 || ctx.eem() == nullptr) {
+      if (error != nullptr) {
+        *error = "hdiscard auto requires an interface index and a wired EEM";
+      }
+      return false;
+    }
+    // Watch the wireless queue through the monitor and adapt (§8.3.2: shape
+    // the stream to the available QoS).
+    monitor::VariableId qlen;
+    qlen.name = "ifOutQLen";
+    qlen.index = ifindex_;
+    ctx.eem()->Register(qlen, monitor::Attr::Always(monitor::NotifyMode::kPeriodic));
+    proxy::FilterPtr self = shared_from_this();
+    std::function<void()> tick = [self, this, tick_ref = &timer_] { Adapt(); };
+    timer_ = ctx.simulator().ScheduleTimer(500 * sim::kMillisecond, [self, this] { Adapt(); });
+    return true;
+  }
+  uint32_t layer = 0;
+  if (!util::ParseU32(args[0], &layer) || layer > 15) {
+    if (error != nullptr) {
+      *error = "hdiscard: usage: hdiscard <max_layer>|auto <ifindex>";
+    }
+    return false;
+  }
+  max_layer_ = static_cast<int>(layer);
+  return true;
+}
+
+void HdiscardFilter::Adapt() {
+  timer_ = sim::kInvalidTimerId;
+  if (ctx_ == nullptr || ctx_->eem() == nullptr) {
+    return;
+  }
+  monitor::VariableId qlen;
+  qlen.name = "ifOutQLen";
+  qlen.index = ifindex_;
+  auto v = ctx_->eem()->GetValue(qlen);
+  if (v.has_value() && std::holds_alternative<int64_t>(*v)) {
+    const int64_t depth = std::get<int64_t>(*v);
+    if (depth > 20) {
+      max_layer_ = 0;  // Severe overload: cut straight to the base layer.
+    } else if (depth > 8 && max_layer_ > 0) {
+      --max_layer_;  // Queue building: shed an enhancement layer.
+    } else if (depth < 2 && max_layer_ < configured_max_) {
+      ++max_layer_;  // Headroom: restore quality.
+    }
+  }
+  proxy::FilterPtr self = shared_from_this();
+  timer_ = ctx_->simulator().ScheduleTimer(500 * sim::kMillisecond, [self, this] { Adapt(); });
+}
+
+proxy::FilterVerdict HdiscardFilter::Out(proxy::FilterContext&, const proxy::StreamKey&,
+                                         net::Packet& packet) {
+  if (!packet.has_udp() || packet.payload().size() < kMediaHeaderSize) {
+    return proxy::FilterVerdict::kPass;
+  }
+  const int layer = packet.payload()[0];
+  if (layer > max_layer_) {
+    ++discarded_;
+    return proxy::FilterVerdict::kDrop;
+  }
+  ++passed_;
+  return proxy::FilterVerdict::kPass;
+}
+
+void HdiscardFilter::OnDetach(proxy::FilterContext& ctx, const proxy::StreamKey&) {
+  if (timer_ != sim::kInvalidTimerId) {
+    ctx.simulator().Cancel(timer_);
+    timer_ = sim::kInvalidTimerId;
+  }
+  ctx_ = nullptr;
+}
+
+std::string HdiscardFilter::Status() const {
+  return util::Format("max_layer=%d%s discarded=%llu passed=%llu", max_layer_,
+                      auto_mode_ ? " (auto)" : "", static_cast<unsigned long long>(discarded_),
+                      static_cast<unsigned long long>(passed_));
+}
+
+// --- dtrans ---
+
+proxy::FilterVerdict DtransFilter::Out(proxy::FilterContext&, const proxy::StreamKey&,
+                                       net::Packet& packet) {
+  if (!packet.has_udp() || packet.payload().size() < kMediaHeaderSize) {
+    return proxy::FilterVerdict::kPass;
+  }
+  util::Bytes& payload = packet.payload();
+  const uint8_t type = payload[1];
+  const size_t before = payload.size();
+  if (type == kMediaTypeColorImage) {
+    // 24bpp -> 8bpp: keep one byte per pixel triple.
+    util::Bytes mono(payload.begin(), payload.begin() + kMediaHeaderSize);
+    for (size_t i = kMediaHeaderSize; i < payload.size(); i += 3) {
+      mono.push_back(payload[i]);
+    }
+    mono[1] = kMediaTypeMonoImage;
+    payload = std::move(mono);
+  } else if (type == kMediaTypeRichText) {
+    // PostScript -> ASCII: strip non-ASCII bytes.
+    util::Bytes plain(payload.begin(), payload.begin() + kMediaHeaderSize);
+    for (size_t i = kMediaHeaderSize; i < payload.size(); ++i) {
+      if (payload[i] < 0x80) {
+        plain.push_back(payload[i]);
+      }
+    }
+    plain[1] = kMediaTypePlainText;
+    payload = std::move(plain);
+  } else {
+    return proxy::FilterVerdict::kPass;
+  }
+  ++translated_;
+  bytes_saved_ += before - payload.size();
+  // No UDP housekeeping filter exists (the thesis's `tcp` filter is
+  // TCP-only), so the translator restores checksum consistency itself.
+  packet.UpdateChecksums();
+  return proxy::FilterVerdict::kPass;
+}
+
+std::string DtransFilter::Status() const {
+  return util::Format("translated=%llu bytes_saved=%llu",
+                      static_cast<unsigned long long>(translated_),
+                      static_cast<unsigned long long>(bytes_saved_));
+}
+
+// --- delay ---
+
+bool DelayFilter::OnInsert(proxy::FilterContext&, const proxy::StreamKey&,
+                           const std::vector<std::string>& args, std::string* error) {
+  if (!args.empty()) {
+    uint32_t ms = 0;
+    if (!util::ParseU32(args[0], &ms)) {
+      if (error != nullptr) {
+        *error = "delay: usage: delay <milliseconds>";
+      }
+      return false;
+    }
+    delay_ = static_cast<sim::Duration>(ms) * sim::kMillisecond;
+  }
+  return true;
+}
+
+proxy::FilterVerdict DelayFilter::Out(proxy::FilterContext& ctx, const proxy::StreamKey&,
+                                      net::Packet& packet) {
+  ++delayed_;
+  net::PacketPtr copy = packet.Clone();
+  auto* raw = copy.release();
+  proxy::ServiceProxy* proxy = &ctx.proxy();
+  proxy::FilterPtr self = shared_from_this();
+  ctx.simulator().Schedule(delay_, [self, proxy, raw] {
+    proxy->InjectPacket(net::PacketPtr(raw));
+  });
+  return proxy::FilterVerdict::kDrop;  // The original is replaced by the delayed copy.
+}
+
+std::string DelayFilter::Status() const {
+  return util::Format("delay=%lldms delayed=%llu", static_cast<long long>(delay_ / 1000),
+                      static_cast<unsigned long long>(delayed_));
+}
+
+// --- meter ---
+
+void MeterFilter::In(proxy::FilterContext&, const proxy::StreamKey& key,
+                     const net::Packet& packet) {
+  Counts& c = counts_[key];
+  ++c.packets;
+  c.bytes += packet.SizeBytes();
+}
+
+uint64_t MeterFilter::packets(const proxy::StreamKey& key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second.packets;
+}
+
+uint64_t MeterFilter::bytes(const proxy::StreamKey& key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second.bytes;
+}
+
+std::string MeterFilter::Status() const {
+  std::string out;
+  for (const auto& [key, c] : counts_) {
+    out += util::Format("%s pkts=%llu bytes=%llu; ", key.ToString().c_str(),
+                        static_cast<unsigned long long>(c.packets),
+                        static_cast<unsigned long long>(c.bytes));
+  }
+  return out;
+}
+
+}  // namespace comma::filters

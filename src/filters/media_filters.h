@@ -1,0 +1,123 @@
+// Data-manipulation services for real-time media streams (thesis §8.3).
+//
+// The media workloads (src/apps/media.h) send UDP datagrams whose payload
+// starts with a two-byte header: [layer, type]. These filters exploit that
+// application knowledge at the proxy:
+//
+//  hdiscard <max_layer>      Hierarchical discard (§8.3.2): packets of
+//  hdiscard auto <ifindex>   enhancement layers above <max_layer> are
+//                            dropped. In auto mode the filter adapts the cut
+//                            to the wireless link: it watches the EEM's
+//                            ifOutQLen for the given interface and lowers or
+//                            raises the layer cut as the queue builds or
+//                            drains.
+//
+//  dtrans                    Data-type translation (§8.3.3): payloads marked
+//                            type=kColorImage are converted to kMonoImage by
+//                            keeping one byte in three (24->8 bpp);
+//                            type=kRichText is converted to kPlainText by
+//                            stripping bytes with the high bit set
+//                            (PostScript -> ASCII in the thesis's example).
+//
+//  delay <ms>                Test utility: delays matching packets by a
+//                            fixed amount (re-injected later).
+//
+//  meter                     Passive per-key accounting; Kati's netload view
+//                            reads its Status().
+#ifndef COMMA_FILTERS_MEDIA_FILTERS_H_
+#define COMMA_FILTERS_MEDIA_FILTERS_H_
+
+#include <map>
+
+#include "src/proxy/filter.h"
+
+namespace comma::filters {
+
+// Media payload header bytes (shared with src/apps/media.h).
+inline constexpr uint8_t kMediaTypeMonoImage = 1;
+inline constexpr uint8_t kMediaTypeColorImage = 2;
+inline constexpr uint8_t kMediaTypePlainText = 3;
+inline constexpr uint8_t kMediaTypeRichText = 4;
+inline constexpr size_t kMediaHeaderSize = 2;  // [layer, type].
+
+class HdiscardFilter : public proxy::Filter {
+ public:
+  HdiscardFilter() : Filter("hdiscard", proxy::FilterPriority::kLow) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  void OnDetach(proxy::FilterContext& ctx, const proxy::StreamKey& key) override;
+  std::string Status() const override;
+
+  int max_layer() const { return max_layer_; }
+  uint64_t discarded() const { return discarded_; }
+  uint64_t passed() const { return passed_; }
+
+ private:
+  void Adapt();
+
+  int max_layer_ = 0;
+  bool auto_mode_ = false;
+  uint32_t ifindex_ = 0;
+  int configured_max_ = 2;
+  proxy::FilterContext* ctx_ = nullptr;
+  sim::TimerId timer_ = sim::kInvalidTimerId;
+  uint64_t discarded_ = 0;
+  uint64_t passed_ = 0;
+};
+
+class DtransFilter : public proxy::Filter {
+ public:
+  DtransFilter() : Filter("dtrans", proxy::FilterPriority::kLow) {}
+
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  std::string Status() const override;
+
+  uint64_t translated() const { return translated_; }
+  uint64_t bytes_saved() const { return bytes_saved_; }
+
+ private:
+  uint64_t translated_ = 0;
+  uint64_t bytes_saved_ = 0;
+};
+
+class DelayFilter : public proxy::Filter {
+ public:
+  DelayFilter() : Filter("delay", proxy::FilterPriority::kLow) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  std::string Status() const override;
+
+ private:
+  sim::Duration delay_ = 50 * sim::kMillisecond;
+  uint64_t delayed_ = 0;
+};
+
+class MeterFilter : public proxy::Filter {
+ public:
+  MeterFilter() : Filter("meter", proxy::FilterPriority::kHighest) {}
+
+  void In(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+          const net::Packet& packet) override;
+  std::string Status() const override;
+
+  uint64_t packets(const proxy::StreamKey& key) const;
+  uint64_t bytes(const proxy::StreamKey& key) const;
+
+ private:
+  struct Counts {
+    uint64_t packets = 0;
+    uint64_t bytes = 0;
+  };
+  std::map<proxy::StreamKey, Counts> counts_;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_MEDIA_FILTERS_H_

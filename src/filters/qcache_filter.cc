@@ -1,0 +1,75 @@
+#include "src/filters/qcache_filter.h"
+
+#include "src/proxy/service_proxy.h"
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+bool QcacheFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                            const std::vector<std::string>& args, std::string* error) {
+  request_key_ = key;
+  if (!args.empty()) {
+    uint32_t capacity = 0;
+    if (!util::ParseU32(args[0], &capacity) || capacity == 0) {
+      if (error != nullptr) {
+        *error = "qcache: optional argument is the cache capacity (entries)";
+      }
+      return false;
+    }
+    capacity_ = capacity;
+  }
+  // Watch the response path too (server -> mobile) to populate the cache.
+  ctx.proxy().Attach(shared_from_this(), key.Reversed());
+  return true;
+}
+
+proxy::FilterVerdict QcacheFilter::Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                       net::Packet& packet) {
+  if (!packet.has_udp()) {
+    return proxy::FilterVerdict::kPass;
+  }
+
+  // Response passing toward the mobile: learn it.
+  auto response = DecodeQueryResponse(packet.payload());
+  if (response.has_value()) {
+    if (cache_.size() >= capacity_ && cache_.count(response->key) == 0) {
+      cache_.erase(cache_.begin());  // Simple bounded eviction.
+    }
+    cache_[response->key] = response->value;
+    ++stats_.responses_cached;
+    return proxy::FilterVerdict::kPass;
+  }
+
+  // Request from the mobile: answer locally when we can.
+  auto request = DecodeQueryRequest(packet.payload());
+  if (!request.has_value()) {
+    return proxy::FilterVerdict::kPass;
+  }
+  ++stats_.requests_seen;
+  auto hit = cache_.find(request->key);
+  if (hit == cache_.end()) {
+    ++stats_.misses;
+    return proxy::FilterVerdict::kPass;  // The real server answers.
+  }
+  ++stats_.hits;
+  // The partitioned application answers from the proxy: forge the response
+  // as if it came from the queried server.
+  QueryResponse answer;
+  answer.id = request->id;
+  answer.key = request->key;
+  answer.value = hit->second;
+  ctx.InjectPacket(net::Packet::MakeUdp(packet.ip().dst, packet.ip().src,
+                                        packet.udp().dst_port, packet.udp().src_port,
+                                        EncodeQueryResponse(answer)));
+  (void)key;
+  return proxy::FilterVerdict::kDrop;  // The request never goes upstream.
+}
+
+std::string QcacheFilter::Status() const {
+  return util::Format("entries=%zu hits=%llu misses=%llu cached=%llu", cache_.size(),
+                      static_cast<unsigned long long>(stats_.hits),
+                      static_cast<unsigned long long>(stats_.misses),
+                      static_cast<unsigned long long>(stats_.responses_cached));
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,54 @@
+// The `qcache` filter: application partitioning at the proxy (thesis Ch. 1
+// "Support for Partitioned Applications"; §5.2's first service class: "a
+// service filter can include part of the code of an application").
+//
+// It understands the query application's wire protocol and moves the
+// answering half of the application onto the proxy:
+//  - responses passing toward the mobile are remembered (key -> value);
+//  - requests from the mobile for a known key are answered directly from
+//    the proxy — the request never crosses the wired network, and the
+//    answer keeps coming "if the mobile becomes disconnected" from the
+//    wired side (Ch. 1). Unknown keys pass through to the real server.
+//
+// Attach to the request direction (mobile -> server); the insertion method
+// also attaches to the response path.
+#ifndef COMMA_FILTERS_QCACHE_FILTER_H_
+#define COMMA_FILTERS_QCACHE_FILTER_H_
+
+#include <map>
+
+#include "src/filters/query_protocol.h"
+#include "src/proxy/filter.h"
+
+namespace comma::filters {
+
+struct QcacheStats {
+  uint64_t requests_seen = 0;
+  uint64_t hits = 0;        // Answered from the proxy.
+  uint64_t misses = 0;      // Passed through to the server.
+  uint64_t responses_cached = 0;
+};
+
+class QcacheFilter : public proxy::Filter {
+ public:
+  QcacheFilter() : Filter("qcache", proxy::FilterPriority::kLow) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  std::string Status() const override;
+
+  const QcacheStats& stats() const { return stats_; }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  proxy::StreamKey request_key_;  // Possibly wild-card (mobile -> anywhere).
+  size_t capacity_ = 512;
+  std::map<std::string, util::Bytes> cache_;
+  QcacheStats stats_;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_QCACHE_FILTER_H_

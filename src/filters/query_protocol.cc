@@ -1,0 +1,60 @@
+#include "src/filters/query_protocol.h"
+
+namespace comma::filters {
+
+namespace {
+constexpr uint8_t kTagRequest = 0x01;
+constexpr uint8_t kTagResponse = 0x02;
+}  // namespace
+
+util::Bytes EncodeQueryRequest(const QueryRequest& request) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(kTagRequest);
+  w.WriteU32(request.id);
+  w.WriteString(request.key);
+  return out;
+}
+
+util::Bytes EncodeQueryResponse(const QueryResponse& response) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(kTagResponse);
+  w.WriteU32(response.id);
+  w.WriteString(response.key);
+  w.WriteU16(static_cast<uint16_t>(response.value.size()));
+  w.WriteBytes(response.value);
+  return out;
+}
+
+std::optional<QueryRequest> DecodeQueryRequest(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (r.ReadU8() != kTagRequest) {
+    return std::nullopt;
+  }
+  QueryRequest request;
+  request.id = r.ReadU32();
+  request.key = r.ReadString();
+  if (r.failed() || r.remaining() != 0) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::optional<QueryResponse> DecodeQueryResponse(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (r.ReadU8() != kTagResponse) {
+    return std::nullopt;
+  }
+  QueryResponse response;
+  response.id = r.ReadU32();
+  response.key = r.ReadString();
+  const uint16_t len = r.ReadU16();
+  response.value = r.ReadBytes(len);
+  if (r.failed() || r.remaining() != 0) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,39 @@
+// The query application's wire protocol (DNS-shaped), shared between the
+// workload (src/apps/query.h) and the qcache partitioning filter — the
+// "knowledge of application data" a proxy service needs (thesis Ch. 1).
+//
+// Wire format (UDP):
+//   request:  [0x01, u32 query-id, u16 key-len, key bytes]
+//   response: [0x02, u32 query-id, u16 key-len, key bytes, u16 value-len,
+//              value bytes]
+#ifndef COMMA_FILTERS_QUERY_PROTOCOL_H_
+#define COMMA_FILTERS_QUERY_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace comma::filters {
+
+inline constexpr uint16_t kQueryPort = 5300;
+
+struct QueryRequest {
+  uint32_t id = 0;
+  std::string key;
+};
+
+struct QueryResponse {
+  uint32_t id = 0;
+  std::string key;
+  util::Bytes value;
+};
+
+util::Bytes EncodeQueryRequest(const QueryRequest& request);
+util::Bytes EncodeQueryResponse(const QueryResponse& response);
+std::optional<QueryRequest> DecodeQueryRequest(const util::Bytes& data);
+std::optional<QueryResponse> DecodeQueryResponse(const util::Bytes& data);
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_QUERY_PROTOCOL_H_

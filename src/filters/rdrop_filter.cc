@@ -1,0 +1,44 @@
+#include "src/filters/rdrop_filter.h"
+
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+bool RdropFilter::OnInsert(proxy::FilterContext&, const proxy::StreamKey&,
+                           const std::vector<std::string>& args, std::string* error) {
+  if (!args.empty()) {
+    uint32_t percent = 0;
+    if (!util::ParseU32(args[0], &percent) || percent > 100) {
+      if (error != nullptr) {
+        *error = "rdrop: drop rate must be an integer percentage 0-100";
+      }
+      return false;
+    }
+    drop_probability_ = percent / 100.0;
+  }
+  if (args.size() > 1) {
+    uint64_t seed = 0;
+    if (util::ParseU64(args[1], &seed)) {
+      rng_ = sim::Random(seed);
+    }
+  }
+  return true;
+}
+
+proxy::FilterVerdict RdropFilter::Out(proxy::FilterContext&, const proxy::StreamKey&,
+                                      net::Packet&) {
+  if (rng_.Bernoulli(drop_probability_)) {
+    ++dropped_;
+    return proxy::FilterVerdict::kDrop;
+  }
+  ++passed_;
+  return proxy::FilterVerdict::kPass;
+}
+
+std::string RdropFilter::Status() const {
+  return util::Format("rate=%.0f%% dropped=%llu passed=%llu", drop_probability_ * 100,
+                      static_cast<unsigned long long>(dropped_),
+                      static_cast<unsigned long long>(passed_));
+}
+
+}  // namespace comma::filters

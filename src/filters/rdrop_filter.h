@@ -1,0 +1,37 @@
+// The `rdrop` filter (thesis §5.3.2): randomly drops packets with a given
+// frequency. Argument: drop percentage (0-100), optional seed.
+//
+// This is the *non-transparent* dropper — dropped TCP segments will be
+// retransmitted end-to-end. For the transparency-supported variant that
+// removes the data from the stream entirely, see tdrop (§8.1.5).
+#ifndef COMMA_FILTERS_RDROP_FILTER_H_
+#define COMMA_FILTERS_RDROP_FILTER_H_
+
+#include "src/proxy/filter.h"
+#include "src/sim/random.h"
+
+namespace comma::filters {
+
+class RdropFilter : public proxy::Filter {
+ public:
+  RdropFilter() : Filter("rdrop", proxy::FilterPriority::kLow), rng_(0x5d7c0) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  std::string Status() const override;
+
+  uint64_t dropped() const { return dropped_; }
+  uint64_t passed() const { return passed_; }
+
+ private:
+  double drop_probability_ = 0.5;
+  sim::Random rng_;
+  uint64_t dropped_ = 0;
+  uint64_t passed_ = 0;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_RDROP_FILTER_H_

@@ -1,0 +1,174 @@
+#include "src/filters/snoop_filter.h"
+
+#include "src/proxy/service_proxy.h"
+
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+using tcp::SeqGt;
+using tcp::SeqLeq;
+
+bool SnoopFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           const std::vector<std::string>& args, std::string* error) {
+  if (key.IsWildcard()) {
+    if (error != nullptr) {
+      *error = "snoop requires a concrete stream key (the data direction)";
+    }
+    return false;
+  }
+  data_key_ = key;
+  ctx_ = &ctx.proxy().context();
+  for (const std::string& arg : args) {
+    if (arg == "fixed") {
+      stall_gated_ = false;  // Ablation: plain fixed-period local timer.
+      continue;
+    }
+    uint32_t rto_ms = 0;
+    if (!util::ParseU32(arg, &rto_ms) || rto_ms == 0) {
+      if (error != nullptr) {
+        *error = "snoop: arguments are the local RTO in ms and/or \"fixed\"";
+      }
+      return false;
+    }
+    local_rto_ = static_cast<sim::Duration>(rto_ms) * sim::kMillisecond;
+  }
+  ctx.proxy().Attach(shared_from_this(), key.Reversed());
+  ArmTimer(ctx);
+  return true;
+}
+
+proxy::FilterVerdict SnoopFilter::Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                      net::Packet& packet) {
+  if (!packet.has_tcp()) {
+    return proxy::FilterVerdict::kPass;
+  }
+  if (key == data_key_) {
+    HandleData(ctx, packet);
+    return proxy::FilterVerdict::kPass;
+  }
+  return HandleAck(ctx, packet);
+}
+
+void SnoopFilter::HandleData(proxy::FilterContext& ctx, net::Packet& packet) {
+  if (packet.payload().empty()) {
+    return;
+  }
+  const uint32_t seq = packet.tcp().seq;
+  if (ack_seen_ && SeqLeq(seq + static_cast<uint32_t>(packet.payload().size()), last_ack_)) {
+    return;  // Already acknowledged; no point caching.
+  }
+  auto it = cache_.find(seq);
+  if (it == cache_.end()) {
+    if (cache_.size() >= cache_limit_) {
+      return;  // Cache full: pass through uncached.
+    }
+    CachedSegment seg;
+    seg.packet = packet.Clone();
+    seg.cached_at = ctx.simulator().Now();
+    cache_.emplace(seq, std::move(seg));
+    ++stats_.segments_cached;
+  } else {
+    // Sender retransmission: refresh the cache entry.
+    it->second.packet = packet.Clone();
+    it->second.cached_at = ctx.simulator().Now();
+  }
+}
+
+proxy::FilterVerdict SnoopFilter::HandleAck(proxy::FilterContext& ctx, net::Packet& packet) {
+  if (!(packet.tcp().flags & net::kTcpAck)) {
+    return proxy::FilterVerdict::kPass;
+  }
+  const uint32_t ack = packet.tcp().ack;
+  if (!ack_seen_ || SeqGt(ack, last_ack_)) {
+    // New ack: flush acknowledged segments and pass it to the sender.
+    ack_seen_ = true;
+    last_ack_ = ack;
+    dupack_count_ = 0;
+    last_progress_ = ctx.simulator().Now();
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      const uint32_t end =
+          it->first + static_cast<uint32_t>(it->second.packet->payload().size());
+      if (SeqLeq(end, ack)) {
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return proxy::FilterVerdict::kPass;
+  }
+  if (ack == last_ack_ && packet.payload().empty() &&
+      !(packet.tcp().flags & (net::kTcpSyn | net::kTcpFin))) {
+    // Duplicate ack: the mobile is missing the segment at `ack`. If we have
+    // it, retransmit locally and suppress the dupack so the wired sender
+    // never enters fast retransmit (§8.2.1).
+    auto it = cache_.find(ack);
+    if (it != cache_.end()) {
+      ++dupack_count_;
+      if (dupack_count_ == 1) {
+        ++stats_.local_retransmits;
+        RetransmitFromCache(ack);
+      }
+      ++stats_.dupacks_suppressed;
+      return proxy::FilterVerdict::kDrop;
+    }
+  }
+  return proxy::FilterVerdict::kPass;
+}
+
+void SnoopFilter::RetransmitFromCache(uint32_t seq) {
+  auto it = cache_.find(seq);
+  if (it == cache_.end() || ctx_ == nullptr) {
+    return;
+  }
+  ++stats_.cache_hits;
+  ++it->second.local_retransmits;
+  it->second.cached_at = ctx_->simulator().Now();
+  ctx_->InjectPacket(it->second.packet->Clone());
+}
+
+void SnoopFilter::ArmTimer(proxy::FilterContext& ctx) {
+  proxy::FilterPtr self = shared_from_this();
+  timer_ = ctx.simulator().ScheduleTimer(local_rto_, [self, this] { OnTimer(); });
+}
+
+void SnoopFilter::OnTimer() {
+  timer_ = sim::kInvalidTimerId;
+  if (ctx_ == nullptr) {
+    return;  // Detached.
+  }
+  // Retransmit the oldest unacknowledged cached segment only if acks have
+  // genuinely stalled (the loss also killed the dupacks). While acks are
+  // progressing, queueing delay alone must never trigger duplicates.
+  const sim::TimePoint now = ctx_->simulator().Now();
+  if (!cache_.empty() && (!stall_gated_ || now - last_progress_ >= local_rto_)) {
+    auto it = cache_.begin();
+    if (now - it->second.cached_at >= local_rto_ && it->second.local_retransmits < 8) {
+      ++stats_.timer_retransmits;
+      RetransmitFromCache(it->first);
+      last_progress_ = now;  // Back off: wait another RTO before retrying.
+    }
+  }
+  ArmTimer(*ctx_);
+}
+
+void SnoopFilter::OnDetach(proxy::FilterContext& ctx, const proxy::StreamKey& key) {
+  if (key == data_key_) {
+    if (timer_ != sim::kInvalidTimerId) {
+      ctx.simulator().Cancel(timer_);
+      timer_ = sim::kInvalidTimerId;
+    }
+    ctx_ = nullptr;
+    cache_.clear();
+  }
+}
+
+std::string SnoopFilter::Status() const {
+  return util::Format("cached=%llu local_rtx=%llu timer_rtx=%llu dupacks_suppressed=%llu",
+                      static_cast<unsigned long long>(stats_.segments_cached),
+                      static_cast<unsigned long long>(stats_.local_retransmits),
+                      static_cast<unsigned long long>(stats_.timer_retransmits),
+                      static_cast<unsigned long long>(stats_.dupacks_suppressed));
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,80 @@
+// The `snoop` filter (thesis §8.2.1, after Balakrishnan et al.).
+//
+// A TCP-aware local-recovery service at the wired/wireless boundary:
+//  - data segments heading to the mobile are cached until acknowledged;
+//  - duplicate acks from the mobile trigger an immediate *local*
+//    retransmission from the cache and are suppressed, so the wired sender
+//    never sees them and never mistakes wireless corruption for congestion;
+//  - a local timer retransmits cached segments the mobile never
+//    acknowledged (losses that also killed the dupacks).
+//
+// Attach the filter to the data-bearing key (wired sender -> mobile); the
+// insertion method also attaches to the reverse (ack) key.
+#ifndef COMMA_FILTERS_SNOOP_FILTER_H_
+#define COMMA_FILTERS_SNOOP_FILTER_H_
+
+#include <map>
+
+#include "src/proxy/filter.h"
+#include "src/tcp/seq.h"
+
+namespace comma::filters {
+
+struct SnoopStats {
+  uint64_t segments_cached = 0;
+  uint64_t local_retransmits = 0;
+  uint64_t timer_retransmits = 0;
+  uint64_t dupacks_suppressed = 0;
+  uint64_t cache_hits = 0;
+};
+
+class SnoopFilter : public proxy::Filter {
+ public:
+  SnoopFilter() : Filter("snoop", proxy::FilterPriority::kNormal) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  void OnDetach(proxy::FilterContext& ctx, const proxy::StreamKey& key) override;
+  std::string Status() const override;
+
+  const SnoopStats& stats() const { return stats_; }
+
+ private:
+  struct CachedSegment {
+    net::PacketPtr packet;
+    sim::TimePoint cached_at = 0;
+    int local_retransmits = 0;
+  };
+
+  void HandleData(proxy::FilterContext& ctx, net::Packet& packet);
+  proxy::FilterVerdict HandleAck(proxy::FilterContext& ctx, net::Packet& packet);
+  void RetransmitFromCache(uint32_t seq);
+  void ArmTimer(proxy::FilterContext& ctx);
+  void OnTimer();
+
+  proxy::StreamKey data_key_;
+  proxy::FilterContext* ctx_ = nullptr;
+  std::map<uint32_t, CachedSegment> cache_;  // By segment seq (bounded).
+  bool ack_seen_ = false;
+  uint32_t last_ack_ = 0;
+  uint32_t dupack_count_ = 0;
+  // When cumulative acks last advanced. The local timer only fires when
+  // progress has genuinely stalled — otherwise deep-queue delay (which can
+  // exceed any fixed RTO) would trigger spurious duplicate retransmissions,
+  // whose re-acks would reach the sender as dupacks.
+  sim::TimePoint last_progress_ = 0;
+  sim::TimerId timer_ = sim::kInvalidTimerId;
+  sim::Duration local_rto_ = 200 * sim::kMillisecond;
+  // Stall-gated timer (default): only retransmit when acks stop advancing.
+  // `fixed` argument reverts to a plain fixed-period timer (the ablation in
+  // bench_ablation shows why stall gating matters under deep queues).
+  bool stall_gated_ = true;
+  size_t cache_limit_ = 256;
+  SnoopStats stats_;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_SNOOP_FILTER_H_

@@ -1,0 +1,95 @@
+#include "src/filters/standard_set.h"
+
+#include "src/filters/launcher_filter.h"
+#include "src/filters/media_filters.h"
+#include "src/filters/qcache_filter.h"
+#include "src/filters/rdrop_filter.h"
+#include "src/filters/snoop_filter.h"
+#include "src/filters/tcp_filter.h"
+#include "src/filters/transform_filters.h"
+#include "src/filters/ttsf_filter.h"
+#include "src/filters/wsize_filter.h"
+
+namespace comma::filters {
+
+void RegisterStandardFilters(proxy::FilterRegistry* registry) {
+  registry->Register("tcp", "TCP housekeeping: checksum recomputation, stream teardown",
+                     [] { return std::make_unique<TcpFilter>(); });
+  registry->Register("launcher", "applies a service list to new streams matching a wild-card key",
+                     [] { return std::make_unique<LauncherFilter>(); });
+  registry->Register("rdrop", "randomly drops packets (non-transparent)",
+                     [] { return std::make_unique<RdropFilter>(); });
+  registry->Register("wsize", "BSSP window modification: clamp (priority) / zwsm (disconnection)",
+                     [] { return std::make_unique<WsizeFilter>(); });
+  registry->Register("snoop", "TCP-aware local retransmission and dupack suppression",
+                     [] { return std::make_unique<SnoopFilter>(); });
+  registry->Register("ttsf", "TCP transparency support: seq/ack remapping for transformed streams",
+                     [] { return std::make_unique<TtsfFilter>(); });
+  registry->Register("tdrop", "transparent packet dropping (requires ttsf)",
+                     [] { return std::make_unique<TdropFilter>(); });
+  registry->Register("tcompress", "transparent payload compression (requires ttsf)",
+                     [] { return std::make_unique<TcompressFilter>(); });
+  registry->Register("tdecompress", "transparent payload decompression (requires ttsf)",
+                     [] { return std::make_unique<TdecompressFilter>(); });
+  registry->Register("hdiscard", "hierarchical discard for layered media streams",
+                     [] { return std::make_unique<HdiscardFilter>(); });
+  registry->Register("dtrans", "data-type translation (colour->mono, rich text->ASCII)",
+                     [] { return std::make_unique<DtransFilter>(); });
+  registry->Register("delay", "delays matching packets by a fixed amount",
+                     [] { return std::make_unique<DelayFilter>(); });
+  registry->Register("meter", "passive per-stream packet/byte accounting",
+                     [] { return std::make_unique<MeterFilter>(); });
+  registry->Register("qcache", "application partitioning: proxy-side query cache",
+                     [] { return std::make_unique<QcacheFilter>(); });
+}
+
+proxy::ServiceCatalog StandardCatalog() {
+  using Entry = proxy::ServiceCatalog::Entry;
+  proxy::ServiceCatalog catalog;
+  catalog.Register("reliable-wireless",
+                   Entry{"local recovery of wireless losses (snoop, 8.2.1)",
+                         {{"tcp", {}}, {"snoop", {}}}});
+  catalog.Register("realtime-thin",
+                   Entry{"transparently thin the stream by ~30% (tdrop, 8.1.5)",
+                         {{"tcp", {}}, {"ttsf", {}}, {"tdrop", {"30"}}}});
+  catalog.Register("compressed",
+                   Entry{"wired-side transparent compression (8.1.6); pair with `decompress`",
+                         {{"tcp", {}}, {"ttsf", {}}, {"tcompress", {"lz"}}}});
+  catalog.Register("decompress",
+                   Entry{"mobile-side half of `compressed` (10.2.4 double proxy)",
+                         {{"tcp", {}}, {"ttsf", {}}, {"tdecompress", {}}}});
+  catalog.Register("background",
+                   Entry{"low-priority stream: clamp advertised window (8.2.2)",
+                         {{"tcp", {}}, {"wsize", {"clamp", "2000"}}}});
+  catalog.Register("disconnect-tolerant",
+                   Entry{"ZWSM disconnection management on wireless ifindex 2 (8.2.2)",
+                         {{"tcp", {}}, {"wsize", {"zwsm", "2"}}}});
+  catalog.Register("media-thin",
+                   Entry{"layered media: base layer only (8.3.2)", {{"hdiscard", {"0"}}}});
+  catalog.Register("media-adaptive",
+                   Entry{"layered media: EEM-adaptive layer cut (8.3.2)",
+                         {{"hdiscard", {"auto", "2"}}}});
+  catalog.Register("monitored",
+                   Entry{"passive per-stream accounting", {{"meter", {}}}});
+  catalog.Register("partitioned-query",
+                   Entry{"answer repeated queries at the proxy (app partitioning, ch. 1)",
+                         {{"qcache", {}}}});
+  return catalog;
+}
+
+proxy::FilterRegistry StandardRegistry(const std::vector<std::string>& names) {
+  proxy::FilterRegistry registry;
+  RegisterStandardFilters(&registry);
+  if (names.empty()) {
+    for (const std::string& name : registry.known()) {
+      registry.Load(name);
+    }
+  } else {
+    for (const std::string& name : names) {
+      registry.Load(name);
+    }
+  }
+  return registry;
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,35 @@
+// Registers the standard Comma filter set into a FilterRegistry, and the
+// standard service recipes into a ServiceCatalog (§10.2.1).
+#ifndef COMMA_FILTERS_STANDARD_SET_H_
+#define COMMA_FILTERS_STANDARD_SET_H_
+
+#include "src/proxy/filter_registry.h"
+#include "src/proxy/service_catalog.h"
+
+namespace comma::filters {
+
+// Registers factories for: tcp, launcher, rdrop, wsize, snoop, ttsf, tdrop,
+// tcompress, tdecompress, hdiscard, dtrans, delay, meter. Nothing is loaded;
+// call registry->Load(...) (or the SP `load` command) per filter.
+void RegisterStandardFilters(proxy::FilterRegistry* registry);
+
+// Convenience: a registry with the standard set registered and `names`
+// preloaded (empty list = load everything).
+proxy::FilterRegistry StandardRegistry(const std::vector<std::string>& names = {});
+
+// The standard service recipes (the thesis's "layered service abstraction"):
+//   reliable-wireless   snoop local recovery for lossy links
+//   realtime-thin       transparent 30% thinning for stale-tolerant streams
+//   compressed          wired-side transparent compression (pair with
+//                       `decompress` at a mobile-side proxy)
+//   decompress          mobile-side half of `compressed`
+//   background          window-clamped low-priority transfer
+//   disconnect-tolerant ZWSM disconnection management (EEM-driven)
+//   media-thin          base-layer-only media
+//   media-adaptive      EEM-adaptive hierarchical discard
+//   monitored           passive per-stream metering
+proxy::ServiceCatalog StandardCatalog();
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_STANDARD_SET_H_

@@ -1,0 +1,92 @@
+#include "src/filters/tcp_filter.h"
+
+#include "src/proxy/service_proxy.h"
+
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+bool TcpFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                         const std::vector<std::string>& /*args*/, std::string* error) {
+  if (key.IsWildcard()) {
+    if (error != nullptr) {
+      *error = "tcp filter requires a concrete stream key";
+    }
+    return false;
+  }
+  forward_key_ = key;
+  ctx.proxy().Attach(shared_from_this(), key.Reversed());
+  return true;
+}
+
+void TcpFilter::In(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                   const net::Packet& packet) {
+  if (!packet.has_tcp()) {
+    return;
+  }
+  const auto& h = packet.tcp();
+  const bool forward = key == forward_key_;
+
+  if (h.flags & net::kTcpRst) {
+    rst_seen_ = true;
+    ScheduleTeardown(ctx);
+    return;
+  }
+  if (h.flags & net::kTcpFin) {
+    const uint32_t fin_seq = h.seq + static_cast<uint32_t>(packet.payload().size());
+    if (forward) {
+      fin_seen_forward_ = true;
+      fin_seq_forward_ = fin_seq;
+    } else {
+      fin_seen_reverse_ = true;
+      fin_seq_reverse_ = fin_seq;
+    }
+  }
+  if (h.flags & net::kTcpAck) {
+    // An ack on this key acknowledges the *other* direction's FIN.
+    if (forward && fin_seen_reverse_ && tcp::SeqGt(h.ack, fin_seq_reverse_)) {
+      fin_acked_reverse_ = true;
+    }
+    if (!forward && fin_seen_forward_ && tcp::SeqGt(h.ack, fin_seq_forward_)) {
+      fin_acked_forward_ = true;
+    }
+  }
+  if (fin_acked_forward_ && fin_acked_reverse_) {
+    ScheduleTeardown(ctx);
+  }
+}
+
+proxy::FilterVerdict TcpFilter::Out(proxy::FilterContext&, const proxy::StreamKey&,
+                                    net::Packet& packet) {
+  // The checksum contract (§5.3.2): run after every other filter has had its
+  // chance to modify the packet, and make the wire image consistent again.
+  if (!packet.VerifyChecksums()) {
+    packet.UpdateChecksums();
+    ++checksums_recomputed_;
+  }
+  return proxy::FilterVerdict::kPass;
+}
+
+void TcpFilter::ScheduleTeardown(proxy::FilterContext& ctx) {
+  if (teardown_scheduled_) {
+    return;
+  }
+  teardown_scheduled_ = true;
+  // Give retransmitted FINs/ACKs a grace period before the stream state
+  // disappears, then delete every filter on both directions.
+  proxy::FilterPtr self = shared_from_this();
+  proxy::ServiceProxy* proxy = &ctx.proxy();
+  const proxy::StreamKey key = forward_key_;
+  ctx.simulator().Schedule(2 * sim::kSecond, [self, proxy, key] {
+    proxy->RemoveStream(key);
+    proxy->RemoveStream(key.Reversed());
+  });
+}
+
+std::string TcpFilter::Status() const {
+  return util::Format("checksums=%llu fins=%d/%d rst=%d",
+                      static_cast<unsigned long long>(checksums_recomputed_),
+                      fin_seen_forward_ ? 1 : 0, fin_seen_reverse_ ? 1 : 0, rst_seen_ ? 1 : 0);
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,47 @@
+// The `tcp` filter (thesis §5.3.2): the housekeeping filter attached to
+// every serviced TCP stream. It
+//  - recomputes IP and TCP checksums after all lower-priority filters have
+//    made their modifications (it runs last in the out queue, priority HIGH);
+//  - watches connection teardown (FINs acknowledged in both directions, or
+//    a RST) and deletes all filters associated with the stream when it
+//    closes.
+#ifndef COMMA_FILTERS_TCP_FILTER_H_
+#define COMMA_FILTERS_TCP_FILTER_H_
+
+#include "src/proxy/filter.h"
+#include "src/tcp/seq.h"
+
+namespace comma::filters {
+
+class TcpFilter : public proxy::Filter {
+ public:
+  TcpFilter() : Filter("tcp", proxy::FilterPriority::kHigh) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  void In(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+          const net::Packet& packet) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  std::string Status() const override;
+
+  uint64_t checksums_recomputed() const { return checksums_recomputed_; }
+
+ private:
+  void ScheduleTeardown(proxy::FilterContext& ctx);
+
+  proxy::StreamKey forward_key_;  // The key the service was added on.
+  bool fin_seen_forward_ = false;
+  bool fin_seen_reverse_ = false;
+  uint32_t fin_seq_forward_ = 0;
+  uint32_t fin_seq_reverse_ = 0;
+  bool fin_acked_forward_ = false;
+  bool fin_acked_reverse_ = false;
+  bool rst_seen_ = false;
+  bool teardown_scheduled_ = false;
+  uint64_t checksums_recomputed_ = 0;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_TCP_FILTER_H_

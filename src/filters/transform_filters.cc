@@ -1,0 +1,174 @@
+#include "src/filters/transform_filters.h"
+
+#include "src/proxy/service_proxy.h"
+
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+bool TransformFilterBase::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                   const std::vector<std::string>& args, std::string* error) {
+  if (key.IsWildcard()) {
+    if (error != nullptr) {
+      *error = name() + " requires a concrete stream key";
+    }
+    return false;
+  }
+  if (ctx.FindFilterOnKey(key, "ttsf") == nullptr) {
+    if (error != nullptr) {
+      *error = name() + " requires a ttsf filter on the stream (add ttsf first)";
+    }
+    return false;
+  }
+  data_key_ = key;
+  return Configure(args, error);
+}
+
+proxy::FilterVerdict TransformFilterBase::Out(proxy::FilterContext& ctx,
+                                              const proxy::StreamKey& key, net::Packet& packet) {
+  if (!packet.has_tcp() || !(key == data_key_) || packet.payload().empty()) {
+    return proxy::FilterVerdict::kPass;
+  }
+  // Leave connection management segments alone.
+  if (packet.tcp().flags & (net::kTcpSyn | net::kTcpRst)) {
+    return proxy::FilterVerdict::kPass;
+  }
+  auto* ttsf = dynamic_cast<TtsfFilter*>(ctx.FindFilterOnKey(key, "ttsf"));
+  if (ttsf == nullptr) {
+    return proxy::FilterVerdict::kPass;  // TTSF was removed; fail open.
+  }
+  auto replacement = Transform(packet);
+  if (replacement.has_value()) {
+    ttsf->SubmitTransform(packet, std::move(*replacement));
+  }
+  return proxy::FilterVerdict::kPass;
+}
+
+// --- tdrop ---
+
+bool TdropFilter::Configure(const std::vector<std::string>& args, std::string* error) {
+  if (!args.empty()) {
+    uint32_t percent = 0;
+    if (!util::ParseU32(args[0], &percent) || percent > 100) {
+      if (error != nullptr) {
+        *error = "tdrop: drop rate must be an integer percentage 0-100";
+      }
+      return false;
+    }
+    drop_probability_ = percent / 100.0;
+  }
+  if (args.size() > 1) {
+    uint64_t seed = 0;
+    if (util::ParseU64(args[1], &seed)) {
+      rng_ = sim::Random(seed);
+    }
+  }
+  return true;
+}
+
+std::optional<util::Bytes> TdropFilter::Transform(const net::Packet&) {
+  if (rng_.Bernoulli(drop_probability_)) {
+    ++dropped_;
+    return util::Bytes{};  // Remove the data from the stream.
+  }
+  ++passed_;
+  return std::nullopt;
+}
+
+std::string TdropFilter::Status() const {
+  return util::Format("rate=%.0f%% dropped=%llu passed=%llu", drop_probability_ * 100,
+                      static_cast<unsigned long long>(dropped_),
+                      static_cast<unsigned long long>(passed_));
+}
+
+// --- tcompress ---
+
+util::Bytes FrameCompressedBlob(const util::Bytes& blob) {
+  util::Bytes framed;
+  framed.reserve(blob.size() + 2);
+  util::ByteWriter w(&framed);
+  w.WriteU16(static_cast<uint16_t>(blob.size()));
+  w.WriteBytes(blob);
+  return framed;
+}
+
+std::optional<util::Bytes> DecodeCompressedFrames(const util::Bytes& payload,
+                                                  uint64_t* blobs_decoded) {
+  util::ByteReader r(payload);
+  util::Bytes out;
+  while (r.remaining() > 0) {
+    const uint16_t len = r.ReadU16();
+    util::Bytes blob = r.ReadBytes(len);
+    if (r.failed()) {
+      return std::nullopt;
+    }
+    auto plain = util::Decompress(blob);
+    if (!plain.has_value()) {
+      return std::nullopt;
+    }
+    if (blobs_decoded != nullptr) {
+      ++*blobs_decoded;
+    }
+    out.insert(out.end(), plain->begin(), plain->end());
+  }
+  return out;
+}
+
+bool TcompressFilter::Configure(const std::vector<std::string>& args, std::string* error) {
+  if (!args.empty()) {
+    if (args[0] == "rle") {
+      codec_ = util::Codec::kRle;
+    } else if (args[0] == "lz") {
+      codec_ = util::Codec::kLz;
+    } else {
+      if (error != nullptr) {
+        *error = "tcompress: codec must be rle or lz";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<util::Bytes> TcompressFilter::Transform(const net::Packet& packet) {
+  const util::Bytes& payload = packet.payload();
+  util::Bytes framed = FrameCompressedBlob(util::Compress(payload, codec_));
+  bytes_in_ += payload.size();
+  if (framed.size() >= payload.size()) {
+    bytes_out_ += payload.size();
+    return std::nullopt;  // Incompressible: leave the identity mapping.
+  }
+  bytes_out_ += framed.size();
+  return framed;
+}
+
+std::string TcompressFilter::Status() const {
+  const double ratio = bytes_in_ > 0 ? static_cast<double>(bytes_out_) / bytes_in_ : 1.0;
+  return util::Format("codec=%s bytes %llu->%llu (%.2fx)",
+                      codec_ == util::Codec::kLz ? "lz" : "rle",
+                      static_cast<unsigned long long>(bytes_in_),
+                      static_cast<unsigned long long>(bytes_out_), ratio);
+}
+
+// --- tdecompress ---
+
+bool TdecompressFilter::Configure(const std::vector<std::string>&, std::string*) { return true; }
+
+std::optional<util::Bytes> TdecompressFilter::Transform(const net::Packet& packet) {
+  auto plain = DecodeCompressedFrames(packet.payload(), &blobs_decoded_);
+  if (!plain.has_value()) {
+    // Not a compressed payload (e.g. the compressor skipped it as
+    // incompressible): leave it untouched.
+    ++decode_failures_;
+    return std::nullopt;
+  }
+  return plain;
+}
+
+std::string TdecompressFilter::Status() const {
+  return util::Format("blobs=%llu failures=%llu",
+                      static_cast<unsigned long long>(blobs_decoded_),
+                      static_cast<unsigned long long>(decode_failures_));
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,115 @@
+// Transparency-supported stream services built on the TTSF (thesis §8.1.5,
+// §8.1.6, §8.3).
+//
+// These filters never touch sequence numbers themselves: they *submit* a
+// payload replacement to the ttsf filter on the same stream, which applies
+// it consistently (including across retransmissions) and keeps both ends'
+// TCP state machines coherent.
+//
+//  tdrop <percent> [seed]   Transparent packet dropping (§8.1.5, Fig. 8.3):
+//                           randomly selected data segments are removed from
+//                           the stream entirely; the sender sees normal
+//                           acknowledgement progress; the receiver sees a
+//                           shorter but contiguous stream. Suits real-time
+//                           data where stale segments are better discarded
+//                           than delivered late.
+//
+//  tcompress [rle|lz]       Transparent compression (§8.1.6, Fig. 8.4): each
+//                           data segment's payload is replaced by a length-
+//                           prefixed compressed image, cutting wireless
+//                           bytes.
+//
+//  tdecompress              The inverse, for a second proxy near (or on) the
+//                           mobile — together they realize the double-proxy
+//                           arrangement of §10.2.4, and the ends exchange
+//                           the original byte stream.
+#ifndef COMMA_FILTERS_TRANSFORM_FILTERS_H_
+#define COMMA_FILTERS_TRANSFORM_FILTERS_H_
+
+#include "src/filters/ttsf_filter.h"
+#include "src/proxy/filter.h"
+#include "src/sim/random.h"
+#include "src/util/compress.h"
+
+namespace comma::filters {
+
+// Base for filters that rewrite TCP payloads through a TTSF.
+class TransformFilterBase : public proxy::Filter {
+ public:
+  TransformFilterBase(std::string name) : Filter(std::move(name), proxy::FilterPriority::kLow) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+
+ protected:
+  // Parses filter-specific arguments.
+  virtual bool Configure(const std::vector<std::string>& args, std::string* error) = 0;
+  // Returns the replacement payload, or nullopt to leave the packet alone.
+  virtual std::optional<util::Bytes> Transform(const net::Packet& packet) = 0;
+
+  proxy::StreamKey data_key_;
+};
+
+class TdropFilter : public TransformFilterBase {
+ public:
+  TdropFilter() : TransformFilterBase("tdrop"), rng_(0x7d20b) {}
+  uint64_t dropped() const { return dropped_; }
+  uint64_t passed() const { return passed_; }
+  std::string Status() const override;
+
+ protected:
+  bool Configure(const std::vector<std::string>& args, std::string* error) override;
+  std::optional<util::Bytes> Transform(const net::Packet& packet) override;
+
+ private:
+  double drop_probability_ = 0.5;
+  sim::Random rng_;
+  uint64_t dropped_ = 0;
+  uint64_t passed_ = 0;
+};
+
+class TcompressFilter : public TransformFilterBase {
+ public:
+  TcompressFilter() : TransformFilterBase("tcompress") {}
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t bytes_out() const { return bytes_out_; }
+  std::string Status() const override;
+
+ protected:
+  bool Configure(const std::vector<std::string>& args, std::string* error) override;
+  std::optional<util::Bytes> Transform(const net::Packet& packet) override;
+
+ private:
+  util::Codec codec_ = util::Codec::kLz;
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+};
+
+class TdecompressFilter : public TransformFilterBase {
+ public:
+  TdecompressFilter() : TransformFilterBase("tdecompress") {}
+  uint64_t blobs_decoded() const { return blobs_decoded_; }
+  uint64_t decode_failures() const { return decode_failures_; }
+  std::string Status() const override;
+
+ protected:
+  bool Configure(const std::vector<std::string>& args, std::string* error) override;
+  std::optional<util::Bytes> Transform(const net::Packet& packet) override;
+
+ private:
+  uint64_t blobs_decoded_ = 0;
+  uint64_t decode_failures_ = 0;
+};
+
+// Frames `blob` with the u16 length prefix tcompress emits on the wire.
+util::Bytes FrameCompressedBlob(const util::Bytes& blob);
+// Parses a sequence of length-prefixed blobs, decompressing each. Returns
+// nullopt if any blob is malformed.
+std::optional<util::Bytes> DecodeCompressedFrames(const util::Bytes& payload,
+                                                  uint64_t* blobs_decoded);
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_TRANSFORM_FILTERS_H_

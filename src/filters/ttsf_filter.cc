@@ -1,0 +1,407 @@
+#include "src/filters/ttsf_filter.h"
+
+#include "src/proxy/service_proxy.h"
+
+#include <algorithm>
+
+#include "src/tcp/seq.h"
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+using tcp::SeqDiff;
+using tcp::SeqGeq;
+using tcp::SeqGt;
+using tcp::SeqLeq;
+using tcp::SeqLt;
+using tcp::SeqMax;
+
+void TtsfFilter::SubmitTransform(const net::Packet& packet, util::Bytes new_payload) {
+  pending_[packet.uid()] = std::move(new_payload);
+}
+
+bool TtsfFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                          const std::vector<std::string>& /*args*/, std::string* error) {
+  if (key.IsWildcard()) {
+    if (error != nullptr) {
+      *error = "ttsf requires a concrete stream key";
+    }
+    return false;
+  }
+  // Sequence mapping needs both travel directions.
+  ctx.proxy().Attach(shared_from_this(), key.Reversed());
+  return true;
+}
+
+void TtsfFilter::In(proxy::FilterContext&, const proxy::StreamKey&, const net::Packet&) {}
+
+proxy::FilterVerdict TtsfFilter::Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                     net::Packet& packet) {
+  if (!packet.has_tcp()) {
+    return proxy::FilterVerdict::kPass;
+  }
+  DirState& st = dirs_[key];
+  DirState& rev = dirs_[key.Reversed()];
+
+  // 1. ACK remapping: this packet acknowledges data of the reverse travel
+  //    direction; its ack number is in that direction's output space.
+  if (packet.tcp().flags & net::kTcpAck) {
+    if (rev.initialized) {
+      const uint32_t ack_out = packet.tcp().ack;
+      if (!rev.ack_seen) {
+        rev.ack_seen = true;
+        rev.max_acked_out = ack_out;
+      } else {
+        rev.max_acked_out = SeqMax(rev.max_acked_out, ack_out);
+      }
+      const uint32_t ack_orig = MapAckToOrig(rev, ack_out);
+      if (ack_orig != ack_out) {
+        ++stats_.acks_remapped;
+      }
+      packet.tcp().ack = ack_orig;
+      PruneAcked(rev);
+    }
+  }
+
+  // 2. Data processing in this direction (seq rewrite, payload transform).
+  const proxy::FilterVerdict verdict = ProcessData(ctx, key, packet, st);
+
+  // 3. Peer bookkeeping for injected ACKs in the reverse direction: the
+  //    sender of this packet is the receiver of `rev`'s data.
+  if (verdict == proxy::FilterVerdict::kPass) {
+    rev.peer_seq = packet.tcp().seq + net::TcpSegmentLength(packet);
+    rev.peer_window = packet.tcp().window;
+  }
+  return verdict;
+}
+
+proxy::FilterVerdict TtsfFilter::ProcessData(proxy::FilterContext& ctx,
+                                             const proxy::StreamKey& key, net::Packet& packet,
+                                             DirState& st) {
+  auto& h = packet.tcp();
+  const uint32_t seq = h.seq;
+
+  // Take any transform submitted for this packet by an earlier out-pass
+  // filter.
+  bool has_transform = false;
+  util::Bytes transform;
+  if (auto it = pending_.find(packet.uid()); it != pending_.end()) {
+    has_transform = true;
+    transform = std::move(it->second);
+    pending_.erase(it);
+  }
+
+  if (h.flags & net::kTcpRst) {
+    // Pass RSTs with a frontier-offset seq correction.
+    if (st.initialized) {
+      h.seq = seq + static_cast<uint32_t>(SeqDiff(st.out_frontier, st.orig_frontier));
+    }
+    return proxy::FilterVerdict::kPass;
+  }
+
+  if (h.flags & net::kTcpSyn) {
+    st.initialized = true;
+    st.orig_frontier = seq + 1;
+    st.out_frontier = seq + 1;
+    st.records.clear();
+    st.transforms_used = false;
+    return proxy::FilterVerdict::kPass;  // SYNs are never transformed.
+  }
+
+  if (!st.initialized) {
+    // Mid-stream attachment: adopt this packet's seq as the frontier.
+    st.initialized = true;
+    st.orig_frontier = seq;
+    st.out_frontier = seq;
+  }
+
+  const uint32_t len = static_cast<uint32_t>(packet.payload().size());
+  const bool fin = (h.flags & net::kTcpFin) != 0;
+
+  if (len == 0 && !fin) {
+    // Pure ACK / window update: shift seq by the frontier offset.
+    h.seq = seq + static_cast<uint32_t>(SeqDiff(st.out_frontier, st.orig_frontier));
+    return proxy::FilterVerdict::kPass;
+  }
+
+  stats_.bytes_in += len;
+
+  // Fast path: identity direction with no transform in play.
+  if (!st.transforms_used && !has_transform) {
+    const uint32_t end = seq + len + (fin ? 1 : 0);
+    if (SeqGt(end, st.orig_frontier)) {
+      st.orig_frontier = end;
+      st.out_frontier = end;
+    }
+    stats_.bytes_out += len;
+    return proxy::FilterVerdict::kPass;
+  }
+  st.transforms_used = true;
+
+  if (SeqGt(seq, st.orig_frontier)) {
+    // --- Beyond the frontier: out-of-order arrival while transforms are
+    // active. We cannot assign it an output position (it depends on the
+    // transform of the missing data), so hold it until the gap fills.
+    if (st.held.size() < 256) {
+      HeldPacket held;
+      held.packet = packet.Clone();
+      held.has_transform = has_transform;
+      held.transform = std::move(transform);
+      st.held[seq] = std::move(held);
+    }
+    return proxy::FilterVerdict::kDrop;  // Consumed (re-emitted in order).
+  }
+
+  if (seq == st.orig_frontier) {
+    // --- In-order new data at the frontier ---
+    const proxy::FilterVerdict verdict =
+        ApplyInOrder(ctx, key, st, packet, has_transform, std::move(transform));
+    ReleaseHeld(ctx, key, st);
+    return verdict;
+  }
+
+  // --- Retransmission: replay the recorded transforms (§8.1.4) ---
+  ++stats_.retransmissions_replayed;
+  const uint32_t end = seq + len + (fin ? 1 : 0);
+
+  // Collect records overlapping [seq, end).
+  std::vector<const Record*> covered;
+  for (const Record& r : st.records) {
+    const uint32_t r_end = r.orig_seq + r.orig_len;
+    if (SeqLt(r.orig_seq, end) && SeqGt(r_end, seq)) {
+      covered.push_back(&r);
+    }
+  }
+  if (covered.empty()) {
+    // Entirely below the retained window (already acked end-to-end): map by
+    // the pre-window offset and pass; the receiver will discard it.
+    const uint32_t base_orig = st.records.empty() ? st.orig_frontier : st.records.front().orig_seq;
+    const uint32_t base_out = st.records.empty() ? st.out_frontier : st.records.front().out_seq;
+    h.seq = seq + static_cast<uint32_t>(SeqDiff(base_out, base_orig));
+    stats_.bytes_out += len;
+    return proxy::FilterVerdict::kPass;
+  }
+
+  // Rebuild the output image of the covered records in full (widening a
+  // partial retransmission: duplicate delivery is safe, inconsistency isn't).
+  util::Bytes out_payload;
+  bool out_fin = false;
+  for (const Record* r : covered) {
+    if (r->is_fin) {
+      out_fin = true;
+      continue;
+    }
+    if (!r->cached.empty() || !r->identity) {
+      out_payload.insert(out_payload.end(), r->cached.begin(), r->cached.end());
+    } else {
+      // Uncached identity (gap) record: slice what we can from the packet.
+      const uint32_t r_end = r->orig_seq + r->orig_len;
+      const uint32_t lo = SeqMax(r->orig_seq, seq);
+      const uint32_t hi = tcp::SeqMin(r_end, seq + len);
+      if (SeqLt(lo, hi)) {
+        const size_t off = static_cast<uint32_t>(SeqDiff(lo, seq));
+        const size_t n = static_cast<uint32_t>(SeqDiff(hi, lo));
+        out_payload.insert(out_payload.end(), packet.payload().begin() + static_cast<long>(off),
+                           packet.payload().begin() + static_cast<long>(off + n));
+      }
+    }
+  }
+  h.seq = covered.front()->out_seq;
+  if (out_fin) {
+    h.flags |= net::kTcpFin;
+  } else {
+    h.flags &= static_cast<uint8_t>(~net::kTcpFin);
+  }
+  stats_.bytes_out += out_payload.size();
+  packet.set_payload(std::move(out_payload));
+
+  if (packet.payload().empty() && !out_fin) {
+    // Everything in range was dropped from the stream; answer the sender
+    // directly if the receiver has already covered the preceding bytes.
+    MaybeInjectTailAck(ctx, key, st, covered.back()->orig_seq + covered.back()->orig_len);
+    return proxy::FilterVerdict::kDrop;
+  }
+  return proxy::FilterVerdict::kPass;
+}
+
+proxy::FilterVerdict TtsfFilter::ApplyInOrder(proxy::FilterContext& ctx,
+                                              const proxy::StreamKey& key, DirState& st,
+                                              net::Packet& packet, bool has_transform,
+                                              util::Bytes transform) {
+  auto& h = packet.tcp();
+  const uint32_t seq = h.seq;
+  const uint32_t len = static_cast<uint32_t>(packet.payload().size());
+  const bool fin = (h.flags & net::kTcpFin) != 0;
+
+  Record rec;
+  rec.orig_seq = seq;
+  rec.orig_len = len;
+  rec.out_seq = st.out_frontier;
+  if (has_transform) {
+    rec.cached = std::move(transform);
+    rec.out_len = static_cast<uint32_t>(rec.cached.size());
+    rec.identity = false;
+    ++stats_.segments_transformed;
+    if (rec.out_len == 0) {
+      ++stats_.segments_dropped;
+    }
+  } else {
+    rec.cached = packet.payload();
+    rec.out_len = len;
+    rec.identity = true;
+  }
+  stats_.bytes_out += rec.out_len;
+  const uint32_t rec_out_end = rec.out_seq + rec.out_len;
+  const bool drop_packet = rec.out_len == 0 && !fin;
+  const uint32_t rec_orig_end = seq + len;
+  h.seq = rec.out_seq;
+  if (!rec.identity) {
+    packet.set_payload(rec.cached);
+  }
+  if (len > 0) {
+    AppendRecord(st, std::move(rec));
+  }
+  st.orig_frontier = rec_orig_end;
+  st.out_frontier = rec_out_end;
+
+  if (fin) {
+    Record fr;
+    fr.orig_seq = st.orig_frontier;
+    fr.orig_len = 1;
+    fr.out_seq = st.out_frontier;
+    fr.out_len = 1;
+    fr.identity = true;
+    fr.is_fin = true;
+    AppendRecord(st, std::move(fr));
+    st.orig_frontier += 1;
+    st.out_frontier += 1;
+  }
+
+  if (drop_packet) {
+    MaybeInjectTailAck(ctx, key, st, rec_orig_end);
+    return proxy::FilterVerdict::kDrop;
+  }
+  return proxy::FilterVerdict::kPass;
+}
+
+void TtsfFilter::ReleaseHeld(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                             DirState& st) {
+  bool progressed = true;
+  while (progressed && !st.held.empty()) {
+    progressed = false;
+    for (auto it = st.held.begin(); it != st.held.end();) {
+      const uint32_t held_seq = it->second.packet->tcp().seq;
+      if (SeqLt(held_seq, st.orig_frontier)) {
+        // Stale: the gap filled through a wider retransmission.
+        it = st.held.erase(it);
+        continue;
+      }
+      if (held_seq == st.orig_frontier) {
+        HeldPacket held = std::move(it->second);
+        st.held.erase(it);
+        const proxy::FilterVerdict verdict = ApplyInOrder(
+            ctx, key, st, *held.packet, held.has_transform, std::move(held.transform));
+        if (verdict == proxy::FilterVerdict::kPass) {
+          // Defer emission so the packet that just filled the gap leaves
+          // first and the receiver sees everything in order.
+          auto* raw = held.packet.release();
+          proxy::ServiceProxy* proxy = &ctx.proxy();
+          ctx.simulator().Schedule(0, [proxy, raw] { proxy->InjectPacket(net::PacketPtr(raw)); });
+        }
+        progressed = true;
+        break;  // Restart: the map ordering is plain uint32, not seq-space.
+      }
+      ++it;
+    }
+  }
+}
+
+void TtsfFilter::AppendRecord(DirState& st, Record rec) {
+  st.records.push_back(std::move(rec));
+  // Bound memory: keep at most 4096 records; the front ones are long acked.
+  while (st.records.size() > 4096) {
+    st.records.pop_front();
+  }
+}
+
+void TtsfFilter::PruneAcked(DirState& st) {
+  if (!st.ack_seen) {
+    return;
+  }
+  while (!st.records.empty()) {
+    const Record& r = st.records.front();
+    if (SeqLeq(r.out_seq + r.out_len, st.max_acked_out)) {
+      st.records.pop_front();
+    } else {
+      break;
+    }
+  }
+}
+
+uint32_t TtsfFilter::MapAckToOrig(const DirState& st, uint32_t ack_out) const {
+  if (!st.initialized) {
+    return ack_out;
+  }
+  if (st.records.empty()) {
+    return ack_out + static_cast<uint32_t>(SeqDiff(st.orig_frontier, st.out_frontier));
+  }
+  const Record& first = st.records.front();
+  if (SeqLt(ack_out, first.out_seq)) {
+    // Below the retained window: the pruned prefix was contiguous, so the
+    // first record's own offset applies.
+    return ack_out + static_cast<uint32_t>(SeqDiff(first.orig_seq, first.out_seq));
+  }
+  uint32_t orig_pos = first.orig_seq;
+  for (const Record& r : st.records) {
+    const uint32_t r_out_end = r.out_seq + r.out_len;
+    if (SeqGeq(ack_out, r_out_end)) {
+      orig_pos = r.orig_seq + r.orig_len;
+      continue;
+    }
+    if (SeqGt(ack_out, r.out_seq)) {
+      // Partial ack inside a transformed record: round down — never
+      // acknowledge original bytes whose image has not fully arrived.
+      return r.orig_seq;
+    }
+    return orig_pos;
+  }
+  // Beyond every record: records are contiguous up to the frontier.
+  return st.orig_frontier + static_cast<uint32_t>(SeqDiff(ack_out, st.out_frontier));
+}
+
+void TtsfFilter::MaybeInjectTailAck(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                    DirState& st, uint32_t acked_orig) {
+  // Only safe when the receiver has acknowledged everything up to the
+  // dropped range — otherwise we would acknowledge undelivered data and
+  // recreate the split-connection end-to-end violation (§5.1.2).
+  // MapAckToOrig advances through zero-output-length records, so if the
+  // receiver has acknowledged everything preceding the drop, the mapped ack
+  // already covers the dropped bytes.
+  if (!st.ack_seen || SeqLt(MapAckToOrig(st, st.max_acked_out), acked_orig)) {
+    return;
+  }
+  net::TcpHeader h;
+  h.src_port = key.dst_port;
+  h.dst_port = key.src_port;
+  h.seq = st.peer_seq;
+  h.ack = acked_orig;
+  h.flags = net::kTcpAck;
+  h.window = st.peer_window != 0 ? st.peer_window : 8192;
+  ++stats_.acks_injected;
+  ctx.InjectPacket(net::Packet::MakeTcp(key.dst, key.src, h, {}));
+}
+
+std::string TtsfFilter::Status() const {
+  return util::Format(
+      "transformed=%llu dropped=%llu replayed=%llu acks_remapped=%llu acks_injected=%llu "
+      "bytes %llu->%llu",
+      static_cast<unsigned long long>(stats_.segments_transformed),
+      static_cast<unsigned long long>(stats_.segments_dropped),
+      static_cast<unsigned long long>(stats_.retransmissions_replayed),
+      static_cast<unsigned long long>(stats_.acks_remapped),
+      static_cast<unsigned long long>(stats_.acks_injected),
+      static_cast<unsigned long long>(stats_.bytes_in),
+      static_cast<unsigned long long>(stats_.bytes_out));
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,130 @@
+// The TCP-Transparency-Support Filter (TTSF) — thesis §8.1, Fig. 8.2.
+//
+// The TTSF lets other filters drop, shrink, or grow the payload of TCP
+// segments without breaking the connection's end-to-end semantics. It keeps,
+// per direction, a map between the *original* sequence space (what the
+// sender emits) and the *output* sequence space (what the receiver sees):
+//
+//   - Each processed segment becomes a Record{orig_seq, orig_len, out_seq,
+//     out_payload}. Transformer filters (tdrop, tcompress, tdecompress)
+//     submit a replacement payload for the in-flight packet; absent a
+//     submission the record is the identity.
+//   - Data packets are rewritten into output space (seq shifted by the
+//     accumulated length delta, payload replaced).
+//   - Retransmissions are answered by *replaying the cached transform* so
+//     the receiver always sees a consistent byte stream (§8.1.4: the same
+//     data must always be modified the same way). A retransmission that
+//     covers only part of a record is widened to the full record set — TCP
+//     receivers discard duplicate bytes, so over-delivery is safe;
+//     under-delivery or inconsistency is not.
+//   - ACKs travelling the reverse path are mapped from output space back to
+//     original space, conservatively rounding down inside a record so data
+//     the receiver has not seen is never acknowledged to the sender.
+//   - A segment transformed to zero bytes is dropped from the wire. Its
+//     sequence range is acknowledged to the sender either by the mapping of
+//     later ACKs, or — when it sits at the tail of the stream — by an ACK
+//     the TTSF manufactures itself.
+//
+// SYN and FIN consume sequence numbers in both spaces; the TTSF tracks them
+// so connection setup and teardown stay transparent.
+#ifndef COMMA_FILTERS_TTSF_FILTER_H_
+#define COMMA_FILTERS_TTSF_FILTER_H_
+
+#include <deque>
+#include <map>
+
+#include "src/proxy/filter.h"
+
+namespace comma::filters {
+
+struct TtsfStats {
+  uint64_t segments_transformed = 0;
+  uint64_t segments_dropped = 0;       // Transformed to zero bytes.
+  uint64_t retransmissions_replayed = 0;
+  uint64_t acks_remapped = 0;
+  uint64_t acks_injected = 0;
+  uint64_t bytes_in = 0;   // Original payload bytes.
+  uint64_t bytes_out = 0;  // Transformed payload bytes.
+};
+
+class TtsfFilter : public proxy::Filter {
+ public:
+  TtsfFilter() : Filter("ttsf", proxy::FilterPriority::kNormal) {}
+
+  // --- Transformer-facing API (called during the out pass, before TTSF) ---
+  // Replaces the payload of `packet` (identified by uid) when TTSF processes
+  // it. An empty payload drops the segment's bytes from the stream.
+  void SubmitTransform(const net::Packet& packet, util::Bytes new_payload);
+  void SubmitDrop(const net::Packet& packet) { SubmitTransform(packet, {}); }
+
+  const TtsfStats& stats() const { return stats_; }
+
+  // --- Filter interface ---
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  void In(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+          const net::Packet& packet) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  std::string Status() const override;
+
+ private:
+  struct Record {
+    uint32_t orig_seq = 0;
+    uint32_t orig_len = 0;  // Payload bytes only (FIN/SYN handled separately).
+    uint32_t out_seq = 0;
+    uint32_t out_len = 0;
+    util::Bytes cached;    // Replay payload; empty for gap/FIN records.
+    bool identity = false;  // Output bytes == original bytes.
+    bool is_fin = false;   // A one-sequence-unit FIN marker record.
+  };
+
+  struct HeldPacket {
+    net::PacketPtr packet;  // ACK field already remapped.
+    bool has_transform = false;
+    util::Bytes transform;
+  };
+
+  struct DirState {
+    bool initialized = false;
+    uint32_t orig_frontier = 0;  // Next unseen original sequence number.
+    uint32_t out_frontier = 0;   // Its image in output space.
+    std::deque<Record> records;  // Contiguous, ordered by orig_seq.
+    // Packets that arrived beyond the frontier while transforms are active:
+    // held until the gap fills, because their output position depends on the
+    // (unknown) transform of the missing data.
+    std::map<uint32_t, HeldPacket> held;
+    // Highest ack (output space) seen from the receiver of this direction.
+    bool ack_seen = false;
+    uint32_t max_acked_out = 0;
+    // Bookkeeping from the *reverse* travel direction, for injected ACKs.
+    uint32_t peer_seq = 0;      // Receiver's current send position.
+    uint16_t peer_window = 0;   // Receiver's last advertised window.
+    bool transforms_used = false;
+  };
+
+  proxy::FilterVerdict ProcessData(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                   net::Packet& packet, DirState& st);
+  // Appends the record(s) for an in-order packet at the frontier and
+  // rewrites the packet into output space. Returns kDrop when the packet's
+  // image is empty.
+  proxy::FilterVerdict ApplyInOrder(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                    DirState& st, net::Packet& packet, bool has_transform,
+                                    util::Bytes transform);
+  // Releases any held packets that are now in order, re-injecting them.
+  void ReleaseHeld(proxy::FilterContext& ctx, const proxy::StreamKey& key, DirState& st);
+  void RemapAck(net::Packet& packet, DirState& data_dir);
+  uint32_t MapAckToOrig(const DirState& st, uint32_t ack_out) const;
+  void AppendRecord(DirState& st, Record rec);
+  void PruneAcked(DirState& st);
+  void MaybeInjectTailAck(proxy::FilterContext& ctx, const proxy::StreamKey& key, DirState& st,
+                          uint32_t acked_orig);
+
+  std::map<proxy::StreamKey, DirState> dirs_;
+  std::map<uint64_t, util::Bytes> pending_;  // uid -> submitted payload.
+  TtsfStats stats_;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_TTSF_FILTER_H_

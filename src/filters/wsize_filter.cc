@@ -1,0 +1,144 @@
+#include "src/filters/wsize_filter.h"
+
+#include "src/proxy/service_proxy.h"
+
+#include "src/monitor/eem_client.h"
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+bool WsizeFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           const std::vector<std::string>& args, std::string* error) {
+  ack_key_ = key;
+  ctx_ = &ctx.proxy().context();
+  if (args.empty()) {
+    // Bare `add wsize <key>`: a no-op window watcher, matching the thesis
+    // transcript where wsize is applied without arguments.
+    mode_ = Mode::kClamp;
+    clamp_window_ = 65535;
+    return true;
+  }
+  if (args[0] == "clamp") {
+    uint32_t window = 0;
+    if (args.size() < 2 || !util::ParseU32(args[1], &window) || window > 65535) {
+      if (error != nullptr) {
+        *error = "wsize: usage: clamp <bytes 0-65535>";
+      }
+      return false;
+    }
+    mode_ = Mode::kClamp;
+    clamp_window_ = static_cast<uint16_t>(window);
+    return true;
+  }
+  if (args[0] == "zwsm") {
+    mode_ = Mode::kZwsm;
+    if (args.size() >= 2) {
+      util::ParseU32(args[1], &eem_ifindex_);
+    }
+    // Subscribe to link state through the EEM when one is wired up
+    // (thesis: SP filters can be EEM clients). An Op::kAny interrupt
+    // registration notifies on every status change.
+    if (eem_ifindex_ != 0 && ctx.eem() != nullptr) {
+      monitor::VariableId status_id;
+      status_id.name = "ifOperStatus";
+      status_id.index = eem_ifindex_;
+      ctx.eem()->SetCallback([this](const monitor::VariableId& id, const monitor::Value& v) {
+        if (id.name != "ifOperStatus" || !std::holds_alternative<int64_t>(v)) {
+          return;
+        }
+        if (std::get<int64_t>(v) == 2) {
+          NotifyLinkDown();
+        } else {
+          NotifyLinkUp();
+        }
+      });
+      ctx.eem()->Register(status_id, monitor::Attr::Always(monitor::NotifyMode::kInterrupt));
+    }
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "wsize: unknown mode (expected clamp or zwsm)";
+  }
+  return false;
+}
+
+void WsizeFilter::In(proxy::FilterContext&, const proxy::StreamKey& key,
+                     const net::Packet& packet) {
+  if (!packet.has_tcp() || !(key == ack_key_)) {
+    return;
+  }
+  if (packet.tcp().flags & net::kTcpAck) {
+    seen_ack_ = true;
+    last_seq_ = packet.tcp().seq + net::TcpSegmentLength(packet);
+    last_ack_ = packet.tcp().ack;
+    last_window_ = packet.tcp().window != 0 ? packet.tcp().window : last_window_;
+  }
+}
+
+proxy::FilterVerdict WsizeFilter::Out(proxy::FilterContext&, const proxy::StreamKey& key,
+                                      net::Packet& packet) {
+  if (!packet.has_tcp() || !(key == ack_key_) || !(packet.tcp().flags & net::kTcpAck)) {
+    return proxy::FilterVerdict::kPass;
+  }
+  uint16_t target = 0;
+  if (mode_ == Mode::kClamp) {
+    target = clamp_window_;
+  } else {
+    if (!link_down_) {
+      return proxy::FilterVerdict::kPass;
+    }
+    target = 0;  // While disconnected every passing ACK becomes a ZWSM.
+  }
+  if (packet.tcp().window > target) {
+    packet.tcp().window = target;
+    ++windows_clamped_;
+  }
+  return proxy::FilterVerdict::kPass;
+}
+
+void WsizeFilter::SendWindowMessage(uint16_t window) {
+  if (ctx_ == nullptr || !seen_ack_) {
+    return;
+  }
+  net::TcpHeader h;
+  h.src_port = ack_key_.src_port;
+  h.dst_port = ack_key_.dst_port;
+  h.seq = last_seq_;
+  h.ack = last_ack_;
+  h.flags = net::kTcpAck;
+  h.window = window;
+  ++zwsms_sent_;
+  ctx_->InjectPacket(net::Packet::MakeTcp(ack_key_.src, ack_key_.dst, h, {}));
+}
+
+void WsizeFilter::NotifyLinkDown() {
+  if (mode_ != Mode::kZwsm || link_down_) {
+    return;
+  }
+  link_down_ = true;
+  // The ZWSM: an ACK with a zero receive window, crafted on behalf of the
+  // mobile (§8.2.2). The sender stalls in persist mode and the stream stays
+  // alive indefinitely.
+  SendWindowMessage(0);
+}
+
+void WsizeFilter::NotifyLinkUp() {
+  if (mode_ != Mode::kZwsm || !link_down_) {
+    return;
+  }
+  link_down_ = false;
+  // Re-open the window: the sender resumes immediately instead of waiting
+  // out its backed-off retransmission timer.
+  SendWindowMessage(last_window_);
+}
+
+void WsizeFilter::OnDetach(proxy::FilterContext&, const proxy::StreamKey&) { ctx_ = nullptr; }
+
+std::string WsizeFilter::Status() const {
+  return util::Format("mode=%s clamped=%llu zwsms=%llu link=%s",
+                      mode_ == Mode::kClamp ? "clamp" : "zwsm",
+                      static_cast<unsigned long long>(windows_clamped_),
+                      static_cast<unsigned long long>(zwsms_sent_), link_down_ ? "down" : "up");
+}
+
+}  // namespace comma::filters

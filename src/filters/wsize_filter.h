@@ -1,0 +1,74 @@
+// The `wsize` filter: BSSP-style TCP window-size modification
+// (thesis §8.2.2, after Lioy's Base Station Service Protocol).
+//
+// Two services, selected by the first argument:
+//
+//  clamp <bytes>   Stream prioritization: the advertised window in ACKs
+//                  travelling on the attached key is clamped to <bytes>,
+//                  throttling the peer that sends data on the reverse key.
+//                  Low-priority streams get small clamps, freeing wireless
+//                  bandwidth and lowering delay for priority streams.
+//
+//  zwsm [ifindex]  Disconnection management: when the wireless link goes
+//                  down, the filter sends the wired sender a zero-window-
+//                  size message (ZWSM) so the connection stalls in persist
+//                  mode instead of piling up congestion backoff; when the
+//                  link returns, a window-update ACK restarts the stream
+//                  immediately. Link state arrives from the EEM
+//                  (ifOperStatus, interrupt mode) or via NotifyLinkDown/Up.
+//
+// Attach the filter to the key whose packets carry the window field to
+// modify — i.e. the ACK path from the mobile toward the wired sender.
+#ifndef COMMA_FILTERS_WSIZE_FILTER_H_
+#define COMMA_FILTERS_WSIZE_FILTER_H_
+
+#include "src/proxy/filter.h"
+#include "src/tcp/seq.h"
+
+namespace comma::filters {
+
+class WsizeFilter : public proxy::Filter {
+ public:
+  WsizeFilter() : Filter("wsize", proxy::FilterPriority::kLowest) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  void In(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+          const net::Packet& packet) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  void OnDetach(proxy::FilterContext& ctx, const proxy::StreamKey& key) override;
+  std::string Status() const override;
+
+  // Manual disconnection signalling (tests and deployments without an EEM).
+  void NotifyLinkDown();
+  void NotifyLinkUp();
+
+  uint64_t windows_clamped() const { return windows_clamped_; }
+  uint64_t zwsms_sent() const { return zwsms_sent_; }
+  bool link_down() const { return link_down_; }
+
+ private:
+  void SendWindowMessage(uint16_t window);
+
+  enum class Mode { kClamp, kZwsm };
+  Mode mode_ = Mode::kClamp;
+  uint16_t clamp_window_ = 0;
+  proxy::StreamKey ack_key_;  // Key carrying the windows we modify.
+  proxy::FilterContext* ctx_ = nullptr;
+
+  // Last observed ACK-path state, used to craft ZWSMs.
+  bool seen_ack_ = false;
+  uint32_t last_seq_ = 0;
+  uint32_t last_ack_ = 0;
+  uint16_t last_window_ = 8192;
+
+  bool link_down_ = false;
+  uint32_t eem_ifindex_ = 0;
+  uint64_t windows_clamped_ = 0;
+  uint64_t zwsms_sent_ = 0;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_WSIZE_FILTER_H_

@@ -1,0 +1,192 @@
+#include "src/kati/shell.h"
+
+#include "src/util/strings.h"
+
+namespace comma::kati {
+
+namespace {
+const char kHelp[] =
+    "SP control (forwarded to the proxy, thesis 5.3):\n"
+    "  load <file> | remove <file>\n"
+    "  add <filter> <srcip> <srcport> <dstip> <dstport> [args]\n"
+    "  delete <filter> <srcip> <srcport> <dstip> <dstport>\n"
+    "  report [filter] | streams\n"
+    "  service list | service add|delete <name> <key>   (named recipes)\n"
+    "Monitoring (EEM, thesis ch. 6):\n"
+    "  watch <var> [index] [server-ip]\n"
+    "  unwatch <var> [index] [server-ip]\n"
+    "  poll <var> [index] [server-ip]\n"
+    "  vars\n"
+    "  netload [server-ip]\n";
+}  // namespace
+
+Shell::Shell(core::Host* host, net::Ipv4Address sp_addr, OutputSink sink)
+    : host_(host), sp_addr_(sp_addr), sink_(std::move(sink)), sp_(host, sp_addr), eem_(host) {}
+
+void Shell::Execute(const std::string& line) {
+  auto tokens = util::SplitWhitespace(line);
+  if (tokens.empty()) {
+    return;
+  }
+  const std::string& cmd = tokens[0];
+  if (cmd == "help") {
+    Print(kHelp);
+    ++responses_received_;
+    return;
+  }
+  if (cmd == "watch") {
+    CmdWatch(tokens);
+    return;
+  }
+  if (cmd == "unwatch") {
+    CmdUnwatch(tokens);
+    return;
+  }
+  if (cmd == "poll") {
+    CmdPoll(tokens);
+    return;
+  }
+  if (cmd == "vars") {
+    CmdVars();
+    return;
+  }
+  if (cmd == "netload") {
+    CmdNetload(tokens);
+    return;
+  }
+  if (cmd == "load" || cmd == "remove" || cmd == "add" || cmd == "delete" || cmd == "report" ||
+      cmd == "streams" || cmd == "service") {
+    sp_.Send(line, [this](const std::string& response) {
+      ++responses_received_;
+      if (!response.empty()) {
+        Print(response);
+      }
+    });
+    return;
+  }
+  Print("kati: unknown command: " + cmd + " (try help)\n");
+  ++responses_received_;
+}
+
+monitor::VariableId Shell::ParseId(const std::vector<std::string>& args, size_t first) {
+  monitor::VariableId id;
+  if (args.size() > first) {
+    id.name = args[first];
+  }
+  if (args.size() > first + 1) {
+    uint32_t index = 0;
+    util::ParseU32(args[first + 1], &index);
+    id.index = index;
+  }
+  // Default to the proxy host's EEM server — the gateway is where the
+  // interesting wireless-side metrics live.
+  id.server = sp_addr_;
+  if (args.size() > first + 2) {
+    auto addr = net::Ipv4Address::Parse(args[first + 2]);
+    if (addr.has_value()) {
+      id.server = *addr;
+    }
+  }
+  return id;
+}
+
+void Shell::CmdWatch(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    Print("usage: watch <var> [index] [server-ip]\n");
+    ++responses_received_;
+    return;
+  }
+  monitor::VariableId id = ParseId(args, 1);
+  eem_.Register(id, monitor::Attr::Always(monitor::NotifyMode::kPeriodic));
+  watched_[id] = true;
+  Print("watching " + id.ToString() + "\n");
+  ++responses_received_;
+}
+
+void Shell::CmdUnwatch(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    Print("usage: unwatch <var> [index] [server-ip]\n");
+    ++responses_received_;
+    return;
+  }
+  monitor::VariableId id = ParseId(args, 1);
+  eem_.Deregister(id);
+  watched_.erase(id);
+  Print("stopped watching " + id.ToString() + "\n");
+  ++responses_received_;
+}
+
+void Shell::CmdPoll(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    Print("usage: poll <var> [index] [server-ip]\n");
+    ++responses_received_;
+    return;
+  }
+  monitor::VariableId id = ParseId(args, 1);
+  eem_.GetValueOnce(id, [this](const monitor::VariableId& vid, const monitor::Value& value) {
+    Print(vid.ToString() + " = " + monitor::ValueToString(value) + "\n");
+    ++responses_received_;
+  });
+}
+
+void Shell::CmdVars() {
+  std::string out;
+  for (const auto& [id, unused] : watched_) {
+    auto value = eem_.GetValue(id);
+    out += util::Format("%-32s %s%s\n", id.ToString().c_str(),
+                        value.has_value() ? monitor::ValueToString(*value).c_str() : "(no data)",
+                        eem_.IsInRange(id) ? "" : " [out of range]");
+  }
+  if (out.empty()) {
+    out = "(nothing watched; use: watch <var>)\n";
+  }
+  Print(out);
+  ++responses_received_;
+}
+
+void Shell::CmdNetload(const std::vector<std::string>& args) {
+  // The Xnetload view (Fig. 7.2): instantaneous in/out packet rates of the
+  // monitored host, rendered as bars.
+  monitor::VariableId in_id;
+  in_id.name = "ethInAvg";
+  in_id.server = sp_addr_;
+  monitor::VariableId out_id;
+  out_id.name = "ethOutAvg";
+  out_id.server = sp_addr_;
+  if (args.size() > 1) {
+    auto addr = net::Ipv4Address::Parse(args[1]);
+    if (addr.has_value()) {
+      in_id.server = *addr;
+      out_id.server = *addr;
+    }
+  }
+  auto pending = std::make_shared<int>(2);
+  auto values = std::make_shared<std::map<std::string, double>>();
+  auto finish = [this, pending, values] {
+    if (--*pending > 0) {
+      return;
+    }
+    std::string out = "netload (packets/second):\n";
+    for (const auto& [name, rate] : *values) {
+      const size_t bar = std::min<size_t>(static_cast<size_t>(rate / 10.0), 50);
+      out += util::Format("  %-10s %8.1f |%s\n", name.c_str(), rate,
+                          std::string(bar, '#').c_str());
+    }
+    Print(out);
+    ++responses_received_;
+  };
+  auto handler = [values, finish](const monitor::VariableId& vid, const monitor::Value& value) {
+    double rate = 0.0;
+    if (std::holds_alternative<double>(value)) {
+      rate = std::get<double>(value);
+    } else if (std::holds_alternative<int64_t>(value)) {
+      rate = static_cast<double>(std::get<int64_t>(value));
+    }
+    (*values)[vid.name] = rate;
+    finish();
+  };
+  eem_.GetValueOnce(in_id, handler);
+  eem_.GetValueOnce(out_id, handler);
+}
+
+}  // namespace comma::kati

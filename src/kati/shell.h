@@ -1,0 +1,70 @@
+// Kati — the user shell for third-party service control (thesis Ch. 7).
+//
+// Kati's three roles (§4.1):
+//  1. Monitoring: stream/filter state from the SP, network metrics from EEM
+//     servers (the GUI's main window and Xnetload view, Figs. 7.1-7.2,
+//     rendered as text here).
+//  2. Debugging: live filter status and stream accounting.
+//  3. Interactive control: add and remove services on individual streams
+//     (Figs. 7.3-7.4) — the mechanism that makes *transparent* services
+//     controllable by someone other than the application.
+//
+// The shell is line-oriented; output is delivered to a sink callback so it
+// embeds in tests, examples, and an interactive stdin loop alike. SP
+// commands are forwarded verbatim over the simulated network to port 12000;
+// monitor commands drive a local EEM client.
+#ifndef COMMA_KATI_SHELL_H_
+#define COMMA_KATI_SHELL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/kati/sp_client.h"
+#include "src/monitor/eem_client.h"
+
+namespace comma::kati {
+
+class Shell {
+ public:
+  using OutputSink = std::function<void(const std::string&)>;
+
+  // `host` is where Kati runs (typically the mobile); `sp_addr` the proxy.
+  Shell(core::Host* host, net::Ipv4Address sp_addr, OutputSink sink);
+
+  // Executes one command line. SP commands complete asynchronously (run the
+  // simulator to see their output). Supported:
+  //   load/remove/add/delete/report/streams   - forwarded to the SP (§5.3)
+  //   watch <var> [index] [server-ip]         - register periodic EEM interest
+  //   unwatch <var> [index] [server-ip]       - deregister
+  //   poll <var> [index] [server-ip]          - one-shot EEM query
+  //   vars                                    - show watched values (the PDA)
+  //   netload [server-ip]                     - xnetload-style traffic view
+  //   help
+  void Execute(const std::string& line);
+
+  // Total commands whose responses have arrived (for test synchronization).
+  uint64_t responses_received() const { return responses_received_; }
+  monitor::EemClient& eem() { return eem_; }
+
+ private:
+  void Print(const std::string& text) { sink_(text); }
+  monitor::VariableId ParseId(const std::vector<std::string>& args, size_t first);
+  void CmdWatch(const std::vector<std::string>& args);
+  void CmdUnwatch(const std::vector<std::string>& args);
+  void CmdPoll(const std::vector<std::string>& args);
+  void CmdVars();
+  void CmdNetload(const std::vector<std::string>& args);
+
+  core::Host* host_;
+  net::Ipv4Address sp_addr_;
+  OutputSink sink_;
+  SpClient sp_;
+  monitor::EemClient eem_;
+  std::map<monitor::VariableId, bool> watched_;
+  uint64_t responses_received_ = 0;
+};
+
+}  // namespace comma::kati
+
+#endif  // COMMA_KATI_SHELL_H_

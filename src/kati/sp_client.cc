@@ -1,0 +1,60 @@
+#include "src/kati/sp_client.h"
+
+namespace comma::kati {
+
+SpClient::SpClient(core::Host* host, net::Ipv4Address sp_addr, uint16_t port) {
+  conn_ = host->tcp().Connect(sp_addr, port);
+  conn_->set_on_connected([this] {
+    connected_ = true;
+    Flush();
+  });
+  conn_->set_on_data([this](const util::Bytes& data) { OnData(data); });
+  conn_->set_on_closed([this] { closed_ = true; });
+  conn_->set_on_error([this](const std::string&) { closed_ = true; });
+}
+
+void SpClient::Send(const std::string& command, ResponseCallback cb) {
+  queue_.emplace_back(command, std::move(cb));
+  if (connected_) {
+    Flush();
+  }
+}
+
+void SpClient::Flush() {
+  while (!queue_.empty()) {
+    auto [command, cb] = std::move(queue_.front());
+    queue_.pop_front();
+    std::string line = command + "\n";
+    conn_->Send(reinterpret_cast<const uint8_t*>(line.data()), line.size());
+    awaiting_.push_back(std::move(cb));
+  }
+}
+
+void SpClient::OnData(const util::Bytes& data) {
+  inbuf_.append(reinterpret_cast<const char*>(data.data()), data.size());
+  size_t newline;
+  while ((newline = inbuf_.find('\n')) != std::string::npos) {
+    std::string line = inbuf_.substr(0, newline);
+    inbuf_.erase(0, newline + 1);
+    if (line == ".") {
+      if (!awaiting_.empty()) {
+        ResponseCallback cb = std::move(awaiting_.front());
+        awaiting_.pop_front();
+        if (cb) {
+          cb(current_response_);
+        }
+      }
+      current_response_.clear();
+    } else {
+      current_response_ += line + "\n";
+    }
+  }
+}
+
+void SpClient::Close() {
+  if (!closed_) {
+    conn_->Close();
+  }
+}
+
+}  // namespace comma::kati

@@ -1,0 +1,47 @@
+// Client for the Service-Proxy control port (thesis §5.3): the programmatic
+// equivalent of `telnet eramosa 12000`, used by Kati.
+//
+// Commands queue until the connection establishes; responses are matched to
+// commands in FIFO order using the server's "." end-of-response marker.
+#ifndef COMMA_KATI_SP_CLIENT_H_
+#define COMMA_KATI_SP_CLIENT_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/core/host.h"
+
+namespace comma::kati {
+
+class SpClient {
+ public:
+  using ResponseCallback = std::function<void(const std::string&)>;
+
+  // Connects from `host` to the SP command server at `sp_addr`:`port`.
+  SpClient(core::Host* host, net::Ipv4Address sp_addr, uint16_t port = 12000);
+
+  // Sends one command line; `cb` fires with the full response text (without
+  // the "." marker). Commands may be issued before the connection is up.
+  void Send(const std::string& command, ResponseCallback cb);
+
+  bool connected() const { return connected_; }
+  bool closed() const { return closed_; }
+  void Close();
+
+ private:
+  void Flush();
+  void OnData(const util::Bytes& data);
+
+  tcp::TcpConnection* conn_;
+  bool connected_ = false;
+  bool closed_ = false;
+  std::deque<std::pair<std::string, ResponseCallback>> queue_;  // Unsent.
+  std::deque<ResponseCallback> awaiting_;                       // Sent, no reply yet.
+  std::string inbuf_;
+  std::string current_response_;
+};
+
+}  // namespace comma::kati
+
+#endif  // COMMA_KATI_SP_CLIENT_H_

@@ -1,0 +1,144 @@
+#include "src/mobileip/foreign_agent.h"
+
+namespace comma::mobileip {
+
+ForeignAgent::ForeignAgent(core::Host* router, uint32_t wireless_iface, HandoffPolicy policy)
+    : router_(router), wireless_iface_(wireless_iface), policy_(policy) {
+  socket_ = router_->udp().Bind(kRegistrationPort);
+  socket_->set_on_receive([this](const util::Bytes& data, const udp::UdpEndpoint& from) {
+    OnDatagram(data, from);
+  });
+  router_->RegisterProtocol(net::IpProtocol::kIpInIp,
+                            [this](net::PacketPtr p) { OnTunneledPacket(std::move(p)); });
+}
+
+void ForeignAgent::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from) {
+  auto type = PeekType(data);
+  if (!type.has_value()) {
+    return;
+  }
+  switch (*type) {
+    case MessageType::kRouterSolicitation: {
+      auto msg = DecodeRouterSolicitation(data);
+      if (!msg.has_value()) {
+        return;
+      }
+      // Learn where the mobile is reachable (its home address is routed via
+      // our wireless interface from now on) and advertise ourselves.
+      router_->AddHostRoute(msg->home_address, wireless_iface_);
+      RouterAdvertisement ad;
+      ad.agent_address = care_of_address();
+      ad.sequence = ++advertisement_seq_;
+      ++stats_.advertisements_sent;
+      socket_->SendTo(from.addr, from.port, Encode(ad));
+      return;
+    }
+    case MessageType::kRegistrationRequest: {
+      auto msg = DecodeRegistrationRequest(data);
+      if (!msg.has_value()) {
+        return;
+      }
+      // Relay to the home agent with our address as the care-of address.
+      pending_[msg->home_address] = PendingRegistration{from};
+      RegistrationRequest relayed = *msg;
+      relayed.care_of_address = care_of_address();
+      ++stats_.registrations_relayed;
+      socket_->SendTo(msg->home_agent, kRegistrationPort, Encode(relayed));
+      return;
+    }
+    case MessageType::kRegistrationReply: {
+      auto msg = DecodeRegistrationReply(data);
+      if (!msg.has_value()) {
+        return;
+      }
+      auto it = pending_.find(msg->home_address);
+      if (it == pending_.end()) {
+        return;
+      }
+      if (msg->code == ReplyCode::kAccepted && msg->lifetime_seconds > 0) {
+        visitors_[msg->home_address] = it->second.mobile;
+        departed_.erase(msg->home_address);
+      }
+      // Pass the verdict down to the mobile.
+      socket_->SendTo(it->second.mobile.addr, it->second.mobile.port, Encode(*msg));
+      pending_.erase(it);
+      return;
+    }
+    case MessageType::kBindingUpdate: {
+      auto msg = DecodeBindingUpdate(data);
+      if (!msg.has_value()) {
+        return;
+      }
+      // The mobile moved on: remember the new care-of address so in-flight
+      // packets can be re-tunneled, and stop claiming the host route.
+      visitors_.erase(msg->home_address);
+      router_->RemoveHostRoute(msg->home_address);
+      if (!msg->new_care_of.IsUnspecified()) {
+        departed_[msg->home_address] = msg->new_care_of;
+      } else {
+        departed_.erase(msg->home_address);
+      }
+      // Flush anything we held while the mobile was unreachable.
+      auto held = held_.find(msg->home_address);
+      if (held != held_.end()) {
+        for (net::PacketPtr& packet : held->second) {
+          if (!msg->new_care_of.IsUnspecified() && policy_ == HandoffPolicy::kForward) {
+            ++stats_.packets_forwarded;
+            router_->InjectPacket(net::Packet::Encapsulate(std::move(packet), care_of_address(),
+                                                           msg->new_care_of));
+          } else {
+            ++stats_.packets_dropped;
+          }
+        }
+        held_.erase(held);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ForeignAgent::OnTunneledPacket(net::PacketPtr packet) {
+  net::PacketPtr inner = packet->Decapsulate();
+  if (inner == nullptr) {
+    return;
+  }
+  const net::Ipv4Address mobile = inner->ip().dst;
+  if (visitors_.count(mobile) != 0) {
+    net::Link* wireless = router_->InterfaceLink(wireless_iface_);
+    if (wireless != nullptr && !wireless->IsUp()) {
+      // The visitor is out of range — it is mid-hand-off. Under the
+      // forwarding policy, hold the packet until the home agent's binding
+      // update tells us where it went (§2.1's forwarding option); otherwise
+      // drop it now.
+      if (policy_ == HandoffPolicy::kForward && held_[mobile].size() < 128) {
+        ++stats_.packets_buffered;
+        held_[mobile].push_back(std::move(inner));
+      } else {
+        ++stats_.packets_dropped;
+      }
+      return;
+    }
+    // Normal case: decapsulate and pass on to the mobile (§2.1). The inner
+    // packet re-enters through the taps so a proxy merged into this FA
+    // (§10.2.3) can service the real stream.
+    ++stats_.packets_decapsulated;
+    router_->ReinjectPacket(std::move(inner));
+    return;
+  }
+  auto departed = departed_.find(mobile);
+  if (departed != departed_.end() && policy_ == HandoffPolicy::kForward) {
+    // Forwarding policy: re-tunnel to the mobile's new location.
+    ++stats_.packets_forwarded;
+    router_->InjectPacket(net::Packet::Encapsulate(std::move(inner), care_of_address(),
+                                                   departed->second));
+    return;
+  }
+  // Drop policy (or unknown mobile): rely on higher-level protocols (§2.1:
+  // "packets may either be dropped by the FA ... relying on higher-level
+  // communication protocols to handle the loss").
+  ++stats_.packets_dropped;
+}
+
+}  // namespace comma::mobileip

@@ -1,0 +1,131 @@
+#include "src/mobileip/messages.h"
+
+namespace comma::mobileip {
+
+namespace {
+
+util::Bytes WithType(MessageType type) {
+  return {static_cast<uint8_t>(type)};
+}
+
+bool CheckType(util::ByteReader& r, MessageType type) {
+  return r.ReadU8() == static_cast<uint8_t>(type);
+}
+
+}  // namespace
+
+util::Bytes Encode(const RouterSolicitation& m) {
+  util::Bytes out = WithType(MessageType::kRouterSolicitation);
+  util::ByteWriter w(&out);
+  w.WriteU32(m.home_address.value());
+  return out;
+}
+
+util::Bytes Encode(const RouterAdvertisement& m) {
+  util::Bytes out = WithType(MessageType::kRouterAdvertisement);
+  util::ByteWriter w(&out);
+  w.WriteU32(m.agent_address.value());
+  w.WriteU32(m.sequence);
+  return out;
+}
+
+util::Bytes Encode(const RegistrationRequest& m) {
+  util::Bytes out = WithType(MessageType::kRegistrationRequest);
+  util::ByteWriter w(&out);
+  w.WriteU32(m.home_address.value());
+  w.WriteU32(m.home_agent.value());
+  w.WriteU32(m.care_of_address.value());
+  w.WriteU32(m.lifetime_seconds);
+  w.WriteU64(m.id);
+  return out;
+}
+
+util::Bytes Encode(const RegistrationReply& m) {
+  util::Bytes out = WithType(MessageType::kRegistrationReply);
+  util::ByteWriter w(&out);
+  w.WriteU32(m.home_address.value());
+  w.WriteU8(static_cast<uint8_t>(m.code));
+  w.WriteU32(m.lifetime_seconds);
+  w.WriteU64(m.id);
+  return out;
+}
+
+util::Bytes Encode(const BindingUpdate& m) {
+  util::Bytes out = WithType(MessageType::kBindingUpdate);
+  util::ByteWriter w(&out);
+  w.WriteU32(m.home_address.value());
+  w.WriteU32(m.new_care_of.value());
+  return out;
+}
+
+std::optional<MessageType> PeekType(const util::Bytes& data) {
+  if (data.empty() || data[0] < 1 || data[0] > 5) {
+    return std::nullopt;
+  }
+  return static_cast<MessageType>(data[0]);
+}
+
+std::optional<RouterSolicitation> DecodeRouterSolicitation(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (!CheckType(r, MessageType::kRouterSolicitation)) {
+    return std::nullopt;
+  }
+  RouterSolicitation m;
+  m.home_address = net::Ipv4Address(r.ReadU32());
+  return r.failed() ? std::nullopt : std::optional(m);
+}
+
+std::optional<RouterAdvertisement> DecodeRouterAdvertisement(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (!CheckType(r, MessageType::kRouterAdvertisement)) {
+    return std::nullopt;
+  }
+  RouterAdvertisement m;
+  m.agent_address = net::Ipv4Address(r.ReadU32());
+  m.sequence = r.ReadU32();
+  return r.failed() ? std::nullopt : std::optional(m);
+}
+
+std::optional<RegistrationRequest> DecodeRegistrationRequest(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (!CheckType(r, MessageType::kRegistrationRequest)) {
+    return std::nullopt;
+  }
+  RegistrationRequest m;
+  m.home_address = net::Ipv4Address(r.ReadU32());
+  m.home_agent = net::Ipv4Address(r.ReadU32());
+  m.care_of_address = net::Ipv4Address(r.ReadU32());
+  m.lifetime_seconds = r.ReadU32();
+  m.id = r.ReadU64();
+  return r.failed() ? std::nullopt : std::optional(m);
+}
+
+std::optional<RegistrationReply> DecodeRegistrationReply(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (!CheckType(r, MessageType::kRegistrationReply)) {
+    return std::nullopt;
+  }
+  RegistrationReply m;
+  m.home_address = net::Ipv4Address(r.ReadU32());
+  const uint8_t code = r.ReadU8();
+  if (code > static_cast<uint8_t>(ReplyCode::kDeniedUnknownHome)) {
+    return std::nullopt;
+  }
+  m.code = static_cast<ReplyCode>(code);
+  m.lifetime_seconds = r.ReadU32();
+  m.id = r.ReadU64();
+  return r.failed() ? std::nullopt : std::optional(m);
+}
+
+std::optional<BindingUpdate> DecodeBindingUpdate(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (!CheckType(r, MessageType::kBindingUpdate)) {
+    return std::nullopt;
+  }
+  BindingUpdate m;
+  m.home_address = net::Ipv4Address(r.ReadU32());
+  m.new_care_of = net::Ipv4Address(r.ReadU32());
+  return r.failed() ? std::nullopt : std::optional(m);
+}
+
+}  // namespace comma::mobileip

@@ -1,0 +1,77 @@
+// Mobile IP control messages (thesis §2.1, after RFC 2002).
+//
+// Carried over UDP port 434 (the registration port RFC 2002 assigns).
+// Agent discovery (router solicitation / advertisement, §2.1's ICMP Router
+// Discovery) is modelled with the same transport for simplicity — the
+// semantics (who solicits, who advertises, what is learned) are preserved.
+#ifndef COMMA_MOBILEIP_MESSAGES_H_
+#define COMMA_MOBILEIP_MESSAGES_H_
+
+#include <optional>
+
+#include "src/net/address.h"
+#include "src/util/bytes.h"
+
+namespace comma::mobileip {
+
+inline constexpr uint16_t kRegistrationPort = 434;
+
+enum class MessageType : uint8_t {
+  kRouterSolicitation = 1,   // Mobile -> FA: who serves this network?
+  kRouterAdvertisement = 2,  // FA -> mobile: I do; here is my address.
+  kRegistrationRequest = 3,  // Mobile -> FA -> HA.
+  kRegistrationReply = 4,    // HA -> FA -> mobile.
+  kBindingUpdate = 5,        // HA -> previous FA: mobile moved to new COA.
+};
+
+struct RouterSolicitation {
+  net::Ipv4Address home_address;  // The soliciting mobile's home address.
+};
+
+struct RouterAdvertisement {
+  net::Ipv4Address agent_address;  // The FA's care-of address.
+  uint32_t sequence = 0;
+};
+
+enum class ReplyCode : uint8_t {
+  kAccepted = 0,
+  kDeniedBadRequest = 1,
+  kDeniedUnknownHome = 2,
+};
+
+struct RegistrationRequest {
+  net::Ipv4Address home_address;
+  net::Ipv4Address home_agent;
+  net::Ipv4Address care_of_address;
+  uint32_t lifetime_seconds = 0;  // 0 = deregistration (mobile back home).
+  uint64_t id = 0;                // Matches request to reply.
+};
+
+struct RegistrationReply {
+  net::Ipv4Address home_address;
+  ReplyCode code = ReplyCode::kAccepted;
+  uint32_t lifetime_seconds = 0;
+  uint64_t id = 0;
+};
+
+struct BindingUpdate {
+  net::Ipv4Address home_address;
+  net::Ipv4Address new_care_of;  // Unspecified: stop forwarding, just drop.
+};
+
+util::Bytes Encode(const RouterSolicitation& m);
+util::Bytes Encode(const RouterAdvertisement& m);
+util::Bytes Encode(const RegistrationRequest& m);
+util::Bytes Encode(const RegistrationReply& m);
+util::Bytes Encode(const BindingUpdate& m);
+
+std::optional<MessageType> PeekType(const util::Bytes& data);
+std::optional<RouterSolicitation> DecodeRouterSolicitation(const util::Bytes& data);
+std::optional<RouterAdvertisement> DecodeRouterAdvertisement(const util::Bytes& data);
+std::optional<RegistrationRequest> DecodeRegistrationRequest(const util::Bytes& data);
+std::optional<RegistrationReply> DecodeRegistrationReply(const util::Bytes& data);
+std::optional<BindingUpdate> DecodeBindingUpdate(const util::Bytes& data);
+
+}  // namespace comma::mobileip
+
+#endif  // COMMA_MOBILEIP_MESSAGES_H_

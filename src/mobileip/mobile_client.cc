@@ -1,0 +1,102 @@
+#include "src/mobileip/mobile_client.h"
+
+namespace comma::mobileip {
+
+MobileClient::MobileClient(core::Host* mobile, net::Ipv4Address home_address,
+                           net::Ipv4Address home_agent)
+    : mobile_(mobile), home_address_(home_address), home_agent_(home_agent) {
+  socket_ = mobile_->udp().Bind(kRegistrationPort);
+  socket_->set_on_receive([this](const util::Bytes& data, const udp::UdpEndpoint& from) {
+    OnDatagram(data, from);
+  });
+}
+
+void MobileClient::AttachVia(uint32_t iface, net::Ipv4Address fa_hint,
+                             uint32_t lifetime_seconds) {
+  // Switch the default route to the new access network, then discover the
+  // agent (§2.1: router solicitation, answered by an advertisement).
+  mobile_->SetDefaultRoute(iface);
+  registered_ = false;
+  pending_lifetime_ = lifetime_seconds;
+  handoff_started_ = mobile_->simulator()->Now();
+  ++stats_.solicitations_sent;
+  socket_->SendTo(fa_hint, kRegistrationPort, Encode(RouterSolicitation{home_address_}));
+}
+
+void MobileClient::ReturnHome() {
+  registered_ = false;
+  current_care_of_ = net::Ipv4Address();
+  if (renew_timer_ != sim::kInvalidTimerId) {
+    mobile_->simulator()->Cancel(renew_timer_);
+    renew_timer_ = sim::kInvalidTimerId;
+  }
+  RegistrationRequest request;
+  request.home_address = home_address_;
+  request.home_agent = home_agent_;
+  request.care_of_address = net::Ipv4Address();
+  request.lifetime_seconds = 0;
+  request.id = pending_id_ = next_id_++;
+  ++stats_.registrations_sent;
+  // Deregistration goes straight to the HA (the mobile is on its home net).
+  socket_->SendTo(home_agent_, kRegistrationPort, Encode(request));
+}
+
+void MobileClient::SendRegistration(net::Ipv4Address fa, uint32_t lifetime_seconds) {
+  RegistrationRequest request;
+  request.home_address = home_address_;
+  request.home_agent = home_agent_;
+  request.care_of_address = fa;  // The FA overwrites with its own COA anyway.
+  request.lifetime_seconds = lifetime_seconds;
+  request.id = pending_id_ = next_id_++;
+  ++stats_.registrations_sent;
+  socket_->SendTo(fa, kRegistrationPort, Encode(request));
+}
+
+void MobileClient::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from) {
+  auto type = PeekType(data);
+  if (!type.has_value()) {
+    return;
+  }
+  if (*type == MessageType::kRouterAdvertisement) {
+    auto ad = DecodeRouterAdvertisement(data);
+    if (!ad.has_value()) {
+      return;
+    }
+    SendRegistration(ad->agent_address, pending_lifetime_);
+    return;
+  }
+  if (*type == MessageType::kRegistrationReply) {
+    auto reply = DecodeRegistrationReply(data);
+    if (!reply.has_value() || reply->id != pending_id_) {
+      return;
+    }
+    const bool accepted = reply->code == ReplyCode::kAccepted;
+    if (accepted && reply->lifetime_seconds > 0) {
+      registered_ = true;
+      current_care_of_ = from.addr;
+      ++stats_.registrations_accepted;
+      stats_.last_handoff_latency = mobile_->simulator()->Now() - handoff_started_;
+      // Renew at 80% of the lifetime.
+      if (renew_timer_ != sim::kInvalidTimerId) {
+        mobile_->simulator()->Cancel(renew_timer_);
+      }
+      const sim::Duration renew_in =
+          static_cast<sim::Duration>(reply->lifetime_seconds) * sim::kSecond * 4 / 5;
+      const net::Ipv4Address fa = from.addr;
+      const uint32_t lifetime = reply->lifetime_seconds;
+      renew_timer_ = mobile_->simulator()->ScheduleTimer(renew_in, [this, fa, lifetime] {
+        renew_timer_ = sim::kInvalidTimerId;
+        if (registered_ && current_care_of_ == fa) {
+          SendRegistration(fa, lifetime);
+        }
+      });
+    } else if (!accepted) {
+      ++stats_.registrations_denied;
+    }
+    if (on_registered_) {
+      on_registered_(accepted);
+    }
+  }
+}
+
+}  // namespace comma::mobileip

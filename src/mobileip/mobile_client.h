@@ -1,0 +1,68 @@
+// The mobile-side Mobile IP client (thesis §2.1).
+//
+// Drives agent discovery and registration when the mobile changes access
+// points: solicit the local FA, receive its advertisement, register through
+// it with the home agent, and report completion. Registrations renew
+// automatically before the lifetime expires.
+#ifndef COMMA_MOBILEIP_MOBILE_CLIENT_H_
+#define COMMA_MOBILEIP_MOBILE_CLIENT_H_
+
+#include <functional>
+
+#include "src/core/host.h"
+#include "src/mobileip/messages.h"
+
+namespace comma::mobileip {
+
+struct MobileClientStats {
+  uint64_t solicitations_sent = 0;
+  uint64_t registrations_sent = 0;
+  uint64_t registrations_accepted = 0;
+  uint64_t registrations_denied = 0;
+  sim::Duration last_handoff_latency = 0;  // Solicit -> accepted.
+};
+
+class MobileClient {
+ public:
+  // `home_address` is the mobile's permanent address; `home_agent` the HA's.
+  MobileClient(core::Host* mobile, net::Ipv4Address home_address, net::Ipv4Address home_agent);
+
+  // Begins a hand-off to the network served by the FA reachable through
+  // `iface` at `fa_hint`. The client solicits first (agent discovery); the
+  // advertisement's care-of address is what gets registered.
+  void AttachVia(uint32_t iface, net::Ipv4Address fa_hint,
+                 uint32_t lifetime_seconds = 60);
+
+  // Deregisters (the mobile returned home).
+  void ReturnHome();
+
+  // Fires when a registration round-trip completes (true = accepted).
+  void set_on_registered(std::function<void(bool)> cb) { on_registered_ = std::move(cb); }
+
+  bool registered() const { return registered_; }
+  net::Ipv4Address current_care_of() const { return current_care_of_; }
+  const MobileClientStats& stats() const { return stats_; }
+
+ private:
+  void OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from);
+  void SendRegistration(net::Ipv4Address fa, uint32_t lifetime_seconds);
+
+  core::Host* mobile_;
+  net::Ipv4Address home_address_;
+  net::Ipv4Address home_agent_;
+  std::unique_ptr<udp::UdpSocket> socket_;
+  std::function<void(bool)> on_registered_;
+
+  bool registered_ = false;
+  net::Ipv4Address current_care_of_;
+  uint32_t pending_lifetime_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t pending_id_ = 0;
+  sim::TimePoint handoff_started_ = 0;
+  sim::TimerId renew_timer_ = sim::kInvalidTimerId;
+  MobileClientStats stats_;
+};
+
+}  // namespace comma::mobileip
+
+#endif  // COMMA_MOBILEIP_MOBILE_CLIENT_H_

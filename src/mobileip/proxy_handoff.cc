@@ -1,0 +1,60 @@
+#include "src/mobileip/proxy_handoff.h"
+
+namespace comma::mobileip {
+
+namespace {
+
+// A service concerns the mobile if either key endpoint names it (or is a
+// wild-card position that could match it, in which case the wild-card also
+// matches at the new proxy and must move too).
+bool ServiceConcernsMobile(const proxy::ServiceProxy::ServiceRecord& record,
+                           net::Ipv4Address mobile) {
+  return record.key.src == mobile || record.key.dst == mobile ||
+         record.key.src.IsUnspecified() || record.key.dst.IsUnspecified();
+}
+
+}  // namespace
+
+void ProxyHandoffManager::RegisterProxy(net::Ipv4Address care_of, proxy::ServiceProxy* sp) {
+  proxies_[care_of] = sp;
+}
+
+int ProxyHandoffManager::OnHandoff(net::Ipv4Address mobile, net::Ipv4Address old_coa,
+                                   net::Ipv4Address new_coa) {
+  auto from = proxies_.find(old_coa);
+  auto to = proxies_.find(new_coa);
+  if (from == proxies_.end() || to == proxies_.end() || from->second == to->second) {
+    return 0;
+  }
+  ++stats_.handoffs;
+  return TransferServices(*from->second, *to->second, mobile, &stats_);
+}
+
+int ProxyHandoffManager::TransferServices(proxy::ServiceProxy& from, proxy::ServiceProxy& to,
+                                          net::Ipv4Address mobile, ProxyHandoffStats* stats) {
+  // Snapshot first: DeleteService mutates the record list.
+  std::vector<proxy::ServiceProxy::ServiceRecord> moving;
+  for (const auto& record : from.services()) {
+    if (ServiceConcernsMobile(record, mobile)) {
+      moving.push_back(record);
+    }
+  }
+  int transferred = 0;
+  for (const auto& record : moving) {
+    // The new proxy needs the filter loaded; mirror the source's load state.
+    to.LoadFilter(record.filter);
+    std::string error;
+    if (to.AddService(record.filter, record.key, record.args, &error)) {
+      from.DeleteService(record.filter, record.key);
+      ++transferred;
+      if (stats != nullptr) {
+        ++stats->services_transferred;
+      }
+    } else if (stats != nullptr) {
+      ++stats->services_failed;
+    }
+  }
+  return transferred;
+}
+
+}  // namespace comma::mobileip

@@ -1,0 +1,53 @@
+// Proxy mobility (thesis §5.1.1 + §10.2.3 future work): "the interception
+// point will eventually be merged with an implementation of Mobile IP and
+// incorporated into the operation of the FA", and "methods to hand off
+// [proxy] operations" are needed when the mobile moves between gateways.
+//
+// ProxyHandoffManager realizes that plan: each foreign-agent router hosts a
+// Service Proxy; when the mobile registers through a new FA, the manager
+// transfers every service whose stream key involves the mobile from the old
+// FA's proxy to the new one, re-issuing the original AddService requests.
+// Filter *code and configuration* move; transient per-stream filter state
+// (caches, sequence maps) does not — exactly the state a thesis-era hand-off
+// could rebuild from the stream itself. Services bound by wild-card to the
+// mobile keep working because the wild-card re-matches at the new proxy.
+#ifndef COMMA_MOBILEIP_PROXY_HANDOFF_H_
+#define COMMA_MOBILEIP_PROXY_HANDOFF_H_
+
+#include <map>
+
+#include "src/net/address.h"
+#include "src/proxy/service_proxy.h"
+
+namespace comma::mobileip {
+
+struct ProxyHandoffStats {
+  uint64_t handoffs = 0;
+  uint64_t services_transferred = 0;
+  uint64_t services_failed = 0;
+};
+
+class ProxyHandoffManager {
+ public:
+  // Associates a care-of address with the Service Proxy running on that
+  // foreign agent's router.
+  void RegisterProxy(net::Ipv4Address care_of, proxy::ServiceProxy* sp);
+
+  // Moves the mobile's services from the proxy at `old_coa` to the proxy at
+  // `new_coa`. Returns the number of services transferred.
+  int OnHandoff(net::Ipv4Address mobile, net::Ipv4Address old_coa, net::Ipv4Address new_coa);
+
+  // Convenience: transfer directly between two proxies.
+  static int TransferServices(proxy::ServiceProxy& from, proxy::ServiceProxy& to,
+                              net::Ipv4Address mobile, ProxyHandoffStats* stats = nullptr);
+
+  const ProxyHandoffStats& stats() const { return stats_; }
+
+ private:
+  std::map<net::Ipv4Address, proxy::ServiceProxy*> proxies_;
+  ProxyHandoffStats stats_;
+};
+
+}  // namespace comma::mobileip
+
+#endif  // COMMA_MOBILEIP_PROXY_HANDOFF_H_

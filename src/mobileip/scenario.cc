@@ -1,0 +1,127 @@
+#include "src/mobileip/scenario.h"
+
+namespace comma::mobileip {
+
+namespace {
+const net::Ipv4Address kCorrespondentAddr(10, 0, 0, 99);
+const net::Ipv4Address kBbCorrespondentSide(10, 0, 0, 1);
+const net::Ipv4Address kBbHaSide(10, 1, 0, 2);
+const net::Ipv4Address kBbFa1Side(10, 2, 0, 2);
+const net::Ipv4Address kBbFa2Side(10, 3, 0, 2);
+const net::Ipv4Address kHaAddr(10, 1, 0, 1);
+const net::Ipv4Address kFa1Addr(10, 2, 0, 1);
+const net::Ipv4Address kFa2Addr(10, 3, 0, 1);
+const net::Ipv4Address kFa1WirelessAddr(192, 168, 1, 1);
+const net::Ipv4Address kFa2WirelessAddr(192, 168, 2, 1);
+const net::Ipv4Address kMobileHomeAddr(10, 1, 0, 50);
+}  // namespace
+
+MobileIpScenario::MobileIpScenario(const MobileIpConfig& config) : rng_(config.seed) {
+  correspondent_ = std::make_unique<core::Host>(&sim_, "correspondent", rng_.Fork());
+  backbone_ = std::make_unique<core::Host>(&sim_, "backbone", rng_.Fork());
+  ha_router_ = std::make_unique<core::Host>(&sim_, "ha-router", rng_.Fork());
+  fa1_router_ = std::make_unique<core::Host>(&sim_, "fa1-router", rng_.Fork());
+  fa2_router_ = std::make_unique<core::Host>(&sim_, "fa2-router", rng_.Fork());
+  mobile_ = std::make_unique<core::Host>(&sim_, "mobile", rng_.Fork());
+
+  auto wired = [&](const char* name) {
+    return std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wired, name);
+  };
+  ch_bb_ = wired("ch-bb");
+  bb_ha_ = wired("bb-ha");
+  bb_fa1_ = wired("bb-fa1");
+  bb_fa2_ = wired("bb-fa2");
+  home_link_ = wired("home-lan");
+  wireless1_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wireless, "wireless1");
+  wireless2_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wireless, "wireless2");
+
+  // Correspondent.
+  const uint32_t ch_if = correspondent_->AddInterface(kCorrespondentAddr);
+  correspondent_->AttachLink(ch_if, ch_bb_.get(), 0);
+  correspondent_->SetDefaultRoute(ch_if);
+
+  // Backbone.
+  const uint32_t bb_ch = backbone_->AddInterface(kBbCorrespondentSide);
+  const uint32_t bb_ha = backbone_->AddInterface(kBbHaSide);
+  const uint32_t bb_fa1 = backbone_->AddInterface(kBbFa1Side);
+  const uint32_t bb_fa2 = backbone_->AddInterface(kBbFa2Side);
+  backbone_->AttachLink(bb_ch, ch_bb_.get(), 1);
+  backbone_->AttachLink(bb_ha, bb_ha_.get(), 0);
+  backbone_->AttachLink(bb_fa1, bb_fa1_.get(), 0);
+  backbone_->AttachLink(bb_fa2, bb_fa2_.get(), 0);
+  backbone_->AddRoute(*net::Ipv4Prefix::Parse("10.0.0.0/24"), bb_ch);
+  backbone_->AddRoute(*net::Ipv4Prefix::Parse("10.1.0.0/24"), bb_ha);
+  backbone_->AddRoute(*net::Ipv4Prefix::Parse("10.2.0.0/24"), bb_fa1);
+  backbone_->AddRoute(*net::Ipv4Prefix::Parse("10.3.0.0/24"), bb_fa2);
+
+  // Home-agent router: backbone side + home LAN side.
+  const uint32_t ha_bb = ha_router_->AddInterface(kHaAddr);
+  const uint32_t ha_lan = ha_router_->AddInterface(net::Ipv4Address(10, 1, 0, 3));
+  ha_router_->AttachLink(ha_bb, bb_ha_.get(), 1);
+  ha_router_->AttachLink(ha_lan, home_link_.get(), 0);
+  ha_router_->SetDefaultRoute(ha_bb);
+  ha_router_->AddHostRoute(kMobileHomeAddr, ha_lan);
+
+  // Foreign-agent routers.
+  const uint32_t fa1_bb = fa1_router_->AddInterface(kFa1Addr);
+  const uint32_t fa1_w = fa1_router_->AddInterface(kFa1WirelessAddr);
+  fa1_router_->AttachLink(fa1_bb, bb_fa1_.get(), 1);
+  fa1_router_->AttachLink(fa1_w, wireless1_.get(), 0);
+  fa1_router_->SetDefaultRoute(fa1_bb);
+
+  const uint32_t fa2_bb = fa2_router_->AddInterface(kFa2Addr);
+  const uint32_t fa2_w = fa2_router_->AddInterface(kFa2WirelessAddr);
+  fa2_router_->AttachLink(fa2_bb, bb_fa2_.get(), 1);
+  fa2_router_->AttachLink(fa2_w, wireless2_.get(), 0);
+  fa2_router_->SetDefaultRoute(fa2_bb);
+
+  // The mobile: one address, three attachment points.
+  mobile_home_if_ = mobile_->AddInterface(kMobileHomeAddr);
+  mobile_w1_if_ = mobile_->AddInterface(kMobileHomeAddr);
+  mobile_w2_if_ = mobile_->AddInterface(kMobileHomeAddr);
+  mobile_->AttachLink(mobile_home_if_, home_link_.get(), 1);
+  mobile_->AttachLink(mobile_w1_if_, wireless1_.get(), 1);
+  mobile_->AttachLink(mobile_w2_if_, wireless2_.get(), 1);
+  mobile_->SetDefaultRoute(mobile_home_if_);
+
+  // Agents and client.
+  home_agent_ = std::make_unique<HomeAgent>(ha_router_.get());
+  home_agent_->AddMobile(kMobileHomeAddr);
+  fa1_ = std::make_unique<ForeignAgent>(fa1_router_.get(), fa1_w, config.handoff_policy);
+  fa2_ = std::make_unique<ForeignAgent>(fa2_router_.get(), fa2_w, config.handoff_policy);
+  client_ = std::make_unique<MobileClient>(mobile_.get(), kMobileHomeAddr, kHaAddr);
+
+  // Start at home: only the home link is up.
+  wireless1_->SetUp(false);
+  wireless2_->SetUp(false);
+}
+
+void MobileIpScenario::MoveToForeign1() {
+  home_link_->SetUp(false);
+  wireless2_->SetUp(false);
+  wireless1_->SetUp(true);
+  client_->AttachVia(mobile_w1_if_, kFa1WirelessAddr);
+}
+
+void MobileIpScenario::MoveToForeign2() {
+  home_link_->SetUp(false);
+  wireless1_->SetUp(false);
+  wireless2_->SetUp(true);
+  client_->AttachVia(mobile_w2_if_, kFa2WirelessAddr);
+}
+
+void MobileIpScenario::MoveHome() {
+  wireless1_->SetUp(false);
+  wireless2_->SetUp(false);
+  home_link_->SetUp(true);
+  mobile_->SetDefaultRoute(mobile_home_if_);
+  client_->ReturnHome();
+}
+
+net::Ipv4Address MobileIpScenario::correspondent_addr() const { return kCorrespondentAddr; }
+net::Ipv4Address MobileIpScenario::mobile_home_addr() const { return kMobileHomeAddr; }
+net::Ipv4Address MobileIpScenario::ha_addr() const { return kHaAddr; }
+net::Ipv4Address MobileIpScenario::fa1_addr() const { return kFa1Addr; }
+net::Ipv4Address MobileIpScenario::fa2_addr() const { return kFa2Addr; }
+
+}  // namespace comma::mobileip

@@ -1,0 +1,90 @@
+// Canonical Mobile IP topology (thesis Fig. 2.1):
+//
+//                      ┌── home link ──────────────┐
+//   correspondent ── backbone ── HA router          mobile (home 10.1.0.50)
+//                      │                            │        │
+//                      ├── FA1 router ── wireless1 ─┘        │
+//                      └── FA2 router ── wireless2 ──────────┘
+//
+// The mobile has three interfaces (home LAN, wireless1, wireless2), all
+// bearing its permanent home address; "moving" brings one link up, the
+// others down, and re-registers through the local agent.
+#ifndef COMMA_MOBILEIP_SCENARIO_H_
+#define COMMA_MOBILEIP_SCENARIO_H_
+
+#include <memory>
+
+#include "src/core/host.h"
+#include "src/mobileip/foreign_agent.h"
+#include "src/mobileip/home_agent.h"
+#include "src/mobileip/mobile_client.h"
+
+namespace comma::mobileip {
+
+struct MobileIpConfig {
+  net::LinkConfig wired = net::WiredLinkConfig();
+  net::LinkConfig wireless = net::WirelessLinkConfig();
+  HandoffPolicy handoff_policy = HandoffPolicy::kDrop;
+  uint64_t seed = 42;
+};
+
+class MobileIpScenario {
+ public:
+  explicit MobileIpScenario(const MobileIpConfig& config = {});
+  MobileIpScenario(const MobileIpScenario&) = delete;
+  MobileIpScenario& operator=(const MobileIpScenario&) = delete;
+
+  // --- Movement (hand-off, §2.1) ---
+  void MoveToForeign1();
+  void MoveToForeign2();
+  void MoveHome();
+
+  sim::Simulator& sim() { return sim_; }
+  core::Host& correspondent() { return *correspondent_; }
+  core::Host& backbone() { return *backbone_; }
+  core::Host& ha_router() { return *ha_router_; }
+  core::Host& fa1_router() { return *fa1_router_; }
+  core::Host& fa2_router() { return *fa2_router_; }
+  core::Host& mobile() { return *mobile_; }
+  HomeAgent& home_agent() { return *home_agent_; }
+  ForeignAgent& fa1() { return *fa1_; }
+  ForeignAgent& fa2() { return *fa2_; }
+  MobileClient& client() { return *client_; }
+  net::Link& wireless1() { return *wireless1_; }
+  net::Link& wireless2() { return *wireless2_; }
+  net::Link& home_link() { return *home_link_; }
+
+  net::Ipv4Address correspondent_addr() const;
+  net::Ipv4Address mobile_home_addr() const;
+  net::Ipv4Address ha_addr() const;
+  net::Ipv4Address fa1_addr() const;
+  net::Ipv4Address fa2_addr() const;
+
+ private:
+  sim::Simulator sim_;
+  sim::Random rng_;
+  std::unique_ptr<core::Host> correspondent_;
+  std::unique_ptr<core::Host> backbone_;
+  std::unique_ptr<core::Host> ha_router_;
+  std::unique_ptr<core::Host> fa1_router_;
+  std::unique_ptr<core::Host> fa2_router_;
+  std::unique_ptr<core::Host> mobile_;
+  std::unique_ptr<net::Link> ch_bb_;
+  std::unique_ptr<net::Link> bb_ha_;
+  std::unique_ptr<net::Link> bb_fa1_;
+  std::unique_ptr<net::Link> bb_fa2_;
+  std::unique_ptr<net::Link> home_link_;
+  std::unique_ptr<net::Link> wireless1_;
+  std::unique_ptr<net::Link> wireless2_;
+  std::unique_ptr<HomeAgent> home_agent_;
+  std::unique_ptr<ForeignAgent> fa1_;
+  std::unique_ptr<ForeignAgent> fa2_;
+  std::unique_ptr<MobileClient> client_;
+  uint32_t mobile_home_if_ = 0;
+  uint32_t mobile_w1_if_ = 0;
+  uint32_t mobile_w2_if_ = 0;
+};
+
+}  // namespace comma::mobileip
+
+#endif  // COMMA_MOBILEIP_SCENARIO_H_

@@ -1,0 +1,147 @@
+#include "src/monitor/eem_client.h"
+
+namespace comma::monitor {
+
+EemClient::EemClient(core::Host* host) : host_(host) {
+  socket_ = host_->udp().Bind(0);
+  socket_->set_on_receive([this](const util::Bytes& data, const udp::UdpEndpoint& from) {
+    OnDatagram(data, from);
+  });
+}
+
+EemClient::~EemClient() { DeregisterAll(); }
+
+net::Ipv4Address EemClient::ResolveServer(const VariableId& id) const {
+  return id.server.IsUnspecified() ? host_->PrimaryAddress() : id.server;
+}
+
+bool EemClient::Register(const VariableId& id, const Attr& attr) {
+  uint32_t reg_id;
+  auto existing = reg_ids_.find(id);
+  if (existing != reg_ids_.end()) {
+    reg_id = existing->second;
+  } else {
+    reg_id = next_reg_id_++;
+    reg_ids_[id] = reg_id;
+  }
+  by_reg_id_[reg_id] = RegState{id, attr};
+  RegisterMsg msg;
+  msg.reg_id = reg_id;
+  msg.name = id.name;
+  msg.index = id.index;
+  msg.attr = attr;
+  socket_->SendTo(ResolveServer(id), id.server_port, EncodeRegister(msg));
+  return true;
+}
+
+void EemClient::Deregister(const VariableId& id) {
+  auto it = reg_ids_.find(id);
+  if (it == reg_ids_.end()) {
+    return;
+  }
+  socket_->SendTo(ResolveServer(id), id.server_port, EncodeDeregister({it->second}));
+  by_reg_id_.erase(it->second);
+  reg_ids_.erase(it);
+}
+
+void EemClient::DeregisterAll() {
+  // One DeregisterAll per distinct server.
+  std::map<uint64_t, VariableId> servers;
+  for (const auto& [id, reg_id] : reg_ids_) {
+    servers[static_cast<uint64_t>(ResolveServer(id).value()) << 16 | id.server_port] = id;
+  }
+  for (const auto& [key, id] : servers) {
+    socket_->SendTo(ResolveServer(id), id.server_port, EncodeDeregisterAll());
+  }
+  reg_ids_.clear();
+  by_reg_id_.clear();
+}
+
+std::optional<Value> EemClient::GetValue(const VariableId& id) {
+  auto it = pda_.find(id);
+  if (it == pda_.end() || !it->second.has_value) {
+    return std::nullopt;
+  }
+  it->second.changed = false;  // Retrieval clears the changed flag.
+  return it->second.value;
+}
+
+bool EemClient::IsInRange(const VariableId& id) const {
+  auto it = pda_.find(id);
+  return it != pda_.end() && it->second.in_range;
+}
+
+bool EemClient::HasChanged(const VariableId& id) const {
+  auto it = pda_.find(id);
+  return it != pda_.end() && it->second.changed;
+}
+
+void EemClient::GetValueOnce(const VariableId& id, Callback cb) {
+  const uint32_t reg_id = next_reg_id_++;
+  by_reg_id_[reg_id] = RegState{id, Attr::Always(NotifyMode::kOnce)};
+  pending_once_[reg_id] = std::move(cb);
+  RegisterMsg msg;
+  msg.reg_id = reg_id;
+  msg.name = id.name;
+  msg.index = id.index;
+  msg.attr = Attr::Always(NotifyMode::kOnce);
+  socket_->SendTo(ResolveServer(id), id.server_port, EncodeRegister(msg));
+}
+
+void EemClient::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& /*from*/) {
+  auto type = PeekType(data);
+  if (!type.has_value()) {
+    return;
+  }
+  if (*type == MsgType::kNotify) {
+    auto msg = DecodeNotify(data);
+    if (!msg.has_value()) {
+      return;
+    }
+    auto reg = by_reg_id_.find(msg->reg_id);
+    if (reg == by_reg_id_.end()) {
+      return;
+    }
+    ++notifies_received_;
+    PdaEntry& entry = pda_[reg->second.id];
+    entry.changed = !entry.has_value || entry.value != msg->value;
+    entry.value = msg->value;
+    entry.in_range = true;
+    entry.has_value = true;
+    if (callback_) {
+      callback_(reg->second.id, msg->value);  // The exception handler path.
+    }
+    return;
+  }
+  if (*type == MsgType::kUpdate) {
+    auto msg = DecodeUpdate(data);
+    if (!msg.has_value()) {
+      return;
+    }
+    ++updates_received_;
+    for (const UpdateItem& item : msg->items) {
+      auto reg = by_reg_id_.find(item.reg_id);
+      if (reg == by_reg_id_.end()) {
+        continue;
+      }
+      auto once = pending_once_.find(item.reg_id);
+      if (once != pending_once_.end()) {
+        Callback cb = std::move(once->second);
+        VariableId id = reg->second.id;
+        pending_once_.erase(once);
+        by_reg_id_.erase(reg);
+        if (cb) {
+          cb(id, item.value);
+        }
+        continue;
+      }
+      PdaEntry& entry = pda_[reg->second.id];
+      entry.changed = !entry.has_value || entry.value != item.value;
+      entry.value = item.value;
+      entry.in_range = item.in_range;
+      entry.has_value = true;
+    }
+  }
+}
+
+}  // namespace comma::monitor

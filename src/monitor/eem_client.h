@@ -1,0 +1,92 @@
+// The EEM client library (thesis §6.3, Tables 6.3–6.7).
+//
+// Mirrors the thesis's comma_* interface in C++:
+//   comma_init/comma_term            -> construction/destruction
+//   comma_setcallback                -> SetCallback
+//   comma_id_* / comma_attr_*        -> VariableId / Attr value types
+//   comma_var_register/deregister[all] -> Register/Deregister/DeregisterAll
+//   comma_query_getvalue             -> GetValue        (protected data area)
+//   comma_query_isinrange            -> IsInRange
+//   comma_query_haschanged           -> HasChanged
+//   comma_query_getvalue_once        -> GetValueOnce    (async poll)
+//
+// Updates arrive silently into the protected data area; interrupt-mode
+// registrations additionally fire the callback.
+#ifndef COMMA_MONITOR_EEM_CLIENT_H_
+#define COMMA_MONITOR_EEM_CLIENT_H_
+
+#include <functional>
+#include <map>
+
+#include "src/core/host.h"
+#include "src/monitor/protocol.h"
+
+namespace comma::monitor {
+
+class EemClient {
+ public:
+  using Callback = std::function<void(const VariableId&, const Value&)>;
+
+  explicit EemClient(core::Host* host);
+  ~EemClient();
+  EemClient(const EemClient&) = delete;
+  EemClient& operator=(const EemClient&) = delete;
+
+  // Default callback for interrupt-style notifications (comma_setcallback).
+  void SetCallback(Callback cb) { callback_ = std::move(cb); }
+
+  // Registers (id, attr) with the appropriate server. Re-registering the
+  // same id replaces the registration.
+  bool Register(const VariableId& id, const Attr& attr);
+  void Deregister(const VariableId& id);
+  void DeregisterAll();
+
+  // --- Protected data area queries (Table 6.7) ---
+  // Most recent value, or nullopt if none has arrived yet.
+  std::optional<Value> GetValue(const VariableId& id);
+  // True if the most recent value was in the requested range.
+  bool IsInRange(const VariableId& id) const;
+  // True if the value changed since it was last retrieved with GetValue.
+  bool HasChanged(const VariableId& id) const;
+
+  // One-shot poll: `cb` fires when the server replies (comma_query_
+  // getvalue_once; the thesis blocks, an event-driven client cannot).
+  void GetValueOnce(const VariableId& id, Callback cb);
+
+  // --- Traffic accounting (experiment E12) ---
+  uint64_t bytes_sent() const { return socket_->bytes_sent(); }
+  uint64_t bytes_received() const { return socket_->bytes_received(); }
+  uint64_t notifies_received() const { return notifies_received_; }
+  uint64_t updates_received() const { return updates_received_; }
+
+ private:
+  struct PdaEntry {
+    Value value;
+    bool in_range = false;
+    bool changed = false;
+    bool has_value = false;
+  };
+
+  struct RegState {
+    VariableId id;
+    Attr attr;
+  };
+
+  void OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from);
+  net::Ipv4Address ResolveServer(const VariableId& id) const;
+
+  core::Host* host_;
+  std::unique_ptr<udp::UdpSocket> socket_;
+  Callback callback_;
+  uint32_t next_reg_id_ = 1;
+  std::map<uint32_t, RegState> by_reg_id_;
+  std::map<VariableId, uint32_t> reg_ids_;
+  std::map<VariableId, PdaEntry> pda_;
+  std::map<uint32_t, Callback> pending_once_;
+  uint64_t notifies_received_ = 0;
+  uint64_t updates_received_ = 0;
+};
+
+}  // namespace comma::monitor
+
+#endif  // COMMA_MONITOR_EEM_CLIENT_H_

@@ -1,0 +1,152 @@
+#include "src/monitor/eem_server.h"
+
+namespace comma::monitor {
+
+EemServer::EemServer(core::Host* host, const EemServerConfig& config)
+    : host_(host), config_(config) {
+  socket_ = host_->udp().Bind(config_.port);
+  socket_->set_on_receive([this](const util::Bytes& data, const udp::UdpEndpoint& from) {
+    OnDatagram(data, from);
+  });
+  auto snmp = std::make_unique<SnmpProvider>(host_);
+  auto host_provider = std::make_unique<HostProvider>(host_);
+  host_provider_ = host_provider.get();
+  providers_.push_back(std::move(snmp));
+  providers_.push_back(std::move(host_provider));
+
+  auto* sim = host_->simulator();
+  check_timer_ = sim->ScheduleTimer(config_.check_interval, [this] { CheckTick(); });
+  update_timer_ = sim->ScheduleTimer(config_.update_interval, [this] { UpdateTick(); });
+}
+
+EemServer::~EemServer() {
+  host_->simulator()->Cancel(check_timer_);
+  host_->simulator()->Cancel(update_timer_);
+}
+
+void EemServer::AddProvider(std::unique_ptr<MetricProvider> provider) {
+  providers_.push_back(std::move(provider));
+}
+
+std::optional<Value> EemServer::ReadVariable(const std::string& name, uint32_t index) {
+  for (const auto& provider : providers_) {
+    auto v = provider->Get(name, index);
+    if (v.has_value()) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+void EemServer::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from) {
+  auto type = PeekType(data);
+  if (!type.has_value()) {
+    return;
+  }
+  switch (*type) {
+    case MsgType::kRegister: {
+      auto msg = DecodeRegister(data);
+      if (!msg.has_value()) {
+        return;
+      }
+      if (msg->attr.mode == NotifyMode::kOnce) {
+        // Polling: answer immediately, do not store (§6.2 "temporary
+        // registrations which are immediately removed").
+        auto value = ReadVariable(msg->name, msg->index);
+        UpdateMsg reply;
+        if (value.has_value()) {
+          reply.items.push_back({msg->reg_id, *value, InRange(*value, msg->attr)});
+        } else {
+          reply.items.push_back({msg->reg_id, Value(std::string("")), false});
+        }
+        ++updates_sent_;
+        socket_->SendTo(from.addr, from.port, EncodeUpdate(reply));
+        return;
+      }
+      Registration reg;
+      reg.client = from;
+      reg.reg_id = msg->reg_id;
+      reg.name = msg->name;
+      reg.index = msg->index;
+      reg.attr = msg->attr;
+      registrations_[{ClientKey(from), msg->reg_id}] = std::move(reg);
+      return;
+    }
+    case MsgType::kDeregister: {
+      auto msg = DecodeDeregister(data);
+      if (msg.has_value()) {
+        registrations_.erase({ClientKey(from), msg->reg_id});
+      }
+      return;
+    }
+    case MsgType::kDeregisterAll: {
+      for (auto it = registrations_.begin(); it != registrations_.end();) {
+        if (it->first.first == ClientKey(from)) {
+          it = registrations_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return;
+    }
+    default:
+      return;  // Server ignores Notify/Update.
+  }
+}
+
+void EemServer::CheckTick() {
+  host_provider_->Poll(host_->simulator()->Now());
+  for (auto& [key, reg] : registrations_) {
+    auto value = ReadVariable(reg.name, reg.index);
+    if (!value.has_value()) {
+      continue;
+    }
+    const bool in_range = InRange(*value, reg.attr);
+    // Interrupt-style notification fires when the variable *enters* its
+    // range, or changes value while inside it (so Op::kAny registrations
+    // behave as change notifications).
+    const bool changed = !reg.last_sent.has_value() || *reg.last_sent != *value;
+    if (reg.attr.mode == NotifyMode::kInterrupt && in_range &&
+        (!reg.was_in_range || changed)) {
+      ++notifies_sent_;
+      socket_->SendTo(reg.client.addr, reg.client.port, EncodeNotify({reg.reg_id, *value}));
+      reg.last_sent = *value;
+    }
+    reg.was_in_range = in_range;
+  }
+  check_timer_ =
+      host_->simulator()->ScheduleTimer(config_.check_interval, [this] { CheckTick(); });
+}
+
+void EemServer::UpdateTick() {
+  // One batched update per client: in-range variables whose value changed
+  // since the last transmission (§6.1.3: updates include only variables that
+  // have changed).
+  std::map<uint64_t, std::pair<udp::UdpEndpoint, UpdateMsg>> per_client;
+  for (auto& [key, reg] : registrations_) {
+    auto value = ReadVariable(reg.name, reg.index);
+    if (!value.has_value()) {
+      continue;
+    }
+    const bool in_range = InRange(*value, reg.attr);
+    reg.was_in_range = in_range;
+    if (!in_range) {
+      continue;
+    }
+    if (reg.last_sent.has_value() && *reg.last_sent == *value) {
+      continue;  // Unchanged.
+    }
+    auto& entry = per_client[key.first];
+    entry.first = reg.client;
+    entry.second.items.push_back({reg.reg_id, *value, true});
+    reg.last_sent = *value;
+  }
+  for (auto& [client_key, entry] : per_client) {
+    ++updates_sent_;
+    socket_->SendTo(entry.first.addr, entry.first.port, EncodeUpdate(entry.second));
+  }
+  update_timer_ =
+      host_->simulator()->ScheduleTimer(config_.update_interval, [this] { UpdateTick(); });
+}
+
+}  // namespace comma::monitor

@@ -1,0 +1,85 @@
+// The Execution Environment Monitor server (thesis §6.2, Fig. 6.1).
+//
+// Runs on any host, gathers local metrics through its providers, and serves
+// client registrations. Two timers drive it:
+//  - the check interval: every registered variable is read; interrupt-mode
+//    registrations whose value *enters* its range get an immediate Notify;
+//  - the update interval (the thesis's "roughly ten seconds"): each client
+//    receives one batched Update carrying its in-range variables that
+//    changed since the last update.
+// One-shot registrations are answered immediately and dropped (polling,
+// §6.1.3).
+#ifndef COMMA_MONITOR_EEM_SERVER_H_
+#define COMMA_MONITOR_EEM_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/host.h"
+#include "src/monitor/protocol.h"
+#include "src/monitor/variables.h"
+
+namespace comma::monitor {
+
+struct EemServerConfig {
+  uint16_t port = kEemPort;
+  sim::Duration check_interval = sim::kSecond;
+  sim::Duration update_interval = 10 * sim::kSecond;
+};
+
+class EemServer {
+ public:
+  explicit EemServer(core::Host* host, const EemServerConfig& config = {});
+  ~EemServer();
+  EemServer(const EemServer&) = delete;
+  EemServer& operator=(const EemServer&) = delete;
+
+  // Extends the variable set (thesis: "application designers can extend the
+  // EEM"). Providers are consulted in insertion order.
+  void AddProvider(std::unique_ptr<MetricProvider> provider);
+
+  // Reads a variable directly (used by providers' tests and by Kati when
+  // co-located).
+  std::optional<Value> ReadVariable(const std::string& name, uint32_t index);
+
+  size_t RegistrationCount() const { return registrations_.size(); }
+  uint64_t notifies_sent() const { return notifies_sent_; }
+  uint64_t updates_sent() const { return updates_sent_; }
+  uint64_t bytes_sent() const { return socket_->bytes_sent(); }
+  uint64_t bytes_received() const { return socket_->bytes_received(); }
+
+ private:
+  struct Registration {
+    udp::UdpEndpoint client;
+    uint32_t reg_id = 0;
+    std::string name;
+    uint32_t index = 0;
+    Attr attr;
+    bool was_in_range = false;
+    std::optional<Value> last_sent;
+  };
+
+  void OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from);
+  void CheckTick();
+  void UpdateTick();
+  static uint64_t ClientKey(const udp::UdpEndpoint& ep) {
+    return static_cast<uint64_t>(ep.addr.value()) << 16 | ep.port;
+  }
+
+  core::Host* host_;
+  EemServerConfig config_;
+  std::unique_ptr<udp::UdpSocket> socket_;
+  std::vector<std::unique_ptr<MetricProvider>> providers_;
+  HostProvider* host_provider_ = nullptr;  // Needs periodic polling.
+  // Keyed by (client, reg_id) so re-registration replaces.
+  std::map<std::pair<uint64_t, uint32_t>, Registration> registrations_;
+  sim::TimerId check_timer_ = sim::kInvalidTimerId;
+  sim::TimerId update_timer_ = sim::kInvalidTimerId;
+  uint64_t notifies_sent_ = 0;
+  uint64_t updates_sent_ = 0;
+};
+
+}  // namespace comma::monitor
+
+#endif  // COMMA_MONITOR_EEM_SERVER_H_

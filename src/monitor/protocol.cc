@@ -1,0 +1,150 @@
+#include "src/monitor/protocol.h"
+
+namespace comma::monitor {
+
+namespace {
+
+void WriteAttr(util::ByteWriter& w, const Attr& attr) {
+  w.WriteU8(static_cast<uint8_t>(attr.op));
+  w.WriteU8(static_cast<uint8_t>(attr.mode));
+  WriteValue(w, attr.lbound);
+  WriteValue(w, attr.ubound);
+}
+
+std::optional<Attr> ReadAttr(util::ByteReader& r) {
+  Attr attr;
+  const uint8_t op = r.ReadU8();
+  const uint8_t mode = r.ReadU8();
+  if (op > static_cast<uint8_t>(Op::kOut) || mode > static_cast<uint8_t>(NotifyMode::kOnce)) {
+    return std::nullopt;
+  }
+  attr.op = static_cast<Op>(op);
+  attr.mode = static_cast<NotifyMode>(mode);
+  auto lo = ReadValue(r);
+  auto hi = ReadValue(r);
+  if (!lo || !hi || r.failed()) {
+    return std::nullopt;
+  }
+  attr.lbound = std::move(*lo);
+  attr.ubound = std::move(*hi);
+  return attr;
+}
+
+}  // namespace
+
+util::Bytes EncodeRegister(const RegisterMsg& msg) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(static_cast<uint8_t>(MsgType::kRegister));
+  w.WriteU32(msg.reg_id);
+  w.WriteString(msg.name);
+  w.WriteU32(msg.index);
+  WriteAttr(w, msg.attr);
+  return out;
+}
+
+util::Bytes EncodeDeregister(const DeregisterMsg& msg) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(static_cast<uint8_t>(MsgType::kDeregister));
+  w.WriteU32(msg.reg_id);
+  return out;
+}
+
+util::Bytes EncodeDeregisterAll() {
+  return {static_cast<uint8_t>(MsgType::kDeregisterAll)};
+}
+
+util::Bytes EncodeNotify(const NotifyMsg& msg) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(static_cast<uint8_t>(MsgType::kNotify));
+  w.WriteU32(msg.reg_id);
+  WriteValue(w, msg.value);
+  return out;
+}
+
+util::Bytes EncodeUpdate(const UpdateMsg& msg) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(static_cast<uint8_t>(MsgType::kUpdate));
+  w.WriteU16(static_cast<uint16_t>(msg.items.size()));
+  for (const UpdateItem& item : msg.items) {
+    w.WriteU32(item.reg_id);
+    WriteValue(w, item.value);
+    w.WriteU8(item.in_range ? 1 : 0);
+  }
+  return out;
+}
+
+std::optional<MsgType> PeekType(const util::Bytes& data) {
+  if (data.empty() || data[0] < 1 || data[0] > 5) {
+    return std::nullopt;
+  }
+  return static_cast<MsgType>(data[0]);
+}
+
+std::optional<RegisterMsg> DecodeRegister(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (r.ReadU8() != static_cast<uint8_t>(MsgType::kRegister)) {
+    return std::nullopt;
+  }
+  RegisterMsg msg;
+  msg.reg_id = r.ReadU32();
+  msg.name = r.ReadString();
+  msg.index = r.ReadU32();
+  auto attr = ReadAttr(r);
+  if (!attr || r.failed()) {
+    return std::nullopt;
+  }
+  msg.attr = std::move(*attr);
+  return msg;
+}
+
+std::optional<DeregisterMsg> DecodeDeregister(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (r.ReadU8() != static_cast<uint8_t>(MsgType::kDeregister)) {
+    return std::nullopt;
+  }
+  DeregisterMsg msg;
+  msg.reg_id = r.ReadU32();
+  return r.failed() ? std::nullopt : std::optional(msg);
+}
+
+std::optional<NotifyMsg> DecodeNotify(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (r.ReadU8() != static_cast<uint8_t>(MsgType::kNotify)) {
+    return std::nullopt;
+  }
+  NotifyMsg msg;
+  msg.reg_id = r.ReadU32();
+  auto v = ReadValue(r);
+  if (!v || r.failed()) {
+    return std::nullopt;
+  }
+  msg.value = std::move(*v);
+  return msg;
+}
+
+std::optional<UpdateMsg> DecodeUpdate(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (r.ReadU8() != static_cast<uint8_t>(MsgType::kUpdate)) {
+    return std::nullopt;
+  }
+  UpdateMsg msg;
+  const uint16_t count = r.ReadU16();
+  for (uint16_t i = 0; i < count; ++i) {
+    UpdateItem item;
+    item.reg_id = r.ReadU32();
+    auto v = ReadValue(r);
+    if (!v) {
+      return std::nullopt;
+    }
+    item.value = std::move(*v);
+    item.in_range = r.ReadU8() != 0;
+    msg.items.push_back(std::move(item));
+  }
+  return r.failed() ? std::nullopt : std::optional(msg);
+}
+
+}  // namespace comma::monitor

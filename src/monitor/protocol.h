@@ -1,0 +1,62 @@
+// EEM wire protocol: a lean binary encoding over UDP (thesis §6.1.2 calls
+// for minimal monitor traffic; updates batch several variables into one
+// datagram and carry only values that changed).
+#ifndef COMMA_MONITOR_PROTOCOL_H_
+#define COMMA_MONITOR_PROTOCOL_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/monitor/value.h"
+
+namespace comma::monitor {
+
+enum class MsgType : uint8_t {
+  kRegister = 1,
+  kDeregister = 2,
+  kDeregisterAll = 3,
+  kNotify = 4,  // Interrupt-style, one variable, sent immediately.
+  kUpdate = 5,  // Periodic batch of (reg_id, value, in_range).
+};
+
+struct RegisterMsg {
+  uint32_t reg_id = 0;
+  std::string name;
+  uint32_t index = 0;
+  Attr attr;
+};
+
+struct DeregisterMsg {
+  uint32_t reg_id = 0;
+};
+
+struct NotifyMsg {
+  uint32_t reg_id = 0;
+  Value value;
+};
+
+struct UpdateItem {
+  uint32_t reg_id = 0;
+  Value value;
+  bool in_range = false;
+};
+
+struct UpdateMsg {
+  std::vector<UpdateItem> items;
+};
+
+util::Bytes EncodeRegister(const RegisterMsg& msg);
+util::Bytes EncodeDeregister(const DeregisterMsg& msg);
+util::Bytes EncodeDeregisterAll();
+util::Bytes EncodeNotify(const NotifyMsg& msg);
+util::Bytes EncodeUpdate(const UpdateMsg& msg);
+
+std::optional<MsgType> PeekType(const util::Bytes& data);
+std::optional<RegisterMsg> DecodeRegister(const util::Bytes& data);
+std::optional<DeregisterMsg> DecodeDeregister(const util::Bytes& data);
+std::optional<NotifyMsg> DecodeNotify(const util::Bytes& data);
+std::optional<UpdateMsg> DecodeUpdate(const util::Bytes& data);
+
+}  // namespace comma::monitor
+
+#endif  // COMMA_MONITOR_PROTOCOL_H_

@@ -1,0 +1,166 @@
+#include "src/monitor/value.h"
+
+#include <tuple>
+
+#include "src/util/strings.h"
+
+namespace comma::monitor {
+
+ValueType TypeOf(const Value& v) { return static_cast<ValueType>(v.index()); }
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kLong:
+      return util::Format("%lld", static_cast<long long>(std::get<int64_t>(v)));
+    case ValueType::kDouble:
+      return util::Format("%g", std::get<double>(v));
+    case ValueType::kString:
+      return std::get<std::string>(v);
+  }
+  return "";
+}
+
+std::string VariableId::ToString() const {
+  std::string where = server.IsUnspecified() ? "local" : server.ToString();
+  if (index != 0) {
+    return util::Format("%s[%u]@%s", name.c_str(), index, where.c_str());
+  }
+  return util::Format("%s@%s", name.c_str(), where.c_str());
+}
+
+bool operator<(const VariableId& a, const VariableId& b) {
+  return std::tie(a.name, a.index, a.server, a.server_port) <
+         std::tie(b.name, b.index, b.server, b.server_port);
+}
+
+Attr Attr::Always(NotifyMode mode) {
+  Attr attr;
+  attr.mode = mode;
+  return attr;
+}
+
+Attr Attr::Unary(Op op, Value bound, NotifyMode mode) {
+  Attr attr;
+  attr.op = op;
+  attr.lbound = std::move(bound);
+  attr.mode = mode;
+  return attr;
+}
+
+Attr Attr::Range(Op op, Value lo, Value hi, NotifyMode mode) {
+  Attr attr;
+  attr.op = op;
+  attr.lbound = std::move(lo);
+  attr.ubound = std::move(hi);
+  attr.mode = mode;
+  return attr;
+}
+
+namespace {
+
+// Numeric comparison across LONG/DOUBLE. Returns nullopt for strings or
+// mixed string/number comparisons.
+std::optional<double> AsNumber(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kLong:
+      return static_cast<double>(std::get<int64_t>(v));
+    case ValueType::kDouble:
+      return std::get<double>(v);
+    case ValueType::kString:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool InRange(const Value& v, const Attr& attr) {
+  if (attr.op == Op::kAny) {
+    return true;
+  }
+  if (TypeOf(v) == ValueType::kString) {
+    // Strings support only equality tests (§6.3.2).
+    if (TypeOf(attr.lbound) != ValueType::kString) {
+      return false;
+    }
+    const std::string& s = std::get<std::string>(v);
+    const std::string& bound = std::get<std::string>(attr.lbound);
+    if (attr.op == Op::kEq) {
+      return s == bound;
+    }
+    if (attr.op == Op::kNeq) {
+      return s != bound;
+    }
+    return false;
+  }
+  auto val = AsNumber(v);
+  auto lo = AsNumber(attr.lbound);
+  if (!val || !lo) {
+    return false;
+  }
+  switch (attr.op) {
+    case Op::kGt:
+      return *val > *lo;
+    case Op::kGte:
+      return *val >= *lo;
+    case Op::kLt:
+      return *val < *lo;
+    case Op::kLte:
+      return *val <= *lo;
+    case Op::kEq:
+      return *val == *lo;
+    case Op::kNeq:
+      return *val != *lo;
+    case Op::kIn:
+    case Op::kOut: {
+      auto hi = AsNumber(attr.ubound);
+      if (!hi) {
+        return false;
+      }
+      const bool inside = *val >= *lo && *val <= *hi;
+      return attr.op == Op::kIn ? inside : !inside;
+    }
+    case Op::kAny:
+      return true;
+  }
+  return false;
+}
+
+void WriteValue(util::ByteWriter& w, const Value& v) {
+  w.WriteU8(static_cast<uint8_t>(TypeOf(v)));
+  switch (TypeOf(v)) {
+    case ValueType::kLong:
+      w.WriteU64(static_cast<uint64_t>(std::get<int64_t>(v)));
+      break;
+    case ValueType::kDouble: {
+      double d = std::get<double>(v);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      w.WriteU64(bits);
+      break;
+    }
+    case ValueType::kString:
+      w.WriteString(std::get<std::string>(v));
+      break;
+  }
+}
+
+std::optional<Value> ReadValue(util::ByteReader& r) {
+  const uint8_t type = r.ReadU8();
+  switch (static_cast<ValueType>(type)) {
+    case ValueType::kLong:
+      return Value(static_cast<int64_t>(r.ReadU64()));
+    case ValueType::kDouble: {
+      uint64_t bits = r.ReadU64();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case ValueType::kString:
+      return Value(r.ReadString());
+  }
+  return std::nullopt;
+}
+
+}  // namespace comma::monitor

@@ -1,0 +1,90 @@
+// EEM value and registration types (thesis §6.3).
+//
+// Variables are typed LONG / DOUBLE / STRING (the thesis's comma_type_t
+// union); registrations pair a VariableId (what, where) with an Attr (when
+// to notify). Operators follow Table 6.5's COMMA_GT .. COMMA_OUT set.
+#ifndef COMMA_MONITOR_VALUE_H_
+#define COMMA_MONITOR_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "src/net/address.h"
+#include "src/util/bytes.h"
+
+namespace comma::monitor {
+
+inline constexpr uint16_t kEemPort = 7070;
+
+// LONG / DOUBLE / STRING, in that variant order.
+using Value = std::variant<int64_t, double, std::string>;
+
+enum class ValueType : uint8_t {
+  kLong = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+ValueType TypeOf(const Value& v);
+std::string ValueToString(const Value& v);
+
+// Comparison operators for notification ranges (Table 6.5).
+enum class Op : uint8_t {
+  kAny = 0,  // Always notify (no range restriction).
+  kGt = 1,
+  kGte = 2,
+  kLt = 3,
+  kLte = 4,
+  kEq = 5,
+  kNeq = 6,
+  kIn = 7,   // lbound <= v <= ubound.
+  kOut = 8,  // v < lbound or v > ubound.
+};
+
+// How the client wants to hear about the variable (§6.1.3).
+enum class NotifyMode : uint8_t {
+  kPeriodic = 0,   // Silent updates into the protected data area.
+  kInterrupt = 1,  // Immediate callback when the value enters the range.
+  kOnce = 2,       // One-shot poll; auto-deregisters after the reply.
+};
+
+// Identifies a variable on a (possibly remote) EEM server.
+struct VariableId {
+  std::string name;
+  uint32_t index = 0;  // Interface index etc.; 0 when not applicable.
+  net::Ipv4Address server;  // Unspecified = local host.
+  uint16_t server_port = kEemPort;
+
+  std::string ToString() const;
+  friend bool operator==(const VariableId& a, const VariableId& b) {
+    return a.name == b.name && a.index == b.index && a.server == b.server &&
+           a.server_port == b.server_port;
+  }
+  friend bool operator<(const VariableId& a, const VariableId& b);
+};
+
+// Notification attributes: bounds + operator + mode (Tables 6.3/6.5).
+struct Attr {
+  Op op = Op::kAny;
+  NotifyMode mode = NotifyMode::kPeriodic;
+  Value lbound = int64_t{0};
+  Value ubound = int64_t{0};
+
+  static Attr Always(NotifyMode mode = NotifyMode::kPeriodic);
+  static Attr Unary(Op op, Value bound, NotifyMode mode = NotifyMode::kPeriodic);
+  static Attr Range(Op op, Value lo, Value hi, NotifyMode mode = NotifyMode::kPeriodic);
+};
+
+// Evaluates whether `v` satisfies the attribute's range. String values only
+// support EQ/NEQ (type checking per §6.3.2); mismatched types return false.
+bool InRange(const Value& v, const Attr& attr);
+
+// Wire helpers.
+void WriteValue(util::ByteWriter& w, const Value& v);
+std::optional<Value> ReadValue(util::ByteReader& r);
+
+}  // namespace comma::monitor
+
+#endif  // COMMA_MONITOR_VALUE_H_

@@ -1,0 +1,307 @@
+#include "src/monitor/variables.h"
+
+#include "src/core/host.h"
+#include "src/core/ping.h"
+#include "src/util/strings.h"
+
+namespace comma::monitor {
+
+namespace {
+
+int64_t AsLong(uint64_t v) { return static_cast<int64_t>(v); }
+
+}  // namespace
+
+SnmpProvider::SnmpProvider(core::Host* host) : host_(host) {}
+
+std::vector<std::string> SnmpProvider::Names() const {
+  return {
+      // System group.
+      "sysDescr", "sysObjectID", "sysUpTime", "sysContact", "sysName", "sysLocation",
+      "sysServices",
+      // IP group.
+      "ipInReceives", "ipInHdrErrors", "ipInAddrErrors", "ipForwDatagrams",
+      "ipInUnknownProtos", "ipInDiscards", "ipInDelivers", "ipOutRequests", "ipOutDiscards",
+      "ipOutNoRoutes", "ipRoutingDiscard",
+      // UDP group.
+      "udpInDatagrams", "udpNoPorts", "udpInErrors",
+      // TCP group.
+      "tcpRtoAlgorithm", "tcpRtoMin", "tcpRtoMax", "tcpMaxConn", "tcpActiveOpens",
+      "tcpPassiveOpens", "tcpAttemptFails", "tcpEstabResets", "tcpCurrEstab", "tcpInSegs",
+      "tcpOutSegs", "tcpRetransSegs",
+      // Interface group (indexed).
+      "ifNumbers", "ifIndex", "ifDescr", "ifType", "ifMtu", "ifSpeed", "ifInOctets",
+      "ifInUcastPkts", "ifInNUcastPkts", "ifInDiscards", "ifInErrors", "ifInUnknownProtos",
+      "ifOutOctets", "ifOutUcastPkts", "ifOutNUcastPkts", "ifOutDiscards", "ifOutErrors",
+      "ifOutQLen", "ifOperStatus",
+  };
+}
+
+std::optional<Value> SnmpProvider::Get(const std::string& name, uint32_t index) {
+  const net::NodeStats& ip = host_->stats();
+
+  // --- System group ---
+  if (name == "sysDescr") {
+    return Value("Comma EEM host " + host_->name());
+  }
+  if (name == "sysObjectID") {
+    return Value(std::string("1.3.6.1.4.1.0"));
+  }
+  if (name == "sysUpTime") {
+    // SNMP TimeTicks: hundredths of a second.
+    return Value(AsLong(static_cast<uint64_t>(host_->simulator()->Now() / 10000)));
+  }
+  if (name == "sysContact") {
+    return Value(std::string("shoshin@uwaterloo.ca"));
+  }
+  if (name == "sysName") {
+    return Value(host_->name());
+  }
+  if (name == "sysLocation") {
+    return Value(std::string("simulated"));
+  }
+  if (name == "sysServices") {
+    return Value(int64_t{72});  // Internet + end-to-end.
+  }
+
+  // --- IP group ---
+  if (name == "ipInReceives") {
+    return Value(AsLong(ip.ip_in_receives));
+  }
+  if (name == "ipInHdrErrors") {
+    return Value(AsLong(ip.ip_in_hdr_errors));
+  }
+  if (name == "ipInAddrErrors") {
+    return Value(int64_t{0});
+  }
+  if (name == "ipForwDatagrams") {
+    return Value(AsLong(ip.ip_forw_datagrams));
+  }
+  if (name == "ipInUnknownProtos") {
+    return Value(int64_t{0});
+  }
+  if (name == "ipInDiscards") {
+    return Value(AsLong(ip.ip_in_discards));
+  }
+  if (name == "ipInDelivers") {
+    return Value(AsLong(ip.ip_in_delivers));
+  }
+  if (name == "ipOutRequests") {
+    return Value(AsLong(ip.ip_out_requests));
+  }
+  if (name == "ipOutDiscards") {
+    return Value(int64_t{0});
+  }
+  if (name == "ipOutNoRoutes") {
+    return Value(AsLong(ip.ip_out_no_routes));
+  }
+  if (name == "ipRoutingDiscard") {
+    return Value(int64_t{0});
+  }
+
+  // --- UDP group ---
+  if (name == "udpInDatagrams") {
+    return Value(AsLong(host_->udp().in_datagrams()));
+  }
+  if (name == "udpNoPorts") {
+    return Value(AsLong(host_->udp().no_ports()));
+  }
+  if (name == "udpInErrors") {
+    return Value(int64_t{0});
+  }
+
+  // --- TCP group ---
+  if (name == "tcpRtoAlgorithm") {
+    return Value(int64_t{4});  // Van Jacobson.
+  }
+  if (name == "tcpRtoMin") {
+    return Value(int64_t{500});
+  }
+  if (name == "tcpRtoMax") {
+    return Value(int64_t{64000});
+  }
+  if (name == "tcpMaxConn") {
+    return Value(int64_t{-1});
+  }
+  if (name == "tcpCurrEstab") {
+    return Value(AsLong(host_->tcp().ActiveConnections()));
+  }
+  if (name == "tcpActiveOpens" || name == "tcpPassiveOpens" || name == "tcpAttemptFails" ||
+      name == "tcpEstabResets" || name == "tcpInSegs" || name == "tcpOutSegs" ||
+      name == "tcpRetransSegs") {
+    // Aggregate TCP counters are not tracked stack-wide; report zero rather
+    // than guessing (per-connection stats are exposed via the API instead).
+    return Value(int64_t{0});
+  }
+
+  // --- Interface group ---
+  if (name == "ifNumbers") {
+    return Value(AsLong(host_->InterfaceCount()));
+  }
+  const bool is_if_var = util::StartsWith(name, "if");
+  if (is_if_var) {
+    // SNMP indexes interfaces from 1.
+    if (index == 0 || index > host_->InterfaceCount()) {
+      return std::nullopt;
+    }
+    const uint32_t i = index - 1;
+    const net::InterfaceStats& st = host_->interface_stats(i);
+    net::Link* link = host_->InterfaceLink(i);
+    if (name == "ifIndex") {
+      return Value(AsLong(index));
+    }
+    if (name == "ifDescr") {
+      return Value(link != nullptr ? link->name() : std::string("unattached"));
+    }
+    if (name == "ifType") {
+      return Value(int64_t{6});  // ethernetCsmacd.
+    }
+    if (name == "ifMtu") {
+      return Value(int64_t{1500});
+    }
+    if (name == "ifSpeed") {
+      return Value(AsLong(link != nullptr ? link->config().bandwidth_bps : 0));
+    }
+    if (name == "ifInOctets") {
+      return Value(AsLong(st.in_bytes));
+    }
+    if (name == "ifInUcastPkts") {
+      return Value(AsLong(st.in_packets));
+    }
+    if (name == "ifOutOctets") {
+      return Value(AsLong(st.out_bytes));
+    }
+    if (name == "ifOutUcastPkts") {
+      return Value(AsLong(st.out_packets));
+    }
+    if (name == "ifInNUcastPkts" || name == "ifOutNUcastPkts" || name == "ifInUnknownProtos") {
+      return Value(int64_t{0});
+    }
+    if (name == "ifInDiscards" || name == "ifInErrors") {
+      // Error-model drops land on the receiving side of the link.
+      if (link != nullptr) {
+        const int side = link->stats(0).rx_packets >= st.in_packets ? 1 : 0;
+        return Value(AsLong(link->stats(1 - side).drops_error));
+      }
+      return Value(int64_t{0});
+    }
+    if (name == "ifOutDiscards") {
+      if (link != nullptr) {
+        return Value(AsLong(link->stats(0).drops_queue + link->stats(1).drops_queue));
+      }
+      return Value(int64_t{0});
+    }
+    if (name == "ifOutErrors") {
+      return Value(int64_t{0});
+    }
+    if (name == "ifOutQLen") {
+      if (link != nullptr) {
+        return Value(AsLong(link->QueueDepth(0) + link->QueueDepth(1)));
+      }
+      return Value(int64_t{0});
+    }
+    if (name == "ifOperStatus") {
+      // 1 = up, 2 = down (RFC 1213).
+      return Value(int64_t{link != nullptr && link->IsUp() ? 1 : 2});
+    }
+  }
+  return std::nullopt;
+}
+
+// --- HostProvider ---
+
+HostProvider::HostProvider(core::Host* host) : host_(host) {
+  pinger_ = std::make_unique<core::Pinger>(host_, &host_->icmp_responder());
+}
+
+std::vector<std::string> HostProvider::Names() const {
+  return {"netLatency", "avgInIPPkts", "cpuLoadAvg", "ethErrsAvg",
+          "ethInAvg",   "ethOutAvg",   "deviceList", "bytes_rx",
+          "bytes_tx"};
+}
+
+void HostProvider::Poll(sim::TimePoint now) {
+  uint64_t in_pkts = 0;
+  uint64_t out_pkts = 0;
+  for (uint32_t i = 0; i < host_->InterfaceCount(); ++i) {
+    in_pkts += host_->interface_stats(i).in_packets;
+    out_pkts += host_->interface_stats(i).out_packets;
+  }
+  const uint64_t ip_in = host_->stats().ip_in_receives;
+  // Keep a live latency sample flowing to the interface-0 neighbour.
+  if (host_->InterfaceCount() > 0) {
+    net::Link* link = host_->InterfaceLink(0);
+    if (link != nullptr && link->IsUp()) {
+      const int local_side = link->attached_node(0) == host_ ? 0 : 1;
+      net::Node* peer = link->attached_node(1 - local_side);
+      if (peer != nullptr) {
+        pinger_->Ping(peer->InterfaceAddress(link->attached_iface(1 - local_side)), nullptr);
+      }
+    }
+  }
+  if (last_poll_ != 0 && now > last_poll_) {
+    const double dt = sim::DurationToSeconds(now - last_poll_);
+    // Exponentially weighted averages, like the shipping monitors of the era.
+    const double alpha = 0.3;
+    eth_in_avg_ += alpha * (static_cast<double>(in_pkts - last_in_pkts_) / dt - eth_in_avg_);
+    eth_out_avg_ += alpha * (static_cast<double>(out_pkts - last_out_pkts_) / dt - eth_out_avg_);
+    avg_in_ip_ += alpha * (static_cast<double>(ip_in - last_ip_in_) / dt - avg_in_ip_);
+    // Synthetic CPU load loosely coupled to packet rate.
+    cpu_load_ = 0.9 * cpu_load_ + 0.1 * std::min(1.0, eth_in_avg_ / 2000.0 + 0.05);
+  }
+  last_poll_ = now;
+  last_in_pkts_ = in_pkts;
+  last_out_pkts_ = out_pkts;
+  last_ip_in_ = ip_in;
+}
+
+std::optional<Value> HostProvider::Get(const std::string& name, uint32_t /*index*/) {
+  if (name == "netLatency") {
+    // Measured ping RTT to the interface-0 neighbour (milliseconds). Before
+    // the first reply lands, estimate from the link parameters.
+    if (pinger_->replies_received() > 0) {
+      return Value(sim::DurationToSeconds(pinger_->last_rtt()) * 1000.0);
+    }
+    net::Link* link = host_->InterfaceCount() > 0 ? host_->InterfaceLink(0) : nullptr;
+    if (link == nullptr) {
+      return Value(0.0);
+    }
+    const double rtt = 2.0 * (sim::DurationToSeconds(link->config().propagation_delay) +
+                              sim::DurationToSeconds(link->TransmitTime(64)));
+    return Value(rtt * 1000.0);  // Milliseconds.
+  }
+  if (name == "avgInIPPkts") {
+    return Value(avg_in_ip_);
+  }
+  if (name == "cpuLoadAvg") {
+    return Value(cpu_load_);
+  }
+  if (name == "ethErrsAvg") {
+    return Value(0.0);
+  }
+  if (name == "ethInAvg") {
+    return Value(eth_in_avg_);
+  }
+  if (name == "ethOutAvg") {
+    return Value(eth_out_avg_);
+  }
+  if (name == "deviceList") {
+    std::vector<std::string> devices;
+    for (uint32_t i = 0; i < host_->InterfaceCount(); ++i) {
+      net::Link* link = host_->InterfaceLink(i);
+      devices.push_back(util::Format("if%u:%s", i, link ? link->name().c_str() : "down"));
+    }
+    return Value(util::Join(devices, ","));
+  }
+  if (name == "bytes_rx" || name == "bytes_tx") {
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < host_->InterfaceCount(); ++i) {
+      total += name == "bytes_rx" ? host_->interface_stats(i).in_bytes
+                                  : host_->interface_stats(i).out_bytes;
+    }
+    return Value(AsLong(total));
+  }
+  return std::nullopt;
+}
+
+}  // namespace comma::monitor

@@ -1,0 +1,65 @@
+#include "src/net/address.h"
+
+#include "src/util/strings.h"
+
+namespace comma::net {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  auto parts = util::Split(text, '.');
+  if (parts.size() != 4) {
+    return std::nullopt;
+  }
+  uint32_t value = 0;
+  for (const auto& part : parts) {
+    uint32_t octet = 0;
+    if (!util::ParseU32(part, &octet) || octet > 255) {
+      return std::nullopt;
+    }
+    value = value << 8 | octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::ToString() const {
+  return util::Format("%u.%u.%u.%u", value_ >> 24 & 0xff, value_ >> 16 & 0xff, value_ >> 8 & 0xff,
+                      value_ & 0xff);
+}
+
+namespace {
+uint32_t MaskFor(uint8_t length) {
+  if (length == 0) {
+    return 0;
+  }
+  return ~uint32_t{0} << (32 - length);
+}
+}  // namespace
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address base, uint8_t length)
+    : base_(Ipv4Address(base.value() & MaskFor(length))), length_(length > 32 ? 32 : length) {}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::Parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = Ipv4Address::Parse(text);
+    if (!addr) {
+      return std::nullopt;
+    }
+    return Ipv4Prefix(*addr, 32);
+  }
+  auto addr = Ipv4Address::Parse(text.substr(0, slash));
+  uint32_t length = 0;
+  if (!addr || !util::ParseU32(text.substr(slash + 1), &length) || length > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*addr, static_cast<uint8_t>(length));
+}
+
+bool Ipv4Prefix::Contains(Ipv4Address addr) const {
+  return (addr.value() & MaskFor(length_)) == base_.value();
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return util::Format("%s/%u", base_.ToString().c_str(), length_);
+}
+
+}  // namespace comma::net

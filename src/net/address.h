@@ -1,0 +1,72 @@
+// IPv4 addresses and prefixes.
+#ifndef COMMA_NET_ADDRESS_H_
+#define COMMA_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace comma::net {
+
+// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value_(static_cast<uint32_t>(a) << 24 | static_cast<uint32_t>(b) << 16 |
+               static_cast<uint32_t>(c) << 8 | d) {}
+
+  // Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool IsUnspecified() const { return value_ == 0; }
+
+  std::string ToString() const;
+
+  friend constexpr bool operator==(Ipv4Address a, Ipv4Address b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Ipv4Address a, Ipv4Address b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Ipv4Address a, Ipv4Address b) { return a.value_ < b.value_; }
+
+ private:
+  uint32_t value_ = 0;
+};
+
+inline constexpr Ipv4Address kAnyAddress{};
+
+// An IPv4 prefix (network address + length) for routing.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Address base, uint8_t length);
+
+  // Parses "10.0.0.0/8"; returns nullopt on malformed input.
+  static std::optional<Ipv4Prefix> Parse(std::string_view text);
+
+  bool Contains(Ipv4Address addr) const;
+  constexpr uint8_t length() const { return length_; }
+  constexpr Ipv4Address base() const { return base_; }
+  std::string ToString() const;
+
+  friend bool operator==(const Ipv4Prefix& a, const Ipv4Prefix& b) {
+    return a.base_ == b.base_ && a.length_ == b.length_;
+  }
+
+ private:
+  Ipv4Address base_;
+  uint8_t length_ = 0;
+};
+
+}  // namespace comma::net
+
+template <>
+struct std::hash<comma::net::Ipv4Address> {
+  size_t operator()(comma::net::Ipv4Address a) const noexcept {
+    return std::hash<uint32_t>()(a.value());
+  }
+};
+
+#endif  // COMMA_NET_ADDRESS_H_

@@ -1,0 +1,36 @@
+#include "src/net/checksum.h"
+
+namespace comma::net {
+
+void ChecksumAccumulator::Add(const uint8_t* data, size_t len) {
+  size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum_ += static_cast<uint16_t>(static_cast<uint16_t>(data[i]) << 8 | data[i + 1]);
+  }
+  if (i < len) {
+    sum_ += static_cast<uint16_t>(static_cast<uint16_t>(data[i]) << 8);
+  }
+}
+
+void ChecksumAccumulator::AddU16(uint16_t v) { sum_ += v; }
+
+void ChecksumAccumulator::AddU32(uint32_t v) {
+  AddU16(static_cast<uint16_t>(v >> 16));
+  AddU16(static_cast<uint16_t>(v));
+}
+
+uint16_t ChecksumAccumulator::Finish() const {
+  uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  return static_cast<uint16_t>(~s);
+}
+
+uint16_t InternetChecksum(const uint8_t* data, size_t len) {
+  ChecksumAccumulator acc;
+  acc.Add(data, len);
+  return acc.Finish();
+}
+
+}  // namespace comma::net

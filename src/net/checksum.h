@@ -1,0 +1,32 @@
+// The Internet checksum (RFC 1071), used by the IP, TCP, and UDP headers.
+#ifndef COMMA_NET_CHECKSUM_H_
+#define COMMA_NET_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace comma::net {
+
+// Accumulates 16-bit one's-complement sums over possibly discontiguous
+// regions (header, pseudo-header, payload).
+class ChecksumAccumulator {
+ public:
+  // Adds a byte region. An odd-length region is padded with a zero byte, so
+  // callers must add odd-length regions last or pad explicitly.
+  void Add(const uint8_t* data, size_t len);
+  void AddU16(uint16_t v);
+  void AddU32(uint32_t v);
+
+  // Finalizes to the one's-complement checksum field value.
+  uint16_t Finish() const;
+
+ private:
+  uint64_t sum_ = 0;
+};
+
+// One-shot checksum of a contiguous buffer.
+uint16_t InternetChecksum(const uint8_t* data, size_t len);
+
+}  // namespace comma::net
+
+#endif  // COMMA_NET_CHECKSUM_H_

@@ -1,0 +1,136 @@
+#include "src/net/link.h"
+
+#include <cmath>
+
+#include "src/net/node.h"
+
+namespace comma::net {
+
+LinkConfig WiredLinkConfig() {
+  LinkConfig c;
+  c.bandwidth_bps = 10'000'000;  // 10 Mbit/s Ethernet-class.
+  c.propagation_delay = sim::kMillisecond;
+  c.queue_limit_packets = 64;
+  return c;
+}
+
+LinkConfig WirelessLinkConfig() {
+  LinkConfig c;
+  c.bandwidth_bps = 1'000'000;  // 1 Mbit/s WaveLAN-class.
+  c.propagation_delay = 5 * sim::kMillisecond;
+  c.queue_limit_packets = 32;
+  c.loss_probability = 0.01;
+  return c;
+}
+
+Link::Link(sim::Simulator* sim, sim::Random rng, const LinkConfig& config, std::string name)
+    : sim_(sim), rng_(rng), config_(config), name_(std::move(name)) {}
+
+void Link::Attach(int side, Node* node, uint32_t iface) {
+  sides_[side].node = node;
+  sides_[side].iface = iface;
+}
+
+sim::Duration Link::TransmitTime(size_t bytes) const {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double seconds = bits / static_cast<double>(config_.bandwidth_bps);
+  return sim::SecondsToDuration(seconds);
+}
+
+bool Link::LossModelDrops(size_t bytes) {
+  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+    return true;
+  }
+  if (config_.bit_error_rate > 0.0) {
+    const double bits = static_cast<double>(bytes) * 8.0;
+    const double p_ok = std::pow(1.0 - config_.bit_error_rate, bits);
+    if (rng_.Bernoulli(1.0 - p_ok)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Link::SetUp(bool up) {
+  if (up_ == up) {
+    return;
+  }
+  up_ = up;
+  if (!up) {
+    // In-flight packets are lost and queued packets are discarded.
+    ++epoch_;
+    for (Side& side : sides_) {
+      side.stats.drops_down += side.queue.size();
+      side.queue.clear();
+      side.transmitting = false;
+    }
+  } else {
+    for (int s = 0; s < 2; ++s) {
+      if (!sides_[s].queue.empty()) {
+        StartTransmit(s);
+      }
+    }
+  }
+}
+
+void Link::Send(int side, PacketPtr packet) {
+  Side& s = sides_[side];
+  if (!up_) {
+    ++s.stats.drops_down;
+    return;
+  }
+  if (s.queue.size() >= config_.queue_limit_packets) {
+    ++s.stats.drops_queue;
+    return;
+  }
+  s.queue.push_back(std::move(packet));
+  if (!s.transmitting) {
+    StartTransmit(side);
+  }
+}
+
+void Link::StartTransmit(int side) {
+  Side& s = sides_[side];
+  if (s.queue.empty() || s.transmitting || !up_) {
+    return;
+  }
+  s.transmitting = true;
+  const size_t bytes = s.queue.front()->SizeBytes();
+  const uint64_t epoch_at_start = epoch_;
+  sim_->Schedule(TransmitTime(bytes), [this, side, epoch_at_start] {
+    Side& sd = sides_[side];
+    if (epoch_at_start != epoch_ || sd.queue.empty()) {
+      return;  // Link went down while serializing.
+    }
+    sd.transmitting = false;
+    PacketPtr p = std::move(sd.queue.front());
+    sd.queue.pop_front();
+    const size_t sz = p->SizeBytes();
+    ++sd.stats.tx_packets;
+    sd.stats.tx_bytes += sz;
+
+    const int other = 1 - side;
+    if (LossModelDrops(sz)) {
+      ++sd.stats.drops_error;
+    } else {
+      // Capture by shared_ptr-like move into the propagation event.
+      auto* raw = p.release();
+      sim_->Schedule(config_.propagation_delay, [this, other, raw, epoch_at_start] {
+        PacketPtr arrived(raw);
+        if (epoch_at_start != epoch_ || !up_) {
+          ++sides_[other].stats.drops_down;
+          return;
+        }
+        Side& dst = sides_[other];
+        ++dst.stats.rx_packets;
+        dst.stats.rx_bytes += arrived->SizeBytes();
+        if (dst.node != nullptr) {
+          dst.node->ReceiveFromLink(dst.iface, std::move(arrived));
+        }
+      });
+    }
+    StartTransmit(side);
+  });
+}
+
+}  // namespace comma::net

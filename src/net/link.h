@@ -1,0 +1,105 @@
+// Point-to-point links with bandwidth, propagation delay, bounded drop-tail
+// queues, loss models, and runtime-variable QoS.
+//
+// The wireless variability the thesis is about (§2.3) is modelled here: a
+// link's bandwidth, delay, loss probability, bit-error rate, and up/down
+// state can all change while the simulation runs, and the EEM reads the
+// per-side counters this class maintains.
+#ifndef COMMA_NET_LINK_H_
+#define COMMA_NET_LINK_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace comma::net {
+
+class Node;
+
+struct LinkConfig {
+  uint64_t bandwidth_bps = 10'000'000;                    // 10 Mbit/s wired default.
+  sim::Duration propagation_delay = sim::kMillisecond;    // 1 ms.
+  size_t queue_limit_packets = 64;                        // Drop-tail bound.
+  double loss_probability = 0.0;                          // Per-packet Bernoulli loss.
+  double bit_error_rate = 0.0;                            // Independent per-bit errors.
+};
+
+// Canonical configurations for the two environments in the thesis's network
+// model (Fig. 1.1): a fast stable wired segment and a slow lossy wireless one.
+LinkConfig WiredLinkConfig();
+LinkConfig WirelessLinkConfig();
+
+struct LinkSideStats {
+  uint64_t tx_packets = 0;    // Packets fully serialized onto the wire.
+  uint64_t tx_bytes = 0;
+  uint64_t rx_packets = 0;    // Packets delivered to this side's node.
+  uint64_t rx_bytes = 0;
+  uint64_t drops_queue = 0;   // Drop-tail overflow.
+  uint64_t drops_error = 0;   // Loss model.
+  uint64_t drops_down = 0;    // Link was down.
+};
+
+class Link {
+ public:
+  Link(sim::Simulator* sim, sim::Random rng, const LinkConfig& config, std::string name);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Attaches one end. `side` is 0 or 1; `iface` is the node's interface index.
+  void Attach(int side, Node* node, uint32_t iface);
+
+  // Enqueues a packet for transmission from `side` toward the other side.
+  void Send(int side, PacketPtr packet);
+
+  // --- Runtime QoS control (the "wireless variability" knobs) ---
+  void SetBandwidth(uint64_t bps) { config_.bandwidth_bps = bps ? bps : 1; }
+  void SetPropagationDelay(sim::Duration d) { config_.propagation_delay = d; }
+  void SetLossProbability(double p) { config_.loss_probability = p; }
+  void SetBitErrorRate(double ber) { config_.bit_error_rate = ber; }
+  void SetQueueLimit(size_t packets) { config_.queue_limit_packets = packets; }
+  // Taking a link down drops everything in flight (a mobile moving out of
+  // range loses whatever was in the air).
+  void SetUp(bool up);
+
+  bool IsUp() const { return up_; }
+  const LinkConfig& config() const { return config_; }
+  const LinkSideStats& stats(int side) const { return sides_[side].stats; }
+  // The node and interface attached at `side` (nullptr before Attach).
+  Node* attached_node(int side) const { return sides_[side].node; }
+  uint32_t attached_iface(int side) const { return sides_[side].iface; }
+  const std::string& name() const { return name_; }
+  size_t QueueDepth(int side) const { return sides_[side].queue.size(); }
+
+  // Serialization time for `bytes` at the current bandwidth.
+  sim::Duration TransmitTime(size_t bytes) const;
+
+ private:
+  struct Side {
+    Node* node = nullptr;
+    uint32_t iface = 0;
+    std::deque<PacketPtr> queue;
+    bool transmitting = false;
+    LinkSideStats stats;
+  };
+
+  void StartTransmit(int side);
+  bool LossModelDrops(size_t bytes);
+
+  sim::Simulator* sim_;
+  sim::Random rng_;
+  LinkConfig config_;
+  std::string name_;
+  bool up_ = true;
+  // Generation counter: bumped when the link goes down so in-flight delivery
+  // events from before the outage cancel themselves.
+  uint64_t epoch_ = 0;
+  Side sides_[2];
+};
+
+}  // namespace comma::net
+
+#endif  // COMMA_NET_LINK_H_

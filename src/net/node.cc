@@ -1,0 +1,201 @@
+#include "src/net/node.h"
+
+#include <algorithm>
+
+namespace comma::net {
+
+Node::Node(sim::Simulator* sim, std::string name)
+    : sim_(sim), name_(std::move(name)), tracer_(sim) {}
+
+uint32_t Node::AddInterface(Ipv4Address addr) {
+  Interface iface;
+  iface.addr = addr;
+  interfaces_.push_back(iface);
+  return static_cast<uint32_t>(interfaces_.size() - 1);
+}
+
+void Node::AttachLink(uint32_t iface, Link* link, int side) {
+  interfaces_.at(iface).link = link;
+  interfaces_.at(iface).side = side;
+  link->Attach(side, this, iface);
+}
+
+void Node::AddRoute(Ipv4Prefix prefix, uint32_t iface) {
+  // Replace an existing identical prefix rather than shadowing it.
+  for (Route& r : routes_) {
+    if (r.prefix == prefix) {
+      r.iface = iface;
+      return;
+    }
+  }
+  routes_.push_back({prefix, iface});
+}
+
+void Node::AddHostRoute(Ipv4Address addr, uint32_t iface) {
+  AddRoute(Ipv4Prefix(addr, 32), iface);
+}
+
+void Node::RemoveHostRoute(Ipv4Address addr) {
+  Ipv4Prefix target(addr, 32);
+  routes_.erase(std::remove_if(routes_.begin(), routes_.end(),
+                               [&](const Route& r) { return r.prefix == target; }),
+                routes_.end());
+}
+
+void Node::RegisterProtocol(IpProtocol protocol, ProtocolHandler handler) {
+  protocol_handlers_[static_cast<uint8_t>(protocol)] = std::move(handler);
+}
+
+void Node::AddTap(PacketTap* tap) { taps_.push_back(tap); }
+
+void Node::RemoveTap(PacketTap* tap) {
+  taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
+}
+
+bool Node::IsLocalAddress(Ipv4Address addr) const {
+  return std::any_of(interfaces_.begin(), interfaces_.end(),
+                     [&](const Interface& i) { return i.addr == addr; });
+}
+
+Ipv4Address Node::PrimaryAddress() const {
+  return interfaces_.empty() ? Ipv4Address() : interfaces_[0].addr;
+}
+
+Ipv4Address Node::InterfaceAddress(uint32_t iface) const { return interfaces_.at(iface).addr; }
+
+const InterfaceStats& Node::interface_stats(uint32_t iface) const {
+  return interfaces_.at(iface).stats;
+}
+
+Link* Node::InterfaceLink(uint32_t iface) const { return interfaces_.at(iface).link; }
+
+bool Node::RunTaps(PacketPtr& packet, uint32_t iface, bool outbound) {
+  TapContext ctx{this, iface, outbound};
+  // Copy: a tap may remove itself while running.
+  std::vector<PacketTap*> taps = taps_;
+  for (PacketTap* tap : taps) {
+    switch (tap->OnPacket(packet, ctx)) {
+      case TapVerdict::kPass:
+        break;
+      case TapVerdict::kDrop:
+        ++stats_.ip_in_discards;
+        packet.reset();
+        return false;
+      case TapVerdict::kConsume:
+        packet.reset();
+        return false;
+    }
+  }
+  return true;
+}
+
+void Node::ReceiveFromLink(uint32_t iface, PacketPtr packet) {
+  Interface& in = interfaces_.at(iface);
+  ++in.stats.in_packets;
+  in.stats.in_bytes += packet->SizeBytes();
+  ++stats_.ip_in_receives;
+
+  if (tracer_.Enabled(sim::TraceLevel::kDebug)) {
+    tracer_.Logf(sim::TraceLevel::kDebug, name_, "rx if%u %s", iface, packet->Describe().c_str());
+  }
+
+  if (!RunTaps(packet, iface)) {
+    return;
+  }
+
+  if (IsLocalAddress(packet->ip().dst)) {
+    DeliverLocally(std::move(packet));
+  } else {
+    Forward(std::move(packet));
+  }
+}
+
+void Node::DeliverLocally(PacketPtr packet) {
+  ++stats_.ip_in_delivers;
+  auto it = protocol_handlers_.find(packet->ip().protocol);
+  if (it != protocol_handlers_.end()) {
+    it->second(std::move(packet));
+  } else {
+    OnUnhandledPacket(std::move(packet));
+  }
+}
+
+void Node::OnUnhandledPacket(PacketPtr packet) {
+  tracer_.Logf(sim::TraceLevel::kDebug, name_, "no handler for %s", packet->Describe().c_str());
+}
+
+void Node::Forward(PacketPtr packet) {
+  if (packet->ip().ttl <= 1) {
+    ++stats_.ip_in_hdr_errors;
+    return;
+  }
+  --packet->ip().ttl;
+  packet->UpdateIpChecksum();  // Routers never touch transport checksums.
+  ++stats_.ip_forw_datagrams;
+  RouteAndSend(std::move(packet));
+}
+
+void Node::SendPacket(PacketPtr packet) {
+  ++stats_.ip_out_requests;
+  if (!RunTaps(packet, UINT32_MAX, /*outbound=*/true)) {
+    return;
+  }
+  RouteAndSend(std::move(packet));
+}
+
+void Node::InjectPacket(PacketPtr packet) {
+  ++stats_.ip_out_requests;
+  RouteAndSend(std::move(packet));
+}
+
+void Node::ReinjectPacket(PacketPtr packet) {
+  if (!RunTaps(packet, UINT32_MAX, /*outbound=*/false)) {
+    return;
+  }
+  if (IsLocalAddress(packet->ip().dst)) {
+    DeliverLocally(std::move(packet));
+  } else {
+    RouteAndSend(std::move(packet));
+  }
+}
+
+int Node::Lookup(Ipv4Address dst) const {
+  int best = -1;
+  int best_len = -1;
+  for (const Route& r : routes_) {
+    if (r.prefix.Contains(dst) && r.prefix.length() > best_len) {
+      best = static_cast<int>(r.iface);
+      best_len = r.prefix.length();
+    }
+  }
+  return best;
+}
+
+bool Node::RouteAndSend(PacketPtr packet) {
+  // Local destination: short-circuit delivery (loopback).
+  if (IsLocalAddress(packet->ip().dst)) {
+    DeliverLocally(std::move(packet));
+    return true;
+  }
+  const int iface = Lookup(packet->ip().dst);
+  if (iface < 0) {
+    ++stats_.ip_out_no_routes;
+    tracer_.Logf(sim::TraceLevel::kWarn, name_, "no route to %s",
+                 packet->ip().dst.ToString().c_str());
+    return false;
+  }
+  Interface& out = interfaces_.at(static_cast<uint32_t>(iface));
+  if (out.link == nullptr) {
+    ++stats_.ip_out_no_routes;
+    return false;
+  }
+  ++out.stats.out_packets;
+  out.stats.out_bytes += packet->SizeBytes();
+  if (tracer_.Enabled(sim::TraceLevel::kDebug)) {
+    tracer_.Logf(sim::TraceLevel::kDebug, name_, "tx if%d %s", iface, packet->Describe().c_str());
+  }
+  out.link->Send(out.side, std::move(packet));
+  return true;
+}
+
+}  // namespace comma::net

@@ -1,0 +1,160 @@
+// Network nodes: interfaces, static routing with longest-prefix match,
+// protocol demultiplexing, and packet taps.
+//
+// Taps are the hook the Comma Service Proxy's Packet Interception Module
+// attaches to (thesis §5.2): every packet arriving at a node passes through
+// the node's taps before being delivered locally or forwarded, and a tap may
+// inspect, mutate, or drop it. Packets the node *originates* do not pass
+// through taps — in the thesis, the proxy is a distinct router on the path
+// and only ever sees transit traffic.
+#ifndef COMMA_NET_NODE_H_
+#define COMMA_NET_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/address.h"
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace comma::net {
+
+enum class TapVerdict {
+  kPass,     // Continue normal processing (possibly with a mutated packet).
+  kDrop,     // Discard the packet.
+  kConsume,  // The tap took ownership (e.g. buffered it for later).
+};
+
+struct TapContext {
+  Node* node = nullptr;
+  uint32_t iface = 0;      // Receiving interface; undefined when outbound.
+  bool outbound = false;   // True for packets this node originated.
+};
+
+// Interface implemented by packet interceptors (the Service Proxy).
+class PacketTap {
+ public:
+  virtual ~PacketTap() = default;
+  // `packet` may be mutated in place; on kConsume the tap must take the
+  // packet out of `packet` (it is destroyed otherwise).
+  virtual TapVerdict OnPacket(PacketPtr& packet, const TapContext& ctx) = 0;
+};
+
+struct InterfaceStats {
+  uint64_t in_packets = 0;
+  uint64_t in_bytes = 0;
+  uint64_t out_packets = 0;
+  uint64_t out_bytes = 0;
+};
+
+struct NodeStats {
+  uint64_t ip_in_receives = 0;
+  uint64_t ip_in_delivers = 0;
+  uint64_t ip_forw_datagrams = 0;
+  uint64_t ip_out_requests = 0;
+  uint64_t ip_out_no_routes = 0;
+  uint64_t ip_in_hdr_errors = 0;   // TTL expiry, bad checksum.
+  uint64_t ip_in_discards = 0;     // Dropped by taps.
+};
+
+class Node {
+ public:
+  Node(sim::Simulator* sim, std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // --- Topology construction ---
+  // Adds an interface with the given address; returns its index.
+  uint32_t AddInterface(Ipv4Address addr);
+  void AttachLink(uint32_t iface, Link* link, int side);
+  void AddRoute(Ipv4Prefix prefix, uint32_t iface);
+  void SetDefaultRoute(uint32_t iface) { AddRoute(Ipv4Prefix(Ipv4Address(0), 0), iface); }
+  // Adds or replaces a host route (a /32) — used by Mobile IP agents.
+  void AddHostRoute(Ipv4Address addr, uint32_t iface);
+  void RemoveHostRoute(Ipv4Address addr);
+
+  // --- Protocol handlers (local delivery demux) ---
+  using ProtocolHandler = std::function<void(PacketPtr)>;
+  void RegisterProtocol(IpProtocol protocol, ProtocolHandler handler);
+
+  // --- Taps ---
+  void AddTap(PacketTap* tap);
+  void RemoveTap(PacketTap* tap);
+
+  // --- Data path ---
+  // Entry point used by links. Arriving packets pass the taps (inbound).
+  void ReceiveFromLink(uint32_t iface, PacketPtr packet);
+  // Originates a packet from this node. Locally-generated packets also pass
+  // the taps (outbound) — this is how a proxy running *on* an endpoint (the
+  // mobile-side half of a double-proxy arrangement, §10.2.4) intercepts the
+  // host's own traffic. Transit packets are not re-tapped on the way out.
+  void SendPacket(PacketPtr packet);
+  // Emits a packet into the forwarding path without tap processing. Used by
+  // the Service Proxy for packets it manufactured (§8.2.2 ZWSMs), which must
+  // not re-enter the filter queues.
+  void InjectPacket(PacketPtr packet);
+  // Re-enters a packet into the node as if it had just arrived: taps run,
+  // then normal delivery/forwarding. Used by tunnel endpoints (Mobile IP
+  // FAs) so a co-located proxy services the *decapsulated* stream — the
+  // §5.1.1/§10.2.3 merge of interception point and foreign agent.
+  void ReinjectPacket(PacketPtr packet);
+
+  // --- Introspection ---
+  bool IsLocalAddress(Ipv4Address addr) const;
+  Ipv4Address PrimaryAddress() const;
+  Ipv4Address InterfaceAddress(uint32_t iface) const;
+  size_t InterfaceCount() const { return interfaces_.size(); }
+  const InterfaceStats& interface_stats(uint32_t iface) const;
+  Link* InterfaceLink(uint32_t iface) const;
+  const NodeStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  sim::Simulator* simulator() const { return sim_; }
+  sim::Tracer& tracer() { return tracer_; }
+
+  // Called on local delivery when no protocol handler matches. Subclasses
+  // (e.g. agents) may override; the default counts and drops.
+  virtual void OnUnhandledPacket(PacketPtr packet);
+
+ protected:
+  // Routes and transmits; returns false if no route existed.
+  bool RouteAndSend(PacketPtr packet);
+
+ private:
+  struct Interface {
+    Ipv4Address addr;
+    Link* link = nullptr;
+    int side = 0;
+    InterfaceStats stats;
+  };
+
+  struct Route {
+    Ipv4Prefix prefix;
+    uint32_t iface = 0;
+  };
+
+  // Runs taps; returns true if the packet survives (still in `packet`).
+  bool RunTaps(PacketPtr& packet, uint32_t iface, bool outbound = false);
+  void DeliverLocally(PacketPtr packet);
+  void Forward(PacketPtr packet);
+  // Longest-prefix-match lookup; returns interface index or -1.
+  int Lookup(Ipv4Address dst) const;
+
+  sim::Simulator* sim_;
+  std::string name_;
+  sim::Tracer tracer_;
+  std::vector<Interface> interfaces_;
+  std::vector<Route> routes_;
+  std::map<uint8_t, ProtocolHandler> protocol_handlers_;
+  std::vector<PacketTap*> taps_;
+  NodeStats stats_;
+};
+
+}  // namespace comma::net
+
+#endif  // COMMA_NET_NODE_H_

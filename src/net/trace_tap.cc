@@ -1,0 +1,75 @@
+#include "src/net/trace_tap.h"
+
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace comma::net {
+
+TraceTap::TraceTap(Node* node, Filter filter) : node_(node), filter_(std::move(filter)) {
+  node_->AddTap(this);
+}
+
+TraceTap::~TraceTap() { node_->RemoveTap(this); }
+
+TapVerdict TraceTap::OnPacket(PacketPtr& packet, const TapContext& ctx) {
+  if (filter_ && !filter_(*packet)) {
+    return TapVerdict::kPass;
+  }
+  CaptureRecord rec;
+  rec.when = node_->simulator()->Now();
+  rec.outbound = ctx.outbound;
+  rec.src = packet->ip().src;
+  rec.dst = packet->ip().dst;
+  rec.protocol = packet->ip().protocol;
+  if (packet->has_tcp()) {
+    rec.src_port = packet->tcp().src_port;
+    rec.dst_port = packet->tcp().dst_port;
+    rec.seq = packet->tcp().seq;
+    rec.ack = packet->tcp().ack;
+    rec.tcp_flags = packet->tcp().flags;
+  } else if (packet->has_udp()) {
+    rec.src_port = packet->udp().src_port;
+    rec.dst_port = packet->udp().dst_port;
+  }
+  rec.payload_bytes = packet->payload().size();
+  rec.summary = util::Format("%s %s %s", sim::FormatTime(rec.when).c_str(),
+                             rec.outbound ? "out" : "in ", packet->Describe().c_str());
+  if (live_) {
+    std::fprintf(stderr, "%s\n", rec.summary.c_str());
+  }
+  records_.push_back(std::move(rec));
+  return TapVerdict::kPass;
+}
+
+size_t TraceTap::CountIf(const std::function<bool(const CaptureRecord&)>& pred) const {
+  size_t count = 0;
+  for (const CaptureRecord& rec : records_) {
+    if (pred(rec)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string TraceTap::Dump() const {
+  std::string out;
+  for (const CaptureRecord& rec : records_) {
+    out += rec.summary + "\n";
+  }
+  return out;
+}
+
+TraceTap::Filter TcpPort(uint16_t port) {
+  return [port](const Packet& p) {
+    return p.has_tcp() && (p.tcp().src_port == port || p.tcp().dst_port == port);
+  };
+}
+
+TraceTap::Filter BetweenHosts(Ipv4Address a, Ipv4Address b) {
+  return [a, b](const Packet& p) {
+    return (p.ip().src == a && p.ip().dst == b) || (p.ip().src == b && p.ip().dst == a);
+  };
+}
+
+}  // namespace comma::net

@@ -1,0 +1,147 @@
+#include "src/proxy/command.h"
+
+#include "src/proxy/service_catalog.h"
+
+#include "src/util/strings.h"
+
+namespace comma::proxy {
+
+std::string CommandProcessor::Execute(const std::string& line) {
+  std::vector<std::string> tokens = util::SplitWhitespace(line);
+  if (tokens.empty()) {
+    return "";
+  }
+  const std::string cmd = tokens[0];
+  std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (cmd == "load") {
+    return DoLoad(args);
+  }
+  if (cmd == "remove") {
+    return DoRemove(args);
+  }
+  if (cmd == "add") {
+    return DoAdd(args);
+  }
+  if (cmd == "delete") {
+    return DoDelete(args);
+  }
+  if (cmd == "report") {
+    return DoReport(args);
+  }
+  if (cmd == "streams") {
+    return DoStreams();
+  }
+  if (cmd == "service") {
+    return DoService(args);
+  }
+  if (cmd == "help") {
+    return
+        "load <FilterLibraryFile>\n"
+        "remove <FilterLibraryFile>\n"
+        "add <filtername> <srcip> <srcport> <dstip> <dstport> [args]\n"
+        "delete <filtername> <srcip> <srcport> <dstip> <dstport>\n"
+        "report [filtername]\n"
+        "streams\n"
+        "service list | service add <name> <key> | service delete <name> <key>\n";
+  }
+  return "error: unknown command: " + cmd + "\n";
+}
+
+std::string CommandProcessor::DoLoad(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return "error: usage: load <FilterLibraryFile>\n";
+  }
+  auto name = proxy_->LoadFilter(args[0]);
+  // On success the thesis interface prints the name that was registered.
+  return name.has_value() ? *name + "\n" : "";
+}
+
+std::string CommandProcessor::DoRemove(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return "error: usage: remove <FilterLibraryFile>\n";
+  }
+  proxy_->RemoveFilter(args[0]);  // Fail-silent.
+  return "";
+}
+
+std::string CommandProcessor::DoAdd(const std::vector<std::string>& args) {
+  if (args.size() < 5) {
+    return "error: usage: add <filtername> <srcip> <srcport> <dstip> <dstport> [args]\n";
+  }
+  auto key = StreamKey::Parse({args[1], args[2], args[3], args[4]});
+  if (!key.has_value()) {
+    return "error: malformed key\n";
+  }
+  std::vector<std::string> filter_args(args.begin() + 5, args.end());
+  std::string error;
+  if (!proxy_->AddService(args[0], *key, filter_args, &error)) {
+    return "error: " + error + "\n";
+  }
+  return "";
+}
+
+std::string CommandProcessor::DoDelete(const std::vector<std::string>& args) {
+  if (args.size() != 5) {
+    return "error: usage: delete <filtername> <srcip> <srcport> <dstip> <dstport>\n";
+  }
+  auto key = StreamKey::Parse({args[1], args[2], args[3], args[4]});
+  if (!key.has_value()) {
+    return "error: malformed key\n";
+  }
+  proxy_->DeleteService(args[0], *key);  // Fail-silent.
+  return "";
+}
+
+std::string CommandProcessor::DoReport(const std::vector<std::string>& args) {
+  const std::string only = args.empty() ? "" : args[0];
+  std::string out;
+  for (const auto& entry : proxy_->Report(only)) {
+    out += entry.filter + "\n";
+    for (const std::string& key : entry.keys) {
+      out += "\t" + key + "\n";
+    }
+  }
+  return out;
+}
+
+std::string CommandProcessor::DoService(const std::vector<std::string>& args) {
+  const ServiceCatalog* catalog = proxy_->catalog();
+  if (catalog == nullptr) {
+    return "error: no service catalog configured\n";
+  }
+  if (args.size() == 1 && args[0] == "list") {
+    std::string out;
+    for (const std::string& name : catalog->names()) {
+      out += util::Format("%-20s %s\n", name.c_str(), catalog->Describe(name).c_str());
+    }
+    return out;
+  }
+  if (args.size() == 6 && (args[0] == "add" || args[0] == "delete")) {
+    auto key = StreamKey::Parse({args[2], args[3], args[4], args[5]});
+    if (!key.has_value()) {
+      return "error: malformed key\n";
+    }
+    if (args[0] == "add") {
+      std::string error;
+      if (!catalog->Apply(*proxy_, args[1], *key, &error)) {
+        return "error: " + error + "\n";
+      }
+    } else {
+      catalog->Remove(*proxy_, args[1], *key);  // Fail-silent, like delete.
+    }
+    return "";
+  }
+  return "error: usage: service list | service add|delete <name> <key>\n";
+}
+
+std::string CommandProcessor::DoStreams() {
+  std::string out;
+  for (const auto& [key, info] : proxy_->streams()) {
+    out += util::Format("%s  packets=%llu bytes=%llu\n", key.ToString().c_str(),
+                        static_cast<unsigned long long>(info.packets),
+                        static_cast<unsigned long long>(info.bytes));
+  }
+  return out;
+}
+
+}  // namespace comma::proxy

@@ -1,0 +1,48 @@
+// The Service-Proxy command interface (thesis §5.3): a line-oriented
+// command language with load / remove / add / delete / report.
+//
+// Commands are "fail-silent" exactly as the thesis specifies: only `load`
+// and `report` produce output on success. Parse errors produce a line
+// starting with "error:" so interactive users are not left guessing.
+#ifndef COMMA_PROXY_COMMAND_H_
+#define COMMA_PROXY_COMMAND_H_
+
+#include <string>
+
+#include "src/proxy/service_proxy.h"
+
+namespace comma::proxy {
+
+class CommandProcessor {
+ public:
+  explicit CommandProcessor(ServiceProxy* proxy) : proxy_(proxy) {}
+
+  // Executes one command line; returns the textual response ("" for silent
+  // success). Supported commands:
+  //   load <FilterLibraryFile>
+  //   remove <FilterLibraryFile>
+  //   add <filtername> <key: srcip srcport dstip dstport> [args...]
+  //   delete <filtername> <key>
+  //   report [filtername]
+  //   streams                    (extension: stream-registry accounting)
+  //   service list               (extension, §10.2.1: named service recipes)
+  //   service add <name> <key>
+  //   service delete <name> <key>
+  //   help
+  std::string Execute(const std::string& line);
+
+ private:
+  std::string DoLoad(const std::vector<std::string>& args);
+  std::string DoRemove(const std::vector<std::string>& args);
+  std::string DoAdd(const std::vector<std::string>& args);
+  std::string DoDelete(const std::vector<std::string>& args);
+  std::string DoReport(const std::vector<std::string>& args);
+  std::string DoStreams();
+  std::string DoService(const std::vector<std::string>& args);
+
+  ServiceProxy* proxy_;
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_COMMAND_H_

@@ -1,0 +1,43 @@
+#include "src/proxy/command_server.h"
+
+namespace comma::proxy {
+
+CommandServer::CommandServer(tcp::TcpStack* stack, ServiceProxy* proxy, uint16_t port)
+    : stack_(stack), processor_(proxy), port_(port) {
+  stack_->Listen(port_, [this](tcp::TcpConnection* conn) { OnAccept(conn); });
+}
+
+CommandServer::~CommandServer() { stack_->CloseListener(port_); }
+
+void CommandServer::OnAccept(tcp::TcpConnection* conn) {
+  sessions_[conn] = Session{};
+  conn->set_on_data([this, conn](const util::Bytes& data) { OnData(conn, data); });
+  conn->set_on_remote_close([this, conn] {
+    sessions_.erase(conn);
+    conn->Close();
+  });
+  conn->set_on_closed([this, conn] { sessions_.erase(conn); });
+}
+
+void CommandServer::OnData(tcp::TcpConnection* conn, const util::Bytes& data) {
+  auto it = sessions_.find(conn);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& session = it->second;
+  session.inbuf.append(reinterpret_cast<const char*>(data.data()), data.size());
+  size_t newline;
+  while ((newline = session.inbuf.find('\n')) != std::string::npos) {
+    std::string line = session.inbuf.substr(0, newline);
+    session.inbuf.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    ++commands_executed_;
+    std::string response = processor_.Execute(line);
+    response += ".\n";  // End-of-response marker.
+    conn->Send(reinterpret_cast<const uint8_t*>(response.data()), response.size());
+  }
+}
+
+}  // namespace comma::proxy

@@ -1,0 +1,49 @@
+// The SP control port (thesis §5.3): a line-based TCP service on port 12000
+// of the proxy host. Kati (or a plain telnet-style client) connects over the
+// simulated network, sends command lines, and reads responses.
+//
+// Framing: each command is one LF-terminated line; each response is zero or
+// more lines followed by a lone "." line (responses may legitimately be
+// empty — the interface is fail-silent).
+#ifndef COMMA_PROXY_COMMAND_SERVER_H_
+#define COMMA_PROXY_COMMAND_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/proxy/command.h"
+#include "src/tcp/tcp_stack.h"
+
+namespace comma::proxy {
+
+inline constexpr uint16_t kCommandPort = 12000;
+
+class CommandServer {
+ public:
+  // Listens on `port` of `stack`'s node, executing commands against `proxy`.
+  CommandServer(tcp::TcpStack* stack, ServiceProxy* proxy, uint16_t port = kCommandPort);
+  ~CommandServer();
+  CommandServer(const CommandServer&) = delete;
+  CommandServer& operator=(const CommandServer&) = delete;
+
+  uint64_t commands_executed() const { return commands_executed_; }
+
+ private:
+  struct Session {
+    std::string inbuf;
+  };
+
+  void OnAccept(tcp::TcpConnection* conn);
+  void OnData(tcp::TcpConnection* conn, const util::Bytes& data);
+
+  tcp::TcpStack* stack_;
+  CommandProcessor processor_;
+  uint16_t port_;
+  std::map<tcp::TcpConnection*, Session> sessions_;
+  uint64_t commands_executed_ = 0;
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_COMMAND_SERVER_H_

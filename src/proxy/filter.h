@@ -1,0 +1,121 @@
+// The filter model of the Comma Service Proxy (thesis §5.2, Fig. 5.2).
+//
+// A filter is instantiated per service request and attached to one or more
+// stream keys. Packets matching an attached key are presented twice:
+//  - the *in* pass (read-only), highest priority first, so every filter sees
+//    the unmodified packet;
+//  - the *out* pass (mutating), lowest priority first, so higher-priority
+//    filters may override the changes of lower-priority ones before the
+//    packet is reinjected onto the network.
+//
+// Filters run inside the proxy's execution environment and touch the world
+// only through their FilterContext (timers, packet injection, the EEM, the
+// proxy itself) — mirroring the thesis's run-time containment (§5.1.3).
+#ifndef COMMA_PROXY_FILTER_H_
+#define COMMA_PROXY_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/proxy/stream_key.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace comma::monitor {
+class EemClient;
+}
+
+namespace comma::proxy {
+
+class ServiceProxy;
+class Filter;
+
+// Fixed priority levels (§5.3.2 assigns launcher HIGHEST, tcp HIGH,
+// rdrop LOW, wsize LOWEST).
+enum class FilterPriority : int {
+  kLowest = 0,
+  kLow = 1,
+  kNormal = 2,
+  kHigh = 3,
+  kHighest = 4,
+};
+
+enum class FilterVerdict {
+  kPass,
+  kDrop,
+};
+
+// Services the proxy exposes to running filters.
+class FilterContext {
+ public:
+  explicit FilterContext(ServiceProxy* proxy) : proxy_(proxy) {}
+
+  ServiceProxy& proxy() { return *proxy_; }
+  sim::Simulator& simulator();
+  sim::Tracer& tracer();
+
+  // Emits a filter-manufactured packet (e.g. a ZWSM, §8.2.2) into the
+  // forwarding path of the proxy's node. The packet does not re-enter the
+  // filter queues.
+  void InjectPacket(net::PacketPtr packet);
+
+  // The EEM client co-located with this proxy (thesis: filters can be EEM
+  // clients). Null if the deployment has no monitor.
+  monitor::EemClient* eem();
+
+  // Finds another live filter instance attached to `key` by name — how
+  // transformer filters locate their transparency-support filter (§8.1).
+  Filter* FindFilterOnKey(const StreamKey& key, const std::string& name);
+
+ private:
+  ServiceProxy* proxy_;
+};
+
+class Filter : public std::enable_shared_from_this<Filter> {
+ public:
+  Filter(std::string name, FilterPriority priority)
+      : name_(std::move(name)), priority_(priority) {}
+  virtual ~Filter() = default;
+  Filter(const Filter&) = delete;
+  Filter& operator=(const Filter&) = delete;
+
+  const std::string& name() const { return name_; }
+  FilterPriority priority() const { return priority_; }
+
+  // Insertion method: invoked once when the filter is instantiated for
+  // `key`. The default attaches the filter to `key` itself; filters needing
+  // both directions (tcp, ttsf, snoop) also attach to key.Reversed().
+  // Returns false (with a message in *error) to refuse the insertion (bad
+  // arguments).
+  virtual bool OnInsert(FilterContext& ctx, const StreamKey& key,
+                        const std::vector<std::string>& args, std::string* error);
+
+  // Read-only inspection pass.
+  virtual void In(FilterContext& ctx, const StreamKey& key, const net::Packet& packet);
+
+  // Mutating pass. The packet may be modified in place; kDrop discards it.
+  virtual FilterVerdict Out(FilterContext& ctx, const StreamKey& key, net::Packet& packet);
+
+  // Fired on filters attached to wild-card keys when the first packet of a
+  // new stream matching that key arrives (the launcher hook).
+  virtual void OnNewStream(FilterContext& ctx, const StreamKey& stream);
+
+  // The filter is being detached from `key` (service deleted or stream
+  // closed). Per-key state should be released.
+  virtual void OnDetach(FilterContext& ctx, const StreamKey& key);
+
+  // One-line status used by `report`-style diagnostics; empty by default.
+  virtual std::string Status() const { return ""; }
+
+ private:
+  std::string name_;
+  FilterPriority priority_;
+};
+
+using FilterPtr = std::shared_ptr<Filter>;
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_FILTER_H_

@@ -1,0 +1,80 @@
+#include "src/proxy/filter_registry.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace comma::proxy {
+
+void FilterRegistry::Register(const std::string& name, std::string description, Factory factory) {
+  factories_[name] = Entry{std::move(description), std::move(factory)};
+}
+
+std::string FilterRegistry::CanonicalName(const std::string& file) {
+  // Accept "rdrop", "librdrop.so", or "path/to/librdrop.so".
+  std::string name = file;
+  auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (util::StartsWith(name, "lib")) {
+    name = name.substr(3);
+  }
+  auto dot = name.find('.');
+  if (dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return name;
+}
+
+std::optional<std::string> FilterRegistry::Load(const std::string& file) {
+  const std::string name = CanonicalName(file);
+  if (factories_.count(name) == 0) {
+    return std::nullopt;
+  }
+  if (!IsLoaded(name)) {
+    loaded_.push_back(name);
+  }
+  return name;
+}
+
+bool FilterRegistry::Unload(const std::string& file) {
+  const std::string name = CanonicalName(file);
+  auto it = std::find(loaded_.begin(), loaded_.end(), name);
+  if (it == loaded_.end()) {
+    return false;
+  }
+  loaded_.erase(it);
+  return true;
+}
+
+bool FilterRegistry::IsLoaded(const std::string& name) const {
+  return std::find(loaded_.begin(), loaded_.end(), name) != loaded_.end();
+}
+
+std::unique_ptr<Filter> FilterRegistry::Create(const std::string& name) const {
+  if (!IsLoaded(name)) {
+    return nullptr;
+  }
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  return it->second.factory();
+}
+
+std::vector<std::string> FilterRegistry::known() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, entry] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string FilterRegistry::Description(const std::string& name) const {
+  auto it = factories_.find(name);
+  return it == factories_.end() ? "" : it->second.description;
+}
+
+}  // namespace comma::proxy

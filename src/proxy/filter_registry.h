@@ -1,0 +1,57 @@
+// The filter pool (thesis §5.2): factories for every filter type the proxy
+// can instantiate.
+//
+// The thesis loads filters with dlopen ("load <FilterLibraryFile>"); here
+// factories are compiled in and `load`/`remove` toggle their availability,
+// preserving the interface contract (a filter must be loaded before `add`
+// can instantiate it).
+#ifndef COMMA_PROXY_FILTER_REGISTRY_H_
+#define COMMA_PROXY_FILTER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/proxy/filter.h"
+
+namespace comma::proxy {
+
+class FilterRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Filter>()>;
+
+  // Registers a factory under `name`. Replaces any existing registration.
+  void Register(const std::string& name, std::string description, Factory factory);
+
+  // "load <file>": accepts a bare name or a "lib<name>.so" path. Returns the
+  // canonical filter name, or nullopt if no such factory exists.
+  std::optional<std::string> Load(const std::string& file);
+  // "remove <file>": marks the filter unavailable. Returns false if it was
+  // not loaded.
+  bool Unload(const std::string& file);
+
+  bool IsLoaded(const std::string& name) const;
+  std::unique_ptr<Filter> Create(const std::string& name) const;
+
+  // Names of loaded filters, in load order (for `report`).
+  const std::vector<std::string>& loaded() const { return loaded_; }
+  // All registered factory names (the "repository", loaded or not).
+  std::vector<std::string> known() const;
+  std::string Description(const std::string& name) const;
+
+ private:
+  static std::string CanonicalName(const std::string& file);
+
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry> factories_;
+  std::vector<std::string> loaded_;
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_FILTER_REGISTRY_H_

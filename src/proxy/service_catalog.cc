@@ -1,0 +1,97 @@
+#include "src/proxy/service_catalog.h"
+
+#include "src/util/strings.h"
+
+namespace comma::proxy {
+
+void ServiceCatalog::Register(const std::string& name, Entry entry) {
+  entries_[name] = std::move(entry);
+}
+
+const ServiceCatalog::Entry* ServiceCatalog::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ServiceCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string ServiceCatalog::Describe(const std::string& name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return "";
+  }
+  std::vector<std::string> steps;
+  steps.reserve(entry->steps.size());
+  for (const Step& step : entry->steps) {
+    steps.push_back(LauncherToken(step));
+  }
+  return entry->description + " [" + util::Join(steps, " ") + "]";
+}
+
+std::string ServiceCatalog::LauncherToken(const Step& step) {
+  std::vector<std::string> parts = {step.filter};
+  parts.insert(parts.end(), step.args.begin(), step.args.end());
+  return util::Join(parts, ":");
+}
+
+bool ServiceCatalog::Apply(ServiceProxy& sp, const std::string& name, const StreamKey& key,
+                           std::string* error) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown service: " + name;
+    }
+    return false;
+  }
+  for (const Step& step : entry->steps) {
+    sp.LoadFilter(step.filter);
+  }
+  if (key.IsWildcard()) {
+    sp.LoadFilter("launcher");
+    std::vector<std::string> tokens;
+    tokens.reserve(entry->steps.size());
+    for (const Step& step : entry->steps) {
+      tokens.push_back(LauncherToken(step));
+    }
+    return sp.AddService("launcher", key, tokens, error);
+  }
+  // Concrete key: apply the steps directly, rolling back on failure.
+  std::vector<size_t> applied;
+  for (size_t i = 0; i < entry->steps.size(); ++i) {
+    const Step& step = entry->steps[i];
+    if (!sp.AddService(step.filter, key, step.args, error)) {
+      for (size_t j : applied) {
+        sp.DeleteService(entry->steps[j].filter, key);
+      }
+      return false;
+    }
+    applied.push_back(i);
+  }
+  return true;
+}
+
+bool ServiceCatalog::Remove(ServiceProxy& sp, const std::string& name,
+                            const StreamKey& key) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return false;
+  }
+  if (key.IsWildcard()) {
+    return sp.DeleteService("launcher", key);
+  }
+  bool any = false;
+  // Reverse order: dependents before their support filters.
+  for (auto it = entry->steps.rbegin(); it != entry->steps.rend(); ++it) {
+    any = sp.DeleteService(it->filter, key) || any;
+  }
+  return any;
+}
+
+}  // namespace comma::proxy

@@ -1,0 +1,54 @@
+// Layered service abstraction (thesis §10.2.1 future work).
+//
+// The thesis notes that users should request *services* ("compress this
+// stream", "keep this alive across disconnections") without knowing which
+// filters, in which order, with which arguments realize them. A
+// ServiceCatalog maps service names to filter recipes; applying an entry
+// issues the underlying AddService calls (via the launcher for wild-card
+// keys, so the recipe re-instantiates per matching stream).
+#ifndef COMMA_PROXY_SERVICE_CATALOG_H_
+#define COMMA_PROXY_SERVICE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/proxy/service_proxy.h"
+
+namespace comma::proxy {
+
+class ServiceCatalog {
+ public:
+  struct Step {
+    std::string filter;
+    std::vector<std::string> args;
+  };
+
+  struct Entry {
+    std::string description;
+    std::vector<Step> steps;  // Applied in order (dependencies first).
+  };
+
+  void Register(const std::string& name, Entry entry);
+  const Entry* Find(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::string Describe(const std::string& name) const;
+
+  // Applies the named recipe to `key` on `sp`. Wild-card keys go through a
+  // launcher so every matching stream gets the recipe; concrete keys get
+  // the filters directly. Loads any filter the recipe needs.
+  bool Apply(ServiceProxy& sp, const std::string& name, const StreamKey& key,
+             std::string* error) const;
+
+  // Removes a previously applied recipe from `key`.
+  bool Remove(ServiceProxy& sp, const std::string& name, const StreamKey& key) const;
+
+ private:
+  static std::string LauncherToken(const Step& step);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_SERVICE_CATALOG_H_

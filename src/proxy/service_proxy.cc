@@ -1,0 +1,258 @@
+#include "src/proxy/service_proxy.h"
+
+#include <algorithm>
+
+namespace comma::proxy {
+
+// --- FilterContext ---
+
+sim::Simulator& FilterContext::simulator() { return *proxy_->node()->simulator(); }
+sim::Tracer& FilterContext::tracer() { return proxy_->node()->tracer(); }
+void FilterContext::InjectPacket(net::PacketPtr packet) {
+  proxy_->InjectPacket(std::move(packet));
+}
+monitor::EemClient* FilterContext::eem() { return proxy_->eem(); }
+Filter* FilterContext::FindFilterOnKey(const StreamKey& key, const std::string& name) {
+  return proxy_->FindFilterOnKey(key, name);
+}
+
+// --- Filter default behaviour ---
+
+bool Filter::OnInsert(FilterContext&, const StreamKey&, const std::vector<std::string>&,
+                      std::string*) {
+  // AddService already attached this instance to the requested key; filters
+  // that need more keys (e.g. the reverse direction) override this.
+  return true;
+}
+
+void Filter::In(FilterContext&, const StreamKey&, const net::Packet&) {}
+
+FilterVerdict Filter::Out(FilterContext&, const StreamKey&, net::Packet&) {
+  return FilterVerdict::kPass;
+}
+
+void Filter::OnNewStream(FilterContext&, const StreamKey&) {}
+
+void Filter::OnDetach(FilterContext&, const StreamKey&) {}
+
+// --- ServiceProxy ---
+
+ServiceProxy::ServiceProxy(net::Node* node, FilterRegistry registry)
+    : node_(node), registry_(std::move(registry)), context_(this) {
+  node_->AddTap(this);
+}
+
+ServiceProxy::~ServiceProxy() { node_->RemoveTap(this); }
+
+std::optional<std::string> ServiceProxy::LoadFilter(const std::string& file) {
+  return registry_.Load(file);
+}
+
+bool ServiceProxy::RemoveFilter(const std::string& file) { return registry_.Unload(file); }
+
+bool ServiceProxy::AddService(const std::string& filter_name, const StreamKey& key,
+                              const std::vector<std::string>& args, std::string* error) {
+  std::unique_ptr<Filter> instance = registry_.Create(filter_name);
+  if (instance == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown or unloaded filter: " + filter_name;
+    }
+    return false;
+  }
+  FilterPtr filter(std::move(instance));
+  // The insertion method decides which keys to attach to; the default
+  // implementation (below, via Attach) uses the requested key itself.
+  Attach(filter, key);
+  std::string local_error;
+  if (!filter->OnInsert(context_, key, args, &local_error)) {
+    Detach(filter, key);
+    if (error != nullptr) {
+      *error = local_error.empty() ? "insertion refused" : local_error;
+    }
+    return false;
+  }
+  services_.push_back({filter_name, key, args});
+  return true;
+}
+
+bool ServiceProxy::DeleteService(const std::string& filter_name, const StreamKey& key) {
+  std::vector<FilterPtr> victims;
+  for (const Attachment& att : attachments_) {
+    if (att.key == key && att.filter->name() == filter_name) {
+      victims.push_back(att.filter);
+    }
+  }
+  for (const FilterPtr& f : victims) {
+    Detach(f, key);
+  }
+  services_.erase(std::remove_if(services_.begin(), services_.end(),
+                                 [&](const ServiceRecord& r) {
+                                   return r.filter == filter_name && r.key == key;
+                                 }),
+                  services_.end());
+  return !victims.empty();
+}
+
+void ServiceProxy::Attach(const FilterPtr& filter, const StreamKey& key) {
+  if (filter == nullptr) {
+    return;
+  }
+  // No duplicate attachments of the same instance to the same key.
+  for (const Attachment& att : attachments_) {
+    if (att.filter == filter && att.key == key) {
+      return;
+    }
+  }
+  attachments_.push_back({filter, key});
+  InvalidateQueues();
+}
+
+void ServiceProxy::Detach(const FilterPtr& filter, const StreamKey& key) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(), [&](const Attachment& att) {
+    return att.filter == filter && att.key == key;
+  });
+  if (it == attachments_.end()) {
+    return;
+  }
+  FilterPtr held = it->filter;  // Keep alive through the callback.
+  attachments_.erase(it);
+  held->OnDetach(context_, key);
+  InvalidateQueues();
+}
+
+void ServiceProxy::RemoveStream(const StreamKey& key) {
+  std::vector<std::pair<FilterPtr, StreamKey>> victims;
+  for (const Attachment& att : attachments_) {
+    if (att.key == key) {
+      victims.emplace_back(att.filter, att.key);
+    }
+  }
+  for (auto& [filter, k] : victims) {
+    Detach(filter, k);
+  }
+  services_.erase(std::remove_if(services_.begin(), services_.end(),
+                                 [&](const ServiceRecord& r) { return r.key == key; }),
+                  services_.end());
+  streams_.erase(key);
+  queue_cache_.erase(key);
+}
+
+void ServiceProxy::InjectPacket(net::PacketPtr packet) {
+  ++stats_.packets_injected;
+  packet->UpdateChecksums();
+  node_->InjectPacket(std::move(packet));
+}
+
+Filter* ServiceProxy::FindFilterOnKey(const StreamKey& key, const std::string& name) {
+  for (const Attachment& att : attachments_) {
+    if (att.filter->name() == name && (att.key == key || att.key.Matches(key))) {
+      return att.filter.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ServiceProxy::ReportEntry> ServiceProxy::Report(const std::string& only_filter) const {
+  std::vector<ReportEntry> out;
+  for (const std::string& name : registry_.loaded()) {
+    if (!only_filter.empty() && name != only_filter) {
+      continue;
+    }
+    ReportEntry entry;
+    entry.filter = name;
+    for (const Attachment& att : attachments_) {
+      if (att.filter->name() == name) {
+        entry.keys.push_back(att.key.ToString());
+      }
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+const std::vector<Filter*>& ServiceProxy::QueueFor(const StreamKey& key) {
+  auto it = queue_cache_.find(key);
+  if (it != queue_cache_.end()) {
+    return it->second;
+  }
+  std::vector<Filter*> queue;
+  for (const Attachment& att : attachments_) {
+    if (att.key == key || att.key.Matches(key)) {
+      if (std::find(queue.begin(), queue.end(), att.filter.get()) == queue.end()) {
+        queue.push_back(att.filter.get());
+      }
+    }
+  }
+  // Stable sort: equal priorities keep attachment order.
+  std::stable_sort(queue.begin(), queue.end(), [](const Filter* a, const Filter* b) {
+    return static_cast<int>(a->priority()) > static_cast<int>(b->priority());
+  });
+  return queue_cache_.emplace(key, std::move(queue)).first->second;
+}
+
+void ServiceProxy::NotifyNewStream(const StreamKey& key) {
+  ++stats_.streams_seen;
+  // Wild-card-attached filters get a chance to launch services (launcher).
+  std::vector<FilterPtr> interested;
+  for (const Attachment& att : attachments_) {
+    if (att.key.IsWildcard() && att.key.Matches(key)) {
+      interested.push_back(att.filter);
+    }
+  }
+  for (const FilterPtr& f : interested) {
+    f->OnNewStream(context_, key);
+  }
+}
+
+net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapContext&) {
+  // Guard against reentrancy (an injected packet looping back through the
+  // same node would otherwise re-enter the queues).
+  if (in_filter_pass_) {
+    return net::TapVerdict::kPass;
+  }
+
+  const StreamKey key = StreamKey::FromPacket(*packet);
+  ++stats_.packets_inspected;
+
+  auto stream_it = streams_.find(key);
+  if (stream_it == streams_.end()) {
+    stream_it = streams_.emplace(key, StreamInfo{node_->simulator()->Now(), 0, 0, 0}).first;
+    NotifyNewStream(key);
+  }
+  StreamInfo& info = stream_it->second;
+  info.last_seen = node_->simulator()->Now();
+  ++info.packets;
+  info.bytes += packet->SizeBytes();
+
+  const std::vector<Filter*>& queue = QueueFor(key);
+  if (queue.empty()) {
+    return net::TapVerdict::kPass;
+  }
+
+  in_filter_pass_ = true;
+  // In pass: top (highest priority) down — read-only.
+  for (Filter* f : queue) {
+    f->In(context_, key, *packet);
+  }
+  // Out pass: bottom (lowest priority) up — may modify or drop.
+  const uint16_t checksum_before = packet->has_tcp() ? packet->tcp().checksum
+                                   : packet->has_udp() ? packet->udp().checksum
+                                                       : packet->ip().checksum;
+  for (auto rit = queue.rbegin(); rit != queue.rend(); ++rit) {
+    if ((*rit)->Out(context_, key, *packet) == FilterVerdict::kDrop) {
+      ++stats_.packets_dropped;
+      in_filter_pass_ = false;
+      return net::TapVerdict::kDrop;
+    }
+  }
+  in_filter_pass_ = false;
+  const uint16_t checksum_after = packet->has_tcp() ? packet->tcp().checksum
+                                  : packet->has_udp() ? packet->udp().checksum
+                                                      : packet->ip().checksum;
+  if (checksum_before != checksum_after) {
+    ++stats_.packets_modified;
+  }
+  return net::TapVerdict::kPass;
+}
+
+}  // namespace comma::proxy

@@ -1,0 +1,136 @@
+// The Comma Service Proxy (thesis Ch. 5).
+//
+// Attaches to a node as a packet tap (the Packet Interception Module),
+// matches each packet's stream key against attached filters, and runs the
+// in/out filter queues. Maintains:
+//  - the filter pool (a FilterRegistry of loadable filter factories);
+//  - attachments: (filter instance, key) pairs, where the key may be a
+//    wild-card (launcher-style filters) or exact (per-stream services);
+//  - the stream registry: every exact key seen, with accounting
+//    (filter accounting, §5.2);
+//  - resolved per-stream filter queues, cached and invalidated whenever the
+//    attachment set changes.
+#ifndef COMMA_PROXY_SERVICE_PROXY_H_
+#define COMMA_PROXY_SERVICE_PROXY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/node.h"
+#include "src/proxy/filter.h"
+#include "src/proxy/filter_registry.h"
+#include "src/proxy/stream_key.h"
+
+namespace comma::monitor {
+class EemClient;
+}
+
+namespace comma::proxy {
+
+class ServiceCatalog;
+
+struct StreamInfo {
+  sim::TimePoint first_seen = 0;
+  sim::TimePoint last_seen = 0;
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+};
+
+struct ProxyStats {
+  uint64_t packets_inspected = 0;
+  uint64_t packets_modified = 0;   // Serialized bytes changed across the queue.
+  uint64_t packets_dropped = 0;    // A filter returned kDrop.
+  uint64_t packets_injected = 0;   // Filter-manufactured packets.
+  uint64_t streams_seen = 0;
+};
+
+class ServiceProxy : public net::PacketTap {
+ public:
+  // Attaches to `node` as a tap. The registry defines the filter pool.
+  ServiceProxy(net::Node* node, FilterRegistry registry);
+  ~ServiceProxy() override;
+
+  // --- Service management (backs the §5.3 command interface) ---
+  // "load": returns the registered filter name, or nullopt.
+  std::optional<std::string> LoadFilter(const std::string& file);
+  // "remove": unloads the factory; live instances keep running.
+  bool RemoveFilter(const std::string& file);
+  // "add": instantiates `filter_name` and runs its insertion method on
+  // `key` with `args`. Returns false with *error set on failure.
+  bool AddService(const std::string& filter_name, const StreamKey& key,
+                  const std::vector<std::string>& args, std::string* error);
+  // "delete": detaches instances of `filter_name` attached to exactly `key`.
+  bool DeleteService(const std::string& filter_name, const StreamKey& key);
+
+  // --- Filter-facing interface (via FilterContext) ---
+  // Attaches an existing instance to an additional key (insertion methods
+  // adding methods to other keys, §5.2).
+  void Attach(const FilterPtr& filter, const StreamKey& key);
+  void Detach(const FilterPtr& filter, const StreamKey& key);
+  // Removes a closed stream: detaches every filter on `key`, drops its
+  // queue, and forgets the stream (the tcp filter calls this on close).
+  void RemoveStream(const StreamKey& key);
+  void InjectPacket(net::PacketPtr packet);
+  Filter* FindFilterOnKey(const StreamKey& key, const std::string& name);
+  // Wires the co-located EEM client (optional).
+  void set_eem(monitor::EemClient* eem) { eem_ = eem; }
+  monitor::EemClient* eem() { return eem_; }
+  // Wires the service catalog (optional; enables the `service` command).
+  void set_catalog(const ServiceCatalog* catalog) { catalog_ = catalog; }
+  const ServiceCatalog* catalog() const { return catalog_; }
+
+  // --- Introspection (backs `report` and Kati) ---
+  // Filters in load order with their attached keys (Fig. 5.3 layout).
+  struct ReportEntry {
+    std::string filter;
+    std::vector<std::string> keys;
+  };
+  std::vector<ReportEntry> Report(const std::string& only_filter = "") const;
+
+  // How each live service was created (AddService name/key/args). This is
+  // what a proxy hand-off transfers to the next gateway (§10.2.3).
+  struct ServiceRecord {
+    std::string filter;
+    StreamKey key;
+    std::vector<std::string> args;
+  };
+  const std::vector<ServiceRecord>& services() const { return services_; }
+  const std::map<StreamKey, StreamInfo>& streams() const { return streams_; }
+  const ProxyStats& stats() const { return stats_; }
+  const FilterRegistry& registry() const { return registry_; }
+  net::Node* node() const { return node_; }
+  FilterContext& context() { return context_; }
+
+  // --- PacketTap ---
+  net::TapVerdict OnPacket(net::PacketPtr& packet, const net::TapContext& ctx) override;
+
+ private:
+  struct Attachment {
+    FilterPtr filter;
+    StreamKey key;
+  };
+
+  // Resolves the ordered filter list for a concrete key (cached).
+  const std::vector<Filter*>& QueueFor(const StreamKey& key);
+  void InvalidateQueues() { queue_cache_.clear(); }
+  void NotifyNewStream(const StreamKey& key);
+
+  net::Node* node_;
+  FilterRegistry registry_;
+  FilterContext context_;
+  monitor::EemClient* eem_ = nullptr;
+  const ServiceCatalog* catalog_ = nullptr;
+
+  std::vector<Attachment> attachments_;
+  std::vector<ServiceRecord> services_;
+  std::map<StreamKey, StreamInfo> streams_;
+  std::map<StreamKey, std::vector<Filter*>> queue_cache_;
+  ProxyStats stats_;
+  bool in_filter_pass_ = false;
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_SERVICE_PROXY_H_

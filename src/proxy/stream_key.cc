@@ -1,0 +1,61 @@
+#include "src/proxy/stream_key.h"
+
+#include "src/util/strings.h"
+
+namespace comma::proxy {
+
+StreamKey StreamKey::FromPacket(const net::Packet& p) {
+  StreamKey key;
+  key.src = p.ip().src;
+  key.dst = p.ip().dst;
+  if (p.has_tcp()) {
+    key.src_port = p.tcp().src_port;
+    key.dst_port = p.tcp().dst_port;
+  } else if (p.has_udp()) {
+    key.src_port = p.udp().src_port;
+    key.dst_port = p.udp().dst_port;
+  }
+  return key;
+}
+
+std::optional<StreamKey> StreamKey::Parse(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 4) {
+    return std::nullopt;
+  }
+  auto src = net::Ipv4Address::Parse(tokens[0]);
+  auto dst = net::Ipv4Address::Parse(tokens[2]);
+  uint32_t src_port = 0;
+  uint32_t dst_port = 0;
+  if (!src || !dst || !util::ParseU32(tokens[1], &src_port) ||
+      !util::ParseU32(tokens[3], &dst_port) || src_port > 65535 || dst_port > 65535) {
+    return std::nullopt;
+  }
+  return StreamKey{*src, static_cast<uint16_t>(src_port), *dst, static_cast<uint16_t>(dst_port)};
+}
+
+bool StreamKey::IsWildcard() const {
+  return src.IsUnspecified() || dst.IsUnspecified() || src_port == 0 || dst_port == 0;
+}
+
+bool StreamKey::Matches(const StreamKey& concrete) const {
+  if (!src.IsUnspecified() && src != concrete.src) {
+    return false;
+  }
+  if (src_port != 0 && src_port != concrete.src_port) {
+    return false;
+  }
+  if (!dst.IsUnspecified() && dst != concrete.dst) {
+    return false;
+  }
+  if (dst_port != 0 && dst_port != concrete.dst_port) {
+    return false;
+  }
+  return true;
+}
+
+std::string StreamKey::ToString() const {
+  return util::Format("%s %u -> %s %u", src.ToString().c_str(), src_port, dst.ToString().c_str(),
+                      dst_port);
+}
+
+}  // namespace comma::proxy

@@ -1,0 +1,55 @@
+// Stream keys (thesis §5.2): the ordered quadruple
+// (source IP, source port, destination IP, destination port) that uniquely
+// identifies a directional communication stream. Fields left blank (zero)
+// form a wild-card key that matches any value in that position.
+#ifndef COMMA_PROXY_STREAM_KEY_H_
+#define COMMA_PROXY_STREAM_KEY_H_
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace comma::proxy {
+
+struct StreamKey {
+  net::Ipv4Address src;
+  uint16_t src_port = 0;
+  net::Ipv4Address dst;
+  uint16_t dst_port = 0;
+
+  // Extracts the key from a TCP or UDP packet. Raw IP packets yield a key
+  // with zero ports.
+  static StreamKey FromPacket(const net::Packet& p);
+
+  // Parses four whitespace-separated tokens: "11.11.10.99 7 11.11.10.10 1169".
+  // Zero values ("0.0.0.0" / "0") denote wild-card positions.
+  static std::optional<StreamKey> Parse(const std::vector<std::string>& tokens);
+
+  // True if any field is blank (making this a wild-card key).
+  bool IsWildcard() const;
+
+  // Wild-card match: every non-blank field of *this must equal `concrete`.
+  bool Matches(const StreamKey& concrete) const;
+
+  // The same stream in the opposite direction.
+  StreamKey Reversed() const { return {dst, dst_port, src, src_port}; }
+
+  // Renders in the thesis's report format: "11.11.10.99 7 -> 11.11.10.10 1169".
+  std::string ToString() const;
+
+  friend bool operator==(const StreamKey& a, const StreamKey& b) {
+    return a.src == b.src && a.src_port == b.src_port && a.dst == b.dst &&
+           a.dst_port == b.dst_port;
+  }
+  friend bool operator<(const StreamKey& a, const StreamKey& b) {
+    return std::tie(a.src, a.src_port, a.dst, a.dst_port) <
+           std::tie(b.src, b.src_port, b.dst, b.dst_port);
+  }
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_STREAM_KEY_H_

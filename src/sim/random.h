@@ -1,0 +1,46 @@
+// Deterministic pseudo-random source for the simulator.
+//
+// A small xoshiro256** generator, seeded explicitly, so that every loss
+// pattern and jitter schedule in tests and benches reproduces exactly.
+#ifndef COMMA_SIM_RANDOM_H_
+#define COMMA_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace comma::sim {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform value in [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (>= 0).
+  double Exponential(double mean);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Derives an independent child generator (for per-link streams).
+  Random Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace comma::sim
+
+#endif  // COMMA_SIM_RANDOM_H_

@@ -1,0 +1,92 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace comma::sim {
+
+std::string FormatTime(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds", static_cast<long long>(t / kSecond),
+                static_cast<long long>(t % kSecond));
+  return buf;
+}
+
+void Simulator::Push(TimePoint when, TimerId timer_id, std::function<void()> fn) {
+  auto ev = std::make_unique<Event>();
+  ev->when = std::max(when, now_);
+  ev->seq = next_seq_++;
+  ev->timer_id = timer_id;
+  ev->fn = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
+void Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  Push(now_ + std::max<Duration>(delay, 0), 0, std::move(fn));
+}
+
+void Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  Push(when, 0, std::move(fn));
+}
+
+TimerId Simulator::ScheduleTimer(Duration delay, std::function<void()> fn) {
+  TimerId id = next_timer_id_++;
+  pending_timers_.push_back(id);
+  Push(now_ + std::max<Duration>(delay, 0), id, std::move(fn));
+  return id;
+}
+
+bool Simulator::Cancel(TimerId id) {
+  auto it = std::find(pending_timers_.begin(), pending_timers_.end(), id);
+  if (it == pending_timers_.end()) {
+    return false;
+  }
+  pending_timers_.erase(it);
+  return true;
+}
+
+bool Simulator::IsPending(TimerId id) const {
+  return std::find(pending_timers_.begin(), pending_timers_.end(), id) != pending_timers_.end();
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const top-extraction; the const_cast is the
+    // standard idiom for moving out of a unique_ptr-valued queue.
+    auto ev = std::move(const_cast<std::unique_ptr<Event>&>(queue_.top()));
+    queue_.pop();
+    if (ev->timer_id != kInvalidTimerId) {
+      auto it = std::find(pending_timers_.begin(), pending_timers_.end(), ev->timer_id);
+      if (it == pending_timers_.end()) {
+        continue;  // Cancelled timer: tombstone, skip without running.
+      }
+      pending_timers_.erase(it);
+    }
+    now_ = ev->when;
+    ++events_run_;
+    ev->fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulator::Run(uint64_t limit) {
+  uint64_t n = 0;
+  while (n < limit && Step()) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Simulator::RunUntil(TimePoint until) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top()->when <= until) {
+    if (Step()) {
+      ++n;
+    }
+  }
+  now_ = std::max(now_, until);
+  return n;
+}
+
+}  // namespace comma::sim

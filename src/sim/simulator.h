@@ -1,0 +1,106 @@
+// Discrete-event simulation core.
+//
+// The Simulator owns a priority queue of (time, sequence, callback) events.
+// Components schedule callbacks at absolute or relative simulated times;
+// Run() drains the queue in (time, insertion-order) order, which makes every
+// simulation deterministic for a given seed and schedule.
+//
+// Timers scheduled through ScheduleTimer() return a TimerHandle that can be
+// cancelled or rescheduled; cancellation is O(1) (the queue entry is
+// tombstoned, not removed).
+#ifndef COMMA_SIM_SIMULATOR_H_
+#define COMMA_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace comma::sim {
+
+// Opaque identifier for a cancellable timer. Zero is never a valid id.
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimerId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  TimePoint Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` microseconds from now. Negative delays are
+  // clamped to zero (the event runs "immediately", after already-queued
+  // events at the current time).
+  void Schedule(Duration delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `when` (clamped to Now()).
+  void ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  // Schedules a cancellable timer. The returned id stays valid until the
+  // timer fires or is cancelled.
+  TimerId ScheduleTimer(Duration delay, std::function<void()> fn);
+
+  // Cancels a pending timer. Returns true if the timer was still pending.
+  bool Cancel(TimerId id);
+
+  // True if the timer with this id has neither fired nor been cancelled.
+  bool IsPending(TimerId id) const;
+
+  // Runs events until the queue is empty or `limit` events have run.
+  // Returns the number of events executed.
+  uint64_t Run(uint64_t limit = UINT64_MAX);
+
+  // Runs events with time <= `until`. Afterwards Now() == max(Now(), until).
+  // Returns the number of events executed.
+  uint64_t RunUntil(TimePoint until);
+
+  // Runs events for `span` more microseconds of simulated time.
+  uint64_t RunFor(Duration span) { return RunUntil(now_ + span); }
+
+  // Executes the single earliest event. Returns false if the queue is empty.
+  bool Step();
+
+  // Number of events currently queued (including tombstoned timers).
+  size_t QueueSize() const { return queue_.size(); }
+
+  // Total events executed since construction.
+  uint64_t EventsRun() const { return events_run_; }
+
+ private:
+  struct Event {
+    TimePoint when = 0;
+    uint64_t seq = 0;       // Tie-breaker: earlier-scheduled events run first.
+    TimerId timer_id = 0;   // Non-zero for cancellable timers.
+    std::function<void()> fn;
+  };
+
+  struct EventLater {
+    bool operator()(const std::unique_ptr<Event>& a, const std::unique_ptr<Event>& b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;
+      }
+      return a->seq > b->seq;
+    }
+  };
+
+  void Push(TimePoint when, TimerId timer_id, std::function<void()> fn);
+
+  TimePoint now_ = 0;
+  uint64_t next_seq_ = 0;
+  TimerId next_timer_id_ = 1;
+  uint64_t events_run_ = 0;
+  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, EventLater>
+      queue_;
+  // Pending (not cancelled, not fired) timer ids. Small; linear scan is fine.
+  std::vector<TimerId> pending_timers_;
+};
+
+}  // namespace comma::sim
+
+#endif  // COMMA_SIM_SIMULATOR_H_

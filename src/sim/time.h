@@ -1,0 +1,41 @@
+// Simulated-time types and helpers.
+//
+// All simulated time in Comma is an integer count of microseconds since the
+// start of the simulation. Integer time keeps the discrete-event core exactly
+// reproducible across platforms (no floating-point event reordering).
+#ifndef COMMA_SIM_TIME_H_
+#define COMMA_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace comma::sim {
+
+// A point in simulated time, in microseconds since simulation start.
+using TimePoint = int64_t;
+
+// A span of simulated time, in microseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+// Converts a duration in (possibly fractional) seconds to microseconds,
+// rounding to nearest.
+constexpr Duration SecondsToDuration(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+// Converts a duration to fractional seconds (for reporting only; never feed
+// the result back into event scheduling).
+constexpr double DurationToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Renders a time point as "12.345678s" for traces and reports.
+std::string FormatTime(TimePoint t);
+
+}  // namespace comma::sim
+
+#endif  // COMMA_SIM_TIME_H_

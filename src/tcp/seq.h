@@ -1,0 +1,22 @@
+// Modular 32-bit sequence-number arithmetic (RFC 793 §3.3).
+#ifndef COMMA_TCP_SEQ_H_
+#define COMMA_TCP_SEQ_H_
+
+#include <cstdint>
+
+namespace comma::tcp {
+
+// Signed distance from `a` to `b` in sequence space.
+constexpr int32_t SeqDiff(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b); }
+
+constexpr bool SeqLt(uint32_t a, uint32_t b) { return SeqDiff(a, b) < 0; }
+constexpr bool SeqLeq(uint32_t a, uint32_t b) { return SeqDiff(a, b) <= 0; }
+constexpr bool SeqGt(uint32_t a, uint32_t b) { return SeqDiff(a, b) > 0; }
+constexpr bool SeqGeq(uint32_t a, uint32_t b) { return SeqDiff(a, b) >= 0; }
+
+constexpr uint32_t SeqMax(uint32_t a, uint32_t b) { return SeqGt(a, b) ? a : b; }
+constexpr uint32_t SeqMin(uint32_t a, uint32_t b) { return SeqLt(a, b) ? a : b; }
+
+}  // namespace comma::tcp
+
+#endif  // COMMA_TCP_SEQ_H_

@@ -1,0 +1,113 @@
+#include "src/tcp/tcp_stack.h"
+
+#include <algorithm>
+
+namespace comma::tcp {
+
+TcpStack::TcpStack(net::Node* node, sim::Random rng) : node_(node), rng_(rng) {
+  node_->RegisterProtocol(net::IpProtocol::kTcp,
+                          [this](net::PacketPtr p) { OnTcpPacket(std::move(p)); });
+}
+
+uint16_t TcpStack::AllocateEphemeralPort() {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    uint16_t port = next_ephemeral_++;
+    if (next_ephemeral_ == 0) {
+      next_ephemeral_ = 1024;
+    }
+    if (port < 1024) {
+      continue;
+    }
+    const bool in_use =
+        listeners_.count(port) != 0 ||
+        std::any_of(connections_.begin(), connections_.end(),
+                    [port](const auto& kv) { return std::get<0>(kv.first) == port; });
+    if (!in_use) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+TcpConnection* TcpStack::Connect(net::Ipv4Address remote, uint16_t remote_port,
+                                 const TcpConfig& config) {
+  return ConnectFrom(AllocateEphemeralPort(), remote, remote_port, config);
+}
+
+TcpConnection* TcpStack::ConnectFrom(uint16_t local_port, net::Ipv4Address remote,
+                                     uint16_t remote_port, const TcpConfig& config) {
+  auto conn = std::make_unique<TcpConnection>(this, node_->PrimaryAddress(), local_port, remote,
+                                              remote_port, config, GenerateIss());
+  TcpConnection* raw = conn.get();
+  connections_[KeyFor(local_port, remote, remote_port)] = raw;
+  owned_.push_back(std::move(conn));
+  raw->StartActiveOpen();
+  return raw;
+}
+
+void TcpStack::Listen(uint16_t port, AcceptCallback on_accept, const TcpConfig& config) {
+  listeners_[port] = Listener{std::move(on_accept), config};
+}
+
+void TcpStack::CloseListener(uint16_t port) { listeners_.erase(port); }
+
+void TcpStack::Retire(TcpConnection* conn) {
+  const ConnKey key = KeyFor(conn->local_port(), conn->remote_addr(), conn->remote_port());
+  auto it = connections_.find(key);
+  if (it != connections_.end() && it->second == conn) {
+    connections_.erase(it);
+  }
+}
+
+void TcpStack::OnTcpPacket(net::PacketPtr packet) {
+  if (!packet->has_tcp()) {
+    return;
+  }
+  if (!packet->VerifyChecksums()) {
+    ++checksum_failures_;
+    return;  // Corrupted in flight; the sender will retransmit.
+  }
+  const auto& h = packet->tcp();
+  const ConnKey key = KeyFor(h.dst_port, packet->ip().src, h.src_port);
+
+  auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    it->second->HandleSegment(*packet);
+    return;
+  }
+
+  // No connection: a SYN may match a listener.
+  if ((h.flags & net::kTcpSyn) && !(h.flags & net::kTcpAck)) {
+    auto lit = listeners_.find(h.dst_port);
+    if (lit != listeners_.end()) {
+      auto conn = std::make_unique<TcpConnection>(this, packet->ip().dst, h.dst_port,
+                                                  packet->ip().src, h.src_port,
+                                                  lit->second.config, GenerateIss());
+      TcpConnection* raw = conn.get();
+      connections_[key] = raw;
+      owned_.push_back(std::move(conn));
+      // Fire the accept callback once the three-way handshake completes.
+      AcceptCallback on_accept = lit->second.on_accept;
+      raw->set_on_connected([on_accept, raw] {
+        if (on_accept) {
+          on_accept(raw);
+        }
+      });
+      raw->StartPassiveOpen(*packet);
+      return;
+    }
+  }
+
+  // No listener and no connection: refuse with RST (unless it was a RST).
+  if (!(h.flags & net::kTcpRst)) {
+    net::TcpHeader rst;
+    rst.src_port = h.dst_port;
+    rst.dst_port = h.src_port;
+    rst.flags = net::kTcpRst | net::kTcpAck;
+    rst.seq = h.ack;
+    rst.ack = h.seq + TcpSegmentLength(*packet);
+    node_->SendPacket(net::Packet::MakeTcp(packet->ip().dst, packet->ip().src, rst, {}));
+  }
+}
+
+}  // namespace comma::tcp

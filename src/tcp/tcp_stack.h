@@ -1,0 +1,78 @@
+// Per-node TCP stack: connection demultiplexing, listeners, port allocation.
+#ifndef COMMA_TCP_TCP_STACK_H_
+#define COMMA_TCP_TCP_STACK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/net/node.h"
+#include "src/tcp/tcp_connection.h"
+
+namespace comma::tcp {
+
+class TcpStack {
+ public:
+  using AcceptCallback = std::function<void(TcpConnection*)>;
+
+  TcpStack(net::Node* node, sim::Random rng);
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  // Active open from this node's primary address and an ephemeral port.
+  TcpConnection* Connect(net::Ipv4Address remote, uint16_t remote_port,
+                         const TcpConfig& config = {});
+  // Active open with an explicit local port.
+  TcpConnection* ConnectFrom(uint16_t local_port, net::Ipv4Address remote, uint16_t remote_port,
+                             const TcpConfig& config = {});
+
+  // Passive open: `on_accept` fires when a connection reaches ESTABLISHED.
+  void Listen(uint16_t port, AcceptCallback on_accept, const TcpConfig& config = {});
+  void CloseListener(uint16_t port);
+
+  net::Node* node() const { return node_; }
+  sim::Simulator* simulator() const { return node_->simulator(); }
+
+  // --- Connection interface ---
+  void SendPacket(net::PacketPtr packet) { node_->SendPacket(std::move(packet)); }
+  uint32_t GenerateIss() { return static_cast<uint32_t>(rng_.NextU64()); }
+  // Removes a fully closed connection from the demux map. The object stays
+  // alive (owned by the stack) so applications can read final stats.
+  void Retire(TcpConnection* conn);
+
+  // Number of live (demuxable) connections.
+  size_t ActiveConnections() const { return connections_.size(); }
+
+  // Segments arriving with a bad TCP checksum are dropped (and counted), as
+  // a real stack would; retransmission recovers them. Mutating proxy filters
+  // must therefore leave checksums consistent — the `tcp` filter's job.
+  uint64_t checksum_failures() const { return checksum_failures_; }
+
+ private:
+  using ConnKey = std::tuple<uint16_t, uint32_t, uint16_t>;  // local port, remote addr, remote port.
+
+  void OnTcpPacket(net::PacketPtr packet);
+  uint16_t AllocateEphemeralPort();
+  static ConnKey KeyFor(uint16_t local_port, net::Ipv4Address remote, uint16_t remote_port) {
+    return {local_port, remote.value(), remote_port};
+  }
+
+  struct Listener {
+    AcceptCallback on_accept;
+    TcpConfig config;
+  };
+
+  net::Node* node_;
+  sim::Random rng_;
+  std::map<ConnKey, TcpConnection*> connections_;
+  std::vector<std::unique_ptr<TcpConnection>> owned_;
+  std::map<uint16_t, Listener> listeners_;
+  uint16_t next_ephemeral_ = 1024;
+  uint64_t checksum_failures_ = 0;
+};
+
+}  // namespace comma::tcp
+
+#endif  // COMMA_TCP_TCP_STACK_H_

@@ -1,0 +1,75 @@
+#include "src/udp/udp_stack.h"
+
+namespace comma::udp {
+
+UdpSocket::UdpSocket(UdpStack* stack, uint16_t port) : stack_(stack), port_(port) {}
+
+UdpSocket::~UdpSocket() {
+  if (stack_ != nullptr) {
+    stack_->Unbind(port_);
+  }
+}
+
+void UdpSocket::SendTo(net::Ipv4Address addr, uint16_t port, util::Bytes payload) {
+  ++datagrams_sent_;
+  bytes_sent_ += payload.size();
+  stack_->node()->SendPacket(net::Packet::MakeUdp(stack_->node()->PrimaryAddress(), addr, port_,
+                                                  port, std::move(payload)));
+}
+
+void UdpSocket::Deliver(const net::Packet& p) {
+  ++datagrams_received_;
+  bytes_received_ += p.payload().size();
+  if (on_receive_) {
+    on_receive_(p.payload(), UdpEndpoint{p.ip().src, p.udp().src_port});
+  }
+}
+
+UdpStack::UdpStack(net::Node* node) : node_(node) {
+  node_->RegisterProtocol(net::IpProtocol::kUdp,
+                          [this](net::PacketPtr p) { OnUdpPacket(std::move(p)); });
+}
+
+std::unique_ptr<UdpSocket> UdpStack::Bind(uint16_t port) {
+  if (port == 0) {
+    for (int attempts = 0; attempts < 65536; ++attempts) {
+      uint16_t candidate = next_ephemeral_++;
+      if (next_ephemeral_ == 0) {
+        next_ephemeral_ = 20000;
+      }
+      if (candidate >= 1024 && sockets_.count(candidate) == 0) {
+        port = candidate;
+        break;
+      }
+    }
+    if (port == 0) {
+      return nullptr;
+    }
+  } else if (sockets_.count(port) != 0) {
+    return nullptr;
+  }
+  auto socket = std::make_unique<UdpSocket>(this, port);
+  sockets_[port] = socket.get();
+  return socket;
+}
+
+void UdpStack::Unbind(uint16_t port) { sockets_.erase(port); }
+
+void UdpStack::OnUdpPacket(net::PacketPtr packet) {
+  if (!packet->has_udp()) {
+    return;
+  }
+  if (!packet->VerifyChecksums()) {
+    ++checksum_failures_;
+    return;  // Corrupted in flight; UDP offers no recovery.
+  }
+  ++in_datagrams_;
+  auto it = sockets_.find(packet->udp().dst_port);
+  if (it == sockets_.end()) {
+    ++no_ports_;
+    return;
+  }
+  it->second->Deliver(*packet);
+}
+
+}  // namespace comma::udp

@@ -1,0 +1,84 @@
+// Per-node UDP stack: sockets bound to ports with receive callbacks.
+// Carries the EEM monitor protocol and the real-time media workloads.
+#ifndef COMMA_UDP_UDP_STACK_H_
+#define COMMA_UDP_UDP_STACK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/net/node.h"
+
+namespace comma::udp {
+
+class UdpStack;
+
+struct UdpEndpoint {
+  net::Ipv4Address addr;
+  uint16_t port = 0;
+};
+
+class UdpSocket {
+ public:
+  // Callback receives payload plus the sender's address/port.
+  using ReceiveCallback = std::function<void(const util::Bytes&, const UdpEndpoint&)>;
+
+  UdpSocket(UdpStack* stack, uint16_t port);
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void SendTo(net::Ipv4Address addr, uint16_t port, util::Bytes payload);
+  void set_on_receive(ReceiveCallback cb) { on_receive_ = std::move(cb); }
+
+  uint16_t port() const { return port_; }
+  uint64_t datagrams_sent() const { return datagrams_sent_; }
+  uint64_t datagrams_received() const { return datagrams_received_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class UdpStack;
+  void Deliver(const net::Packet& p);
+
+  UdpStack* stack_;
+  uint16_t port_;
+  ReceiveCallback on_receive_;
+  uint64_t datagrams_sent_ = 0;
+  uint64_t datagrams_received_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+class UdpStack {
+ public:
+  explicit UdpStack(net::Node* node);
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  // Binds a socket to `port` (0 picks an ephemeral port). Returns nullptr if
+  // the port is taken.
+  std::unique_ptr<UdpSocket> Bind(uint16_t port);
+
+  net::Node* node() const { return node_; }
+  uint64_t in_datagrams() const { return in_datagrams_; }
+  uint64_t no_ports() const { return no_ports_; }
+  // Datagrams dropped for failing checksum verification.
+  uint64_t checksum_failures() const { return checksum_failures_; }
+
+ private:
+  friend class UdpSocket;
+  void OnUdpPacket(net::PacketPtr packet);
+  void Unbind(uint16_t port);
+
+  net::Node* node_;
+  std::map<uint16_t, UdpSocket*> sockets_;
+  uint16_t next_ephemeral_ = 20000;
+  uint64_t in_datagrams_ = 0;
+  uint64_t no_ports_ = 0;
+  uint64_t checksum_failures_ = 0;
+};
+
+}  // namespace comma::udp
+
+#endif  // COMMA_UDP_UDP_STACK_H_

@@ -1,0 +1,86 @@
+#include "src/util/bytes.h"
+
+#include <algorithm>
+
+namespace comma::util {
+
+void ByteWriter::WriteString(const std::string& s) {
+  const size_t len = std::min<size_t>(s.size(), UINT16_MAX);
+  WriteU16(static_cast<uint16_t>(len));
+  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), len);
+}
+
+bool ByteReader::Need(size_t n) {
+  if (failed_ || len_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::ReadU8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::ReadU16() {
+  if (!Need(2)) {
+    return 0;
+  }
+  uint16_t v = static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::ReadU32() {
+  uint32_t hi = ReadU16();
+  uint32_t lo = ReadU16();
+  return hi << 16 | lo;
+}
+
+uint64_t ByteReader::ReadU64() {
+  uint64_t hi = ReadU32();
+  uint64_t lo = ReadU32();
+  return hi << 32 | lo;
+}
+
+Bytes ByteReader::ReadBytes(size_t len) {
+  if (!Need(len)) {
+    return {};
+  }
+  Bytes out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::string ByteReader::ReadString() {
+  uint16_t len = ReadU16();
+  if (!Need(len)) {
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+std::string HexDump(const Bytes& data, size_t max) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  const size_t n = std::min(data.size(), max);
+  out.reserve(n * 3);
+  for (size_t i = 0; i < n; ++i) {
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (data.size() > max) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace comma::util

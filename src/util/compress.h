@@ -1,0 +1,41 @@
+// Self-contained lossless compressors for the transparent compression
+// service (thesis §8.1.6) and the data-type translation filters (§8.3.3).
+//
+// Two codecs are provided:
+//  - RLE: trivial run-length coding; fast, effective on synthetic media.
+//  - LZ: a greedy LZ77 with a 4 KiB window, byte-oriented token stream.
+//
+// Both produce a 4-byte header (magic + codec id + original length) so a
+// decompressor can validate input and size its output buffer. Compress()
+// falls back to a stored block when compression would expand the input, so
+// compressed size never exceeds original size + 5.
+#ifndef COMMA_UTIL_COMPRESS_H_
+#define COMMA_UTIL_COMPRESS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/bytes.h"
+
+namespace comma::util {
+
+enum class Codec : uint8_t {
+  kStored = 0,  // No compression; used as a fallback.
+  kRle = 1,
+  kLz = 2,
+};
+
+// Compresses `input` with the requested codec (falling back to kStored when
+// that is smaller). Never fails.
+Bytes Compress(const Bytes& input, Codec codec);
+
+// Decompresses a buffer produced by Compress(). Returns nullopt on corrupt
+// or truncated input.
+std::optional<Bytes> Decompress(const Bytes& input);
+
+// Peeks at a compressed buffer's codec without decompressing.
+std::optional<Codec> PeekCodec(const Bytes& input);
+
+}  // namespace comma::util
+
+#endif  // COMMA_UTIL_COMPRESS_H_

@@ -1,0 +1,78 @@
+#include "src/util/stats.h"
+
+#include <cmath>
+
+#include "src/util/strings.h"
+
+namespace comma::util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentiles::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::sort(samples_.begin(), samples_.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets ? buckets : 1, 0) {}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (hi_ <= lo_) {
+    ++counts_[0];
+    return;
+  }
+  double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+}
+
+std::string Histogram::Render(size_t width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  const double bucket_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = lo_ + bucket_width * static_cast<double>(i);
+    size_t bar = peak ? static_cast<size_t>(static_cast<double>(counts_[i]) / peak * width) : 0;
+    out += Format("%10.3f | %-*s %llu\n", lo, static_cast<int>(width),
+                  std::string(bar, '#').c_str(), static_cast<unsigned long long>(counts_[i]));
+  }
+  return out;
+}
+
+}  // namespace comma::util

@@ -1,0 +1,70 @@
+// Running statistics and simple fixed-bucket histograms for experiment
+// reporting (throughput distributions, RTT percentiles, etc.).
+#ifndef COMMA_UTIL_STATS_H_
+#define COMMA_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comma::util {
+
+// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores samples; computes exact percentiles on demand.
+class Percentiles {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  // p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  size_t count() const { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+// Fixed-width bucket histogram over [lo, hi); out-of-range samples clamp to
+// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+  void Add(double x);
+  uint64_t BucketCount(size_t i) const { return counts_.at(i); }
+  size_t buckets() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  // Renders an ASCII bar chart, one bucket per line.
+  std::string Render(size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace comma::util
+
+#endif  // COMMA_UTIL_STATS_H_

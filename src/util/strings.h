@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+#ifndef COMMA_UTIL_STRINGS_H_
+#define COMMA_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comma::util {
+
+// Splits on any run of whitespace; no empty tokens are produced.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view text);
+
+// Joins parts with the given separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Case-sensitive prefix test.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Parses a non-negative integer; returns false on any malformed input.
+bool ParseU32(std::string_view text, uint32_t* out);
+bool ParseU64(std::string_view text, uint64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace comma::util
+
+#endif  // COMMA_UTIL_STRINGS_H_

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/apps/media.h"
+#include "src/apps/request_response.h"
+#include "src/core/scenario.h"
+#include "src/util/compress.h"
+
+namespace comma::apps {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+  }
+  core::WirelessScenario& s() { return *scenario_; }
+  std::unique_ptr<core::WirelessScenario> scenario_;
+};
+
+TEST_F(AppsTest, PayloadGenerators) {
+  EXPECT_EQ(PatternPayload(1000).size(), 1000u);
+  EXPECT_EQ(TextPayload(1000).size(), 1000u);
+  // Pattern is deterministic.
+  EXPECT_EQ(PatternPayload(100), PatternPayload(100));
+  // Text payload compresses far better than the pattern.
+  EXPECT_LT(util::Compress(TextPayload(10000), util::Codec::kLz).size(),
+            util::Compress(PatternPayload(10000), util::Codec::kLz).size());
+}
+
+TEST_F(AppsTest, BulkTransferCompletes) {
+  BulkSink sink(&s().mobile_host(), 80);
+  BulkSender sender(&s().wired_host(), s().mobile_addr(), 80, PatternPayload(100'000));
+  bool finished_cb = false;
+  sender.set_on_finished([&] { finished_cb = true; });
+  s().sim().RunFor(60 * sim::kSecond);
+  EXPECT_TRUE(sender.finished());
+  EXPECT_TRUE(finished_cb);
+  EXPECT_TRUE(sink.closed());
+  EXPECT_EQ(sink.received(), PatternPayload(100'000));
+  EXPECT_GT(sender.GoodputBps(), 0.0);
+  EXPECT_LT(sender.GoodputBps(), 1e6);  // Below wireless line rate.
+  EXPECT_GT(sink.last_byte_at(), sink.first_byte_at());
+}
+
+TEST_F(AppsTest, RequestResponseMeasuresLatency) {
+  RequestResponseServer server(&s().mobile_host(), 80, 100, 400);
+  RequestResponseClient client(&s().wired_host(), s().mobile_addr(), 80, 100, 400, 20);
+  s().sim().RunFor(60 * sim::kSecond);
+  EXPECT_TRUE(client.finished());
+  EXPECT_EQ(client.completed(), 20);
+  EXPECT_EQ(server.requests_served(), 20u);
+  // One exchange needs roughly one wired+wireless round trip: >= 12 ms.
+  EXPECT_GT(client.latencies_ms().Median(), 10.0);
+  EXPECT_LT(client.latencies_ms().Median(), 200.0);
+}
+
+TEST_F(AppsTest, MediaStreamDeliversLayeredFrames) {
+  MediaSink sink(&s().mobile_host(), 5004);
+  MediaSourceConfig cfg;
+  cfg.layers = 3;
+  LayeredMediaSource source(&s().wired_host(), s().mobile_addr(), cfg);
+  source.Start();
+  s().sim().RunFor(2 * sim::kSecond);
+  source.Stop();
+  s().sim().RunFor(sim::kSecond);
+  EXPECT_GT(source.frames_sent(), 90u);  // ~50 fps for 2 s.
+  EXPECT_EQ(sink.frames_received(), source.frames_sent());
+  // Layers cycle evenly.
+  EXPECT_NEAR(static_cast<double>(sink.frames_per_layer(0)),
+              static_cast<double>(sink.frames_per_layer(1)), 2.0);
+  EXPECT_GT(sink.latencies_ms().Median(), 1.0);
+  EXPECT_EQ(sink.late_frames(), 0u);  // Clean, unloaded link.
+}
+
+TEST_F(AppsTest, MediaLatencyDegradesUnderCongestion) {
+  // Saturate the wireless link with a competing bulk transfer: frames queue
+  // and real-time deadlines start slipping (§1's motivation for data
+  // reduction at the proxy).
+  MediaSink sink(&s().mobile_host(), 5004, /*deadline=*/100 * sim::kMillisecond);
+  MediaSourceConfig cfg;
+  cfg.frame_body = 900;
+  LayeredMediaSource source(&s().wired_host(), s().mobile_addr(), cfg);
+  BulkSink bulk_sink(&s().mobile_host(), 80);
+  BulkSender bulk(&s().wired_host(), s().mobile_addr(), 80, PatternPayload(2'000'000));
+  source.Start();
+  s().sim().RunFor(5 * sim::kSecond);
+  source.Stop();
+  // The shared queue hurts the media stream: delayed or lost frames.
+  const bool degraded = sink.late_frames() > 0 || sink.frames_received() < source.frames_sent();
+  EXPECT_TRUE(degraded);
+}
+
+TEST_F(AppsTest, MediaSourceStopsCleanly) {
+  MediaSink sink(&s().mobile_host(), 5004);
+  MediaSourceConfig cfg;
+  LayeredMediaSource source(&s().wired_host(), s().mobile_addr(), cfg);
+  source.Start();
+  s().sim().RunFor(sim::kSecond);
+  source.Stop();
+  const uint64_t at_stop = source.frames_sent();
+  s().sim().RunFor(sim::kSecond);
+  EXPECT_EQ(source.frames_sent(), at_stop);
+}
+
+}  // namespace
+}  // namespace comma::apps

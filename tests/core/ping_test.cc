@@ -1,0 +1,109 @@
+// ICMP echo + the measured netLatency metric (Table 6.2).
+#include "src/core/ping.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/core/scenario.h"
+#include "src/monitor/eem_server.h"
+
+namespace comma::core {
+namespace {
+
+class PingTest : public ::testing::Test {
+ protected:
+  PingTest() {
+    ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<WirelessScenario>(cfg);
+  }
+  WirelessScenario& s() { return *scenario_; }
+  std::unique_ptr<WirelessScenario> scenario_;
+};
+
+TEST_F(PingTest, RoundTripAcrossOneHop) {
+  Pinger pinger(&s().mobile_host(), &s().mobile_host().icmp_responder());
+  sim::Duration rtt = 0;
+  pinger.Ping(s().gateway_wireless_addr(), [&](sim::Duration r) { rtt = r; });
+  s().sim().RunFor(sim::kSecond);
+  // 2 * (5 ms propagation + ~0.6 ms serialization of an 84-byte probe).
+  EXPECT_GT(rtt, 10 * sim::kMillisecond);
+  EXPECT_LT(rtt, 15 * sim::kMillisecond);
+  EXPECT_EQ(pinger.replies_received(), 1u);
+  EXPECT_EQ(s().gateway().icmp_responder().requests_answered(), 1u);
+}
+
+TEST_F(PingTest, RoundTripAcrossTwoHops) {
+  Pinger pinger(&s().wired_host(), &s().wired_host().icmp_responder());
+  sim::Duration rtt = 0;
+  pinger.Ping(s().mobile_addr(), [&](sim::Duration r) { rtt = r; });
+  s().sim().RunFor(sim::kSecond);
+  EXPECT_GT(rtt, 12 * sim::kMillisecond);  // Wired + wireless legs.
+  EXPECT_LT(rtt, 20 * sim::kMillisecond);
+}
+
+TEST_F(PingTest, TimeoutWhenTargetUnreachable) {
+  s().wireless_link().SetUp(false);
+  Pinger pinger(&s().wired_host(), &s().wired_host().icmp_responder());
+  sim::Duration rtt = 0;
+  pinger.Ping(s().mobile_addr(), [&](sim::Duration r) { rtt = r; });
+  s().sim().RunFor(5 * sim::kSecond);
+  EXPECT_LT(rtt, 0);
+  EXPECT_EQ(pinger.timeouts(), 1u);
+  EXPECT_EQ(pinger.replies_received(), 0u);
+}
+
+TEST_F(PingTest, ConcurrentPingsMatchBySequence) {
+  Pinger pinger(&s().wired_host(), &s().wired_host().icmp_responder());
+  int replies = 0;
+  for (int i = 0; i < 5; ++i) {
+    pinger.Ping(s().mobile_addr(), [&](sim::Duration r) {
+      EXPECT_GT(r, 0);
+      ++replies;
+    });
+  }
+  s().sim().RunFor(sim::kSecond);
+  EXPECT_EQ(replies, 5);
+}
+
+TEST_F(PingTest, TwoPingersCoexistById) {
+  Pinger a(&s().wired_host(), &s().wired_host().icmp_responder());
+  // Only one Pinger can own a node's ICMP handler; a second pinger on a
+  // *different* host targeting the same responder works independently.
+  Pinger b(&s().mobile_host(), &s().mobile_host().icmp_responder());
+  int a_replies = 0;
+  int b_replies = 0;
+  a.Ping(s().gateway_wired_addr(), [&](sim::Duration) { ++a_replies; });
+  b.Ping(s().gateway_wireless_addr(), [&](sim::Duration) { ++b_replies; });
+  s().sim().RunFor(sim::kSecond);
+  EXPECT_EQ(a_replies, 1);
+  EXPECT_EQ(b_replies, 1);
+}
+
+TEST_F(PingTest, NetLatencyIsMeasuredAndTracksCongestion) {
+  // The EEM's netLatency uses real pings: under a saturating bulk transfer
+  // the measured RTT inflates with the queue — the live signal adaptive
+  // services feed on, which no static estimate could provide.
+  monitor::EemServerConfig cfg;
+  cfg.check_interval = 200 * sim::kMillisecond;
+  monitor::EemServer server(&s().mobile_host(), cfg);
+
+  s().sim().RunFor(3 * sim::kSecond);
+  auto idle = server.ReadVariable("netLatency", 0);
+  ASSERT_TRUE(idle.has_value());
+  const double idle_ms = std::get<double>(*idle);
+  EXPECT_GT(idle_ms, 5.0);
+  EXPECT_LT(idle_ms, 30.0);
+
+  apps::BulkSink sink(&s().mobile_host(), 80);
+  apps::BulkSender sender(&s().wired_host(), s().mobile_addr(), 80,
+                          apps::PatternPayload(5'000'000));
+  s().sim().RunFor(5 * sim::kSecond);
+  auto loaded = server.ReadVariable("netLatency", 0);
+  ASSERT_TRUE(loaded.has_value());
+  // The 32-packet wireless queue adds up to ~260 ms of queueing delay.
+  EXPECT_GT(std::get<double>(*loaded), 3 * idle_ms);
+}
+
+}  // namespace
+}  // namespace comma::core

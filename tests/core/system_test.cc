@@ -1,0 +1,148 @@
+// Grand-tour integration test: the whole Comma architecture (Fig. 4.1)
+// working at once — SP + filters + EEM + Kati + workloads + wireless
+// variability — in a single scenario.
+#include "src/core/comma_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/apps/media.h"
+#include "src/apps/request_response.h"
+#include "src/filters/wsize_filter.h"
+
+namespace comma::core {
+namespace {
+
+TEST(SystemTest, FullArchitectureGrandTour) {
+  CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.02;
+  config.eem.check_interval = 200 * sim::kMillisecond;
+  config.eem.update_interval = sim::kSecond;
+  CommaSystem comma(config);
+
+  // --- Kati connects and provisions services over the wire ---
+  std::string kati_output;
+  auto kati = comma.MakeKati([&](const std::string& text) { kati_output += text; });
+  auto run_kati = [&](const std::string& line) {
+    const uint64_t before = kati->responses_received();
+    kati->Execute(line);
+    for (int step = 0; step < 200 && kati->responses_received() == before; ++step) {
+      comma.sim().RunFor(100 * sim::kMillisecond);
+    }
+    ASSERT_GT(kati->responses_received(), before) << line;
+  };
+
+  run_kati("service add reliable-wireless 0.0.0.0 0 11.11.10.10 80");
+  run_kati("service add media-thin 0.0.0.0 0 11.11.10.10 5004");
+  run_kati("add meter 0.0.0.0 0 11.11.10.10 0");
+  run_kati("watch ifOutQLen 2");
+
+  // --- Workloads: bulk + interactive + media, all concurrent ---
+  apps::BulkSink bulk_sink(&comma.scenario().mobile_host(), 80);
+  apps::BulkSender bulk(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                        apps::TextPayload(400'000));
+  apps::RequestResponseServer rr_server(&comma.scenario().mobile_host(), 81, 64, 256);
+  apps::RequestResponseClient rr_client(&comma.scenario().wired_host(),
+                                        comma.scenario().mobile_addr(), 81, 64, 256, 30);
+  apps::MediaSink media_sink(&comma.scenario().mobile_host(), 5004);
+  apps::MediaSourceConfig media_cfg;
+  apps::LayeredMediaSource media(&comma.scenario().wired_host(),
+                                 comma.scenario().mobile_addr(), media_cfg);
+  media.Start();
+
+  // --- Mid-run wireless turbulence: a squeeze and a brief outage ---
+  comma.sim().Schedule(5 * sim::kSecond,
+                       [&] { comma.scenario().wireless_link().SetBandwidth(400'000); });
+  comma.sim().Schedule(10 * sim::kSecond,
+                       [&] { comma.scenario().wireless_link().SetUp(false); });
+  comma.sim().Schedule(13 * sim::kSecond, [&] {
+    comma.scenario().wireless_link().SetUp(true);
+    comma.scenario().wireless_link().SetBandwidth(1'000'000);
+  });
+
+  comma.sim().RunFor(240 * sim::kSecond);
+  media.Stop();
+  comma.sim().RunFor(60 * sim::kSecond);
+
+  // --- Everything arrived despite loss, squeeze, and outage ---
+  EXPECT_EQ(bulk_sink.received(), apps::TextPayload(400'000));
+  EXPECT_TRUE(bulk.finished());
+  EXPECT_TRUE(rr_client.finished());
+  EXPECT_EQ(rr_client.completed(), 30);
+
+  // The media-thin service kept only the base layer.
+  EXPECT_GT(media_sink.frames_per_layer(0), 0u);
+  EXPECT_EQ(media_sink.frames_per_layer(1), 0u);
+  EXPECT_EQ(media_sink.frames_per_layer(2), 0u);
+
+  // The snoop service kept end-to-end retransmission at zero.
+  EXPECT_EQ(bulk.connection()->stats().fast_retransmits, 0u);
+
+  // --- Kati still sees and reports everything ---
+  kati_output.clear();
+  run_kati("report");
+  EXPECT_NE(kati_output.find("launcher"), std::string::npos);
+  EXPECT_NE(kati_output.find("meter"), std::string::npos);
+  kati_output.clear();
+  run_kati("streams");
+  // The media stream (no TCP teardown) is still registered...
+  EXPECT_NE(kati_output.find("11.11.10.10 5004"), std::string::npos);
+  // ...but the finished bulk stream was cleaned out by its tcp filter
+  // ("deleting all filters associated with TCP streams when the stream
+  // closes", §5.3.2).
+  EXPECT_EQ(kati_output.find("11.11.10.10 80 "), std::string::npos);
+  kati_output.clear();
+  run_kati("vars");
+  EXPECT_NE(kati_output.find("ifOutQLen"), std::string::npos);
+
+  // Proxy accounting is live.
+  EXPECT_GT(comma.sp().stats().packets_inspected, 500u);
+  EXPECT_GT(comma.sp().stats().packets_dropped, 0u);  // Media layers discarded.
+}
+
+TEST(SystemTest, ZwsmServiceSurvivesOutageViaEem) {
+  // The full EEM-driven loop: link down -> EEM interrupt -> wsize ZWSM ->
+  // persist -> link up -> EEM interrupt -> window update -> resume.
+  CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.0;
+  config.eem.check_interval = 100 * sim::kMillisecond;
+  CommaSystem comma(config);
+
+  proxy::StreamKey ack_path{comma.scenario().mobile_addr(), 80, net::Ipv4Address(), 0};
+  std::string error;
+  ASSERT_TRUE(comma.sp().AddService("launcher", ack_path, {"tcp", "wsize:zwsm:2"}, &error))
+      << error;
+
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.max_data_retries = 6;
+  apps::BulkSink sink(&comma.scenario().mobile_host(), 80, tcp_cfg);
+  apps::BulkSender sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                          apps::PatternPayload(1'000'000), tcp_cfg);
+  comma.sim().RunFor(3 * sim::kSecond);
+  comma.scenario().wireless_link().SetUp(false);
+  comma.sim().RunFor(300 * sim::kSecond);  // Far beyond the retry budget.
+  EXPECT_NE(sender.connection()->state(), tcp::TcpState::kClosed);
+  EXPECT_TRUE(sender.connection()->InPersistMode());
+  comma.scenario().wireless_link().SetUp(true);
+  comma.sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(sink.bytes_received(), 1'000'000u);
+}
+
+TEST(SystemTest, DoubleProxyCompressionViaCatalog) {
+  CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.01;
+  config.scenario.wireless.bandwidth_bps = 300'000;
+  CommaSystem comma(config);
+  proxy::StreamKey key{net::Ipv4Address(), 0, comma.scenario().mobile_addr(), 80};
+  std::string error;
+  ASSERT_TRUE(comma.catalog().Apply(comma.sp(), "compressed", key, &error)) << error;
+  ASSERT_TRUE(comma.catalog().Apply(comma.MobileProxy(), "decompress", key, &error)) << error;
+  apps::BulkSink sink(&comma.scenario().mobile_host(), 80);
+  apps::BulkSender sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                          apps::TextPayload(120'000));
+  comma.sim().RunFor(300 * sim::kSecond);
+  EXPECT_EQ(sink.received(), apps::TextPayload(120'000));
+}
+
+}  // namespace
+}  // namespace comma::core

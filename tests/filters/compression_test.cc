@@ -1,0 +1,136 @@
+// Transparent compression (thesis §8.1.6, Fig. 8.4) in the double-proxy
+// arrangement (§10.2.4): tcompress at the gateway, tdecompress at the
+// mobile, with the TTSF keeping both TCP endpoints coherent.
+#include <gtest/gtest.h>
+
+#include "src/filters/transform_filters.h"
+#include "src/filters/ttsf_filter.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::ServiceProxy;
+using proxy::StreamKey;
+
+class CompressionTest : public ProxyFixture {
+ protected:
+  CompressionTest() {
+    mobile_sp_ =
+        std::make_unique<ServiceProxy>(&scenario().mobile_host(), filters::StandardRegistry());
+  }
+
+  // Installs the compression service on both proxies for streams to `port`.
+  void InstallCompression(uint16_t port, const std::string& codec = "lz") {
+    StreamKey key{net::Ipv4Address(), 0, scenario().mobile_addr(), port};
+    MustAdd("launcher", key, {"tcp", "ttsf", "tcompress:" + codec});
+    std::string error;
+    ASSERT_TRUE(mobile_sp_->AddService("launcher", key, {"tcp", "ttsf", "tdecompress"}, &error))
+        << error;
+  }
+
+  std::unique_ptr<ServiceProxy> mobile_sp_;
+};
+
+TEST_F(CompressionTest, EndToEndBytesAreIdentical) {
+  InstallCompression(80);
+  util::Bytes payload = TextPayload(80'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), payload.size());
+  EXPECT_EQ(t->received, payload);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+}
+
+TEST_F(CompressionTest, WirelessBytesShrink) {
+  const uint64_t base_tx = scenario().wireless_link().stats(0).tx_bytes;
+  InstallCompression(80);
+  util::Bytes payload = TextPayload(100'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(120 * sim::kSecond);
+  ASSERT_EQ(t->received, payload);
+  const uint64_t wireless_bytes = scenario().wireless_link().stats(0).tx_bytes - base_tx;
+  // Repetitive text compresses well: well under half the original volume
+  // crossed the wireless link.
+  EXPECT_LT(wireless_bytes, payload.size() / 2);
+}
+
+TEST_F(CompressionTest, CompressionSpeedsUpSlowLink) {
+  // Compare completion times with and without the service on a 200 kbit/s
+  // link (thesis §1: "converting to a more compact data format can greatly
+  // reduce the required bandwidth").
+  auto run_transfer = [&](uint16_t port, bool compressed) -> sim::TimePoint {
+    if (compressed) {
+      InstallCompression(port);
+    }
+    util::Bytes payload = TextPayload(60'000);
+    auto t = StartTransfer(port, payload);
+    const sim::TimePoint start = sim().Now();
+    for (int step = 0; step < 2000 && !t->server_closed; ++step) {
+      sim().RunFor(100 * sim::kMillisecond);
+    }
+    EXPECT_EQ(t->received.size(), payload.size());
+    return sim().Now() - start;
+  };
+  scenario().wireless_link().SetBandwidth(200'000);
+  const sim::TimePoint plain = run_transfer(81, false);
+  const sim::TimePoint squeezed = run_transfer(82, true);
+  EXPECT_LT(squeezed, plain * 3 / 4);
+}
+
+TEST_F(CompressionTest, RandomDataPassesThroughUncompressed) {
+  InstallCompression(80);
+  util::Bytes payload = Pattern(30'000);  // High-entropy pattern.
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(t->received, payload);
+}
+
+TEST_F(CompressionTest, SurvivesWirelessLoss) {
+  scenario().wireless_link().SetLossProbability(0.05);
+  InstallCompression(80);
+  util::Bytes payload = TextPayload(50'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(300 * sim::kSecond);
+  EXPECT_EQ(t->received, payload);
+  EXPECT_TRUE(t->client_closed);
+}
+
+TEST_F(CompressionTest, RleCodecWorksEndToEnd) {
+  InstallCompression(80, "rle");
+  util::Bytes payload(40'000, 0x61);  // Runs compress superbly under RLE.
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(t->received, payload);
+}
+
+TEST_F(CompressionTest, FrameCodecHandlesConcatenatedBlobs) {
+  util::Bytes a = util::Compress(TextPayload(500), util::Codec::kLz);
+  util::Bytes b = util::Compress(util::Bytes(300, 0x7), util::Codec::kRle);
+  util::Bytes wire = FrameCompressedBlob(a);
+  util::Bytes second = FrameCompressedBlob(b);
+  wire.insert(wire.end(), second.begin(), second.end());
+  uint64_t blobs = 0;
+  auto plain = DecodeCompressedFrames(wire, &blobs);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(blobs, 2u);
+  util::Bytes expected = TextPayload(500);
+  util::Bytes tail(300, 0x7);
+  expected.insert(expected.end(), tail.begin(), tail.end());
+  EXPECT_EQ(*plain, expected);
+}
+
+TEST_F(CompressionTest, FrameCodecRejectsCorruption) {
+  util::Bytes wire = FrameCompressedBlob(util::Compress(TextPayload(500), util::Codec::kLz));
+  wire[10] ^= 0xff;
+  EXPECT_FALSE(DecodeCompressedFrames(wire, nullptr).has_value());
+  // Truncation.
+  wire = FrameCompressedBlob(util::Compress(TextPayload(500), util::Codec::kLz));
+  wire.resize(wire.size() - 5);
+  EXPECT_FALSE(DecodeCompressedFrames(wire, nullptr).has_value());
+}
+
+}  // namespace
+}  // namespace comma::filters

@@ -1,0 +1,156 @@
+// Data-manipulation filters for media streams (thesis §8.3) plus the delay
+// and meter utilities.
+#include "src/filters/media_filters.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+class MediaTest : public ProxyFixture {
+ protected:
+  // Sends `count` layered media datagrams from the wired host to the mobile
+  // on port 5004. Layer cycles 0,1,2; returns the receive log of layers.
+  std::shared_ptr<std::vector<uint8_t>> StartLayeredStream(int count,
+                                                           uint8_t type = kMediaTypeMonoImage,
+                                                           size_t body = 300) {
+    auto received = std::make_shared<std::vector<uint8_t>>();
+    rx_socket_ = scenario().mobile_host().udp().Bind(5004);
+    rx_socket_->set_on_receive([received](const util::Bytes& data, const udp::UdpEndpoint&) {
+      if (!data.empty()) {
+        received->push_back(data[0]);
+      }
+    });
+    tx_socket_ = scenario().wired_host().udp().Bind(0);
+    for (int i = 0; i < count; ++i) {
+      sim().Schedule((i + 1) * 10 * sim::kMillisecond, [this, i, type, body] {
+        util::Bytes payload;
+        payload.push_back(static_cast<uint8_t>(i % 3));  // Layer.
+        payload.push_back(type);
+        payload.insert(payload.end(), body, static_cast<uint8_t>(i));
+        tx_socket_->SendTo(scenario().mobile_addr(), 5004, std::move(payload));
+      });
+    }
+    return received;
+  }
+
+  std::unique_ptr<udp::UdpSocket> rx_socket_;
+  std::unique_ptr<udp::UdpSocket> tx_socket_;
+};
+
+TEST_F(MediaTest, HdiscardKeepsOnlyConfiguredLayers) {
+  MustAdd("hdiscard", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004}, {"1"});
+  auto layers = StartLayeredStream(30);
+  sim().RunFor(5 * sim::kSecond);
+  ASSERT_EQ(layers->size(), 20u);  // Layers 0 and 1 of every triple.
+  for (uint8_t layer : *layers) {
+    EXPECT_LE(layer, 1);
+  }
+}
+
+TEST_F(MediaTest, HdiscardZeroKeepsBaseLayerOnly) {
+  MustAdd("hdiscard", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004}, {"0"});
+  auto layers = StartLayeredStream(30);
+  sim().RunFor(5 * sim::kSecond);
+  ASSERT_EQ(layers->size(), 10u);
+  for (uint8_t layer : *layers) {
+    EXPECT_EQ(layer, 0);
+  }
+}
+
+TEST_F(MediaTest, HdiscardPassesEverythingAtFullQuality) {
+  MustAdd("hdiscard", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004}, {"2"});
+  auto layers = StartLayeredStream(30);
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(layers->size(), 30u);
+}
+
+TEST_F(MediaTest, HdiscardValidatesArgs) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService(
+      "hdiscard", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004}, {"16"},
+      &error));
+  EXPECT_FALSE(sp().AddService(
+      "hdiscard", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004},
+      {"auto", "2"}, &error));  // No EEM wired: refused.
+  EXPECT_NE(error.find("EEM"), std::string::npos);
+}
+
+TEST_F(MediaTest, DtransConvertsColorToMono) {
+  MustAdd("dtrans", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004});
+  util::Bytes sizes;
+  std::vector<util::Bytes> received;
+  rx_socket_ = scenario().mobile_host().udp().Bind(5004);
+  rx_socket_->set_on_receive([&](const util::Bytes& data, const udp::UdpEndpoint&) {
+    received.push_back(data);
+  });
+  tx_socket_ = scenario().wired_host().udp().Bind(0);
+  util::Bytes payload;
+  payload.push_back(0);                       // Layer.
+  payload.push_back(kMediaTypeColorImage);    // Type.
+  payload.insert(payload.end(), 300, 0x5a);   // 100 RGB "pixels".
+  tx_socket_->SendTo(scenario().mobile_addr(), 5004, payload);
+  sim().RunFor(sim::kSecond);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0][1], kMediaTypeMonoImage);
+  EXPECT_EQ(received[0].size(), kMediaHeaderSize + 100);  // One byte per pixel.
+}
+
+TEST_F(MediaTest, DtransStripsRichText) {
+  MustAdd("dtrans", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004});
+  std::vector<util::Bytes> received;
+  rx_socket_ = scenario().mobile_host().udp().Bind(5004);
+  rx_socket_->set_on_receive([&](const util::Bytes& data, const udp::UdpEndpoint&) {
+    received.push_back(data);
+  });
+  tx_socket_ = scenario().wired_host().udp().Bind(0);
+  util::Bytes payload = {0, kMediaTypeRichText, 'h', 0xc3, 'i', 0xff, '!'};
+  tx_socket_->SendTo(scenario().mobile_addr(), 5004, payload);
+  sim().RunFor(sim::kSecond);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], (util::Bytes{0, kMediaTypePlainText, 'h', 'i', '!'}));
+}
+
+TEST_F(MediaTest, DtransLeavesOtherTypesAlone) {
+  MustAdd("dtrans", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004});
+  auto layers = StartLayeredStream(5, kMediaTypeMonoImage);
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(layers->size(), 5u);
+}
+
+TEST_F(MediaTest, DelayFilterAddsLatency) {
+  MustAdd("delay", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004}, {"100"});
+  std::vector<sim::TimePoint> arrivals;
+  rx_socket_ = scenario().mobile_host().udp().Bind(5004);
+  rx_socket_->set_on_receive([&](const util::Bytes&, const udp::UdpEndpoint&) {
+    arrivals.push_back(sim().Now());
+  });
+  tx_socket_ = scenario().wired_host().udp().Bind(0);
+  const sim::TimePoint sent_at = sim().Now();
+  tx_socket_->SendTo(scenario().mobile_addr(), 5004, util::Bytes{1, 2, 3});
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_GE(arrivals[0] - sent_at, 100 * sim::kMillisecond);
+}
+
+TEST_F(MediaTest, MeterCountsPerStream) {
+  MustAdd("meter", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004});
+  auto layers = StartLayeredStream(10);
+  sim().RunFor(5 * sim::kSecond);
+  ASSERT_EQ(layers->size(), 10u);
+  auto* meter = dynamic_cast<MeterFilter*>(sp().FindFilterOnKey(
+      StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 5004}, "meter"));
+  ASSERT_TRUE(meter != nullptr);
+  StreamKey concrete{scenario().wired_addr(), tx_socket_->port(), scenario().mobile_addr(), 5004};
+  EXPECT_EQ(meter->packets(concrete), 10u);
+  EXPECT_GT(meter->bytes(concrete), 10u * 300);
+  EXPECT_NE(meter->Status().find("pkts=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comma::filters

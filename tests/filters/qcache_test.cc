@@ -1,0 +1,144 @@
+// Application partitioning at the proxy (thesis Ch. 1): the qcache filter
+// answers repeated queries locally, including during a wired-side outage.
+#include "src/filters/qcache_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/query.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+class QcacheTest : public ProxyFixture {
+ protected:
+  QcacheTest() {
+    server_ = std::make_unique<apps::QueryServer>(&scenario().wired_host());
+    client_ = std::make_unique<apps::QueryClient>(&scenario().mobile_host(),
+                                                  scenario().wired_addr());
+    // Requests travel mobile -> wired server on the query port.
+    StreamKey requests{scenario().mobile_addr(), 0, scenario().wired_addr(), kQueryPort};
+    MustAdd("qcache", requests);
+    qcache_ = dynamic_cast<QcacheFilter*>(sp().FindFilterOnKey(requests, "qcache"));
+    EXPECT_TRUE(qcache_ != nullptr);
+  }
+
+  // Issues a query and runs until it resolves; returns (ok, value).
+  std::pair<bool, util::Bytes> Ask(const std::string& key) {
+    std::optional<std::pair<bool, util::Bytes>> result;
+    client_->Query(key, [&](bool ok, const util::Bytes& value) {
+      result = {ok, value};
+    });
+    for (int step = 0; step < 200 && !result.has_value(); ++step) {
+      sim().RunFor(100 * sim::kMillisecond);
+    }
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(std::make_pair(false, util::Bytes{}));
+  }
+
+  std::unique_ptr<apps::QueryServer> server_;
+  std::unique_ptr<apps::QueryClient> client_;
+  QcacheFilter* qcache_ = nullptr;
+};
+
+TEST_F(QcacheTest, FirstQueryGoesUpstreamSecondIsServedLocally) {
+  auto [ok1, value1] = Ask("alpha");
+  ASSERT_TRUE(ok1);
+  EXPECT_EQ(value1, apps::QueryServer::ValueFor("alpha"));
+  EXPECT_EQ(server_->queries_answered(), 1u);
+  EXPECT_EQ(qcache_->stats().misses, 1u);
+
+  auto [ok2, value2] = Ask("alpha");
+  ASSERT_TRUE(ok2);
+  EXPECT_EQ(value2, value1);
+  EXPECT_EQ(server_->queries_answered(), 1u);  // Never reached the server.
+  EXPECT_EQ(qcache_->stats().hits, 1u);
+}
+
+TEST_F(QcacheTest, CachedAnswersSurviveWiredDisconnection) {
+  // The Ch. 1 claim: "processing can continue if the mobile becomes
+  // disconnected" — here the *wired* side vanishes and the proxy-resident
+  // half of the application keeps answering known queries.
+  ASSERT_TRUE(Ask("beta").first);
+  ASSERT_TRUE(Ask("gamma").first);
+  scenario().wired_link().SetUp(false);
+
+  auto [ok, value] = Ask("beta");
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(value, apps::QueryServer::ValueFor("beta"));
+
+  // Unknown keys genuinely need the server and fail during the outage.
+  auto [ok2, v2] = Ask("delta");
+  EXPECT_FALSE(ok2);
+  EXPECT_GT(client_->failures(), 0u);
+
+  // After reconnection, unknown keys resolve again.
+  scenario().wired_link().SetUp(true);
+  auto [ok3, v3] = Ask("delta");
+  EXPECT_TRUE(ok3);
+  EXPECT_EQ(v3, apps::QueryServer::ValueFor("delta"));
+}
+
+TEST_F(QcacheTest, CacheHitsAreFasterThanUpstreamQueries) {
+  Ask("hot");
+  const double miss_ms = client_->latencies_ms().Percentile(100);
+  apps::QueryClient fresh(&scenario().mobile_host(), scenario().wired_addr());
+  std::optional<bool> done;
+  fresh.Query("hot", [&](bool ok, const util::Bytes&) { done = ok; });
+  for (int step = 0; step < 100 && !done.has_value(); ++step) {
+    sim().RunFor(10 * sim::kMillisecond);
+  }
+  ASSERT_TRUE(done.value_or(false));
+  // The hit skips the wired hop entirely.
+  EXPECT_LT(fresh.latencies_ms().Percentile(100), miss_ms);
+}
+
+TEST_F(QcacheTest, CapacityBoundsEviction) {
+  StreamKey requests{scenario().mobile_addr(), 0, scenario().wired_addr(),
+                     static_cast<uint16_t>(kQueryPort + 1)};
+  std::string error;
+  ASSERT_TRUE(sp().AddService("qcache", requests, {"4"}, &error)) << error;
+  auto* small = dynamic_cast<QcacheFilter*>(sp().FindFilterOnKey(requests, "qcache"));
+  ASSERT_TRUE(small != nullptr);
+  apps::QueryServer server2(&scenario().wired_host(), kQueryPort + 1);
+  apps::QueryClient client2(&scenario().mobile_host(), scenario().wired_addr(),
+                            kQueryPort + 1);
+  for (int i = 0; i < 10; ++i) {
+    std::optional<bool> done;
+    client2.Query("key" + std::to_string(i), [&](bool ok, const util::Bytes&) { done = ok; });
+    for (int step = 0; step < 100 && !done.has_value(); ++step) {
+      sim().RunFor(50 * sim::kMillisecond);
+    }
+    ASSERT_TRUE(done.value_or(false)) << i;
+  }
+  EXPECT_LE(small->cache_size(), 4u);
+}
+
+TEST_F(QcacheTest, RejectsBadCapacityArgument) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService("qcache", DataKey(1, 2), {"zero"}, &error));
+  EXPECT_FALSE(sp().AddService("qcache", DataKey(1, 3), {"0"}, &error));
+}
+
+TEST_F(QcacheTest, ProtocolRoundTrips) {
+  QueryRequest request{42, "the-key"};
+  auto decoded_request = DecodeQueryRequest(EncodeQueryRequest(request));
+  ASSERT_TRUE(decoded_request.has_value());
+  EXPECT_EQ(decoded_request->id, 42u);
+  EXPECT_EQ(decoded_request->key, "the-key");
+
+  QueryResponse response{42, "the-key", util::Bytes{1, 2, 3}};
+  auto decoded_response = DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded_response.has_value());
+  EXPECT_EQ(decoded_response->value, (util::Bytes{1, 2, 3}));
+
+  EXPECT_FALSE(DecodeQueryRequest(EncodeQueryResponse(response)).has_value());
+  EXPECT_FALSE(DecodeQueryResponse(util::Bytes{0x02, 0x00}).has_value());
+  EXPECT_FALSE(DecodeQueryRequest({}).has_value());
+}
+
+}  // namespace
+}  // namespace comma::filters

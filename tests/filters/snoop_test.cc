@@ -1,0 +1,129 @@
+// The snoop protocol-tuning service (thesis §8.2.1) — experiment E5 support.
+#include "src/filters/snoop_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+class SnoopTest : public ProxyFixture {
+ protected:
+  void InstallSnoop(uint16_t port) {
+    StreamKey key{net::Ipv4Address(), 0, scenario().mobile_addr(), port};
+    MustAdd("launcher", key, {"tcp", "snoop"});
+  }
+
+  SnoopFilter* FindSnoop(uint16_t client_port, uint16_t port) {
+    return dynamic_cast<SnoopFilter*>(sp().FindFilterOnKey(
+        StreamKey{scenario().wired_addr(), client_port, scenario().mobile_addr(), port},
+        "snoop"));
+  }
+};
+
+TEST_F(SnoopTest, TransparentOnCleanLink) {
+  InstallSnoop(80);
+  util::Bytes payload = Pattern(50'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(t->received, payload);
+  EXPECT_TRUE(t->client_closed);
+}
+
+TEST_F(SnoopTest, LocalRetransmissionHidesWirelessLoss) {
+  scenario().wireless_link().SetLossProbability(0.05);
+  InstallSnoop(80);
+  util::Bytes payload = Pattern(100'000);
+  auto t = StartTransfer(80, payload);
+  // Sample the snoop stats while the stream is alive (the tcp filter
+  // removes the filters after close).
+  uint64_t local = 0;
+  uint64_t suppressed = 0;
+  for (int step = 0; step < 3000 && !t->server_closed; ++step) {
+    sim().RunFor(100 * sim::kMillisecond);
+    SnoopFilter* snoop = FindSnoop(t->client->local_port(), 80);
+    if (snoop != nullptr) {
+      local = std::max(local,
+                       snoop->stats().local_retransmits + snoop->stats().timer_retransmits);
+      suppressed = std::max(suppressed, snoop->stats().dupacks_suppressed);
+    }
+  }
+  ASSERT_EQ(t->received, payload);
+  // With 5% loss over 100 segments, snoop must have recovered locally.
+  EXPECT_GT(local + suppressed, 0u);
+  // The sender never saw enough dupacks to fast-retransmit: snoop suppressed
+  // them (§8.2.1: suppresses duplicate acknowledgements).
+  EXPECT_EQ(t->client->stats().fast_retransmits, 0u);
+}
+
+TEST_F(SnoopTest, SenderRetransmitsLessWithSnoop) {
+  // Same loss pattern with and without snoop; compare end-to-end (sender)
+  // retransmissions. Snoop absorbs recovery locally.
+  uint64_t sender_retx[2] = {0, 0};
+  for (int with_snoop = 0; with_snoop <= 1; ++with_snoop) {
+    core::ScenarioConfig cfg = CleanConfig();
+    cfg.wireless.loss_probability = 0.05;
+    cfg.seed = 99;
+    core::WirelessScenario s(cfg);
+    proxy::ServiceProxy sp2(&s.gateway(), filters::StandardRegistry());
+    if (with_snoop != 0) {
+      std::string error;
+      StreamKey key{net::Ipv4Address(), 0, s.mobile_addr(), 80};
+      ASSERT_TRUE(sp2.AddService("launcher", key, {"tcp", "snoop"}, &error)) << error;
+    }
+    util::Bytes sink;
+    s.mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* c) {
+      c->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+    });
+    tcp::TcpConnection* client = s.wired_host().tcp().Connect(s.mobile_addr(), 80);
+    auto remaining = std::make_shared<util::Bytes>(Pattern(100'000));
+    auto pump = [client, remaining] {
+      while (!remaining->empty()) {
+        size_t n = client->Send(remaining->data(), remaining->size());
+        if (n == 0) {
+          return;
+        }
+        remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+      }
+      client->Close();
+    };
+    client->set_on_connected(pump);
+    client->set_on_writable(pump);
+    s.sim().RunFor(300 * sim::kSecond);
+    ASSERT_EQ(sink.size(), 100'000u);
+    sender_retx[with_snoop] = client->stats().bytes_retransmitted;
+  }
+  EXPECT_LT(sender_retx[1], sender_retx[0]);
+}
+
+TEST_F(SnoopTest, CacheFlushesOnNewAcks) {
+  InstallSnoop(80);
+  auto t = StartTransfer(80, Pattern(50'000));
+  sim().RunFor(60 * sim::kSecond);
+  ASSERT_EQ(t->received.size(), 50'000u);
+  SnoopFilter* snoop = FindSnoop(t->client->local_port(), 80);
+  if (snoop != nullptr) {
+    EXPECT_GT(snoop->stats().segments_cached, 40u);
+  }
+}
+
+TEST_F(SnoopTest, RequiresConcreteKey) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService(
+      "snoop", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 0}, {}, &error));
+  EXPECT_NE(error.find("concrete"), std::string::npos);
+}
+
+TEST_F(SnoopTest, CustomLocalRtoParses) {
+  std::string error;
+  EXPECT_TRUE(sp().AddService("snoop", DataKey(1, 2), {"100"}, &error)) << error;
+  EXPECT_FALSE(sp().AddService("snoop", DataKey(1, 3), {"0"}, &error));
+  EXPECT_FALSE(sp().AddService("snoop", DataKey(1, 4), {"fast"}, &error));
+}
+
+}  // namespace
+}  // namespace comma::filters

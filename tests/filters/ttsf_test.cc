@@ -1,0 +1,244 @@
+// Transparent packet dropping through the TTSF (thesis §8.1.5, Fig. 8.3) —
+// experiment E14: the seq/ack remapping behaviours of Fig. 8.2.
+#include "src/filters/ttsf_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/filters/transform_filters.h"
+#include "src/util/strings.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+class TtsfTest : public ProxyFixture {
+ protected:
+  // Installs tcp + ttsf + tdrop(<percent>) on all streams toward `port`.
+  void InstallTransparentDrop(uint16_t port, int percent, uint64_t seed = 7) {
+    StreamKey key{net::Ipv4Address(), 0, scenario().mobile_addr(), port};
+    MustAdd("launcher", key,
+            {"tcp", "ttsf",
+             util::Format("tdrop:%d:%llu", percent, static_cast<unsigned long long>(seed))});
+  }
+
+  TtsfFilter* FindTtsf(uint16_t client_port, uint16_t port) {
+    return dynamic_cast<TtsfFilter*>(sp().FindFilterOnKey(
+        StreamKey{scenario().wired_addr(), client_port, scenario().mobile_addr(), port}, "ttsf"));
+  }
+};
+
+TEST_F(TtsfTest, ZeroRateDropIsFullyTransparent) {
+  InstallTransparentDrop(80, 0);
+  util::Bytes payload = Pattern(50'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(t->received, payload);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+}
+
+TEST_F(TtsfTest, TransparentDropDeliversSubsetWithoutStalling) {
+  InstallTransparentDrop(80, 30);
+  util::Bytes payload = Pattern(100'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(120 * sim::kSecond);
+
+  // The sender must believe everything was delivered: transfer completes,
+  // both ends close cleanly, and (crucially) the sender never retransmits
+  // the discarded data (§8.1.5: the lost data must not be retransmitted).
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+  EXPECT_EQ(t->client->stats().bytes_sent, payload.size());
+
+  // The mobile received a strict subset.
+  EXPECT_LT(t->received.size(), payload.size());
+  EXPECT_GT(t->received.size(), payload.size() / 4);
+
+  // The received stream must be the original with some contiguous chunks
+  // removed: greedily re-align each received run against the payload (the
+  // pattern is high-entropy, so 32-byte probes are unambiguous).
+  size_t pos = 0;
+  size_t idx = 0;
+  bool subsequence = true;
+  while (idx < t->received.size()) {
+    const size_t probe_len = std::min<size_t>(32, t->received.size() - idx);
+    auto it = std::search(payload.begin() + static_cast<long>(pos), payload.end(),
+                          t->received.begin() + static_cast<long>(idx),
+                          t->received.begin() + static_cast<long>(idx + probe_len));
+    if (it == payload.end()) {
+      subsequence = false;
+      break;
+    }
+    pos = static_cast<size_t>(it - payload.begin());
+    while (idx < t->received.size() && pos < payload.size() &&
+           payload[pos] == t->received[idx]) {
+      ++pos;
+      ++idx;
+    }
+  }
+  EXPECT_TRUE(subsequence) << "received data is not an ordered subset of the payload";
+}
+
+TEST_F(TtsfTest, FullDropStillCompletesTransfer) {
+  // Every data segment removed: the mobile sees only SYN/FIN; the sender
+  // still finishes. This is the extreme of the §8.1.5 example.
+  InstallTransparentDrop(80, 100);
+  util::Bytes payload = Pattern(20'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+  EXPECT_EQ(t->received.size(), 0u);
+  EXPECT_EQ(t->client->stats().bytes_sent, payload.size());
+}
+
+TEST_F(TtsfTest, SenderNeverStallsOnDroppedTail) {
+  // Send in bursts with idle gaps so drops regularly sit at the stream tail;
+  // the TTSF's injected acks must keep the sender from RTO-stalling forever.
+  InstallTransparentDrop(80, 50, /*seed=*/11);
+  util::Bytes received;
+  scenario().mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* c) {
+    c->set_on_data([&](const util::Bytes& d) {
+      received.insert(received.end(), d.begin(), d.end());
+    });
+    c->set_on_remote_close([c] { c->Close(); });
+  });
+
+  tcp::TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  // Ten bursts of 3 KB, one second apart.
+  for (int burst = 0; burst < 10; ++burst) {
+    sim().Schedule((burst + 1) * sim::kSecond, [client] {
+      util::Bytes chunk(3000, static_cast<uint8_t>(0x40));
+      client->Send(chunk);
+    });
+  }
+  sim().Schedule(12 * sim::kSecond, [client] { client->Close(); });
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(client->state(), tcp::TcpState::kClosed);
+  EXPECT_EQ(client->stats().bytes_sent, 30'000u);
+  // The tail-drop acks keep RTO pressure minimal.
+  EXPECT_LE(client->stats().retransmit_timeouts, 3u);
+
+  uint16_t port = client->local_port();
+  TtsfFilter* ttsf = FindTtsf(port, 80);
+  if (ttsf != nullptr) {
+    EXPECT_GT(ttsf->stats().segments_dropped, 0u);
+  }
+}
+
+TEST_F(TtsfTest, DropSurvivesWirelessLossRetransmissions) {
+  // Combine transparent dropping with genuine wireless loss: retransmissions
+  // must replay the *same* transform (§8.1.4), keeping the stream coherent.
+  scenario().wireless_link().SetLossProbability(0.05);
+  InstallTransparentDrop(80, 20, /*seed=*/3);
+  util::Bytes payload = Pattern(60'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(300 * sim::kSecond);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+  EXPECT_EQ(t->client->stats().bytes_sent, payload.size());
+  EXPECT_LT(t->received.size(), payload.size());
+}
+
+TEST_F(TtsfTest, BidirectionalTrafficOnlyTransformsAttachedDirection) {
+  InstallTransparentDrop(80, 100);
+  // Server echoes a fixed response after receiving the remote close.
+  util::Bytes client_received;
+  scenario().mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* c) {
+    c->set_on_remote_close([c] {
+      util::Bytes reply = Pattern(5000);
+      c->Send(reply);
+      c->Close();
+    });
+  });
+  tcp::TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  client->set_on_data([&](const util::Bytes& d) {
+    client_received.insert(client_received.end(), d.begin(), d.end());
+  });
+  client->set_on_connected([client] {
+    util::Bytes data(2000, 1);
+    client->Send(data);
+    client->Close();
+  });
+  sim().RunFor(60 * sim::kSecond);
+  // The reverse direction (mobile -> wired) is untouched by tdrop.
+  EXPECT_EQ(client_received.size(), 5000u);
+}
+
+TEST_F(TtsfTest, StatsAccountTransformsAndReplays) {
+  InstallTransparentDrop(80, 40, /*seed=*/5);
+  auto t = StartTransfer(80, Pattern(40'000));
+  sim().RunFor(60 * sim::kSecond);
+  ASSERT_TRUE(t->client_closed);
+  // Find any ttsf attachment still alive, or rely on proxy stats: after
+  // close the tcp filter removed the stream, so check the proxy counters.
+  EXPECT_GT(sp().stats().packets_dropped, 0u);  // Zero-payload packets culled.
+}
+
+// Regression: the ack-tracking state must initialize from the first ack
+// seen, not seq-max against zero — with an initial sequence number in the
+// upper half of sequence space the old code wedged max_acked_out at 0 and
+// injected over-acking ACKs (data lost in the wireless queue became
+// unrecoverable). Sweep seeds so both ISS halves are exercised.
+class TtsfSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TtsfSeedSweep, DropNeverWedgesRegardlessOfIss) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = 0.0;
+  cfg.seed = GetParam();
+  core::WirelessScenario s(cfg);
+  proxy::ServiceProxy sp(&s.gateway(), StandardRegistry());
+  std::string error;
+  StreamKey key{net::Ipv4Address(), 0, s.mobile_addr(), 80};
+  ASSERT_TRUE(sp.AddService("launcher", key, {"tcp", "ttsf", "tdrop:30:9"}, &error)) << error;
+
+  util::Bytes received;
+  bool server_closed = false;
+  s.mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* c) {
+    c->set_on_data(
+        [&](const util::Bytes& d) { received.insert(received.end(), d.begin(), d.end()); });
+    c->set_on_remote_close([c] { c->Close(); });
+    c->set_on_closed([&] { server_closed = true; });
+  });
+  tcp::TcpConnection* client = s.wired_host().tcp().Connect(s.mobile_addr(), 80);
+  auto remaining = std::make_shared<util::Bytes>(util::Bytes(100'000, 0x2a));
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+    client->Close();
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+  s.sim().RunFor(120 * sim::kSecond);
+  EXPECT_TRUE(server_closed) << "seed " << GetParam() << " wedged";
+  EXPECT_EQ(client->stats().bytes_sent, 100'000u);
+  // Transparent drops are never retransmitted end-to-end on a clean link.
+  EXPECT_LE(client->stats().retransmit_timeouts, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(IssSweep, TtsfSeedSweep,
+                         ::testing::Values(4010, 4030, 4050, 4080, 77, 5150, 999983));
+
+TEST_F(TtsfTest, RequiresConcreteKey) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService(
+      "ttsf", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 0}, {}, &error));
+  EXPECT_NE(error.find("concrete"), std::string::npos);
+}
+
+TEST_F(TtsfTest, TransformersRequireTtsf) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService("tdrop", DataKey(1, 2), {"50"}, &error));
+  EXPECT_NE(error.find("ttsf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comma::filters

@@ -1,0 +1,119 @@
+// BSSP-style window-size services (thesis §8.2.2) — experiment E6 support.
+#include "src/filters/wsize_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+class WsizeTest : public ProxyFixture {
+ protected:
+  // The window fields that matter travel mobile -> wired (the ack path).
+  StreamKey AckWildcard(uint16_t server_port) {
+    return StreamKey{scenario().mobile_addr(), server_port, net::Ipv4Address(), 0};
+  }
+};
+
+TEST_F(WsizeTest, ClampLimitsSenderWindow) {
+  MustAdd("launcher", AckWildcard(80), {"tcp", "wsize:clamp:2048"});
+  auto t = StartTransfer(80, Pattern(60'000));
+  sim().RunFor(5 * sim::kSecond);
+  // The sender's view of the peer window can never exceed the clamp.
+  EXPECT_LE(t->client->peer_window(), 2048u);
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 60'000u);  // Slow but correct.
+}
+
+TEST_F(WsizeTest, ClampThrottlesThroughput) {
+  // Two concurrent long-running streams; the low-priority one is clamped
+  // hard, so it cannot keep more than one segment in flight.
+  MustAdd("launcher", AckWildcard(81), {"tcp", "wsize:clamp:1000"});
+  auto low = StartTransfer(81, Pattern(5'000'000));
+  auto high = StartTransfer(82, Pattern(5'000'000));
+  sim().RunFor(20 * sim::kSecond);
+  ASSERT_LT(low->received.size(), 5'000'000u);   // Both still running:
+  ASSERT_LT(high->received.size(), 5'000'000u);  // mid-flight comparison.
+  // The unclamped (priority) stream moved far more data (§8.2.2: "allowing
+  // priority streams more bandwidth and smaller delay").
+  EXPECT_GT(high->received.size(), 2 * low->received.size());
+}
+
+TEST_F(WsizeTest, ZwsmStallsSenderDuringDisconnection) {
+  MustAdd("launcher", AckWildcard(80), {"tcp", "wsize:zwsm"});
+  auto t = StartTransfer(80, Pattern(500'000));
+  sim().RunFor(3 * sim::kSecond);
+
+  // Grab the filter instance and signal disconnection manually.
+  StreamKey ack_key{scenario().mobile_addr(), 80, scenario().wired_addr(),
+                    t->client->local_port()};
+  auto* wsize = dynamic_cast<WsizeFilter*>(sp().FindFilterOnKey(ack_key, "wsize"));
+  ASSERT_TRUE(wsize != nullptr);
+
+  scenario().wireless_link().SetUp(false);
+  wsize->NotifyLinkDown();
+  sim().RunFor(30 * sim::kSecond);
+
+  // The ZWSM put the sender into persist mode: stalled but alive.
+  EXPECT_TRUE(t->client->InPersistMode());
+  EXPECT_NE(t->client->state(), tcp::TcpState::kClosed);
+  EXPECT_GT(t->client->stats().zero_window_acks_received, 0u);
+  EXPECT_GT(wsize->zwsms_sent(), 0u);
+
+  // Reconnect: the window-update restarts the stream promptly.
+  scenario().wireless_link().SetUp(true);
+  wsize->NotifyLinkUp();
+  sim().RunFor(200 * sim::kMillisecond);
+  EXPECT_FALSE(t->client->InPersistMode());
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 500'000u);
+}
+
+TEST_F(WsizeTest, ZwsmKeepsConnectionAliveIndefinitely) {
+  // Without ZWSM a long outage aborts the connection after max retries;
+  // with ZWSM it must survive arbitrarily long (thesis: "stay alive
+  // indefinitely").
+  MustAdd("launcher", AckWildcard(80), {"tcp", "wsize:zwsm"});
+  tcp::TcpConfig cfg;
+  cfg.max_data_retries = 6;
+  auto t = StartTransfer(80, Pattern(2'000'000), cfg);
+  sim().RunFor(2 * sim::kSecond);
+  StreamKey ack_key{scenario().mobile_addr(), 80, scenario().wired_addr(),
+                    t->client->local_port()};
+  auto* wsize = dynamic_cast<WsizeFilter*>(sp().FindFilterOnKey(ack_key, "wsize"));
+  ASSERT_TRUE(wsize != nullptr);
+  scenario().wireless_link().SetUp(false);
+  wsize->NotifyLinkDown();
+  sim().RunFor(600 * sim::kSecond);  // Ten minutes of outage.
+  EXPECT_NE(t->client->state(), tcp::TcpState::kClosed);
+  scenario().wireless_link().SetUp(true);
+  wsize->NotifyLinkUp();
+  sim().RunFor(300 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 2'000'000u);
+}
+
+TEST_F(WsizeTest, WithoutZwsmLongOutageKillsConnection) {
+  tcp::TcpConfig cfg;
+  cfg.max_data_retries = 6;
+  auto t = StartTransfer(80, Pattern(2'000'000), cfg);
+  sim().RunFor(2 * sim::kSecond);
+  scenario().wireless_link().SetUp(false);
+  sim().RunFor(600 * sim::kSecond);
+  EXPECT_EQ(t->client->state(), tcp::TcpState::kClosed);
+}
+
+TEST_F(WsizeTest, InsertionValidatesArguments) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService("wsize", DataKey(1, 2), {"clamp"}, &error));
+  EXPECT_FALSE(sp().AddService("wsize", DataKey(1, 3), {"clamp", "70000"}, &error));
+  EXPECT_FALSE(sp().AddService("wsize", DataKey(1, 4), {"explode"}, &error));
+  EXPECT_TRUE(sp().AddService("wsize", DataKey(1, 5), {"zwsm"}, &error)) << error;
+  EXPECT_TRUE(sp().AddService("wsize", DataKey(1, 6), {}, &error)) << error;
+}
+
+}  // namespace
+}  // namespace comma::filters

@@ -1,0 +1,134 @@
+// Kati over the simulated network (thesis Ch. 7 + the §5.3.2 interface
+// example): the shell on the mobile host controls the SP on the gateway
+// through TCP port 12000 and monitors the gateway's EEM.
+#include "src/kati/shell.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/core/comma_system.h"
+
+namespace comma::kati {
+namespace {
+
+class KatiTest : public ::testing::Test {
+ protected:
+  KatiTest() {
+    core::CommaSystemConfig cfg;
+    cfg.scenario.wireless.loss_probability = 0.0;
+    cfg.eem.check_interval = 200 * sim::kMillisecond;
+    cfg.eem.update_interval = sim::kSecond;
+    // Start with no filters loaded: the session loads what it needs.
+    cfg.load_filters = {"none"};
+    system_ = std::make_unique<core::CommaSystem>(cfg);
+    shell_ = system_->MakeKati([this](const std::string& text) { output_ += text; });
+  }
+
+  // Executes and runs the simulator until the response lands.
+  std::string Run(const std::string& command) {
+    output_.clear();
+    const uint64_t before = shell_->responses_received();
+    shell_->Execute(command);
+    for (int step = 0; step < 100 && shell_->responses_received() == before; ++step) {
+      system_->sim().RunFor(100 * sim::kMillisecond);
+    }
+    EXPECT_GT(shell_->responses_received(), before) << "no response to: " << command;
+    return output_;
+  }
+
+  std::unique_ptr<core::CommaSystem> system_;
+  std::unique_ptr<Shell> shell_;
+  std::string output_;
+};
+
+TEST_F(KatiTest, LoadPrintsRegisteredName) {
+  EXPECT_EQ(Run("load librdrop.so"), "rdrop\n");
+}
+
+TEST_F(KatiTest, HelpIsLocal) {
+  std::string help = Run("help");
+  EXPECT_NE(help.find("report"), std::string::npos);
+  EXPECT_NE(help.find("watch"), std::string::npos);
+}
+
+TEST_F(KatiTest, UnknownCommandDiagnosed) {
+  EXPECT_NE(Run("frobnicate").find("unknown command"), std::string::npos);
+}
+
+// The full Fig. 5.3 session, over the wire this time.
+TEST_F(KatiTest, InterfaceExampleSession) {
+  EXPECT_EQ(Run("load tcp"), "tcp\n");
+  EXPECT_EQ(Run("load launcher"), "launcher\n");
+  EXPECT_EQ(Run("load wsize"), "wsize\n");
+  EXPECT_EQ(Run("load rdrop"), "rdrop\n");
+  EXPECT_EQ(Run("add launcher 11.11.10.10 0 0.0.0.0 0 tcp wsize"), "");
+  EXPECT_EQ(Run("add tcp 11.11.10.99 7 11.11.10.10 1169"), "");
+  EXPECT_EQ(Run("add wsize 11.11.10.99 7 11.11.10.10 1169"), "");
+
+  std::string report = Run("report");
+  EXPECT_NE(report.find("tcp\n\t11.11.10.99 7 -> 11.11.10.10 1169"), std::string::npos);
+  EXPECT_NE(report.find("launcher\n\t11.11.10.10 0 -> 0.0.0.0 0"), std::string::npos);
+
+  EXPECT_EQ(Run("add rdrop 11.11.10.99 7 11.11.10.10 1169 50"), "");
+  EXPECT_EQ(Run("delete wsize 11.11.10.99 7 11.11.10.10 1169"), "");
+  report = Run("report");
+  EXPECT_NE(report.find("rdrop\n\t11.11.10.99 7 -> 11.11.10.10 1169"), std::string::npos);
+  EXPECT_EQ(report.find("wsize\n\t11.11.10.99"), std::string::npos);
+}
+
+TEST_F(KatiTest, ThirdPartyControlAffectsRunningTraffic) {
+  // The headline capability: a user at the shell adds a transparent service
+  // to someone else's stream, with no application involvement (Ch. 7).
+  Run("load tcp");
+  Run("load launcher");
+  Run("load rdrop");
+  // Block everything toward mobile port 9000 before the stream starts.
+  Run("add rdrop 0.0.0.0 0 11.11.10.10 9000 100");
+  apps::BulkSink sink(&system_->scenario().mobile_host(), 9000);
+  apps::BulkSender sender(&system_->scenario().wired_host(), system_->scenario().mobile_addr(),
+                          9000, apps::PatternPayload(5000));
+  system_->sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(sink.bytes_received(), 0u);
+  // Now remove the service from the shell: traffic flows.
+  Run("delete rdrop 0.0.0.0 0 11.11.10.10 9000");
+  system_->sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(sink.bytes_received(), 5000u);
+}
+
+TEST_F(KatiTest, StreamsShowsAccounting) {
+  Run("load tcp");
+  apps::BulkSink sink(&system_->scenario().mobile_host(), 9001);
+  apps::BulkSender sender(&system_->scenario().wired_host(), system_->scenario().mobile_addr(),
+                          9001, apps::PatternPayload(3000));
+  system_->sim().RunFor(5 * sim::kSecond);
+  std::string streams = Run("streams");
+  EXPECT_NE(streams.find("11.11.10.10 9001"), std::string::npos);
+  EXPECT_NE(streams.find("packets="), std::string::npos);
+}
+
+TEST_F(KatiTest, PollFetchesRemoteVariable) {
+  std::string out = Run("poll sysName");
+  EXPECT_NE(out.find("sysName"), std::string::npos);
+  EXPECT_NE(out.find("gateway"), std::string::npos);
+}
+
+TEST_F(KatiTest, WatchAndVarsShowPda) {
+  Run("watch sysUpTime");
+  system_->sim().RunFor(3 * sim::kSecond);
+  std::string vars = Run("vars");
+  EXPECT_NE(vars.find("sysUpTime"), std::string::npos);
+  EXPECT_EQ(vars.find("(no data)"), std::string::npos);
+  Run("unwatch sysUpTime");
+  std::string empty = Run("vars");
+  EXPECT_NE(empty.find("nothing watched"), std::string::npos);
+}
+
+TEST_F(KatiTest, NetloadRendersRates) {
+  std::string out = Run("netload");
+  EXPECT_NE(out.find("netload"), std::string::npos);
+  EXPECT_NE(out.find("ethInAvg"), std::string::npos);
+  EXPECT_NE(out.find("ethOutAvg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comma::kati

@@ -1,0 +1,255 @@
+// Mobile IP end-to-end tests (thesis §2.1): registration, tunneling,
+// triangular routing, hand-off with drop vs forward policies.
+#include <gtest/gtest.h>
+
+#include "src/mobileip/scenario.h"
+
+namespace comma::mobileip {
+namespace {
+
+constexpr net::IpProtocol kProbeProto = net::IpProtocol::kIcmp;
+
+class MobileIpTest : public ::testing::Test {
+ protected:
+  MobileIpTest() : scenario_(Config()) {}
+
+  static MobileIpConfig Config() {
+    MobileIpConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    return cfg;
+  }
+
+  // Counts probe packets delivered to the mobile.
+  void ArmProbeCounter() {
+    scenario_.mobile().RegisterProtocol(kProbeProto, [this](net::PacketPtr p) {
+      ++probes_received_;
+      last_probe_ = std::move(p);
+    });
+  }
+
+  void SendProbe(size_t len = 64) {
+    scenario_.correspondent().SendPacket(net::Packet::MakeRaw(
+        scenario_.correspondent_addr(), scenario_.mobile_home_addr(), kProbeProto,
+        util::Bytes(len, 0x42)));
+  }
+
+  MobileIpScenario scenario_;
+  int probes_received_ = 0;
+  net::PacketPtr last_probe_;
+};
+
+TEST_F(MobileIpTest, DeliveryAtHomeNeedsNoTunnel) {
+  ArmProbeCounter();
+  SendProbe();
+  scenario_.sim().RunFor(sim::kSecond);
+  EXPECT_EQ(probes_received_, 1);
+  EXPECT_EQ(scenario_.home_agent().stats().packets_tunneled, 0u);
+  EXPECT_EQ(scenario_.home_agent().stats().packets_delivered_home, 1u);
+}
+
+TEST_F(MobileIpTest, RegistrationCompletesViaForeignAgent) {
+  bool registered = false;
+  scenario_.client().set_on_registered([&](bool ok) { registered = ok; });
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  EXPECT_TRUE(registered);
+  EXPECT_TRUE(scenario_.client().registered());
+  EXPECT_EQ(scenario_.client().current_care_of(), scenario_.fa1_addr());
+  EXPECT_TRUE(scenario_.home_agent().IsRegisteredAway(scenario_.mobile_home_addr()));
+  EXPECT_TRUE(scenario_.fa1().IsVisiting(scenario_.mobile_home_addr()));
+  EXPECT_EQ(scenario_.fa1().stats().registrations_relayed, 1u);
+  EXPECT_GT(scenario_.client().stats().last_handoff_latency, 0);
+}
+
+TEST_F(MobileIpTest, PacketsAreTunneledToForeignNetwork) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  ArmProbeCounter();
+  SendProbe();
+  scenario_.sim().RunFor(sim::kSecond);
+  EXPECT_EQ(probes_received_, 1);
+  EXPECT_EQ(scenario_.home_agent().stats().packets_tunneled, 1u);
+  EXPECT_EQ(scenario_.fa1().stats().packets_decapsulated, 1u);
+  // The delivered packet is the decapsulated original.
+  ASSERT_TRUE(last_probe_ != nullptr);
+  EXPECT_EQ(last_probe_->ip().src, scenario_.correspondent_addr());
+  EXPECT_FALSE(last_probe_->has_inner());
+}
+
+TEST_F(MobileIpTest, TriangularRoutingIsAsymmetric) {
+  // Mobile -> correspondent goes direct (skips the HA); the reverse path
+  // crosses the home agent (Fig. 2.1).
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  int at_correspondent = 0;
+  scenario_.correspondent().RegisterProtocol(kProbeProto,
+                                             [&](net::PacketPtr) { ++at_correspondent; });
+  const uint64_t ha_rx_before = scenario_.ha_router().stats().ip_in_receives;
+  scenario_.mobile().SendPacket(net::Packet::MakeRaw(scenario_.mobile_home_addr(),
+                                                     scenario_.correspondent_addr(), kProbeProto,
+                                                     util::Bytes(64, 1)));
+  scenario_.sim().RunFor(sim::kSecond);
+  EXPECT_EQ(at_correspondent, 1);
+  EXPECT_EQ(scenario_.ha_router().stats().ip_in_receives, ha_rx_before);
+}
+
+TEST_F(MobileIpTest, TcpWorksAcrossTunnel) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  util::Bytes sink;
+  scenario_.mobile().tcp().Listen(80, [&](tcp::TcpConnection* c) {
+    c->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+  });
+  tcp::TcpConnection* client =
+      scenario_.correspondent().tcp().Connect(scenario_.mobile_home_addr(), 80);
+  client->set_on_connected([client] {
+    util::Bytes data(20'000, 0x33);
+    client->Send(data);
+    client->Close();
+  });
+  scenario_.sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(sink.size(), 20'000u);
+}
+
+TEST_F(MobileIpTest, HandoffBetweenForeignNetworks) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  ASSERT_EQ(scenario_.client().current_care_of(), scenario_.fa1_addr());
+  scenario_.MoveToForeign2();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  EXPECT_EQ(scenario_.client().current_care_of(), scenario_.fa2_addr());
+  EXPECT_TRUE(scenario_.fa2().IsVisiting(scenario_.mobile_home_addr()));
+  EXPECT_FALSE(scenario_.fa1().IsVisiting(scenario_.mobile_home_addr()));
+
+  ArmProbeCounter();
+  SendProbe();
+  scenario_.sim().RunFor(sim::kSecond);
+  EXPECT_EQ(probes_received_, 1);
+  EXPECT_EQ(scenario_.fa2().stats().packets_decapsulated, 1u);
+}
+
+TEST_F(MobileIpTest, HandoffMidStreamLosesPackets) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  ArmProbeCounter();
+  // Burst of probes, move mid-stream: packets tunneled toward FA1 around
+  // the hand-off die on the downed wireless link or at the old FA.
+  for (int i = 0; i < 50; ++i) {
+    scenario_.sim().Schedule(i * 5 * sim::kMillisecond, [this] { SendProbe(); });
+  }
+  scenario_.sim().Schedule(100 * sim::kMillisecond, [this] { scenario_.MoveToForeign2(); });
+  scenario_.sim().RunFor(10 * sim::kSecond);
+  EXPECT_LT(probes_received_, 50);
+  EXPECT_GT(probes_received_, 0);
+}
+
+// A "straggler": a packet the HA tunneled toward the old FA before the new
+// registration reached it, arriving after the binding moved (§2.1).
+TEST_F(MobileIpTest, DropPolicyDiscardsStragglers) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  scenario_.MoveToForeign2();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  ArmProbeCounter();
+  auto inner = net::Packet::MakeRaw(scenario_.correspondent_addr(),
+                                    scenario_.mobile_home_addr(), kProbeProto,
+                                    util::Bytes(64, 0x42));
+  scenario_.correspondent().SendPacket(
+      net::Packet::Encapsulate(std::move(inner), scenario_.ha_addr(), scenario_.fa1_addr()));
+  scenario_.sim().RunFor(sim::kSecond);
+  EXPECT_EQ(probes_received_, 0);
+  EXPECT_EQ(scenario_.fa1().stats().packets_dropped, 1u);
+}
+
+TEST_F(MobileIpTest, ForwardPolicyReTunnelsStragglers) {
+  MobileIpConfig cfg = Config();
+  cfg.handoff_policy = HandoffPolicy::kForward;
+  MobileIpScenario s(cfg);
+  int received = 0;
+  s.mobile().RegisterProtocol(kProbeProto, [&](net::PacketPtr) { ++received; });
+  s.MoveToForeign1();
+  s.sim().RunFor(2 * sim::kSecond);
+  s.MoveToForeign2();
+  s.sim().RunFor(2 * sim::kSecond);
+  auto inner = net::Packet::MakeRaw(s.correspondent_addr(), s.mobile_home_addr(), kProbeProto,
+                                    util::Bytes(64, 0x42));
+  s.correspondent().SendPacket(
+      net::Packet::Encapsulate(std::move(inner), s.ha_addr(), s.fa1_addr()));
+  s.sim().RunFor(sim::kSecond);
+  EXPECT_EQ(s.fa1().stats().packets_forwarded, 1u);
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(MobileIpTest, ReturnHomeDeregisters) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(scenario_.home_agent().IsRegisteredAway(scenario_.mobile_home_addr()));
+  scenario_.MoveHome();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  EXPECT_FALSE(scenario_.home_agent().IsRegisteredAway(scenario_.mobile_home_addr()));
+  EXPECT_EQ(scenario_.home_agent().stats().deregistrations, 1u);
+  ArmProbeCounter();
+  SendProbe();
+  scenario_.sim().RunFor(sim::kSecond);
+  EXPECT_EQ(probes_received_, 1);
+  EXPECT_EQ(scenario_.home_agent().stats().packets_tunneled, 0u);
+}
+
+TEST_F(MobileIpTest, RegistrationsRenewBeforeExpiry) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  const auto sent_before = scenario_.client().stats().registrations_sent;
+  // Default lifetime 60 s, renewal at 80%: two more registrations in 100 s.
+  scenario_.sim().RunFor(100 * sim::kSecond);
+  EXPECT_GE(scenario_.client().stats().registrations_sent, sent_before + 2);
+  EXPECT_TRUE(scenario_.home_agent().IsRegisteredAway(scenario_.mobile_home_addr()));
+}
+
+TEST_F(MobileIpTest, UnknownMobileRegistrationDenied) {
+  // A registration for a home address the HA does not serve is refused
+  // with kDeniedUnknownHome.
+  auto socket = scenario_.correspondent().udp().Bind(0);
+  std::optional<ReplyCode> code;
+  socket->set_on_receive([&](const util::Bytes& data, const udp::UdpEndpoint&) {
+    auto reply = DecodeRegistrationReply(data);
+    if (reply.has_value()) {
+      code = reply->code;
+    }
+  });
+  RegistrationRequest request;
+  request.home_address = net::Ipv4Address(99, 9, 9, 9);
+  request.home_agent = scenario_.ha_addr();
+  request.care_of_address = scenario_.correspondent_addr();
+  request.lifetime_seconds = 60;
+  request.id = 1;
+  socket->SendTo(scenario_.ha_addr(), kRegistrationPort, Encode(request));
+  scenario_.sim().RunFor(sim::kSecond);
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, ReplyCode::kDeniedUnknownHome);
+}
+
+TEST_F(MobileIpTest, MessageRoundTrips) {
+  RegistrationRequest req;
+  req.home_address = net::Ipv4Address(10, 1, 0, 50);
+  req.home_agent = net::Ipv4Address(10, 1, 0, 1);
+  req.care_of_address = net::Ipv4Address(10, 2, 0, 1);
+  req.lifetime_seconds = 60;
+  req.id = 0xdeadbeef12345678ULL;
+  auto decoded = DecodeRegistrationRequest(Encode(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->home_address, req.home_address);
+  EXPECT_EQ(decoded->id, req.id);
+
+  BindingUpdate bu;
+  bu.home_address = req.home_address;
+  bu.new_care_of = net::Ipv4Address(10, 3, 0, 1);
+  auto bu2 = DecodeBindingUpdate(Encode(bu));
+  ASSERT_TRUE(bu2.has_value());
+  EXPECT_EQ(bu2->new_care_of, bu.new_care_of);
+
+  EXPECT_FALSE(DecodeRegistrationRequest(Encode(bu)).has_value());
+  EXPECT_FALSE(PeekType({}).has_value());
+}
+
+}  // namespace
+}  // namespace comma::mobileip

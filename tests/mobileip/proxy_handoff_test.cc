@@ -1,0 +1,143 @@
+// Proxy mobility (thesis §5.1.1, §10.2.3): Service Proxies merged into the
+// foreign agents, with services handed off when the mobile moves.
+#include "src/mobileip/proxy_handoff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/filters/media_filters.h"
+#include "src/filters/standard_set.h"
+#include "src/mobileip/scenario.h"
+
+namespace comma::mobileip {
+namespace {
+
+class ProxyHandoffTest : public ::testing::Test {
+ protected:
+  ProxyHandoffTest() : scenario_(Config()) {
+    sp1_ = std::make_unique<proxy::ServiceProxy>(&scenario_.fa1_router(),
+                                                 filters::StandardRegistry());
+    sp2_ = std::make_unique<proxy::ServiceProxy>(&scenario_.fa2_router(),
+                                                 filters::StandardRegistry());
+    manager_.RegisterProxy(scenario_.fa1_addr(), sp1_.get());
+    manager_.RegisterProxy(scenario_.fa2_addr(), sp2_.get());
+  }
+
+  static MobileIpConfig Config() {
+    MobileIpConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    return cfg;
+  }
+
+  proxy::StreamKey ToMobile(uint16_t port) {
+    return proxy::StreamKey{net::Ipv4Address(), 0, scenario_.mobile_home_addr(), port};
+  }
+
+  MobileIpScenario scenario_;
+  std::unique_ptr<proxy::ServiceProxy> sp1_;
+  std::unique_ptr<proxy::ServiceProxy> sp2_;
+  ProxyHandoffManager manager_;
+};
+
+TEST_F(ProxyHandoffTest, FaProxyInterceptsTunneledTraffic) {
+  // The SP on the FA router sees the *decapsulated* stream: the FA removes
+  // the tunnel header, then re-injects — and the SP taps transit packets.
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  std::string error;
+  ASSERT_TRUE(sp1_->AddService("meter", ToMobile(80), {}, &error)) << error;
+
+  apps::BulkSink sink(&scenario_.mobile(), 80);
+  apps::BulkSender sender(&scenario_.correspondent(), scenario_.mobile_home_addr(), 80,
+                          apps::PatternPayload(20'000));
+  scenario_.sim().RunFor(30 * sim::kSecond);
+  ASSERT_EQ(sink.bytes_received(), 20'000u);
+  EXPECT_GT(sp1_->stats().packets_inspected, 20u);
+}
+
+TEST_F(ProxyHandoffTest, ServicesFollowTheMobile) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  // A blocking service proves which proxy is in charge.
+  std::string error;
+  ASSERT_TRUE(sp1_->AddService("rdrop", ToMobile(81), {"100"}, &error)) << error;
+  ASSERT_TRUE(sp1_->AddService("meter", ToMobile(82), {}, &error)) << error;
+
+  const int moved = manager_.OnHandoff(scenario_.mobile_home_addr(), scenario_.fa1_addr(),
+                                       scenario_.fa2_addr());
+  EXPECT_EQ(moved, 2);
+  EXPECT_TRUE(sp1_->services().empty());
+  ASSERT_EQ(sp2_->services().size(), 2u);
+  EXPECT_EQ(sp2_->services()[0].filter, "rdrop");
+  EXPECT_EQ(sp2_->services()[0].args, (std::vector<std::string>{"100"}));
+
+  // The mobile moves; the transferred blocker now operates at FA2.
+  scenario_.MoveToForeign2();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  apps::BulkSink sink(&scenario_.mobile(), 81);
+  apps::BulkSender sender(&scenario_.correspondent(), scenario_.mobile_home_addr(), 81,
+                          apps::PatternPayload(5'000));
+  scenario_.sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(sink.bytes_received(), 0u);
+  EXPECT_GT(sp2_->stats().packets_dropped, 0u);
+}
+
+TEST_F(ProxyHandoffTest, CompositeServiceTransfersInCreationOrder) {
+  // tdrop depends on ttsf being attached first; the transfer must preserve
+  // that ordering or re-insertion fails.
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  std::string error;
+  proxy::StreamKey key{scenario_.correspondent_addr(), 7, scenario_.mobile_home_addr(), 90};
+  ASSERT_TRUE(sp1_->AddService("tcp", key, {}, &error)) << error;
+  ASSERT_TRUE(sp1_->AddService("ttsf", key, {}, &error)) << error;
+  ASSERT_TRUE(sp1_->AddService("tdrop", key, {"50"}, &error)) << error;
+
+  const int moved = manager_.OnHandoff(scenario_.mobile_home_addr(), scenario_.fa1_addr(),
+                                       scenario_.fa2_addr());
+  EXPECT_EQ(moved, 3);
+  EXPECT_EQ(manager_.stats().services_failed, 0u);
+  EXPECT_TRUE(sp2_->FindFilterOnKey(key, "ttsf") != nullptr);
+  EXPECT_TRUE(sp2_->FindFilterOnKey(key, "tdrop") != nullptr);
+}
+
+TEST_F(ProxyHandoffTest, StreamSurvivesHandoffWithServices) {
+  // End-to-end: a long transfer with a meter service keeps flowing across
+  // the hand-off, and the service resumes counting at the new proxy.
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  std::string error;
+  ASSERT_TRUE(sp1_->AddService("meter", ToMobile(80), {}, &error)) << error;
+
+  apps::BulkSink sink(&scenario_.mobile(), 80);
+  apps::BulkSender sender(&scenario_.correspondent(), scenario_.mobile_home_addr(), 80,
+                          apps::PatternPayload(600'000));
+  scenario_.sim().RunFor(3 * sim::kSecond);
+  ASSERT_GT(sink.bytes_received(), 0u);
+  ASSERT_LT(sink.bytes_received(), 600'000u);
+
+  // Hand off mid-stream: move the mobile, then the services.
+  scenario_.MoveToForeign2();
+  manager_.OnHandoff(scenario_.mobile_home_addr(), scenario_.fa1_addr(), scenario_.fa2_addr());
+  scenario_.sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(sink.bytes_received(), 600'000u);
+
+  auto* meter = dynamic_cast<filters::MeterFilter*>(
+      sp2_->FindFilterOnKey(ToMobile(80), "meter"));
+  ASSERT_TRUE(meter != nullptr);
+  // The transferred meter counted the post-hand-off traffic.
+  EXPECT_GT(sp2_->stats().packets_inspected, 0u);
+}
+
+TEST_F(ProxyHandoffTest, UnknownCareOfAddressesAreIgnored) {
+  EXPECT_EQ(manager_.OnHandoff(scenario_.mobile_home_addr(), net::Ipv4Address(9, 9, 9, 9),
+                               scenario_.fa2_addr()),
+            0);
+  EXPECT_EQ(manager_.OnHandoff(scenario_.mobile_home_addr(), scenario_.fa1_addr(),
+                               scenario_.fa1_addr()),
+            0);
+  EXPECT_EQ(manager_.stats().handoffs, 0u);
+}
+
+}  // namespace
+}  // namespace comma::mobileip

@@ -1,0 +1,143 @@
+// EEM failure handling: malformed datagrams, unknown variables, lossy
+// transport, and client/server lifecycle edges.
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+#include "src/monitor/eem_client.h"
+#include "src/monitor/eem_server.h"
+#include "src/sim/random.h"
+
+namespace comma::monitor {
+namespace {
+
+class EemFailureTest : public ::testing::Test {
+ protected:
+  EemFailureTest() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+    EemServerConfig server_cfg;
+    server_cfg.check_interval = 200 * sim::kMillisecond;
+    server_cfg.update_interval = 500 * sim::kMillisecond;
+    server_ = std::make_unique<EemServer>(&scenario_->gateway(), server_cfg);
+  }
+
+  VariableId GatewayVar(const std::string& name, uint32_t index = 0) {
+    VariableId id;
+    id.name = name;
+    id.index = index;
+    id.server = scenario_->gateway_wireless_addr();
+    return id;
+  }
+
+  std::unique_ptr<core::WirelessScenario> scenario_;
+  std::unique_ptr<EemServer> server_;
+};
+
+TEST_F(EemFailureTest, ServerIgnoresGarbageDatagrams) {
+  auto socket = scenario_->mobile_host().udp().Bind(0);
+  sim::Random rng(99);
+  for (int i = 0; i < 50; ++i) {
+    util::Bytes junk(rng.NextBelow(64));
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    socket->SendTo(scenario_->gateway_wireless_addr(), kEemPort, std::move(junk));
+  }
+  scenario_->sim().RunFor(3 * sim::kSecond);
+  // Server is still healthy and answers real registrations.
+  EemClient client(&scenario_->mobile_host());
+  client.Register(GatewayVar("sysUpTime"), Attr::Always());
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  EXPECT_TRUE(client.GetValue(GatewayVar("sysUpTime")).has_value());
+  EXPECT_EQ(server_->RegistrationCount(), 1u);
+}
+
+TEST_F(EemFailureTest, TruncatedRegisterIsRejected) {
+  auto socket = scenario_->mobile_host().udp().Bind(0);
+  util::Bytes full = EncodeRegister({1, "sysUpTime", 0, Attr::Always()});
+  for (size_t cut = 1; cut + 1 < full.size(); cut += 3) {
+    util::Bytes truncated(full.begin(), full.begin() + static_cast<long>(cut));
+    socket->SendTo(scenario_->gateway_wireless_addr(), kEemPort, std::move(truncated));
+  }
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  EXPECT_EQ(server_->RegistrationCount(), 0u);
+}
+
+TEST_F(EemFailureTest, ClientIgnoresGarbageDatagrams) {
+  EemClient client(&scenario_->mobile_host());
+  client.Register(GatewayVar("sysUpTime"), Attr::Always());
+  scenario_->sim().RunFor(sim::kSecond);
+  // Blast the client's port with junk from the gateway side... the client
+  // port is private; instead verify it survives junk arriving as replies by
+  // registering against a "server" that is actually an echo of garbage.
+  auto junk_server = scenario_->wired_host().udp().Bind(kEemPort);
+  junk_server->set_on_receive([&](const util::Bytes&, const udp::UdpEndpoint& from) {
+    junk_server->SendTo(from.addr, from.port, util::Bytes{0xde, 0xad, 0xbe, 0xef});
+    junk_server->SendTo(from.addr, from.port, util::Bytes{});
+    junk_server->SendTo(from.addr, from.port, util::Bytes{4});  // Truncated Notify.
+  });
+  VariableId bogus;
+  bogus.name = "x";
+  bogus.server = scenario_->wired_addr();
+  client.Register(bogus, Attr::Always());
+  scenario_->sim().RunFor(3 * sim::kSecond);
+  // Legit traffic still flows.
+  EXPECT_TRUE(client.GetValue(GatewayVar("sysUpTime")).has_value());
+}
+
+TEST_F(EemFailureTest, UnknownVariableRegistrationNeverNotifies) {
+  EemClient client(&scenario_->mobile_host());
+  int callbacks = 0;
+  client.SetCallback([&](const VariableId&, const Value&) { ++callbacks; });
+  client.Register(GatewayVar("noSuchMetric"), Attr::Always(NotifyMode::kInterrupt));
+  scenario_->sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_FALSE(client.GetValue(GatewayVar("noSuchMetric")).has_value());
+  // The registration exists but harmlessly yields nothing.
+  EXPECT_EQ(server_->RegistrationCount(), 1u);
+}
+
+TEST_F(EemFailureTest, OneShotForUnknownVariableStillReplies) {
+  EemClient client(&scenario_->mobile_host());
+  std::optional<Value> result;
+  client.GetValueOnce(GatewayVar("noSuchMetric"),
+                      [&](const VariableId&, const Value& v) { result = v; });
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());  // The poll completes (empty string value).
+  EXPECT_EQ(*result, Value(std::string("")));
+}
+
+TEST_F(EemFailureTest, UpdatesSurviveLossyWireless) {
+  scenario_->wireless_link().SetLossProbability(0.3);
+  EemClient client(&scenario_->mobile_host());
+  client.Register(GatewayVar("sysUpTime"), Attr::Always(NotifyMode::kPeriodic));
+  // Over 30 s with 500 ms update periods, enough updates survive 30% loss.
+  scenario_->sim().RunFor(30 * sim::kSecond);
+  EXPECT_TRUE(client.GetValue(GatewayVar("sysUpTime")).has_value());
+  EXPECT_GT(client.updates_received(), 5u);
+}
+
+TEST_F(EemFailureTest, ReRegistrationReplacesAttributes) {
+  EemClient client(&scenario_->mobile_host());
+  client.Register(GatewayVar("sysUpTime"), Attr::Unary(Op::kLt, int64_t{-1}));
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  EXPECT_FALSE(client.IsInRange(GatewayVar("sysUpTime")));
+  // Replace with an always-match attribute: same reg id, new range.
+  client.Register(GatewayVar("sysUpTime"), Attr::Always());
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  EXPECT_TRUE(client.IsInRange(GatewayVar("sysUpTime")));
+  EXPECT_EQ(server_->RegistrationCount(), 1u);
+}
+
+TEST_F(EemFailureTest, ServerDestructionStopsTimers) {
+  EemClient client(&scenario_->mobile_host());
+  client.Register(GatewayVar("sysUpTime"), Attr::Always());
+  scenario_->sim().RunFor(sim::kSecond);
+  server_.reset();  // Tear the server down mid-session.
+  scenario_->sim().RunFor(5 * sim::kSecond);  // Must not crash or fire timers.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace comma::monitor

@@ -1,0 +1,192 @@
+// End-to-end EEM tests: server on the gateway, client on the mobile host,
+// monitor traffic riding the simulated network.
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+#include "src/monitor/eem_client.h"
+#include "src/monitor/eem_server.h"
+
+namespace comma::monitor {
+namespace {
+
+class EemTest : public ::testing::Test {
+ protected:
+  EemTest() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+    EemServerConfig server_cfg;
+    server_cfg.check_interval = 200 * sim::kMillisecond;
+    server_cfg.update_interval = sim::kSecond;
+    server_ = std::make_unique<EemServer>(&scenario_->gateway(), server_cfg);
+    client_ = std::make_unique<EemClient>(&scenario_->mobile_host());
+  }
+
+  VariableId Id(const std::string& name, uint32_t index = 0) {
+    VariableId id;
+    id.name = name;
+    id.index = index;
+    id.server = scenario_->gateway_wireless_addr();
+    return id;
+  }
+
+  std::unique_ptr<core::WirelessScenario> scenario_;
+  std::unique_ptr<EemServer> server_;
+  std::unique_ptr<EemClient> client_;
+};
+
+TEST_F(EemTest, ServerReadsSnmpVariables) {
+  auto descr = server_->ReadVariable("sysDescr", 0);
+  ASSERT_TRUE(descr.has_value());
+  EXPECT_NE(std::get<std::string>(*descr).find("gateway"), std::string::npos);
+  EXPECT_TRUE(server_->ReadVariable("ipForwDatagrams", 0).has_value());
+  EXPECT_TRUE(server_->ReadVariable("tcpCurrEstab", 0).has_value());
+  EXPECT_FALSE(server_->ReadVariable("noSuchVariable", 0).has_value());
+}
+
+TEST_F(EemTest, InterfaceVariablesAreIndexed) {
+  // The gateway has two interfaces; SNMP indexes from 1.
+  EXPECT_EQ(server_->ReadVariable("ifNumbers", 0), Value(int64_t{2}));
+  EXPECT_TRUE(server_->ReadVariable("ifSpeed", 1).has_value());
+  EXPECT_TRUE(server_->ReadVariable("ifSpeed", 2).has_value());
+  EXPECT_FALSE(server_->ReadVariable("ifSpeed", 3).has_value());
+  EXPECT_FALSE(server_->ReadVariable("ifSpeed", 0).has_value());
+  // The wireless interface (index 2) is 1 Mbit/s in the default scenario.
+  EXPECT_EQ(server_->ReadVariable("ifSpeed", 2), Value(int64_t{1'000'000}));
+}
+
+TEST_F(EemTest, IfOperStatusTracksLinkState) {
+  EXPECT_EQ(server_->ReadVariable("ifOperStatus", 2), Value(int64_t{1}));
+  scenario_->wireless_link().SetUp(false);
+  EXPECT_EQ(server_->ReadVariable("ifOperStatus", 2), Value(int64_t{2}));
+  scenario_->wireless_link().SetUp(true);
+  EXPECT_EQ(server_->ReadVariable("ifOperStatus", 2), Value(int64_t{1}));
+}
+
+TEST_F(EemTest, HostProviderVariablesExist) {
+  for (const char* name : {"netLatency", "cpuLoadAvg", "deviceList", "bytes_rx", "bytes_tx"}) {
+    EXPECT_TRUE(server_->ReadVariable(name, 0).has_value()) << name;
+  }
+}
+
+TEST_F(EemTest, PeriodicUpdatesFillProtectedDataArea) {
+  client_->Register(Id("sysUpTime"), Attr::Always(NotifyMode::kPeriodic));
+  scenario_->sim().RunFor(3 * sim::kSecond);
+  auto v = client_->GetValue(Id("sysUpTime"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GT(std::get<int64_t>(*v), 0);
+  EXPECT_TRUE(client_->IsInRange(Id("sysUpTime")));
+}
+
+TEST_F(EemTest, HasChangedClearsOnRead) {
+  client_->Register(Id("sysUpTime"), Attr::Always(NotifyMode::kPeriodic));
+  scenario_->sim().RunFor(3 * sim::kSecond);
+  EXPECT_TRUE(client_->HasChanged(Id("sysUpTime")));
+  client_->GetValue(Id("sysUpTime"));
+  EXPECT_FALSE(client_->HasChanged(Id("sysUpTime")));
+  // The next update (uptime keeps growing) sets it again.
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  EXPECT_TRUE(client_->HasChanged(Id("sysUpTime")));
+}
+
+TEST_F(EemTest, InterruptNotificationFiresCallback) {
+  // Watch the wireless interface status; take the link down mid-run.
+  std::vector<int64_t> seen;
+  client_->SetCallback([&](const VariableId& id, const Value& v) {
+    if (id.name == "ifOperStatus") {
+      seen.push_back(std::get<int64_t>(v));
+    }
+  });
+  client_->Register(Id("ifOperStatus", 2), Attr::Always(NotifyMode::kInterrupt));
+  scenario_->sim().RunFor(sim::kSecond);
+  scenario_->sim().Schedule(0, [this] { scenario_->wireless_link().SetUp(false); });
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  // Link is down: notify can't reach the mobile! Status change is seen after
+  // the link heals.
+  scenario_->sim().Schedule(0, [this] { scenario_->wireless_link().SetUp(true); });
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_EQ(seen.front(), 1);   // Initial up.
+  EXPECT_EQ(seen.back(), 1);    // Back up after the outage.
+}
+
+TEST_F(EemTest, RangeRestrictedInterruptFiresOnEntry) {
+  // Thesis Fig. 6.2 semantics: notify when the variable enters [lo, hi].
+  int callbacks = 0;
+  client_->SetCallback([&](const VariableId&, const Value&) { ++callbacks; });
+  // ifOutQLen of the wireless interface >= 1 (queue occupied).
+  client_->Register(Id("ifOutQLen", 2),
+                    Attr::Unary(Op::kGte, int64_t{1}, NotifyMode::kInterrupt));
+  scenario_->sim().RunFor(2 * sim::kSecond);
+  EXPECT_EQ(callbacks, 0);  // Queue empty so far.
+}
+
+TEST_F(EemTest, GetValueOncePollsAsynchronously) {
+  std::optional<Value> result;
+  client_->GetValueOnce(Id("sysName"), [&](const VariableId&, const Value& v) { result = v; });
+  scenario_->sim().RunFor(sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(std::get<std::string>(*result), "gateway");
+  // One-shot registrations leave no residue on the server.
+  EXPECT_EQ(server_->RegistrationCount(), 0u);
+}
+
+TEST_F(EemTest, DeregisterStopsUpdates) {
+  client_->Register(Id("sysUpTime"), Attr::Always(NotifyMode::kPeriodic));
+  scenario_->sim().RunFor(3 * sim::kSecond);
+  ASSERT_EQ(server_->RegistrationCount(), 1u);
+  client_->Deregister(Id("sysUpTime"));
+  scenario_->sim().RunFor(sim::kSecond);
+  EXPECT_EQ(server_->RegistrationCount(), 0u);
+}
+
+TEST_F(EemTest, DeregisterAllCleansServer) {
+  client_->Register(Id("sysUpTime"), Attr::Always());
+  client_->Register(Id("ipInReceives"), Attr::Always());
+  client_->Register(Id("cpuLoadAvg"), Attr::Always());
+  scenario_->sim().RunFor(sim::kSecond);
+  EXPECT_EQ(server_->RegistrationCount(), 3u);
+  client_->DeregisterAll();
+  scenario_->sim().RunFor(sim::kSecond);
+  EXPECT_EQ(server_->RegistrationCount(), 0u);
+}
+
+TEST_F(EemTest, UnchangedValuesAreNotResent) {
+  // sysName never changes: after the first update no more bytes flow.
+  client_->Register(Id("sysName"), Attr::Always(NotifyMode::kPeriodic));
+  scenario_->sim().RunFor(3 * sim::kSecond);
+  const uint64_t updates_after_first = server_->updates_sent();
+  scenario_->sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(server_->updates_sent(), updates_after_first);
+}
+
+TEST_F(EemTest, MultipleVariablesBatchIntoOneUpdate) {
+  client_->Register(Id("sysUpTime"), Attr::Always(NotifyMode::kPeriodic));
+  client_->Register(Id("bytes_rx"), Attr::Always(NotifyMode::kPeriodic));
+  client_->Register(Id("ipInReceives"), Attr::Always(NotifyMode::kPeriodic));
+  scenario_->sim().RunFor(1500 * sim::kMillisecond);
+  // All three variables changed, but only one datagram per interval went out.
+  EXPECT_LE(server_->updates_sent(), 2u);
+  EXPECT_GE(client_->updates_received(), 1u);
+  EXPECT_TRUE(client_->GetValue(Id("bytes_rx")).has_value());
+}
+
+TEST_F(EemTest, ClientTalksToMultipleServers) {
+  // A second EEM server on the wired host.
+  EemServerConfig cfg;
+  cfg.check_interval = 200 * sim::kMillisecond;
+  cfg.update_interval = sim::kSecond;
+  EemServer wired_server(&scenario_->wired_host(), cfg);
+
+  VariableId wired_id;
+  wired_id.name = "sysName";
+  wired_id.server = scenario_->wired_addr();
+  client_->Register(wired_id, Attr::Always(NotifyMode::kPeriodic));
+  client_->Register(Id("sysName"), Attr::Always(NotifyMode::kPeriodic));
+  scenario_->sim().RunFor(3 * sim::kSecond);
+  EXPECT_EQ(client_->GetValue(wired_id), Value(std::string("wired-host")));
+  EXPECT_EQ(client_->GetValue(Id("sysName")), Value(std::string("gateway")));
+}
+
+}  // namespace
+}  // namespace comma::monitor

@@ -1,0 +1,93 @@
+#include "src/monitor/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::monitor {
+namespace {
+
+TEST(ProtocolTest, RegisterRoundTrip) {
+  RegisterMsg msg;
+  msg.reg_id = 42;
+  msg.name = "ifInOctets";
+  msg.index = 2;
+  msg.attr = Attr::Range(Op::kIn, int64_t{0}, int64_t{20}, NotifyMode::kInterrupt);
+  auto decoded = DecodeRegister(EncodeRegister(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->reg_id, 42u);
+  EXPECT_EQ(decoded->name, "ifInOctets");
+  EXPECT_EQ(decoded->index, 2u);
+  EXPECT_EQ(decoded->attr.op, Op::kIn);
+  EXPECT_EQ(decoded->attr.mode, NotifyMode::kInterrupt);
+  EXPECT_EQ(decoded->attr.lbound, Value(int64_t{0}));
+  EXPECT_EQ(decoded->attr.ubound, Value(int64_t{20}));
+}
+
+TEST(ProtocolTest, DeregisterRoundTrip) {
+  auto decoded = DecodeDeregister(EncodeDeregister({77}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->reg_id, 77u);
+}
+
+TEST(ProtocolTest, NotifyRoundTrip) {
+  NotifyMsg msg;
+  msg.reg_id = 5;
+  msg.value = Value(std::string("eth0 down"));
+  auto decoded = DecodeNotify(EncodeNotify(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->reg_id, 5u);
+  EXPECT_EQ(decoded->value, msg.value);
+}
+
+TEST(ProtocolTest, UpdateBatchRoundTrip) {
+  UpdateMsg msg;
+  msg.items.push_back({1, Value(int64_t{100}), true});
+  msg.items.push_back({2, Value(0.5), false});
+  msg.items.push_back({3, Value(std::string("x")), true});
+  auto decoded = DecodeUpdate(EncodeUpdate(msg));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->items.size(), 3u);
+  EXPECT_EQ(decoded->items[0].reg_id, 1u);
+  EXPECT_TRUE(decoded->items[0].in_range);
+  EXPECT_EQ(decoded->items[1].value, Value(0.5));
+  EXPECT_FALSE(decoded->items[1].in_range);
+}
+
+TEST(ProtocolTest, EmptyUpdateRoundTrip) {
+  auto decoded = DecodeUpdate(EncodeUpdate({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->items.empty());
+}
+
+TEST(ProtocolTest, PeekTypeIdentifiesMessages) {
+  EXPECT_EQ(PeekType(EncodeRegister({})), MsgType::kRegister);
+  EXPECT_EQ(PeekType(EncodeDeregister({})), MsgType::kDeregister);
+  EXPECT_EQ(PeekType(EncodeDeregisterAll()), MsgType::kDeregisterAll);
+  EXPECT_EQ(PeekType(EncodeNotify({})), MsgType::kNotify);
+  EXPECT_EQ(PeekType(EncodeUpdate({})), MsgType::kUpdate);
+  EXPECT_FALSE(PeekType({}).has_value());
+  EXPECT_FALSE(PeekType({0x63}).has_value());
+}
+
+TEST(ProtocolTest, DecodersRejectWrongType) {
+  EXPECT_FALSE(DecodeRegister(EncodeNotify({})).has_value());
+  EXPECT_FALSE(DecodeNotify(EncodeUpdate({})).has_value());
+}
+
+TEST(ProtocolTest, DecodersRejectTruncation) {
+  auto full = EncodeRegister({9, "sysUpTime", 0, Attr::Always()});
+  for (size_t cut = 1; cut < full.size(); ++cut) {
+    util::Bytes truncated(full.begin(), full.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeRegister(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolTest, UpdatesAreLean) {
+  // §6.1.2: monitor traffic must stay small. A one-variable update fits in
+  // a few dozen bytes.
+  UpdateMsg msg;
+  msg.items.push_back({1, Value(int64_t{12345}), true});
+  EXPECT_LT(EncodeUpdate(msg).size(), 32u);
+}
+
+}  // namespace
+}  // namespace comma::monitor

@@ -1,0 +1,87 @@
+#include "src/net/address.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::net {
+namespace {
+
+TEST(AddressTest, ConstructFromOctets) {
+  Ipv4Address a(10, 0, 0, 1);
+  EXPECT_EQ(a.value(), 0x0a000001u);
+  EXPECT_EQ(a.ToString(), "10.0.0.1");
+}
+
+TEST(AddressTest, ParseValid) {
+  auto a = Ipv4Address::Parse("129.97.40.42");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->ToString(), "129.97.40.42");
+  EXPECT_EQ(Ipv4Address::Parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(AddressTest, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.-4").has_value());
+}
+
+TEST(AddressTest, Comparisons) {
+  Ipv4Address a(10, 0, 0, 1);
+  Ipv4Address b(10, 0, 0, 2);
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(kAnyAddress.IsUnspecified());
+  EXPECT_FALSE(a.IsUnspecified());
+}
+
+TEST(PrefixTest, ContainsAndMasks) {
+  Ipv4Prefix p(Ipv4Address(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.base().ToString(), "10.0.0.0");  // Host bits masked off.
+  EXPECT_TRUE(p.Contains(Ipv4Address(10, 255, 0, 1)));
+  EXPECT_FALSE(p.Contains(Ipv4Address(11, 0, 0, 1)));
+}
+
+TEST(PrefixTest, DefaultRouteMatchesEverything) {
+  Ipv4Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.Contains(Ipv4Address(1, 2, 3, 4)));
+  EXPECT_TRUE(all.Contains(Ipv4Address(255, 255, 255, 255)));
+}
+
+TEST(PrefixTest, HostRoute) {
+  Ipv4Prefix host(Ipv4Address(10, 0, 0, 5), 32);
+  EXPECT_TRUE(host.Contains(Ipv4Address(10, 0, 0, 5)));
+  EXPECT_FALSE(host.Contains(Ipv4Address(10, 0, 0, 6)));
+}
+
+TEST(PrefixTest, ParseForms) {
+  auto p = Ipv4Prefix::Parse("11.11.10.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_TRUE(p->Contains(Ipv4Address(11, 11, 10, 10)));
+
+  // A bare address parses as a /32.
+  auto host = Ipv4Prefix::Parse("1.2.3.4");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->length(), 32);
+
+  EXPECT_FALSE(Ipv4Prefix::Parse("1.2.3.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::Parse("bogus/8").has_value());
+}
+
+TEST(PrefixTest, ToStringRoundTrip) {
+  auto p = Ipv4Prefix::Parse("192.168.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToString(), "192.168.0.0/16");
+}
+
+TEST(AddressTest, HashUsableInUnorderedContainers) {
+  std::hash<Ipv4Address> h;
+  EXPECT_EQ(h(Ipv4Address(1, 2, 3, 4)), h(Ipv4Address(1, 2, 3, 4)));
+}
+
+}  // namespace
+}  // namespace comma::net

@@ -1,0 +1,72 @@
+#include "src/net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace comma::net {
+namespace {
+
+// RFC 1071 worked example: the checksum of 00 01 f2 03 f4 f5 f6 f7 is
+// computed over one's-complement sums; verify against a hand calculation.
+TEST(ChecksumTest, Rfc1071Example) {
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> 0xddf2; ~ = 0x220d.
+  EXPECT_EQ(InternetChecksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(ChecksumTest, ZeroBufferChecksumIsAllOnes) {
+  std::vector<uint8_t> zeros(20, 0);
+  EXPECT_EQ(InternetChecksum(zeros.data(), zeros.size()), 0xffff);
+}
+
+TEST(ChecksumTest, OddLengthPadsWithZero) {
+  const uint8_t odd[] = {0x12, 0x34, 0x56};
+  // 0x1234 + 0x5600 = 0x6834; ~ = 0x97cb.
+  EXPECT_EQ(InternetChecksum(odd, sizeof(odd)), 0x97cb);
+}
+
+TEST(ChecksumTest, ChecksummedBufferVerifiesToZero) {
+  // Classic property: inserting the checksum makes the total sum 0xffff,
+  // i.e. the final complement is zero.
+  std::vector<uint8_t> data = {0x45, 0x00, 0x00, 0x54, 0xab, 0xcd, 0x40, 0x00,
+                               0x40, 0x01, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                               0x0a, 0x00, 0x00, 0x02};
+  uint16_t sum = InternetChecksum(data.data(), data.size());
+  data[10] = static_cast<uint8_t>(sum >> 8);
+  data[11] = static_cast<uint8_t>(sum);
+  EXPECT_EQ(InternetChecksum(data.data(), data.size()), 0);
+}
+
+TEST(ChecksumTest, AccumulatorMatchesOneShot) {
+  const uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ChecksumAccumulator acc;
+  acc.Add(data, 4);
+  acc.Add(data + 4, 6);
+  EXPECT_EQ(acc.Finish(), InternetChecksum(data, sizeof(data)));
+}
+
+TEST(ChecksumTest, AddU16AndU32MatchByteEquivalents) {
+  ChecksumAccumulator a;
+  a.AddU32(0x0a000001);
+  a.AddU16(0x0006);
+  const uint8_t bytes[] = {0x0a, 0x00, 0x00, 0x01, 0x00, 0x06};
+  ChecksumAccumulator b;
+  b.Add(bytes, sizeof(bytes));
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
+TEST(ChecksumTest, EmptyBuffer) {
+  EXPECT_EQ(InternetChecksum(nullptr, 0), 0xffff);
+}
+
+TEST(ChecksumTest, CarryFoldingHandlesManyWords) {
+  // Enough 0xffff words to force multiple carry folds.
+  std::vector<uint8_t> data(65534, 0xff);
+  uint16_t sum = InternetChecksum(data.data(), data.size());
+  // Sum of n 0xffff words is 0xffff after folding; complement is 0.
+  EXPECT_EQ(sum, 0);
+}
+
+}  // namespace
+}  // namespace comma::net

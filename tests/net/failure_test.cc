@@ -1,0 +1,191 @@
+// Failure injection: corruption in flight, and how the transports cope.
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+#include "src/tcp/tcp_stack.h"
+
+namespace comma::net {
+namespace {
+
+// Corrupts one payload byte of every Nth matching packet without fixing the
+// transport checksum — simulating undetected link-level corruption that the
+// end host's checksum must catch.
+class CorruptionTap : public PacketTap {
+ public:
+  CorruptionTap(int every_nth, bool tcp_only) : every_nth_(every_nth), tcp_only_(tcp_only) {}
+
+  TapVerdict OnPacket(PacketPtr& p, const TapContext&) override {
+    if (tcp_only_ && !p->has_tcp()) {
+      return TapVerdict::kPass;
+    }
+    if (p->payload().empty()) {
+      return TapVerdict::kPass;
+    }
+    if (++count_ % every_nth_ == 0) {
+      p->payload()[p->payload().size() / 2] ^= 0xff;
+      ++corrupted_;
+    }
+    return TapVerdict::kPass;
+  }
+  int corrupted() const { return corrupted_; }
+
+ private:
+  int every_nth_;
+  bool tcp_only_;
+  int count_ = 0;
+  int corrupted_ = 0;
+};
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+  }
+  core::WirelessScenario& s() { return *scenario_; }
+  std::unique_ptr<core::WirelessScenario> scenario_;
+};
+
+TEST_F(FailureTest, TcpChecksumCatchesCorruptionAndRecovers) {
+  CorruptionTap tap(/*every_nth=*/10, /*tcp_only=*/true);
+  s().gateway().AddTap(&tap);
+
+  util::Bytes payload(100'000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i);
+  }
+  util::Bytes sink;
+  s().mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* conn) {
+    conn->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+  });
+  tcp::TcpConnection* client = s().wired_host().tcp().Connect(s().mobile_addr(), 80);
+  auto remaining = std::make_shared<util::Bytes>(payload);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+    client->Close();
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+  s().sim().RunFor(300 * sim::kSecond);
+
+  EXPECT_GT(tap.corrupted(), 5);
+  // Every corrupted segment was dropped at the receiver...
+  EXPECT_GT(s().mobile_host().tcp().checksum_failures(), 0u);
+  // ...and retransmission restored the exact byte stream.
+  EXPECT_EQ(sink, payload);
+  EXPECT_GT(client->stats().bytes_retransmitted, 0u);
+}
+
+TEST_F(FailureTest, UdpCorruptionIsDroppedSilently) {
+  CorruptionTap tap(/*every_nth=*/2, /*tcp_only=*/false);
+  s().gateway().AddTap(&tap);
+  auto rx = s().mobile_host().udp().Bind(5000);
+  int received = 0;
+  rx->set_on_receive([&](const util::Bytes&, const udp::UdpEndpoint&) { ++received; });
+  auto tx = s().wired_host().udp().Bind(0);
+  for (int i = 0; i < 20; ++i) {
+    s().sim().Schedule(i * 10 * sim::kMillisecond, [&] {
+      tx->SendTo(s().mobile_addr(), 5000, util::Bytes(100, 0x77));
+    });
+  }
+  s().sim().Run();
+  EXPECT_EQ(received, 10);  // Half survived.
+  EXPECT_EQ(s().mobile_host().udp().checksum_failures(), 10u);
+}
+
+TEST_F(FailureTest, HeaderTamperingWithoutChecksumFixIsRejected) {
+  // A misbehaving "filter" that rewrites windows but forgets the checksum
+  // contract: the receiving stack must reject its output (why the tcp
+  // filter always runs last in the out queue).
+  class BadFilterTap : public PacketTap {
+   public:
+    TapVerdict OnPacket(PacketPtr& p, const TapContext&) override {
+      if (p->has_tcp() && (p->tcp().flags & kTcpAck) && !p->payload().empty()) {
+        p->tcp().window = 1;  // Mutated, checksum left stale.
+        ++tampered_;
+      }
+      return TapVerdict::kPass;
+    }
+    int tampered_ = 0;
+  } tap;
+  s().gateway().AddTap(&tap);
+
+  util::Bytes sink;
+  s().mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* conn) {
+    conn->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+  });
+  tcp::TcpConnection* client = s().wired_host().tcp().Connect(s().mobile_addr(), 80);
+  client->set_on_connected([client] {
+    util::Bytes data(5000, 1);
+    client->Send(data);
+  });
+  s().sim().RunFor(30 * sim::kSecond);
+  EXPECT_GT(tap.tampered_, 0);
+  // All data segments were tampered: none ever accepted.
+  EXPECT_TRUE(sink.empty());
+  EXPECT_GT(s().mobile_host().tcp().checksum_failures(), 0u);
+}
+
+TEST_F(FailureTest, ExtremeLossEventuallyCompletesTinyTransfer) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = 0.5;  // Half of everything dies.
+  cfg.seed = 4242;
+  core::WirelessScenario brutal(cfg);
+  util::Bytes sink;
+  bool closed = false;
+  brutal.mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* conn) {
+    conn->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+    conn->set_on_remote_close([conn] { conn->Close(); });
+  });
+  tcp::TcpConnection* client = brutal.wired_host().tcp().Connect(brutal.mobile_addr(), 80);
+  client->set_on_connected([client] {
+    util::Bytes data(3000, 0x3c);
+    client->Send(data);
+    client->Close();
+  });
+  client->set_on_closed([&] { closed = true; });
+  brutal.sim().RunFor(1800 * sim::kSecond);
+  EXPECT_EQ(sink.size(), 3000u);
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(FailureTest, FlappingLinkNeverCorruptsTheStream) {
+  // The link toggles every 2 s for a minute; reliability must hold.
+  util::Bytes payload(200'000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 3);
+  }
+  util::Bytes sink;
+  s().mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* conn) {
+    conn->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+  });
+  tcp::TcpConnection* client = s().wired_host().tcp().Connect(s().mobile_addr(), 80);
+  auto remaining = std::make_shared<util::Bytes>(payload);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+  for (int i = 1; i <= 30; ++i) {
+    s().sim().Schedule(i * 2 * sim::kSecond,
+                       [this, i] { s().wireless_link().SetUp(i % 2 == 0); });
+  }
+  s().sim().RunFor(600 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+}
+
+}  // namespace
+}  // namespace comma::net

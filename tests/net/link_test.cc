@@ -1,0 +1,189 @@
+#include "src/net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/node.h"
+
+namespace comma::net {
+namespace {
+
+constexpr IpProtocol kTestProto = IpProtocol::kIcmp;
+
+struct LinkFixture : public ::testing::Test {
+  LinkFixture() {
+    a = std::make_unique<Node>(&sim, "a");
+    b = std::make_unique<Node>(&sim, "b");
+    a_if = a->AddInterface(Ipv4Address(10, 0, 0, 1));
+    b_if = b->AddInterface(Ipv4Address(10, 0, 0, 2));
+  }
+
+  void Wire(const LinkConfig& cfg, uint64_t seed = 1) {
+    link = std::make_unique<Link>(&sim, sim::Random(seed), cfg, "test");
+    a->AttachLink(a_if, link.get(), 0);
+    b->AttachLink(b_if, link.get(), 1);
+    a->SetDefaultRoute(a_if);
+    b->SetDefaultRoute(b_if);
+    b->RegisterProtocol(kTestProto, [this](PacketPtr p) { received.push_back(std::move(p)); });
+  }
+
+  PacketPtr MakePacket(size_t len = 100) {
+    return Packet::MakeRaw(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), kTestProto,
+                           util::Bytes(len, 0x11));
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<Node> a, b;
+  std::unique_ptr<Link> link;
+  uint32_t a_if = 0, b_if = 0;
+  std::vector<PacketPtr> received;
+};
+
+TEST_F(LinkFixture, DeliversPacket) {
+  Wire(WiredLinkConfig());
+  a->SendPacket(MakePacket());
+  sim.Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(link->stats(0).tx_packets, 1u);
+  EXPECT_EQ(link->stats(1).rx_packets, 1u);
+}
+
+TEST_F(LinkFixture, DeliveryTimeIsSerializationPlusPropagation) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1'000'000;  // 1 Mbit/s.
+  cfg.propagation_delay = 10 * sim::kMillisecond;
+  Wire(cfg);
+  // 125-byte payload + 20 IP header = 145 bytes = 1160 bits => 1160 us.
+  a->SendPacket(MakePacket(125));
+  sim::TimePoint arrival = -1;
+  b->RegisterProtocol(kTestProto, [&](PacketPtr) { arrival = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(arrival, 1160 + 10000);
+}
+
+TEST_F(LinkFixture, BandwidthSerializesBackToBackPackets) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;  // 1 byte per microsecond.
+  cfg.propagation_delay = 0;
+  Wire(cfg);
+  std::vector<sim::TimePoint> arrivals;
+  b->RegisterProtocol(kTestProto, [&](PacketPtr) { arrivals.push_back(sim.Now()); });
+  a->SendPacket(MakePacket(80));  // 100 bytes on the wire -> 100 us each.
+  a->SendPacket(MakePacket(80));
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 100);
+}
+
+TEST_F(LinkFixture, QueueOverflowDropsTail) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 10'000;  // Slow enough to back up.
+  cfg.queue_limit_packets = 5;
+  Wire(cfg);
+  for (int i = 0; i < 20; ++i) {
+    a->SendPacket(MakePacket());
+  }
+  sim.Run();
+  EXPECT_GT(link->stats(0).drops_queue, 0u);
+  EXPECT_LE(received.size(), 6u);  // Queue limit + the one in transmission.
+}
+
+TEST_F(LinkFixture, LossProbabilityDropsSome) {
+  LinkConfig cfg = WiredLinkConfig();
+  cfg.loss_probability = 0.5;
+  Wire(cfg, /*seed=*/7);
+  for (int i = 0; i < 200; ++i) {
+    // Pace sends so the queue never overflows; only the loss model drops.
+    sim.Schedule(i * sim::kMillisecond, [this] { a->SendPacket(MakePacket()); });
+  }
+  sim.Run();
+  EXPECT_GT(link->stats(0).drops_error, 50u);
+  EXPECT_GT(received.size(), 50u);
+  EXPECT_EQ(received.size() + link->stats(0).drops_error, 200u);
+}
+
+TEST_F(LinkFixture, BitErrorRateScalesWithPacketSize) {
+  LinkConfig cfg = WiredLinkConfig();
+  cfg.bit_error_rate = 1e-4;
+  Wire(cfg, /*seed=*/11);
+  // Large packets: 1000 bytes = 8000 bits => ~55% loss each.
+  for (int i = 0; i < 100; ++i) {
+    a->SendPacket(MakePacket(1000));
+  }
+  sim.Run();
+  const uint64_t large_drops = link->stats(0).drops_error;
+  EXPECT_GT(large_drops, 20u);
+}
+
+TEST_F(LinkFixture, DownLinkDropsEverything) {
+  Wire(WiredLinkConfig());
+  link->SetUp(false);
+  for (int i = 0; i < 5; ++i) {
+    a->SendPacket(MakePacket());
+  }
+  sim.Run();
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(link->stats(0).drops_down, 5u);
+}
+
+TEST_F(LinkFixture, LinkComesBackUp) {
+  Wire(WiredLinkConfig());
+  link->SetUp(false);
+  a->SendPacket(MakePacket());
+  sim.Run();
+  link->SetUp(true);
+  a->SendPacket(MakePacket());
+  sim.Run();
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(LinkFixture, GoingDownLosesInFlightPackets) {
+  LinkConfig cfg;
+  cfg.propagation_delay = 100 * sim::kMillisecond;
+  Wire(cfg);
+  a->SendPacket(MakePacket());
+  // Let it start flying, then cut the link mid-propagation.
+  sim.RunFor(50 * sim::kMillisecond);
+  link->SetUp(false);
+  sim.Run();
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(LinkFixture, RuntimeBandwidthChangeAffectsLaterPackets) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8'000'000;
+  cfg.propagation_delay = 0;
+  Wire(cfg);
+  std::vector<sim::TimePoint> arrivals;
+  b->RegisterProtocol(kTestProto, [&](PacketPtr) { arrivals.push_back(sim.Now()); });
+  a->SendPacket(MakePacket(80));  // 100 us at 8 Mbit/s.
+  sim.Run();
+  link->SetBandwidth(800'000);  // 10x slower.
+  a->SendPacket(MakePacket(80));  // 1000 us now.
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 100);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 1000);
+}
+
+TEST_F(LinkFixture, StatsCountBytes) {
+  Wire(WiredLinkConfig());
+  a->SendPacket(MakePacket(100));  // 120 bytes with IP header.
+  sim.Run();
+  EXPECT_EQ(link->stats(0).tx_bytes, 120u);
+  EXPECT_EQ(link->stats(1).rx_bytes, 120u);
+}
+
+TEST_F(LinkFixture, BidirectionalTraffic) {
+  Wire(WiredLinkConfig());
+  std::vector<PacketPtr> at_a;
+  a->RegisterProtocol(kTestProto, [&](PacketPtr p) { at_a.push_back(std::move(p)); });
+  a->SendPacket(MakePacket());
+  b->SendPacket(Packet::MakeRaw(Ipv4Address(10, 0, 0, 2), Ipv4Address(10, 0, 0, 1), kTestProto,
+                                util::Bytes(50, 0x22)));
+  sim.Run();
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_EQ(at_a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace comma::net

@@ -1,0 +1,202 @@
+#include "src/net/node.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+
+namespace comma::net {
+namespace {
+
+constexpr IpProtocol kTestProto = IpProtocol::kIcmp;
+
+// Three-node chain a -- r -- b built from the canonical scenario.
+struct NodeFixture : public ::testing::Test {
+  core::WirelessScenario scenario;
+
+  PacketPtr WiredToMobile(size_t len = 100) {
+    return Packet::MakeRaw(scenario.wired_addr(), scenario.mobile_addr(), kTestProto,
+                           util::Bytes(len, 0x33));
+  }
+};
+
+TEST_F(NodeFixture, ForwardsAcrossGateway) {
+  std::vector<PacketPtr> received;
+  scenario.mobile_host().RegisterProtocol(
+      kTestProto, [&](PacketPtr p) { received.push_back(std::move(p)); });
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(scenario.gateway().stats().ip_forw_datagrams, 1u);
+}
+
+TEST_F(NodeFixture, TtlDecrementsOnForward) {
+  PacketPtr seen;
+  scenario.mobile_host().RegisterProtocol(kTestProto,
+                                          [&](PacketPtr p) { seen = std::move(p); });
+  auto p = WiredToMobile();
+  p->ip().ttl = 64;
+  p->UpdateChecksums();
+  scenario.wired_host().SendPacket(std::move(p));
+  scenario.sim().Run();
+  ASSERT_TRUE(seen != nullptr);
+  EXPECT_EQ(seen->ip().ttl, 63);
+  EXPECT_TRUE(seen->VerifyChecksums());  // Forwarding refreshes the IP checksum.
+}
+
+TEST_F(NodeFixture, TtlExpiryDropsPacket) {
+  std::vector<PacketPtr> received;
+  scenario.mobile_host().RegisterProtocol(
+      kTestProto, [&](PacketPtr p) { received.push_back(std::move(p)); });
+  auto p = WiredToMobile();
+  p->ip().ttl = 1;
+  p->UpdateChecksums();
+  scenario.wired_host().SendPacket(std::move(p));
+  scenario.sim().Run();
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(scenario.gateway().stats().ip_in_hdr_errors, 1u);
+}
+
+TEST_F(NodeFixture, NoRouteCountsAndDrops) {
+  auto p = Packet::MakeRaw(scenario.wired_addr(), Ipv4Address(99, 99, 99, 99), kTestProto, {});
+  scenario.wired_host().SendPacket(std::move(p));
+  scenario.sim().Run();
+  // The wired host default-routes it to the gateway, which has no route.
+  EXPECT_EQ(scenario.gateway().stats().ip_out_no_routes, 1u);
+}
+
+TEST_F(NodeFixture, LongestPrefixMatchWins) {
+  // Add a host route on the gateway pointing the mobile's address back at the
+  // wired interface; it must win over the /24.
+  scenario.gateway().AddHostRoute(scenario.mobile_addr(), 0);
+  std::vector<PacketPtr> at_wired;
+  scenario.wired_host().RegisterProtocol(
+      kTestProto, [&](PacketPtr p) { at_wired.push_back(std::move(p)); });
+  std::vector<PacketPtr> at_mobile;
+  scenario.mobile_host().RegisterProtocol(
+      kTestProto, [&](PacketPtr p) { at_mobile.push_back(std::move(p)); });
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_TRUE(at_mobile.empty());
+
+  // Removing the host route restores normal forwarding.
+  scenario.gateway().RemoveHostRoute(scenario.mobile_addr());
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_EQ(at_mobile.size(), 1u);
+}
+
+TEST_F(NodeFixture, LoopbackDeliversLocally) {
+  std::vector<PacketPtr> received;
+  scenario.wired_host().RegisterProtocol(
+      kTestProto, [&](PacketPtr p) { received.push_back(std::move(p)); });
+  scenario.wired_host().SendPacket(Packet::MakeRaw(scenario.wired_addr(), scenario.wired_addr(),
+                                                   kTestProto, {}));
+  scenario.sim().Run();
+  EXPECT_EQ(received.size(), 1u);
+}
+
+class RecordingTap : public PacketTap {
+ public:
+  explicit RecordingTap(TapVerdict verdict) : verdict_(verdict) {}
+  TapVerdict OnPacket(PacketPtr& packet, const TapContext&) override {
+    ++count_;
+    last_uid_ = packet->uid();
+    if (verdict_ == TapVerdict::kConsume) {
+      consumed_ = std::move(packet);
+    }
+    return verdict_;
+  }
+  int count() const { return count_; }
+  uint64_t last_uid() const { return last_uid_; }
+  Packet* consumed() const { return consumed_.get(); }
+
+ private:
+  TapVerdict verdict_;
+  int count_ = 0;
+  uint64_t last_uid_ = 0;
+  PacketPtr consumed_;
+};
+
+TEST_F(NodeFixture, TapSeesTransitPackets) {
+  RecordingTap tap(TapVerdict::kPass);
+  scenario.gateway().AddTap(&tap);
+  std::vector<PacketPtr> received;
+  scenario.mobile_host().RegisterProtocol(
+      kTestProto, [&](PacketPtr p) { received.push_back(std::move(p)); });
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_EQ(tap.count(), 1);
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(NodeFixture, TapDropDiscards) {
+  RecordingTap tap(TapVerdict::kDrop);
+  scenario.gateway().AddTap(&tap);
+  std::vector<PacketPtr> received;
+  scenario.mobile_host().RegisterProtocol(
+      kTestProto, [&](PacketPtr p) { received.push_back(std::move(p)); });
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_EQ(tap.count(), 1);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(scenario.gateway().stats().ip_in_discards, 1u);
+}
+
+TEST_F(NodeFixture, TapConsumeTakesOwnership) {
+  RecordingTap tap(TapVerdict::kConsume);
+  scenario.gateway().AddTap(&tap);
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_TRUE(tap.consumed() != nullptr);
+}
+
+TEST_F(NodeFixture, RemovedTapNoLongerSeesPackets) {
+  RecordingTap tap(TapVerdict::kPass);
+  scenario.gateway().AddTap(&tap);
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  scenario.gateway().RemoveTap(&tap);
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_EQ(tap.count(), 1);
+}
+
+TEST_F(NodeFixture, MultipleTapsRunInOrder) {
+  RecordingTap first(TapVerdict::kPass);
+  RecordingTap second(TapVerdict::kDrop);
+  scenario.gateway().AddTap(&first);
+  scenario.gateway().AddTap(&second);
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_EQ(first.count(), 1);
+  EXPECT_EQ(second.count(), 1);
+}
+
+TEST_F(NodeFixture, DropByFirstTapSkipsSecond) {
+  RecordingTap first(TapVerdict::kDrop);
+  RecordingTap second(TapVerdict::kPass);
+  scenario.gateway().AddTap(&first);
+  scenario.gateway().AddTap(&second);
+  scenario.wired_host().SendPacket(WiredToMobile());
+  scenario.sim().Run();
+  EXPECT_EQ(first.count(), 1);
+  EXPECT_EQ(second.count(), 0);
+}
+
+TEST_F(NodeFixture, InterfaceStatsCount) {
+  scenario.wired_host().SendPacket(WiredToMobile(100));
+  scenario.sim().Run();
+  EXPECT_EQ(scenario.wired_host().interface_stats(0).out_packets, 1u);
+  EXPECT_EQ(scenario.gateway().interface_stats(0).in_packets, 1u);
+  EXPECT_EQ(scenario.gateway().interface_stats(1).out_packets, 1u);
+  EXPECT_EQ(scenario.mobile_host().interface_stats(0).in_packets, 1u);
+}
+
+TEST_F(NodeFixture, IsLocalAddressChecksAllInterfaces) {
+  EXPECT_TRUE(scenario.gateway().IsLocalAddress(scenario.gateway_wired_addr()));
+  EXPECT_TRUE(scenario.gateway().IsLocalAddress(scenario.gateway_wireless_addr()));
+  EXPECT_FALSE(scenario.gateway().IsLocalAddress(scenario.mobile_addr()));
+}
+
+}  // namespace
+}  // namespace comma::net

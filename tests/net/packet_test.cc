@@ -1,0 +1,154 @@
+#include "src/net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::net {
+namespace {
+
+const Ipv4Address kSrc(10, 0, 0, 99);
+const Ipv4Address kDst(11, 11, 10, 10);
+
+PacketPtr MakeDataSegment(size_t payload_len = 100) {
+  TcpHeader h;
+  h.src_port = 7;
+  h.dst_port = 1169;
+  h.seq = 1000;
+  h.ack = 500;
+  h.flags = kTcpAck | kTcpPsh;
+  h.window = 8192;
+  return Packet::MakeTcp(kSrc, kDst, h, util::Bytes(payload_len, 0x5a));
+}
+
+TEST(PacketTest, TcpSizeIncludesAllHeaders) {
+  auto p = MakeDataSegment(100);
+  EXPECT_EQ(p->SizeBytes(), kIpv4HeaderSize + kTcpHeaderSize + 100);
+  EXPECT_EQ(p->Serialize().size(), p->SizeBytes());
+}
+
+TEST(PacketTest, UdpSizeIncludesAllHeaders) {
+  auto p = Packet::MakeUdp(kSrc, kDst, 53, 1234, util::Bytes(64, 0));
+  EXPECT_EQ(p->SizeBytes(), kIpv4HeaderSize + kUdpHeaderSize + 64);
+  EXPECT_TRUE(p->has_udp());
+  EXPECT_FALSE(p->has_tcp());
+}
+
+TEST(PacketTest, FreshPacketsVerify) {
+  EXPECT_TRUE(MakeDataSegment()->VerifyChecksums());
+  EXPECT_TRUE(Packet::MakeUdp(kSrc, kDst, 1, 2, {1, 2, 3})->VerifyChecksums());
+}
+
+TEST(PacketTest, PayloadMutationInvalidatesTcpChecksum) {
+  auto p = MakeDataSegment();
+  p->payload()[0] ^= 0xff;
+  EXPECT_FALSE(p->VerifyChecksums());
+  p->UpdateChecksums();
+  EXPECT_TRUE(p->VerifyChecksums());
+}
+
+TEST(PacketTest, HeaderMutationInvalidatesChecksums) {
+  auto p = MakeDataSegment();
+  p->tcp().window = 0;  // The wsize filter does exactly this (§8.2.2).
+  EXPECT_FALSE(p->VerifyChecksums());
+  p->UpdateChecksums();
+  EXPECT_TRUE(p->VerifyChecksums());
+}
+
+TEST(PacketTest, TtlMutationInvalidatesIpChecksumOnly) {
+  auto p = MakeDataSegment();
+  --p->ip().ttl;
+  EXPECT_FALSE(p->VerifyChecksums());
+  p->UpdateChecksums();
+  EXPECT_TRUE(p->VerifyChecksums());
+}
+
+TEST(PacketTest, SerializeHasCorrectIpFields) {
+  auto p = MakeDataSegment(10);
+  util::Bytes wire = p->Serialize();
+  EXPECT_EQ(wire[0], 0x45);  // Version 4, IHL 5.
+  EXPECT_EQ(wire[9], 6);     // Protocol TCP.
+  // Total length big-endian at offset 2.
+  EXPECT_EQ(static_cast<size_t>(wire[2]) << 8 | wire[3], p->SizeBytes());
+  // Source address at offset 12.
+  EXPECT_EQ(wire[12], 10);
+  EXPECT_EQ(wire[15], 99);
+}
+
+TEST(PacketTest, SerializedTcpHeaderLayout) {
+  auto p = MakeDataSegment(0);
+  util::Bytes wire = p->Serialize();
+  const size_t t = kIpv4HeaderSize;
+  EXPECT_EQ(static_cast<uint16_t>(wire[t] << 8 | wire[t + 1]), 7);        // src port
+  EXPECT_EQ(static_cast<uint16_t>(wire[t + 2] << 8 | wire[t + 3]), 1169);  // dst port
+  const uint32_t seq = static_cast<uint32_t>(wire[t + 4]) << 24 |
+                       static_cast<uint32_t>(wire[t + 5]) << 16 |
+                       static_cast<uint32_t>(wire[t + 6]) << 8 | wire[t + 7];
+  EXPECT_EQ(seq, 1000u);
+  EXPECT_EQ(wire[t + 13], kTcpAck | kTcpPsh);
+}
+
+TEST(PacketTest, CloneIsDeepAndPreservesUid) {
+  auto p = MakeDataSegment();
+  auto c = p->Clone();
+  EXPECT_EQ(c->uid(), p->uid());
+  c->payload()[0] = 0;
+  EXPECT_NE(c->payload()[0], p->payload()[0]);
+  EXPECT_EQ(c->tcp().seq, p->tcp().seq);
+}
+
+TEST(PacketTest, DistinctPacketsGetDistinctUids) {
+  auto a = MakeDataSegment();
+  auto b = MakeDataSegment();
+  EXPECT_NE(a->uid(), b->uid());
+}
+
+TEST(PacketTest, EncapsulationWrapsAndUnwraps) {
+  auto inner = MakeDataSegment(50);
+  const uint64_t inner_uid = inner->uid();
+  const size_t inner_size = inner->SizeBytes();
+  auto outer = Packet::Encapsulate(std::move(inner), Ipv4Address(1, 1, 1, 1),
+                                   Ipv4Address(2, 2, 2, 2));
+  EXPECT_TRUE(outer->has_inner());
+  EXPECT_EQ(outer->ip().protocol, static_cast<uint8_t>(IpProtocol::kIpInIp));
+  EXPECT_EQ(outer->SizeBytes(), kIpv4HeaderSize + inner_size);
+  EXPECT_TRUE(outer->VerifyChecksums());
+
+  auto unwrapped = outer->Decapsulate();
+  ASSERT_TRUE(unwrapped != nullptr);
+  EXPECT_EQ(unwrapped->uid(), inner_uid);
+  EXPECT_FALSE(outer->has_inner());
+  EXPECT_TRUE(unwrapped->VerifyChecksums());
+}
+
+TEST(PacketTest, SegmentLengthCountsSynAndFin) {
+  auto p = MakeDataSegment(10);
+  EXPECT_EQ(TcpSegmentLength(*p), 10u);
+  p->tcp().flags |= kTcpSyn;
+  EXPECT_EQ(TcpSegmentLength(*p), 11u);
+  p->tcp().flags |= kTcpFin;
+  EXPECT_EQ(TcpSegmentLength(*p), 12u);
+}
+
+TEST(PacketTest, DescribeMentionsEndpoints) {
+  auto p = MakeDataSegment();
+  std::string d = p->Describe();
+  EXPECT_NE(d.find("10.0.0.99:7"), std::string::npos);
+  EXPECT_NE(d.find("11.11.10.10:1169"), std::string::npos);
+  EXPECT_NE(d.find("ACK"), std::string::npos);
+}
+
+TEST(PacketTest, FlagsToString) {
+  EXPECT_EQ(TcpFlagsToString(kTcpSyn | kTcpAck), "[SYN,ACK]");
+  EXPECT_EQ(TcpFlagsToString(0), "[]");
+  EXPECT_EQ(TcpFlagsToString(kTcpRst), "[RST]");
+}
+
+TEST(PacketTest, ChecksumsDifferAcrossContent) {
+  auto a = MakeDataSegment(100);
+  auto b = MakeDataSegment(100);
+  b->payload()[50] = 0x00;
+  b->UpdateChecksums();
+  EXPECT_NE(a->tcp().checksum, b->tcp().checksum);
+}
+
+}  // namespace
+}  // namespace comma::net

@@ -1,0 +1,100 @@
+#include "src/net/trace_tap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/core/scenario.h"
+
+namespace comma::net {
+namespace {
+
+class TraceTapTest : public ::testing::Test {
+ protected:
+  TraceTapTest() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+  }
+  core::WirelessScenario& s() { return *scenario_; }
+  std::unique_ptr<core::WirelessScenario> scenario_;
+};
+
+TEST_F(TraceTapTest, CapturesTransitTraffic) {
+  TraceTap tap(&s().gateway());
+  apps::BulkSink sink(&s().mobile_host(), 80);
+  apps::BulkSender sender(&s().wired_host(), s().mobile_addr(), 80, apps::PatternPayload(10'000));
+  s().sim().RunFor(30 * sim::kSecond);
+  ASSERT_EQ(sink.bytes_received(), 10'000u);
+  EXPECT_GT(tap.Count(), 20u);  // Data + acks + handshake + teardown.
+  // The capture contains the SYN.
+  EXPECT_EQ(tap.CountIf([](const CaptureRecord& r) {
+              return (r.tcp_flags & kTcpSyn) != 0 && !(r.tcp_flags & kTcpAck);
+            }),
+            1u);
+  // Data segments carry payload toward the mobile.
+  EXPECT_GE(tap.CountIf([this](const CaptureRecord& r) {
+              return r.dst == s().mobile_addr() && r.payload_bytes > 0;
+            }),
+            10u);
+}
+
+TEST_F(TraceTapTest, FilterRestrictsCapture) {
+  TraceTap tap(&s().gateway(), TcpPort(80));
+  apps::BulkSink sink80(&s().mobile_host(), 80);
+  apps::BulkSink sink81(&s().mobile_host(), 81);
+  apps::BulkSender a(&s().wired_host(), s().mobile_addr(), 80, apps::PatternPayload(3'000));
+  apps::BulkSender b(&s().wired_host(), s().mobile_addr(), 81, apps::PatternPayload(3'000));
+  s().sim().RunFor(30 * sim::kSecond);
+  EXPECT_GT(tap.Count(), 0u);
+  EXPECT_EQ(tap.CountIf([](const CaptureRecord& r) {
+              return r.src_port != 80 && r.dst_port != 80;
+            }),
+            0u);
+}
+
+TEST_F(TraceTapTest, BetweenHostsFilterMatchesBothDirections) {
+  TraceTap tap(&s().gateway(), BetweenHosts(s().wired_addr(), s().mobile_addr()));
+  apps::BulkSink sink(&s().mobile_host(), 80);
+  apps::BulkSender sender(&s().wired_host(), s().mobile_addr(), 80, apps::PatternPayload(3'000));
+  s().sim().RunFor(30 * sim::kSecond);
+  const size_t forward = tap.CountIf(
+      [this](const CaptureRecord& r) { return r.dst == s().mobile_addr(); });
+  const size_t reverse = tap.CountIf(
+      [this](const CaptureRecord& r) { return r.src == s().mobile_addr(); });
+  EXPECT_GT(forward, 0u);
+  EXPECT_GT(reverse, 0u);
+}
+
+TEST_F(TraceTapTest, DumpRendersOneLinePerPacket) {
+  TraceTap tap(&s().mobile_host());
+  auto tx = s().wired_host().udp().Bind(0);
+  tx->SendTo(s().mobile_addr(), 9999, util::Bytes{1, 2, 3});
+  s().sim().RunFor(sim::kSecond);
+  ASSERT_EQ(tap.Count(), 1u);
+  std::string dump = tap.Dump();
+  EXPECT_NE(dump.find("udp"), std::string::npos);
+  EXPECT_NE(dump.find("11.11.10.10"), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 1);
+}
+
+TEST_F(TraceTapTest, OutboundPacketsAreMarked) {
+  TraceTap tap(&s().mobile_host());
+  auto tx = s().mobile_host().udp().Bind(0);
+  tx->SendTo(s().wired_addr(), 9999, util::Bytes{1});
+  s().sim().RunFor(sim::kSecond);
+  ASSERT_EQ(tap.Count(), 1u);
+  EXPECT_TRUE(tap.records()[0].outbound);
+}
+
+TEST_F(TraceTapTest, ClearResetsCapture) {
+  TraceTap tap(&s().mobile_host());
+  auto tx = s().wired_host().udp().Bind(0);
+  tx->SendTo(s().mobile_addr(), 9999, util::Bytes{1});
+  s().sim().RunFor(sim::kSecond);
+  EXPECT_EQ(tap.Count(), 1u);
+  tap.Clear();
+  EXPECT_EQ(tap.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace comma::net

@@ -1,0 +1,118 @@
+// The layered service abstraction (§10.2.1): named recipes that hide filter
+// composition from the user.
+#include "src/proxy/service_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/proxy/command.h"
+
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::proxy {
+namespace {
+
+class CatalogTest : public ProxyFixture {
+ protected:
+  CatalogTest() : catalog_(filters::StandardCatalog()) { sp().set_catalog(&catalog_); }
+  ServiceCatalog catalog_;
+};
+
+TEST_F(CatalogTest, StandardCatalogHasDocumentedEntries) {
+  for (const char* name :
+       {"reliable-wireless", "realtime-thin", "compressed", "decompress", "background",
+        "disconnect-tolerant", "media-thin", "media-adaptive", "monitored"}) {
+    EXPECT_TRUE(catalog_.Find(name) != nullptr) << name;
+    EXPECT_FALSE(catalog_.Describe(name).empty()) << name;
+  }
+  EXPECT_EQ(catalog_.Find("nonexistent"), nullptr);
+}
+
+TEST_F(CatalogTest, ApplyOnConcreteKeyInstallsAllSteps) {
+  std::string error;
+  StreamKey key = DataKey(7, 1169);
+  ASSERT_TRUE(catalog_.Apply(sp(), "realtime-thin", key, &error)) << error;
+  EXPECT_TRUE(sp().FindFilterOnKey(key, "tcp") != nullptr);
+  EXPECT_TRUE(sp().FindFilterOnKey(key, "ttsf") != nullptr);
+  EXPECT_TRUE(sp().FindFilterOnKey(key, "tdrop") != nullptr);
+  EXPECT_EQ(sp().services().size(), 3u);
+}
+
+TEST_F(CatalogTest, RemoveUninstallsAllSteps) {
+  std::string error;
+  StreamKey key = DataKey(7, 1169);
+  ASSERT_TRUE(catalog_.Apply(sp(), "realtime-thin", key, &error)) << error;
+  EXPECT_TRUE(catalog_.Remove(sp(), "realtime-thin", key));
+  EXPECT_EQ(sp().FindFilterOnKey(key, "tdrop"), nullptr);
+  EXPECT_EQ(sp().FindFilterOnKey(key, "ttsf"), nullptr);
+  EXPECT_TRUE(sp().services().empty());
+}
+
+TEST_F(CatalogTest, ApplyOnWildcardUsesLauncher) {
+  std::string error;
+  StreamKey wild{net::Ipv4Address(), 0, scenario().mobile_addr(), 80};
+  ASSERT_TRUE(catalog_.Apply(sp(), "reliable-wireless", wild, &error)) << error;
+  EXPECT_TRUE(sp().FindFilterOnKey(wild, "launcher") != nullptr);
+  // A matching stream gets the recipe's filters instantiated.
+  auto t = StartTransfer(80, Pattern(200'000));
+  sim().RunFor(sim::kSecond);
+  StreamKey concrete{scenario().wired_addr(), t->client->local_port(), scenario().mobile_addr(),
+                     80};
+  EXPECT_TRUE(sp().FindFilterOnKey(concrete, "snoop") != nullptr);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 200'000u);
+}
+
+TEST_F(CatalogTest, ApplyUnknownServiceFails) {
+  std::string error;
+  EXPECT_FALSE(catalog_.Apply(sp(), "warp-drive", DataKey(1, 2), &error));
+  EXPECT_NE(error.find("unknown service"), std::string::npos);
+}
+
+TEST_F(CatalogTest, FailedStepRollsBack) {
+  // Craft a catalog entry whose second step fails (tdrop without ttsf).
+  ServiceCatalog broken;
+  broken.Register("bad", {"intentionally broken", {{"tcp", {}}, {"tdrop", {"50"}}}});
+  std::string error;
+  StreamKey key = DataKey(3, 4);
+  EXPECT_FALSE(broken.Apply(sp(), "bad", key, &error));
+  EXPECT_NE(error.find("ttsf"), std::string::npos);
+  // The tcp step was rolled back.
+  EXPECT_EQ(sp().FindFilterOnKey(key, "tcp"), nullptr);
+  EXPECT_TRUE(sp().services().empty());
+}
+
+TEST_F(CatalogTest, ServiceCommandDrivesCatalog) {
+  CommandProcessor processor(&sp());
+  std::string list = processor.Execute("service list");
+  EXPECT_NE(list.find("reliable-wireless"), std::string::npos);
+  EXPECT_NE(list.find("snoop"), std::string::npos);
+
+  EXPECT_EQ(processor.Execute("service add monitored 0.0.0.0 0 11.11.10.10 80"), "");
+  // Wild-card recipes install a launcher carrying the recipe.
+  EXPECT_TRUE(sp().FindFilterOnKey(StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 80},
+                                   "launcher") != nullptr);
+  EXPECT_EQ(processor.Execute("service delete monitored 0.0.0.0 0 11.11.10.10 80"), "");
+  EXPECT_NE(processor.Execute("service add warp-drive 0.0.0.0 0 1.2.3.4 5").find("error"),
+            std::string::npos);
+  EXPECT_NE(processor.Execute("service").find("usage"), std::string::npos);
+}
+
+TEST_F(CatalogTest, ServiceCommandWithoutCatalogErrors) {
+  ServiceProxy bare(&scenario().wired_host(), filters::StandardRegistry());
+  CommandProcessor processor(&bare);
+  EXPECT_NE(processor.Execute("service list").find("no service catalog"), std::string::npos);
+}
+
+TEST_F(CatalogTest, EndToEndRecipeThinning) {
+  // The whole point: one command thins a stream transparently.
+  CommandProcessor processor(&sp());
+  EXPECT_EQ(processor.Execute("service add realtime-thin 0.0.0.0 0 11.11.10.10 90"), "");
+  auto t = StartTransfer(90, Pattern(60'000));
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_LT(t->received.size(), 60'000u);
+  EXPECT_GT(t->received.size(), 10'000u);
+}
+
+}  // namespace
+}  // namespace comma::proxy

@@ -1,0 +1,160 @@
+// Robustness of the SP command server's wire protocol (§5.3): framing,
+// pipelining, concurrent clients, and abrupt disconnects.
+#include "src/proxy/command_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/strings.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::proxy {
+namespace {
+
+class CommandServerTest : public ProxyFixture {
+ protected:
+  CommandServerTest() {
+    server_ = std::make_unique<CommandServer>(&scenario().gateway().tcp(), &sp());
+  }
+
+  // A raw TCP client (not the SpClient) so tests control framing precisely.
+  struct RawClient {
+    tcp::TcpConnection* conn = nullptr;
+    std::string received;
+    bool connected = false;
+  };
+
+  std::shared_ptr<RawClient> Connect() {
+    auto client = std::make_shared<RawClient>();
+    client->conn = scenario().mobile_host().tcp().Connect(
+        scenario().gateway_wireless_addr(), kCommandPort);
+    client->conn->set_on_connected([client] { client->connected = true; });
+    client->conn->set_on_data([client](const util::Bytes& data) {
+      client->received.append(reinterpret_cast<const char*>(data.data()), data.size());
+    });
+    sim().RunFor(sim::kSecond);
+    EXPECT_TRUE(client->connected);
+    return client;
+  }
+
+  void SendRaw(const std::shared_ptr<RawClient>& client, const std::string& text) {
+    client->conn->Send(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    sim().RunFor(sim::kSecond);
+  }
+
+  static int CountMarkers(const std::string& text) {
+    int count = 0;
+    size_t pos = 0;
+    while ((pos = text.find(".\n", pos)) != std::string::npos) {
+      // Only count markers at line start.
+      if (pos == 0 || text[pos - 1] == '\n') {
+        ++count;
+      }
+      pos += 2;
+    }
+    return count;
+  }
+
+  std::unique_ptr<CommandServer> server_;
+};
+
+TEST_F(CommandServerTest, SingleCommandGetsMarkedResponse) {
+  auto client = Connect();
+  SendRaw(client, "load rdrop\n");
+  EXPECT_EQ(client->received, "rdrop\n.\n");
+}
+
+TEST_F(CommandServerTest, PipelinedCommandsAnswerInOrder) {
+  auto client = Connect();
+  SendRaw(client, "load tcp\nload rdrop\nload wsize\n");
+  EXPECT_EQ(client->received, "tcp\n.\nrdrop\n.\nwsize\n.\n");
+  EXPECT_EQ(server_->commands_executed(), 3u);
+}
+
+TEST_F(CommandServerTest, CommandSplitAcrossSegmentsReassembles) {
+  auto client = Connect();
+  SendRaw(client, "load rd");
+  EXPECT_TRUE(client->received.empty());  // Incomplete line: no response yet.
+  SendRaw(client, "rop\n");
+  EXPECT_EQ(client->received, "rdrop\n.\n");
+}
+
+TEST_F(CommandServerTest, CrlfLineEndingsAccepted) {
+  auto client = Connect();
+  SendRaw(client, "load rdrop\r\n");
+  EXPECT_EQ(client->received, "rdrop\n.\n");
+}
+
+TEST_F(CommandServerTest, EmptyLinesAreSilentButMarked) {
+  auto client = Connect();
+  SendRaw(client, "\n\n");
+  EXPECT_EQ(client->received, ".\n.\n");
+}
+
+TEST_F(CommandServerTest, MalformedCommandsReportErrorsNotCrashes) {
+  auto client = Connect();
+  for (const char* bad :
+       {"add\n", "add rdrop notanip 0 0.0.0.0 0\n", "blargh blah\n", "load\n",
+        "delete rdrop 1 2 3\n", "service bogus\n"}) {
+    client->received.clear();
+    SendRaw(client, bad);
+    EXPECT_EQ(CountMarkers(client->received), 1) << bad;
+  }
+}
+
+TEST_F(CommandServerTest, TwoConcurrentClientsAreIndependent) {
+  auto a = Connect();
+  auto b = Connect();
+  SendRaw(a, "load rdrop\n");
+  SendRaw(b, "report\n");
+  EXPECT_EQ(a->received, "rdrop\n.\n");
+  // B sees the report (rdrop now loaded) but none of A's responses.
+  EXPECT_NE(b->received.find("rdrop"), std::string::npos);
+  EXPECT_EQ(CountMarkers(b->received), 1);
+}
+
+TEST_F(CommandServerTest, ClientDisconnectCleansSession) {
+  auto client = Connect();
+  SendRaw(client, "load rdrop\n");
+  client->conn->Close();
+  sim().RunFor(5 * sim::kSecond);
+  // A new client works fine afterwards.
+  auto again = Connect();
+  SendRaw(again, "report rdrop\n");
+  EXPECT_NE(again->received.find("rdrop"), std::string::npos);
+}
+
+TEST_F(CommandServerTest, LargeReportSpansManySegments) {
+  auto client = Connect();
+  // Create enough services that the report exceeds several MSS.
+  std::string commands = "load meter\n";
+  for (int i = 0; i < 200; ++i) {
+    commands += util::Format("add meter 10.0.0.99 %d 11.11.10.10 %d\n", 100 + i, 200 + i);
+  }
+  SendRaw(client, commands);
+  client->received.clear();
+  SendRaw(client, "report meter\n");
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(CountMarkers(client->received), 1);
+  // All 200 keys listed.
+  size_t keys = 0;
+  size_t pos = 0;
+  while ((pos = client->received.find("\t10.0.0.99", pos)) != std::string::npos) {
+    ++keys;
+    ++pos;
+  }
+  EXPECT_EQ(keys, 200u);
+}
+
+TEST_F(CommandServerTest, CommandsWorkWhileDataPlaneIsBusy) {
+  // Control and data share the wireless hop (thesis: control rides the
+  // network); commands must still complete under load.
+  auto t = StartTransfer(80, Pattern(2'000'000));
+  auto client = Connect();
+  SendRaw(client, "streams\n");
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(CountMarkers(client->received), 1);
+  EXPECT_NE(client->received.find("11.11.10.10 80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comma::proxy

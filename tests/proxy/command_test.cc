@@ -1,0 +1,135 @@
+#include "src/proxy/command.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::proxy {
+namespace {
+
+// The command interface drives a proxy whose registry starts *empty* of
+// loaded filters, as the thesis's SP does before `load` commands.
+class CommandTest : public ::testing::Test {
+ protected:
+  CommandTest() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+    FilterRegistry registry;
+    filters::RegisterStandardFilters(&registry);
+    sp_ = std::make_unique<ServiceProxy>(&scenario_->gateway(), std::move(registry));
+    processor_ = std::make_unique<CommandProcessor>(sp_.get());
+  }
+
+  std::string Exec(const std::string& line) { return processor_->Execute(line); }
+
+  std::unique_ptr<core::WirelessScenario> scenario_;
+  std::unique_ptr<ServiceProxy> sp_;
+  std::unique_ptr<CommandProcessor> processor_;
+};
+
+TEST_F(CommandTest, LoadPrintsFilterName) {
+  EXPECT_EQ(Exec("load librdrop.so"), "rdrop\n");
+  EXPECT_EQ(Exec("load tcp"), "tcp\n");
+}
+
+TEST_F(CommandTest, LoadUnknownIsFailSilent) {
+  EXPECT_EQ(Exec("load libbogus.so"), "");
+}
+
+TEST_F(CommandTest, RemoveIsFailSilent) {
+  Exec("load rdrop");
+  EXPECT_EQ(Exec("remove rdrop"), "");
+  EXPECT_EQ(Exec("remove rdrop"), "");  // Second remove: silent too.
+}
+
+TEST_F(CommandTest, AddRequiresLoadedFilter) {
+  std::string out = Exec("add rdrop 11.11.10.99 7 11.11.10.10 1169 50");
+  EXPECT_NE(out.find("error"), std::string::npos);
+  Exec("load rdrop");
+  EXPECT_EQ(Exec("add rdrop 11.11.10.99 7 11.11.10.10 1169 50"), "");
+}
+
+TEST_F(CommandTest, AddRejectsMalformedKey) {
+  Exec("load rdrop");
+  EXPECT_NE(Exec("add rdrop not an ip key").find("error"), std::string::npos);
+  EXPECT_NE(Exec("add rdrop 1.2.3.4 7").find("error"), std::string::npos);
+}
+
+TEST_F(CommandTest, ReportShowsFiltersAndKeys) {
+  Exec("load tcp");
+  Exec("load rdrop");
+  Exec("add rdrop 11.11.10.99 7 11.11.10.10 1169 50");
+  std::string report = Exec("report");
+  // Fig. 5.3 layout: filter name flush-left, keys tab-indented.
+  EXPECT_NE(report.find("tcp\n"), std::string::npos);
+  EXPECT_NE(report.find("rdrop\n\t11.11.10.99 7 -> 11.11.10.10 1169\n"), std::string::npos);
+}
+
+TEST_F(CommandTest, ReportFiltersByName) {
+  Exec("load tcp");
+  Exec("load rdrop");
+  std::string report = Exec("report rdrop");
+  EXPECT_NE(report.find("rdrop"), std::string::npos);
+  EXPECT_EQ(report.find("tcp\n"), std::string::npos);
+}
+
+TEST_F(CommandTest, DeleteRemovesService) {
+  Exec("load rdrop");
+  Exec("add rdrop 11.11.10.99 7 11.11.10.10 1169 50");
+  EXPECT_EQ(Exec("delete rdrop 11.11.10.99 7 11.11.10.10 1169"), "");
+  std::string report = Exec("report rdrop");
+  EXPECT_EQ(report, "rdrop\n");  // Name listed, no keys.
+}
+
+TEST_F(CommandTest, UnknownCommandReportsError) {
+  EXPECT_NE(Exec("frobnicate").find("error"), std::string::npos);
+}
+
+TEST_F(CommandTest, EmptyLineIsSilent) {
+  EXPECT_EQ(Exec(""), "");
+  EXPECT_EQ(Exec("   "), "");
+}
+
+TEST_F(CommandTest, HelpListsCommands) {
+  std::string help = Exec("help");
+  for (const char* cmd : {"load", "remove", "add", "delete", "report"}) {
+    EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(CommandTest, FilterArgsArePassedThrough) {
+  Exec("load wsize");
+  // Bad mode is rejected by the filter's insertion method.
+  EXPECT_NE(Exec("add wsize 1.2.3.4 1 5.6.7.8 2 bogusmode").find("error"), std::string::npos);
+  EXPECT_EQ(Exec("add wsize 1.2.3.4 1 5.6.7.8 2 clamp 4096"), "");
+}
+
+// Reproduces the structure of the thesis's Fig. 5.3 session: load four
+// filters, add a launcher wild-card and services, inspect, mutate, inspect.
+TEST_F(CommandTest, Figure53SessionShape) {
+  EXPECT_EQ(Exec("load tcp"), "tcp\n");
+  EXPECT_EQ(Exec("load launcher"), "launcher\n");
+  EXPECT_EQ(Exec("load wsize"), "wsize\n");
+  EXPECT_EQ(Exec("load rdrop"), "rdrop\n");
+  EXPECT_EQ(Exec("add launcher 11.11.10.10 0 0.0.0.0 0 tcp wsize"), "");
+  EXPECT_EQ(Exec("add tcp 11.11.10.99 7 11.11.10.10 1169"), "");
+  EXPECT_EQ(Exec("add wsize 11.11.10.99 7 11.11.10.10 1169"), "");
+
+  std::string report = Exec("report");
+  EXPECT_NE(report.find("tcp\n\t11.11.10.99 7 -> 11.11.10.10 1169"), std::string::npos);
+  EXPECT_NE(report.find("launcher\n\t11.11.10.10 0 -> 0.0.0.0 0"), std::string::npos);
+  EXPECT_NE(report.find("wsize\n"), std::string::npos);
+
+  // Replace wsize with rdrop at 50%, as the session does.
+  EXPECT_EQ(Exec("add rdrop 11.11.10.99 7 11.11.10.10 1169 50"), "");
+  EXPECT_EQ(Exec("delete wsize 11.11.10.99 7 11.11.10.10 1169"), "");
+  report = Exec("report");
+  EXPECT_NE(report.find("rdrop\n\t11.11.10.99 7 -> 11.11.10.10 1169"), std::string::npos);
+  // wsize still loaded but without streams (line 34 of the transcript).
+  EXPECT_NE(report.find("wsize\n"), std::string::npos);
+  EXPECT_EQ(report.find("wsize\n\t11.11.10.99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comma::proxy

@@ -1,0 +1,112 @@
+// Shared fixture: the canonical wireless scenario with a Service Proxy
+// attached to the gateway and the standard filter set loaded.
+#ifndef COMMA_TESTS_PROXY_PROXY_FIXTURE_H_
+#define COMMA_TESTS_PROXY_PROXY_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+#include "src/filters/standard_set.h"
+#include "src/proxy/service_proxy.h"
+
+namespace comma::proxy {
+
+class ProxyFixture : public ::testing::Test {
+ protected:
+  explicit ProxyFixture(core::ScenarioConfig config = CleanConfig()) : scenario_(config) {
+    sp_ = std::make_unique<ServiceProxy>(&scenario_.gateway(), filters::StandardRegistry());
+  }
+
+  static core::ScenarioConfig CleanConfig() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    return cfg;
+  }
+
+  sim::Simulator& sim() { return scenario_.sim(); }
+  core::WirelessScenario& scenario() { return scenario_; }
+  ServiceProxy& sp() { return *sp_; }
+
+  // The data key for a wired->mobile connection with the given ports.
+  StreamKey DataKey(uint16_t src_port, uint16_t dst_port) const {
+    return StreamKey{scenario_.wired_addr(), src_port, scenario_.mobile_addr(), dst_port};
+  }
+
+  // Adds a service, failing the test on error.
+  void MustAdd(const std::string& filter, const StreamKey& key,
+               const std::vector<std::string>& args = {}) {
+    std::string error;
+    ASSERT_TRUE(sp_->AddService(filter, key, args, &error)) << filter << ": " << error;
+  }
+
+  // Runs a wired->mobile bulk transfer of `payload` on `port` and returns
+  // what the mobile received. Caller runs the simulator.
+  struct Transfer {
+    util::Bytes received;
+    tcp::TcpConnection* client = nullptr;
+    tcp::TcpConnection* server = nullptr;
+    bool client_closed = false;
+    bool server_closed = false;
+  };
+
+  std::shared_ptr<Transfer> StartTransfer(uint16_t port, util::Bytes payload,
+                                          const tcp::TcpConfig& config = {}) {
+    auto t = std::make_shared<Transfer>();
+    scenario_.mobile_host().tcp().Listen(
+        port,
+        [t](tcp::TcpConnection* conn) {
+          t->server = conn;
+          conn->set_on_data([t](const util::Bytes& data) {
+            t->received.insert(t->received.end(), data.begin(), data.end());
+          });
+          conn->set_on_remote_close([t, conn] { conn->Close(); });
+          conn->set_on_closed([t] { t->server_closed = true; });
+        },
+        config);
+    tcp::TcpConnection* client =
+        scenario_.wired_host().tcp().Connect(scenario_.mobile_addr(), port, config);
+    t->client = client;
+    client->set_on_closed([t] { t->client_closed = true; });
+    auto remaining = std::make_shared<util::Bytes>(std::move(payload));
+    auto pump = [client, remaining] {
+      while (!remaining->empty()) {
+        size_t n = client->Send(remaining->data(), remaining->size());
+        if (n == 0) {
+          return;
+        }
+        remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+      }
+      client->Close();
+    };
+    client->set_on_connected(pump);
+    client->set_on_writable(pump);
+    return t;
+  }
+
+  static util::Bytes Pattern(size_t n) {
+    util::Bytes out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(i * 131 + (i >> 7));
+    }
+    return out;
+  }
+
+  // Compressible payload: repeated text.
+  static util::Bytes TextPayload(size_t n) {
+    static const char kPhrase[] =
+        "In a wireless medium, lost packets should be retransmitted as soon as possible. ";
+    util::Bytes out;
+    while (out.size() < n) {
+      out.insert(out.end(), kPhrase, kPhrase + sizeof(kPhrase) - 1);
+    }
+    out.resize(n);
+    return out;
+  }
+
+  core::WirelessScenario scenario_;
+  std::unique_ptr<ServiceProxy> sp_;
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_TESTS_PROXY_PROXY_FIXTURE_H_

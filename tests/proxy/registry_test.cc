@@ -1,0 +1,86 @@
+#include "src/proxy/filter_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/filters/standard_set.h"
+
+namespace comma::proxy {
+namespace {
+
+TEST(RegistryTest, StandardSetKnowsAllFilters) {
+  FilterRegistry registry;
+  filters::RegisterStandardFilters(&registry);
+  auto names = registry.known();
+  for (const char* expected : {"tcp", "launcher", "rdrop", "wsize", "snoop", "ttsf", "tdrop",
+                               "tcompress", "tdecompress", "hdiscard", "dtrans", "delay",
+                               "meter"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  }
+}
+
+TEST(RegistryTest, CreateRequiresLoad) {
+  FilterRegistry registry;
+  filters::RegisterStandardFilters(&registry);
+  EXPECT_EQ(registry.Create("rdrop"), nullptr);  // Not loaded yet.
+  auto name = registry.Load("rdrop");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "rdrop");
+  auto filter = registry.Create("rdrop");
+  ASSERT_TRUE(filter != nullptr);
+  EXPECT_EQ(filter->name(), "rdrop");
+}
+
+TEST(RegistryTest, LoadAcceptsLibraryFileNames) {
+  FilterRegistry registry;
+  filters::RegisterStandardFilters(&registry);
+  EXPECT_EQ(registry.Load("librdrop.so").value_or(""), "rdrop");
+  EXPECT_EQ(registry.Load("/usr/lib/comma/libwsize.so").value_or(""), "wsize");
+  EXPECT_EQ(registry.Load("tcp.so").value_or(""), "tcp");
+}
+
+TEST(RegistryTest, LoadUnknownFails) {
+  FilterRegistry registry;
+  filters::RegisterStandardFilters(&registry);
+  EXPECT_FALSE(registry.Load("nonexistent").has_value());
+}
+
+TEST(RegistryTest, UnloadMakesUnavailable) {
+  FilterRegistry registry;
+  filters::RegisterStandardFilters(&registry);
+  registry.Load("rdrop");
+  EXPECT_TRUE(registry.IsLoaded("rdrop"));
+  EXPECT_TRUE(registry.Unload("rdrop"));
+  EXPECT_FALSE(registry.IsLoaded("rdrop"));
+  EXPECT_EQ(registry.Create("rdrop"), nullptr);
+  EXPECT_FALSE(registry.Unload("rdrop"));  // Already unloaded.
+}
+
+TEST(RegistryTest, LoadedListPreservesOrder) {
+  FilterRegistry registry;
+  filters::RegisterStandardFilters(&registry);
+  registry.Load("tcp");
+  registry.Load("launcher");
+  registry.Load("wsize");
+  registry.Load("rdrop");
+  EXPECT_EQ(registry.loaded(),
+            (std::vector<std::string>{"tcp", "launcher", "wsize", "rdrop"}));
+  // Re-loading does not duplicate.
+  registry.Load("tcp");
+  EXPECT_EQ(registry.loaded().size(), 4u);
+}
+
+TEST(RegistryTest, DistinctInstancesPerCreate) {
+  FilterRegistry registry = filters::StandardRegistry();
+  auto a = registry.Create("rdrop");
+  auto b = registry.Create("rdrop");
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(RegistryTest, DescriptionsExist) {
+  FilterRegistry registry = filters::StandardRegistry();
+  EXPECT_FALSE(registry.Description("ttsf").empty());
+  EXPECT_TRUE(registry.Description("nonexistent").empty());
+}
+
+}  // namespace
+}  // namespace comma::proxy

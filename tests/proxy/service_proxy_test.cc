@@ -1,0 +1,178 @@
+#include "src/proxy/service_proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/filters/media_filters.h"
+#include "src/filters/rdrop_filter.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::proxy {
+namespace {
+
+class ServiceProxyTest : public ProxyFixture {};
+
+TEST_F(ServiceProxyTest, AddServiceRequiresLoadedFilter) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService("nonexistent", DataKey(1, 2), {}, &error));
+  EXPECT_NE(error.find("unknown or unloaded"), std::string::npos);
+}
+
+TEST_F(ServiceProxyTest, AddServiceValidatesFilterArgs) {
+  std::string error;
+  EXPECT_FALSE(sp().AddService("rdrop", DataKey(1, 2), {"150"}, &error));
+  EXPECT_NE(error.find("percentage"), std::string::npos);
+  // Failed insertion leaves no attachment behind.
+  for (const auto& entry : sp().Report("rdrop")) {
+    EXPECT_TRUE(entry.keys.empty());
+  }
+}
+
+TEST_F(ServiceProxyTest, StreamRegistryTracksNewStreams) {
+  auto t = StartTransfer(80, Pattern(5000));
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 5000u);
+  // Both directions of the transfer appear in the registry.
+  bool forward_seen = false;
+  bool reverse_seen = false;
+  for (const auto& [key, info] : sp().streams()) {
+    if (key.dst == scenario().mobile_addr() && key.dst_port == 80) {
+      forward_seen = true;
+      EXPECT_GT(info.packets, 0u);
+      EXPECT_GT(info.bytes, 5000u);
+    }
+    if (key.src == scenario().mobile_addr() && key.src_port == 80) {
+      reverse_seen = true;
+    }
+  }
+  EXPECT_TRUE(forward_seen);
+  EXPECT_TRUE(reverse_seen);
+}
+
+TEST_F(ServiceProxyTest, RdropServiceDropsPackets) {
+  // Drop 100% of packets toward the mobile: the connection cannot form.
+  MustAdd("rdrop", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 81}, {"100"});
+  auto t = StartTransfer(81, Pattern(1000));
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_TRUE(t->received.empty());
+  EXPECT_GT(sp().stats().packets_dropped, 0u);
+}
+
+TEST_F(ServiceProxyTest, DeleteServiceRestoresFlow) {
+  MustAdd("rdrop", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 82}, {"100"});
+  auto t = StartTransfer(82, Pattern(1000));
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_TRUE(t->received.empty());
+  sp().DeleteService("rdrop", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 82});
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 1000u);
+}
+
+TEST_F(ServiceProxyTest, WildcardServiceAppliesToMatchingStreamsOnly) {
+  MustAdd("rdrop", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 83}, {"100"});
+  auto blocked = StartTransfer(83, Pattern(500));
+  auto open = StartTransfer(84, Pattern(500));
+  sim().RunFor(20 * sim::kSecond);
+  EXPECT_TRUE(blocked->received.empty());
+  EXPECT_EQ(open->received.size(), 500u);
+}
+
+TEST_F(ServiceProxyTest, ReportListsLoadedFiltersAndKeys) {
+  MustAdd("rdrop", DataKey(7, 1169), {"50"});
+  auto report = sp().Report();
+  bool rdrop_found = false;
+  for (const auto& entry : report) {
+    if (entry.filter == "rdrop") {
+      rdrop_found = true;
+      ASSERT_EQ(entry.keys.size(), 1u);
+      EXPECT_EQ(entry.keys[0], "10.0.0.99 7 -> 11.11.10.10 1169");
+    }
+  }
+  EXPECT_TRUE(rdrop_found);
+  // Filtered report.
+  auto only = sp().Report("rdrop");
+  ASSERT_EQ(only.size(), 1u);
+  EXPECT_EQ(only[0].filter, "rdrop");
+}
+
+TEST_F(ServiceProxyTest, LauncherAppliesServicesToNewStreams) {
+  MustAdd("launcher", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 0},
+          {"tcp", "meter"});
+  auto t = StartTransfer(85, Pattern(200'000));
+  // Sample mid-transfer (the tcp filter removes everything after close).
+  sim().RunFor(500 * sim::kMillisecond);
+  ASSERT_LT(t->received.size(), 200'000u);
+  bool tcp_attached = false;
+  for (const auto& entry : sp().Report("tcp")) {
+    tcp_attached = !entry.keys.empty();
+  }
+  EXPECT_TRUE(tcp_attached);
+  auto* meter = sp().FindFilterOnKey(
+      StreamKey{scenario().wired_addr(), t->client->local_port(), scenario().mobile_addr(), 85},
+      "meter");
+  EXPECT_TRUE(meter != nullptr);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 200'000u);
+}
+
+TEST_F(ServiceProxyTest, TcpFilterRemovesStreamStateOnClose) {
+  MustAdd("launcher", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 86}, {"tcp"});
+  auto t = StartTransfer(86, Pattern(1000));
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_TRUE(t->client_closed);
+  // After teardown grace, the tcp filter removed the stream's filters.
+  sim().RunFor(10 * sim::kSecond);
+  for (const auto& entry : sp().Report("tcp")) {
+    EXPECT_TRUE(entry.keys.empty()) << "stale: " << entry.keys[0];
+  }
+}
+
+TEST_F(ServiceProxyTest, ProxyCountsPacketsInspected) {
+  auto t = StartTransfer(87, Pattern(5000));
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_GT(sp().stats().packets_inspected, 10u);
+  EXPECT_GT(sp().stats().streams_seen, 1u);
+}
+
+TEST_F(ServiceProxyTest, FindFilterOnKeyLocatesInstance) {
+  MustAdd("rdrop", DataKey(1, 2), {"10"});
+  EXPECT_TRUE(sp().FindFilterOnKey(DataKey(1, 2), "rdrop") != nullptr);
+  EXPECT_EQ(sp().FindFilterOnKey(DataKey(1, 3), "rdrop"), nullptr);
+  EXPECT_EQ(sp().FindFilterOnKey(DataKey(1, 2), "wsize"), nullptr);
+}
+
+TEST_F(ServiceProxyTest, RemoveStreamDetachesEverything) {
+  MustAdd("rdrop", DataKey(5, 6), {"10"});
+  MustAdd("meter", DataKey(5, 6));
+  sp().RemoveStream(DataKey(5, 6));
+  EXPECT_EQ(sp().FindFilterOnKey(DataKey(5, 6), "rdrop"), nullptr);
+  EXPECT_EQ(sp().FindFilterOnKey(DataKey(5, 6), "meter"), nullptr);
+}
+
+TEST_F(ServiceProxyTest, ChecksumsRemainValidAfterFilterModification) {
+  // wsize clamps the window (mutation); the tcp filter must fix checksums so
+  // end hosts never see a corrupt segment. Verify via a tap downstream.
+  class VerifyTap : public net::PacketTap {
+   public:
+    net::TapVerdict OnPacket(net::PacketPtr& p, const net::TapContext&) override {
+      ++count;
+      if (!p->VerifyChecksums()) {
+        ++bad;
+      }
+      return net::TapVerdict::kPass;
+    }
+    int count = 0;
+    int bad = 0;
+  } tap;
+  scenario().mobile_host().AddTap(&tap);
+
+  auto key = StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 88};
+  MustAdd("launcher", key, {"tcp", "wsize:clamp:4096"});
+  auto t = StartTransfer(88, Pattern(20000));
+  sim().RunFor(30 * sim::kSecond);
+  EXPECT_EQ(t->received.size(), 20000u);
+  EXPECT_GT(tap.count, 10);
+  EXPECT_EQ(tap.bad, 0);
+}
+
+}  // namespace
+}  // namespace comma::proxy

@@ -1,0 +1,89 @@
+#include "src/proxy/stream_key.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::proxy {
+namespace {
+
+StreamKey MakeKey(const char* src, uint16_t sp, const char* dst, uint16_t dp) {
+  return StreamKey{*net::Ipv4Address::Parse(src), sp, *net::Ipv4Address::Parse(dst), dp};
+}
+
+TEST(StreamKeyTest, FromTcpPacket) {
+  net::TcpHeader h;
+  h.src_port = 7;
+  h.dst_port = 1169;
+  auto p = net::Packet::MakeTcp(net::Ipv4Address(11, 11, 10, 99), net::Ipv4Address(11, 11, 10, 10),
+                                h, {});
+  StreamKey key = StreamKey::FromPacket(*p);
+  EXPECT_EQ(key.ToString(), "11.11.10.99 7 -> 11.11.10.10 1169");
+}
+
+TEST(StreamKeyTest, FromUdpPacket) {
+  auto p = net::Packet::MakeUdp(net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), 53,
+                                7070, {});
+  StreamKey key = StreamKey::FromPacket(*p);
+  EXPECT_EQ(key.src_port, 53);
+  EXPECT_EQ(key.dst_port, 7070);
+}
+
+TEST(StreamKeyTest, ParseValid) {
+  auto key = StreamKey::Parse({"11.11.10.99", "7", "11.11.10.10", "1169"});
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->ToString(), "11.11.10.99 7 -> 11.11.10.10 1169");
+  EXPECT_FALSE(key->IsWildcard());
+}
+
+TEST(StreamKeyTest, ParseWildcard) {
+  auto key = StreamKey::Parse({"11.11.10.10", "0", "0.0.0.0", "0"});
+  ASSERT_TRUE(key.has_value());
+  EXPECT_TRUE(key->IsWildcard());
+  EXPECT_EQ(key->ToString(), "11.11.10.10 0 -> 0.0.0.0 0");
+}
+
+TEST(StreamKeyTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(StreamKey::Parse({"1.2.3.4", "7", "bogus", "9"}).has_value());
+  EXPECT_FALSE(StreamKey::Parse({"1.2.3.4", "99999", "5.6.7.8", "9"}).has_value());
+  EXPECT_FALSE(StreamKey::Parse({"1.2.3.4", "7", "5.6.7.8"}).has_value());
+}
+
+TEST(StreamKeyTest, WildcardMatching) {
+  StreamKey concrete = MakeKey("11.11.10.99", 7, "11.11.10.10", 1169);
+  // Thesis example: destination fixed, everything else blank.
+  StreamKey wild = MakeKey("0.0.0.0", 0, "11.11.10.10", 0);
+  EXPECT_TRUE(wild.Matches(concrete));
+  // Exact keys match themselves.
+  EXPECT_TRUE(concrete.Matches(concrete));
+  // Mismatched fixed field.
+  StreamKey other = MakeKey("0.0.0.0", 0, "11.11.10.11", 0);
+  EXPECT_FALSE(other.Matches(concrete));
+  // Port-only wild-card matches a well-known protocol (§5.2).
+  StreamKey port_wild = MakeKey("0.0.0.0", 0, "0.0.0.0", 1169);
+  EXPECT_TRUE(port_wild.Matches(concrete));
+  StreamKey wrong_port = MakeKey("0.0.0.0", 0, "0.0.0.0", 80);
+  EXPECT_FALSE(wrong_port.Matches(concrete));
+}
+
+TEST(StreamKeyTest, ReversedSwapsEndpoints) {
+  StreamKey key = MakeKey("11.11.10.99", 7, "11.11.10.10", 1169);
+  StreamKey rev = key.Reversed();
+  EXPECT_EQ(rev.ToString(), "11.11.10.10 1169 -> 11.11.10.99 7");
+  EXPECT_EQ(rev.Reversed(), key);
+}
+
+TEST(StreamKeyTest, KeysAreDirectional) {
+  StreamKey key = MakeKey("1.1.1.1", 1, "2.2.2.2", 2);
+  EXPECT_FALSE(key == key.Reversed());
+}
+
+TEST(StreamKeyTest, OrderingIsStrictWeak) {
+  StreamKey a = MakeKey("1.1.1.1", 1, "2.2.2.2", 2);
+  StreamKey b = MakeKey("1.1.1.1", 1, "2.2.2.2", 3);
+  StreamKey c = MakeKey("1.1.1.2", 1, "2.2.2.2", 2);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace comma::proxy

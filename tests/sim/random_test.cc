@@ -1,0 +1,129 @@
+#include "src/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace comma::sim {
+namespace {
+
+TEST(RandomTest, SameSeedSameSequence) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBelowRespectsBound) {
+  Random r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(r.NextBelow(0), 0u);
+  EXPECT_EQ(r.NextBelow(1), 0u);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+    EXPECT_FALSE(r.Bernoulli(-1.0));
+    EXPECT_TRUE(r.Bernoulli(2.0));
+  }
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Random r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(RandomTest, ExponentialHasRequestedMean) {
+  Random r(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.Exponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RandomTest, ExponentialZeroMeanIsZero) {
+  Random r(19);
+  EXPECT_EQ(r.Exponential(0.0), 0.0);
+  EXPECT_EQ(r.Exponential(-1.0), 0.0);
+}
+
+TEST(RandomTest, UniformIntCoversRangeInclusive) {
+  Random r(23);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, UniformIntDegenerateRange) {
+  Random r(29);
+  EXPECT_EQ(r.UniformInt(5, 5), 5);
+  EXPECT_EQ(r.UniformInt(9, 2), 9);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  Random a(31);
+  Random b = a.Fork();
+  // The fork must not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, ForkIsDeterministic) {
+  Random a(37);
+  Random b(37);
+  Random fa = a.Fork();
+  Random fb = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  }
+}
+
+}  // namespace
+}  // namespace comma::sim

@@ -1,0 +1,71 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace comma::sim {
+namespace {
+
+TEST(TraceTest, DisabledByDefault) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  EXPECT_FALSE(tracer.Enabled(TraceLevel::kError));
+  tracer.Log(TraceLevel::kError, "x", "should not crash");
+}
+
+TEST(TraceTest, SinkReceivesRecords) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  std::vector<TraceRecord> records;
+  tracer.SetSink([&](const TraceRecord& r) { records.push_back(r); });
+  sim.Schedule(250, [&] { tracer.Log(TraceLevel::kInfo, "link", "hello"); });
+  sim.Run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].when, 250);
+  EXPECT_EQ(records[0].component, "link");
+  EXPECT_EQ(records[0].message, "hello");
+}
+
+TEST(TraceTest, LevelFiltering) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  int count = 0;
+  tracer.SetSink([&](const TraceRecord&) { ++count; });
+  tracer.SetLevel(TraceLevel::kWarn);
+  tracer.Log(TraceLevel::kError, "x", "1");
+  tracer.Log(TraceLevel::kWarn, "x", "2");
+  tracer.Log(TraceLevel::kInfo, "x", "3");
+  tracer.Log(TraceLevel::kDebug, "x", "4");
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TraceTest, LogfFormats) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  std::string last;
+  tracer.SetSink([&](const TraceRecord& r) { last = r.message; });
+  tracer.Logf(TraceLevel::kInfo, "x", "value=%d name=%s", 42, "foo");
+  EXPECT_EQ(last, "value=42 name=foo");
+}
+
+TEST(TraceTest, SetSinkReturnsPrevious) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  tracer.SetSink([](const TraceRecord&) {});
+  auto prev = tracer.SetSink(nullptr);
+  EXPECT_TRUE(prev != nullptr);
+  EXPECT_FALSE(tracer.Enabled(TraceLevel::kError));
+}
+
+TEST(TraceTest, LevelNames) {
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kError), "error");
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kWarn), "warn");
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kInfo), "info");
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kDebug), "debug");
+}
+
+}  // namespace
+}  // namespace comma::sim

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace comma::tcp {
+namespace {
+
+class CloseTest : public TcpFixture {
+ public:
+  CloseTest() : TcpFixture(CleanConfig()) {}
+  static core::ScenarioConfig CleanConfig() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    return cfg;
+  }
+};
+
+TEST_F(CloseTest, GracefulCloseBothSides) {
+  TcpConnection* server = nullptr;
+  util::Bytes sink;
+  StartSinkServer(80, &sink, &server);  // Sink server closes on remote close.
+  bool client_closed = false;
+  TcpConnection* client = StartBulkClient(80, Pattern(5000));
+  client->set_on_closed([&] { client_closed = true; });
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(sink.size(), 5000u);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(CloseTest, CloseFlushesPendingData) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  // Send and close immediately; every byte must still arrive before the FIN.
+  util::Bytes payload = Pattern(40'000);
+  StartBulkClient(80, payload);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+}
+
+TEST_F(CloseTest, RemoteCloseNotifies) {
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) { server = c; });
+  bool remote_closed = false;
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  client->set_on_remote_close([&] { remote_closed = true; });
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  server->Close();
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_TRUE(remote_closed);
+  EXPECT_EQ(client->state(), TcpState::kCloseWait);
+  client->Close();
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+}
+
+TEST_F(CloseTest, HalfCloseAllowsContinuedReceive) {
+  // Client closes its direction; server keeps sending.
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) { server = c; });
+  util::Bytes client_sink;
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  client->set_on_data([&](const util::Bytes& d) {
+    client_sink.insert(client_sink.end(), d.begin(), d.end());
+  });
+  sim().RunFor(2 * sim::kSecond);
+  client->Close();  // FIN_WAIT_*.
+  sim().RunFor(sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  util::Bytes late = Pattern(3000);
+  server->Send(late);
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(client_sink, late);
+  server->Close();
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(CloseTest, StatesTraverseFinHandshake) {
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  sim().RunFor(2 * sim::kSecond);
+  client->Close();
+  // Immediately after Close() with an empty buffer, the FIN is out.
+  EXPECT_EQ(client->state(), TcpState::kFinWait1);
+  sim().RunFor(sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kFinWait2);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_EQ(server->state(), TcpState::kCloseWait);
+  server->Close();
+  sim().RunFor(500 * sim::kMillisecond);
+  EXPECT_EQ(client->state(), TcpState::kTimeWait);
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(CloseTest, AbortSendsResetToPeer) {
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  std::string server_error;
+  server->set_on_error([&](const std::string& e) { server_error = e; });
+  client->Abort();
+  sim().RunFor(2 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+  EXPECT_NE(server_error.find("reset"), std::string::npos);
+}
+
+TEST_F(CloseTest, FinRetransmittedThroughLoss) {
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  sim().RunFor(2 * sim::kSecond);
+  // Lose the first FIN.
+  scenario().wireless_link().SetLossProbability(1.0);
+  client->Close();
+  sim().RunFor(2 * sim::kSecond);
+  scenario().wireless_link().SetLossProbability(0.0);
+  sim().RunFor(60 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_EQ(server->state(), TcpState::kCloseWait);
+  EXPECT_GT(client->stats().retransmit_timeouts, 0u);
+}
+
+TEST_F(CloseTest, CloseBeforeEstablishmentClosesQuietly) {
+  scenario().mobile_host().tcp().Listen(80, [](TcpConnection*) {});
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  client->Close();
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  sim().RunFor(5 * sim::kSecond);
+}
+
+TEST_F(CloseTest, SendAfterCloseRefused) {
+  StartSinkServer(80, nullptr);
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  sim().RunFor(2 * sim::kSecond);
+  client->Close();
+  util::Bytes data(100, 1);
+  EXPECT_EQ(client->Send(data), 0u);
+}
+
+}  // namespace
+}  // namespace comma::tcp

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace comma::tcp {
+namespace {
+
+// A tap that drops the Nth data segment (payload > 0) travelling toward the
+// mobile, once.
+class NthDataSegmentDropper : public net::PacketTap {
+ public:
+  explicit NthDataSegmentDropper(int n) : remaining_(n) {}
+  net::TapVerdict OnPacket(net::PacketPtr& p, const net::TapContext&) override {
+    if (done_ || !p->has_tcp() || p->payload().empty()) {
+      return net::TapVerdict::kPass;
+    }
+    if (--remaining_ == 0) {
+      done_ = true;
+      dropped_seq_ = p->tcp().seq;
+      return net::TapVerdict::kDrop;
+    }
+    return net::TapVerdict::kPass;
+  }
+  bool fired() const { return done_; }
+  uint32_t dropped_seq() const { return dropped_seq_; }
+
+ private:
+  int remaining_;
+  bool done_ = false;
+  uint32_t dropped_seq_ = 0;
+};
+
+class CongestionTest : public TcpFixture {
+ public:
+  CongestionTest() : TcpFixture(CleanConfig()) {}
+  static core::ScenarioConfig CleanConfig() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    return cfg;
+  }
+};
+
+TEST_F(CongestionTest, SlowStartDoublesCwnd) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConnection* client = StartBulkClient(80, Pattern(1'000'000));
+  const uint32_t initial_cwnd = client->cwnd();
+  // Sample mid-transfer, early enough that the wireless queue has not yet
+  // been pushed into overflow.
+  sim().RunFor(600 * sim::kMillisecond);
+  // After many loss-free RTTs, cwnd must have grown well beyond its initial
+  // value (exponential growth in slow start).
+  EXPECT_GE(client->cwnd(), 4 * initial_cwnd);
+  EXPECT_LT(sink.size(), 1'000'000u);  // Still mid-transfer: sample is valid.
+}
+
+TEST_F(CongestionTest, SingleLossTriggersFastRetransmitNotTimeout) {
+  NthDataSegmentDropper dropper(8);
+  scenario().gateway().AddTap(&dropper);
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  util::Bytes payload = Pattern(60'000);
+  TcpConnection* client = StartBulkClient(80, payload);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_TRUE(dropper.fired());
+  EXPECT_EQ(sink, payload);
+  EXPECT_GE(client->stats().fast_retransmits, 1u);
+  EXPECT_EQ(client->stats().retransmit_timeouts, 0u);
+  EXPECT_GT(client->stats().dupacks_received, 2u);
+}
+
+TEST_F(CongestionTest, FastRetransmitHalvesCongestionWindow) {
+  NthDataSegmentDropper dropper(20);
+  scenario().gateway().AddTap(&dropper);
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConnection* client = StartBulkClient(80, Pattern(300'000));
+
+  // Track the peak cwnd reached before loss detection.
+  uint32_t peak_cwnd = 0;
+  for (int step = 0; step < 3000 && client->stats().fast_retransmits == 0; ++step) {
+    sim().RunFor(10 * sim::kMillisecond);
+    if (client->stats().fast_retransmits == 0) {
+      peak_cwnd = std::max(peak_cwnd, client->cwnd());
+    }
+  }
+  ASSERT_TRUE(dropper.fired());
+  ASSERT_GE(client->stats().fast_retransmits, 1u);
+  // Reno: ssthresh drops to half the flight at loss, which is bounded by the
+  // pre-loss cwnd; recovery exits with cwnd == ssthresh.
+  EXPECT_LE(client->ssthresh(), peak_cwnd);
+  EXPECT_GE(client->ssthresh(), 2000u);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(sink.size(), 300'000u);
+  EXPECT_EQ(client->stats().retransmit_timeouts, 0u);  // Recovered without RTO.
+}
+
+TEST_F(CongestionTest, TimeoutCollapsesCwndToOneSegment) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConnection* client = StartBulkClient(80, Pattern(500'000));
+  sim().RunFor(3 * sim::kSecond);
+  EXPECT_GT(client->cwnd(), 2000u);
+  // Black-hole the link long enough to force an RTO.
+  scenario().wireless_link().SetLossProbability(1.0);
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_GT(client->stats().retransmit_timeouts, 0u);
+  EXPECT_LE(client->cwnd(), 1000u);  // One MSS.
+  scenario().wireless_link().SetLossProbability(0.0);
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(sink.size(), 500'000u);
+}
+
+TEST_F(CongestionTest, ExponentialBackoffGrowsRtoIntervals) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  // Large enough that the transfer is still in full flight when the link
+  // goes down.
+  TcpConnection* client = StartBulkClient(80, Pattern(5'000'000));
+  sim().RunFor(2 * sim::kSecond);
+  scenario().wireless_link().SetUp(false);
+  uint64_t timeouts_at_10s = 0;
+  sim().RunFor(10 * sim::kSecond);
+  timeouts_at_10s = client->stats().retransmit_timeouts;
+  sim().RunFor(100 * sim::kSecond);
+  const uint64_t timeouts_at_110s = client->stats().retransmit_timeouts;
+  // With doubling timeouts, the second (10x longer) window must see far fewer
+  // than 10x the retransmissions of the first.
+  EXPECT_GT(timeouts_at_10s, 0u);
+  EXPECT_LT(timeouts_at_110s - timeouts_at_10s, 10 * timeouts_at_10s);
+}
+
+TEST_F(CongestionTest, RetransmissionLimitAbortsConnection) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConfig cfg;
+  cfg.max_data_retries = 4;
+  std::string error;
+  TcpConnection* client =
+      scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80, cfg);
+  client->set_on_error([&](const std::string& e) { error = e; });
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_EQ(client->state(), TcpState::kEstablished);
+  // Cut the link, then send: every retransmission is lost.
+  scenario().wireless_link().SetUp(false);
+  util::Bytes data(5000, 0x11);
+  client->Send(data);
+  sim().RunFor(300 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_NE(error.find("retransmission"), std::string::npos);
+}
+
+TEST_F(CongestionTest, SsthreshRemembersCongestionPoint) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConnection* client = StartBulkClient(80, Pattern(500'000));
+  sim().RunFor(3 * sim::kSecond);
+  const uint32_t cwnd_before = client->cwnd();
+  scenario().wireless_link().SetLossProbability(1.0);
+  sim().RunFor(8 * sim::kSecond);
+  scenario().wireless_link().SetLossProbability(0.0);
+  // ssthresh should be roughly half the pre-loss flight, well below the
+  // pre-loss cwnd and at least two segments.
+  EXPECT_GE(client->ssthresh(), 2000u);
+  EXPECT_LE(client->ssthresh(), cwnd_before);
+}
+
+TEST_F(CongestionTest, RttEstimateTracksPathDelay) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConnection* client = StartBulkClient(80, Pattern(100'000));
+  sim().RunFor(5 * sim::kSecond);
+  // Path RTT: ~2*(1ms + 5ms) propagation plus serialization; srtt must be in
+  // a plausible band.
+  EXPECT_GT(client->smoothed_rtt(), 5 * sim::kMillisecond);
+  EXPECT_LT(client->smoothed_rtt(), 500 * sim::kMillisecond);
+}
+
+TEST_F(CongestionTest, RtoNeverBelowFloor) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConnection* client = StartBulkClient(80, Pattern(100'000));
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_GE(client->current_rto(), 500 * sim::kMillisecond);
+}
+
+}  // namespace
+}  // namespace comma::tcp

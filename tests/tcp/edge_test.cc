@@ -1,0 +1,178 @@
+// TCP state-machine edge cases beyond the main suites.
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace comma::tcp {
+namespace {
+
+class EdgeTest : public TcpFixture {
+ public:
+  EdgeTest() : TcpFixture(CleanConfig()) {}
+  static core::ScenarioConfig CleanConfig() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    return cfg;
+  }
+};
+
+TEST_F(EdgeTest, SimultaneousCloseReachesClosedOnBothEnds) {
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  // Close both ends in the same event: FINs cross in flight.
+  client->Close();
+  server->Close();
+  sim().RunFor(30 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+}
+
+TEST_F(EdgeTest, PortReusableAfterConnectionFullyCloses) {
+  StartSinkServer(80, nullptr);
+  TcpConnection* first =
+      scenario().wired_host().tcp().ConnectFrom(5555, scenario().mobile_addr(), 80);
+  sim().RunFor(2 * sim::kSecond);
+  first->Close();
+  sim().RunFor(30 * sim::kSecond);
+  ASSERT_EQ(first->state(), TcpState::kClosed);
+  // The same local port connects again.
+  bool connected = false;
+  TcpConnection* second =
+      scenario().wired_host().tcp().ConnectFrom(5555, scenario().mobile_addr(), 80);
+  second->set_on_connected([&] { connected = true; });
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_TRUE(connected);
+}
+
+TEST_F(EdgeTest, ManyConcurrentConnectionsStayIsolated) {
+  constexpr int kConnections = 25;
+  std::vector<util::Bytes> sinks(kConnections);
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) {
+    // Demultiplex by first payload byte.
+    c->set_on_data([&, c](const util::Bytes& d) {
+      if (!d.empty()) {
+        sinks[d[0] % kConnections].insert(sinks[d[0] % kConnections].end(), d.begin(), d.end());
+      }
+      (void)c;
+    });
+    c->set_on_remote_close([c] { c->Close(); });
+  });
+  std::vector<TcpConnection*> clients;
+  for (int i = 0; i < kConnections; ++i) {
+    TcpConnection* conn = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+    conn->set_on_connected([conn, i] {
+      util::Bytes data(2000, static_cast<uint8_t>(i));
+      conn->Send(data);
+      conn->Close();
+    });
+    clients.push_back(conn);
+  }
+  sim().RunFor(120 * sim::kSecond);
+  for (int i = 0; i < kConnections; ++i) {
+    EXPECT_EQ(clients[static_cast<size_t>(i)]->state(), TcpState::kClosed) << i;
+    EXPECT_EQ(sinks[static_cast<size_t>(i)].size(), 2000u) << i;
+    for (uint8_t b : sinks[static_cast<size_t>(i)]) {
+      ASSERT_EQ(b, static_cast<uint8_t>(i));
+    }
+  }
+}
+
+TEST_F(EdgeTest, ClosedListenerRefusesWithReset) {
+  scenario().mobile_host().tcp().Listen(80, [](TcpConnection*) {});
+  scenario().mobile_host().tcp().CloseListener(80);
+  std::string error;
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  client->set_on_error([&](const std::string& e) { error = e; });
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_NE(error.find("reset"), std::string::npos);
+}
+
+TEST_F(EdgeTest, SendExactlyOneWindowOfData) {
+  // Payload exactly equal to the receive buffer: the edge where the window
+  // closes at the same instant the data completes.
+  TcpConfig cfg;
+  cfg.recv_buffer = 8 * 1024;
+  util::Bytes sink;
+  StartSinkServer(80, &sink, nullptr, cfg);
+  util::Bytes payload = Pattern(8 * 1024);
+  StartBulkClient(80, payload, cfg);
+  sim().RunFor(30 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+}
+
+TEST_F(EdgeTest, CloseDuringZeroWindowStallCompletesViaProbes) {
+  // The app closes while the peer's window is shut: the FIN must eventually
+  // get through via the persist machinery once the window reopens.
+  TcpConnection* server = nullptr;
+  TcpConfig server_cfg;
+  server_cfg.auto_consume = false;
+  server_cfg.recv_buffer = 2048;
+  scenario().mobile_host().tcp().Listen(
+      80, [&](TcpConnection* c) { server = c; }, server_cfg);
+  TcpConnection* client = StartBulkClient(80, Pattern(10'000));
+  sim().RunFor(20 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  ASSERT_TRUE(client->InPersistMode());
+  // Drain everything; the close sequence then finishes.
+  util::Bytes drained;
+  std::function<void()> drain = [&] {
+    util::Bytes chunk = server->Read(2048);
+    drained.insert(drained.end(), chunk.begin(), chunk.end());
+    if (drained.size() < 10'000) {
+      sim().Schedule(200 * sim::kMillisecond, drain);
+    } else {
+      server->Close();
+    }
+  };
+  drain();
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(drained.size(), 10'000u);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(EdgeTest, AbortDuringActiveTransferResetsPeer) {
+  util::Bytes sink;
+  TcpConnection* server = nullptr;
+  StartSinkServer(80, &sink, &server);
+  TcpConnection* client = StartBulkClient(80, Pattern(500'000));
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  ASSERT_LT(sink.size(), 500'000u);
+  client->Abort();
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+}
+
+TEST_F(EdgeTest, DataArrivingInTimeWaitIsIgnoredQuietly) {
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) { server = c; });
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  sim().RunFor(2 * sim::kSecond);
+  client->Close();
+  sim().RunFor(sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  server->Close();
+  sim().RunFor(300 * sim::kMillisecond);
+  // Client sits in TIME_WAIT; a retransmitted FIN elicits a re-ack, not a
+  // crash or state change.
+  EXPECT_EQ(client->state(), TcpState::kTimeWait);
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(EdgeTest, ZeroByteTransferJustCloses) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  TcpConnection* client = StartBulkClient(80, {});
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_TRUE(sink.empty());
+}
+
+}  // namespace
+}  // namespace comma::tcp

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace comma::tcp {
+namespace {
+
+class FlowControlTest : public TcpFixture {
+ public:
+  FlowControlTest() : TcpFixture(CleanConfig()) {}
+  static core::ScenarioConfig CleanConfig() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    return cfg;
+  }
+};
+
+TEST_F(FlowControlTest, SlowReaderStallsSender) {
+  // Server never reads: its 8 KiB receive buffer fills, the advertised
+  // window closes, and the sender stalls.
+  TcpConnection* server = nullptr;
+  TcpConfig server_cfg;
+  server_cfg.auto_consume = false;
+  server_cfg.recv_buffer = 8 * 1024;
+  scenario().mobile_host().tcp().Listen(
+      80, [&](TcpConnection* c) { server = c; }, server_cfg);
+
+  TcpConnection* client = StartBulkClient(80, Pattern(100'000));
+  sim().RunFor(30 * sim::kSecond);
+
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_EQ(server->UnreadBytes(), 8u * 1024);
+  EXPECT_GT(client->stats().zero_window_acks_received, 0u);
+  EXPECT_TRUE(client->InPersistMode());
+}
+
+TEST_F(FlowControlTest, PersistProbesKeepConnectionAlive) {
+  TcpConnection* server = nullptr;
+  TcpConfig server_cfg;
+  server_cfg.auto_consume = false;
+  server_cfg.recv_buffer = 4 * 1024;
+  scenario().mobile_host().tcp().Listen(
+      80, [&](TcpConnection* c) { server = c; }, server_cfg);
+  TcpConnection* client = StartBulkClient(80, Pattern(50'000));
+  // Stall for five minutes: far beyond any data RTO limit, but persist mode
+  // never aborts (thesis §8.2.2: the stream "stays alive indefinitely").
+  sim().RunFor(300 * sim::kSecond);
+  EXPECT_NE(client->state(), TcpState::kClosed);
+  EXPECT_GT(client->stats().persist_probes_sent, 2u);
+}
+
+TEST_F(FlowControlTest, ReadReopensWindowAndTransferCompletes) {
+  TcpConnection* server = nullptr;
+  TcpConfig server_cfg;
+  server_cfg.auto_consume = false;
+  server_cfg.recv_buffer = 8 * 1024;
+  scenario().mobile_host().tcp().Listen(
+      80, [&](TcpConnection* c) { server = c; }, server_cfg);
+
+  util::Bytes payload = Pattern(60'000);
+  StartBulkClient(80, payload);
+  sim().RunFor(10 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+
+  // Drain the receive queue periodically; the window reopens each time.
+  util::Bytes sink;
+  std::function<void()> drain = [&] {
+    util::Bytes chunk = server->Read(4096);
+    sink.insert(sink.end(), chunk.begin(), chunk.end());
+    if (sink.size() < payload.size()) {
+      sim().Schedule(100 * sim::kMillisecond, drain);
+    }
+  };
+  drain();
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+}
+
+TEST_F(FlowControlTest, SenderRespectsReceiveWindow) {
+  // The receiver advertises at most recv_buffer; unacked in-flight data must
+  // never exceed it.
+  TcpConnection* server = nullptr;
+  TcpConfig server_cfg;
+  server_cfg.auto_consume = false;
+  server_cfg.recv_buffer = 6 * 1024;
+  scenario().mobile_host().tcp().Listen(
+      80, [&](TcpConnection* c) { server = c; }, server_cfg);
+  StartBulkClient(80, Pattern(100'000));
+  sim().RunFor(20 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_LE(server->UnreadBytes(), 6u * 1024);
+}
+
+TEST_F(FlowControlTest, WindowedTrickleDeliversEverything) {
+  // Tiny 2 KiB window + incremental reads: a torture test for window-edge
+  // arithmetic.
+  TcpConnection* server = nullptr;
+  TcpConfig server_cfg;
+  server_cfg.auto_consume = false;
+  server_cfg.recv_buffer = 2 * 1024;
+  scenario().mobile_host().tcp().Listen(
+      80, [&](TcpConnection* c) { server = c; }, server_cfg);
+  util::Bytes payload = Pattern(30'000);
+  StartBulkClient(80, payload);
+
+  util::Bytes sink;
+  std::function<void()> drain = [&] {
+    if (server != nullptr) {
+      util::Bytes chunk = server->Read(512);
+      sink.insert(sink.end(), chunk.begin(), chunk.end());
+    }
+    if (sink.size() < payload.size()) {
+      sim().Schedule(20 * sim::kMillisecond, drain);
+    }
+  };
+  sim().Schedule(sim::kSecond, drain);
+  sim().RunFor(700 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+}
+
+TEST_F(FlowControlTest, ZeroWindowAckIsNotCountedAsDupack) {
+  TcpConnection* server = nullptr;
+  TcpConfig server_cfg;
+  server_cfg.auto_consume = false;
+  server_cfg.recv_buffer = 4 * 1024;
+  scenario().mobile_host().tcp().Listen(
+      80, [&](TcpConnection* c) { server = c; }, server_cfg);
+  TcpConnection* client = StartBulkClient(80, Pattern(50'000));
+  sim().RunFor(30 * sim::kSecond);
+  // The stall must be handled by persist mode, not misread as loss.
+  EXPECT_EQ(client->stats().fast_retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace comma::tcp

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace comma::tcp {
+namespace {
+
+class HandshakeTest : public TcpFixture {};
+
+TEST_F(HandshakeTest, ThreeWayHandshakeEstablishes) {
+  bool accepted = false;
+  TcpConnection* server = nullptr;
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) {
+    accepted = true;
+    server = c;
+  });
+  bool connected = false;
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  client->set_on_connected([&] { connected = true; });
+  sim().RunFor(5 * sim::kSecond);
+
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+  EXPECT_EQ(server->remote_port(), client->local_port());
+}
+
+TEST_F(HandshakeTest, ConnectToClosedPortGetsReset) {
+  std::string error;
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 81);
+  client->set_on_error([&](const std::string& e) { error = e; });
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_NE(error.find("reset"), std::string::npos);
+}
+
+TEST_F(HandshakeTest, SynRetransmitsThroughLoss) {
+  // 100% loss initially; heal the link after 4 seconds. The SYN must be
+  // retried with backoff and eventually succeed.
+  scenario().wireless_link().SetLossProbability(1.0);
+  bool connected = false;
+  StartSinkServer(80, nullptr);
+  scenario().mobile_host().tcp().Listen(82, [](TcpConnection*) {});
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 82);
+  client->set_on_connected([&] { connected = true; });
+  sim().RunFor(4 * sim::kSecond);
+  EXPECT_FALSE(connected);
+  scenario().wireless_link().SetLossProbability(0.0);
+  sim().RunFor(30 * sim::kSecond);
+  EXPECT_TRUE(connected);
+  EXPECT_GT(client->stats().retransmit_timeouts, 0u);
+}
+
+TEST_F(HandshakeTest, ConnectTimesOutWhenPeerUnreachable) {
+  scenario().wireless_link().SetUp(false);
+  scenario().mobile_host().tcp().Listen(83, [](TcpConnection*) {});
+  std::string error;
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 83);
+  client->set_on_error([&](const std::string& e) { error = e; });
+  sim().RunFor(600 * sim::kSecond);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(HandshakeTest, LostSynAckIsRecovered) {
+  // Drop exactly the first SYN+ACK (mobile -> wired direction).
+  scenario().wireless_link().SetLossProbability(0.0);
+  bool first = true;
+  class SynAckDropper : public net::PacketTap {
+   public:
+    explicit SynAckDropper(bool* flag) : flag_(flag) {}
+    net::TapVerdict OnPacket(net::PacketPtr& p, const net::TapContext&) override {
+      if (*flag_ && p->has_tcp() && (p->tcp().flags & net::kTcpSyn) &&
+          (p->tcp().flags & net::kTcpAck)) {
+        *flag_ = false;
+        return net::TapVerdict::kDrop;
+      }
+      return net::TapVerdict::kPass;
+    }
+    bool* flag_;
+  } dropper(&first);
+  scenario().gateway().AddTap(&dropper);
+
+  bool connected = false;
+  scenario().mobile_host().tcp().Listen(84, [](TcpConnection*) {});
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 84);
+  client->set_on_connected([&] { connected = true; });
+  sim().RunFor(30 * sim::kSecond);
+  EXPECT_TRUE(connected);
+  EXPECT_FALSE(first);  // The dropper fired.
+}
+
+TEST_F(HandshakeTest, EphemeralPortsAreDistinct) {
+  scenario().mobile_host().tcp().Listen(80, [](TcpConnection*) {});
+  TcpConnection* a = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  TcpConnection* b = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  EXPECT_NE(a->local_port(), b->local_port());
+  sim().RunFor(2 * sim::kSecond);
+  EXPECT_EQ(a->state(), TcpState::kEstablished);
+  EXPECT_EQ(b->state(), TcpState::kEstablished);
+}
+
+TEST_F(HandshakeTest, DataMayRideImmediatelyAfterConnect) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  util::Bytes payload = Pattern(500);
+  StartBulkClient(80, payload);
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+}
+
+}  // namespace
+}  // namespace comma::tcp

@@ -1,0 +1,162 @@
+// Property-style sweeps over the TCP stack: for every combination of
+// payload size, loss rate, and receive window, a transfer must deliver
+// exactly the sent bytes, in order, and close cleanly.
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace comma::tcp {
+namespace {
+
+struct TransferCase {
+  size_t payload;
+  double loss;
+  uint32_t recv_window;
+  uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const TransferCase& c) {
+    return os << "payload" << c.payload << "_loss" << static_cast<int>(c.loss * 1000)
+              << "permille_win" << c.recv_window << "_seed" << c.seed;
+  }
+};
+
+class TransferProperty : public ::testing::TestWithParam<TransferCase> {};
+
+TEST_P(TransferProperty, DeliversExactBytesAndCloses) {
+  const TransferCase& c = GetParam();
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = c.loss;
+  cfg.seed = c.seed;
+  core::WirelessScenario s(cfg);
+
+  TcpConfig tcp_cfg;
+  tcp_cfg.recv_buffer = c.recv_window;
+
+  util::Bytes payload(c.payload);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 2654435761u >> 13);
+  }
+
+  util::Bytes sink;
+  bool server_closed = false;
+  s.mobile_host().tcp().Listen(
+      80,
+      [&](TcpConnection* conn) {
+        conn->set_on_data(
+            [&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+        conn->set_on_remote_close([conn] { conn->Close(); });
+        conn->set_on_closed([&] { server_closed = true; });
+      },
+      tcp_cfg);
+
+  TcpConnection* client = s.wired_host().tcp().Connect(s.mobile_addr(), 80, tcp_cfg);
+  bool client_closed = false;
+  client->set_on_closed([&] { client_closed = true; });
+  auto remaining = std::make_shared<util::Bytes>(payload);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+    client->Close();
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+
+  // Generous budget: the worst case (20% loss) needs many RTO rounds.
+  for (int step = 0; step < 40 && !(client_closed && server_closed); ++step) {
+    s.sim().RunFor(30 * sim::kSecond);
+  }
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+  ASSERT_EQ(sink.size(), payload.size());
+  EXPECT_EQ(sink, payload);  // Exact bytes, exact order.
+  // Reliability invariant: everything counted as received was in-order.
+  EXPECT_EQ(client->stats().bytes_sent, payload.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransferProperty,
+    ::testing::Values(
+        // Size sweep on a mildly lossy link.
+        TransferCase{1, 0.01, 32768, 11}, TransferCase{999, 0.01, 32768, 12},
+        TransferCase{1000, 0.01, 32768, 13}, TransferCase{1001, 0.01, 32768, 14},
+        TransferCase{64 * 1024, 0.01, 32768, 15}, TransferCase{300'000, 0.01, 32768, 16},
+        // Loss sweep.
+        TransferCase{120'000, 0.0, 32768, 21}, TransferCase{120'000, 0.05, 32768, 22},
+        TransferCase{120'000, 0.10, 32768, 23}, TransferCase{120'000, 0.20, 32768, 24},
+        // Window sweep (tiny windows stress zero-window handling).
+        TransferCase{60'000, 0.02, 2048, 31}, TransferCase{60'000, 0.02, 4096, 32},
+        TransferCase{60'000, 0.02, 60000, 33},
+        // Window == exactly one MSS.
+        TransferCase{20'000, 0.0, 1000, 41}, TransferCase{20'000, 0.05, 1000, 42}));
+
+// Bidirectional integrity under loss: both directions carry distinct data
+// concurrently and both must arrive exactly.
+class BidirectionalProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BidirectionalProperty, BothDirectionsExact) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = GetParam();
+  cfg.seed = 1234 + static_cast<uint64_t>(GetParam() * 1000);
+  core::WirelessScenario s(cfg);
+
+  util::Bytes to_mobile(80'000);
+  util::Bytes to_wired(50'000);
+  for (size_t i = 0; i < to_mobile.size(); ++i) {
+    to_mobile[i] = static_cast<uint8_t>(i * 7);
+  }
+  for (size_t i = 0; i < to_wired.size(); ++i) {
+    to_wired[i] = static_cast<uint8_t>(i * 13 + 5);
+  }
+
+  util::Bytes mobile_sink;
+  util::Bytes wired_sink;
+  s.mobile_host().tcp().Listen(80, [&](TcpConnection* conn) {
+    conn->set_on_data([&](const util::Bytes& d) {
+      mobile_sink.insert(mobile_sink.end(), d.begin(), d.end());
+    });
+    auto remaining = std::make_shared<util::Bytes>(to_wired);
+    auto pump = [conn, remaining] {
+      while (!remaining->empty()) {
+        size_t n = conn->Send(remaining->data(), remaining->size());
+        if (n == 0) {
+          return;
+        }
+        remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+      }
+    };
+    conn->set_on_writable(pump);
+    pump();
+  });
+
+  TcpConnection* client = s.wired_host().tcp().Connect(s.mobile_addr(), 80);
+  client->set_on_data([&](const util::Bytes& d) {
+    wired_sink.insert(wired_sink.end(), d.begin(), d.end());
+  });
+  auto remaining = std::make_shared<util::Bytes>(to_mobile);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+
+  s.sim().RunFor(600 * sim::kSecond);
+  EXPECT_EQ(mobile_sink, to_mobile);
+  EXPECT_EQ(wired_sink, to_wired);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, BidirectionalProperty,
+                         ::testing::Values(0.0, 0.02, 0.08));
+
+}  // namespace
+}  // namespace comma::tcp

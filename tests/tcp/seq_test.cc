@@ -1,0 +1,39 @@
+#include "src/tcp/seq.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::tcp {
+namespace {
+
+TEST(SeqTest, BasicOrdering) {
+  EXPECT_TRUE(SeqLt(1, 2));
+  EXPECT_TRUE(SeqLeq(2, 2));
+  EXPECT_TRUE(SeqGt(3, 2));
+  EXPECT_TRUE(SeqGeq(2, 2));
+  EXPECT_FALSE(SeqLt(2, 2));
+}
+
+TEST(SeqTest, WrapAroundOrdering) {
+  // 0xffffff00 + 0x200 wraps past zero; the wrapped value is "greater".
+  const uint32_t before = 0xffffff00u;
+  const uint32_t after = before + 0x200;  // 0x100.
+  EXPECT_TRUE(SeqLt(before, after));
+  EXPECT_TRUE(SeqGt(after, before));
+}
+
+TEST(SeqTest, DiffIsSigned) {
+  EXPECT_EQ(SeqDiff(5, 3), 2);
+  EXPECT_EQ(SeqDiff(3, 5), -2);
+  EXPECT_EQ(SeqDiff(0x100, 0xffffff00u), 0x200);
+}
+
+TEST(SeqTest, MinMaxRespectWrap) {
+  const uint32_t a = 0xfffffffeu;
+  const uint32_t b = 2;  // Logically after a.
+  EXPECT_EQ(SeqMax(a, b), b);
+  EXPECT_EQ(SeqMin(a, b), a);
+  EXPECT_EQ(SeqMax(7, 7), 7u);
+}
+
+}  // namespace
+}  // namespace comma::tcp

@@ -1,0 +1,75 @@
+// Shared fixture for TCP tests: wired host <-> gateway <-> mobile host,
+// with helpers for bulk servers/clients.
+#ifndef COMMA_TESTS_TCP_TCP_FIXTURE_H_
+#define COMMA_TESTS_TCP_TCP_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+#include "src/tcp/tcp_stack.h"
+
+namespace comma::tcp {
+
+class TcpFixture : public ::testing::Test {
+ protected:
+  explicit TcpFixture(core::ScenarioConfig config = {}) : scenario_(config) {}
+
+  sim::Simulator& sim() { return scenario_.sim(); }
+  core::WirelessScenario& scenario() { return scenario_; }
+
+  // Starts a byte-sink server on the mobile host. Received bytes accumulate
+  // into `sink`; `server_conn` is set when the connection is accepted.
+  void StartSinkServer(uint16_t port, util::Bytes* sink, TcpConnection** server_conn = nullptr,
+                       const TcpConfig& config = {}) {
+    scenario_.mobile_host().tcp().Listen(
+        port,
+        [sink, server_conn](TcpConnection* conn) {
+          if (server_conn != nullptr) {
+            *server_conn = conn;
+          }
+          conn->set_on_data([sink](const util::Bytes& data) {
+            sink->insert(sink->end(), data.begin(), data.end());
+          });
+          conn->set_on_remote_close([conn] { conn->Close(); });
+        },
+        config);
+  }
+
+  // Connects from the wired host and sends `payload`, closing afterwards.
+  // Respects send-buffer backpressure via on_writable.
+  TcpConnection* StartBulkClient(uint16_t port, util::Bytes payload,
+                                 const TcpConfig& config = {}) {
+    TcpConnection* conn =
+        scenario_.wired_host().tcp().Connect(scenario_.mobile_addr(), port, config);
+    auto remaining = std::make_shared<util::Bytes>(std::move(payload));
+    auto pump = [conn, remaining] {
+      while (!remaining->empty()) {
+        size_t n = conn->Send(remaining->data(), remaining->size());
+        if (n == 0) {
+          return;
+        }
+        remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+      }
+      if (remaining->empty()) {
+        conn->Close();
+      }
+    };
+    conn->set_on_connected(pump);
+    conn->set_on_writable(pump);
+    return conn;
+  }
+
+  static util::Bytes Pattern(size_t n) {
+    util::Bytes out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(i * 31 + (i >> 8));
+    }
+    return out;
+  }
+
+  core::WirelessScenario scenario_;
+};
+
+}  // namespace comma::tcp
+
+#endif  // COMMA_TESTS_TCP_TCP_FIXTURE_H_

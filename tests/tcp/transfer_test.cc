@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_fixture.h"
+
+namespace comma::tcp {
+namespace {
+
+class TransferTest : public TcpFixture {};
+
+TEST_F(TransferTest, SmallTransferDeliversExactBytes) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  util::Bytes payload = Pattern(100);
+  StartBulkClient(80, payload);
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+}
+
+TEST_F(TransferTest, MultiSegmentTransferPreservesOrder) {
+  util::Bytes sink;
+  StartSinkServer(80, &sink);
+  util::Bytes payload = Pattern(50'000);
+  StartBulkClient(80, payload);
+  sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(sink.size(), payload.size());
+  EXPECT_EQ(sink, payload);
+}
+
+TEST_F(TransferTest, LargeTransferOverCleanLink) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = 0.0;
+  core::WirelessScenario s(cfg);
+  util::Bytes sink;
+  s.mobile_host().tcp().Listen(80, [&](TcpConnection* c) {
+    c->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+  });
+  util::Bytes payload = Pattern(500'000);
+  TcpConnection* client = s.wired_host().tcp().Connect(s.mobile_addr(), 80);
+  auto remaining = std::make_shared<util::Bytes>(payload);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+    client->Close();
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+  s.sim().RunFor(60 * sim::kSecond);
+  EXPECT_EQ(sink, payload);
+  // Clean link: no retransmissions.
+  EXPECT_EQ(client->stats().bytes_retransmitted, 0u);
+}
+
+TEST_F(TransferTest, TransferSurvivesHeavyLoss) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = 0.10;  // 10% packet loss.
+  cfg.seed = 1234;
+  core::WirelessScenario s(cfg);
+  util::Bytes sink;
+  s.mobile_host().tcp().Listen(80, [&](TcpConnection* c) {
+    c->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+  });
+  util::Bytes payload = Pattern(100'000);
+  TcpConnection* client = s.wired_host().tcp().Connect(s.mobile_addr(), 80);
+  auto remaining = std::make_shared<util::Bytes>(payload);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+    client->Close();
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+  s.sim().RunFor(600 * sim::kSecond);
+  EXPECT_EQ(sink, payload);  // Reliability despite loss.
+  EXPECT_GT(client->stats().bytes_retransmitted, 0u);
+}
+
+TEST_F(TransferTest, BidirectionalTransfer) {
+  util::Bytes to_mobile = Pattern(20'000);
+  util::Bytes to_wired = Pattern(15'000);
+  util::Bytes mobile_sink;
+  util::Bytes wired_sink;
+
+  scenario().mobile_host().tcp().Listen(80, [&](TcpConnection* c) {
+    c->set_on_data([&](const util::Bytes& d) {
+      mobile_sink.insert(mobile_sink.end(), d.begin(), d.end());
+    });
+    auto remaining = std::make_shared<util::Bytes>(to_wired);
+    auto pump = [c, remaining] {
+      while (!remaining->empty()) {
+        size_t n = c->Send(remaining->data(), remaining->size());
+        if (n == 0) {
+          return;
+        }
+        remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+      }
+    };
+    c->set_on_writable(pump);
+    pump();
+  });
+
+  TcpConnection* client = scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80);
+  client->set_on_data([&](const util::Bytes& d) {
+    wired_sink.insert(wired_sink.end(), d.begin(), d.end());
+  });
+  auto remaining = std::make_shared<util::Bytes>(to_mobile);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(mobile_sink, to_mobile);
+  EXPECT_EQ(wired_sink, to_wired);
+}
+
+TEST_F(TransferTest, SendBufferBackpressure) {
+  StartSinkServer(80, nullptr);
+  TcpConfig cfg;
+  cfg.send_buffer = 4096;
+  TcpConnection* client =
+      scenario().wired_host().tcp().Connect(scenario().mobile_addr(), 80, cfg);
+  util::Bytes big(100'000, 0xaa);
+  // Before establishment the buffer accepts at most its cap.
+  size_t accepted = client->Send(big);
+  EXPECT_LE(accepted, 4096u);
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST_F(TransferTest, ThroughputApproachesWirelessLineRate) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = 0.0;
+  cfg.wireless.bandwidth_bps = 1'000'000;
+  core::WirelessScenario s(cfg);
+  util::Bytes sink;
+  s.mobile_host().tcp().Listen(80, [&](TcpConnection* c) {
+    c->set_on_data([&](const util::Bytes& d) { sink.insert(sink.end(), d.begin(), d.end()); });
+  });
+  const size_t total = 1'000'000;
+  TcpConnection* client = s.wired_host().tcp().Connect(s.mobile_addr(), 80);
+  auto sent = std::make_shared<size_t>(0);
+  auto pump = [client, sent, total] {
+    static const util::Bytes chunk(4096, 0x77);
+    while (*sent < total) {
+      size_t n = client->Send(chunk.data(), std::min(chunk.size(), total - *sent));
+      if (n == 0) {
+        return;
+      }
+      *sent += n;
+    }
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+  // Run until the sink has everything, then compute goodput over the actual
+  // transfer duration.
+  sim::TimePoint done = 0;
+  for (int step = 0; step < 600 && sink.size() < total; ++step) {
+    s.sim().RunFor(100 * sim::kMillisecond);
+    done = s.sim().Now();
+  }
+  ASSERT_EQ(sink.size(), total);
+  const double goodput_bps = static_cast<double>(total) * 8 / sim::DurationToSeconds(done);
+  // At least 60% of the 1 Mbit/s line rate (headers + slow start take their
+  // share).
+  EXPECT_GT(goodput_bps, 0.6e6);
+}
+
+TEST_F(TransferTest, StatsAccounting) {
+  util::Bytes sink;
+  TcpConnection* server = nullptr;
+  StartSinkServer(80, &sink, &server);
+  util::Bytes payload = Pattern(10'000);
+  TcpConnection* client = StartBulkClient(80, payload);
+  sim().RunFor(30 * sim::kSecond);
+  ASSERT_TRUE(server != nullptr);
+  EXPECT_EQ(client->stats().bytes_sent, payload.size());
+  EXPECT_EQ(server->stats().bytes_received, payload.size());
+  EXPECT_GT(client->stats().segments_sent, payload.size() / 1000);
+  EXPECT_GT(server->stats().segments_received, 0u);
+}
+
+}  // namespace
+}  // namespace comma::tcp

@@ -1,0 +1,85 @@
+#include "src/util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::util {
+namespace {
+
+TEST(BytesTest, WriteReadRoundTrip) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0102030405060708ULL);
+  w.WriteString("hello");
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadU8(), 0xab);
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, BigEndianLayout) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.WriteU16(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(BytesTest, ReadPastEndSetsFailed) {
+  Bytes buf = {0x01};
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BytesTest, FailedIsSticky) {
+  Bytes buf = {0x01, 0x02};
+  ByteReader r(buf);
+  r.ReadU32();  // Fails.
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.ReadU8(), 0u);  // Still failed even though a byte "exists".
+}
+
+TEST(BytesTest, ReadBytesExact) {
+  Bytes buf = {1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  Bytes head = r.ReadBytes(3);
+  EXPECT_EQ(head, (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.WriteU16(10);  // Claims 10 bytes follow...
+  w.WriteU8('x');  // ...but only 1 does.
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BytesTest, HexDumpFormatsAndTruncates) {
+  EXPECT_EQ(HexDump({0x00, 0xff, 0x10}), "00 ff 10");
+  EXPECT_EQ(HexDump({1, 2, 3, 4}, 2), "01 02 ...");
+  EXPECT_EQ(HexDump({}), "");
+}
+
+TEST(BytesTest, EmptyStringRoundTrip) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.WriteString("");
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.failed());
+}
+
+}  // namespace
+}  // namespace comma::util

@@ -1,0 +1,137 @@
+#include "src/util/compress.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace comma::util {
+namespace {
+
+Bytes MakeRepetitive(size_t n) {
+  Bytes out;
+  const char* phrase = "the quick brown fox jumps over the lazy dog. ";
+  while (out.size() < n) {
+    out.insert(out.end(), phrase, phrase + strlen(phrase));
+  }
+  out.resize(n);
+  return out;
+}
+
+Bytes MakeRandom(size_t n, uint64_t seed) {
+  sim::Random rng(seed);
+  Bytes out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return out;
+}
+
+class CompressRoundTripTest : public ::testing::TestWithParam<Codec> {};
+
+TEST_P(CompressRoundTripTest, EmptyInput) {
+  Bytes c = Compress({}, GetParam());
+  auto d = Decompress(c);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->empty());
+}
+
+TEST_P(CompressRoundTripTest, RepetitiveText) {
+  Bytes input = MakeRepetitive(5000);
+  Bytes c = Compress(input, GetParam());
+  auto d = Decompress(c);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, input);
+}
+
+TEST_P(CompressRoundTripTest, RandomData) {
+  Bytes input = MakeRandom(4096, 99);
+  Bytes c = Compress(input, GetParam());
+  auto d = Decompress(c);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, input);
+  // Random data is incompressible: the stored fallback bounds expansion.
+  EXPECT_LE(c.size(), input.size() + 8);
+}
+
+TEST_P(CompressRoundTripTest, AllSameByte) {
+  Bytes input(10000, 0x42);
+  Bytes c = Compress(input, GetParam());
+  auto d = Decompress(c);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, input);
+  if (GetParam() != Codec::kStored) {
+    EXPECT_LT(c.size(), input.size() / 10);
+  }
+}
+
+TEST_P(CompressRoundTripTest, SingleByte) {
+  Bytes input = {0x7f};
+  auto d = Decompress(Compress(input, GetParam()));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, input);
+}
+
+TEST_P(CompressRoundTripTest, VariousSizesRoundTrip) {
+  for (size_t n : {1u, 2u, 3u, 15u, 255u, 256u, 1000u, 4095u, 4096u, 4097u, 20000u}) {
+    Bytes input = MakeRepetitive(n);
+    auto d = Decompress(Compress(input, GetParam()));
+    ASSERT_TRUE(d.has_value()) << "size " << n;
+    EXPECT_EQ(*d, input) << "size " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CompressRoundTripTest,
+                         ::testing::Values(Codec::kStored, Codec::kRle, Codec::kLz));
+
+TEST(CompressTest, LzBeatsRleOnText) {
+  Bytes input = MakeRepetitive(8000);
+  EXPECT_LT(Compress(input, Codec::kLz).size(), Compress(input, Codec::kRle).size());
+  EXPECT_LT(Compress(input, Codec::kLz).size(), input.size() / 2);
+}
+
+TEST(CompressTest, RleWinsOnRuns) {
+  Bytes input(4000, 0xaa);
+  EXPECT_LT(Compress(input, Codec::kRle).size(), 100u);
+}
+
+TEST(CompressTest, DecompressRejectsGarbage) {
+  EXPECT_FALSE(Decompress({}).has_value());
+  EXPECT_FALSE(Decompress({0x00, 0x01, 0x02}).has_value());
+  EXPECT_FALSE(Decompress(MakeRandom(100, 5)).has_value() &&
+               MakeRandom(100, 5)[0] != 0xC3);  // Overwhelmingly rejected.
+}
+
+TEST(CompressTest, DecompressRejectsTruncated) {
+  Bytes c = Compress(MakeRepetitive(1000), Codec::kLz);
+  c.resize(c.size() / 2);
+  EXPECT_FALSE(Decompress(c).has_value());
+}
+
+TEST(CompressTest, DecompressRejectsBadCodecId) {
+  Bytes c = Compress(MakeRepetitive(100), Codec::kLz);
+  c[1] = 0x77;
+  EXPECT_FALSE(Decompress(c).has_value());
+}
+
+TEST(CompressTest, PeekCodecReportsActualCodec) {
+  Bytes text = MakeRepetitive(1000);
+  EXPECT_EQ(PeekCodec(Compress(text, Codec::kLz)), Codec::kLz);
+  // Random data falls back to stored.
+  Bytes rnd = MakeRandom(1000, 3);
+  EXPECT_EQ(PeekCodec(Compress(rnd, Codec::kLz)), Codec::kStored);
+  EXPECT_FALSE(PeekCodec({0x01}).has_value());
+}
+
+TEST(CompressTest, OverlappingLzMatchesDecodeCorrectly) {
+  // "abcabcabc..." produces matches whose source overlaps the output cursor.
+  Bytes input;
+  for (int i = 0; i < 3000; ++i) {
+    input.push_back(static_cast<uint8_t>('a' + i % 3));
+  }
+  auto d = Decompress(Compress(input, Codec::kLz));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, input);
+}
+
+}  // namespace
+}  // namespace comma::util

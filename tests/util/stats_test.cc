@@ -1,0 +1,98 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats s;
+  for (double v : {4.0, 2.0, 8.0, 6.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(RunningStatsTest, VarianceMatchesClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  // Sample variance of the classic data set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(PercentilesTest, ExactValues) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) {
+    p.Add(i);
+  }
+  EXPECT_NEAR(p.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(p.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(p.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.Percentile(99), 99.01, 0.1);
+}
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.Percentile(50), 0.0);
+}
+
+TEST(PercentilesTest, SingleSample) {
+  Percentiles p;
+  p.Add(7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(100), 7.5);
+}
+
+TEST(HistogramTest, BucketsFill) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.Add(i + 0.5);
+  }
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.BucketCount(i), 1u);
+  }
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(9), 1u);
+}
+
+TEST(HistogramTest, RenderProducesOneLinePerBucket) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  std::string out = h.Render(10);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace comma::util

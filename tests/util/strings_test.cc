@@ -1,0 +1,87 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::util {
+namespace {
+
+TEST(StringsTest, SplitWhitespaceBasic) {
+  EXPECT_EQ(SplitWhitespace("a b c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitWhitespaceCollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a\t\tb \n c  "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitWhitespaceEmpty) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n ").empty());
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"one"}, "-"), "one");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringsTest, FormatBasics) {
+  EXPECT_EQ(Format("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(Format("%05.1f", 2.25), "002.2");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("report all", "report"));
+  EXPECT_FALSE(StartsWith("rep", "report"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringsTest, ParseU32Valid) {
+  uint32_t v = 0;
+  EXPECT_TRUE(ParseU32("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseU32("4294967295", &v));
+  EXPECT_EQ(v, 4294967295u);
+}
+
+TEST(StringsTest, ParseU32Invalid) {
+  uint32_t v = 0;
+  EXPECT_FALSE(ParseU32("", &v));
+  EXPECT_FALSE(ParseU32("-1", &v));
+  EXPECT_FALSE(ParseU32("12a", &v));
+  EXPECT_FALSE(ParseU32("4294967296", &v));  // Overflow.
+  EXPECT_FALSE(ParseU32(" 5", &v));
+}
+
+TEST(StringsTest, ParseU64Overflow) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseU64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseU64("18446744073709551616", &v));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &d));
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &d));
+  EXPECT_DOUBLE_EQ(d, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+}
+
+}  // namespace
+}  // namespace comma::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eem_traffic.dir/bench_eem_traffic.cc.o"
+  "CMakeFiles/bench_eem_traffic.dir/bench_eem_traffic.cc.o.d"
+  "bench_eem_traffic"
+  "bench_eem_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eem_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_hdiscard.cc" "bench/CMakeFiles/bench_hdiscard.dir/bench_hdiscard.cc.o" "gcc" "bench/CMakeFiles/bench_hdiscard.dir/bench_hdiscard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/comma_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/comma_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/comma_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobileip/CMakeFiles/comma_mobileip.dir/DependInfo.cmake"
+  "/root/repo/build/src/kati/CMakeFiles/comma_kati.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/comma_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/comma_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/comma_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/comma_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/comma_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/comma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/comma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hdiscard.dir/bench_hdiscard.cc.o"
+  "CMakeFiles/bench_hdiscard.dir/bench_hdiscard.cc.o.d"
+  "bench_hdiscard"
+  "bench_hdiscard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hdiscard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

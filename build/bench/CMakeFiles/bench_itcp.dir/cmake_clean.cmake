@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_itcp.dir/bench_itcp.cc.o"
+  "CMakeFiles/bench_itcp.dir/bench_itcp.cc.o.d"
+  "bench_itcp"
+  "bench_itcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_itcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mobileip.dir/bench_mobileip.cc.o"
+  "CMakeFiles/bench_mobileip.dir/bench_mobileip.cc.o.d"
+  "bench_mobileip"
+  "bench_mobileip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mobileip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_micro.dir/bench_proxy_micro.cc.o"
+  "CMakeFiles/bench_proxy_micro.dir/bench_proxy_micro.cc.o.d"
+  "bench_proxy_micro"
+  "bench_proxy_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snoop.dir/bench_snoop.cc.o"
+  "CMakeFiles/bench_snoop.dir/bench_snoop.cc.o.d"
+  "bench_snoop"
+  "bench_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

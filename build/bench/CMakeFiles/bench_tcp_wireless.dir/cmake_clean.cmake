@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcp_wireless.dir/bench_tcp_wireless.cc.o"
+  "CMakeFiles/bench_tcp_wireless.dir/bench_tcp_wireless.cc.o.d"
+  "bench_tcp_wireless"
+  "bench_tcp_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ttsf_compress.dir/bench_ttsf_compress.cc.o"
+  "CMakeFiles/bench_ttsf_compress.dir/bench_ttsf_compress.cc.o.d"
+  "bench_ttsf_compress"
+  "bench_ttsf_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ttsf_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

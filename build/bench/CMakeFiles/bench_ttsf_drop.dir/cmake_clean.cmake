@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ttsf_drop.dir/bench_ttsf_drop.cc.o"
+  "CMakeFiles/bench_ttsf_drop.dir/bench_ttsf_drop.cc.o.d"
+  "bench_ttsf_drop"
+  "bench_ttsf_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ttsf_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zwsm.dir/bench_zwsm.cc.o"
+  "CMakeFiles/bench_zwsm.dir/bench_zwsm.cc.o.d"
+  "bench_zwsm"
+  "bench_zwsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zwsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnection_zwsm.dir/disconnection_zwsm.cpp.o"
+  "CMakeFiles/disconnection_zwsm.dir/disconnection_zwsm.cpp.o.d"
+  "disconnection_zwsm"
+  "disconnection_zwsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnection_zwsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for disconnection_zwsm.
+# This may be replaced when dependencies are built.

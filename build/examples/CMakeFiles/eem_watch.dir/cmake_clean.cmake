@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eem_watch.dir/eem_watch.cpp.o"
+  "CMakeFiles/eem_watch.dir/eem_watch.cpp.o.d"
+  "eem_watch"
+  "eem_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eem_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

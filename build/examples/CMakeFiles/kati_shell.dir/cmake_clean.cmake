@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kati_shell.dir/kati_shell.cpp.o"
+  "CMakeFiles/kati_shell.dir/kati_shell.cpp.o.d"
+  "kati_shell"
+  "kati_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kati_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobileip_handoff.dir/mobileip_handoff.cpp.o"
+  "CMakeFiles/mobileip_handoff.dir/mobileip_handoff.cpp.o.d"
+  "mobileip_handoff"
+  "mobileip_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobileip_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_session.dir/sp_session.cpp.o"
+  "CMakeFiles/sp_session.dir/sp_session.cpp.o.d"
+  "sp_session"
+  "sp_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_compression.dir/transparent_compression.cpp.o"
+  "CMakeFiles/transparent_compression.dir/transparent_compression.cpp.o.d"
+  "transparent_compression"
+  "transparent_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("util")
+subdirs("net")
+subdirs("tcp")
+subdirs("udp")
+subdirs("mobileip")
+subdirs("monitor")
+subdirs("proxy")
+subdirs("filters")
+subdirs("kati")
+subdirs("baselines")
+subdirs("apps")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_apps.dir/bulk.cc.o"
+  "CMakeFiles/comma_apps.dir/bulk.cc.o.d"
+  "CMakeFiles/comma_apps.dir/media.cc.o"
+  "CMakeFiles/comma_apps.dir/media.cc.o.d"
+  "CMakeFiles/comma_apps.dir/query.cc.o"
+  "CMakeFiles/comma_apps.dir/query.cc.o.d"
+  "CMakeFiles/comma_apps.dir/request_response.cc.o"
+  "CMakeFiles/comma_apps.dir/request_response.cc.o.d"
+  "libcomma_apps.a"
+  "libcomma_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_baselines.dir/itcp.cc.o"
+  "CMakeFiles/comma_baselines.dir/itcp.cc.o.d"
+  "CMakeFiles/comma_baselines.dir/link_arq.cc.o"
+  "CMakeFiles/comma_baselines.dir/link_arq.cc.o.d"
+  "libcomma_baselines.a"
+  "libcomma_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

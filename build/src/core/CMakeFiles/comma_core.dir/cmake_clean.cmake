@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_core.dir/ping.cc.o"
+  "CMakeFiles/comma_core.dir/ping.cc.o.d"
+  "CMakeFiles/comma_core.dir/scenario.cc.o"
+  "CMakeFiles/comma_core.dir/scenario.cc.o.d"
+  "libcomma_core.a"
+  "libcomma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

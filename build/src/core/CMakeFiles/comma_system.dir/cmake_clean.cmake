@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_system.dir/comma_system.cc.o"
+  "CMakeFiles/comma_system.dir/comma_system.cc.o.d"
+  "libcomma_system.a"
+  "libcomma_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

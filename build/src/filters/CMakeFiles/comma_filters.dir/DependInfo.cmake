@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/launcher_filter.cc" "src/filters/CMakeFiles/comma_filters.dir/launcher_filter.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/launcher_filter.cc.o.d"
+  "/root/repo/src/filters/media_filters.cc" "src/filters/CMakeFiles/comma_filters.dir/media_filters.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/media_filters.cc.o.d"
+  "/root/repo/src/filters/qcache_filter.cc" "src/filters/CMakeFiles/comma_filters.dir/qcache_filter.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/qcache_filter.cc.o.d"
+  "/root/repo/src/filters/query_protocol.cc" "src/filters/CMakeFiles/comma_filters.dir/query_protocol.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/query_protocol.cc.o.d"
+  "/root/repo/src/filters/rdrop_filter.cc" "src/filters/CMakeFiles/comma_filters.dir/rdrop_filter.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/rdrop_filter.cc.o.d"
+  "/root/repo/src/filters/snoop_filter.cc" "src/filters/CMakeFiles/comma_filters.dir/snoop_filter.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/snoop_filter.cc.o.d"
+  "/root/repo/src/filters/standard_set.cc" "src/filters/CMakeFiles/comma_filters.dir/standard_set.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/standard_set.cc.o.d"
+  "/root/repo/src/filters/tcp_filter.cc" "src/filters/CMakeFiles/comma_filters.dir/tcp_filter.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/tcp_filter.cc.o.d"
+  "/root/repo/src/filters/transform_filters.cc" "src/filters/CMakeFiles/comma_filters.dir/transform_filters.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/transform_filters.cc.o.d"
+  "/root/repo/src/filters/ttsf_filter.cc" "src/filters/CMakeFiles/comma_filters.dir/ttsf_filter.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/ttsf_filter.cc.o.d"
+  "/root/repo/src/filters/wsize_filter.cc" "src/filters/CMakeFiles/comma_filters.dir/wsize_filter.cc.o" "gcc" "src/filters/CMakeFiles/comma_filters.dir/wsize_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proxy/CMakeFiles/comma_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/comma_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/comma_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/comma_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/comma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/comma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_filters.dir/launcher_filter.cc.o"
+  "CMakeFiles/comma_filters.dir/launcher_filter.cc.o.d"
+  "CMakeFiles/comma_filters.dir/media_filters.cc.o"
+  "CMakeFiles/comma_filters.dir/media_filters.cc.o.d"
+  "CMakeFiles/comma_filters.dir/qcache_filter.cc.o"
+  "CMakeFiles/comma_filters.dir/qcache_filter.cc.o.d"
+  "CMakeFiles/comma_filters.dir/query_protocol.cc.o"
+  "CMakeFiles/comma_filters.dir/query_protocol.cc.o.d"
+  "CMakeFiles/comma_filters.dir/rdrop_filter.cc.o"
+  "CMakeFiles/comma_filters.dir/rdrop_filter.cc.o.d"
+  "CMakeFiles/comma_filters.dir/snoop_filter.cc.o"
+  "CMakeFiles/comma_filters.dir/snoop_filter.cc.o.d"
+  "CMakeFiles/comma_filters.dir/standard_set.cc.o"
+  "CMakeFiles/comma_filters.dir/standard_set.cc.o.d"
+  "CMakeFiles/comma_filters.dir/tcp_filter.cc.o"
+  "CMakeFiles/comma_filters.dir/tcp_filter.cc.o.d"
+  "CMakeFiles/comma_filters.dir/transform_filters.cc.o"
+  "CMakeFiles/comma_filters.dir/transform_filters.cc.o.d"
+  "CMakeFiles/comma_filters.dir/ttsf_filter.cc.o"
+  "CMakeFiles/comma_filters.dir/ttsf_filter.cc.o.d"
+  "CMakeFiles/comma_filters.dir/wsize_filter.cc.o"
+  "CMakeFiles/comma_filters.dir/wsize_filter.cc.o.d"
+  "libcomma_filters.a"
+  "libcomma_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_kati.dir/shell.cc.o"
+  "CMakeFiles/comma_kati.dir/shell.cc.o.d"
+  "CMakeFiles/comma_kati.dir/sp_client.cc.o"
+  "CMakeFiles/comma_kati.dir/sp_client.cc.o.d"
+  "libcomma_kati.a"
+  "libcomma_kati.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_kati.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobileip/foreign_agent.cc" "src/mobileip/CMakeFiles/comma_mobileip.dir/foreign_agent.cc.o" "gcc" "src/mobileip/CMakeFiles/comma_mobileip.dir/foreign_agent.cc.o.d"
+  "/root/repo/src/mobileip/home_agent.cc" "src/mobileip/CMakeFiles/comma_mobileip.dir/home_agent.cc.o" "gcc" "src/mobileip/CMakeFiles/comma_mobileip.dir/home_agent.cc.o.d"
+  "/root/repo/src/mobileip/messages.cc" "src/mobileip/CMakeFiles/comma_mobileip.dir/messages.cc.o" "gcc" "src/mobileip/CMakeFiles/comma_mobileip.dir/messages.cc.o.d"
+  "/root/repo/src/mobileip/mobile_client.cc" "src/mobileip/CMakeFiles/comma_mobileip.dir/mobile_client.cc.o" "gcc" "src/mobileip/CMakeFiles/comma_mobileip.dir/mobile_client.cc.o.d"
+  "/root/repo/src/mobileip/proxy_handoff.cc" "src/mobileip/CMakeFiles/comma_mobileip.dir/proxy_handoff.cc.o" "gcc" "src/mobileip/CMakeFiles/comma_mobileip.dir/proxy_handoff.cc.o.d"
+  "/root/repo/src/mobileip/scenario.cc" "src/mobileip/CMakeFiles/comma_mobileip.dir/scenario.cc.o" "gcc" "src/mobileip/CMakeFiles/comma_mobileip.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/comma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/comma_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/comma_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/comma_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/comma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/comma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

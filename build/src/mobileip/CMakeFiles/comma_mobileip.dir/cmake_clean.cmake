@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_mobileip.dir/foreign_agent.cc.o"
+  "CMakeFiles/comma_mobileip.dir/foreign_agent.cc.o.d"
+  "CMakeFiles/comma_mobileip.dir/home_agent.cc.o"
+  "CMakeFiles/comma_mobileip.dir/home_agent.cc.o.d"
+  "CMakeFiles/comma_mobileip.dir/messages.cc.o"
+  "CMakeFiles/comma_mobileip.dir/messages.cc.o.d"
+  "CMakeFiles/comma_mobileip.dir/mobile_client.cc.o"
+  "CMakeFiles/comma_mobileip.dir/mobile_client.cc.o.d"
+  "CMakeFiles/comma_mobileip.dir/proxy_handoff.cc.o"
+  "CMakeFiles/comma_mobileip.dir/proxy_handoff.cc.o.d"
+  "CMakeFiles/comma_mobileip.dir/scenario.cc.o"
+  "CMakeFiles/comma_mobileip.dir/scenario.cc.o.d"
+  "libcomma_mobileip.a"
+  "libcomma_mobileip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_mobileip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_monitor.dir/eem_client.cc.o"
+  "CMakeFiles/comma_monitor.dir/eem_client.cc.o.d"
+  "CMakeFiles/comma_monitor.dir/eem_server.cc.o"
+  "CMakeFiles/comma_monitor.dir/eem_server.cc.o.d"
+  "CMakeFiles/comma_monitor.dir/protocol.cc.o"
+  "CMakeFiles/comma_monitor.dir/protocol.cc.o.d"
+  "CMakeFiles/comma_monitor.dir/value.cc.o"
+  "CMakeFiles/comma_monitor.dir/value.cc.o.d"
+  "CMakeFiles/comma_monitor.dir/variables.cc.o"
+  "CMakeFiles/comma_monitor.dir/variables.cc.o.d"
+  "libcomma_monitor.a"
+  "libcomma_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

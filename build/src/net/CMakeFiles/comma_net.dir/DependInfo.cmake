@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/net/CMakeFiles/comma_net.dir/address.cc.o" "gcc" "src/net/CMakeFiles/comma_net.dir/address.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/comma_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/comma_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/comma_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/comma_net.dir/link.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/comma_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/comma_net.dir/node.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/comma_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/comma_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/trace_tap.cc" "src/net/CMakeFiles/comma_net.dir/trace_tap.cc.o" "gcc" "src/net/CMakeFiles/comma_net.dir/trace_tap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/comma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

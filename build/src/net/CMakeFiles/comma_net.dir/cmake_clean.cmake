@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_net.dir/address.cc.o"
+  "CMakeFiles/comma_net.dir/address.cc.o.d"
+  "CMakeFiles/comma_net.dir/checksum.cc.o"
+  "CMakeFiles/comma_net.dir/checksum.cc.o.d"
+  "CMakeFiles/comma_net.dir/link.cc.o"
+  "CMakeFiles/comma_net.dir/link.cc.o.d"
+  "CMakeFiles/comma_net.dir/node.cc.o"
+  "CMakeFiles/comma_net.dir/node.cc.o.d"
+  "CMakeFiles/comma_net.dir/packet.cc.o"
+  "CMakeFiles/comma_net.dir/packet.cc.o.d"
+  "CMakeFiles/comma_net.dir/trace_tap.cc.o"
+  "CMakeFiles/comma_net.dir/trace_tap.cc.o.d"
+  "libcomma_net.a"
+  "libcomma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/command.cc" "src/proxy/CMakeFiles/comma_proxy.dir/command.cc.o" "gcc" "src/proxy/CMakeFiles/comma_proxy.dir/command.cc.o.d"
+  "/root/repo/src/proxy/command_server.cc" "src/proxy/CMakeFiles/comma_proxy.dir/command_server.cc.o" "gcc" "src/proxy/CMakeFiles/comma_proxy.dir/command_server.cc.o.d"
+  "/root/repo/src/proxy/filter_registry.cc" "src/proxy/CMakeFiles/comma_proxy.dir/filter_registry.cc.o" "gcc" "src/proxy/CMakeFiles/comma_proxy.dir/filter_registry.cc.o.d"
+  "/root/repo/src/proxy/service_catalog.cc" "src/proxy/CMakeFiles/comma_proxy.dir/service_catalog.cc.o" "gcc" "src/proxy/CMakeFiles/comma_proxy.dir/service_catalog.cc.o.d"
+  "/root/repo/src/proxy/service_proxy.cc" "src/proxy/CMakeFiles/comma_proxy.dir/service_proxy.cc.o" "gcc" "src/proxy/CMakeFiles/comma_proxy.dir/service_proxy.cc.o.d"
+  "/root/repo/src/proxy/stream_key.cc" "src/proxy/CMakeFiles/comma_proxy.dir/stream_key.cc.o" "gcc" "src/proxy/CMakeFiles/comma_proxy.dir/stream_key.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/comma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/comma_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/comma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

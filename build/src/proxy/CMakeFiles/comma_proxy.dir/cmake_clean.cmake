@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_proxy.dir/command.cc.o"
+  "CMakeFiles/comma_proxy.dir/command.cc.o.d"
+  "CMakeFiles/comma_proxy.dir/command_server.cc.o"
+  "CMakeFiles/comma_proxy.dir/command_server.cc.o.d"
+  "CMakeFiles/comma_proxy.dir/filter_registry.cc.o"
+  "CMakeFiles/comma_proxy.dir/filter_registry.cc.o.d"
+  "CMakeFiles/comma_proxy.dir/service_catalog.cc.o"
+  "CMakeFiles/comma_proxy.dir/service_catalog.cc.o.d"
+  "CMakeFiles/comma_proxy.dir/service_proxy.cc.o"
+  "CMakeFiles/comma_proxy.dir/service_proxy.cc.o.d"
+  "CMakeFiles/comma_proxy.dir/stream_key.cc.o"
+  "CMakeFiles/comma_proxy.dir/stream_key.cc.o.d"
+  "libcomma_proxy.a"
+  "libcomma_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcomma_proxy.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_sim.dir/random.cc.o"
+  "CMakeFiles/comma_sim.dir/random.cc.o.d"
+  "CMakeFiles/comma_sim.dir/simulator.cc.o"
+  "CMakeFiles/comma_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/comma_sim.dir/trace.cc.o"
+  "CMakeFiles/comma_sim.dir/trace.cc.o.d"
+  "libcomma_sim.a"
+  "libcomma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

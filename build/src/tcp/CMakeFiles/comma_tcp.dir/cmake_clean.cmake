@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_tcp.dir/tcp_connection.cc.o"
+  "CMakeFiles/comma_tcp.dir/tcp_connection.cc.o.d"
+  "CMakeFiles/comma_tcp.dir/tcp_stack.cc.o"
+  "CMakeFiles/comma_tcp.dir/tcp_stack.cc.o.d"
+  "libcomma_tcp.a"
+  "libcomma_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_udp.dir/udp_stack.cc.o"
+  "CMakeFiles/comma_udp.dir/udp_stack.cc.o.d"
+  "libcomma_udp.a"
+  "libcomma_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for comma_udp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comma_util.dir/bytes.cc.o"
+  "CMakeFiles/comma_util.dir/bytes.cc.o.d"
+  "CMakeFiles/comma_util.dir/compress.cc.o"
+  "CMakeFiles/comma_util.dir/compress.cc.o.d"
+  "CMakeFiles/comma_util.dir/stats.cc.o"
+  "CMakeFiles/comma_util.dir/stats.cc.o.d"
+  "CMakeFiles/comma_util.dir/strings.cc.o"
+  "CMakeFiles/comma_util.dir/strings.cc.o.d"
+  "libcomma_util.a"
+  "libcomma_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comma_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_test.dir/filters/compression_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters/compression_test.cc.o.d"
+  "CMakeFiles/filters_test.dir/filters/media_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters/media_test.cc.o.d"
+  "CMakeFiles/filters_test.dir/filters/qcache_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters/qcache_test.cc.o.d"
+  "CMakeFiles/filters_test.dir/filters/snoop_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters/snoop_test.cc.o.d"
+  "CMakeFiles/filters_test.dir/filters/ttsf_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters/ttsf_test.cc.o.d"
+  "CMakeFiles/filters_test.dir/filters/ttsf_unit_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters/ttsf_unit_test.cc.o.d"
+  "CMakeFiles/filters_test.dir/filters/wsize_test.cc.o"
+  "CMakeFiles/filters_test.dir/filters/wsize_test.cc.o.d"
+  "filters_test"
+  "filters_test.pdb"
+  "filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

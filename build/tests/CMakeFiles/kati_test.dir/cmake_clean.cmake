@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kati_test.dir/kati/kati_test.cc.o"
+  "CMakeFiles/kati_test.dir/kati/kati_test.cc.o.d"
+  "kati_test"
+  "kati_test.pdb"
+  "kati_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kati_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

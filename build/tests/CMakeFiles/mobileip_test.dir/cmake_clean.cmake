@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobileip_test.dir/mobileip/mobileip_test.cc.o"
+  "CMakeFiles/mobileip_test.dir/mobileip/mobileip_test.cc.o.d"
+  "CMakeFiles/mobileip_test.dir/mobileip/proxy_handoff_test.cc.o"
+  "CMakeFiles/mobileip_test.dir/mobileip/proxy_handoff_test.cc.o.d"
+  "mobileip_test"
+  "mobileip_test.pdb"
+  "mobileip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobileip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/address_test.cc.o"
+  "CMakeFiles/net_test.dir/net/address_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/checksum_test.cc.o"
+  "CMakeFiles/net_test.dir/net/checksum_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/failure_test.cc.o"
+  "CMakeFiles/net_test.dir/net/failure_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/link_test.cc.o"
+  "CMakeFiles/net_test.dir/net/link_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/node_test.cc.o"
+  "CMakeFiles/net_test.dir/net/node_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/packet_test.cc.o"
+  "CMakeFiles/net_test.dir/net/packet_test.cc.o.d"
+  "CMakeFiles/net_test.dir/net/trace_tap_test.cc.o"
+  "CMakeFiles/net_test.dir/net/trace_tap_test.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp/close_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/close_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/close_test.cc.o.d"
+  "/root/repo/tests/tcp/congestion_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/congestion_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/congestion_test.cc.o.d"
+  "/root/repo/tests/tcp/edge_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/edge_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/edge_test.cc.o.d"
+  "/root/repo/tests/tcp/flow_control_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/flow_control_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/flow_control_test.cc.o.d"
+  "/root/repo/tests/tcp/handshake_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/handshake_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/handshake_test.cc.o.d"
+  "/root/repo/tests/tcp/property_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/property_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/property_test.cc.o.d"
+  "/root/repo/tests/tcp/seq_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/seq_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/seq_test.cc.o.d"
+  "/root/repo/tests/tcp/transfer_test.cc" "tests/CMakeFiles/tcp_test.dir/tcp/transfer_test.cc.o" "gcc" "tests/CMakeFiles/tcp_test.dir/tcp/transfer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/comma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/comma_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/comma_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/comma_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/comma_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/comma_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/comma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/comma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_test.dir/tcp/close_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/close_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/congestion_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/congestion_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/edge_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/edge_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/flow_control_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/flow_control_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/handshake_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/handshake_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/property_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/property_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/seq_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/seq_test.cc.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/transfer_test.cc.o"
+  "CMakeFiles/tcp_test.dir/tcp/transfer_test.cc.o.d"
+  "tcp_test"
+  "tcp_test.pdb"
+  "tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

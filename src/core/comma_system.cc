@@ -1,9 +1,12 @@
 #include "src/core/comma_system.h"
 
+#include "src/util/check.h"
+
 namespace comma::core {
 
 CommaSystem::CommaSystem(const CommaSystemConfig& config)
     : config_(config), scenario_(config.scenario), catalog_(filters::StandardCatalog()) {
+  util::SetDebugChecks(config.debug_checks);
   sp_ = std::make_unique<proxy::ServiceProxy>(&scenario_.gateway(),
                                               filters::StandardRegistry(config.load_filters));
   sp_->set_catalog(&catalog_);

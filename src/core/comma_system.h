@@ -29,6 +29,11 @@ struct CommaSystemConfig {
   std::vector<std::string> load_filters;
   bool start_command_server = true;
   bool start_eem = true;
+  // Enables the runtime invariant auditors (SeqSpaceAuditor,
+  // FilterQueueAuditor, StreamRegistryAuditor) for the whole process. The
+  // auditors are always compiled in; with this off they cost one atomic
+  // load per packet. See docs/correctness.md.
+  bool debug_checks = false;
 };
 
 class CommaSystem {

@@ -166,12 +166,11 @@ bool DelayFilter::OnInsert(proxy::FilterContext&, const proxy::StreamKey&,
 proxy::FilterVerdict DelayFilter::Out(proxy::FilterContext& ctx, const proxy::StreamKey&,
                                       net::Packet& packet) {
   ++delayed_;
-  net::PacketPtr copy = packet.Clone();
-  auto* raw = copy.release();
+  auto holder = std::make_shared<net::PacketPtr>(packet.Clone());
   proxy::ServiceProxy* proxy = &ctx.proxy();
   proxy::FilterPtr self = shared_from_this();
-  ctx.simulator().Schedule(delay_, [self, proxy, raw] {
-    proxy->InjectPacket(net::PacketPtr(raw));
+  ctx.simulator().Schedule(delay_, [self, proxy, holder] {
+    proxy->InjectPacket(std::move(*holder));
   });
   return proxy::FilterVerdict::kDrop;  // The original is replaced by the delayed copy.
 }

@@ -1,0 +1,85 @@
+#include "src/filters/ttsf_audit.h"
+
+#include "src/tcp/seq.h"
+#include "src/util/check.h"
+
+namespace comma::filters {
+
+using tcp::SeqGt;
+using tcp::SeqLeq;
+
+void SeqSpaceAuditor::AuditDirection(const proxy::StreamKey& key,
+                                     const TtsfFilter::DirState& st) {
+  ++audits_;
+  if (!st.initialized) {
+    COMMA_CHECK(st.records.empty())
+        << "ttsf " << key.ToString() << ": records exist before initialization";
+    COMMA_CHECK(st.held.empty())
+        << "ttsf " << key.ToString() << ": held packets before initialization";
+    return;
+  }
+
+  const TtsfFilter::Record* prev = nullptr;
+  for (const TtsfFilter::Record& rec : st.records) {
+    ++records_checked_;
+    // Internal consistency of the record itself.
+    if (rec.is_fin) {
+      COMMA_CHECK_EQ(rec.orig_len, 1u) << "ttsf " << key.ToString() << ": FIN record width";
+      COMMA_CHECK_EQ(rec.out_len, 1u) << "ttsf " << key.ToString() << ": FIN record width";
+      COMMA_CHECK(rec.cached.empty())
+          << "ttsf " << key.ToString() << ": FIN record carries payload";
+    } else {
+      COMMA_CHECK_EQ(rec.cached.size(), static_cast<size_t>(rec.out_len))
+          << "ttsf " << key.ToString() << ": cached replay payload does not match out_len at orig_seq "
+          << rec.orig_seq;
+      if (rec.identity) {
+        COMMA_CHECK_EQ(rec.orig_len, rec.out_len)
+            << "ttsf " << key.ToString() << ": identity record changed length at orig_seq "
+            << rec.orig_seq;
+      }
+    }
+    // Contiguity in both sequence spaces: each record starts exactly where
+    // the previous one ended. (uint32 wrap-around is handled by the modular
+    // equality itself.)
+    if (prev != nullptr) {
+      COMMA_CHECK_EQ(prev->orig_seq + prev->orig_len, rec.orig_seq)
+          << "ttsf " << key.ToString() << ": gap or overlap in original sequence space";
+      COMMA_CHECK_EQ(prev->out_seq + prev->out_len, rec.out_seq)
+          << "ttsf " << key.ToString() << ": gap or overlap in output sequence space";
+    }
+    prev = &rec;
+  }
+
+  // The record list must end exactly at the frontiers: the next in-order
+  // byte continues both spaces without a seam.
+  if (prev != nullptr) {
+    COMMA_CHECK_EQ(prev->orig_seq + prev->orig_len, st.orig_frontier)
+        << "ttsf " << key.ToString() << ": records end " << prev->orig_seq + prev->orig_len
+        << " but orig frontier is " << st.orig_frontier;
+    COMMA_CHECK_EQ(prev->out_seq + prev->out_len, st.out_frontier)
+        << "ttsf " << key.ToString() << ": records end " << prev->out_seq + prev->out_len
+        << " but out frontier is " << st.out_frontier;
+  }
+
+  // Held out-of-order packets lie strictly beyond the frontier (anything at
+  // or below it would have been applied or discarded by ReleaseHeld) and
+  // only exist once transforms are in play.
+  COMMA_CHECK(st.held.empty() || st.transforms_used)
+      << "ttsf " << key.ToString() << ": held packets without active transforms";
+  for (const auto& [held_seq, held] : st.held) {
+    COMMA_CHECK_EQ(held_seq, held.packet->tcp().seq)
+        << "ttsf " << key.ToString() << ": held packet indexed under the wrong sequence number";
+    COMMA_CHECK(SeqGt(held_seq, st.orig_frontier))
+        << "ttsf " << key.ToString() << ": held packet at " << held_seq
+        << " not beyond frontier " << st.orig_frontier;
+  }
+
+  // The receiver can only acknowledge output-space bytes we have emitted.
+  if (st.ack_seen) {
+    COMMA_CHECK(SeqLeq(st.max_acked_out, st.out_frontier))
+        << "ttsf " << key.ToString() << ": receiver acked " << st.max_acked_out
+        << " beyond out frontier " << st.out_frontier;
+  }
+}
+
+}  // namespace comma::filters

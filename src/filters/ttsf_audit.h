@@ -1,0 +1,48 @@
+// SeqSpaceAuditor: runtime verification of the TTSF's wired<->wireless
+// sequence-space mapping (thesis §8.1, Fig. 8.2).
+//
+// The whole transparency argument rests on the record list being a
+// contiguous, monotonic bijection fragment between original and output
+// sequence space, ending exactly at the direction's frontiers. If any
+// drop/shrink/grow step breaks that — an off-by-one in a frontier update, a
+// record appended out of order, a prune past the receiver's ack — the filter
+// starts acknowledging bytes the receiver never saw, which is precisely the
+// end-to-end violation the TTSF exists to avoid (§5.1.2). The auditor
+// re-checks the full invariant set after every packet the TTSF processes.
+//
+// Always compiled; the TTSF only invokes it when util::DebugChecksEnabled().
+#ifndef COMMA_FILTERS_TTSF_AUDIT_H_
+#define COMMA_FILTERS_TTSF_AUDIT_H_
+
+#include <cstdint>
+
+#include "src/filters/ttsf_filter.h"
+
+namespace comma::filters {
+
+class SeqSpaceAuditor {
+ public:
+  // Verifies one direction's state:
+  //  - records are contiguous in *both* sequence spaces (no gaps, no
+  //    overlap): rec[i].end == rec[i+1].start for orig and out;
+  //  - the record list ends exactly at (orig_frontier, out_frontier);
+  //  - each record is internally consistent (cached replay payload matches
+  //    out_len; identity records preserve length; FIN markers span one
+  //    sequence unit in both spaces);
+  //  - held out-of-order packets all lie strictly beyond the frontier and
+  //    are indexed by their own sequence number;
+  //  - the receiver's highest ack never outruns what was emitted
+  //    (max_acked_out <= out_frontier).
+  void AuditDirection(const proxy::StreamKey& key, const TtsfFilter::DirState& st);
+
+  uint64_t audits() const { return audits_; }
+  uint64_t records_checked() const { return records_checked_; }
+
+ private:
+  uint64_t audits_ = 0;
+  uint64_t records_checked_ = 0;
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_TTSF_AUDIT_H_

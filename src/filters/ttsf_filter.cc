@@ -4,7 +4,9 @@
 
 #include <algorithm>
 
+#include "src/filters/ttsf_audit.h"
 #include "src/tcp/seq.h"
+#include "src/util/check.h"
 #include "src/util/strings.h"
 
 namespace comma::filters {
@@ -15,6 +17,33 @@ using tcp::SeqGt;
 using tcp::SeqLeq;
 using tcp::SeqLt;
 using tcp::SeqMax;
+
+TtsfFilter::TtsfFilter()
+    : Filter("ttsf", proxy::FilterPriority::kNormal),
+      auditor_(std::make_unique<SeqSpaceAuditor>()) {}
+
+TtsfFilter::~TtsfFilter() = default;
+
+void TtsfFilter::AuditKey(const proxy::StreamKey& key) {
+  if (auto it = dirs_.find(key); it != dirs_.end()) {
+    auditor_->AuditDirection(key, it->second);
+  }
+  const proxy::StreamKey rev = key.Reversed();
+  if (auto it = dirs_.find(rev); it != dirs_.end()) {
+    auditor_->AuditDirection(rev, it->second);
+  }
+}
+
+bool TtsfFilter::CorruptOffsetMapForTest(const proxy::StreamKey& key) {
+  auto it = dirs_.find(key);
+  if (it == dirs_.end() || it->second.records.empty()) {
+    return false;
+  }
+  // Shift the newest record's output position: the out-space map is no
+  // longer contiguous and no longer meets the frontier.
+  it->second.records.back().out_seq += 1000;
+  return true;
+}
 
 void TtsfFilter::SubmitTransform(const net::Packet& packet, util::Bytes new_payload) {
   pending_[packet.uid()] = std::move(new_payload);
@@ -71,6 +100,11 @@ proxy::FilterVerdict TtsfFilter::Out(proxy::FilterContext& ctx, const proxy::Str
   if (verdict == proxy::FilterVerdict::kPass) {
     rev.peer_seq = packet.tcp().seq + net::TcpSegmentLength(packet);
     rev.peer_window = packet.tcp().window;
+  }
+
+  if (util::DebugChecksEnabled()) {
+    auditor_->AuditDirection(key, st);
+    auditor_->AuditDirection(key.Reversed(), rev);
   }
   return verdict;
 }
@@ -233,6 +267,8 @@ proxy::FilterVerdict TtsfFilter::ApplyInOrder(proxy::FilterContext& ctx,
   const uint32_t len = static_cast<uint32_t>(packet.payload().size());
   const bool fin = (h.flags & net::kTcpFin) != 0;
 
+  COMMA_DCHECK_EQ(seq, st.orig_frontier) << "ApplyInOrder called off the frontier";
+
   Record rec;
   rec.orig_seq = seq;
   rec.orig_len = len;
@@ -304,9 +340,10 @@ void TtsfFilter::ReleaseHeld(proxy::FilterContext& ctx, const proxy::StreamKey& 
         if (verdict == proxy::FilterVerdict::kPass) {
           // Defer emission so the packet that just filled the gap leaves
           // first and the receiver sees everything in order.
-          auto* raw = held.packet.release();
+          auto holder = std::make_shared<net::PacketPtr>(std::move(held.packet));
           proxy::ServiceProxy* proxy = &ctx.proxy();
-          ctx.simulator().Schedule(0, [proxy, raw] { proxy->InjectPacket(net::PacketPtr(raw)); });
+          ctx.simulator().Schedule(
+              0, [proxy, holder] { proxy->InjectPacket(std::move(*holder)); });
         }
         progressed = true;
         break;  // Restart: the map ordering is plain uint32, not seq-space.

@@ -32,10 +32,13 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 
 #include "src/proxy/filter.h"
 
 namespace comma::filters {
+
+class SeqSpaceAuditor;
 
 struct TtsfStats {
   uint64_t segments_transformed = 0;
@@ -49,7 +52,8 @@ struct TtsfStats {
 
 class TtsfFilter : public proxy::Filter {
  public:
-  TtsfFilter() : Filter("ttsf", proxy::FilterPriority::kNormal) {}
+  TtsfFilter();
+  ~TtsfFilter() override;
 
   // --- Transformer-facing API (called during the out pass, before TTSF) ---
   // Replaces the payload of `packet` (identified by uid) when TTSF processes
@@ -58,6 +62,18 @@ class TtsfFilter : public proxy::Filter {
   void SubmitDrop(const net::Packet& packet) { SubmitTransform(packet, {}); }
 
   const TtsfStats& stats() const { return stats_; }
+
+  // --- Invariant auditing (active when util::DebugChecksEnabled()) ---
+  // The SeqSpaceAuditor attached to this filter; runs over both directions
+  // of a stream after every packet the TTSF processes.
+  const SeqSpaceAuditor& auditor() const { return *auditor_; }
+  // Audits both directions of `key` immediately (test hook; also fired from
+  // Out() when debug checks are on).
+  void AuditKey(const proxy::StreamKey& key);
+  // Deliberately desynchronizes the offset map of `key`'s direction so tests
+  // can prove the auditor fires. Returns false if there is nothing to
+  // corrupt yet (no records).
+  bool CorruptOffsetMapForTest(const proxy::StreamKey& key);
 
   // --- Filter interface ---
   bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
@@ -120,9 +136,12 @@ class TtsfFilter : public proxy::Filter {
   void MaybeInjectTailAck(proxy::FilterContext& ctx, const proxy::StreamKey& key, DirState& st,
                           uint32_t acked_orig);
 
+  friend class SeqSpaceAuditor;
+
   std::map<proxy::StreamKey, DirState> dirs_;
   std::map<uint64_t, util::Bytes> pending_;  // uid -> submitted payload.
   TtsfStats stats_;
+  std::unique_ptr<SeqSpaceAuditor> auditor_;
 };
 
 }  // namespace comma::filters

@@ -25,13 +25,13 @@ void SpClient::Flush() {
     auto [command, cb] = std::move(queue_.front());
     queue_.pop_front();
     std::string line = command + "\n";
-    conn_->Send(reinterpret_cast<const uint8_t*>(line.data()), line.size());
+    conn_->Send(util::AsBytePtr(line.data()), line.size());
     awaiting_.push_back(std::move(cb));
   }
 }
 
 void SpClient::OnData(const util::Bytes& data) {
-  inbuf_.append(reinterpret_cast<const char*>(data.data()), data.size());
+  util::AppendTo(&inbuf_, data);
   size_t newline;
   while ((newline = inbuf_.find('\n')) != std::string::npos) {
     std::string line = inbuf_.substr(0, newline);

@@ -1,5 +1,6 @@
 #include "src/monitor/value.h"
 
+#include <bit>
 #include <tuple>
 
 #include "src/util/strings.h"
@@ -132,14 +133,9 @@ void WriteValue(util::ByteWriter& w, const Value& v) {
     case ValueType::kLong:
       w.WriteU64(static_cast<uint64_t>(std::get<int64_t>(v)));
       break;
-    case ValueType::kDouble: {
-      double d = std::get<double>(v);
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      std::memcpy(&bits, &d, sizeof(bits));
-      w.WriteU64(bits);
+    case ValueType::kDouble:
+      w.WriteU64(std::bit_cast<uint64_t>(std::get<double>(v)));
       break;
-    }
     case ValueType::kString:
       w.WriteString(std::get<std::string>(v));
       break;
@@ -151,12 +147,8 @@ std::optional<Value> ReadValue(util::ByteReader& r) {
   switch (static_cast<ValueType>(type)) {
     case ValueType::kLong:
       return Value(static_cast<int64_t>(r.ReadU64()));
-    case ValueType::kDouble: {
-      uint64_t bits = r.ReadU64();
-      double d;
-      std::memcpy(&d, &bits, sizeof(d));
-      return Value(d);
-    }
+    case ValueType::kDouble:
+      return Value(std::bit_cast<double>(r.ReadU64()));
     case ValueType::kString:
       return Value(r.ReadString());
   }

@@ -113,10 +113,11 @@ void Link::StartTransmit(int side) {
     if (LossModelDrops(sz)) {
       ++sd.stats.drops_error;
     } else {
-      // Capture by shared_ptr-like move into the propagation event.
-      auto* raw = p.release();
-      sim_->Schedule(config_.propagation_delay, [this, other, raw, epoch_at_start] {
-        PacketPtr arrived(raw);
+      // A shared_ptr holder keeps the packet owned even if the event is
+      // destroyed unfired (e.g. the simulation ends mid-propagation).
+      auto holder = std::make_shared<PacketPtr>(std::move(p));
+      sim_->Schedule(config_.propagation_delay, [this, other, holder, epoch_at_start] {
+        PacketPtr arrived = std::move(*holder);
         if (epoch_at_start != epoch_ || !up_) {
           ++sides_[other].stats.drops_down;
           return;

@@ -1,0 +1,83 @@
+#include "src/proxy/auditors.h"
+
+#include <algorithm>
+
+#include "src/proxy/service_proxy.h"
+#include "src/util/check.h"
+
+namespace comma::proxy {
+
+void FilterQueueAuditor::AuditQueue(const ServiceProxy& proxy, const StreamKey& key,
+                                    const std::vector<Filter*>& queue) {
+  ++audits_;
+  for (size_t i = 0; i + 1 < queue.size(); ++i) {
+    COMMA_CHECK_GE(static_cast<int>(queue[i]->priority()),
+                   static_cast<int>(queue[i + 1]->priority()))
+        << "filter queue for " << key.ToString() << " not sorted: " << queue[i]->name()
+        << " before " << queue[i + 1]->name();
+  }
+  for (size_t i = 0; i < queue.size(); ++i) {
+    COMMA_CHECK(queue[i] != nullptr) << "null filter in queue for " << key.ToString();
+    for (size_t j = i + 1; j < queue.size(); ++j) {
+      COMMA_CHECK(queue[i] != queue[j])
+          << "duplicate filter '" << queue[i]->name() << "' in queue for " << key.ToString();
+    }
+  }
+  // Set equality against a fresh resolution from the attachment list.
+  std::vector<Filter*> expected = proxy.ResolveQueue(key);
+  COMMA_CHECK_EQ(expected.size(), queue.size())
+      << "cached queue for " << key.ToString() << " out of sync with attachments";
+  for (Filter* f : queue) {
+    COMMA_CHECK(std::find(expected.begin(), expected.end(), f) != expected.end())
+        << "filter '" << f->name() << "' in queue for " << key.ToString()
+        << " has no matching attachment";
+  }
+}
+
+void FilterQueueAuditor::AuditInPassOrder(const std::vector<int>& priorities) {
+  ++audits_;
+  for (size_t i = 0; i + 1 < priorities.size(); ++i) {
+    COMMA_CHECK_GE(priorities[i], priorities[i + 1])
+        << "in pass must visit filters top-down (highest priority first)";
+  }
+}
+
+void FilterQueueAuditor::AuditOutPassOrder(const std::vector<int>& priorities) {
+  ++audits_;
+  for (size_t i = 0; i + 1 < priorities.size(); ++i) {
+    COMMA_CHECK_LE(priorities[i], priorities[i + 1])
+        << "out pass must visit filters bottom-up (lowest priority first)";
+  }
+}
+
+void StreamRegistryAuditor::AuditStream(const ServiceProxy& proxy, const StreamKey& key) {
+  ++audits_;
+  auto it = proxy.streams().find(key);
+  COMMA_CHECK(it != proxy.streams().end())
+      << "stream " << key.ToString() << " traversed but absent from the registry";
+  const StreamInfo& info = it->second;
+  COMMA_CHECK_GT(info.packets, 0u) << "registered stream " << key.ToString() << " has no packets";
+  COMMA_CHECK_GT(info.bytes, 0u) << "registered stream " << key.ToString() << " has no bytes";
+  COMMA_CHECK_LE(info.first_seen, info.last_seen)
+      << "stream " << key.ToString() << " timestamps run backwards";
+}
+
+void StreamRegistryAuditor::AuditRegistry(const ServiceProxy& proxy) {
+  ++audits_;
+  for (const auto& [key, info] : proxy.streams()) {
+    COMMA_CHECK_GT(info.packets, 0u) << "registered stream " << key.ToString() << " has no packets";
+    COMMA_CHECK_LE(info.first_seen, info.last_seen)
+        << "stream " << key.ToString() << " timestamps run backwards";
+  }
+  for (const auto& [key, queue] : proxy.queue_cache()) {
+    std::vector<Filter*> expected = proxy.ResolveQueue(key);
+    COMMA_CHECK_EQ(expected.size(), queue.size())
+        << "stale cached queue for " << key.ToString();
+    for (size_t i = 0; i < queue.size(); ++i) {
+      COMMA_CHECK(queue[i] == expected[i])
+          << "stale cached queue for " << key.ToString() << " at position " << i;
+    }
+  }
+}
+
+}  // namespace comma::proxy

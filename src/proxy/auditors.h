@@ -1,0 +1,71 @@
+// Runtime invariant auditors for the Service Proxy (correctness tooling).
+//
+// The thesis's filter-queue contract (§5.2) — read-only *in* pass top-down,
+// mutating *out* pass bottom-up, queues ordered by priority — and the stream
+// registry's quadruple/wild-card lookup rules are easy to break silently
+// with a refactor: a mis-sorted queue only shows up as a filter seeing
+// already-modified packets. These auditors re-derive the expected state from
+// first principles on every packet traversal and COMMA_CHECK it against what
+// the proxy actually holds.
+//
+// Both auditors are always compiled; ServiceProxy only invokes them when
+// util::DebugChecksEnabled() (the CommaSystemConfig::debug_checks flag), so
+// release benches pay one atomic load per packet.
+#ifndef COMMA_PROXY_AUDITORS_H_
+#define COMMA_PROXY_AUDITORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/proxy/filter.h"
+#include "src/proxy/stream_key.h"
+
+namespace comma::proxy {
+
+class ServiceProxy;
+
+// Verifies the resolved per-stream filter queue and the traversal order of
+// the two passes.
+class FilterQueueAuditor {
+ public:
+  // The queue for `key` must be duplicate-free, sorted by non-increasing
+  // priority, and contain exactly the filters whose attachment keys equal or
+  // wild-card-match `key`.
+  void AuditQueue(const ServiceProxy& proxy, const StreamKey& key,
+                  const std::vector<Filter*>& queue);
+
+  // `priorities` is the priority of each filter in visit order. The in pass
+  // must run top-down (non-increasing), the out pass bottom-up
+  // (non-decreasing). A pass cut short by kDrop yields a prefix, which must
+  // still be monotonic.
+  void AuditInPassOrder(const std::vector<int>& priorities);
+  void AuditOutPassOrder(const std::vector<int>& priorities);
+
+  uint64_t audits() const { return audits_; }
+
+ private:
+  uint64_t audits_ = 0;
+};
+
+// Verifies stream-registry bookkeeping and queue-cache coherence: every
+// cached queue must equal a fresh resolution against the current attachment
+// set (stale cache entries are exactly the bug InvalidateQueues exists to
+// prevent).
+class StreamRegistryAuditor {
+ public:
+  // Per-packet audit of the stream the proxy just touched.
+  void AuditStream(const ServiceProxy& proxy, const StreamKey& key);
+
+  // Full sweep over every stream and cached queue (test teardown / on
+  // demand; O(streams x attachments)).
+  void AuditRegistry(const ServiceProxy& proxy);
+
+  uint64_t audits() const { return audits_; }
+
+ private:
+  uint64_t audits_ = 0;
+};
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_AUDITORS_H_

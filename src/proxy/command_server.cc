@@ -25,7 +25,7 @@ void CommandServer::OnData(tcp::TcpConnection* conn, const util::Bytes& data) {
     return;
   }
   Session& session = it->second;
-  session.inbuf.append(reinterpret_cast<const char*>(data.data()), data.size());
+  util::AppendTo(&session.inbuf, data);
   size_t newline;
   while ((newline = session.inbuf.find('\n')) != std::string::npos) {
     std::string line = session.inbuf.substr(0, newline);
@@ -36,7 +36,7 @@ void CommandServer::OnData(tcp::TcpConnection* conn, const util::Bytes& data) {
     ++commands_executed_;
     std::string response = processor_.Execute(line);
     response += ".\n";  // End-of-response marker.
-    conn->Send(reinterpret_cast<const uint8_t*>(response.data()), response.size());
+    conn->Send(util::AsBytePtr(response.data()), response.size());
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/check.h"
+
 namespace comma::proxy {
 
 // --- FilterContext ---
@@ -170,11 +172,7 @@ std::vector<ServiceProxy::ReportEntry> ServiceProxy::Report(const std::string& o
   return out;
 }
 
-const std::vector<Filter*>& ServiceProxy::QueueFor(const StreamKey& key) {
-  auto it = queue_cache_.find(key);
-  if (it != queue_cache_.end()) {
-    return it->second;
-  }
+std::vector<Filter*> ServiceProxy::ResolveQueue(const StreamKey& key) const {
   std::vector<Filter*> queue;
   for (const Attachment& att : attachments_) {
     if (att.key == key || att.key.Matches(key)) {
@@ -187,7 +185,15 @@ const std::vector<Filter*>& ServiceProxy::QueueFor(const StreamKey& key) {
   std::stable_sort(queue.begin(), queue.end(), [](const Filter* a, const Filter* b) {
     return static_cast<int>(a->priority()) > static_cast<int>(b->priority());
   });
-  return queue_cache_.emplace(key, std::move(queue)).first->second;
+  return queue;
+}
+
+const std::vector<Filter*>& ServiceProxy::QueueFor(const StreamKey& key) {
+  auto it = queue_cache_.find(key);
+  if (it != queue_cache_.end()) {
+    return it->second;
+  }
+  return queue_cache_.emplace(key, ResolveQueue(key)).first->second;
 }
 
 void ServiceProxy::NotifyNewStream(const StreamKey& key) {
@@ -229,23 +235,49 @@ net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapCon
     return net::TapVerdict::kPass;
   }
 
+  const bool audit = util::DebugChecksEnabled();
+  std::vector<int> visited_priorities;
+  if (audit) {
+    queue_auditor_.AuditQueue(*this, key, queue);
+    registry_auditor_.AuditStream(*this, key);
+    visited_priorities.reserve(queue.size());
+  }
+
   in_filter_pass_ = true;
   // In pass: top (highest priority) down — read-only.
   for (Filter* f : queue) {
+    if (audit) {
+      visited_priorities.push_back(static_cast<int>(f->priority()));
+    }
     f->In(context_, key, *packet);
+  }
+  if (audit) {
+    queue_auditor_.AuditInPassOrder(visited_priorities);
+    visited_priorities.clear();
   }
   // Out pass: bottom (lowest priority) up — may modify or drop.
   const uint16_t checksum_before = packet->has_tcp() ? packet->tcp().checksum
                                    : packet->has_udp() ? packet->udp().checksum
                                                        : packet->ip().checksum;
   for (auto rit = queue.rbegin(); rit != queue.rend(); ++rit) {
+    if (audit) {
+      visited_priorities.push_back(static_cast<int>((*rit)->priority()));
+    }
     if ((*rit)->Out(context_, key, *packet) == FilterVerdict::kDrop) {
       ++stats_.packets_dropped;
       in_filter_pass_ = false;
+      if (audit) {
+        // A kDrop cuts the pass short; the visited prefix must still be
+        // bottom-up.
+        queue_auditor_.AuditOutPassOrder(visited_priorities);
+      }
       return net::TapVerdict::kDrop;
     }
   }
   in_filter_pass_ = false;
+  if (audit) {
+    queue_auditor_.AuditOutPassOrder(visited_priorities);
+  }
   const uint16_t checksum_after = packet->has_tcp() ? packet->tcp().checksum
                                   : packet->has_udp() ? packet->udp().checksum
                                                       : packet->ip().checksum;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/net/node.h"
+#include "src/proxy/auditors.h"
 #include "src/proxy/filter.h"
 #include "src/proxy/filter_registry.h"
 #include "src/proxy/stream_key.h"
@@ -103,6 +104,16 @@ class ServiceProxy : public net::PacketTap {
   net::Node* node() const { return node_; }
   FilterContext& context() { return context_; }
 
+  // --- Invariant auditing (active when util::DebugChecksEnabled()) ---
+  // Resolves the filter queue for `key` from the attachment set without
+  // touching the cache; the auditors diff this against cached state.
+  std::vector<Filter*> ResolveQueue(const StreamKey& key) const;
+  const std::map<StreamKey, std::vector<Filter*>>& queue_cache() const { return queue_cache_; }
+  const FilterQueueAuditor& queue_auditor() const { return queue_auditor_; }
+  const StreamRegistryAuditor& registry_auditor() const { return registry_auditor_; }
+  // Full registry/cache sweep; fires a COMMA_CHECK on any violation.
+  void AuditNow() { registry_auditor_.AuditRegistry(*this); }
+
   // --- PacketTap ---
   net::TapVerdict OnPacket(net::PacketPtr& packet, const net::TapContext& ctx) override;
 
@@ -128,6 +139,8 @@ class ServiceProxy : public net::PacketTap {
   std::map<StreamKey, StreamInfo> streams_;
   std::map<StreamKey, std::vector<Filter*>> queue_cache_;
   ProxyStats stats_;
+  FilterQueueAuditor queue_auditor_;
+  StreamRegistryAuditor registry_auditor_;
   bool in_filter_pass_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/tcp/tcp_stack.h"
+#include "src/util/check.h"
 #include "src/util/strings.h"
 
 namespace comma::tcp {
@@ -276,6 +277,7 @@ void TcpConnection::ProcessAck(const net::Packet& p) {
       snd_buf_seq_ += static_cast<uint32_t>(trim);
     }
     snd_una_ = ack;
+    COMMA_DCHECK(SeqLeq(snd_una_, snd_nxt_)) << "snd_una overran snd_nxt";
     retries_ = 0;
     backoff_shift_ = 0;
     MaybeCompleteRttSample(ack);
@@ -573,6 +575,7 @@ void TcpConnection::SendFinIfNeeded() {
 
 void TcpConnection::SendSegment(uint32_t seq, size_t len, uint8_t flags) {
   // Extract payload bytes [seq, seq+len) from the send buffer.
+  COMMA_DCHECK(SeqLeq(snd_buf_seq_, seq)) << "segment seq precedes the send buffer base";
   util::Bytes payload;
   if (len > 0) {
     const size_t offset = static_cast<uint32_t>(SeqDiff(seq, snd_buf_seq_));

@@ -7,7 +7,7 @@ namespace comma::util {
 void ByteWriter::WriteString(const std::string& s) {
   const size_t len = std::min<size_t>(s.size(), UINT16_MAX);
   WriteU16(static_cast<uint16_t>(len));
-  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), len);
+  WriteBytes(AsBytePtr(s.data()), len);
 }
 
 bool ByteReader::Need(size_t n) {
@@ -60,7 +60,7 @@ std::string ByteReader::ReadString() {
   if (!Need(len)) {
     return {};
   }
-  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  std::string out(AsCharPtr(data_ + pos_), len);
   pos_ += len;
   return out;
 }

@@ -9,11 +9,40 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace comma::util {
 
 using Bytes = std::vector<uint8_t>;
+
+// --- Text <-> wire-byte bridging ---
+// The only sanctioned reinterpret_casts in the tree: every other site goes
+// through these so clang-tidy can flag strays.
+inline const uint8_t* AsBytePtr(const char* p) {
+  return reinterpret_cast<const uint8_t*>(p);  // NOLINT(cppcoreguidelines-pro-type-reinterpret-cast)
+}
+inline const char* AsCharPtr(const uint8_t* p) {
+  return reinterpret_cast<const char*>(p);  // NOLINT(cppcoreguidelines-pro-type-reinterpret-cast)
+}
+inline Bytes ToBytes(std::string_view s) {
+  if (s.empty()) {
+    return {};
+  }
+  return {AsBytePtr(s.data()), AsBytePtr(s.data()) + s.size()};
+}
+inline std::string ToString(const Bytes& b) {
+  if (b.empty()) {
+    return {};
+  }
+  return {AsCharPtr(b.data()), b.size()};
+}
+// Appends the payload bytes of `b` to a text accumulator (stream reassembly).
+inline void AppendTo(std::string* out, const Bytes& b) {
+  if (!b.empty()) {
+    out->append(AsCharPtr(b.data()), b.size());
+  }
+}
 
 class ByteWriter {
  public:

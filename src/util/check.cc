@@ -1,0 +1,41 @@
+#include "src/util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace comma::util {
+
+namespace {
+std::atomic<bool> g_check_throw{false};
+std::atomic<bool> g_debug_checks{false};
+}  // namespace
+
+void SetCheckThrow(bool throw_on_failure) {
+  g_check_throw.store(throw_on_failure, std::memory_order_relaxed);
+}
+
+bool CheckThrowEnabled() { return g_check_throw.load(std::memory_order_relaxed); }
+
+void SetDebugChecks(bool enabled) { g_debug_checks.store(enabled, std::memory_order_relaxed); }
+
+bool DebugChecksEnabled() { return g_debug_checks.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+CheckFailStream::CheckFailStream(const char* file, int line) {
+  stream_ << file << ":" << line << ": ";
+}
+
+CheckFailStream::~CheckFailStream() noexcept(false) {
+  const std::string message = stream_.str();
+  if (CheckThrowEnabled()) {
+    throw CheckFailure(message);
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace comma::util

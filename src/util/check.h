@@ -1,0 +1,190 @@
+// Runtime invariant checks with stream-style messages.
+//
+//   COMMA_CHECK(st.initialized) << "direction never saw a SYN";
+//   COMMA_CHECK_EQ(rec.out_seq + rec.out_len, st.out_frontier);
+//
+// COMMA_CHECK* are compiled in every build. COMMA_DCHECK* compile to nothing
+// under NDEBUG (the condition is not evaluated). A failed check either aborts
+// after printing the message to stderr (the default, and what production
+// wants) or throws util::CheckFailure carrying the message — tests flip to
+// throw mode with ScopedCheckThrow so a fired invariant is observable with
+// EXPECT_THROW instead of killing the process.
+//
+// The file also hosts the global `debug_checks` gate used by the invariant
+// auditors (SeqSpaceAuditor, FilterQueueAuditor, StreamRegistryAuditor):
+// auditors are always compiled but only walk their data structures when
+// DebugChecksEnabled() — release benches pay one relaxed atomic load.
+#ifndef COMMA_UTIL_CHECK_H_
+#define COMMA_UTIL_CHECK_H_
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace comma::util {
+
+// Thrown by failed checks in throw mode. what() carries the full
+// "file:line: COMMA_CHECK failed: ..." message.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& message) : std::runtime_error(message) {}
+};
+
+// Process-wide failure behaviour: abort (default) or throw CheckFailure.
+void SetCheckThrow(bool throw_on_failure);
+bool CheckThrowEnabled();
+
+// RAII toggle for tests.
+class ScopedCheckThrow {
+ public:
+  explicit ScopedCheckThrow(bool enable = true)
+      : previous_(CheckThrowEnabled()) {
+    SetCheckThrow(enable);
+  }
+  ~ScopedCheckThrow() { SetCheckThrow(previous_); }
+  ScopedCheckThrow(const ScopedCheckThrow&) = delete;
+  ScopedCheckThrow& operator=(const ScopedCheckThrow&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// Process-wide gate for the invariant auditors (CommaSystemConfig's
+// debug_checks flag lands here).
+void SetDebugChecks(bool enabled);
+bool DebugChecksEnabled();
+
+class ScopedDebugChecks {
+ public:
+  explicit ScopedDebugChecks(bool enable = true)
+      : previous_(DebugChecksEnabled()) {
+    SetDebugChecks(enable);
+  }
+  ~ScopedDebugChecks() { SetDebugChecks(previous_); }
+  ScopedDebugChecks(const ScopedDebugChecks&) = delete;
+  ScopedDebugChecks& operator=(const ScopedDebugChecks&) = delete;
+
+ private:
+  bool previous_;
+};
+
+namespace internal {
+
+// Collects the streamed message; its destructor reports the failure and
+// never returns (abort or throw). Only ever constructed on the failure path.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line);
+  [[noreturn]] ~CheckFailStream() noexcept(false);
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets the ternary in COMMA_CHECK type-match: void on success, void on
+// failure after the full << chain has been applied to the stream.
+// (operator& binds looser than operator<<.)
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+// Renders operands of COMMA_CHECK_op failures; char-sized integers print
+// numerically so a failed CHECK_EQ on bytes is legible.
+template <typename T>
+void PrintCheckOperand(std::ostream& os, const T& v) {
+  if constexpr (std::is_same_v<T, char> || std::is_same_v<T, signed char> ||
+                std::is_same_v<T, unsigned char>) {
+    os << static_cast<int>(v);
+  } else {
+    os << v;
+  }
+}
+
+template <typename A, typename B>
+std::unique_ptr<std::string> MakeCheckOpString(const A& a, const B& b, const char* expr) {
+  std::ostringstream os;
+  os << expr << " (";
+  PrintCheckOperand(os, a);
+  os << " vs. ";
+  PrintCheckOperand(os, b);
+  os << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+// Returns nullptr when the comparison holds, else the rendered failure text.
+// A macro per operator keeps operands evaluated exactly once.
+#define COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL(name, op)                                \
+  template <typename A, typename B>                                                  \
+  std::unique_ptr<std::string> name(const A& a, const B& b, const char* expr) {      \
+    if (a op b) {                                                                    \
+      return nullptr;                                                                \
+    }                                                                                \
+    return MakeCheckOpString(a, b, expr);                                            \
+  }
+COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL(CheckOpEq, ==)
+COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL(CheckOpNe, !=)
+COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL(CheckOpLt, <)
+COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL(CheckOpLe, <=)
+COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL(CheckOpGt, >)
+COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL(CheckOpGe, >=)
+#undef COMMA_INTERNAL_DEFINE_CHECK_OP_IMPL
+
+}  // namespace internal
+}  // namespace comma::util
+
+// The `? :` keeps the success path branch-only; the message objects are
+// constructed solely when the condition is false.
+#define COMMA_CHECK(condition)                                                      \
+  (condition) ? (void)0                                                             \
+              : ::comma::util::internal::Voidify() &                                \
+                    ::comma::util::internal::CheckFailStream(__FILE__, __LINE__)    \
+                            .stream()                                               \
+                        << "COMMA_CHECK failed: " #condition " "
+
+// The while-loop runs at most once: CheckFailStream's destructor never
+// returns. `comma_check_str` holds the rendered "a vs. b" text.
+#define COMMA_INTERNAL_CHECK_OP(impl, op, a, b)                                     \
+  while (std::unique_ptr<std::string> comma_check_str =                             \
+             ::comma::util::internal::impl((a), (b), #a " " #op " " #b))            \
+  ::comma::util::internal::CheckFailStream(__FILE__, __LINE__).stream()             \
+      << "COMMA_CHECK failed: " << *comma_check_str << " "
+
+#define COMMA_CHECK_EQ(a, b) COMMA_INTERNAL_CHECK_OP(CheckOpEq, ==, a, b)
+#define COMMA_CHECK_NE(a, b) COMMA_INTERNAL_CHECK_OP(CheckOpNe, !=, a, b)
+#define COMMA_CHECK_LT(a, b) COMMA_INTERNAL_CHECK_OP(CheckOpLt, <, a, b)
+#define COMMA_CHECK_LE(a, b) COMMA_INTERNAL_CHECK_OP(CheckOpLe, <=, a, b)
+#define COMMA_CHECK_GT(a, b) COMMA_INTERNAL_CHECK_OP(CheckOpGt, >, a, b)
+#define COMMA_CHECK_GE(a, b) COMMA_INTERNAL_CHECK_OP(CheckOpGe, >=, a, b)
+
+// Debug-only variants: under NDEBUG the whole statement (condition included)
+// sits behind `while (false)` — compiled for correctness, never evaluated,
+// and optimized away entirely.
+#ifdef NDEBUG
+#define COMMA_DCHECK(condition) \
+  while (false) COMMA_CHECK(condition)
+#define COMMA_DCHECK_EQ(a, b) \
+  while (false) COMMA_CHECK_EQ(a, b)
+#define COMMA_DCHECK_NE(a, b) \
+  while (false) COMMA_CHECK_NE(a, b)
+#define COMMA_DCHECK_LT(a, b) \
+  while (false) COMMA_CHECK_LT(a, b)
+#define COMMA_DCHECK_LE(a, b) \
+  while (false) COMMA_CHECK_LE(a, b)
+#define COMMA_DCHECK_GT(a, b) \
+  while (false) COMMA_CHECK_GT(a, b)
+#define COMMA_DCHECK_GE(a, b) \
+  while (false) COMMA_CHECK_GE(a, b)
+#else
+#define COMMA_DCHECK(condition) COMMA_CHECK(condition)
+#define COMMA_DCHECK_EQ(a, b) COMMA_CHECK_EQ(a, b)
+#define COMMA_DCHECK_NE(a, b) COMMA_CHECK_NE(a, b)
+#define COMMA_DCHECK_LT(a, b) COMMA_CHECK_LT(a, b)
+#define COMMA_DCHECK_LE(a, b) COMMA_CHECK_LE(a, b)
+#define COMMA_DCHECK_GT(a, b) COMMA_CHECK_GT(a, b)
+#define COMMA_DCHECK_GE(a, b) COMMA_CHECK_GE(a, b)
+#endif
+
+#endif  // COMMA_UTIL_CHECK_H_

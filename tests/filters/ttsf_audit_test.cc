@@ -1,0 +1,192 @@
+// The invariant auditors under real traffic: the ttsf_test drop/compress
+// scenarios rerun with debug_checks enabled must never fire an invariant,
+// and a deliberately corrupted offset map must fire SeqSpaceAuditor.
+#include "src/filters/ttsf_audit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/filters/transform_filters.h"
+#include "src/filters/ttsf_filter.h"
+#include "src/util/check.h"
+#include "src/util/strings.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+class TtsfAuditTest : public ProxyFixture {
+ protected:
+  TtsfAuditTest() {
+    // Throw mode: a fired invariant surfaces as CheckFailure (propagating
+    // out of sim().RunFor and failing the test) instead of aborting.
+    util::SetCheckThrow(true);
+    util::SetDebugChecks(true);
+  }
+  ~TtsfAuditTest() override {
+    util::SetDebugChecks(false);
+    util::SetCheckThrow(false);
+  }
+
+  void InstallTransparentDrop(uint16_t port, int percent, uint64_t seed = 7) {
+    StreamKey key{net::Ipv4Address(), 0, scenario().mobile_addr(), port};
+    MustAdd("launcher", key,
+            {"tcp", "ttsf",
+             util::Format("tdrop:%d:%llu", percent, static_cast<unsigned long long>(seed))});
+  }
+
+  void InstallTransparentCompress(uint16_t port) {
+    StreamKey key{net::Ipv4Address(), 0, scenario().mobile_addr(), port};
+    MustAdd("launcher", key, {"tcp", "ttsf", "tcompress:lz"});
+  }
+
+  TtsfFilter* FindTtsf(uint16_t client_port, uint16_t port) {
+    return dynamic_cast<TtsfFilter*>(sp().FindFilterOnKey(
+        StreamKey{scenario().wired_addr(), client_port, scenario().mobile_addr(), port}, "ttsf"));
+  }
+};
+
+TEST_F(TtsfAuditTest, CleanDropScenarioFiresNoInvariant) {
+  InstallTransparentDrop(80, 30);
+  util::Bytes payload = Pattern(100'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(120 * sim::kSecond);  // Throws CheckFailure on any violation.
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+  EXPECT_EQ(t->client->stats().bytes_sent, payload.size());
+  // The auditors actually ran.
+  EXPECT_GT(sp().queue_auditor().audits(), 0u);
+  EXPECT_GT(sp().registry_auditor().audits(), 0u);
+  sp().AuditNow();
+}
+
+TEST_F(TtsfAuditTest, FullDropScenarioFiresNoInvariant) {
+  InstallTransparentDrop(80, 100);
+  auto t = StartTransfer(80, Pattern(20'000));
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_EQ(t->received.size(), 0u);
+}
+
+TEST_F(TtsfAuditTest, CompressScenarioFiresNoInvariant) {
+  InstallTransparentCompress(80);
+  util::Bytes payload = TextPayload(60'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(120 * sim::kSecond);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+}
+
+TEST_F(TtsfAuditTest, LossyLinkReplayScenarioFiresNoInvariant) {
+  scenario().wireless_link().SetLossProbability(0.05);
+  InstallTransparentDrop(80, 20, /*seed=*/3);
+  auto t = StartTransfer(80, Pattern(60'000));
+  sim().RunFor(300 * sim::kSecond);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+}
+
+TEST_F(TtsfAuditTest, SeqSpaceAuditorCountsItsWork) {
+  InstallTransparentDrop(80, 30);
+  auto t = StartTransfer(80, Pattern(50'000));
+  sim().RunFor(10 * sim::kSecond);  // Mid-transfer: records in flight.
+  TtsfFilter* ttsf = FindTtsf(t->client->local_port(), 80);
+  ASSERT_NE(ttsf, nullptr);
+  EXPECT_GT(ttsf->auditor().audits(), 0u);
+  EXPECT_GT(ttsf->auditor().records_checked(), 0u);
+}
+
+// White-box corruption harness: hand-fed packets with no receiver ACKs, so
+// the offset-map records are deterministically retained (an acked record is
+// pruned and could no longer be corrupted).
+class TtsfAuditWhiteBoxTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kIss = 5000;
+  static constexpr uint32_t kServerIss = 900;
+
+  TtsfAuditWhiteBoxTest() {
+    util::SetCheckThrow(true);
+    util::SetDebugChecks(true);
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+    sp_ = std::make_unique<proxy::ServiceProxy>(&scenario_->gateway(), StandardRegistry());
+    key_ = StreamKey{scenario_->wired_addr(), 7, scenario_->mobile_addr(), 80};
+    std::string error;
+    EXPECT_TRUE(sp_->AddService("ttsf", key_, {}, &error)) << error;
+    ttsf_ = dynamic_cast<TtsfFilter*>(sp_->FindFilterOnKey(key_, "ttsf"));
+    EXPECT_NE(ttsf_, nullptr);
+    // SYN exchange initializes both directions' frontiers.
+    Feed(MakeSegment(kIss, {}, net::kTcpSyn));
+  }
+
+  ~TtsfAuditWhiteBoxTest() override {
+    util::SetDebugChecks(false);
+    util::SetCheckThrow(false);
+  }
+
+  net::PacketPtr MakeSegment(uint32_t seq, util::Bytes payload, uint8_t flags = net::kTcpAck,
+                             uint32_t ack = kServerIss + 1) {
+    net::TcpHeader h;
+    h.src_port = 7;
+    h.dst_port = 80;
+    h.seq = seq;
+    h.ack = ack;
+    h.flags = flags;
+    h.window = 8192;
+    return net::Packet::MakeTcp(scenario_->wired_addr(), scenario_->mobile_addr(), h,
+                                std::move(payload));
+  }
+
+  bool Feed(net::PacketPtr p) {
+    net::TapContext ctx{&scenario_->gateway(), 0};
+    return sp_->OnPacket(p, ctx) == net::TapVerdict::kPass;
+  }
+
+  // Creates retained records: one dropped segment (transform to zero bytes)
+  // followed by one identity segment, no ACKs fed back.
+  void BuildOffsetMap() {
+    net::PacketPtr first = MakeSegment(kIss + 1, util::Bytes(100, 1));
+    ttsf_->SubmitDrop(*first);
+    Feed(std::move(first));
+    Feed(MakeSegment(kIss + 101, util::Bytes(50, 2)));
+  }
+
+  std::unique_ptr<core::WirelessScenario> scenario_;
+  std::unique_ptr<proxy::ServiceProxy> sp_;
+  StreamKey key_;
+  TtsfFilter* ttsf_ = nullptr;
+};
+
+TEST_F(TtsfAuditWhiteBoxTest, CorruptedOffsetMapFiresSeqSpaceAuditor) {
+  BuildOffsetMap();
+  // Sanity: the uncorrupted map audits clean and was audited during Feed.
+  ttsf_->AuditKey(key_);
+  EXPECT_GT(ttsf_->auditor().audits(), 0u);
+
+  ASSERT_TRUE(ttsf_->CorruptOffsetMapForTest(key_));
+  EXPECT_THROW(ttsf_->AuditKey(key_), util::CheckFailure);
+}
+
+TEST_F(TtsfAuditWhiteBoxTest, CorruptionIsCaughtOnTheNextPacketTraversal) {
+  BuildOffsetMap();
+  ASSERT_TRUE(ttsf_->CorruptOffsetMapForTest(key_));
+  // The very next segment through the tap runs the auditor over the
+  // corrupted direction; the CheckFailure escapes OnPacket.
+  EXPECT_THROW(Feed(MakeSegment(kIss + 151, util::Bytes(10, 3))), util::CheckFailure);
+}
+
+TEST_F(TtsfAuditTest, RegistrySweepPassesAcrossStreamChurn) {
+  InstallTransparentDrop(80, 50, /*seed=*/11);
+  for (int i = 0; i < 3; ++i) {
+    auto t = StartTransfer(80, Pattern(10'000));
+    sim().RunFor(60 * sim::kSecond);
+    EXPECT_TRUE(t->client_closed);
+    sp().AuditNow();
+  }
+}
+
+}  // namespace
+}  // namespace comma::filters

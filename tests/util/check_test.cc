@@ -1,0 +1,142 @@
+// Coverage for the COMMA_CHECK assertion framework: message formatting,
+// throw-mode capture, NDEBUG elision of DCHECKs, and abort behaviour.
+#include "src/util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::util {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  COMMA_CHECK(1 + 1 == 2) << "never rendered";
+  COMMA_CHECK_EQ(4, 4);
+  COMMA_CHECK_NE(4, 5);
+  COMMA_CHECK_LT(3, 4);
+  COMMA_CHECK_LE(4, 4);
+  COMMA_CHECK_GT(5, 4);
+  COMMA_CHECK_GE(5, 5);
+}
+
+TEST(CheckTest, ThrowModeCarriesConditionAndMessage) {
+  ScopedCheckThrow guard;
+  try {
+    const int streams = 3;
+    COMMA_CHECK(streams == 0) << "live streams: " << streams;
+    FAIL() << "COMMA_CHECK did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("COMMA_CHECK failed: streams == 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("live streams: 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, CheckOpRendersBothOperands) {
+  ScopedCheckThrow guard;
+  try {
+    const uint32_t frontier = 1000;
+    const uint32_t rec_end = 996;
+    COMMA_CHECK_EQ(rec_end, frontier) << "offset map desynchronized";
+    FAIL() << "COMMA_CHECK_EQ did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rec_end == frontier"), std::string::npos) << what;
+    EXPECT_NE(what.find("996 vs. 1000"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset map desynchronized"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, CharOperandsPrintNumerically) {
+  ScopedCheckThrow guard;
+  try {
+    const uint8_t a = 7;
+    const uint8_t b = 9;
+    COMMA_CHECK_EQ(a, b);
+    FAIL() << "COMMA_CHECK_EQ did not throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("7 vs. 9"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CheckTest, EveryComparisonFamilyFires) {
+  ScopedCheckThrow guard;
+  EXPECT_THROW(COMMA_CHECK_EQ(1, 2), CheckFailure);
+  EXPECT_THROW(COMMA_CHECK_NE(2, 2), CheckFailure);
+  EXPECT_THROW(COMMA_CHECK_LT(2, 2), CheckFailure);
+  EXPECT_THROW(COMMA_CHECK_LE(3, 2), CheckFailure);
+  EXPECT_THROW(COMMA_CHECK_GT(2, 2), CheckFailure);
+  EXPECT_THROW(COMMA_CHECK_GE(1, 2), CheckFailure);
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  ScopedCheckThrow guard;
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  COMMA_CHECK_GE(bump(), 1);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(COMMA_CHECK_LT(bump(), 0), CheckFailure);
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(CheckTest, ScopedCheckThrowRestoresPreviousMode) {
+  EXPECT_FALSE(CheckThrowEnabled());
+  {
+    ScopedCheckThrow guard;
+    EXPECT_TRUE(CheckThrowEnabled());
+    {
+      ScopedCheckThrow inner(false);
+      EXPECT_FALSE(CheckThrowEnabled());
+    }
+    EXPECT_TRUE(CheckThrowEnabled());
+  }
+  EXPECT_FALSE(CheckThrowEnabled());
+}
+
+TEST(CheckTest, DebugChecksGateDefaultsOff) {
+  EXPECT_FALSE(DebugChecksEnabled());
+  {
+    ScopedDebugChecks guard;
+    EXPECT_TRUE(DebugChecksEnabled());
+  }
+  EXPECT_FALSE(DebugChecksEnabled());
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckElidedInReleaseBuilds) {
+  // The condition must not be evaluated at all under NDEBUG.
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  COMMA_DCHECK(bump() == 0) << "elided";
+  COMMA_DCHECK_EQ(bump(), -1);
+  COMMA_DCHECK_LT(bump(), 0);
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckTest, DcheckActiveInDebugBuilds) {
+  ScopedCheckThrow guard;
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  COMMA_DCHECK_EQ(bump(), 1);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(COMMA_DCHECK(false), CheckFailure);
+}
+#endif
+
+// One death test per macro family: the default (abort) mode must print the
+// message to stderr and terminate.
+TEST(CheckDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH(COMMA_CHECK(false) << "boom marker", "COMMA_CHECK failed: false boom marker");
+}
+
+TEST(CheckDeathTest, CheckOpAbortsWithOperands) {
+  EXPECT_DEATH(COMMA_CHECK_EQ(2 + 2, 5), "2 \\+ 2 == 5 \\(4 vs. 5\\)");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(COMMA_DCHECK_LE(3, 2), "3 <= 2");
+}
+#endif
+
+}  // namespace
+}  // namespace comma::util

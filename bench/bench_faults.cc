@@ -1,0 +1,136 @@
+// Robustness trajectory: goodput through a scripted fault timeline.
+//
+// One bulk transfer rides through four scripted faults — a wireless link
+// flap, an EEM server outage, a filter quarantine, and a forced TTSF
+// bypass — while we sample delivered bytes every second. The table shows
+// throughput collapsing during each fault and recovering after it; the
+// final JSON line is machine-readable for trend tracking.
+#include "bench/common.h"
+
+#include "src/filters/ttsf_filter.h"
+
+using namespace commabench;
+
+namespace {
+
+// Throws from Out() after a scripted arming point — the quarantine fault.
+class TimeBombFilter : public proxy::Filter {
+ public:
+  TimeBombFilter() : proxy::Filter("timebomb", proxy::FilterPriority::kLow) {}
+
+  void Arm() { armed_ = true; }
+
+  proxy::FilterVerdict Out(proxy::FilterContext&, const proxy::StreamKey&,
+                           net::Packet& packet) override {
+    if (armed_ && packet.has_tcp() && !packet.payload().empty()) {
+      throw std::runtime_error("scripted filter fault");
+    }
+    return proxy::FilterVerdict::kPass;
+  }
+
+ private:
+  bool armed_ = false;
+};
+
+struct Interval {
+  double t = 0;           // End of the sampling interval (seconds).
+  uint64_t delivered = 0; // Bytes delivered to the sink in this interval.
+  std::string fault;      // Fault window active during the interval, if any.
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("E17", "Fault-injection recovery trajectory",
+              "A 12 MB transfer through TTSF while the fault plan flaps the\n"
+              "wireless link (5-7s), kills the EEM server (10-15s), blows up a\n"
+              "filter into quarantine (20s) and forces TTSF bypass (25s).\n"
+              "Goodput must collapse only inside the windows and recover after.");
+
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.01;
+  core::CommaSystem comma(config);
+  sim::Simulator& sim = comma.sim();
+
+  std::string error;
+  proxy::StreamKey wildcard{net::Ipv4Address(), 0, comma.scenario().mobile_addr(), 80};
+  if (!comma.sp().AddService("launcher", wildcard, {"tcp", "ttsf", "tdrop:0:5"}, &error)) {
+    std::fprintf(stderr, "launcher: %s\n", error.c_str());
+    return 1;
+  }
+  auto bomb = std::make_shared<TimeBombFilter>();
+  comma.sp().Attach(bomb, wildcard);
+
+  monitor::EemClient eem(&comma.scenario().mobile_host());
+  monitor::VariableId var;
+  var.name = "sysUpTime";
+  var.server = comma.scenario().gateway_wireless_addr();
+  eem.Register(var, monitor::Attr::Always());
+
+  // The scripted timeline (all declarative, all in the applied-fault log).
+  comma.ScheduleLinkFlap(comma.scenario().wireless_link(), 5 * sim::kSecond, 7 * sim::kSecond,
+                         "wireless");
+  comma.ScheduleEemOutage(10 * sim::kSecond, 15 * sim::kSecond);
+  comma.fault_plan().At(20 * sim::kSecond, "filter-fault", [&] { bomb->Arm(); });
+  comma.fault_plan().At(25 * sim::kSecond, "ttsf-bypass", [&] {
+    for (const auto& [stream, info] : comma.sp().streams()) {
+      auto* ttsf =
+          dynamic_cast<filters::TtsfFilter*>(comma.sp().FindFilterOnKey(stream, "ttsf"));
+      if (ttsf != nullptr && !ttsf->bypassed(stream)) {
+        ttsf->ForceBypass(comma.sp().context(), stream, "scripted bypass");
+      }
+    }
+  });
+  comma.ArmFaults();
+
+  const size_t kBytes = 12 * 1000 * 1000;
+  apps::BulkSink sink(&comma.scenario().mobile_host(), 80);
+  apps::BulkSender sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                          apps::PatternPayload(kBytes));
+
+  auto fault_annotation = [](double t) -> std::string {
+    if (t > 5 && t <= 7) return "link-flap";
+    if (t > 10 && t <= 15) return "eem-outage";
+    if (t > 20 && t <= 21) return "filter-fault";
+    if (t > 25 && t <= 26) return "ttsf-bypass";
+    return "";
+  };
+
+  std::vector<Interval> intervals;
+  uint64_t last_delivered = 0;
+  const int kMaxSeconds = 120;
+  for (int s = 1; s <= kMaxSeconds && !sender.finished(); ++s) {
+    sim.RunFor(sim::kSecond);
+    Interval iv;
+    iv.t = static_cast<double>(s);
+    iv.delivered = sink.bytes_received() - last_delivered;
+    iv.fault = fault_annotation(iv.t);
+    last_delivered = sink.bytes_received();
+    intervals.push_back(iv);
+  }
+
+  std::printf("%6s %16s %16s  %s\n", "t (s)", "interval kB", "cumulative kB", "fault window");
+  uint64_t cumulative = 0;
+  for (const Interval& iv : intervals) {
+    cumulative += iv.delivered;
+    std::printf("%6.0f %16.1f %16.1f  %s\n", iv.t, iv.delivered / 1000.0, cumulative / 1000.0,
+                iv.fault.c_str());
+  }
+
+  const bool completed = sender.finished() && sink.bytes_received() == kBytes;
+  const auto& qlog = comma.sp().quarantine_log();
+  std::printf("\ncompleted=%s delivered=%llu quarantined=%zu faults_applied=%zu\n",
+              completed ? "yes" : "no",
+              static_cast<unsigned long long>(sink.bytes_received()), qlog.size(),
+              comma.fault_plan().applied().size());
+  std::printf("applied fault log:\n%s", comma.fault_plan().AppliedLog().c_str());
+
+  // Machine-readable summary (one line).
+  std::printf("\nJSON {\"bench\":\"faults\",\"completed\":%s,\"delivered\":%llu,"
+              "\"seconds\":%.1f,\"quarantined\":%zu,\"faults_applied\":%zu}\n",
+              completed ? "true" : "false",
+              static_cast<unsigned long long>(sink.bytes_received()),
+              intervals.empty() ? 0.0 : intervals.back().t, qlog.size(),
+              comma.fault_plan().applied().size());
+  return completed ? 0 : 1;
+}

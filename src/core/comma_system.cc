@@ -26,6 +26,44 @@ std::unique_ptr<kati::Shell> CommaSystem::MakeKati(kati::Shell::OutputSink sink)
                                        scenario_.gateway_wireless_addr(), std::move(sink));
 }
 
+void CommaSystem::ScheduleLinkFlap(net::Link& link, sim::TimePoint from, sim::TimePoint until,
+                                   const std::string& label) {
+  net::Link* l = &link;
+  fault_plan_.Window(from, until, "link-flap " + label, [l] { l->SetUp(false); },
+                     [l] { l->SetUp(true); });
+}
+
+void CommaSystem::ScheduleEemOutage(sim::TimePoint from, sim::TimePoint until) {
+  fault_plan_.Window(from, until, "eem-outage", [this] { StopEemServer(); },
+                     [this] { RestartEemServer(); });
+}
+
+void CommaSystem::ScheduleGatewayCrash(sim::TimePoint from, sim::TimePoint until) {
+  fault_plan_.Window(
+      from, until, "gateway-crash",
+      [this] {
+        scenario_.wired_link().SetUp(false);
+        scenario_.wireless_link().SetUp(false);
+        StopEemServer();
+      },
+      [this] {
+        scenario_.wired_link().SetUp(true);
+        scenario_.wireless_link().SetUp(true);
+        RestartEemServer();
+      });
+}
+
+void CommaSystem::StopEemServer() { eem_server_.reset(); }
+
+void CommaSystem::RestartEemServer() {
+  if (eem_server_ != nullptr || !config_.start_eem) {
+    return;
+  }
+  // A restarted server is state-less: no registrations survive. Clients
+  // recover on their own through lease refreshes and register retransmits.
+  eem_server_ = std::make_unique<monitor::EemServer>(&scenario_.gateway(), config_.eem);
+}
+
 proxy::ServiceProxy& CommaSystem::MobileProxy() {
   if (mobile_sp_ == nullptr) {
     mobile_sp_ = std::make_unique<proxy::ServiceProxy>(

@@ -19,6 +19,7 @@
 #include "src/proxy/command_server.h"
 #include "src/proxy/service_catalog.h"
 #include "src/proxy/service_proxy.h"
+#include "src/sim/fault_plan.h"
 
 namespace comma::core {
 
@@ -44,7 +45,30 @@ class CommaSystem {
   sim::Simulator& sim() { return scenario_.sim(); }
   proxy::ServiceProxy& sp() { return *sp_; }
   monitor::EemServer* eem_server() { return eem_server_.get(); }
+  proxy::CommandServer* command_server() { return command_server_.get(); }
   const proxy::ServiceCatalog& catalog() const { return catalog_; }
+
+  // --- Fault injection (docs/robustness.md) ---
+  // The system-wide fault timeline. Populate it (directly, or via the
+  // Schedule* helpers below), then ArmFaults() before Run. The plan's
+  // applied log is the determinism witness for a faulted run.
+  sim::FaultPlan& fault_plan() { return fault_plan_; }
+  void ArmFaults() { fault_plan_.Arm(&sim(), &scenario_.gateway().tracer()); }
+
+  // Takes a link down at `from` and back up at `until` (in-flight packets
+  // on the downed link are lost, exactly like a real carrier loss).
+  void ScheduleLinkFlap(net::Link& link, sim::TimePoint from, sim::TimePoint until,
+                        const std::string& label);
+  // Kills the gateway EEM server at `from` (its registrations die with it)
+  // and restarts a fresh, empty instance at `until`; clients are expected
+  // to re-populate it through their registration leases.
+  void ScheduleEemOutage(sim::TimePoint from, sim::TimePoint until);
+  // A gateway "crash": both links and the EEM server go down together.
+  void ScheduleGatewayCrash(sim::TimePoint from, sim::TimePoint until);
+
+  // Immediate EEM server kill/restart (the outage window calls these).
+  void StopEemServer();
+  void RestartEemServer();
 
   // A Kati shell running on the mobile host, connected to this proxy.
   std::unique_ptr<kati::Shell> MakeKati(kati::Shell::OutputSink sink);
@@ -62,6 +86,7 @@ class CommaSystem {
   std::unique_ptr<monitor::EemServer> eem_server_;
   std::unique_ptr<monitor::EemClient> proxy_eem_client_;
   std::unique_ptr<proxy::ServiceProxy> mobile_sp_;
+  sim::FaultPlan fault_plan_;
 };
 
 }  // namespace comma::core

@@ -59,7 +59,15 @@ void HdiscardFilter::Adapt() {
   qlen.name = "ifOutQLen";
   qlen.index = ifindex_;
   auto v = ctx_->eem()->GetValue(qlen);
-  if (v.has_value() && std::holds_alternative<int64_t>(*v)) {
+  const auto age = ctx_->eem()->ValueAge(qlen);
+  if (age.has_value() && *age > kStaleAfter) {
+    // The EEM stopped talking (server dead or path down): the number in the
+    // PDA describes a past world. Fail open toward full quality instead of
+    // shedding layers on stale congestion data.
+    if (max_layer_ < configured_max_) {
+      ++max_layer_;
+    }
+  } else if (v.has_value() && std::holds_alternative<int64_t>(*v)) {
     const int64_t depth = std::get<int64_t>(*v);
     if (depth > 20) {
       max_layer_ = 0;  // Severe overload: cut straight to the base layer.

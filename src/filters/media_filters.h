@@ -42,6 +42,11 @@ inline constexpr size_t kMediaHeaderSize = 2;  // [layer, type].
 
 class HdiscardFilter : public proxy::Filter {
  public:
+  // A monitored value older than this is treated as "EEM unreachable" and
+  // the filter climbs back toward configured quality (fail open) rather
+  // than keep shedding layers on a congestion reading from a past world.
+  static constexpr sim::Duration kStaleAfter = 5 * sim::kSecond;
+
   HdiscardFilter() : Filter("hdiscard", proxy::FilterPriority::kLow) {}
 
   bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,

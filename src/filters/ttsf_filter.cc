@@ -72,6 +72,13 @@ proxy::FilterVerdict TtsfFilter::Out(proxy::FilterContext& ctx, const proxy::Str
   DirState& st = dirs_[key];
   DirState& rev = dirs_[key.Reversed()];
 
+  // 0. Health probe before the map is consulted: a desynchronized record
+  //    chain would rewrite this packet with garbage offsets, so degrade to
+  //    passthrough first (fail-open; see EnterBypass).
+  if (!MapHealthy(st) || !MapHealthy(rev)) {
+    EnterBypass(ctx, key, "sequence map desynchronized");
+  }
+
   // 1. ACK remapping: this packet acknowledges data of the reverse travel
   //    direction; its ack number is in that direction's output space.
   if (packet.tcp().flags & net::kTcpAck) {
@@ -103,10 +110,84 @@ proxy::FilterVerdict TtsfFilter::Out(proxy::FilterContext& ctx, const proxy::Str
   }
 
   if (util::DebugChecksEnabled()) {
-    auditor_->AuditDirection(key, st);
-    auditor_->AuditDirection(key.Reversed(), rev);
+    if (util::CheckThrowEnabled()) {
+      // In throw mode a fired invariant is recoverable: degrade the stream
+      // pair to bypass instead of letting the failure escape (which would
+      // quarantine the whole filter — unsafe once sequence numbers have been
+      // rewritten, since plain removal would seam the receiver's stream).
+      try {
+        auditor_->AuditDirection(key, st);
+        auditor_->AuditDirection(key.Reversed(), rev);
+      } catch (const util::CheckFailure& e) {
+        EnterBypass(ctx, key, e.what());
+      }
+    } else {
+      auditor_->AuditDirection(key, st);
+      auditor_->AuditDirection(key.Reversed(), rev);
+    }
   }
   return verdict;
+}
+
+bool TtsfFilter::MapHealthy(const DirState& st) const {
+  if (!st.initialized || st.bypass || st.records.empty()) {
+    return true;
+  }
+  const Record& back = st.records.back();
+  return back.orig_seq + back.orig_len == st.orig_frontier &&
+         back.out_seq + back.out_len == st.out_frontier;
+}
+
+void TtsfFilter::ForceBypass(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                             const std::string& reason) {
+  EnterBypass(ctx, key, reason);
+}
+
+bool TtsfFilter::bypassed(const proxy::StreamKey& key) const {
+  auto it = dirs_.find(key);
+  return it != dirs_.end() && it->second.bypass;
+}
+
+void TtsfFilter::EnterBypass(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                             const std::string& reason) {
+  DirState& st = dirs_[key];
+  DirState& rev = dirs_[key.Reversed()];
+  if (st.bypass && rev.bypass) {
+    return;
+  }
+  if (bypass_reason_.empty()) {
+    bypass_reason_ = reason;
+  }
+  ++stats_.bypass_entries;
+  ctx.tracer().Logf(sim::TraceLevel::kWarn, "ttsf", "bypass %s: %s", key.ToString().c_str(),
+                    reason.c_str());
+  // Both travel directions go together: each one's ack numbers are
+  // interpreted through the other's map.
+  BypassDirection(ctx, st);
+  BypassDirection(ctx, rev);
+}
+
+void TtsfFilter::BypassDirection(proxy::FilterContext& ctx, DirState& st) {
+  if (st.bypass) {
+    return;
+  }
+  st.bypass = true;
+  // Frontiers freeze here; their difference is the constant shift applied to
+  // everything from now on. With the records gone, MapAckToOrig reduces to
+  // exactly that shift.
+  st.records.clear();
+  // Drain: held packets (beyond the frontier) leave now, shifted, with their
+  // original payloads. The gap before them is the sender's to retransmit;
+  // the retransmission passes through bypassed like everything else.
+  const uint32_t shift = st.out_frontier - st.orig_frontier;
+  for (auto& [held_seq, held] : st.held) {
+    held.packet->tcp().seq = held_seq + shift;
+    ++stats_.bypass_drained;
+    auto holder = std::make_shared<net::PacketPtr>(std::move(held.packet));
+    proxy::ServiceProxy* proxy = &ctx.proxy();
+    ctx.simulator().Schedule(0, [proxy, holder] { proxy->InjectPacket(std::move(*holder)); });
+  }
+  st.held.clear();
 }
 
 proxy::FilterVerdict TtsfFilter::ProcessData(proxy::FilterContext& ctx,
@@ -138,7 +219,9 @@ proxy::FilterVerdict TtsfFilter::ProcessData(proxy::FilterContext& ctx,
     st.orig_frontier = seq + 1;
     st.out_frontier = seq + 1;
     st.records.clear();
+    st.held.clear();
     st.transforms_used = false;
+    st.bypass = false;  // A fresh connection re-arms transforming.
     return proxy::FilterVerdict::kPass;  // SYNs are never transformed.
   }
 
@@ -159,6 +242,16 @@ proxy::FilterVerdict TtsfFilter::ProcessData(proxy::FilterContext& ctx,
   }
 
   stats_.bytes_in += len;
+
+  if (st.bypass) {
+    // Degraded passthrough: constant shift, original payload, no records.
+    // Any submitted transform was consumed above and is deliberately
+    // ignored — bypass means the sender's own bytes, nothing else.
+    h.seq = seq + static_cast<uint32_t>(SeqDiff(st.out_frontier, st.orig_frontier));
+    ++stats_.bypass_passthrough;
+    stats_.bytes_out += len;
+    return proxy::FilterVerdict::kPass;
+  }
 
   // Fast path: identity direction with no transform in play.
   if (!st.transforms_used && !has_transform) {
@@ -429,7 +522,7 @@ void TtsfFilter::MaybeInjectTailAck(proxy::FilterContext& ctx, const proxy::Stre
 }
 
 std::string TtsfFilter::Status() const {
-  return util::Format(
+  std::string out = util::Format(
       "transformed=%llu dropped=%llu replayed=%llu acks_remapped=%llu acks_injected=%llu "
       "bytes %llu->%llu",
       static_cast<unsigned long long>(stats_.segments_transformed),
@@ -439,6 +532,14 @@ std::string TtsfFilter::Status() const {
       static_cast<unsigned long long>(stats_.acks_injected),
       static_cast<unsigned long long>(stats_.bytes_in),
       static_cast<unsigned long long>(stats_.bytes_out));
+  if (stats_.bypass_entries > 0) {
+    out += util::Format(" BYPASS entries=%llu drained=%llu passthrough=%llu reason=\"%s\"",
+                        static_cast<unsigned long long>(stats_.bypass_entries),
+                        static_cast<unsigned long long>(stats_.bypass_drained),
+                        static_cast<unsigned long long>(stats_.bypass_passthrough),
+                        bypass_reason_.c_str());
+  }
+  return out;
 }
 
 }  // namespace comma::filters

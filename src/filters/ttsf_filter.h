@@ -48,6 +48,9 @@ struct TtsfStats {
   uint64_t acks_injected = 0;
   uint64_t bytes_in = 0;   // Original payload bytes.
   uint64_t bytes_out = 0;  // Transformed payload bytes.
+  uint64_t bypass_entries = 0;      // Stream pairs degraded to passthrough.
+  uint64_t bypass_drained = 0;      // Held packets flushed on bypass entry.
+  uint64_t bypass_passthrough = 0;  // Segments forwarded while bypassed.
 };
 
 class TtsfFilter : public proxy::Filter {
@@ -62,6 +65,24 @@ class TtsfFilter : public proxy::Filter {
   void SubmitDrop(const net::Packet& packet) { SubmitTransform(packet, {}); }
 
   const TtsfStats& stats() const { return stats_; }
+
+  // --- Graceful degradation (bypass-and-drain) ---
+  // When the sequence map is no longer trustworthy (a quick health probe or
+  // the SeqSpaceAuditor fails, or fault injection demands it), the stream
+  // pair degrades to *bypass*: transforming stops, held packets drain, and
+  // from then on every segment is forwarded with its original payload and a
+  // constant sequence shift — the frozen frontier offset — so the map is
+  // effectively identity-plus-constant and never again depends on cached
+  // (possibly corrupt) state. Original bytes are by definition uncorrupted,
+  // which is the degradation contract: a bypassed TTSF may stall a stream
+  // whose transforms changed segment lengths, but it never delivers bytes
+  // the sender did not send. A new SYN resets the direction and re-arms
+  // transforming.
+  void ForceBypass(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                   const std::string& reason);
+  // True when `key`'s direction is in bypass mode.
+  bool bypassed(const proxy::StreamKey& key) const;
+  const std::string& bypass_reason() const { return bypass_reason_; }
 
   // --- Invariant auditing (active when util::DebugChecksEnabled()) ---
   // The SeqSpaceAuditor attached to this filter; runs over both directions
@@ -117,6 +138,10 @@ class TtsfFilter : public proxy::Filter {
     uint32_t peer_seq = 0;      // Receiver's current send position.
     uint16_t peer_window = 0;   // Receiver's last advertised window.
     bool transforms_used = false;
+    // Degraded passthrough: frontiers are frozen (their difference is the
+    // constant shift applied to everything), records are gone, transforms
+    // are ignored. Cleared by the next SYN.
+    bool bypass = false;
   };
 
   proxy::FilterVerdict ProcessData(proxy::FilterContext& ctx, const proxy::StreamKey& key,
@@ -135,12 +160,21 @@ class TtsfFilter : public proxy::Filter {
   void PruneAcked(DirState& st);
   void MaybeInjectTailAck(proxy::FilterContext& ctx, const proxy::StreamKey& key, DirState& st,
                           uint32_t acked_orig);
+  // O(1) health probe run on every packet before the map is consulted: the
+  // newest record must end exactly at both frontiers.
+  bool MapHealthy(const DirState& st) const;
+  // Degrades both travel directions of `key` to bypass and drains held
+  // packets (shifted by the frozen offset, original payloads) in order.
+  void EnterBypass(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                   const std::string& reason);
+  void BypassDirection(proxy::FilterContext& ctx, DirState& st);
 
   friend class SeqSpaceAuditor;
 
   std::map<proxy::StreamKey, DirState> dirs_;
   std::map<uint64_t, util::Bytes> pending_;  // uid -> submitted payload.
   TtsfStats stats_;
+  std::string bypass_reason_;  // First reason; empty while healthy.
   std::unique_ptr<SeqSpaceAuditor> auditor_;
 };
 

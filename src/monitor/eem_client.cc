@@ -1,5 +1,7 @@
 #include "src/monitor/eem_client.h"
 
+#include <algorithm>
+
 namespace comma::monitor {
 
 EemClient::EemClient(core::Host* host) : host_(host) {
@@ -15,22 +17,57 @@ net::Ipv4Address EemClient::ResolveServer(const VariableId& id) const {
   return id.server.IsUnspecified() ? host_->PrimaryAddress() : id.server;
 }
 
+void EemClient::CancelTimer(RegState& st) {
+  if (st.timer != sim::kInvalidTimerId) {
+    host_->simulator()->Cancel(st.timer);
+    st.timer = sim::kInvalidTimerId;
+  }
+}
+
+void EemClient::SendRegister(uint32_t reg_id) {
+  auto it = by_reg_id_.find(reg_id);
+  if (it == by_reg_id_.end()) {
+    return;
+  }
+  RegState& st = it->second;
+  RegisterMsg msg;
+  msg.reg_id = reg_id;
+  msg.name = st.id.name;
+  msg.index = st.id.index;
+  msg.attr = st.attr;
+  socket_->SendTo(ResolveServer(st.id), st.id.server_port, EncodeRegister(msg));
+  ++registers_sent_;
+  ++st.attempts;
+  // Arm the next (re)send. Unacked registrations retransmit on an
+  // exponential backoff; once the burst is spent (server gone for a while),
+  // slow to a probe so a restarted server is still found eventually.
+  sim::Duration delay;
+  if (st.attempts > kMaxRetransmitBurst) {
+    delay = kProbeInterval;
+  } else {
+    st.backoff = st.backoff == 0 ? kInitialRetransmit
+                                 : std::min<sim::Duration>(st.backoff * 2, kMaxRetransmit);
+    delay = st.backoff;
+  }
+  CancelTimer(st);
+  st.timer = host_->simulator()->ScheduleTimer(delay, [this, reg_id] { SendRegister(reg_id); });
+}
+
 bool EemClient::Register(const VariableId& id, const Attr& attr) {
   uint32_t reg_id;
   auto existing = reg_ids_.find(id);
   if (existing != reg_ids_.end()) {
     reg_id = existing->second;
+    CancelTimer(by_reg_id_[reg_id]);
   } else {
     reg_id = next_reg_id_++;
     reg_ids_[id] = reg_id;
   }
-  by_reg_id_[reg_id] = RegState{id, attr};
-  RegisterMsg msg;
-  msg.reg_id = reg_id;
-  msg.name = id.name;
-  msg.index = id.index;
-  msg.attr = attr;
-  socket_->SendTo(ResolveServer(id), id.server_port, EncodeRegister(msg));
+  RegState st;
+  st.id = id;
+  st.attr = attr;
+  by_reg_id_[reg_id] = std::move(st);
+  SendRegister(reg_id);
   return true;
 }
 
@@ -40,7 +77,11 @@ void EemClient::Deregister(const VariableId& id) {
     return;
   }
   socket_->SendTo(ResolveServer(id), id.server_port, EncodeDeregister({it->second}));
-  by_reg_id_.erase(it->second);
+  auto st = by_reg_id_.find(it->second);
+  if (st != by_reg_id_.end()) {
+    CancelTimer(st->second);
+    by_reg_id_.erase(st);
+  }
   reg_ids_.erase(it);
 }
 
@@ -52,6 +93,9 @@ void EemClient::DeregisterAll() {
   }
   for (const auto& [key, id] : servers) {
     socket_->SendTo(ResolveServer(id), id.server_port, EncodeDeregisterAll());
+  }
+  for (auto& [reg_id, st] : by_reg_id_) {
+    CancelTimer(st);
   }
   reg_ids_.clear();
   by_reg_id_.clear();
@@ -76,9 +120,34 @@ bool EemClient::HasChanged(const VariableId& id) const {
   return it != pda_.end() && it->second.changed;
 }
 
+std::optional<sim::Duration> EemClient::ValueAge(const VariableId& id) const {
+  auto it = pda_.find(id);
+  if (it == pda_.end() || !it->second.has_value) {
+    return std::nullopt;
+  }
+  return host_->simulator()->Now() - it->second.updated_at;
+}
+
+std::vector<EemClient::RegistrationInfo> EemClient::registrations() const {
+  std::vector<RegistrationInfo> out;
+  out.reserve(reg_ids_.size());
+  for (const auto& [id, reg_id] : reg_ids_) {
+    auto st = by_reg_id_.find(reg_id);
+    if (st == by_reg_id_.end()) {
+      continue;
+    }
+    out.push_back({id, st->second.attr, st->second.acked, st->second.attempts,
+                   st->second.lease_us});
+  }
+  return out;
+}
+
 void EemClient::GetValueOnce(const VariableId& id, Callback cb) {
   const uint32_t reg_id = next_reg_id_++;
-  by_reg_id_[reg_id] = RegState{id, Attr::Always(NotifyMode::kOnce)};
+  RegState st;
+  st.id = id;
+  st.attr = Attr::Always(NotifyMode::kOnce);
+  by_reg_id_[reg_id] = std::move(st);
   pending_once_[reg_id] = std::move(cb);
   RegisterMsg msg;
   msg.reg_id = reg_id;
@@ -91,6 +160,31 @@ void EemClient::GetValueOnce(const VariableId& id, Callback cb) {
 void EemClient::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& /*from*/) {
   auto type = PeekType(data);
   if (!type.has_value()) {
+    return;
+  }
+  if (*type == MsgType::kRegisterAck) {
+    auto msg = DecodeRegisterAck(data);
+    if (!msg.has_value()) {
+      return;
+    }
+    auto reg = by_reg_id_.find(msg->reg_id);
+    if (reg == by_reg_id_.end()) {
+      return;  // Deregistered while the ack was in flight.
+    }
+    ++acks_received_;
+    RegState& st = reg->second;
+    st.acked = true;
+    st.attempts = 0;
+    st.backoff = 0;
+    st.lease_us = msg->lease_us;
+    // Refresh at half the lease so one lost refresh datagram still leaves a
+    // full backoff burst before the server-side lease runs out; a
+    // lease-less server is probed so its restart is eventually noticed.
+    const sim::Duration refresh =
+        msg->lease_us > 0 ? static_cast<sim::Duration>(msg->lease_us) / 2 : kProbeInterval;
+    CancelTimer(st);
+    const uint32_t reg_id = msg->reg_id;
+    st.timer = host_->simulator()->ScheduleTimer(refresh, [this, reg_id] { SendRegister(reg_id); });
     return;
   }
   if (*type == MsgType::kNotify) {
@@ -108,6 +202,7 @@ void EemClient::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& /*fr
     entry.value = msg->value;
     entry.in_range = true;
     entry.has_value = true;
+    entry.updated_at = host_->simulator()->Now();
     if (callback_) {
       callback_(reg->second.id, msg->value);  // The exception handler path.
     }
@@ -140,6 +235,7 @@ void EemClient::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& /*fr
       entry.value = item.value;
       entry.in_range = item.in_range;
       entry.has_value = true;
+      entry.updated_at = host_->simulator()->Now();
     }
   }
 }

@@ -12,11 +12,18 @@
 //
 // Updates arrive silently into the protected data area; interrupt-mode
 // registrations additionally fire the callback.
+//
+// Registrations are reliable despite riding UDP: every Register is
+// retransmitted with exponential backoff until the server acks it, then
+// refreshed on the granted lease so a restarted (state-less) server is
+// transparently re-populated. GetValue consumers can ask how stale a value
+// is (ValueAge) to distinguish "no news" from "server unreachable".
 #ifndef COMMA_MONITOR_EEM_CLIENT_H_
 #define COMMA_MONITOR_EEM_CLIENT_H_
 
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "src/core/host.h"
 #include "src/monitor/protocol.h"
@@ -27,6 +34,13 @@ class EemClient {
  public:
   using Callback = std::function<void(const VariableId&, const Value&)>;
 
+  // Registration reliability knobs (defaults follow the check-interval
+  // timescale: first retry after half a second, backed off to eight).
+  static constexpr sim::Duration kInitialRetransmit = 500 * sim::kMillisecond;
+  static constexpr sim::Duration kMaxRetransmit = 8 * sim::kSecond;
+  static constexpr uint32_t kMaxRetransmitBurst = 6;  // Sends before slowing down.
+  static constexpr sim::Duration kProbeInterval = 10 * sim::kSecond;
+
   explicit EemClient(core::Host* host);
   ~EemClient();
   EemClient(const EemClient&) = delete;
@@ -36,7 +50,8 @@ class EemClient {
   void SetCallback(Callback cb) { callback_ = std::move(cb); }
 
   // Registers (id, attr) with the appropriate server. Re-registering the
-  // same id replaces the registration.
+  // same id replaces the registration. The datagram is retransmitted with
+  // exponential backoff until acked, then refreshed every lease/2.
   bool Register(const VariableId& id, const Attr& attr);
   void Deregister(const VariableId& id);
   void DeregisterAll();
@@ -48,16 +63,34 @@ class EemClient {
   bool IsInRange(const VariableId& id) const;
   // True if the value changed since it was last retrieved with GetValue.
   bool HasChanged(const VariableId& id) const;
+  // How long ago the most recent value arrived, or nullopt if none has.
+  // A registered variable whose age keeps growing past the server's update
+  // interval means the server (or the path to it) is gone — consumers
+  // should fail open rather than act on the stale number.
+  std::optional<sim::Duration> ValueAge(const VariableId& id) const;
 
   // One-shot poll: `cb` fires when the server replies (comma_query_
   // getvalue_once; the thesis blocks, an event-driven client cannot).
   void GetValueOnce(const VariableId& id, Callback cb);
+
+  // --- Introspection ---
+  struct RegistrationInfo {
+    VariableId id;
+    Attr attr;
+    bool acked = false;      // Server confirmed since the last (re)send burst.
+    uint32_t attempts = 0;   // Datagrams sent since the last ack.
+    uint64_t lease_us = 0;   // Lease granted by the server (0 = none yet).
+  };
+  // Durable registrations (one-shot polls excluded), in VariableId order.
+  std::vector<RegistrationInfo> registrations() const;
 
   // --- Traffic accounting (experiment E12) ---
   uint64_t bytes_sent() const { return socket_->bytes_sent(); }
   uint64_t bytes_received() const { return socket_->bytes_received(); }
   uint64_t notifies_received() const { return notifies_received_; }
   uint64_t updates_received() const { return updates_received_; }
+  uint64_t registers_sent() const { return registers_sent_; }
+  uint64_t acks_received() const { return acks_received_; }
 
  private:
   struct PdaEntry {
@@ -65,15 +98,25 @@ class EemClient {
     bool in_range = false;
     bool changed = false;
     bool has_value = false;
+    sim::TimePoint updated_at = 0;
   };
 
   struct RegState {
     VariableId id;
     Attr attr;
+    bool acked = false;
+    uint32_t attempts = 0;                    // Sends since the last ack.
+    sim::Duration backoff = 0;                // Current retransmit delay.
+    sim::TimerId timer = sim::kInvalidTimerId;
+    uint64_t lease_us = 0;
   };
 
   void OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from);
   net::Ipv4Address ResolveServer(const VariableId& id) const;
+  // (Re)sends the Register datagram for `reg_id` and arms the next timer:
+  // exponential backoff while unacked, a slow probe once the burst is spent.
+  void SendRegister(uint32_t reg_id);
+  void CancelTimer(RegState& st);
 
   core::Host* host_;
   std::unique_ptr<udp::UdpSocket> socket_;
@@ -85,6 +128,8 @@ class EemClient {
   std::map<uint32_t, Callback> pending_once_;
   uint64_t notifies_received_ = 0;
   uint64_t updates_received_ = 0;
+  uint64_t registers_sent_ = 0;
+  uint64_t acks_received_ = 0;
 };
 
 }  // namespace comma::monitor

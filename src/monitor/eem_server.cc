@@ -69,7 +69,22 @@ void EemServer::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from
       reg.name = msg->name;
       reg.index = msg->index;
       reg.attr = msg->attr;
+      if (config_.lease > 0) {
+        reg.expires_at = host_->simulator()->Now() + config_.lease;
+      }
+      // A refresh (same client, same reg id) must not lose notification
+      // bookkeeping, or every lease renewal would re-fire interrupt
+      // notifications for an unchanged value.
+      auto existing = registrations_.find({ClientKey(from), msg->reg_id});
+      if (existing != registrations_.end() && existing->second.name == reg.name &&
+          existing->second.index == reg.index) {
+        reg.was_in_range = existing->second.was_in_range;
+        reg.last_sent = existing->second.last_sent;
+      }
       registrations_[{ClientKey(from), msg->reg_id}] = std::move(reg);
+      ++acks_sent_;
+      socket_->SendTo(from.addr, from.port,
+                      EncodeRegisterAck({msg->reg_id, static_cast<uint64_t>(config_.lease)}));
       return;
     }
     case MsgType::kDeregister: {
@@ -94,8 +109,24 @@ void EemServer::OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from
   }
 }
 
+void EemServer::ExpireLeases() {
+  if (config_.lease <= 0) {
+    return;
+  }
+  const sim::TimePoint now = host_->simulator()->Now();
+  for (auto it = registrations_.begin(); it != registrations_.end();) {
+    if (it->second.expires_at != 0 && it->second.expires_at < now) {
+      ++leases_expired_;
+      it = registrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void EemServer::CheckTick() {
   host_provider_->Poll(host_->simulator()->Now());
+  ExpireLeases();
   for (auto& [key, reg] : registrations_) {
     auto value = ReadVariable(reg.name, reg.index);
     if (!value.has_value()) {

@@ -26,6 +26,10 @@ struct EemServerConfig {
   uint16_t port = kEemPort;
   sim::Duration check_interval = sim::kSecond;
   sim::Duration update_interval = 10 * sim::kSecond;
+  // Registrations are leased: a client that does not refresh (re-register)
+  // within `lease` is dropped. The lease is granted in the RegisterAck, so
+  // clients know the refresh cadence. Zero disables expiry.
+  sim::Duration lease = 60 * sim::kSecond;
 };
 
 class EemServer {
@@ -46,6 +50,8 @@ class EemServer {
   size_t RegistrationCount() const { return registrations_.size(); }
   uint64_t notifies_sent() const { return notifies_sent_; }
   uint64_t updates_sent() const { return updates_sent_; }
+  uint64_t acks_sent() const { return acks_sent_; }
+  uint64_t leases_expired() const { return leases_expired_; }
   uint64_t bytes_sent() const { return socket_->bytes_sent(); }
   uint64_t bytes_received() const { return socket_->bytes_received(); }
 
@@ -58,11 +64,13 @@ class EemServer {
     Attr attr;
     bool was_in_range = false;
     std::optional<Value> last_sent;
+    sim::TimePoint expires_at = 0;  // Lease deadline; 0 = never expires.
   };
 
   void OnDatagram(const util::Bytes& data, const udp::UdpEndpoint& from);
   void CheckTick();
   void UpdateTick();
+  void ExpireLeases();
   static uint64_t ClientKey(const udp::UdpEndpoint& ep) {
     return static_cast<uint64_t>(ep.addr.value()) << 16 | ep.port;
   }
@@ -78,6 +86,8 @@ class EemServer {
   sim::TimerId update_timer_ = sim::kInvalidTimerId;
   uint64_t notifies_sent_ = 0;
   uint64_t updates_sent_ = 0;
+  uint64_t acks_sent_ = 0;
+  uint64_t leases_expired_ = 0;
 };
 
 }  // namespace comma::monitor

@@ -77,8 +77,17 @@ util::Bytes EncodeUpdate(const UpdateMsg& msg) {
   return out;
 }
 
+util::Bytes EncodeRegisterAck(const RegisterAckMsg& msg) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU8(static_cast<uint8_t>(MsgType::kRegisterAck));
+  w.WriteU32(msg.reg_id);
+  w.WriteU64(msg.lease_us);
+  return out;
+}
+
 std::optional<MsgType> PeekType(const util::Bytes& data) {
-  if (data.empty() || data[0] < 1 || data[0] > 5) {
+  if (data.empty() || data[0] < 1 || data[0] > 6) {
     return std::nullopt;
   }
   return static_cast<MsgType>(data[0]);
@@ -144,6 +153,17 @@ std::optional<UpdateMsg> DecodeUpdate(const util::Bytes& data) {
     item.in_range = r.ReadU8() != 0;
     msg.items.push_back(std::move(item));
   }
+  return r.failed() ? std::nullopt : std::optional(msg);
+}
+
+std::optional<RegisterAckMsg> DecodeRegisterAck(const util::Bytes& data) {
+  util::ByteReader r(data);
+  if (r.ReadU8() != static_cast<uint8_t>(MsgType::kRegisterAck)) {
+    return std::nullopt;
+  }
+  RegisterAckMsg msg;
+  msg.reg_id = r.ReadU32();
+  msg.lease_us = r.ReadU64();
   return r.failed() ? std::nullopt : std::optional(msg);
 }
 

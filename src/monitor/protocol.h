@@ -17,6 +17,7 @@ enum class MsgType : uint8_t {
   kDeregisterAll = 3,
   kNotify = 4,  // Interrupt-style, one variable, sent immediately.
   kUpdate = 5,  // Periodic batch of (reg_id, value, in_range).
+  kRegisterAck = 6,  // Server confirms a registration and grants a lease.
 };
 
 struct RegisterMsg {
@@ -45,17 +46,29 @@ struct UpdateMsg {
   std::vector<UpdateItem> items;
 };
 
+// Registration acknowledgement. UDP registrations are otherwise
+// fire-and-forget: without the ack a single lost datagram silently loses the
+// registration forever. `lease_us` is how long the server will keep the
+// registration without a refresh; clients re-register before it expires,
+// which also transparently survives a server restart.
+struct RegisterAckMsg {
+  uint32_t reg_id = 0;
+  uint64_t lease_us = 0;
+};
+
 util::Bytes EncodeRegister(const RegisterMsg& msg);
 util::Bytes EncodeDeregister(const DeregisterMsg& msg);
 util::Bytes EncodeDeregisterAll();
 util::Bytes EncodeNotify(const NotifyMsg& msg);
 util::Bytes EncodeUpdate(const UpdateMsg& msg);
+util::Bytes EncodeRegisterAck(const RegisterAckMsg& msg);
 
 std::optional<MsgType> PeekType(const util::Bytes& data);
 std::optional<RegisterMsg> DecodeRegister(const util::Bytes& data);
 std::optional<DeregisterMsg> DecodeDeregister(const util::Bytes& data);
 std::optional<NotifyMsg> DecodeNotify(const util::Bytes& data);
 std::optional<UpdateMsg> DecodeUpdate(const util::Bytes& data);
+std::optional<RegisterAckMsg> DecodeRegisterAck(const util::Bytes& data);
 
 }  // namespace comma::monitor
 

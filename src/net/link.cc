@@ -113,6 +113,14 @@ void Link::StartTransmit(int side) {
     if (LossModelDrops(sz)) {
       ++sd.stats.drops_error;
     } else {
+      // Corruption model: damage payload bytes but deliver the packet. The
+      // stale checksum is the receiver's evidence; its stack drops it there.
+      if (config_.corrupt_probability > 0.0 && !p->payload().empty() &&
+          rng_.Bernoulli(config_.corrupt_probability)) {
+        const size_t at = rng_.NextBelow(p->payload().size());
+        p->payload()[at] ^= 0xff;
+        ++sd.stats.corrupted;
+      }
       // A shared_ptr holder keeps the packet owned even if the event is
       // destroyed unfired (e.g. the simulation ends mid-propagation).
       auto holder = std::make_shared<PacketPtr>(std::move(p));

@@ -26,6 +26,10 @@ struct LinkConfig {
   size_t queue_limit_packets = 64;                        // Drop-tail bound.
   double loss_probability = 0.0;                          // Per-packet Bernoulli loss.
   double bit_error_rate = 0.0;                            // Independent per-bit errors.
+  // Per-packet probability that payload bytes are flipped in flight instead
+  // of the packet being dropped. Checksums are left stale, so the receiving
+  // stack's verification is what catches (and drops) the damage.
+  double corrupt_probability = 0.0;
 };
 
 // Canonical configurations for the two environments in the thesis's network
@@ -41,6 +45,7 @@ struct LinkSideStats {
   uint64_t drops_queue = 0;   // Drop-tail overflow.
   uint64_t drops_error = 0;   // Loss model.
   uint64_t drops_down = 0;    // Link was down.
+  uint64_t corrupted = 0;     // Payload bytes flipped in flight (delivered).
 };
 
 class Link {
@@ -60,6 +65,7 @@ class Link {
   void SetPropagationDelay(sim::Duration d) { config_.propagation_delay = d; }
   void SetLossProbability(double p) { config_.loss_probability = p; }
   void SetBitErrorRate(double ber) { config_.bit_error_rate = ber; }
+  void SetCorruptProbability(double p) { config_.corrupt_probability = p; }
   void SetQueueLimit(size_t packets) { config_.queue_limit_packets = packets; }
   // Taking a link down drops everything in flight (a mobile moving out of
   // range loses whatever was in the air).

@@ -100,6 +100,11 @@ std::string CommandProcessor::DoReport(const std::vector<std::string>& args) {
     for (const std::string& key : entry.keys) {
       out += "\t" + key + "\n";
     }
+    // Quarantined instances are appended after the key lines so existing
+    // consumers of the Fig. 5.3 layout keep parsing.
+    for (const std::string& q : entry.quarantined) {
+      out += "\tquarantined: " + q + "\n";
+    }
   }
   return out;
 }

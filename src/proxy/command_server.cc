@@ -17,6 +17,9 @@ void CommandServer::OnAccept(tcp::TcpConnection* conn) {
     conn->Close();
   });
   conn->set_on_closed([this, conn] { sessions_.erase(conn); });
+  // A reset mid-command (client crash, fault injection) must drop the
+  // session and its partial line, not leave it wedged in the map.
+  conn->set_on_error([this, conn](const std::string&) { sessions_.erase(conn); });
 }
 
 void CommandServer::OnData(tcp::TcpConnection* conn, const util::Bytes& data) {
@@ -30,12 +33,32 @@ void CommandServer::OnData(tcp::TcpConnection* conn, const util::Bytes& data) {
   while ((newline = session.inbuf.find('\n')) != std::string::npos) {
     std::string line = session.inbuf.substr(0, newline);
     session.inbuf.erase(0, newline + 1);
+    if (session.discarding) {
+      // Tail of an already-rejected oversized line.
+      session.discarding = false;
+      continue;
+    }
+    if (line.size() > kMaxCommandLineBytes) {
+      ++lines_rejected_;
+      const std::string response = "error: line too long\n.\n";
+      conn->Send(util::AsBytePtr(response.data()), response.size());
+      continue;
+    }
     if (!line.empty() && line.back() == '\r') {
       line.pop_back();
     }
     ++commands_executed_;
     std::string response = processor_.Execute(line);
     response += ".\n";  // End-of-response marker.
+    conn->Send(util::AsBytePtr(response.data()), response.size());
+  }
+  // No newline yet: an over-limit partial line is rejected now and its
+  // remainder discarded, bounding per-session memory.
+  if (!session.discarding && session.inbuf.size() > kMaxCommandLineBytes) {
+    ++lines_rejected_;
+    session.inbuf.clear();
+    session.discarding = true;
+    const std::string response = "error: line too long\n.\n";
     conn->Send(util::AsBytePtr(response.data()), response.size());
   }
 }

@@ -19,6 +19,11 @@ namespace comma::proxy {
 
 inline constexpr uint16_t kCommandPort = 12000;
 
+// A command line longer than this is rejected with an error response
+// instead of buffering without bound — a wedged or hostile client must not
+// grow gateway memory (the SP shares its process with live data filters).
+inline constexpr size_t kMaxCommandLineBytes = 4096;
+
 class CommandServer {
  public:
   // Listens on `port` of `stack`'s node, executing commands against `proxy`.
@@ -28,10 +33,15 @@ class CommandServer {
   CommandServer& operator=(const CommandServer&) = delete;
 
   uint64_t commands_executed() const { return commands_executed_; }
+  uint64_t lines_rejected() const { return lines_rejected_; }
+  size_t session_count() const { return sessions_.size(); }
 
  private:
   struct Session {
     std::string inbuf;
+    // An oversized line was rejected; swallow bytes until its newline so the
+    // client's next line starts a clean command.
+    bool discarding = false;
   };
 
   void OnAccept(tcp::TcpConnection* conn);
@@ -42,6 +52,7 @@ class CommandServer {
   uint16_t port_;
   std::map<tcp::TcpConnection*, Session> sessions_;
   uint64_t commands_executed_ = 0;
+  uint64_t lines_rejected_ = 0;
 };
 
 }  // namespace comma::proxy

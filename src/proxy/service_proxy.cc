@@ -1,6 +1,7 @@
 #include "src/proxy/service_proxy.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "src/util/check.h"
 
@@ -66,7 +67,16 @@ bool ServiceProxy::AddService(const std::string& filter_name, const StreamKey& k
   // implementation (below, via Attach) uses the requested key itself.
   Attach(filter, key);
   std::string local_error;
-  if (!filter->OnInsert(context_, key, args, &local_error)) {
+  bool inserted = false;
+  // A throwing insertion method is a clean `add` failure, not a quarantine:
+  // the instance never went live, so it is simply discarded.
+  try {
+    inserted = filter->OnInsert(context_, key, args, &local_error);
+  } catch (const std::exception& e) {
+    inserted = false;
+    local_error = std::string("insertion method failed: ") + e.what();
+  }
+  if (!inserted) {
     Detach(filter, key);
     if (error != nullptr) {
       *error = local_error.empty() ? "insertion refused" : local_error;
@@ -118,7 +128,7 @@ void ServiceProxy::Detach(const FilterPtr& filter, const StreamKey& key) {
   }
   FilterPtr held = it->filter;  // Keep alive through the callback.
   attachments_.erase(it);
-  held->OnDetach(context_, key);
+  RunContained(held.get(), "OnDetach", [&] { held->OnDetach(context_, key); });
   InvalidateQueues();
 }
 
@@ -154,6 +164,46 @@ Filter* ServiceProxy::FindFilterOnKey(const StreamKey& key, const std::string& n
   return nullptr;
 }
 
+// --- Fault containment ---
+
+bool ServiceProxy::IsQuarantined(const Filter* f) const {
+  return std::find(quarantined_.begin(), quarantined_.end(), f) != quarantined_.end();
+}
+
+void ServiceProxy::QuarantineFilter(Filter* f, const std::string& reason) {
+  RecordQuarantine(f, reason);
+}
+
+void ServiceProxy::RecordQuarantine(Filter* f, const std::string& reason) {
+  if (f == nullptr || IsQuarantined(f)) {
+    return;
+  }
+  quarantined_.push_back(f);
+  quarantine_log_.push_back({f->name(), f, reason, node_->simulator()->Now()});
+  ++stats_.filters_quarantined;
+  node_->tracer().Logf(sim::TraceLevel::kWarn, "proxy", "quarantined filter %s: %s",
+                       f->name().c_str(), reason.c_str());
+  // Resolved queues must stop listing the instance — but a pass may be
+  // iterating a cached queue right now, so flushing the cache here would
+  // dangle its reference. OnPacket flushes after the pass instead.
+  if (!in_filter_pass_) {
+    InvalidateQueues();
+  }
+}
+
+template <typename Fn>
+bool ServiceProxy::RunContained(Filter* f, const char* where, Fn&& fn) {
+  try {
+    fn();
+    return true;
+  } catch (const std::exception& e) {
+    RecordQuarantine(f, std::string(where) + ": " + e.what());
+  } catch (...) {
+    RecordQuarantine(f, std::string(where) + ": unknown exception");
+  }
+  return false;
+}
+
 std::vector<ServiceProxy::ReportEntry> ServiceProxy::Report(const std::string& only_filter) const {
   std::vector<ReportEntry> out;
   for (const std::string& name : registry_.loaded()) {
@@ -167,6 +217,19 @@ std::vector<ServiceProxy::ReportEntry> ServiceProxy::Report(const std::string& o
         entry.keys.push_back(att.key.ToString());
       }
     }
+    for (const QuarantineRecord& rec : quarantine_log_) {
+      if (rec.filter != name) {
+        continue;
+      }
+      // The instance may still be attached (bypassed in place): list its keys.
+      std::string keys;
+      for (const Attachment& att : attachments_) {
+        if (att.filter.get() == rec.instance) {
+          keys += (keys.empty() ? "" : ", ") + att.key.ToString();
+        }
+      }
+      entry.quarantined.push_back((keys.empty() ? "(detached)" : keys) + " -- " + rec.reason);
+    }
     out.push_back(std::move(entry));
   }
   return out;
@@ -176,6 +239,9 @@ std::vector<Filter*> ServiceProxy::ResolveQueue(const StreamKey& key) const {
   std::vector<Filter*> queue;
   for (const Attachment& att : attachments_) {
     if (att.key == key || att.key.Matches(key)) {
+      if (IsQuarantined(att.filter.get())) {
+        continue;  // Bypassed fail-open; the stream runs without it.
+      }
       if (std::find(queue.begin(), queue.end(), att.filter.get()) == queue.end()) {
         queue.push_back(att.filter.get());
       }
@@ -206,7 +272,10 @@ void ServiceProxy::NotifyNewStream(const StreamKey& key) {
     }
   }
   for (const FilterPtr& f : interested) {
-    f->OnNewStream(context_, key);
+    if (IsQuarantined(f.get())) {
+      continue;
+    }
+    RunContained(f.get(), "OnNewStream", [&] { f->OnNewStream(context_, key); });
   }
 }
 
@@ -243,13 +312,20 @@ net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapCon
     visited_priorities.reserve(queue.size());
   }
 
+  // Quarantines during the pass must not flush the cache mid-iteration
+  // (`queue` aliases the cached vector); compare the log length afterwards.
+  const size_t quarantines_before = quarantine_log_.size();
+
   in_filter_pass_ = true;
   // In pass: top (highest priority) down — read-only.
   for (Filter* f : queue) {
+    if (IsQuarantined(f)) {
+      continue;  // Faulted earlier in this very pass.
+    }
     if (audit) {
       visited_priorities.push_back(static_cast<int>(f->priority()));
     }
-    f->In(context_, key, *packet);
+    RunContained(f, "In", [&] { f->In(context_, key, *packet); });
   }
   if (audit) {
     queue_auditor_.AuditInPassOrder(visited_priorities);
@@ -260,12 +336,24 @@ net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapCon
                                    : packet->has_udp() ? packet->udp().checksum
                                                        : packet->ip().checksum;
   for (auto rit = queue.rbegin(); rit != queue.rend(); ++rit) {
-    if (audit) {
-      visited_priorities.push_back(static_cast<int>((*rit)->priority()));
+    Filter* f = *rit;
+    if (IsQuarantined(f)) {
+      continue;
     }
-    if ((*rit)->Out(context_, key, *packet) == FilterVerdict::kDrop) {
+    if (audit) {
+      visited_priorities.push_back(static_cast<int>(f->priority()));
+    }
+    // A faulting Out quarantines the filter and passes the packet through
+    // unmodified-by-it (fail-open): dropping on fault would stall the stream
+    // the service was supposed to be transparent to.
+    FilterVerdict verdict = FilterVerdict::kPass;
+    RunContained(f, "Out", [&] { verdict = f->Out(context_, key, *packet); });
+    if (verdict == FilterVerdict::kDrop) {
       ++stats_.packets_dropped;
       in_filter_pass_ = false;
+      if (quarantine_log_.size() != quarantines_before) {
+        InvalidateQueues();  // `queue` is dead past this point.
+      }
       if (audit) {
         // A kDrop cuts the pass short; the visited prefix must still be
         // bottom-up.
@@ -275,6 +363,9 @@ net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapCon
     }
   }
   in_filter_pass_ = false;
+  if (quarantine_log_.size() != quarantines_before) {
+    InvalidateQueues();  // `queue` is dead past this point.
+  }
   if (audit) {
     queue_auditor_.AuditOutPassOrder(visited_priorities);
   }

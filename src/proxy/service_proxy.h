@@ -45,6 +45,7 @@ struct ProxyStats {
   uint64_t packets_dropped = 0;    // A filter returned kDrop.
   uint64_t packets_injected = 0;   // Filter-manufactured packets.
   uint64_t streams_seen = 0;
+  uint64_t filters_quarantined = 0;  // Instances bypassed after a fault.
 };
 
 class ServiceProxy : public net::PacketTap {
@@ -82,11 +83,30 @@ class ServiceProxy : public net::PacketTap {
   void set_catalog(const ServiceCatalog* catalog) { catalog_ = catalog; }
   const ServiceCatalog* catalog() const { return catalog_; }
 
+  // --- Fault containment (graceful degradation) ---
+  // A filter whose callback throws is *quarantined*: it is removed from
+  // every resolved queue and never invoked again, so the stream it was
+  // servicing degrades to plain pass-through instead of dying with the
+  // filter (fail-open; the thesis's transparency contract means the end
+  // hosts must still see a valid TCP stream when a service misbehaves).
+  struct QuarantineRecord {
+    std::string filter;      // Filter name.
+    const Filter* instance;  // Identity only; may outlive detachment.
+    std::string reason;      // what() of the escaping exception.
+    sim::TimePoint when = 0;
+  };
+  bool IsQuarantined(const Filter* f) const;
+  const std::vector<QuarantineRecord>& quarantine_log() const { return quarantine_log_; }
+  // Manually quarantines a live instance (fault injection / operator action).
+  void QuarantineFilter(Filter* f, const std::string& reason);
+
   // --- Introspection (backs `report` and Kati) ---
   // Filters in load order with their attached keys (Fig. 5.3 layout).
   struct ReportEntry {
     std::string filter;
     std::vector<std::string> keys;
+    // One "<key> reason" line per quarantined instance of this filter.
+    std::vector<std::string> quarantined;
   };
   std::vector<ReportEntry> Report(const std::string& only_filter = "") const;
 
@@ -127,6 +147,13 @@ class ServiceProxy : public net::PacketTap {
   const std::vector<Filter*>& QueueFor(const StreamKey& key);
   void InvalidateQueues() { queue_cache_.clear(); }
   void NotifyNewStream(const StreamKey& key);
+  // Runs `fn` (a filter callback) inside the containment boundary: an
+  // escaping exception quarantines `f` and is swallowed. Returns false when
+  // the filter faulted. Never invalidates the queue cache itself — callers
+  // iterating a cached queue flush it after the pass.
+  template <typename Fn>
+  bool RunContained(Filter* f, const char* where, Fn&& fn);
+  void RecordQuarantine(Filter* f, const std::string& reason);
 
   net::Node* node_;
   FilterRegistry registry_;
@@ -142,6 +169,9 @@ class ServiceProxy : public net::PacketTap {
   FilterQueueAuditor queue_auditor_;
   StreamRegistryAuditor registry_auditor_;
   bool in_filter_pass_ = false;
+  // Quarantined instances: excluded by ResolveQueue, skipped mid-pass.
+  std::vector<const Filter*> quarantined_;
+  std::vector<QuarantineRecord> quarantine_log_;
 };
 
 }  // namespace comma::proxy

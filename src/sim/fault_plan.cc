@@ -1,0 +1,57 @@
+#include "src/sim/fault_plan.h"
+
+#include <memory>
+#include <utility>
+
+namespace comma::sim {
+
+void FaultPlan::At(TimePoint when, std::string what, Action action) {
+  Entry entry{when, std::move(what), std::move(action)};
+  if (armed()) {
+    Schedule(std::move(entry));
+  } else {
+    pending_.push_back(std::move(entry));
+  }
+}
+
+void FaultPlan::Window(TimePoint from, TimePoint until, const std::string& what, Action enter,
+                       Action exit) {
+  At(from, what + " begin", std::move(enter));
+  At(until, what + " end", std::move(exit));
+}
+
+void FaultPlan::Arm(Simulator* sim, Tracer* tracer) {
+  sim_ = sim;
+  tracer_ = tracer;
+  std::vector<Entry> entries = std::move(pending_);
+  pending_.clear();
+  for (Entry& entry : entries) {
+    Schedule(std::move(entry));
+  }
+}
+
+void FaultPlan::Schedule(Entry entry) {
+  // ScheduleAt clamps to Now(), so a late-armed plan still fires everything.
+  auto holder = std::make_shared<Entry>(std::move(entry));
+  sim_->ScheduleAt(holder->when, [this, holder] { Fire(std::move(*holder)); });
+}
+
+void FaultPlan::Fire(Entry entry) {
+  if (tracer_ != nullptr) {
+    tracer_->Logf(TraceLevel::kWarn, "fault", "%s", entry.what.c_str());
+  }
+  applied_.push_back({sim_->Now(), entry.what});
+  if (entry.action) {
+    entry.action();
+  }
+}
+
+std::string FaultPlan::AppliedLog() const {
+  std::string out;
+  for (const Applied& a : applied_) {
+    out += "t=" + std::to_string(a.at) + " " + a.what + "\n";
+  }
+  return out;
+}
+
+}  // namespace comma::sim

@@ -1,0 +1,77 @@
+// Deterministic, schedulable fault injection for the simulator.
+//
+// A FaultPlan is a declarative timeline of named fault actions: tests and
+// benches append (time, label, action) entries — link flaps, BER bursts,
+// server outages, connection resets — then Arm() the plan onto a Simulator.
+// Events fire in (time, insertion-order) order exactly like every other
+// simulator event, so the same plan on the same seed reproduces the same
+// run bit-for-bit.
+//
+// Every fired fault is appended to an applied-fault log; AppliedLog()
+// renders it as stable text so determinism tests can diff two runs
+// byte-for-byte.
+#ifndef COMMA_SIM_FAULT_PLAN_H_
+#define COMMA_SIM_FAULT_PLAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace comma::sim {
+
+class FaultPlan {
+ public:
+  using Action = std::function<void()>;
+
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // Appends a fault at absolute simulated time `when`. `what` names the
+  // fault in the applied log. Entries added after Arm() are scheduled
+  // immediately (clamped to Now() like every simulator event).
+  void At(TimePoint when, std::string what, Action action);
+
+  // A paired fault: `enter` fires at `from`, `exit` at `until`. Sugar for
+  // outage windows (link down/up, server kill/restart, QoS degrade/restore).
+  void Window(TimePoint from, TimePoint until, const std::string& what, Action enter,
+              Action exit);
+
+  // Schedules every pending entry on `sim`. If `tracer` is non-null, each
+  // fired fault is also logged at kWarn level under component "fault".
+  void Arm(Simulator* sim, Tracer* tracer = nullptr);
+
+  bool armed() const { return sim_ != nullptr; }
+  size_t pending() const { return pending_.size(); }
+
+  // --- Applied-fault log (the determinism witness) ---
+  struct Applied {
+    TimePoint at = 0;   // Time the action actually ran.
+    std::string what;
+  };
+  const std::vector<Applied>& applied() const { return applied_; }
+  // One "t=<usec> <what>" line per fired fault, in firing order.
+  std::string AppliedLog() const;
+
+ private:
+  struct Entry {
+    TimePoint when = 0;
+    std::string what;
+    Action action;
+  };
+
+  void Fire(Entry entry);
+  void Schedule(Entry entry);
+
+  Simulator* sim_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::vector<Entry> pending_;     // Entries added before Arm().
+  std::vector<Applied> applied_;
+};
+
+}  // namespace comma::sim
+
+#endif  // COMMA_SIM_FAULT_PLAN_H_

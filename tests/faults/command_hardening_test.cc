@@ -1,0 +1,90 @@
+// SP command-server hardening: bounded line buffering and clean session
+// teardown when the control connection is reset mid-command.
+#include "src/proxy/command_server.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::proxy {
+namespace {
+
+class FaultCommandServerTest : public ProxyFixture {
+ protected:
+  FaultCommandServerTest() {
+    server_ = std::make_unique<CommandServer>(&scenario().gateway().tcp(), &sp());
+  }
+
+  struct RawClient {
+    tcp::TcpConnection* conn = nullptr;
+    std::string received;
+    bool connected = false;
+  };
+
+  std::shared_ptr<RawClient> Connect() {
+    auto client = std::make_shared<RawClient>();
+    client->conn = scenario().mobile_host().tcp().Connect(
+        scenario().gateway_wireless_addr(), kCommandPort);
+    client->conn->set_on_connected([client] { client->connected = true; });
+    client->conn->set_on_data([client](const util::Bytes& data) {
+      client->received.append(reinterpret_cast<const char*>(data.data()), data.size());
+    });
+    sim().RunFor(sim::kSecond);
+    EXPECT_TRUE(client->connected);
+    return client;
+  }
+
+  void SendRaw(const std::shared_ptr<RawClient>& client, const std::string& text) {
+    client->conn->Send(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    sim().RunFor(sim::kSecond);
+  }
+
+  std::unique_ptr<CommandServer> server_;
+};
+
+TEST_F(FaultCommandServerTest, OversizedLineIsRejectedWithErrorReply) {
+  auto client = Connect();
+  std::string huge = "load " + std::string(2 * kMaxCommandLineBytes, 'x') + "\n";
+  SendRaw(client, huge);
+  sim().RunFor(10 * sim::kSecond);  // Let the whole line arrive.
+  EXPECT_EQ(client->received, "error: line too long\n.\n");
+  EXPECT_EQ(server_->lines_rejected(), 1u);
+  // The session is still usable: the next command parses cleanly.
+  client->received.clear();
+  SendRaw(client, "load rdrop\n");
+  EXPECT_EQ(client->received, "rdrop\n.\n");
+}
+
+TEST_F(FaultCommandServerTest, OversizedPartialLineDoesNotGrowTheBuffer) {
+  auto client = Connect();
+  // Never send the newline: a naive server would buffer without bound. Ours
+  // rejects as soon as the partial exceeds the cap, then discards the tail.
+  SendRaw(client, std::string(kMaxCommandLineBytes + 100, 'a'));
+  sim().RunFor(10 * sim::kSecond);
+  EXPECT_EQ(client->received, "error: line too long\n.\n");
+  SendRaw(client, std::string(5000, 'b'));  // Still the same unterminated line.
+  EXPECT_EQ(client->received, "error: line too long\n.\n");  // No second reply.
+  EXPECT_EQ(server_->lines_rejected(), 1u);
+  // Terminate the monster line; the next command works.
+  client->received.clear();
+  SendRaw(client, "\nload rdrop\n");
+  EXPECT_EQ(client->received, "rdrop\n.\n");
+}
+
+TEST_F(FaultCommandServerTest, ConnectionResetMidCommandDropsSession) {
+  auto client = Connect();
+  EXPECT_EQ(server_->session_count(), 1u);
+  SendRaw(client, "load rd");  // Partial command buffered server-side.
+  client->conn->Abort();       // RST, no FIN handshake.
+  sim().RunFor(5 * sim::kSecond);
+  EXPECT_EQ(server_->session_count(), 0u);  // Buffer freed with the session.
+
+  // The server keeps serving new clients.
+  auto again = Connect();
+  SendRaw(again, "load rdrop\n");
+  EXPECT_EQ(again->received, "rdrop\n.\n");
+  EXPECT_EQ(server_->session_count(), 1u);
+}
+
+}  // namespace
+}  // namespace comma::proxy

@@ -1,0 +1,191 @@
+// EEM reliability layer: acked registrations with bounded retransmit,
+// lease-based recovery from a server restart, and value staleness.
+#include <gtest/gtest.h>
+
+#include "src/core/comma_system.h"
+#include "src/filters/media_filters.h"
+#include "src/monitor/eem_client.h"
+#include "src/monitor/eem_server.h"
+
+namespace comma::monitor {
+namespace {
+
+class FaultEemLeaseTest : public ::testing::Test {
+ protected:
+  FaultEemLeaseTest() {
+    core::CommaSystemConfig cfg;
+    cfg.scenario.wireless.loss_probability = 0.0;
+    cfg.eem.check_interval = 200 * sim::kMillisecond;
+    cfg.eem.update_interval = 500 * sim::kMillisecond;
+    cfg.eem.lease = 4 * sim::kSecond;
+    system_ = std::make_unique<core::CommaSystem>(cfg);
+    client_ = std::make_unique<EemClient>(&system_->scenario().mobile_host());
+  }
+
+  VariableId GatewayVar(const std::string& name, uint32_t index = 0) {
+    VariableId id;
+    id.name = name;
+    id.index = index;
+    id.server = system_->scenario().gateway_wireless_addr();
+    return id;
+  }
+
+  sim::Simulator& sim() { return system_->sim(); }
+
+  std::unique_ptr<core::CommaSystem> system_;
+  std::unique_ptr<EemClient> client_;
+};
+
+// Regression for the fire-and-forget Register: the first datagram dies on a
+// downed link; the backoff retransmit (not the caller) recovers it.
+TEST_F(FaultEemLeaseTest, FirstRegisterDatagramLostIsRetransmitted) {
+  net::Link& wireless = system_->scenario().wireless_link();
+  wireless.SetUp(false);
+  client_->Register(GatewayVar("sysUpTime"), Attr::Always());
+  // Restore the link before the first retransmit (500 ms) fires: exactly
+  // one datagram was lost.
+  sim().RunFor(100 * sim::kMillisecond);
+  wireless.SetUp(true);
+  sim().RunFor(2 * sim::kSecond);
+
+  EXPECT_EQ(system_->eem_server()->RegistrationCount(), 1u);
+  EXPECT_GE(client_->registers_sent(), 2u);
+  EXPECT_GE(client_->acks_received(), 1u);
+  auto regs = client_->registrations();
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_TRUE(regs[0].acked);
+  EXPECT_EQ(regs[0].id.name, "sysUpTime");
+  // Values flow once registered.
+  sim().RunFor(2 * sim::kSecond);
+  EXPECT_TRUE(client_->GetValue(GatewayVar("sysUpTime")).has_value());
+}
+
+TEST_F(FaultEemLeaseTest, UnreachableServerBacksOffThenProbes) {
+  system_->scenario().wireless_link().SetUp(false);
+  client_->Register(GatewayVar("sysUpTime"), Attr::Always());
+  sim().RunFor(60 * sim::kSecond);
+  // Bounded: a naive 500 ms retry loop would have sent ~120 datagrams.
+  // Burst (6 on exponential backoff, ~15.5 s) then 10 s probes.
+  EXPECT_GE(client_->registers_sent(), 8u);
+  EXPECT_LE(client_->registers_sent(), 14u);
+  auto regs = client_->registrations();
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_FALSE(regs[0].acked);
+  EXPECT_GT(regs[0].attempts, 1u);
+}
+
+TEST_F(FaultEemLeaseTest, ServerRestartRecoversRegistrationsViaLease) {
+  client_->Register(GatewayVar("sysUpTime"), Attr::Always());
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_EQ(system_->eem_server()->RegistrationCount(), 1u);
+  ASSERT_TRUE(client_->GetValue(GatewayVar("sysUpTime")).has_value());
+
+  // Kill the server: every registration dies with it (state-less restart).
+  system_->StopEemServer();
+  sim().RunFor(3 * sim::kSecond);
+  system_->RestartEemServer();
+  ASSERT_NE(system_->eem_server(), nullptr);
+  EXPECT_EQ(system_->eem_server()->RegistrationCount(), 0u);
+
+  // The client's lease refresh (lease/2 = 2 s cadence) re-populates the new
+  // server without any application involvement.
+  sim().RunFor(4 * sim::kSecond);
+  EXPECT_EQ(system_->eem_server()->RegistrationCount(), 1u);
+  EXPECT_GE(system_->eem_server()->acks_sent(), 1u);
+}
+
+TEST_F(FaultEemLeaseTest, ScheduledOutageWindowIsDeclarativeAndRecovers) {
+  client_->Register(GatewayVar("sysUpTime"), Attr::Always(NotifyMode::kPeriodic));
+  system_->ScheduleEemOutage(2 * sim::kSecond, 5 * sim::kSecond);
+  system_->ArmFaults();
+  sim().RunFor(12 * sim::kSecond);
+  EXPECT_EQ(system_->fault_plan().AppliedLog(),
+            "t=2000000 eem-outage begin\n"
+            "t=5000000 eem-outage end\n");
+  EXPECT_EQ(system_->eem_server()->RegistrationCount(), 1u);
+  EXPECT_TRUE(client_->GetValue(GatewayVar("sysUpTime")).has_value());
+}
+
+TEST_F(FaultEemLeaseTest, SilentClientExpiresOffTheServer) {
+  // A raw one-off Register with no refreshing client behind it: the lease
+  // reaper collects it.
+  auto socket = system_->scenario().mobile_host().udp().Bind(0);
+  socket->SendTo(system_->scenario().gateway_wireless_addr(), kEemPort,
+                 EncodeRegister({1, "sysUpTime", 0, Attr::Always()}));
+  sim().RunFor(sim::kSecond);
+  EXPECT_EQ(system_->eem_server()->RegistrationCount(), 1u);
+  sim().RunFor(6 * sim::kSecond);  // Past the 4 s lease with no refresh.
+  EXPECT_EQ(system_->eem_server()->RegistrationCount(), 0u);
+  EXPECT_GE(system_->eem_server()->leases_expired(), 1u);
+}
+
+TEST_F(FaultEemLeaseTest, ValueAgeExposesServerOutage) {
+  client_->Register(GatewayVar("sysUpTime"), Attr::Always(NotifyMode::kPeriodic));
+  sim().RunFor(3 * sim::kSecond);
+  ASSERT_TRUE(client_->ValueAge(GatewayVar("sysUpTime")).has_value());
+  EXPECT_LE(*client_->ValueAge(GatewayVar("sysUpTime")), sim::kSecond);
+
+  system_->StopEemServer();
+  sim().RunFor(10 * sim::kSecond);
+  // The stored value survives but its age now exposes the outage.
+  EXPECT_TRUE(client_->GetValue(GatewayVar("sysUpTime")).has_value());
+  EXPECT_GE(*client_->ValueAge(GatewayVar("sysUpTime")), 9 * sim::kSecond);
+}
+
+// The hdiscard consumer of ValueAge: congestion data that stops flowing is
+// stale, and the filter fails open toward full quality instead of shedding
+// layers on a dead monitor's last report.
+TEST_F(FaultEemLeaseTest, HdiscardFailsOpenOnStaleEemData) {
+  proxy::StreamKey media{net::Ipv4Address(), 0, system_->scenario().mobile_addr(), 5004};
+  std::string error;
+  ASSERT_TRUE(system_->sp().AddService("hdiscard", media, {"auto", "2"}, &error)) << error;
+  proxy::Filter* hdiscard = system_->sp().FindFilterOnKey(media, "hdiscard");
+  ASSERT_NE(hdiscard, nullptr);
+
+  // Saturate the wireless queue: 200 kB/s of media into a 1 Mbit/s link.
+  // Both objects outlive the whole sim run; the lambda captures raw
+  // pointers so the self-reference is not a shared_ptr cycle (LeakSan).
+  auto tx = system_->scenario().wired_host().udp().Bind(0);
+  std::function<void()> blast;
+  bool stop = false;
+  std::function<void()>* blast_fn = &blast;
+  bool* stop_flag = &stop;
+  blast = [this, &tx, blast_fn, stop_flag] {
+    if (*stop_flag) {
+      return;
+    }
+    for (int i = 0; i < 20; ++i) {
+      util::Bytes payload(1000, 0);
+      payload[0] = 2;  // Enhancement layer.
+      payload[1] = filters::kMediaTypeMonoImage;
+      tx->SendTo(system_->scenario().mobile_addr(), 5004, std::move(payload));
+    }
+    sim().Schedule(100 * sim::kMillisecond, [blast_fn] { (*blast_fn)(); });
+  };
+  blast();
+  sim().RunFor(8 * sim::kSecond);
+  EXPECT_EQ(hdiscard->Status().find("max_layer=2"), std::string::npos)
+      << "congestion never shed a layer: " << hdiscard->Status();
+
+  // The monitor dies (and the blast stops): the last queue report is stale
+  // within HdiscardFilter::kStaleAfter, and quality climbs back.
+  stop = true;
+  system_->StopEemServer();
+  sim().RunFor(12 * sim::kSecond);
+  EXPECT_NE(hdiscard->Status().find("max_layer=2"), std::string::npos)
+      << hdiscard->Status();
+}
+
+TEST_F(FaultEemLeaseTest, DeregisterStopsRetransmission) {
+  system_->scenario().wireless_link().SetUp(false);
+  client_->Register(GatewayVar("sysUpTime"), Attr::Always());
+  sim().RunFor(sim::kSecond);
+  const uint64_t sent = client_->registers_sent();
+  client_->Deregister(GatewayVar("sysUpTime"));
+  sim().RunFor(30 * sim::kSecond);
+  EXPECT_EQ(client_->registers_sent(), sent);  // Timer cancelled with it.
+  EXPECT_TRUE(client_->registrations().empty());
+}
+
+}  // namespace
+}  // namespace comma::monitor

@@ -1,0 +1,113 @@
+// The deterministic fault-injection harness itself: ordering, windows, the
+// applied-fault log, and the packet-corruption knob it drives.
+#include "src/sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+
+namespace comma::sim {
+namespace {
+
+TEST(FaultPlanTest, FiresEntriesInTimeOrder) {
+  Simulator sim;
+  FaultPlan plan;
+  std::vector<int> fired;
+  plan.At(3 * kSecond, "third", [&] { fired.push_back(3); });
+  plan.At(1 * kSecond, "first", [&] { fired.push_back(1); });
+  plan.At(2 * kSecond, "second", [&] { fired.push_back(2); });
+  EXPECT_EQ(plan.pending(), 3u);
+  plan.Arm(&sim);
+  sim.RunFor(10 * kSecond);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  ASSERT_EQ(plan.applied().size(), 3u);
+  EXPECT_EQ(plan.applied()[0].what, "first");
+  EXPECT_EQ(plan.applied()[0].at, 1 * kSecond);
+}
+
+TEST(FaultPlanTest, WindowFiresEnterAndExit) {
+  Simulator sim;
+  FaultPlan plan;
+  bool down = false;
+  plan.Window(kSecond, 3 * kSecond, "outage", [&] { down = true; }, [&] { down = false; });
+  plan.Arm(&sim);
+  sim.RunFor(2 * kSecond);
+  EXPECT_TRUE(down);
+  sim.RunFor(2 * kSecond);
+  EXPECT_FALSE(down);
+  EXPECT_EQ(plan.AppliedLog(),
+            "t=1000000 outage begin\n"
+            "t=3000000 outage end\n");
+}
+
+TEST(FaultPlanTest, EntriesAddedAfterArmStillFire) {
+  Simulator sim;
+  FaultPlan plan;
+  plan.Arm(&sim);
+  int fired = 0;
+  plan.At(kSecond, "late", [&] { ++fired; });
+  sim.RunFor(2 * kSecond);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FaultPlanTest, AppliedLogIsIdenticalAcrossIdenticalRuns) {
+  auto run = [] {
+    Simulator sim;
+    FaultPlan plan;
+    plan.Window(kSecond, 2 * kSecond, "flap", [] {}, [] {});
+    plan.At(1500 * kMillisecond, "burst", [] {});
+    plan.Arm(&sim);
+    sim.RunFor(5 * kSecond);
+    return plan.AppliedLog();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// The corruption knob flips payload bytes but leaves checksums stale, so the
+// receiving TCP stack discards the mangled segment and the retransmission
+// repairs it: the application stream must stay byte-identical.
+TEST(FaultLinkCorruptionTest, CorruptedSegmentsNeverReachTheApplication) {
+  core::ScenarioConfig cfg;
+  cfg.wireless.loss_probability = 0.0;
+  core::WirelessScenario scenario(cfg);
+  scenario.wireless_link().SetCorruptProbability(0.02);
+
+  util::Bytes payload(100'000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + (i >> 7));
+  }
+  util::Bytes received;
+  bool server_closed = false;
+  scenario.mobile_host().tcp().Listen(80, [&](tcp::TcpConnection* conn) {
+    conn->set_on_data([&](const util::Bytes& data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+    conn->set_on_remote_close([conn] { conn->Close(); });
+    conn->set_on_closed([&] { server_closed = true; });
+  });
+  tcp::TcpConnection* client =
+      scenario.wired_host().tcp().Connect(scenario.mobile_addr(), 80);
+  auto remaining = std::make_shared<util::Bytes>(payload);
+  auto pump = [client, remaining] {
+    while (!remaining->empty()) {
+      size_t n = client->Send(remaining->data(), remaining->size());
+      if (n == 0) {
+        return;
+      }
+      remaining->erase(remaining->begin(), remaining->begin() + static_cast<long>(n));
+    }
+    client->Close();
+  };
+  client->set_on_connected(pump);
+  client->set_on_writable(pump);
+  scenario.sim().RunFor(120 * kSecond);
+
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(received, payload);  // Bit-for-bit despite in-flight corruption.
+  EXPECT_GT(scenario.wireless_link().stats(0).corrupted +
+                scenario.wireless_link().stats(1).corrupted,
+            0u);
+}
+
+}  // namespace
+}  // namespace comma::sim

@@ -1,0 +1,209 @@
+// TTSF graceful degradation: bypass-and-drain under forced faults, map
+// corruption, and link flaps during hold-and-release — the receiver must
+// never see bytes the sender did not send.
+#include "src/filters/ttsf_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/filters/standard_set.h"
+#include "src/filters/ttsf_audit.h"
+#include "src/util/check.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+// A length-preserving transformer: routes every data segment through the
+// TTSF transform machinery (records, caching, hold-and-release) without
+// changing bytes, so end-to-end equality remains checkable.
+class IdentityTransformer : public proxy::Filter {
+ public:
+  IdentityTransformer() : proxy::Filter("identform", proxy::FilterPriority::kLow) {}
+
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override {
+    if (!packet.has_tcp() || packet.payload().empty()) {
+      return proxy::FilterVerdict::kPass;
+    }
+    auto* ttsf = dynamic_cast<TtsfFilter*>(ctx.FindFilterOnKey(key, "ttsf"));
+    if (ttsf != nullptr) {
+      ttsf->SubmitTransform(packet, packet.payload());
+      ++submitted_;
+    }
+    return proxy::FilterVerdict::kPass;
+  }
+
+  uint64_t submitted() const { return submitted_; }
+
+ private:
+  uint64_t submitted_ = 0;
+};
+
+class FaultTtsfBypassTest : public ProxyFixture {
+ protected:
+  // Attaches ttsf plus the identity transformer to port-80 streams and
+  // returns handles found on the concrete key after the handshake.
+  std::shared_ptr<IdentityTransformer> InstallIdentityPath(const StreamKey& key) {
+    MustAdd("ttsf", key);
+    auto transformer = std::make_shared<IdentityTransformer>();
+    sp().Attach(transformer, key);
+    return transformer;
+  }
+
+  TtsfFilter* FindTtsf(const StreamKey& key) {
+    return dynamic_cast<TtsfFilter*>(sp().FindFilterOnKey(key, "ttsf"));
+  }
+};
+
+TEST_F(FaultTtsfBypassTest, ForcedBypassMidTransferStaysByteIdentical) {
+  util::ScopedDebugChecks debug;
+  util::ScopedCheckThrow throw_mode;
+  util::Bytes payload = Pattern(200'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(100 * sim::kMillisecond);  // Handshake done, port known.
+  StreamKey data_key = DataKey(t->client->local_port(), 80);
+  auto transformer = InstallIdentityPath(data_key);
+  TtsfFilter* ttsf = FindTtsf(data_key);
+  ASSERT_NE(ttsf, nullptr);
+
+  // Mid-transfer, fault injection forces the degraded mode.
+  sim().Schedule(2 * sim::kSecond, [this, ttsf, data_key] {
+    ttsf->ForceBypass(sp().context(), data_key, "injected fault");
+  });
+  sim().RunFor(240 * sim::kSecond);
+
+  EXPECT_TRUE(ttsf->bypassed(data_key));
+  EXPECT_TRUE(ttsf->bypassed(data_key.Reversed()));
+  EXPECT_GT(transformer->submitted(), 0u);
+  EXPECT_GT(ttsf->stats().bypass_passthrough, 0u);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+  EXPECT_EQ(t->received, payload);  // Fail-open, never corrupted.
+  EXPECT_NE(ttsf->Status().find("BYPASS"), std::string::npos);
+}
+
+TEST_F(FaultTtsfBypassTest, CorruptedMapDegradesToBypassNotCorruptBytes) {
+  util::ScopedDebugChecks debug;
+  util::ScopedCheckThrow throw_mode;
+  util::Bytes payload = Pattern(300'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(100 * sim::kMillisecond);
+  StreamKey data_key = DataKey(t->client->local_port(), 80);
+  InstallIdentityPath(data_key);
+  TtsfFilter* ttsf = FindTtsf(data_key);
+  ASSERT_NE(ttsf, nullptr);
+
+  // Corrupt the live offset map mid-transfer (retrying until records are in
+  // flight); the next traversal's health probe must catch it.
+  // The function object outlives the whole sim run; the lambda captures a
+  // raw pointer to it so the self-reference is not a shared_ptr cycle.
+  auto corrupt = std::make_shared<std::function<void()>>();
+  std::function<void()>* corrupt_fn = corrupt.get();
+  *corrupt = [this, ttsf, data_key, corrupt_fn] {
+    if (!ttsf->CorruptOffsetMapForTest(data_key)) {
+      sim().Schedule(50 * sim::kMillisecond, [corrupt_fn] { (*corrupt_fn)(); });
+    }
+  };
+  sim().Schedule(2 * sim::kSecond, [corrupt_fn] { (*corrupt_fn)(); });
+  sim().RunFor(240 * sim::kSecond);
+
+  EXPECT_TRUE(ttsf->bypassed(data_key));
+  EXPECT_GE(ttsf->stats().bypass_entries, 1u);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+  EXPECT_EQ(t->received, payload);  // Identity transforms: still exact.
+}
+
+// Satellite: a wireless link flap in the middle of TTSF hold-and-release
+// (wired-side loss creates held out-of-order packets) must end byte-equal
+// under full debug checks.
+TEST_F(FaultTtsfBypassTest, LinkFlapDuringHoldAndReleaseStaysByteIdentical) {
+  util::ScopedDebugChecks debug;
+  util::ScopedCheckThrow throw_mode;
+  scenario().wired_link().SetLossProbability(0.03);  // Gaps at the gateway.
+
+  util::Bytes payload = Pattern(150'000);
+  auto t = StartTransfer(80, payload);
+  sim().RunFor(100 * sim::kMillisecond);
+  StreamKey data_key = DataKey(t->client->local_port(), 80);
+  InstallIdentityPath(data_key);
+
+  // Flap the wireless link mid-transfer: in-flight transformed segments die.
+  sim().Schedule(2 * sim::kSecond, [this] { scenario().wireless_link().SetUp(false); });
+  sim().Schedule(4 * sim::kSecond, [this] { scenario().wireless_link().SetUp(true); });
+  sim().RunFor(600 * sim::kSecond);
+
+  EXPECT_GT(scenario().wireless_link().stats(0).drops_down +
+                scenario().wireless_link().stats(1).drops_down,
+            0u);
+  EXPECT_TRUE(t->client_closed);
+  EXPECT_TRUE(t->server_closed);
+  EXPECT_EQ(t->received, payload);
+}
+
+// White-box drain semantics: held packets leave (shifted) on bypass entry.
+class FaultTtsfDrainTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kIss = 5000;
+
+  FaultTtsfDrainTest() {
+    core::ScenarioConfig cfg;
+    cfg.wireless.loss_probability = 0.0;
+    scenario_ = std::make_unique<core::WirelessScenario>(cfg);
+    sp_ = std::make_unique<proxy::ServiceProxy>(&scenario_->gateway(), StandardRegistry());
+    key_ = StreamKey{scenario_->wired_addr(), 7, scenario_->mobile_addr(), 80};
+    std::string error;
+    EXPECT_TRUE(sp_->AddService("ttsf", key_, {}, &error)) << error;
+    ttsf_ = dynamic_cast<TtsfFilter*>(sp_->FindFilterOnKey(key_, "ttsf"));
+    EXPECT_NE(ttsf_, nullptr);
+    Feed(MakeSegment(kIss, {}, net::kTcpSyn));
+  }
+
+  net::PacketPtr MakeSegment(uint32_t seq, util::Bytes payload, uint8_t flags = net::kTcpAck) {
+    net::TcpHeader h;
+    h.src_port = 7;
+    h.dst_port = 80;
+    h.seq = seq;
+    h.ack = 1;
+    h.flags = flags;
+    h.window = 8192;
+    return net::Packet::MakeTcp(scenario_->wired_addr(), scenario_->mobile_addr(), h,
+                                std::move(payload));
+  }
+
+  bool Feed(net::PacketPtr p) {
+    net::TapContext ctx{&scenario_->gateway(), 0};
+    return sp_->OnPacket(p, ctx) == net::TapVerdict::kPass;
+  }
+
+  std::unique_ptr<core::WirelessScenario> scenario_;
+  std::unique_ptr<proxy::ServiceProxy> sp_;
+  StreamKey key_;
+  TtsfFilter* ttsf_ = nullptr;
+};
+
+TEST_F(FaultTtsfDrainTest, BypassEntryDrainsHeldPackets) {
+  // In-order transformed segment activates the transform path...
+  net::PacketPtr first = MakeSegment(kIss + 1, util::Bytes(100, 1));
+  ttsf_->SubmitTransform(*first, util::Bytes(100, 1));
+  Feed(std::move(first));
+  // ...then an out-of-order arrival beyond the frontier is held.
+  Feed(MakeSegment(kIss + 201, util::Bytes(50, 2)));
+  EXPECT_EQ(ttsf_->stats().bypass_drained, 0u);
+
+  ttsf_->ForceBypass(sp_->context(), key_, "drain test");
+  scenario_->sim().RunFor(sim::kMillisecond);  // Deferred re-injection runs.
+
+  EXPECT_TRUE(ttsf_->bypassed(key_));
+  EXPECT_EQ(ttsf_->stats().bypass_drained, 1u);
+  // Post-bypass traffic passes (constant-shift identity), including the
+  // retransmission that fills the old gap.
+  EXPECT_TRUE(Feed(MakeSegment(kIss + 101, util::Bytes(100, 3))));
+  EXPECT_GT(ttsf_->stats().bypass_passthrough, 0u);
+}
+
+}  // namespace
+}  // namespace comma::filters

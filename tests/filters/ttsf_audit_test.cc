@@ -173,9 +173,16 @@ TEST_F(TtsfAuditWhiteBoxTest, CorruptedOffsetMapFiresSeqSpaceAuditor) {
 TEST_F(TtsfAuditWhiteBoxTest, CorruptionIsCaughtOnTheNextPacketTraversal) {
   BuildOffsetMap();
   ASSERT_TRUE(ttsf_->CorruptOffsetMapForTest(key_));
-  // The very next segment through the tap runs the auditor over the
-  // corrupted direction; the CheckFailure escapes OnPacket.
-  EXPECT_THROW(Feed(MakeSegment(kIss + 151, util::Bytes(10, 3))), util::CheckFailure);
+  // The very next segment through the tap hits the O(1) map health probe,
+  // which catches the corruption before the map is consulted and degrades
+  // the stream pair to bypass: the packet still passes (fail-open) instead
+  // of the failure killing the proxy.
+  EXPECT_TRUE(Feed(MakeSegment(kIss + 151, util::Bytes(10, 3))));
+  EXPECT_TRUE(ttsf_->bypassed(key_));
+  EXPECT_TRUE(ttsf_->bypassed(key_.Reversed()));
+  EXPECT_EQ(ttsf_->stats().bypass_entries, 1u);
+  // Degradation stayed inside the TTSF; the proxy saw nothing to quarantine.
+  EXPECT_FALSE(sp_->IsQuarantined(ttsf_));
 }
 
 TEST_F(TtsfAuditTest, RegistrySweepPassesAcrossStreamChurn) {

@@ -40,7 +40,8 @@ struct Interval {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path = MetricsJsonPathFromArgs(argc, argv);
   PrintHeader("E17", "Fault-injection recovery trajectory",
               "A 12 MB transfer through TTSF while the fault plan flaps the\n"
               "wireless link (5-7s), kills the EEM server (10-15s), blows up a\n"
@@ -124,6 +125,7 @@ int main() {
               static_cast<unsigned long long>(sink.bytes_received()), qlog.size(),
               comma.fault_plan().applied().size());
   std::printf("applied fault log:\n%s", comma.fault_plan().AppliedLog().c_str());
+  WriteMetricsJson(comma, metrics_path);
 
   // Machine-readable summary (one line).
   std::printf("\nJSON {\"bench\":\"faults\",\"completed\":%s,\"delivered\":%llu,"

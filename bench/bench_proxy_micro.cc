@@ -7,6 +7,7 @@
 
 #include "src/filters/standard_set.h"
 #include "src/net/checksum.h"
+#include "src/obs/metric_registry.h"
 #include "src/proxy/service_proxy.h"
 #include "src/core/scenario.h"
 #include "src/util/compress.h"
@@ -80,6 +81,48 @@ void BM_FilterQueue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FilterQueue)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// The observability substrate's hot-path primitives (docs/observability.md).
+// BM_FilterQueue above already includes the per-filter telemetry cost — the
+// registry is always on — these isolate the primitives themselves so a
+// regression is attributable.
+void BM_MetricCounterInc(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  obs::Counter* c = reg.GetCounter("bench.counter");
+  for (auto _ : state) {
+    c->Inc();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MetricCounterInc);
+
+void BM_MetricHistogramObserve(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  obs::HistogramMetric* h = reg.GetHistogram("bench.hist", 0.0, 1000.0, 50);
+  double x = 0.0;
+  for (auto _ : state) {
+    h->Observe(x);
+    x += 1.0;
+    if (x >= 1000.0) {
+      x = 0.0;
+    }
+  }
+}
+BENCHMARK(BM_MetricHistogramObserve);
+
+// Snapshot of a realistically-sized registry (what `stats` and the EEM
+// bridge pay) — off the packet path, but bounds the publication cost.
+void BM_MetricSnapshot(benchmark::State& state) {
+  obs::MetricRegistry reg;
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("bench.family" + std::to_string(i % 10) + ".counter" + std::to_string(i))
+        ->Inc(static_cast<uint64_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.Snapshot());
+  }
+}
+BENCHMARK(BM_MetricSnapshot);
 
 void BM_CompressLz(benchmark::State& state) {
   util::Bytes text;

@@ -11,7 +11,8 @@
 
 using namespace commabench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path = MetricsJsonPathFromArgs(argc, argv);
   PrintHeader("E7", "Transparent packet dropping (TTSF)",
               "300 KB transfer; a fraction of data segments is discarded at the\n"
               "proxy. tdrop (with ttsf) vs rdrop (naive).");
@@ -47,6 +48,11 @@ int main() {
                               80, apps::PatternPayload(300'000));
       while (!sender.finished() && comma.sim().Now() < 2000 * sim::kSecond) {
         comma.sim().RunFor(100 * sim::kMillisecond);
+      }
+      // The last transparent run's registry is the snapshot CI smokes: it
+      // carries the sp.*, sp.filter.*, and ttsf.* families under load.
+      if (naive == 0 && percent == 80) {
+        WriteMetricsJson(comma, metrics_path);
       }
       BulkRunResult& r = results[naive];
       r.completed = sender.finished();

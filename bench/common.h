@@ -6,6 +6,7 @@
 #define COMMA_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 
@@ -15,6 +16,36 @@
 namespace commabench {
 
 using namespace comma;  // Bench binaries only.
+
+// Snapshot support: every bench accepts `--metrics-json <path>` and, when
+// given, writes one JSON snapshot of the system's metric registry after the
+// run (docs/observability.md). CI smoke-checks the snapshot parses and
+// carries the expected keys.
+inline std::string MetricsJsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Writes the gateway proxy's registry (pattern-unfiltered) to `path`.
+inline void WriteMetricsJson(core::CommaSystem& comma, const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write metrics snapshot: %s\n", path.c_str());
+    return;
+  }
+  const std::string json = comma.sp().metrics().RenderJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("metrics snapshot: %s\n", path.c_str());
+}
 
 inline void PrintHeader(const std::string& id, const std::string& title,
                         const std::string& what) {

@@ -1,0 +1,76 @@
+// The observability control loop, end to end (docs/observability.md).
+//
+// A launcher thins a media-style stream with tdrop through the TTSF; every
+// dropped byte is counted by the proxy's metric registry and — via the
+// EemMetricsBridge — is readable as an ordinary EEM variable. Kati, running
+// on the mobile host, registers an interrupt-mode watch on that variable:
+//
+//     watch ttsf.bytes_dropped gt 20000
+//
+// When the threshold crosses, the shell prints the notification and its
+// on_notify hook reacts by loading transparent compression onto the very
+// stream being thinned — third-party control driven by third-party
+// measurement, with the application none the wiser.
+#include <cstdio>
+
+#include "src/apps/bulk.h"
+#include "src/core/comma_system.h"
+#include "src/util/strings.h"
+
+using namespace comma;
+
+int main() {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.0;
+  config.eem.check_interval = 200 * sim::kMillisecond;
+  config.eem.update_interval = sim::kSecond;
+  core::CommaSystem comma(config);
+
+  // The standing service: any stream toward mobile port 80 gets tcp + ttsf
+  // + 50% transparent drop (a stand-in for "stale media discard", §8.1.5).
+  std::string error;
+  proxy::StreamKey wildcard{net::Ipv4Address(), 0, comma.scenario().mobile_addr(), 80};
+  if (!comma.sp().AddService("launcher", wildcard, {"tcp", "ttsf", "tdrop:50:9"}, &error)) {
+    std::fprintf(stderr, "launcher: %s\n", error.c_str());
+    return 1;
+  }
+
+  auto kati = comma.MakeKati([](const std::string& text) { std::fputs(text.c_str(), stdout); });
+
+  // The watch: interrupt the moment the proxy has discarded > 20 kB.
+  kati->Execute("watch ttsf.bytes_dropped gt 20000");
+
+  // The reaction: compress the stream the drops are coming from.
+  bool compressed = false;
+  kati->set_on_notify([&](const monitor::VariableId& id, const monitor::Value&) {
+    if (compressed || id.name != "ttsf.bytes_dropped") {
+      return;
+    }
+    for (const auto& [key, info] : comma.sp().streams()) {
+      if (key.dst_port == 80 && !key.IsWildcard()) {
+        compressed = true;
+        std::printf("hook: loading tcompress on %s\n", key.ToString().c_str());
+        kati->Execute(util::Format("add tcompress %s %u %s %u lz", key.src.ToString().c_str(),
+                                   key.src_port, key.dst.ToString().c_str(), key.dst_port));
+        return;
+      }
+    }
+  });
+
+  // Someone else's traffic.
+  apps::BulkSink sink(&comma.scenario().mobile_host(), 80);
+  apps::BulkSender sender(&comma.scenario().wired_host(), comma.scenario().mobile_addr(), 80,
+                          apps::PatternPayload(500000));
+  comma.sim().RunFor(90 * sim::kSecond);
+
+  // What the registry saw, via the same command path Kati uses.
+  std::printf("\n--- stats ttsf ---\n");
+  std::printf("%s", comma.sp().metrics().RenderText("ttsf").c_str());
+  std::printf("--- stats sp.filter.tcompress ---\n");
+  std::printf("%s", comma.sp().metrics().RenderText("sp.filter.tcompress").c_str());
+  std::printf("\nnotifies=%llu compressed=%s delivered=%llu\n",
+              static_cast<unsigned long long>(kati->notifies_printed()),
+              compressed ? "yes" : "no",
+              static_cast<unsigned long long>(sink.bytes_received()));
+  return compressed ? 0 : 1;
+}

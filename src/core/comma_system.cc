@@ -1,5 +1,6 @@
 #include "src/core/comma_system.h"
 
+#include "src/obs/eem_bridge.h"
 #include "src/util/check.h"
 
 namespace comma::core {
@@ -10,6 +11,7 @@ CommaSystem::CommaSystem(const CommaSystemConfig& config)
   sp_ = std::make_unique<proxy::ServiceProxy>(&scenario_.gateway(),
                                               filters::StandardRegistry(config.load_filters));
   sp_->set_catalog(&catalog_);
+  RegisterSystemMetrics();
   if (config.start_command_server) {
     command_server_ =
         std::make_unique<proxy::CommandServer>(&scenario_.gateway().tcp(), sp_.get());
@@ -18,7 +20,71 @@ CommaSystem::CommaSystem(const CommaSystemConfig& config)
     eem_server_ = std::make_unique<monitor::EemServer>(&scenario_.gateway(), config.eem);
     proxy_eem_client_ = std::make_unique<monitor::EemClient>(&scenario_.gateway());
     sp_->set_eem(proxy_eem_client_.get());
+    BridgeMetricsIntoEem();
   }
+}
+
+void CommaSystem::RegisterSystemMetrics() {
+  // Pull-model exports of counters that already exist elsewhere in the
+  // system (docs/observability.md). All closures capture `this`: the proxy
+  // (and its registry) is owned by this object, so they cannot outlive it.
+  // Null-checks guard the windows where a subsystem is down (EEM outage).
+  obs::MetricRegistry& reg = sp_->metrics();
+  tcp::TcpStack* stack = &scenario_.gateway().tcp();
+  reg.RegisterCounterSource("tcp.segments_sent",
+                            [stack] { return stack->Totals().segments_sent; });
+  reg.RegisterCounterSource("tcp.segments_received",
+                            [stack] { return stack->Totals().segments_received; });
+  reg.RegisterCounterSource("tcp.bytes_retransmitted",
+                            [stack] { return stack->Totals().bytes_retransmitted; });
+  reg.RegisterCounterSource("tcp.retransmit_timeouts",
+                            [stack] { return stack->Totals().retransmit_timeouts; });
+  reg.RegisterCounterSource("tcp.fast_retransmits",
+                            [stack] { return stack->Totals().fast_retransmits; });
+  reg.RegisterCounterSource("tcp.dupacks_received",
+                            [stack] { return stack->Totals().dupacks_received; });
+  reg.RegisterCounterSource("tcp.checksum_failures",
+                            [stack] { return stack->checksum_failures(); });
+  reg.RegisterGaugeSource("tcp.active_connections", [stack] {
+    return static_cast<double>(stack->ActiveConnections());
+  });
+  reg.RegisterCounterSource("eem.client.retransmits", [this] {
+    return proxy_eem_client_ ? proxy_eem_client_->retransmits() : 0;
+  });
+  reg.RegisterCounterSource("eem.client.lease_refreshes", [this] {
+    return proxy_eem_client_ ? proxy_eem_client_->lease_refreshes() : 0;
+  });
+  reg.RegisterCounterSource("eem.client.stale_reads", [this] {
+    return proxy_eem_client_ ? proxy_eem_client_->stale_reads() : 0;
+  });
+  reg.RegisterCounterSource("eem.client.registers_sent", [this] {
+    return proxy_eem_client_ ? proxy_eem_client_->registers_sent() : 0;
+  });
+  reg.RegisterCounterSource("eem.client.notifies_received", [this] {
+    return proxy_eem_client_ ? proxy_eem_client_->notifies_received() : 0;
+  });
+  reg.RegisterCounterSource("eem.server.notifies_sent", [this] {
+    return eem_server_ ? eem_server_->notifies_sent() : 0;
+  });
+  reg.RegisterCounterSource("eem.server.updates_sent", [this] {
+    return eem_server_ ? eem_server_->updates_sent() : 0;
+  });
+  reg.RegisterCounterSource("eem.server.leases_expired", [this] {
+    return eem_server_ ? eem_server_->leases_expired() : 0;
+  });
+  reg.RegisterGaugeSource("eem.server.registrations", [this] {
+    return eem_server_ ? static_cast<double>(eem_server_->RegistrationCount()) : 0.0;
+  });
+}
+
+void CommaSystem::BridgeMetricsIntoEem() {
+  if (eem_server_ == nullptr) {
+    return;
+  }
+  // Every proxy metric becomes an EEM variable: Kati (or any EEM client) can
+  // register (id, attr) watches on "ttsf.bytes_dropped" and friends, closing
+  // the thesis's control loop over quantitative proxy state.
+  eem_server_->AddProvider(std::make_unique<obs::EemMetricsBridge>(&sp_->metrics()));
 }
 
 std::unique_ptr<kati::Shell> CommaSystem::MakeKati(kati::Shell::OutputSink sink) {
@@ -62,6 +128,7 @@ void CommaSystem::RestartEemServer() {
   // A restarted server is state-less: no registrations survive. Clients
   // recover on their own through lease refreshes and register retransmits.
   eem_server_ = std::make_unique<monitor::EemServer>(&scenario_.gateway(), config_.eem);
+  BridgeMetricsIntoEem();  // The fresh instance serves proxy metrics too.
 }
 
 proxy::ServiceProxy& CommaSystem::MobileProxy() {

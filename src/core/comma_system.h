@@ -78,6 +78,12 @@ class CommaSystem {
   proxy::ServiceProxy& MobileProxy();
 
  private:
+  // Registers pull-model TCP/EEM metric sources into the gateway proxy's
+  // registry ("tcp.*", "eem.*"; docs/observability.md).
+  void RegisterSystemMetrics();
+  // Installs an EemMetricsBridge so every proxy metric is an EEM variable.
+  void BridgeMetricsIntoEem();
+
   CommaSystemConfig config_;
   WirelessScenario scenario_;
   proxy::ServiceCatalog catalog_;

@@ -59,7 +59,44 @@ bool TtsfFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key
   }
   // Sequence mapping needs both travel directions.
   ctx.proxy().Attach(shared_from_this(), key.Reversed());
+  BindObs(ctx);
   return true;
+}
+
+void TtsfFilter::BindObs(proxy::FilterContext& ctx) {
+  obs::MetricRegistry* reg = ctx.metrics();
+  obs_.segments_transformed = reg->GetCounter("ttsf.segments_transformed");
+  obs_.segments_dropped = reg->GetCounter("ttsf.segments_dropped");
+  obs_.retransmissions_replayed = reg->GetCounter("ttsf.retransmissions_replayed");
+  obs_.acks_remapped = reg->GetCounter("ttsf.acks_remapped");
+  obs_.acks_injected = reg->GetCounter("ttsf.acks_injected");
+  obs_.bytes_in = reg->GetCounter("ttsf.bytes_in");
+  obs_.bytes_out = reg->GetCounter("ttsf.bytes_out");
+  obs_.bytes_dropped = reg->GetCounter("ttsf.bytes_dropped");
+  obs_.bypass_entries = reg->GetCounter("ttsf.bypass_entries");
+  obs_.offset_map_entries = reg->GetGauge("ttsf.offset_map_entries");
+  obs_.held_packets = reg->GetGauge("ttsf.held_packets");
+}
+
+void TtsfFilter::PublishObs() {
+  obs_.segments_transformed->Inc(stats_.segments_transformed - published_.segments_transformed);
+  obs_.segments_dropped->Inc(stats_.segments_dropped - published_.segments_dropped);
+  obs_.retransmissions_replayed->Inc(stats_.retransmissions_replayed -
+                                     published_.retransmissions_replayed);
+  obs_.acks_remapped->Inc(stats_.acks_remapped - published_.acks_remapped);
+  obs_.acks_injected->Inc(stats_.acks_injected - published_.acks_injected);
+  obs_.bytes_in->Inc(stats_.bytes_in - published_.bytes_in);
+  obs_.bytes_out->Inc(stats_.bytes_out - published_.bytes_out);
+  obs_.bypass_entries->Inc(stats_.bypass_entries - published_.bypass_entries);
+  published_ = stats_;
+  size_t records = 0;
+  size_t held = 0;
+  for (const auto& [key, st] : dirs_) {
+    records += st.records.size();
+    held += st.held.size();
+  }
+  obs_.offset_map_entries->Set(static_cast<double>(records));
+  obs_.held_packets->Set(static_cast<double>(held));
 }
 
 void TtsfFilter::In(proxy::FilterContext&, const proxy::StreamKey&, const net::Packet&) {}
@@ -126,6 +163,7 @@ proxy::FilterVerdict TtsfFilter::Out(proxy::FilterContext& ctx, const proxy::Str
       auditor_->AuditDirection(key.Reversed(), rev);
     }
   }
+  PublishObs();
   return verdict;
 }
 
@@ -373,6 +411,11 @@ proxy::FilterVerdict TtsfFilter::ApplyInOrder(proxy::FilterContext& ctx,
     ++stats_.segments_transformed;
     if (rec.out_len == 0) {
       ++stats_.segments_dropped;
+    }
+    if (rec.out_len < len) {
+      // The byte reduction this transform removed from the wire — the
+      // signal the Kati control loop watches (docs/observability.md).
+      obs_.bytes_dropped->Inc(len - rec.out_len);
     }
   } else {
     rec.cached = packet.payload();

@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 
+#include "src/obs/metric_registry.h"
 #include "src/proxy/filter.h"
 
 namespace comma::filters {
@@ -171,9 +172,34 @@ class TtsfFilter : public proxy::Filter {
 
   friend class SeqSpaceAuditor;
 
+  // Registry handles ("ttsf.*", docs/observability.md). Null sinks until
+  // OnInsert binds them, so a TTSF constructed outside a proxy still runs.
+  // Counters mirror TtsfStats and are advanced by delta in PublishObs;
+  // bytes_dropped (the transform byte reduction Kati watches) is bumped at
+  // the transform site itself.
+  struct TtsfObs {
+    obs::Counter* segments_transformed = obs::MetricRegistry::NullCounter();
+    obs::Counter* segments_dropped = obs::MetricRegistry::NullCounter();
+    obs::Counter* retransmissions_replayed = obs::MetricRegistry::NullCounter();
+    obs::Counter* acks_remapped = obs::MetricRegistry::NullCounter();
+    obs::Counter* acks_injected = obs::MetricRegistry::NullCounter();
+    obs::Counter* bytes_in = obs::MetricRegistry::NullCounter();
+    obs::Counter* bytes_out = obs::MetricRegistry::NullCounter();
+    obs::Counter* bytes_dropped = obs::MetricRegistry::NullCounter();
+    obs::Counter* bypass_entries = obs::MetricRegistry::NullCounter();
+    obs::Gauge* offset_map_entries = obs::MetricRegistry::NullGauge();
+    obs::Gauge* held_packets = obs::MetricRegistry::NullGauge();
+  };
+  void BindObs(proxy::FilterContext& ctx);
+  // Advances the registry counters by the TtsfStats delta since the last
+  // call and refreshes the map-size gauges. Called at the end of Out.
+  void PublishObs();
+
   std::map<proxy::StreamKey, DirState> dirs_;
   std::map<uint64_t, util::Bytes> pending_;  // uid -> submitted payload.
   TtsfStats stats_;
+  TtsfStats published_;  // Counter values already pushed to the registry.
+  TtsfObs obs_;
   std::string bypass_reason_;  // First reason; empty while healthy.
   std::unique_ptr<SeqSpaceAuditor> auditor_;
 };

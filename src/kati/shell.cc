@@ -11,17 +11,39 @@ const char kHelp[] =
     "  add <filter> <srcip> <srcport> <dstip> <dstport> [args]\n"
     "  delete <filter> <srcip> <srcport> <dstip> <dstport>\n"
     "  report [filter] | streams\n"
+    "  stats [-json] [pattern]                          (metric registry)\n"
     "  service list | service add|delete <name> <key>   (named recipes)\n"
     "Monitoring (EEM, thesis ch. 6):\n"
-    "  watch <var> [index] [server-ip]\n"
+    "  watch <var> [index] [server-ip] [<op> <bound>]\n"
+    "    op: gt|ge|lt|le|eq|ne  -> interrupt notification when in range\n"
     "  unwatch <var> [index] [server-ip]\n"
     "  poll <var> [index] [server-ip]\n"
     "  vars\n"
     "  netload [server-ip]\n";
+
+std::optional<monitor::Op> ParseOp(const std::string& word) {
+  if (word == "gt") return monitor::Op::kGt;
+  if (word == "ge") return monitor::Op::kGte;
+  if (word == "lt") return monitor::Op::kLt;
+  if (word == "le") return monitor::Op::kLte;
+  if (word == "eq") return monitor::Op::kEq;
+  if (word == "ne") return monitor::Op::kNeq;
+  return std::nullopt;
+}
 }  // namespace
 
 Shell::Shell(core::Host* host, net::Ipv4Address sp_addr, OutputSink sink)
-    : host_(host), sp_addr_(sp_addr), sink_(std::move(sink)), sp_(host, sp_addr), eem_(host) {}
+    : host_(host), sp_addr_(sp_addr), sink_(std::move(sink)), sp_(host, sp_addr), eem_(host) {
+  // Interrupt-mode notifications surface as shell output, then the hook —
+  // print first so a hook that Execute()s more commands reads naturally.
+  eem_.SetCallback([this](const monitor::VariableId& id, const monitor::Value& value) {
+    ++notifies_printed_;
+    Print("notify: " + id.ToString() + " = " + monitor::ValueToString(value) + "\n");
+    if (on_notify_) {
+      on_notify_(id, value);
+    }
+  });
+}
 
 void Shell::Execute(const std::string& line) {
   auto tokens = util::SplitWhitespace(line);
@@ -55,7 +77,7 @@ void Shell::Execute(const std::string& line) {
     return;
   }
   if (cmd == "load" || cmd == "remove" || cmd == "add" || cmd == "delete" || cmd == "report" ||
-      cmd == "streams" || cmd == "service") {
+      cmd == "streams" || cmd == "stats" || cmd == "service") {
     sp_.Send(line, [this](const std::string& response) {
       ++responses_received_;
       if (!response.empty()) {
@@ -92,14 +114,38 @@ monitor::VariableId Shell::ParseId(const std::vector<std::string>& args, size_t 
 
 void Shell::CmdWatch(const std::vector<std::string>& args) {
   if (args.size() < 2) {
-    Print("usage: watch <var> [index] [server-ip]\n");
+    Print("usage: watch <var> [index] [server-ip] [<op> <bound>]\n");
     ++responses_received_;
     return;
   }
-  monitor::VariableId id = ParseId(args, 1);
-  eem_.Register(id, monitor::Attr::Always(monitor::NotifyMode::kPeriodic));
+  // Split a trailing "<op> <bound>" pair off the positional arguments so
+  // `watch ttsf.bytes_dropped gt 5000` works with or without index/ip.
+  std::vector<std::string> positional = args;
+  monitor::Attr attr = monitor::Attr::Always(monitor::NotifyMode::kPeriodic);
+  bool threshold = false;
+  if (positional.size() >= 4) {
+    if (auto op = ParseOp(positional[positional.size() - 2]); op.has_value()) {
+      double bound = 0.0;
+      if (!util::ParseDouble(positional.back(), &bound)) {
+        Print("watch: bound must be numeric: " + positional.back() + "\n");
+        ++responses_received_;
+        return;
+      }
+      // Integral bounds are sent as LONG so they compare against counter
+      // variables (the bridge publishes counters as LONG); anything with a
+      // fraction goes as DOUBLE.
+      monitor::Value v = bound == static_cast<double>(static_cast<int64_t>(bound))
+                             ? monitor::Value(static_cast<int64_t>(bound))
+                             : monitor::Value(bound);
+      attr = monitor::Attr::Unary(*op, v, monitor::NotifyMode::kInterrupt);
+      threshold = true;
+      positional.resize(positional.size() - 2);
+    }
+  }
+  monitor::VariableId id = ParseId(positional, 1);
+  eem_.Register(id, attr);
   watched_[id] = true;
-  Print("watching " + id.ToString() + "\n");
+  Print(std::string("watching ") + id.ToString() + (threshold ? " (interrupt)" : "") + "\n");
   ++responses_received_;
 }
 

@@ -34,8 +34,14 @@ class Shell {
 
   // Executes one command line. SP commands complete asynchronously (run the
   // simulator to see their output). Supported:
-  //   load/remove/add/delete/report/streams   - forwarded to the SP (§5.3)
-  //   watch <var> [index] [server-ip]         - register periodic EEM interest
+  //   load/remove/add/delete/report/streams/stats - forwarded to the SP (§5.3)
+  //   watch <var> [index] [server-ip] [<op> <bound>]
+  //     - register EEM interest. Without op/bound: periodic silent updates.
+  //       With op (gt|ge|lt|le|eq|ne) and a numeric bound: interrupt mode —
+  //       the shell prints "notify: <var> = <value>" (and fires the
+  //       on_notify hook) the moment the value enters the range. Combined
+  //       with the EemMetricsBridge this closes the control loop: watch a
+  //       proxy metric, react by issuing SP commands.
   //   unwatch <var> [index] [server-ip]       - deregister
   //   poll <var> [index] [server-ip]          - one-shot EEM query
   //   vars                                    - show watched values (the PDA)
@@ -46,6 +52,13 @@ class Shell {
   // Total commands whose responses have arrived (for test synchronization).
   uint64_t responses_received() const { return responses_received_; }
   monitor::EemClient& eem() { return eem_; }
+
+  // Hook fired (after the "notify:" line is printed) on every interrupt-mode
+  // notification — the programmatic half of the control loop; scripts and
+  // tests react here, e.g. by Execute()ing an `add`.
+  using NotifyHook = std::function<void(const monitor::VariableId&, const monitor::Value&)>;
+  void set_on_notify(NotifyHook hook) { on_notify_ = std::move(hook); }
+  uint64_t notifies_printed() const { return notifies_printed_; }
 
  private:
   void Print(const std::string& text) { sink_(text); }
@@ -63,6 +76,8 @@ class Shell {
   monitor::EemClient eem_;
   std::map<monitor::VariableId, bool> watched_;
   uint64_t responses_received_ = 0;
+  NotifyHook on_notify_;
+  uint64_t notifies_printed_ = 0;
 };
 
 }  // namespace comma::kati

@@ -37,6 +37,11 @@ void EemClient::SendRegister(uint32_t reg_id) {
   msg.attr = st.attr;
   socket_->SendTo(ResolveServer(st.id), st.id.server_port, EncodeRegister(msg));
   ++registers_sent_;
+  if (st.attempts > 0) {
+    ++retransmits_;  // The previous send of this registration went unacked.
+  } else if (st.acked) {
+    ++lease_refreshes_;  // Scheduled refresh of a confirmed registration.
+  }
   ++st.attempts;
   // Arm the next (re)send. Unacked registrations retransmit on an
   // exponential backoff; once the burst is spent (server gone for a while),
@@ -105,6 +110,9 @@ std::optional<Value> EemClient::GetValue(const VariableId& id) {
   auto it = pda_.find(id);
   if (it == pda_.end() || !it->second.has_value) {
     return std::nullopt;
+  }
+  if (host_->simulator()->Now() - it->second.updated_at > kStaleAge) {
+    ++stale_reads_;
   }
   it->second.changed = false;  // Retrieval clears the changed flag.
   return it->second.value;

@@ -91,6 +91,14 @@ class EemClient {
   uint64_t updates_received() const { return updates_received_; }
   uint64_t registers_sent() const { return registers_sent_; }
   uint64_t acks_received() const { return acks_received_; }
+  // Register datagrams re-sent because the previous one went unacked —
+  // distinct from lease refreshes, which re-send an *acked* registration.
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t lease_refreshes() const { return lease_refreshes_; }
+  // GetValue calls that returned a value older than kStaleAge: the consumer
+  // acted on data the server may no longer stand behind.
+  static constexpr sim::Duration kStaleAge = 30 * sim::kSecond;
+  uint64_t stale_reads() const { return stale_reads_; }
 
  private:
   struct PdaEntry {
@@ -130,6 +138,9 @@ class EemClient {
   uint64_t updates_received_ = 0;
   uint64_t registers_sent_ = 0;
   uint64_t acks_received_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t lease_refreshes_ = 0;
+  uint64_t stale_reads_ = 0;
 };
 
 }  // namespace comma::monitor

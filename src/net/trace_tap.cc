@@ -2,9 +2,26 @@
 
 #include <cstdio>
 
+#include "src/obs/metric_registry.h"
 #include "src/util/strings.h"
 
 namespace comma::net {
+
+std::string CaptureRecord::Summary() const {
+  std::string line;
+  if (!raw_summary.empty()) {
+    line = raw_summary;
+  } else if (protocol == static_cast<uint8_t>(IpProtocol::kTcp)) {
+    line = util::Format("tcp %s:%u -> %s:%u seq=%u ack=%u len=%zu win=%u %s",
+                        src.ToString().c_str(), src_port, dst.ToString().c_str(), dst_port, seq,
+                        ack, payload_bytes, window, TcpFlagsToString(tcp_flags).c_str());
+  } else {
+    line = util::Format("udp %s:%u -> %s:%u len=%zu", src.ToString().c_str(), src_port,
+                        dst.ToString().c_str(), dst_port, payload_bytes);
+  }
+  return util::Format("%s %s %s", sim::FormatTime(when).c_str(), outbound ? "out" : "in ",
+                      line.c_str());
+}
 
 TraceTap::TraceTap(Node* node, Filter filter) : node_(node), filter_(std::move(filter)) {
   node_->AddTap(this);
@@ -28,15 +45,22 @@ TapVerdict TraceTap::OnPacket(PacketPtr& packet, const TapContext& ctx) {
     rec.seq = packet->tcp().seq;
     rec.ack = packet->tcp().ack;
     rec.tcp_flags = packet->tcp().flags;
+    rec.window = packet->tcp().window;
   } else if (packet->has_udp()) {
     rec.src_port = packet->udp().src_port;
     rec.dst_port = packet->udp().dst_port;
+  } else {
+    // Only tunnels and raw IP pay for eager formatting; tcp/udp lines are
+    // rebuilt on demand from the parsed fields.
+    rec.raw_summary = packet->Describe();
   }
   rec.payload_bytes = packet->payload().size();
-  rec.summary = util::Format("%s %s %s", sim::FormatTime(rec.when).c_str(),
-                             rec.outbound ? "out" : "in ", packet->Describe().c_str());
+  if (captured_packets_ != nullptr) {
+    captured_packets_->Inc();
+    captured_bytes_->Inc(rec.payload_bytes);
+  }
   if (live_) {
-    std::fprintf(stderr, "%s\n", rec.summary.c_str());
+    std::fprintf(stderr, "%s\n", rec.Summary().c_str());
   }
   records_.push_back(std::move(rec));
   return TapVerdict::kPass;
@@ -55,7 +79,7 @@ size_t TraceTap::CountIf(const std::function<bool(const CaptureRecord&)>& pred) 
 std::string TraceTap::Dump() const {
   std::string out;
   for (const CaptureRecord& rec : records_) {
-    out += rec.summary + "\n";
+    out += rec.Summary() + "\n";
   }
   return out;
 }

@@ -10,6 +10,10 @@
 
 #include "src/net/node.h"
 
+namespace comma::obs {
+class Counter;
+}
+
 namespace comma::net {
 
 struct CaptureRecord {
@@ -24,8 +28,15 @@ struct CaptureRecord {
   uint32_t seq = 0;
   uint32_t ack = 0;
   uint8_t tcp_flags = 0;
+  uint16_t window = 0;
   size_t payload_bytes = 0;
-  std::string summary;  // "0.123456s  tcp 10.0.0.99:80 -> ... [ACK]"
+  // Eagerly-captured line for packets the parsed fields cannot reproduce
+  // (ipip tunnels, raw IP); empty for tcp/udp, whose line Summary() renders
+  // on demand — capture stays cheap on the per-packet path.
+  std::string raw_summary;
+
+  // "0.123456s out tcp 10.0.0.99:80 -> ... [ACK]", built from the fields.
+  std::string Summary() const;
 };
 
 class TraceTap : public PacketTap {
@@ -53,11 +64,22 @@ class TraceTap : public PacketTap {
   // Mirror every capture line to stderr as it happens.
   void set_live(bool live) { live_ = live; }
 
+  // Optional registry handles ("trace.captured_packets" / ".captured_bytes",
+  // docs/observability.md). Raw counter pointers, not a registry: the net
+  // layer sits below comma_obs in the link graph, and obs::Counter is
+  // header-only. Pass null to unbind.
+  void BindMetrics(obs::Counter* packets, obs::Counter* bytes) {
+    captured_packets_ = packets;
+    captured_bytes_ = bytes;
+  }
+
  private:
   Node* node_;
   Filter filter_;
   std::vector<CaptureRecord> records_;
   bool live_ = false;
+  obs::Counter* captured_packets_ = nullptr;
+  obs::Counter* captured_bytes_ = nullptr;
 };
 
 // Convenience filters.

@@ -1,0 +1,249 @@
+#include "src/obs/metric_registry.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace comma::obs {
+
+namespace {
+
+// Formats a double the way both the text and JSON renderings want it:
+// integers without a fraction, everything else with enough precision to
+// round-trip typical metric magnitudes.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && std::abs(v) < 1e15) {
+    return util::Format("%lld", static_cast<long long>(v));
+  }
+  return util::Format("%.6g", v);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+HistogramMetric* MetricRegistry::GetHistogram(const std::string& name, double lo, double hi,
+                                              size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<HistogramMetric>(lo, hi, buckets)).first;
+  }
+  return it->second.get();
+}
+
+void MetricRegistry::RegisterCounterSource(const std::string& name, CounterSource source) {
+  counter_sources_[name] = std::move(source);
+}
+
+void MetricRegistry::RegisterGaugeSource(const std::string& name, Gauge::Source source) {
+  GetGauge(name)->set_source(std::move(source));
+}
+
+bool MetricRegistry::Matches(const std::string& pattern, const std::string& name) {
+  if (pattern.empty()) {
+    return true;
+  }
+  if (pattern.find('*') == std::string::npos && pattern.find('?') == std::string::npos) {
+    // Wildcard-free patterns match exactly or as a dotted prefix, so
+    // `stats sp` shows the whole subsystem.
+    return name == pattern ||
+           (name.size() > pattern.size() && name[pattern.size()] == '.' &&
+            name.compare(0, pattern.size(), pattern) == 0);
+  }
+  // Iterative glob with single-star backtracking.
+  size_t n = 0;
+  size_t p = 0;
+  size_t star = std::string::npos;
+  size_t star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot(const std::string& pattern) const {
+  std::vector<MetricSample> out;
+  for (const auto& [name, counter] : counters_) {
+    if (Matches(pattern, name)) {
+      out.push_back({name, MetricKind::kCounter, static_cast<double>(counter->value()), nullptr});
+    }
+  }
+  for (const auto& [name, source] : counter_sources_) {
+    if (Matches(pattern, name)) {
+      out.push_back({name, MetricKind::kCounter, static_cast<double>(source()), nullptr});
+    }
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (Matches(pattern, name)) {
+      out.push_back({name, MetricKind::kGauge, gauge->Read(), nullptr});
+    }
+  }
+  for (const auto& [name, hist] : histograms_) {
+    if (Matches(pattern, name)) {
+      out.push_back({name, MetricKind::kHistogram, static_cast<double>(hist->count()),
+                     hist.get()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::optional<double> MetricRegistry::Read(const std::string& name) const {
+  auto counter = counters_.find(name);
+  if (counter != counters_.end()) {
+    return static_cast<double>(counter->second->value());
+  }
+  auto source = counter_sources_.find(name);
+  if (source != counter_sources_.end()) {
+    return static_cast<double>(source->second());
+  }
+  auto gauge = gauges_.find(name);
+  if (gauge != gauges_.end()) {
+    return gauge->second->Read();
+  }
+  auto hist = histograms_.find(name);
+  if (hist != histograms_.end()) {
+    return static_cast<double>(hist->second->count());
+  }
+  // Histogram sub-fields: "<name>.count" .. "<name>.p99".
+  const size_t dot = name.rfind('.');
+  if (dot == std::string::npos) {
+    return std::nullopt;
+  }
+  hist = histograms_.find(name.substr(0, dot));
+  if (hist == histograms_.end()) {
+    return std::nullopt;
+  }
+  const HistogramMetric& h = *hist->second;
+  const std::string field = name.substr(dot + 1);
+  if (field == "count") return static_cast<double>(h.count());
+  if (field == "mean") return h.mean();
+  if (field == "min") return h.min();
+  if (field == "max") return h.max();
+  if (field == "p50") return h.Percentile(50);
+  if (field == "p90") return h.Percentile(90);
+  if (field == "p95") return h.Percentile(95);
+  if (field == "p99") return h.Percentile(99);
+  return std::nullopt;
+}
+
+std::optional<MetricKind> MetricRegistry::KindOf(const std::string& name) const {
+  if (counters_.count(name) != 0 || counter_sources_.count(name) != 0) {
+    return MetricKind::kCounter;
+  }
+  if (gauges_.count(name) != 0) {
+    return MetricKind::kGauge;
+  }
+  if (histograms_.count(name) != 0) {
+    return MetricKind::kHistogram;
+  }
+  if (Read(name).has_value()) {
+    return MetricKind::kGauge;  // A histogram sub-field.
+  }
+  return std::nullopt;
+}
+
+std::string MetricRegistry::RenderText(const std::string& pattern) const {
+  std::string out;
+  for (const MetricSample& s : Snapshot(pattern)) {
+    if (s.kind == MetricKind::kHistogram) {
+      out += util::Format("%s count=%llu mean=%s min=%s max=%s p50=%s p95=%s p99=%s\n",
+                          s.name.c_str(),
+                          static_cast<unsigned long long>(s.histogram->count()),
+                          FormatValue(s.histogram->mean()).c_str(),
+                          FormatValue(s.histogram->min()).c_str(),
+                          FormatValue(s.histogram->max()).c_str(),
+                          FormatValue(s.histogram->Percentile(50)).c_str(),
+                          FormatValue(s.histogram->Percentile(95)).c_str(),
+                          FormatValue(s.histogram->Percentile(99)).c_str());
+    } else {
+      out += s.name + " " + FormatValue(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::RenderJson(const std::string& pattern) const {
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const MetricSample& s : Snapshot(pattern)) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        counters += (counters.empty() ? "" : ",");
+        counters += "\"" + JsonEscape(s.name) + "\":" + FormatValue(s.value);
+        break;
+      case MetricKind::kGauge:
+        gauges += (gauges.empty() ? "" : ",");
+        gauges += "\"" + JsonEscape(s.name) + "\":" + FormatValue(s.value);
+        break;
+      case MetricKind::kHistogram:
+        histograms += (histograms.empty() ? "" : ",");
+        histograms += util::Format(
+            "\"%s\":{\"count\":%llu,\"mean\":%s,\"min\":%s,\"max\":%s,"
+            "\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+            JsonEscape(s.name).c_str(), static_cast<unsigned long long>(s.histogram->count()),
+            FormatValue(s.histogram->mean()).c_str(), FormatValue(s.histogram->min()).c_str(),
+            FormatValue(s.histogram->max()).c_str(),
+            FormatValue(s.histogram->Percentile(50)).c_str(),
+            FormatValue(s.histogram->Percentile(95)).c_str(),
+            FormatValue(s.histogram->Percentile(99)).c_str());
+        break;
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges + "},\"histograms\":{" +
+         histograms + "}}";
+}
+
+Counter* MetricRegistry::NullCounter() {
+  static Counter sink;
+  return &sink;
+}
+
+Gauge* MetricRegistry::NullGauge() {
+  static Gauge sink;
+  return &sink;
+}
+
+}  // namespace comma::obs

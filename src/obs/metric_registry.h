@@ -1,0 +1,161 @@
+// The Comma observability substrate: a process-local registry of named
+// counters, gauges, and fixed-bucket histograms.
+//
+// The thesis's control loop (Kati watches stream/host state through the EEM
+// and reconfigures the Service Proxy in response, Ch. 4/6/7) needs the proxy
+// to *expose* quantitative state. The registry is that exposure point: every
+// layer (SP, TTSF, TCP, EEM) registers its metrics here; the port-12000
+// `stats` command and the EemMetricsBridge read them back out.
+//
+// Design constraints (see docs/observability.md):
+//  - Hot path is a plain uint64/double store through a pre-resolved handle.
+//    Name interning happens once, at registration time; per-packet code never
+//    touches a string or a map.
+//  - Two publication models:
+//      * push: GetCounter()/GetGauge() hand out stable pointers that the
+//        instrumented code bumps directly (new hot-path metrics);
+//      * pull: RegisterCounterSource()/RegisterGaugeSource() wrap an existing
+//        counter (ProxyStats, TcpStats, EEM accounting) in a closure read at
+//        snapshot time — zero added cost on the instrumented path.
+//  - Unbound handles: code instrumented before (or without) a registry binds
+//    to NullCounter()/NullGauge() sinks, so the hot path is unconditional.
+//
+// Metric names are dot-separated lowercase paths: "<subsystem>.<metric>" or
+// "<subsystem>.<qualifier>.<metric>" (e.g. "sp.packets_inspected",
+// "sp.filter.ttsf.out_packets", "eem.client.retransmits").
+#ifndef COMMA_OBS_METRIC_REGISTRY_H_
+#define COMMA_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace comma::obs {
+
+// Monotonic event count. Plain non-atomic uint64: the simulator is
+// single-threaded, and benches must be able to leave metrics on.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level. Push (Set) or pull (a source closure sampled at
+// snapshot time); setting a source wins over any pushed value.
+class Gauge {
+ public:
+  using Source = std::function<double()>;
+
+  void Set(double v) { value_ = v; }
+  void set_source(Source source) { source_ = std::move(source); }
+  double Read() const { return source_ ? source_() : value_; }
+
+ private:
+  double value_ = 0.0;
+  Source source_;
+};
+
+// Fixed-bucket histogram plus running moments and a bounded percentile
+// reservoir, built on util::Histogram / util::RunningStats / a reservoir-mode
+// util::Percentiles so long-running benches cannot grow it without bound.
+class HistogramMetric {
+ public:
+  static constexpr size_t kReservoirSamples = 1024;
+
+  HistogramMetric(double lo, double hi, size_t buckets)
+      : histogram_(lo, hi, buckets), percentiles_(kReservoirSamples) {}
+
+  void Observe(double x) {
+    histogram_.Add(x);
+    running_.Add(x);
+    percentiles_.Add(x);
+  }
+
+  uint64_t count() const { return running_.count(); }
+  double mean() const { return running_.mean(); }
+  double min() const { return running_.min(); }
+  double max() const { return running_.max(); }
+  double Percentile(double p) const { return percentiles_.Percentile(p); }
+  const util::Histogram& histogram() const { return histogram_; }
+
+ private:
+  util::Histogram histogram_;
+  util::RunningStats running_;
+  util::Percentiles percentiles_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One metric read at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  // Counter value or gauge reading; for histograms, the observation count.
+  double value = 0.0;
+  const HistogramMetric* histogram = nullptr;  // Set for kHistogram only.
+};
+
+class MetricRegistry {
+ public:
+  using CounterSource = std::function<uint64_t()>;
+
+  // --- Registration (name interning happens here, once) ---
+  // Get-or-create; returned pointers are stable for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name, double lo, double hi, size_t buckets);
+  // Pull-model wrappers over counters that already exist elsewhere. The
+  // closure must outlive the registry or the metric must be re-registered
+  // (re-registering a name replaces the source).
+  void RegisterCounterSource(const std::string& name, CounterSource source);
+  void RegisterGaugeSource(const std::string& name, Gauge::Source source);
+
+  // --- Reading ---
+  // All metrics whose name matches `pattern` (see Matches), name-sorted.
+  std::vector<MetricSample> Snapshot(const std::string& pattern = "") const;
+  // Reads one metric by exact name (counters and gauges; histograms answer
+  // the dotted sub-fields count/mean/min/max/p50/p90/p95/p99).
+  std::optional<double> Read(const std::string& name) const;
+  // The kind of the metric registered under exact name `name`; histogram
+  // sub-fields report kGauge (they read as doubles).
+  std::optional<MetricKind> KindOf(const std::string& name) const;
+  // Line-oriented rendering: "<name> <value>" per metric, histograms as
+  // "<name> count=N mean=M p50=... p95=... p99=...".
+  std::string RenderText(const std::string& pattern = "") const;
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string RenderJson(const std::string& pattern = "") const;
+
+  size_t size() const {
+    return counters_.size() + counter_sources_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Glob match: '*' spans any run of characters, '?' one character; an empty
+  // pattern, or a pattern with no wildcard that is a dotted prefix of the
+  // name ("sp" matches "sp.packets_inspected"), also matches.
+  static bool Matches(const std::string& pattern, const std::string& name);
+
+  // Process-wide sinks for handles that were never bound to a registry.
+  static Counter* NullCounter();
+  static Gauge* NullGauge();
+
+ private:
+  // std::map keeps snapshots name-sorted; unique_ptr keeps handles stable.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, CounterSource> counter_sources_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace comma::obs
+
+#endif  // COMMA_OBS_METRIC_REGISTRY_H_

@@ -31,6 +31,9 @@ std::string CommandProcessor::Execute(const std::string& line) {
   if (cmd == "streams") {
     return DoStreams();
   }
+  if (cmd == "stats") {
+    return DoStats(args);
+  }
   if (cmd == "service") {
     return DoService(args);
   }
@@ -42,6 +45,7 @@ std::string CommandProcessor::Execute(const std::string& line) {
         "delete <filtername> <srcip> <srcport> <dstip> <dstport>\n"
         "report [filtername]\n"
         "streams\n"
+        "stats [-json] [pattern]\n"
         "service list | service add <name> <key> | service delete <name> <key>\n";
   }
   return "error: unknown command: " + cmd + "\n";
@@ -107,6 +111,25 @@ std::string CommandProcessor::DoReport(const std::vector<std::string>& args) {
     }
   }
   return out;
+}
+
+std::string CommandProcessor::DoStats(const std::vector<std::string>& args) {
+  bool json = false;
+  std::string pattern;
+  for (const std::string& arg : args) {
+    if (arg == "-json") {
+      json = true;
+    } else if (pattern.empty()) {
+      pattern = arg;
+    } else {
+      return "error: usage: stats [-json] [pattern]\n";
+    }
+  }
+  const obs::MetricRegistry& metrics = proxy_->metrics();
+  if (json) {
+    return metrics.RenderJson(pattern) + "\n";
+  }
+  return metrics.RenderText(pattern);
 }
 
 std::string CommandProcessor::DoService(const std::vector<std::string>& args) {

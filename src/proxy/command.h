@@ -25,6 +25,8 @@ class CommandProcessor {
   //   delete <filtername> <key>
   //   report [filtername]
   //   streams                    (extension: stream-registry accounting)
+  //   stats [-json] [pattern]    (extension: metric registry snapshot,
+  //                               docs/observability.md)
   //   service list               (extension, §10.2.1: named service recipes)
   //   service add <name> <key>
   //   service delete <name> <key>
@@ -38,6 +40,7 @@ class CommandProcessor {
   std::string DoDelete(const std::vector<std::string>& args);
   std::string DoReport(const std::vector<std::string>& args);
   std::string DoStreams();
+  std::string DoStats(const std::vector<std::string>& args);
   std::string DoService(const std::vector<std::string>& args);
 
   ServiceProxy* proxy_;

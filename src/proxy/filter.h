@@ -27,10 +27,15 @@ namespace comma::monitor {
 class EemClient;
 }
 
+namespace comma::obs {
+class MetricRegistry;
+}
+
 namespace comma::proxy {
 
 class ServiceProxy;
 class Filter;
+struct FilterTelemetry;
 
 // Fixed priority levels (§5.3.2 assigns launcher HIGHEST, tcp HIGH,
 // rdrop LOW, wsize LOWEST).
@@ -64,6 +69,11 @@ class FilterContext {
   // The EEM client co-located with this proxy (thesis: filters can be EEM
   // clients). Null if the deployment has no monitor.
   monitor::EemClient* eem();
+
+  // The proxy's metric registry (docs/observability.md). Never null; filters
+  // bind counter/gauge handles at insertion time and bump them on the hot
+  // path without further registry involvement.
+  obs::MetricRegistry* metrics();
 
   // Finds another live filter instance attached to `key` by name — how
   // transformer filters locate their transparency-support filter (§8.1).
@@ -112,6 +122,11 @@ class Filter : public std::enable_shared_from_this<Filter> {
  private:
   std::string name_;
   FilterPriority priority_;
+  // Per-filter-name metric handles, interned lazily by the proxy running
+  // this instance (ServiceProxy::TelemetryFor). Instances of the same filter
+  // name on one proxy share the handles; the counters aggregate across them.
+  FilterTelemetry* telemetry_ = nullptr;
+  friend class ServiceProxy;
 };
 
 using FilterPtr = std::shared_ptr<Filter>;

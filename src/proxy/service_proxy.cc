@@ -1,6 +1,7 @@
 #include "src/proxy/service_proxy.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "src/util/check.h"
@@ -15,6 +16,7 @@ void FilterContext::InjectPacket(net::PacketPtr packet) {
   proxy_->InjectPacket(std::move(packet));
 }
 monitor::EemClient* FilterContext::eem() { return proxy_->eem(); }
+obs::MetricRegistry* FilterContext::metrics() { return &proxy_->metrics(); }
 Filter* FilterContext::FindFilterOnKey(const StreamKey& key, const std::string& name) {
   return proxy_->FindFilterOnKey(key, name);
 }
@@ -43,6 +45,32 @@ void Filter::OnDetach(FilterContext&, const StreamKey&) {}
 ServiceProxy::ServiceProxy(net::Node* node, FilterRegistry registry)
     : node_(node), registry_(std::move(registry)), context_(this) {
   node_->AddTap(this);
+  // Existing ProxyStats counters are exported as pull sources — no cost on
+  // the packet path, read only when a snapshot is taken. `this` outlives the
+  // registry (member declaration order), so the captures are safe.
+  metrics_.RegisterCounterSource("sp.packets_inspected",
+                                 [this] { return stats_.packets_inspected; });
+  metrics_.RegisterCounterSource("sp.packets_modified",
+                                 [this] { return stats_.packets_modified; });
+  metrics_.RegisterCounterSource("sp.packets_dropped",
+                                 [this] { return stats_.packets_dropped; });
+  metrics_.RegisterCounterSource("sp.packets_injected",
+                                 [this] { return stats_.packets_injected; });
+  metrics_.RegisterCounterSource("sp.streams_seen", [this] { return stats_.streams_seen; });
+  metrics_.RegisterCounterSource("sp.filters_quarantined",
+                                 [this] { return stats_.filters_quarantined; });
+  metrics_.RegisterGaugeSource("sp.streams",
+                               [this] { return static_cast<double>(streams_.size()); });
+  metrics_.RegisterGaugeSource("sp.attachments",
+                               [this] { return static_cast<double>(attachments_.size()); });
+  metrics_.RegisterGaugeSource("sp.queue_cache_entries",
+                               [this] { return static_cast<double>(queue_cache_.size()); });
+  metrics_.RegisterGaugeSource("sp.registry_size",
+                               [this] { return static_cast<double>(metrics_.size()); });
+  // Wall-clock cost of resolving a stream's filter queue on a cache miss.
+  // Wall time (not sim time) is deliberate: queue resolution is real proxy
+  // CPU work, invisible to the simulated clock.
+  queue_resolve_us_ = metrics_.GetHistogram("sp.queue_resolve_us", 0.0, 1000.0, 50);
 }
 
 ServiceProxy::~ServiceProxy() { node_->RemoveTap(this); }
@@ -116,6 +144,10 @@ void ServiceProxy::Attach(const FilterPtr& filter, const StreamKey& key) {
     }
   }
   attachments_.push_back({filter, key});
+  // Intern the per-filter telemetry now, not on first packet: an attached
+  // filter's sp.filter.<name>.* counters must be visible to `stats` and the
+  // EEM bridge even before (or without) traffic.
+  TelemetryFor(filter.get());
   InvalidateQueues();
 }
 
@@ -259,7 +291,34 @@ const std::vector<Filter*>& ServiceProxy::QueueFor(const StreamKey& key) {
   if (it != queue_cache_.end()) {
     return it->second;
   }
-  return queue_cache_.emplace(key, ResolveQueue(key)).first->second;
+  const auto start = std::chrono::steady_clock::now();
+  auto& queue = queue_cache_.emplace(key, ResolveQueue(key)).first->second;
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  queue_resolve_us_->Observe(
+      std::chrono::duration<double, std::micro>(elapsed).count());
+  return queue;
+}
+
+FilterTelemetry* ServiceProxy::TelemetryFor(Filter* f) {
+  if (f->telemetry_ != nullptr) {
+    return f->telemetry_;
+  }
+  auto it = filter_telemetry_.find(f->name());
+  if (it == filter_telemetry_.end()) {
+    const std::string prefix = "sp.filter." + f->name() + ".";
+    auto t = std::make_unique<FilterTelemetry>();
+    t->in_packets = metrics_.GetCounter(prefix + "in_packets");
+    t->in_bytes = metrics_.GetCounter(prefix + "in_bytes");
+    t->out_packets = metrics_.GetCounter(prefix + "out_packets");
+    t->out_bytes = metrics_.GetCounter(prefix + "out_bytes");
+    t->packets_dropped = metrics_.GetCounter(prefix + "packets_dropped");
+    t->bytes_dropped = metrics_.GetCounter(prefix + "bytes_dropped");
+    t->bytes_shrunk = metrics_.GetCounter(prefix + "bytes_shrunk");
+    t->bytes_grown = metrics_.GetCounter(prefix + "bytes_grown");
+    it = filter_telemetry_.emplace(f->name(), std::move(t)).first;
+  }
+  f->telemetry_ = it->second.get();
+  return f->telemetry_;
 }
 
 void ServiceProxy::NotifyNewStream(const StreamKey& key) {
@@ -325,6 +384,9 @@ net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapCon
     if (audit) {
       visited_priorities.push_back(static_cast<int>(f->priority()));
     }
+    FilterTelemetry* t = TelemetryFor(f);
+    t->in_packets->Inc();
+    t->in_bytes->Inc(packet->payload().size());
     RunContained(f, "In", [&] { f->In(context_, key, *packet); });
   }
   if (audit) {
@@ -347,8 +409,12 @@ net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapCon
     // unmodified-by-it (fail-open): dropping on fault would stall the stream
     // the service was supposed to be transparent to.
     FilterVerdict verdict = FilterVerdict::kPass;
+    FilterTelemetry* t = TelemetryFor(f);
+    const size_t payload_before = packet->payload().size();
     RunContained(f, "Out", [&] { verdict = f->Out(context_, key, *packet); });
     if (verdict == FilterVerdict::kDrop) {
+      t->packets_dropped->Inc();
+      t->bytes_dropped->Inc(payload_before);
       ++stats_.packets_dropped;
       in_filter_pass_ = false;
       if (quarantine_log_.size() != quarantines_before) {
@@ -360,6 +426,14 @@ net::TapVerdict ServiceProxy::OnPacket(net::PacketPtr& packet, const net::TapCon
         queue_auditor_.AuditOutPassOrder(visited_priorities);
       }
       return net::TapVerdict::kDrop;
+    }
+    const size_t payload_after = packet->payload().size();
+    t->out_packets->Inc();
+    t->out_bytes->Inc(payload_after);
+    if (payload_after < payload_before) {
+      t->bytes_shrunk->Inc(payload_before - payload_after);
+    } else if (payload_after > payload_before) {
+      t->bytes_grown->Inc(payload_after - payload_before);
     }
   }
   in_filter_pass_ = false;

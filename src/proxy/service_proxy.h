@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/net/node.h"
+#include "src/obs/metric_registry.h"
 #include "src/proxy/auditors.h"
 #include "src/proxy/filter.h"
 #include "src/proxy/filter_registry.h"
@@ -46,6 +47,20 @@ struct ProxyStats {
   uint64_t packets_injected = 0;   // Filter-manufactured packets.
   uint64_t streams_seen = 0;
   uint64_t filters_quarantined = 0;  // Instances bypassed after a fault.
+};
+
+// Hot-path metric handles shared by every instance of one filter name on one
+// proxy ("sp.filter.<name>.*" in the registry). Interned once per name; the
+// packet path only bumps pre-resolved counters.
+struct FilterTelemetry {
+  obs::Counter* in_packets;
+  obs::Counter* in_bytes;       // Payload bytes presented to the in pass.
+  obs::Counter* out_packets;    // Packets surviving this filter's out pass.
+  obs::Counter* out_bytes;      // Payload bytes after this filter ran.
+  obs::Counter* packets_dropped;
+  obs::Counter* bytes_dropped;  // Payload bytes of kDrop'd packets.
+  obs::Counter* bytes_shrunk;   // Payload bytes removed by in-place edits.
+  obs::Counter* bytes_grown;    // Payload bytes added by in-place edits.
 };
 
 class ServiceProxy : public net::PacketTap {
@@ -124,6 +139,14 @@ class ServiceProxy : public net::PacketTap {
   net::Node* node() const { return node_; }
   FilterContext& context() { return context_; }
 
+  // --- Observability (docs/observability.md) ---
+  // The proxy-owned metric registry. Always on: the proxy registers its own
+  // counters ("sp.*", "sp.filter.<name>.*") at construction, other layers
+  // (TCP, EEM, TTSF via FilterContext::metrics) hook theirs in, the `stats`
+  // command and the EemMetricsBridge read it back out.
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
   // --- Invariant auditing (active when util::DebugChecksEnabled()) ---
   // Resolves the filter queue for `key` from the attachment set without
   // touching the cache; the auditors diff this against cached state.
@@ -154,6 +177,15 @@ class ServiceProxy : public net::PacketTap {
   template <typename Fn>
   bool RunContained(Filter* f, const char* where, Fn&& fn);
   void RecordQuarantine(Filter* f, const std::string& reason);
+  // Interns (once per filter name) and caches the per-filter metric handles
+  // on `f`; subsequent packets use the cached pointer.
+  FilterTelemetry* TelemetryFor(Filter* f);
+
+  // Declared before everything that may hold handles into it, so the
+  // registry outlives filters, sources, and telemetry users.
+  obs::MetricRegistry metrics_;
+  std::map<std::string, std::unique_ptr<FilterTelemetry>> filter_telemetry_;
+  obs::HistogramMetric* queue_resolve_us_ = nullptr;
 
   net::Node* node_;
   FilterRegistry registry_;

@@ -51,6 +51,26 @@ void TcpStack::Listen(uint16_t port, AcceptCallback on_accept, const TcpConfig& 
 
 void TcpStack::CloseListener(uint16_t port) { listeners_.erase(port); }
 
+TcpStats TcpStack::Totals() const {
+  TcpStats total;
+  for (const auto& conn : owned_) {
+    const TcpStats& s = conn->stats();
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_retransmitted += s.bytes_retransmitted;
+    total.bytes_received += s.bytes_received;
+    total.segments_sent += s.segments_sent;
+    total.segments_received += s.segments_received;
+    total.retransmit_timeouts += s.retransmit_timeouts;
+    total.fast_retransmits += s.fast_retransmits;
+    total.dupacks_received += s.dupacks_received;
+    total.dupacks_sent += s.dupacks_sent;
+    total.out_of_order_segments += s.out_of_order_segments;
+    total.zero_window_acks_received += s.zero_window_acks_received;
+    total.persist_probes_sent += s.persist_probes_sent;
+  }
+  return total;
+}
+
 void TcpStack::Retire(TcpConnection* conn) {
   const ConnKey key = KeyFor(conn->local_port(), conn->remote_addr(), conn->remote_port());
   auto it = connections_.find(key);

@@ -45,6 +45,10 @@ class TcpStack {
   // Number of live (demuxable) connections.
   size_t ActiveConnections() const { return connections_.size(); }
 
+  // Aggregate TcpStats over every connection this stack ever owned (live and
+  // retired) — the per-node totals the metric registry exports as "tcp.*".
+  TcpStats Totals() const;
+
   // Segments arriving with a bad TCP checksum are dropped (and counted), as
   // a real stack would; retransmission recovers them. Mutating proxy filters
   // must therefore leave checksums consistent — the `tcp` filter's job.

@@ -31,6 +31,28 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+uint64_t Percentiles::NextRandom() {
+  // xorshift64*: deterministic, seedable, good enough for reservoir picks.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 0x2545f4914f6cdd1dull;
+}
+
+void Percentiles::Add(double x) {
+  ++seen_;
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R: the new sample replaces a random slot with probability
+  // capacity/seen, keeping every observed sample equally likely to survive.
+  const uint64_t slot = NextRandom() % seen_;
+  if (slot < capacity_) {
+    samples_[static_cast<size_t>(slot)] = x;
+  }
+}
+
 double Percentiles::Percentile(double p) const {
   if (samples_.empty()) {
     return 0.0;

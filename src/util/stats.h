@@ -33,17 +33,38 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-// Stores samples; computes exact percentiles on demand.
+// Percentile estimation from a sample set. Two modes:
+//  - exact (default): every sample is kept and percentiles are computed
+//    exactly — right for bounded experiments;
+//  - bounded reservoir: at most `capacity` samples are retained via
+//    reservoir sampling (Vitter's algorithm R) with a deterministic
+//    xorshift generator, so long-running benches and always-on telemetry
+//    (obs::HistogramMetric) cannot grow memory without bound. With fewer
+//    than `capacity` samples observed, the reservoir is the full sample set
+//    and percentiles are exact.
 class Percentiles {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  Percentiles() = default;  // Exact mode.
+  explicit Percentiles(size_t capacity, uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : capacity_(capacity), rng_state_(seed | 1) {}
+
+  void Add(double x);
   // p in [0, 100]. Returns 0 when empty.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
-  size_t count() const { return samples_.size(); }
+  // Total samples observed (not bounded by the reservoir).
+  size_t count() const { return static_cast<size_t>(seen_); }
+  // Samples currently retained (== count() in exact mode).
+  size_t stored() const { return samples_.size(); }
+  bool bounded() const { return capacity_ > 0; }
 
  private:
+  uint64_t NextRandom();
+
   mutable std::vector<double> samples_;
+  size_t capacity_ = 0;  // 0 = exact mode.
+  uint64_t seen_ = 0;
+  uint64_t rng_state_ = 0;
 };
 
 // Fixed-width bucket histogram over [lo, hi); out-of-range samples clamp to

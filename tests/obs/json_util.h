@@ -1,0 +1,131 @@
+// A deliberately tiny JSON parser for round-tripping the `stats -json` /
+// RenderJson output in tests. Supports exactly what that format emits:
+// objects, string keys, numbers, and nested objects. Not a general parser.
+#ifndef COMMA_TESTS_OBS_JSON_UTIL_H_
+#define COMMA_TESTS_OBS_JSON_UTIL_H_
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace comma::obs::testjson {
+
+// Flattens a JSON object into {"counters.sp.packets_inspected": 12, ...}:
+// nested object keys join with '.', leaf values must be numbers. Returns
+// nullopt on any syntax error, which makes malformed output a test failure.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<std::map<std::string, double>> Parse() {
+    std::map<std::string, double> out;
+    if (!ParseObject("", &out)) {
+      return std::nullopt;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // Trailing garbage.
+    }
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+      }
+      out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '-' ||
+            text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) {
+      return false;
+    }
+    try {
+      *out = std::stod(text_.substr(pos_, end - pos_));
+    } catch (...) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseObject(const std::string& prefix, std::map<std::string, double>* out) {
+    if (!Consume('{')) {
+      return false;
+    }
+    if (Consume('}')) {
+      return true;  // Empty object.
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key) || !Consume(':')) {
+        return false;
+      }
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '{') {
+        if (!ParseObject(path, out)) {
+          return false;
+        }
+      } else {
+        double value = 0.0;
+        if (!ParseNumber(&value)) {
+          return false;
+        }
+        (*out)[path] = value;
+      }
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline std::optional<std::map<std::string, double>> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace comma::obs::testjson
+
+#endif  // COMMA_TESTS_OBS_JSON_UTIL_H_

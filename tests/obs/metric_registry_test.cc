@@ -1,0 +1,152 @@
+// The metric registry itself: handle stability, push/pull publication,
+// glob matching, and the text/JSON renderings (docs/observability.md).
+#include "src/obs/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_util.h"
+
+namespace comma::obs {
+namespace {
+
+TEST(ObsRegistryTest, CounterHandleIsStableAndAccumulates) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("sp.packets");
+  c->Inc();
+  c->Inc(41);
+  EXPECT_EQ(reg.GetCounter("sp.packets"), c);  // Get-or-create, same handle.
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(reg.Read("sp.packets"), 42.0);
+}
+
+TEST(ObsRegistryTest, GaugePushAndPull) {
+  MetricRegistry reg;
+  Gauge* g = reg.GetGauge("sp.streams");
+  g->Set(3.5);
+  EXPECT_EQ(reg.Read("sp.streams"), 3.5);
+  // A source wins over the pushed value.
+  double level = 7.0;
+  g->set_source([&level] { return level; });
+  EXPECT_EQ(reg.Read("sp.streams"), 7.0);
+  level = 9.0;
+  EXPECT_EQ(reg.Read("sp.streams"), 9.0);
+}
+
+TEST(ObsRegistryTest, CounterSourceReadsLive) {
+  MetricRegistry reg;
+  uint64_t external = 0;
+  reg.RegisterCounterSource("tcp.retransmits", [&external] { return external; });
+  EXPECT_EQ(reg.Read("tcp.retransmits"), 0.0);
+  external = 17;
+  EXPECT_EQ(reg.Read("tcp.retransmits"), 17.0);
+  EXPECT_EQ(reg.KindOf("tcp.retransmits"), MetricKind::kCounter);
+}
+
+TEST(ObsRegistryTest, HistogramSubFieldsReadable) {
+  MetricRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("sp.queue_us", 0.0, 100.0, 10);
+  for (int i = 1; i <= 100; ++i) {
+    h->Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(reg.Read("sp.queue_us"), 100.0);  // Bare name = count.
+  EXPECT_EQ(reg.Read("sp.queue_us.count"), 100.0);
+  EXPECT_NEAR(*reg.Read("sp.queue_us.mean"), 50.5, 1e-9);
+  EXPECT_EQ(reg.Read("sp.queue_us.min"), 1.0);
+  EXPECT_EQ(reg.Read("sp.queue_us.max"), 100.0);
+  EXPECT_NEAR(*reg.Read("sp.queue_us.p50"), 50.5, 1.0);
+  EXPECT_NEAR(*reg.Read("sp.queue_us.p99"), 99.0, 1.1);
+  EXPECT_FALSE(reg.Read("sp.queue_us.p12").has_value());
+  EXPECT_FALSE(reg.Read("sp.missing").has_value());
+}
+
+TEST(ObsRegistryTest, NullSinksAcceptWrites) {
+  // Unbound instrumentation must be safe: the sinks swallow everything.
+  MetricRegistry::NullCounter()->Inc(123);
+  MetricRegistry::NullGauge()->Set(4.5);
+  SUCCEED();
+}
+
+TEST(ObsRegistryTest, GlobMatching) {
+  // Empty pattern: everything.
+  EXPECT_TRUE(MetricRegistry::Matches("", "sp.packets"));
+  // Wildcard-free: exact or dotted-prefix.
+  EXPECT_TRUE(MetricRegistry::Matches("sp", "sp.packets"));
+  EXPECT_TRUE(MetricRegistry::Matches("sp.packets", "sp.packets"));
+  EXPECT_FALSE(MetricRegistry::Matches("sp", "spx.packets"));
+  EXPECT_FALSE(MetricRegistry::Matches("sp.pack", "sp.packets"));
+  // Star and question mark.
+  EXPECT_TRUE(MetricRegistry::Matches("sp.*", "sp.packets"));
+  EXPECT_TRUE(MetricRegistry::Matches("*.retransmits", "tcp.retransmits"));
+  EXPECT_TRUE(MetricRegistry::Matches("sp.filter.*.out_packets", "sp.filter.ttsf.out_packets"));
+  EXPECT_FALSE(MetricRegistry::Matches("sp.filter.*.in_packets", "sp.filter.ttsf.out_packets"));
+  EXPECT_TRUE(MetricRegistry::Matches("ttsf.bytes_?ropped", "ttsf.bytes_dropped"));
+  EXPECT_FALSE(MetricRegistry::Matches("ttsf.bytes_?ropped", "ttsf.bytes_ropped"));
+  EXPECT_TRUE(MetricRegistry::Matches("*", "anything.at.all"));
+  EXPECT_FALSE(MetricRegistry::Matches("eem.*", "sp.packets"));
+}
+
+TEST(ObsRegistryTest, SnapshotIsNameSortedAndFiltered) {
+  MetricRegistry reg;
+  reg.GetCounter("zeta.count")->Inc();
+  reg.GetCounter("alpha.count")->Inc(2);
+  reg.GetGauge("mid.level")->Set(5);
+  auto all = reg.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "alpha.count");
+  EXPECT_EQ(all[1].name, "mid.level");
+  EXPECT_EQ(all[2].name, "zeta.count");
+  auto some = reg.Snapshot("alpha");
+  ASSERT_EQ(some.size(), 1u);
+  EXPECT_EQ(some[0].name, "alpha.count");
+  EXPECT_EQ(some[0].value, 2.0);
+}
+
+TEST(ObsRegistryTest, RenderTextOneLinePerMetric) {
+  MetricRegistry reg;
+  reg.GetCounter("sp.packets")->Inc(7);
+  reg.GetGauge("sp.streams")->Set(2);
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("sp.packets 7\n"), std::string::npos);
+  EXPECT_NE(text.find("sp.streams 2\n"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, JsonRoundTripsThroughParser) {
+  MetricRegistry reg;
+  reg.GetCounter("sp.packets_inspected")->Inc(1234);
+  reg.GetGauge("sp.streams")->Set(2.5);
+  uint64_t pulled = 99;
+  reg.RegisterCounterSource("tcp.retransmits", [&pulled] { return pulled; });
+  HistogramMetric* h = reg.GetHistogram("sp.queue_us", 0.0, 100.0, 10);
+  h->Observe(10.0);
+  h->Observe(30.0);
+
+  auto parsed = testjson::ParseJson(reg.RenderJson());
+  ASSERT_TRUE(parsed.has_value()) << reg.RenderJson();
+  const auto& m = *parsed;
+  EXPECT_EQ(m.at("counters.sp.packets_inspected"), 1234.0);
+  EXPECT_EQ(m.at("counters.tcp.retransmits"), 99.0);
+  EXPECT_EQ(m.at("gauges.sp.streams"), 2.5);
+  EXPECT_EQ(m.at("histograms.sp.queue_us.count"), 2.0);
+  EXPECT_EQ(m.at("histograms.sp.queue_us.mean"), 20.0);
+  EXPECT_EQ(m.at("histograms.sp.queue_us.min"), 10.0);
+  EXPECT_EQ(m.at("histograms.sp.queue_us.max"), 30.0);
+}
+
+TEST(ObsRegistryTest, EmptyRegistryRendersValidJson) {
+  MetricRegistry reg;
+  auto parsed = testjson::ParseJson(reg.RenderJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ObsRegistryTest, SizeCountsEveryFamily) {
+  MetricRegistry reg;
+  reg.GetCounter("a");
+  reg.GetGauge("b");
+  reg.GetHistogram("c", 0, 1, 2);
+  reg.RegisterCounterSource("d", [] { return 0ull; });
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+}  // namespace
+}  // namespace comma::obs

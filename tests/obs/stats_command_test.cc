@@ -1,0 +1,99 @@
+// The `stats` command (§5.3 extension): pattern filtering through the
+// CommandProcessor and the -json form round-tripped over port 12000.
+#include "src/proxy/command.h"
+
+#include <gtest/gtest.h>
+
+#include "src/proxy/command_server.h"
+#include "tests/obs/json_util.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::proxy {
+namespace {
+
+class ObsStatsCommandTest : public ProxyFixture {
+ protected:
+  ObsStatsCommandTest() : processor_(&sp()) {}
+
+  CommandProcessor processor_;
+};
+
+TEST_F(ObsStatsCommandTest, BareStatsListsProxyMetrics) {
+  std::string out = processor_.Execute("stats");
+  EXPECT_NE(out.find("sp.packets_inspected"), std::string::npos);
+  EXPECT_NE(out.find("sp.streams"), std::string::npos);
+  EXPECT_NE(out.find("sp.registry_size"), std::string::npos);
+}
+
+TEST_F(ObsStatsCommandTest, PatternRestrictsOutput) {
+  MustAdd("meter", DataKey(7, 1169));
+  std::string out = processor_.Execute("stats sp.filter.*");
+  EXPECT_NE(out.find("sp.filter.meter.in_packets"), std::string::npos);
+  EXPECT_EQ(out.find("sp.packets_inspected"), std::string::npos);
+  // A pattern that matches nothing yields no lines at all.
+  EXPECT_EQ(processor_.Execute("stats no.such.prefix"), "");
+}
+
+TEST_F(ObsStatsCommandTest, ExtraArgumentsAreAnError) {
+  std::string out = processor_.Execute("stats sp.* extra");
+  EXPECT_EQ(out.rfind("error:", 0), 0u) << out;
+}
+
+TEST_F(ObsStatsCommandTest, HelpMentionsStats) {
+  EXPECT_NE(processor_.Execute("help").find("stats [-json] [pattern]"), std::string::npos);
+}
+
+TEST_F(ObsStatsCommandTest, JsonReflectsTraffic) {
+  // Wildcard key: the transfer's ephemeral source port must still match.
+  MustAdd("meter", StreamKey{net::Ipv4Address(), 0, scenario().mobile_addr(), 80});
+  auto t = StartTransfer(80, Pattern(20000));
+  sim().RunFor(30 * sim::kSecond);
+  ASSERT_EQ(t->received.size(), 20000u);
+
+  auto parsed = obs::testjson::ParseJson(processor_.Execute("stats -json"));
+  ASSERT_TRUE(parsed.has_value());
+  const auto& m = *parsed;
+  EXPECT_GT(m.at("counters.sp.packets_inspected"), 0.0);
+  EXPECT_GT(m.at("counters.sp.filter.meter.in_packets"), 0.0);
+  EXPECT_GT(m.at("counters.sp.filter.meter.out_bytes"), 0.0);
+  EXPECT_GE(m.at("gauges.sp.streams"), 1.0);
+  // The queue-resolve histogram saw at least the first-packet cache miss.
+  EXPECT_GT(m.at("histograms.sp.queue_resolve_us.count"), 0.0);
+  EXPECT_TRUE(m.count("histograms.sp.queue_resolve_us.p99"));
+}
+
+TEST_F(ObsStatsCommandTest, JsonPatternFilterApplies) {
+  auto parsed = obs::testjson::ParseJson(processor_.Execute("stats -json sp.streams"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->count("gauges.sp.streams"));
+  for (const auto& [key, value] : *parsed) {
+    EXPECT_EQ(key, "gauges.sp.streams");
+  }
+}
+
+// The same command over the wire: the framing layer appends the ".\n"
+// marker; what precedes it must parse as JSON.
+TEST_F(ObsStatsCommandTest, JsonRoundTripsOverPort12000) {
+  CommandServer server(&scenario().gateway().tcp(), &sp());
+
+  auto conn = scenario().mobile_host().tcp().Connect(scenario().gateway_wireless_addr(),
+                                                     kCommandPort);
+  auto received = std::make_shared<std::string>();
+  conn->set_on_data([received](const util::Bytes& data) {
+    received->append(reinterpret_cast<const char*>(data.data()), data.size());
+  });
+  sim().RunFor(sim::kSecond);
+  const std::string cmd = "stats -json\n";
+  conn->Send(reinterpret_cast<const uint8_t*>(cmd.data()), cmd.size());
+  sim().RunFor(5 * sim::kSecond);
+
+  ASSERT_GE(received->size(), 2u);
+  ASSERT_EQ(received->substr(received->size() - 2), ".\n");
+  auto parsed = obs::testjson::ParseJson(received->substr(0, received->size() - 2));
+  ASSERT_TRUE(parsed.has_value()) << *received;
+  EXPECT_TRUE(parsed->count("counters.sp.packets_inspected"));
+  EXPECT_TRUE(parsed->count("gauges.sp.registry_size"));
+}
+
+}  // namespace
+}  // namespace comma::proxy

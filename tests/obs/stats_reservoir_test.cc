@@ -1,0 +1,137 @@
+// Edge cases for the util statistics primitives the registry builds on:
+// RunningStats on degenerate inputs and the bounded-reservoir Percentiles
+// mode (Vitter's algorithm R with a deterministic generator).
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::util {
+namespace {
+
+TEST(ObsStatsEdgeTest, RunningStatsEmpty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(ObsStatsEdgeTest, RunningStatsSingleSample) {
+  RunningStats s;
+  s.Add(-3.25);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), -3.25);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), -3.25);
+  EXPECT_EQ(s.max(), -3.25);
+  EXPECT_EQ(s.sum(), -3.25);
+}
+
+TEST(ObsStatsEdgeTest, RunningStatsVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  // Sample variance (n-1 denominator) of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(ObsStatsEdgeTest, PercentilesEmpty) {
+  Percentiles p;
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.stored(), 0u);
+  EXPECT_FALSE(p.bounded());
+  EXPECT_EQ(p.Percentile(50.0), 0.0);
+  EXPECT_EQ(p.Median(), 0.0);
+}
+
+TEST(ObsStatsEdgeTest, PercentilesSingleSample) {
+  Percentiles p;
+  p.Add(42.0);
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_EQ(p.Percentile(0.0), 42.0);
+  EXPECT_EQ(p.Percentile(50.0), 42.0);
+  EXPECT_EQ(p.Percentile(100.0), 42.0);
+}
+
+TEST(ObsStatsEdgeTest, ReservoirMatchesExactUnderCapacity) {
+  // Below capacity the reservoir holds everything: identical percentiles.
+  Percentiles exact;
+  Percentiles bounded(64);
+  EXPECT_TRUE(bounded.bounded());
+  for (int i = 1; i <= 50; ++i) {
+    exact.Add(static_cast<double>(i));
+    bounded.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(bounded.count(), 50u);
+  EXPECT_EQ(bounded.stored(), 50u);
+  for (double q : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(bounded.Percentile(q), exact.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(ObsStatsEdgeTest, ReservoirStaysBounded) {
+  Percentiles p(128);
+  for (int i = 0; i < 100000; ++i) {
+    p.Add(static_cast<double>(i % 1000));
+  }
+  EXPECT_EQ(p.count(), 100000u);
+  EXPECT_EQ(p.stored(), 128u);
+  // The sample is uniform on [0, 1000); the estimated median should land
+  // in a generous central band even with only 128 retained samples.
+  double median = p.Median();
+  EXPECT_GT(median, 250.0);
+  EXPECT_LT(median, 750.0);
+}
+
+TEST(ObsStatsEdgeTest, ReservoirIsDeterministic) {
+  // Same seed, same input order -> identical retained sample set. This is
+  // what keeps simulation runs reproducible (ROADMAP: determinism).
+  Percentiles a(32);
+  Percentiles b(32);
+  for (int i = 0; i < 5000; ++i) {
+    double x = static_cast<double>((i * 37) % 501);
+    a.Add(x);
+    b.Add(x);
+  }
+  ASSERT_EQ(a.stored(), b.stored());
+  for (double q = 0.0; q <= 100.0; q += 5.0) {
+    EXPECT_EQ(a.Percentile(q), b.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(ObsStatsEdgeTest, ReservoirSeedChangesSelection) {
+  Percentiles a(16, 1);
+  Percentiles b(16, 99991);
+  for (int i = 0; i < 10000; ++i) {
+    a.Add(static_cast<double>(i));
+    b.Add(static_cast<double>(i));
+  }
+  // Both saw everything, both kept 16; the kept sets should differ for
+  // different seeds (overwhelmingly likely with 10000 candidates).
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.stored(), 16u);
+  bool any_difference = false;
+  for (double q = 0.0; q <= 100.0 && !any_difference; q += 1.0) {
+    any_difference = a.Percentile(q) != b.Percentile(q);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ObsStatsEdgeTest, ZeroCapacityIsExactMode) {
+  Percentiles p(0);
+  EXPECT_FALSE(p.bounded());
+  for (int i = 0; i < 500; ++i) {
+    p.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(p.stored(), 500u);  // Nothing evicted.
+}
+
+}  // namespace
+}  // namespace comma::util

@@ -11,7 +11,9 @@
 
 namespace comma::filters {
 
-class LauncherFilter : public proxy::Filter {
+// The launcher never sees packets — it acts at stream creation via
+// OnNewStream — so it has no data-path direction to declare.
+class LauncherFilter : public proxy::Filter {  // NOLINT(comma-filter-contract)
  public:
   LauncherFilter() : Filter("launcher", proxy::FilterPriority::kHighest) {}
 

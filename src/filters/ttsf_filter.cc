@@ -217,7 +217,7 @@ void TtsfFilter::BypassDirection(proxy::FilterContext& ctx, DirState& st) {
   // Drain: held packets (beyond the frontier) leave now, shifted, with their
   // original payloads. The gap before them is the sender's to retransmit;
   // the retransmission passes through bypassed like everything else.
-  const uint32_t shift = st.out_frontier - st.orig_frontier;
+  const uint32_t shift = static_cast<uint32_t>(SeqDiff(st.out_frontier, st.orig_frontier));
   for (auto& [held_seq, held] : st.held) {
     held.packet->tcp().seq = held_seq + shift;
     ++stats_.bypass_drained;

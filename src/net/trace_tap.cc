@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "src/obs/metric_registry.h"
+#include "src/obs/counter.h"
 #include "src/util/strings.h"
 
 namespace comma::net {

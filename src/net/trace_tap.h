@@ -66,8 +66,8 @@ class TraceTap : public PacketTap {
 
   // Optional registry handles ("trace.captured_packets" / ".captured_bytes",
   // docs/observability.md). Raw counter pointers, not a registry: the net
-  // layer sits below comma_obs in the link graph, and obs::Counter is
-  // header-only. Pass null to unbind.
+  // layer sits below comma_obs in the layer DAG, and src/obs/counter.h is
+  // the one obs header net may include. Pass null to unbind.
   void BindMetrics(obs::Counter* packets, obs::Counter* bytes) {
     captured_packets_ = packets;
     captured_bytes_ = bytes;

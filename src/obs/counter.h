@@ -1,0 +1,31 @@
+// obs::Counter, split out of metric_registry.h so layers *below* the
+// registry can bump a pre-bound handle without seeing the registry.
+//
+// This is the one obs header the DESIGN.md layer DAG lets src/net include
+// (enforced by comma-lint include-layering): the TraceTap sits in the net
+// layer but reports capture volume through raw counter handles bound by
+// whoever owns a registry. Keep this header dependency-free and the type
+// header-only; anything that needs names, snapshots, or gauges belongs in
+// metric_registry.h.
+#ifndef COMMA_OBS_COUNTER_H_
+#define COMMA_OBS_COUNTER_H_
+
+#include <cstdint>
+
+namespace comma::obs {
+
+// Monotonic event count. Plain non-atomic uint64: the simulator is
+// single-threaded, and benches must be able to leave metrics on.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace comma::obs
+
+#endif  // COMMA_OBS_COUNTER_H_

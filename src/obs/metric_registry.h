@@ -34,21 +34,10 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/counter.h"
 #include "src/util/stats.h"
 
 namespace comma::obs {
-
-// Monotonic event count. Plain non-atomic uint64: the simulator is
-// single-threaded, and benches must be able to leave metrics on.
-class Counter {
- public:
-  void Inc(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
-
- private:
-  uint64_t value_ = 0;
-};
 
 // Point-in-time level. Push (Set) or pull (a source closure sampled at
 // snapshot time); setting a source wins over any pushed value.

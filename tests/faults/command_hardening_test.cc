@@ -1,6 +1,7 @@
 // SP command-server hardening: bounded line buffering and clean session
 // teardown when the control connection is reset mid-command.
 #include "src/proxy/command_server.h"
+#include "src/util/bytes.h"
 
 #include <gtest/gtest.h>
 
@@ -27,7 +28,7 @@ class FaultCommandServerTest : public ProxyFixture {
         scenario().gateway_wireless_addr(), kCommandPort);
     client->conn->set_on_connected([client] { client->connected = true; });
     client->conn->set_on_data([client](const util::Bytes& data) {
-      client->received.append(reinterpret_cast<const char*>(data.data()), data.size());
+      client->received.append(comma::util::AsCharPtr(data.data()), data.size());
     });
     sim().RunFor(sim::kSecond);
     EXPECT_TRUE(client->connected);
@@ -35,7 +36,7 @@ class FaultCommandServerTest : public ProxyFixture {
   }
 
   void SendRaw(const std::shared_ptr<RawClient>& client, const std::string& text) {
-    client->conn->Send(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    client->conn->Send(comma::util::AsBytePtr(text.data()), text.size());
     sim().RunFor(sim::kSecond);
   }
 

@@ -1,0 +1,240 @@
+// In-process tests for comma-lint (tools/lint, docs/static-analysis.md).
+//
+// The fixture corpus under tests/lint/testdata is a miniature src/ tree with
+// one deliberately-bad file per rule plus a clean file; the suite asserts
+// the exact clang-style diagnostics, the NOLINT contract (a bare NOLINT
+// does not silence comma-lint), the --fix rewrites against golden files,
+// and the baseline round-trip. The real tree run never sees the corpus:
+// the runner skips directories named `testdata`.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/runner.h"
+#include "tools/lint/rules.h"
+#include "tools/lint/source.h"
+
+namespace comma::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Testdata() { return COMMA_LINT_TESTDATA; }
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+LintResult RunOver(const std::string& root, LintOptions opts = {}) {
+  opts.root = root;
+  if (opts.paths.empty()) {
+    opts.paths = {"src"};  // The corpus has no tests/ subtree.
+  }
+  LintResult result;
+  std::string error;
+  EXPECT_TRUE(RunLint(opts, &result, &error)) << error;
+  return result;
+}
+
+std::vector<std::string> Rendered(const Diagnostics& diags) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diags) {
+    out.push_back(d.Render());
+  }
+  return out;
+}
+
+// The full corpus, every rule, exact file:line:col and message.
+TEST(CommaLint, FixtureCorpusExactDiagnostics) {
+  const LintResult result = RunOver(Testdata());
+  const std::vector<std::string> expected = {
+      "src/filters/bad_filter.cc:12:7: error: filter class 'DeafFilter' overrides neither In() "
+      "nor Out(); a pool filter must declare its pass direction [comma-filter-contract]",
+      "src/filters/bad_filter.cc:18:22: error: filter registered as 'mis-named' but class "
+      "'MisnamedFilter' constructs Filter(\"misnamed\"); by-name lookup (FindFilterOnKey, "
+      "report) would miss it [comma-filter-contract]",
+      "src/filters/bad_filter.cc:20:22: error: filter 'ghost' registers class 'GhostFilter' but "
+      "no such class is defined under src/filters [comma-filter-contract]",
+      "src/net/bad_restricted.cc:4:10: error: forbidden include of "
+      "\"src/obs/metric_registry.h\": only the allowlisted headers of src/obs may be included "
+      "from src/net [comma-include-layering]",
+      "src/obs/bad_metric.cc:7:24: error: metric name \"SP.packets\" is outside the EEM-bridged "
+      "namespace ^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable from Kati "
+      "[comma-metric-name-style]",
+      "src/obs/bad_metric.cc:8:22: error: metric name \"kati.decision_loops\" is outside the "
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable "
+      "from Kati [comma-metric-name-style]",
+      "src/obs/bad_metric.cc:9:26: error: metric name \"eem.Handoff.Latency\" is outside the "
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable "
+      "from Kati [comma-metric-name-style]",
+      "src/proxy/bad_cast.cc:8:10: error: reinterpret_cast outside src/util/bytes.*; route "
+      "byte/text bridging through comma::util::AsBytePtr/AsCharPtr [comma-bytes-raw-cast]",
+      "src/proxy/bad_cast.cc:12:10: error: reinterpret_cast outside src/util/bytes.*; route "
+      "byte/text bridging through comma::util::AsBytePtr/AsCharPtr [comma-bytes-raw-cast]",
+      "src/proxy/bad_cast.cc:16:3: error: raw memcpy on a wire buffer; use "
+      "util::ByteReader/ByteWriter or the util::bytes copy helpers [comma-bytes-raw-cast]",
+      "src/proxy/bad_dcheck.cc:6:16: error: '--' inside COMMA_DCHECK mutates state the release "
+      "build never executes; hoist the side effect out of the check [comma-check-side-effect]",
+      "src/tcp/bad_include.cc:4:10: error: forbidden include of \"src/filters/ttsf_filter.h\": "
+      "src/tcp sits below src/filters in the DESIGN.md layer DAG [comma-include-layering]",
+      "src/tcp/bad_include.cc:5:10: error: forbidden include of \"src/obs/metric_registry.h\": "
+      "src/tcp sits below src/obs in the DESIGN.md layer DAG [comma-include-layering]",
+      "src/tcp/bad_seq.cc:7:18: error: raw '<' on TCP sequence values 'snd_una' and 'snd_nxt' "
+      "breaks at the 2^32 wrap; use comma::tcp::SeqLt [comma-seq-raw-compare]",
+      "src/tcp/bad_seq.cc:11:18: error: raw '-' on TCP sequence values 'end_seq' and 'rcv_nxt' "
+      "breaks at the 2^32 wrap; use comma::tcp::SeqDiff [comma-seq-raw-compare]",
+      "src/tcp/bad_seq.cc:19:17: error: raw '>' on TCP sequence values 'seq_lo' and 'seq_hi' "
+      "breaks at the 2^32 wrap; use comma::tcp::SeqGt [comma-seq-raw-compare]",
+      "src/tcp/bad_seq.cc:23:3: error: COMMA_DCHECK_LT on TCP sequence values 'pkt_seq' and "
+      "'pkt_ack' breaks at the 2^32 wrap; assert comma::tcp::SeqLt(...) instead "
+      "[comma-seq-raw-compare]",
+  };
+  EXPECT_EQ(Rendered(result.findings), expected);
+  EXPECT_TRUE(result.baselined.empty());
+}
+
+// The clean fixture — sanctioned idioms only — contributes nothing.
+TEST(CommaLint, CleanFixtureHasNoFindings) {
+  const LintResult result = RunOver(Testdata());
+  for (const Diagnostic& d : result.findings) {
+    EXPECT_NE(d.file, "src/proxy/clean.cc") << d.Render();
+  }
+}
+
+// --rule restricts the run to the named rules.
+TEST(CommaLint, RuleSelectionRestrictsFindings) {
+  LintOptions opts;
+  opts.rules = {"seq-raw-compare"};
+  const LintResult result = RunOver(Testdata(), opts);
+  ASSERT_EQ(result.findings.size(), 4u);
+  for (const Diagnostic& d : result.findings) {
+    EXPECT_EQ(d.rule, "seq-raw-compare");
+  }
+
+  LintOptions bad;
+  bad.root = Testdata();
+  bad.paths = {"src"};
+  bad.rules = {"no-such-rule"};
+  LintResult ignored;
+  std::string error;
+  EXPECT_FALSE(RunLint(bad, &ignored, &error));
+  EXPECT_NE(error.find("unknown rule"), std::string::npos) << error;
+}
+
+// The NOLINT contract: the rule must be named; a bare NOLINT (clang-tidy
+// habit) does not silence comma-lint. Both spellings of the rule work, and
+// NOLINTNEXTLINE anchors to the following line.
+TEST(CommaLint, SuppressionRequiresExplicitRuleName) {
+  const auto findings_in = [](const std::string& body) {
+    Project project;
+    project.files.push_back(MakeLintFile("src/tcp/fixture.cc", body));
+    Diagnostics out;
+    MakeSeqRawCompareRule()->Check(project, &out);
+    return out.size();
+  };
+  const std::string stmt = "bool F(uint32_t seq_lo, uint32_t seq_hi) { return seq_lo < seq_hi; }";
+  EXPECT_EQ(findings_in(stmt + "\n"), 1u);
+  EXPECT_EQ(findings_in(stmt + "  // NOLINT\n"), 1u);
+  EXPECT_EQ(findings_in(stmt + "  // NOLINT(comma-seq-raw-compare)\n"), 0u);
+  EXPECT_EQ(findings_in(stmt + "  // NOLINT(seq-raw-compare)\n"), 0u);
+  EXPECT_EQ(findings_in("// NOLINTNEXTLINE(comma-seq-raw-compare)\n" + stmt + "\n"), 0u);
+  EXPECT_EQ(findings_in(stmt + "  // NOLINT(comma-bytes-raw-cast)\n"), 1u);  // Wrong rule.
+}
+
+// --fix rewrites the mechanical rules to the seq.h / bytes.h helpers and
+// inserts the required include; suppressed sites and non-fixable findings
+// (memcpy, macro comparisons) are left alone.
+TEST(CommaLint, FixRewritesMatchGoldenFiles) {
+  const fs::path tmp = fs::path(::testing::TempDir()) / "comma_lint_fix";
+  fs::remove_all(tmp);
+  fs::create_directories(tmp);
+  fs::copy(fs::path(Testdata()) / "src", tmp / "src", fs::copy_options::recursive);
+
+  LintOptions opts;
+  opts.apply_fixes = true;
+  const LintResult result = RunOver(tmp.string(), opts);
+  EXPECT_EQ(result.fixes_applied, 5);  // 3 in bad_seq.cc + 2 in bad_cast.cc.
+  const std::vector<std::string> expected_fixed = {"src/proxy/bad_cast.cc", "src/tcp/bad_seq.cc"};
+  EXPECT_EQ(result.fixed_files, expected_fixed);
+
+  const fs::path golden = fs::path(Testdata()) / "golden";
+  EXPECT_EQ(ReadFile(tmp / "src/tcp/bad_seq.cc"), ReadFile(golden / "bad_seq.cc.golden"));
+  EXPECT_EQ(ReadFile(tmp / "src/proxy/bad_cast.cc"), ReadFile(golden / "bad_cast.cc.golden"));
+  // Non-fixable rules leave their files untouched.
+  EXPECT_EQ(ReadFile(tmp / "src/proxy/bad_dcheck.cc"),
+            ReadFile(fs::path(Testdata()) / "src/proxy/bad_dcheck.cc"));
+
+  // The rewritten tree keeps only the non-mechanical findings.
+  const LintResult refixed = RunOver(tmp.string());
+  for (const Diagnostic& d : refixed.findings) {
+    EXPECT_TRUE(d.rule != "seq-raw-compare" || d.file != "src/tcp/bad_seq.cc" ||
+                d.message.find("COMMA_DCHECK_LT") != std::string::npos)
+        << d.Render();
+  }
+  fs::remove_all(tmp);
+}
+
+// --write-baseline grandfathers the current findings; a second run reports
+// them as baselined, not new.
+TEST(CommaLint, BaselineRoundTrip) {
+  const fs::path baseline = fs::path(::testing::TempDir()) / "comma_lint_baseline.txt";
+  fs::remove(baseline);
+
+  LintOptions first;
+  first.baseline_path = baseline.string();
+  first.write_baseline = true;
+  const LintResult before = RunOver(Testdata(), first);
+  EXPECT_FALSE(before.findings.empty());
+  EXPECT_TRUE(before.baselined.empty());
+
+  LintOptions second;
+  second.baseline_path = baseline.string();
+  const LintResult after = RunOver(Testdata(), second);
+  EXPECT_TRUE(after.findings.empty())
+      << (after.findings.empty() ? "" : after.findings.front().Render());
+  EXPECT_EQ(after.baselined.size(), before.findings.size());
+  fs::remove(baseline);
+}
+
+// The catalog: six launch rules, the two mechanical ones marked fixable.
+TEST(CommaLint, BuiltinRuleCatalog) {
+  const std::vector<RulePtr> rules = BuiltinRules();
+  std::vector<std::string> names;
+  std::vector<std::string> fixable;
+  for (const RulePtr& r : rules) {
+    names.emplace_back(r->name());
+    EXPECT_FALSE(r->description().empty());
+    if (r->fixable()) {
+      fixable.emplace_back(r->name());
+    }
+  }
+  const std::vector<std::string> expected_names = {
+      "seq-raw-compare",   "bytes-raw-cast",   "check-side-effect",
+      "metric-name-style", "include-layering", "filter-contract",
+  };
+  EXPECT_EQ(names, expected_names);
+  EXPECT_EQ(fixable, (std::vector<std::string>{"seq-raw-compare", "bytes-raw-cast"}));
+}
+
+// The declared-type exemption: a uint64_t `seq` (the simulator's event
+// tie-breaker) is not a TCP sequence number.
+TEST(CommaLint, DeclaredTypeExemptsNonUint32Sequences) {
+  Project project;
+  project.files.push_back(MakeLintFile(
+      "src/sim/fixture.h",
+      "struct Ev { uint64_t event_seq; };\n"
+      "bool Before(uint64_t event_seq, uint64_t other_seq) { return event_seq < other_seq; }\n"));
+  Diagnostics out;
+  MakeSeqRawCompareRule()->Check(project, &out);
+  EXPECT_TRUE(out.empty()) << out.front().Render();
+}
+
+}  // namespace
+}  // namespace comma::lint

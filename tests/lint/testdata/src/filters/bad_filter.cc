@@ -1,0 +1,23 @@
+// filter-contract fixtures. Never compiled; scanned by tests/lint.
+#include <memory>
+
+namespace fixture {
+
+class MisnamedFilter : public proxy::Filter {
+ public:
+  MisnamedFilter() : Filter("misnamed", proxy::FilterPriority::kNormal) {}
+  void In(proxy::FilterContext& ctx, net::Packet& packet) override;
+};
+
+class DeafFilter : public proxy::Filter {
+ public:
+  DeafFilter() : Filter("deaf", proxy::FilterPriority::kNormal) {}
+};
+
+void RegisterFixtures(FilterRegistry* registry) {
+  registry->Register("mis-named", "fixture", std::make_unique<MisnamedFilter>());
+  registry->Register("deaf", "fixture", std::make_unique<DeafFilter>());
+  registry->Register("ghost", "fixture", std::make_unique<GhostFilter>());
+}
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// include-layering restricted-edge fixture: net may take only counter.h
+// from obs. Never compiled; scanned by tests/lint.
+#include "src/obs/counter.h"
+#include "src/obs/metric_registry.h"

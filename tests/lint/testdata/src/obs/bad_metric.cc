@@ -1,0 +1,12 @@
+// metric-name-style fixtures. Never compiled; scanned by tests/lint.
+
+namespace fixture {
+
+void Bind(Registry* registry) {
+  registry->GetCounter("sp.packets_inspected");
+  registry->GetCounter("SP.packets");
+  registry->GetGauge("kati.decision_loops");
+  registry->GetHistogram("eem.Handoff.Latency", 0.0, 1.0, 32);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// bytes-raw-cast fixtures. Never compiled; scanned by tests/lint.
+#include <cstdint>
+#include <cstring>
+
+namespace fixture {
+
+const char* CharView(const uint8_t* data) {
+  return reinterpret_cast<const char*>(data);
+}
+
+const uint8_t* ByteView(const char* text) {
+  return reinterpret_cast<const uint8_t*>(text);
+}
+
+void RawCopy(uint8_t* dst, const uint8_t* src_buf, unsigned n) {
+  memcpy(dst, src_buf, n);
+}
+
+void SuppressedCopy(uint8_t* dst, const uint8_t* src_buf, unsigned n) {
+  memcpy(dst, src_buf, n);  // NOLINT(comma-bytes-raw-cast): fixture
+}
+
+}  // namespace fixture

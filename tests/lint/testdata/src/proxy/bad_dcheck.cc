@@ -1,0 +1,13 @@
+// check-side-effect fixtures. Never compiled; scanned by tests/lint.
+
+namespace fixture {
+
+void Consume(int budget) {
+  COMMA_DCHECK(--budget >= 0);
+}
+
+void Fine(int budget) {
+  COMMA_DCHECK(budget >= 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Clean fixture: the sanctioned idioms the rules push toward. Never
+// compiled; scanned by tests/lint — must produce zero findings.
+#include <cstdint>
+
+#include "src/tcp/seq.h"
+#include "src/util/bytes.h"
+
+namespace fixture {
+
+bool InWindow(uint32_t rcv_nxt, uint32_t seg_seq) {
+  return comma::tcp::SeqLeq(rcv_nxt, seg_seq);
+}
+
+const char* Text(const uint8_t* data) {
+  return comma::util::AsCharPtr(data);
+}
+
+}  // namespace fixture

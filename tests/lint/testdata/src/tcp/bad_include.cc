@@ -1,0 +1,5 @@
+// include-layering fixtures. Never compiled; scanned by tests/lint.
+#include "src/tcp/seq.h"
+#include "src/util/bytes.h"
+#include "src/filters/ttsf_filter.h"
+#include "src/obs/metric_registry.h"

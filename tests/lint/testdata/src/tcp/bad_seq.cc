@@ -1,0 +1,30 @@
+// seq-raw-compare fixtures. Never compiled; scanned by tests/lint.
+#include <cstdint>
+
+namespace fixture {
+
+bool RawLess(uint32_t snd_una, uint32_t snd_nxt) {
+  return snd_una < snd_nxt;
+}
+
+uint32_t RawDistance(uint32_t end_seq, uint32_t rcv_nxt) {
+  return end_seq - rcv_nxt;
+}
+
+bool Suppressed(uint32_t seq_lo, uint32_t seq_hi) {
+  return seq_lo < seq_hi;  // NOLINT(comma-seq-raw-compare): fixture
+}
+
+bool BareNolintStillFires(uint32_t seq_lo, uint32_t seq_hi) {
+  return seq_lo > seq_hi;  // NOLINT
+}
+
+void MacroForm(uint32_t pkt_seq, uint32_t pkt_ack) {
+  COMMA_DCHECK_LT(pkt_seq, pkt_ack);
+}
+
+uint64_t TieBreaker(uint64_t event_seq, uint64_t other_seq) {
+  return event_seq > other_seq ? event_seq : other_seq;
+}
+
+}  // namespace fixture

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/proxy/command_server.h"
+#include "src/util/bytes.h"
 #include "tests/obs/json_util.h"
 #include "tests/proxy/proxy_fixture.h"
 
@@ -80,11 +81,11 @@ TEST_F(ObsStatsCommandTest, JsonRoundTripsOverPort12000) {
                                                      kCommandPort);
   auto received = std::make_shared<std::string>();
   conn->set_on_data([received](const util::Bytes& data) {
-    received->append(reinterpret_cast<const char*>(data.data()), data.size());
+    received->append(comma::util::AsCharPtr(data.data()), data.size());
   });
   sim().RunFor(sim::kSecond);
   const std::string cmd = "stats -json\n";
-  conn->Send(reinterpret_cast<const uint8_t*>(cmd.data()), cmd.size());
+  conn->Send(comma::util::AsBytePtr(cmd.data()), cmd.size());
   sim().RunFor(5 * sim::kSecond);
 
   ASSERT_GE(received->size(), 2u);

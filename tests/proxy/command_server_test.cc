@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/strings.h"
+#include "src/util/bytes.h"
 #include "tests/proxy/proxy_fixture.h"
 
 namespace comma::proxy {
@@ -29,7 +30,7 @@ class CommandServerTest : public ProxyFixture {
         scenario().gateway_wireless_addr(), kCommandPort);
     client->conn->set_on_connected([client] { client->connected = true; });
     client->conn->set_on_data([client](const util::Bytes& data) {
-      client->received.append(reinterpret_cast<const char*>(data.data()), data.size());
+      client->received.append(comma::util::AsCharPtr(data.data()), data.size());
     });
     sim().RunFor(sim::kSecond);
     EXPECT_TRUE(client->connected);
@@ -37,7 +38,7 @@ class CommandServerTest : public ProxyFixture {
   }
 
   void SendRaw(const std::shared_ptr<RawClient>& client, const std::string& text) {
-    client->conn->Send(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    client->conn->Send(comma::util::AsBytePtr(text.data()), text.size());
     sim().RunFor(sim::kSecond);
   }
 

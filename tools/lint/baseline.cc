@@ -1,0 +1,92 @@
+#include "tools/lint/baseline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace comma::lint {
+
+std::string Baseline::Normalize(const std::string& line) {
+  std::string out;
+  bool in_space = true;  // Also strips leading whitespace.
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!in_space) {
+        out += ' ';
+        in_space = true;
+      }
+    } else {
+      out += c;
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string Baseline::Key(const std::string& rule, const std::string& file,
+                          const std::string& normalized_line) {
+  return rule + "|" + file + "|" + normalized_line;
+}
+
+bool Baseline::Load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    return true;  // Absent baseline == empty baseline.
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t first = line.find('|');
+    const size_t second = first == std::string::npos ? std::string::npos : line.find('|', first + 1);
+    if (second == std::string::npos) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_no) + ": malformed baseline entry";
+      }
+      return false;
+    }
+    ++remaining_[line];
+  }
+  return true;
+}
+
+bool Baseline::Absorb(const Diagnostic& d, const std::string& line_text) {
+  auto it = remaining_.find(Key(d.rule, d.file, Normalize(line_text)));
+  if (it == remaining_.end() || it->second == 0) {
+    return false;
+  }
+  --it->second;
+  return true;
+}
+
+std::string Baseline::Render(const Diagnostics& findings, const Project& project) {
+  std::ostringstream out;
+  out << "# comma-lint baseline — grandfathered findings (docs/static-analysis.md).\n"
+      << "# One entry per line: <rule>|<path>|<normalized source line>.\n"
+      << "# Regenerate with: comma-lint --write-baseline\n";
+  std::vector<std::string> entries;
+  for (const Diagnostic& d : findings) {
+    const LintFile* file = nullptr;
+    for (const LintFile& f : project.files) {
+      if (f.path == d.file) {
+        file = &f;
+        break;
+      }
+    }
+    const std::string line_text = file != nullptr ? file->Line(d.line) : std::string();
+    entries.push_back(Key(d.rule, d.file, Normalize(line_text)));
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& e : entries) {
+    out << e << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace comma::lint

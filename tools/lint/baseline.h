@@ -1,0 +1,48 @@
+// Grandfathered-findings baseline.
+//
+// The baseline lets a new rule land with the tree still dirty: existing
+// findings are recorded and stop failing the build, while any *new* finding
+// (or an old one that moved to a different source line) fails immediately.
+// Entries key on (rule, file, normalized source-line text) rather than line
+// numbers so unrelated edits above a grandfathered line don't churn the
+// file. Matching is multiset-style: N identical entries absorb at most N
+// identical findings.
+//
+// Format, one entry per line (blank lines and '#' comments ignored):
+//   <rule>|<path>|<normalized line text>
+#ifndef COMMA_TOOLS_LINT_BASELINE_H_
+#define COMMA_TOOLS_LINT_BASELINE_H_
+
+#include <map>
+#include <string>
+
+#include "tools/lint/diagnostic.h"
+#include "tools/lint/rules.h"
+
+namespace comma::lint {
+
+class Baseline {
+ public:
+  // Loads entries from `path`. A missing file is an empty baseline (so the
+  // flag can always be passed); a malformed line is reported via *error.
+  bool Load(const std::string& path, std::string* error);
+
+  // True (and consumes one entry) when `d` matches a grandfathered finding.
+  // `line_text` is the source line the diagnostic points at.
+  bool Absorb(const Diagnostic& d, const std::string& line_text);
+
+  // Renders entries for the given findings, ready to write back with
+  // --write-baseline. `project` supplies the source lines.
+  static std::string Render(const Diagnostics& findings, const Project& project);
+
+ private:
+  static std::string Normalize(const std::string& line);
+  static std::string Key(const std::string& rule, const std::string& file,
+                         const std::string& normalized_line);
+
+  std::map<std::string, int> remaining_;
+};
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_BASELINE_H_

@@ -1,0 +1,50 @@
+// Diagnostics and fix-its.
+//
+// A finding renders clang-style so editors and CI annotate it natively:
+//   src/tcp/foo.cc:41:17: error: raw '<' compares TCP sequence numbers;
+//       use comma::tcp::SeqLt [comma-seq-raw-compare]
+#ifndef COMMA_TOOLS_LINT_DIAGNOSTIC_H_
+#define COMMA_TOOLS_LINT_DIAGNOSTIC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace comma::lint {
+
+// A mechanical rewrite: replace content bytes [begin, end) with
+// `replacement`, and make sure `required_include` (a "src/..." header) is
+// present in the file. Only rules documented as fixable attach one.
+struct FixIt {
+  size_t begin = 0;
+  size_t end = 0;
+  std::string replacement;
+  std::string required_include;
+};
+
+struct Diagnostic {
+  std::string file;  // relative path, '/' separators
+  int line = 0;
+  int col = 0;
+  std::string rule;     // e.g. "seq-raw-compare" (rendered as [comma-...])
+  std::string message;  // one sentence, no trailing period needed
+  std::optional<FixIt> fix;
+
+  std::string Render() const {
+    return file + ":" + std::to_string(line) + ":" + std::to_string(col) + ": error: " + message +
+           " [comma-" + rule + "]";
+  }
+};
+
+inline bool DiagnosticOrder(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.col != b.col) return a.col < b.col;
+  return a.rule < b.rule;
+}
+
+using Diagnostics = std::vector<Diagnostic>;
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_DIAGNOSTIC_H_

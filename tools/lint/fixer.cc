@@ -1,0 +1,70 @@
+#include "tools/lint/fixer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace comma::lint {
+namespace {
+
+bool HasInclude(const std::string& content, const std::string& header) {
+  return content.find("#include \"" + header + "\"") != std::string::npos;
+}
+
+// Byte offset at which to insert a new `#include "src/..."` line: after the
+// last existing "src/..." include, else after the last include of any kind,
+// else after a leading comment block, else 0.
+size_t IncludeInsertionPoint(const std::string& content) {
+  size_t last_src_include_end = std::string::npos;
+  size_t last_include_end = std::string::npos;
+  size_t pos = 0;
+  while ((pos = content.find("#include", pos)) != std::string::npos) {
+    const size_t eol = content.find('\n', pos);
+    const size_t line_end = eol == std::string::npos ? content.size() : eol + 1;
+    last_include_end = line_end;
+    if (content.compare(pos, 14, "#include \"src/") == 0) {
+      last_src_include_end = line_end;
+    }
+    pos = line_end;
+  }
+  if (last_src_include_end != std::string::npos) {
+    return last_src_include_end;
+  }
+  if (last_include_end != std::string::npos) {
+    return last_include_end;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string ApplyFixes(const std::string& content, std::vector<FixIt> fixes) {
+  std::sort(fixes.begin(), fixes.end(),
+            [](const FixIt& a, const FixIt& b) { return a.begin < b.begin; });
+  std::string out;
+  out.reserve(content.size());
+  size_t cursor = 0;
+  std::set<std::string> needed_includes;
+  for (const FixIt& fix : fixes) {
+    if (fix.begin < cursor || fix.end > content.size()) {
+      continue;  // Overlap or out of range: first fix wins.
+    }
+    out.append(content, cursor, fix.begin - cursor);
+    out.append(fix.replacement);
+    cursor = fix.end;
+    if (!fix.required_include.empty() && !HasInclude(content, fix.required_include)) {
+      needed_includes.insert(fix.required_include);
+    }
+  }
+  out.append(content, cursor, content.size() - cursor);
+  if (!needed_includes.empty()) {
+    std::string block;
+    for (const std::string& h : needed_includes) {
+      block += "#include \"" + h + "\"\n";
+    }
+    const size_t at = IncludeInsertionPoint(out);
+    out.insert(at, block);
+  }
+  return out;
+}
+
+}  // namespace comma::lint

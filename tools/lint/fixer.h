@@ -1,0 +1,21 @@
+// Applies FixIts to file content.
+#ifndef COMMA_TOOLS_LINT_FIXER_H_
+#define COMMA_TOOLS_LINT_FIXER_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/diagnostic.h"
+
+namespace comma::lint {
+
+// Applies non-overlapping `fixes` (byte ranges refer to `content`) and
+// inserts any required `#include "src/..."` lines that are missing, keeping
+// the include block sorted-ish by appending after the last existing
+// `#include "src/` line (or the first include, or the top of file).
+// Overlapping fixes are applied first-wins. Returns the rewritten content.
+std::string ApplyFixes(const std::string& content, std::vector<FixIt> fixes);
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_FIXER_H_

@@ -1,0 +1,270 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace comma::lint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character punctuators, longest first so maximal munch falls out of
+// the scan order.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : s_(content) {}
+
+  Tokens Run() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\n') {
+        Advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        SkipPreprocessorLine();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        SkipLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        SkipBlockComment();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifierOrLiteralPrefix();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral();
+        continue;
+      }
+      LexPunct();
+    }
+    return out_;
+  }
+
+ private:
+  char Peek(size_t ahead) const { return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0'; }
+
+  void Advance() {
+    if (s_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceN(size_t n) {
+    for (size_t i = 0; i < n && pos_ < s_.size(); ++i) {
+      Advance();
+    }
+  }
+
+  void Emit(TokenKind kind, size_t begin, int line, int col, std::string text) {
+    out_.push_back(Token{kind, std::move(text), line, col, begin, pos_});
+  }
+
+  void SkipLineComment() {
+    while (pos_ < s_.size() && s_[pos_] != '\n') {
+      Advance();
+    }
+  }
+
+  void SkipBlockComment() {
+    AdvanceN(2);
+    while (pos_ < s_.size() && !(s_[pos_] == '*' && Peek(1) == '/')) {
+      Advance();
+    }
+    AdvanceN(2);
+  }
+
+  // Consumes a whole preprocessor directive including \-continuations, but
+  // stops at comments correctly ("#define X /* y */ z").
+  void SkipPreprocessorLine() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {
+        AdvanceN(2);
+        continue;
+      }
+      if (c == '\n') {
+        return;  // The newline itself is handled by Run().
+      }
+      if (c == '/' && Peek(1) == '*') {
+        SkipBlockComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        SkipLineComment();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void LexIdentifierOrLiteralPrefix() {
+    const size_t begin = pos_;
+    const int line = line_;
+    const int col = col_;
+    while (pos_ < s_.size() && IsIdentChar(s_[pos_])) {
+      Advance();
+    }
+    std::string text(s_.substr(begin, pos_ - begin));
+    // String-literal prefixes: R"...", u8"...", L"...", and combinations.
+    if (pos_ < s_.size() && s_[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
+      pos_ = begin;
+      line_ = line;
+      col_ = col;
+      LexString(/*raw=*/true);
+      return;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      pos_ = begin;
+      line_ = line;
+      col_ = col;
+      LexString(/*raw=*/false);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, begin, line, col, std::move(text));
+  }
+
+  void LexNumber() {
+    const size_t begin = pos_;
+    const int line = line_;
+    const int col = col_;
+    // pp-number: digits, idents, dots, and exponent signs. Good enough.
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        Advance();
+      } else if ((c == '+' || c == '-') && pos_ > begin &&
+                 (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E' || s_[pos_ - 1] == 'p' ||
+                  s_[pos_ - 1] == 'P')) {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    Emit(TokenKind::kNumber, begin, line, col, std::string(s_.substr(begin, pos_ - begin)));
+  }
+
+  void LexString(bool raw) {
+    const size_t begin = pos_;
+    const int line = line_;
+    const int col = col_;
+    // Skip any encoding prefix up to the quote.
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      Advance();
+    }
+    if (raw) {
+      Advance();  // "
+      std::string delim;
+      while (pos_ < s_.size() && s_[pos_] != '(') {
+        delim += s_[pos_];
+        Advance();
+      }
+      Advance();  // (
+      const size_t inner_begin = pos_;
+      const std::string closer = ")" + delim + "\"";
+      size_t found = s_.find(closer, pos_);
+      if (found == std::string_view::npos) {
+        found = s_.size();
+      }
+      std::string inner(s_.substr(inner_begin, found - inner_begin));
+      while (pos_ < s_.size() && pos_ < found + closer.size()) {
+        Advance();
+      }
+      Emit(TokenKind::kString, begin, line, col, std::move(inner));
+      return;
+    }
+    Advance();  // "
+    std::string inner;
+    while (pos_ < s_.size() && s_[pos_] != '"' && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        inner += s_[pos_];
+        Advance();
+      }
+      inner += s_[pos_];
+      Advance();
+    }
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      Advance();
+    }
+    Emit(TokenKind::kString, begin, line, col, std::move(inner));
+  }
+
+  void LexCharLiteral() {
+    const size_t begin = pos_;
+    const int line = line_;
+    const int col = col_;
+    Advance();  // '
+    std::string inner;
+    while (pos_ < s_.size() && s_[pos_] != '\'' && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        inner += s_[pos_];
+        Advance();
+      }
+      inner += s_[pos_];
+      Advance();
+    }
+    if (pos_ < s_.size() && s_[pos_] == '\'') {
+      Advance();
+    }
+    Emit(TokenKind::kChar, begin, line, col, std::move(inner));
+  }
+
+  void LexPunct() {
+    const size_t begin = pos_;
+    const int line = line_;
+    const int col = col_;
+    for (std::string_view p : kPuncts) {
+      if (s_.substr(pos_).substr(0, p.size()) == p) {
+        AdvanceN(p.size());
+        Emit(TokenKind::kPunct, begin, line, col, std::string(p));
+        return;
+      }
+    }
+    Advance();
+    Emit(TokenKind::kPunct, begin, line, col, std::string(s_.substr(begin, 1)));
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  Tokens out_;
+};
+
+}  // namespace
+
+Tokens Lex(std::string_view content) { return Lexer(content).Run(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,24 @@
+// A small, self-contained C++ tokenizer.
+//
+// Produces the token stream the rule implementations pattern-match over.
+// Comments and preprocessor directives are consumed but not emitted:
+// suppression comments are matched on raw source lines (source.h) and the
+// include-layering rule reads #include lines directly, so the token stream
+// stays purely "code". Line continuations inside directives are honoured.
+#ifndef COMMA_TOOLS_LINT_LEXER_H_
+#define COMMA_TOOLS_LINT_LEXER_H_
+
+#include <string_view>
+
+#include "tools/lint/token.h"
+
+namespace comma::lint {
+
+// Tokenizes `content`. The lexer never fails: malformed input (an unclosed
+// string, say) yields a best-effort stream that simply ends early, which for
+// a linter is the right trade — rules then see nothing to match.
+Tokens Lex(std::string_view content);
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_LEXER_H_

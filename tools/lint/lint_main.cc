@@ -1,0 +1,110 @@
+// comma-lint — the project's domain-specific static analyzer.
+//
+//   comma-lint --root . [src tests ...]
+//
+// Enforces the invariants generic tools cannot express (sequence-space
+// arithmetic, wire-format casts, DCHECK purity, metric naming, the layer
+// DAG, the filter pool contract). Rule catalog, suppression syntax, and
+// how to add a rule: docs/static-analysis.md.
+//
+// Exit codes: 0 clean (or baselined), 1 findings, 2 usage/environment
+// error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/runner.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fputs(
+      "usage: comma-lint [options] [paths...]\n"
+      "\n"
+      "Scans *.h/*.cc under the given paths (default: src tests) and checks\n"
+      "the comma project invariants. Paths are relative to --root.\n"
+      "\n"
+      "options:\n"
+      "  --root <dir>       repo root diagnostics are relative to (default .)\n"
+      "  --baseline <file>  grandfathered-findings file (default\n"
+      "                     tools/lint/baseline.txt under root, if present)\n"
+      "  --no-baseline      ignore any baseline file\n"
+      "  --write-baseline   rewrite the baseline with the current findings\n"
+      "  --fix              apply mechanical fixes (rules marked fixable)\n"
+      "  --rule <name>      run only this rule (repeatable)\n"
+      "  --list-rules       print the rule catalog and exit\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  comma::lint::LintOptions options;
+  bool no_baseline = false;
+  bool baseline_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "comma-lint: %s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      options.root = next("--root");
+    } else if (arg == "--baseline") {
+      options.baseline_path = next("--baseline");
+      baseline_set = true;
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg == "--write-baseline") {
+      options.write_baseline = true;
+    } else if (arg == "--fix") {
+      options.apply_fixes = true;
+    } else if (arg == "--rule") {
+      options.rules.push_back(next("--rule"));
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : comma::lint::BuiltinRules()) {
+        std::printf("comma-%-20s %s%s\n", std::string(rule->name()).c_str(),
+                    std::string(rule->description()).c_str(),
+                    rule->fixable() ? " [fixable]" : "");
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "comma-lint: unknown option %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  if (!baseline_set && !no_baseline) {
+    options.baseline_path = "tools/lint/baseline.txt";
+  }
+  if (no_baseline) {
+    options.baseline_path.clear();
+    options.write_baseline = false;
+  }
+
+  comma::lint::LintResult result;
+  std::string error;
+  if (!comma::lint::RunLint(options, &result, &error)) {
+    std::fprintf(stderr, "comma-lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const auto& d : result.findings) {
+    std::printf("%s\n", d.Render().c_str());
+  }
+  std::string summary = "comma-lint: " + std::to_string(result.files_scanned) + " file(s), " +
+                        std::to_string(result.findings.size()) + " finding(s), " +
+                        std::to_string(result.baselined.size()) + " baselined";
+  if (result.fixes_applied > 0) {
+    summary += ", " + std::to_string(result.fixes_applied) + " fix(es) applied";
+  }
+  std::fprintf(stderr, "%s\n", summary.c_str());
+  return result.findings.empty() ? 0 : 1;
+}

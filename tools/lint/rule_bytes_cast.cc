@@ -1,0 +1,97 @@
+// bytes-raw-cast — wire buffers cross the text/byte boundary only through
+// src/util/bytes.h (AsBytePtr/AsCharPtr/ToBytes/ToString, ByteReader/
+// ByteWriter). A stray reinterpret_cast or memcpy on packet bytes dodges
+// both the checked-reader discipline and the sanctioned-cast inventory that
+// clang-tidy is pointed at (see the NOLINT markers in bytes.h), so the tree
+// outside bytes.* must stay free of them.
+//
+// The two common cast shapes are mechanical and --fix rewrites them:
+//   reinterpret_cast<const char*>(x)    -> comma::util::AsCharPtr(x)
+//   reinterpret_cast<const uint8_t*>(x) -> comma::util::AsBytePtr(x)
+#include <string>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+class BytesRawCastRule : public Rule {
+ public:
+  std::string_view name() const override { return "bytes-raw-cast"; }
+  std::string_view description() const override {
+    return "no reinterpret_cast/memcpy outside src/util/bytes.*; use the util::bytes helpers";
+  }
+  bool fixable() const override { return true; }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      if (!PathUnder(f.path, "src/") && !PathUnder(f.path, "tests/")) {
+        continue;
+      }
+      if (f.path == "src/util/bytes.h" || f.path == "src/util/bytes.cc") {
+        continue;  // The sanctioned sites.
+      }
+      const Tokens& toks = f.tokens;
+      for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].IsIdent("reinterpret_cast")) {
+          Report(f, i, out);
+        } else if (toks[i].IsIdent("memcpy") && i + 1 < toks.size() && toks[i + 1].IsPunct("(")) {
+          Diagnostic d = At(f, toks[i]);
+          d.message =
+              "raw memcpy on a wire buffer; use util::ByteReader/ByteWriter or the "
+              "util::bytes copy helpers";
+          if (!f.IsSuppressed(d.rule, d.line)) {
+            out->push_back(std::move(d));
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  static Diagnostic At(const LintFile& f, const Token& t) {
+    Diagnostic d;
+    d.file = f.path;
+    d.line = t.line;
+    d.col = t.col;
+    d.rule = "bytes-raw-cast";
+    return d;
+  }
+
+  static void Report(const LintFile& f, size_t i, Diagnostics* out) {
+    const Tokens& toks = f.tokens;
+    Diagnostic d = At(f, toks[i]);
+    d.message =
+        "reinterpret_cast outside src/util/bytes.*; route byte/text bridging through "
+        "comma::util::AsBytePtr/AsCharPtr";
+    // Fixable shapes: reinterpret_cast < const (char|uint8_t) * > — the
+    // call argument that follows is untouched.
+    if (i + 5 < toks.size() && toks[i + 1].IsPunct("<") && toks[i + 2].IsIdent("const") &&
+        toks[i + 4].IsPunct("*") && toks[i + 5].IsPunct(">")) {
+      std::string helper;
+      if (toks[i + 3].IsIdent("char")) {
+        helper = "comma::util::AsCharPtr";
+      } else if (toks[i + 3].IsIdent("uint8_t")) {
+        helper = "comma::util::AsBytePtr";
+      }
+      if (!helper.empty()) {
+        FixIt fix;
+        fix.begin = toks[i].begin;
+        fix.end = toks[i + 5].end;
+        fix.replacement = helper;
+        fix.required_include = "src/util/bytes.h";
+        d.fix = fix;
+      }
+    }
+    if (!f.IsSuppressed(d.rule, d.line)) {
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeBytesRawCastRule() { return std::make_unique<BytesRawCastRule>(); }
+
+}  // namespace comma::lint

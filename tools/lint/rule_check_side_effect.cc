@@ -1,0 +1,99 @@
+// check-side-effect — COMMA_DCHECK* compile to nothing under NDEBUG
+// (src/util/check.h): the condition is not even evaluated. A mutation
+// inside one (`COMMA_DCHECK(--budget >= 0)`) therefore changes program
+// behaviour between debug and release builds, which is exactly the class of
+// heisenbug a deterministic simulator cannot afford. clang-tidy's
+// bugprone-assert-side-effect knows about the macro names but only runs
+// where clang is installed; this rule makes the gate unconditional.
+#include <array>
+#include <string>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+constexpr std::array<std::string_view, 7> kDcheckMacros = {
+    "COMMA_DCHECK",    "COMMA_DCHECK_EQ", "COMMA_DCHECK_NE", "COMMA_DCHECK_LT",
+    "COMMA_DCHECK_LE", "COMMA_DCHECK_GT", "COMMA_DCHECK_GE",
+};
+
+constexpr std::array<std::string_view, 13> kMutatingOps = {
+    "++", "--", "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+};
+
+bool IsDcheckMacro(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) {
+    return false;
+  }
+  for (std::string_view m : kDcheckMacros) {
+    if (t.text == m) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsMutatingOp(const Token& t) {
+  if (t.kind != TokenKind::kPunct) {
+    return false;
+  }
+  for (std::string_view op : kMutatingOps) {
+    if (t.text == op) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class CheckSideEffectRule : public Rule {
+ public:
+  std::string_view name() const override { return "check-side-effect"; }
+  std::string_view description() const override {
+    return "no mutating expressions inside COMMA_DCHECK (compiled out in release)";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      if (!PathUnder(f.path, "src/") && !PathUnder(f.path, "tests/")) {
+        continue;
+      }
+      if (f.path == "src/util/check.h") {
+        continue;  // The macro definitions themselves.
+      }
+      const Tokens& toks = f.tokens;
+      for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!IsDcheckMacro(toks[i]) || !toks[i + 1].IsPunct("(")) {
+          continue;
+        }
+        const size_t close = MatchingParen(toks, i + 1);
+        if (close == kNpos) {
+          continue;
+        }
+        for (size_t j = i + 2; j < close; ++j) {
+          if (!IsMutatingOp(toks[j])) {
+            continue;
+          }
+          Diagnostic d;
+          d.file = f.path;
+          d.line = toks[j].line;
+          d.col = toks[j].col;
+          d.rule = "check-side-effect";
+          d.message = "'" + toks[j].text + "' inside " + toks[i].text +
+                      " mutates state the release build never executes; hoist the side "
+                      "effect out of the check";
+          if (!f.IsSuppressed(d.rule, d.line)) {
+            out->push_back(std::move(d));
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeCheckSideEffectRule() { return std::make_unique<CheckSideEffectRule>(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,343 @@
+// filter-contract — the filter pool's registration contract (thesis §5.2).
+//
+// FindFilterOnKey and the `add`/`report` commands look filters up by the
+// name string the instance passes to its Filter base constructor, while the
+// pool creates instances under the name passed to FilterRegistry::Register.
+// If the two drift apart ("tcompress" registered, Filter("compress")
+// constructed) every by-name lookup silently misses — the transformer
+// filters stop finding their TTSF and transparency quietly degrades. And a
+// filter that overrides neither In() nor Out() attaches to streams but can
+// never see a packet, which is a dead registration.
+//
+// The rule cross-references, for every `Register("<name>", ...,
+// make_unique<Class>())` under src/filters:
+//   * Class exists under src/filters and derives (transitively) from Filter;
+//   * Class or an ancestor declares an In() or Out() pass — its direction;
+//   * the string literal Class hands its base constructor equals <name>.
+//
+// Control-plane filters that act purely through OnNewStream (the launcher)
+// carry a NOLINT(comma-filter-contract) with the reason on the class line.
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+struct ClassInfo {
+  const LintFile* file = nullptr;
+  size_t name_tok = 0;     // Token index of the class-name identifier.
+  std::string base;        // Last identifier of the first public base.
+  size_t body_begin = 0;   // Token index of '{'.
+  size_t body_end = 0;     // Token index of matching '}'.
+  bool declares_direction = false;   // In() or Out() with a FilterContext param.
+  std::optional<std::string> ctor_name_literal;
+};
+
+struct Registration {
+  const LintFile* file = nullptr;
+  size_t name_tok = 0;  // Token index of the name string literal.
+  std::string name;
+  std::string class_name;
+};
+
+// Finds `class X : ... { ... }` declarations and records the first base's
+// last identifier ("proxy::Filter" -> "Filter").
+void CollectClasses(const LintFile& f, std::map<std::string, ClassInfo>* classes) {
+  const Tokens& toks = f.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("class") && !toks[i].IsIdent("struct")) {
+      continue;
+    }
+    if (i > 0 && toks[i - 1].IsIdent("enum")) {
+      continue;
+    }
+    if (toks[i + 1].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const std::string cls = toks[i + 1].text;
+    // Scan to '{' (definition) or ';' (forward declaration).
+    size_t j = i + 2;
+    std::string base;
+    bool in_base_clause = false;
+    while (j < toks.size() && !toks[j].IsPunct("{") && !toks[j].IsPunct(";")) {
+      if (toks[j].IsPunct(":")) {
+        in_base_clause = true;
+      } else if (in_base_clause && base.empty() && toks[j].kind == TokenKind::kIdentifier &&
+                 toks[j].text != "public" && toks[j].text != "private" &&
+                 toks[j].text != "protected" && toks[j].text != "virtual") {
+        // Consume a possibly qualified name; keep the last identifier.
+        base = toks[j].text;
+        while (j + 2 < toks.size() && toks[j + 1].IsPunct("::") &&
+               toks[j + 2].kind == TokenKind::kIdentifier) {
+          j += 2;
+          base = toks[j].text;
+        }
+      }
+      ++j;
+    }
+    if (j >= toks.size() || !toks[j].IsPunct("{")) {
+      continue;
+    }
+    ClassInfo info;
+    info.file = &f;
+    info.name_tok = i + 1;
+    info.base = base;
+    info.body_begin = j;
+    info.body_end = MatchingBrace(toks, j);
+    if (info.body_end == kNpos) {
+      continue;
+    }
+    (*classes)[cls] = info;
+  }
+}
+
+// True when tokens[i] starts `In(...)` / `Out(...)` whose parameter list
+// names FilterContext — a declaration or definition, not a call site.
+bool IsDirectionSignature(const Tokens& toks, size_t i) {
+  if (!(toks[i].IsIdent("In") || toks[i].IsIdent("Out")) || i + 1 >= toks.size() ||
+      !toks[i + 1].IsPunct("(")) {
+    return false;
+  }
+  if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"))) {
+    return false;
+  }
+  const size_t close = MatchingParen(toks, i + 1);
+  if (close == kNpos) {
+    return false;
+  }
+  for (size_t j = i + 2; j < close; ++j) {
+    if (toks[j].IsIdent("FilterContext")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Scans a constructor initializer list starting right after its ':' for
+// `<base>("literal"` and returns the literal. `bases` holds acceptable
+// element names (the class's direct base and the root "Filter").
+std::optional<std::string> LiteralFromInitList(const Tokens& toks, size_t colon,
+                                               const std::vector<std::string>& bases) {
+  size_t j = colon + 1;
+  while (j + 1 < toks.size()) {
+    // Element: qualified-name '(' args ')' [',' element]* then '{'.
+    std::string last_name;
+    while (j < toks.size() && (toks[j].kind == TokenKind::kIdentifier || toks[j].IsPunct("::"))) {
+      if (toks[j].kind == TokenKind::kIdentifier) {
+        last_name = toks[j].text;
+      }
+      ++j;
+    }
+    if (j >= toks.size() || !toks[j].IsPunct("(")) {
+      return std::nullopt;
+    }
+    const size_t close = MatchingParen(toks, j);
+    if (close == kNpos) {
+      return std::nullopt;
+    }
+    for (const std::string& b : bases) {
+      if (last_name == b) {
+        if (toks[j + 1].kind == TokenKind::kString) {
+          return toks[j + 1].text;
+        }
+        return std::nullopt;  // Base initialized, but not with a literal.
+      }
+    }
+    j = close + 1;
+    if (j < toks.size() && toks[j].IsPunct(",")) {
+      ++j;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// Looks for `Cls(...) : base("name"` — in-class (within the body range) or
+// out-of-class (`Cls::Cls(...) : ...` anywhere in scope files).
+std::optional<std::string> FindCtorNameLiteral(const std::string& cls, const ClassInfo& info,
+                                               const std::vector<const LintFile*>& files) {
+  std::vector<std::string> bases = {"Filter"};
+  if (!info.base.empty()) {
+    bases.push_back(info.base);
+  }
+  for (const LintFile* f : files) {
+    const Tokens& toks = f->tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks[i].IsIdent(cls) || !toks[i + 1].IsPunct("(")) {
+        continue;
+      }
+      const bool in_class = f == info.file && i > info.body_begin && i < info.body_end;
+      const bool out_of_class =
+          i >= 2 && toks[i - 1].IsPunct("::") && toks[i - 2].IsIdent(cls);
+      if (!in_class && !out_of_class) {
+        continue;
+      }
+      const size_t close = MatchingParen(toks, i + 1);
+      if (close == kNpos || close + 1 >= toks.size() || !toks[close + 1].IsPunct(":")) {
+        continue;
+      }
+      auto lit = LiteralFromInitList(toks, close + 1, bases);
+      if (lit) {
+        return lit;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void CollectRegistrations(const LintFile& f, std::vector<Registration>* regs) {
+  const Tokens& toks = f.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("Register") || !toks[i + 1].IsPunct("(") ||
+        toks[i + 2].kind != TokenKind::kString) {
+      continue;
+    }
+    const size_t close = MatchingParen(toks, i + 1);
+    if (close == kNpos) {
+      continue;
+    }
+    for (size_t j = i + 3; j + 3 < close; ++j) {
+      if (toks[j].IsIdent("make_unique") && toks[j + 1].IsPunct("<") &&
+          toks[j + 2].kind == TokenKind::kIdentifier && toks[j + 3].IsPunct(">")) {
+        Registration r;
+        r.file = &f;
+        r.name_tok = i + 2;
+        r.name = toks[i + 2].text;
+        r.class_name = toks[j + 2].text;
+        regs->push_back(std::move(r));
+        break;
+      }
+    }
+  }
+}
+
+class FilterContractRule : public Rule {
+ public:
+  std::string_view name() const override { return "filter-contract"; }
+  std::string_view description() const override {
+    return "registered filters must derive from Filter, declare an In/Out pass, and "
+           "construct the name they are registered under";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    std::vector<const LintFile*> scope;
+    std::map<std::string, ClassInfo> classes;
+    std::vector<Registration> regs;
+    for (const LintFile& f : project.files) {
+      if (!PathUnder(f.path, "src/filters/")) {
+        continue;
+      }
+      scope.push_back(&f);
+      CollectClasses(f, &classes);
+      CollectRegistrations(f, &regs);
+    }
+    // Direction and name-literal analysis per class.
+    for (auto& [cls, info] : classes) {
+      for (size_t i = info.body_begin; i < info.body_end; ++i) {
+        if (IsDirectionSignature(info.file->tokens, i)) {
+          info.declares_direction = true;
+          break;
+        }
+      }
+      info.ctor_name_literal = FindCtorNameLiteral(cls, info, scope);
+    }
+
+    for (const Registration& r : regs) {
+      const Token& name_tok = r.file->tokens[r.name_tok];
+      auto it = classes.find(r.class_name);
+      if (it == classes.end()) {
+        Emit(*r.file, name_tok,
+             "filter '" + r.name + "' registers class '" + r.class_name +
+                 "' but no such class is defined under src/filters",
+             out);
+        continue;
+      }
+      const ClassInfo& info = it->second;
+      if (!DerivesFromFilter(r.class_name, classes)) {
+        Emit(*r.file, name_tok,
+             "filter '" + r.name + "' registers class '" + r.class_name +
+                 "' which does not derive from proxy::Filter",
+             out);
+        continue;
+      }
+      if (!DeclaresDirection(r.class_name, classes)) {
+        const Token& cls_tok = info.file->tokens[info.name_tok];
+        Emit(*info.file, cls_tok,
+             "filter class '" + r.class_name +
+                 "' overrides neither In() nor Out(); a pool filter must declare its "
+                 "pass direction",
+             out);
+      }
+      if (!info.ctor_name_literal) {
+        const Token& cls_tok = info.file->tokens[info.name_tok];
+        Emit(*info.file, cls_tok,
+             "cannot find the name literal '" + r.class_name +
+                 "' passes to its Filter base; the pool cannot be audited without it",
+             out);
+      } else if (*info.ctor_name_literal != r.name) {
+        Emit(*r.file, name_tok,
+             "filter registered as '" + r.name + "' but class '" + r.class_name +
+                 "' constructs Filter(\"" + *info.ctor_name_literal +
+                 "\"); by-name lookup (FindFilterOnKey, report) would miss it",
+             out);
+      }
+    }
+  }
+
+ private:
+  static bool DerivesFromFilter(const std::string& cls,
+                                const std::map<std::string, ClassInfo>& classes) {
+    std::string cur = cls;
+    for (int depth = 0; depth < 16; ++depth) {
+      auto it = classes.find(cur);
+      if (it == classes.end()) {
+        return false;
+      }
+      if (it->second.base == "Filter") {
+        return true;
+      }
+      cur = it->second.base;
+    }
+    return false;
+  }
+
+  static bool DeclaresDirection(const std::string& cls,
+                                const std::map<std::string, ClassInfo>& classes) {
+    std::string cur = cls;
+    for (int depth = 0; depth < 16; ++depth) {
+      auto it = classes.find(cur);
+      if (it == classes.end()) {
+        return false;
+      }
+      if (it->second.declares_direction) {
+        return true;
+      }
+      cur = it->second.base;
+    }
+    return false;
+  }
+
+  static void Emit(const LintFile& f, const Token& at, std::string message, Diagnostics* out) {
+    Diagnostic d;
+    d.file = f.path;
+    d.line = at.line;
+    d.col = at.col;
+    d.rule = "filter-contract";
+    d.message = std::move(message);
+    if (!f.IsSuppressed(d.rule, d.line)) {
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeFilterContractRule() { return std::make_unique<FilterContractRule>(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,205 @@
+// include-layering — the DESIGN.md module DAG, encoded as data.
+//
+// Layer order (low to high):
+//   sim, util                         deterministic core, no deps
+//   net                               packets/links; obs only via counter.h
+//   tcp, udp                          endpoint stacks
+//   obs                               metric registry (+ the EEM bridge)
+//   core(host)                        Host/ping — the *restricted* slice of
+//                                     src/core mid modules may touch
+//   monitor                           EEM client/server
+//   proxy                             Service Proxy
+//   filters, mobileip, kati, apps,    service layer
+//   baselines
+//   core(CommaSystem)                 facade: may include anything
+//
+// src/core is deliberately two layers in one directory: host.h/ping.h sit
+// low (every endpoint-owning module includes them), comma_system.h sits on
+// top. The table expresses that with per-edge header allowlists instead of
+// pretending the directory is one node and letting a cycle grow.
+//
+// An edge not in this table is an error: adding a dependency between
+// modules is an architectural decision and belongs in the same commit that
+// extends the table (docs/static-analysis.md describes the process).
+#include <array>
+#include <string>
+
+#include "tools/lint/rules.h"
+
+namespace comma::lint {
+namespace {
+
+struct AllowedEdge {
+  std::string_view from;
+  std::string_view to;
+  // When non-empty, only these headers of `to` may be included (filename
+  // component only, e.g. "host.h").
+  std::array<std::string_view, 2> headers{};
+};
+
+// Every permitted cross-module edge. Self-includes are always allowed, and
+// `core` (the facade) may include anything.
+constexpr AllowedEdge kAllowedEdges[] = {
+    {"net", "sim"},
+    {"net", "util"},
+    // The TraceTap binds raw counter handles; only the tiny header-only
+    // counter type may cross down into net (the registry stays above).
+    {"net", "obs", {"counter.h"}},
+    {"udp", "net"},
+    {"udp", "sim"},
+    {"udp", "util"},
+    {"tcp", "net"},
+    {"tcp", "sim"},
+    {"tcp", "util"},
+    {"obs", "sim"},
+    {"obs", "util"},
+    // The EEM bridge is the designated obs->monitor adapter.
+    {"obs", "monitor"},
+    {"monitor", "sim"},
+    {"monitor", "util"},
+    {"monitor", "net"},
+    {"monitor", "udp"},
+    {"monitor", "core", {"host.h", "ping.h"}},
+    {"proxy", "sim"},
+    {"proxy", "util"},
+    {"proxy", "net"},
+    {"proxy", "tcp"},
+    {"proxy", "obs"},
+    {"proxy", "monitor"},
+    {"filters", "sim"},
+    {"filters", "util"},
+    {"filters", "net"},
+    {"filters", "tcp"},
+    {"filters", "obs"},
+    {"filters", "monitor"},
+    {"filters", "proxy"},
+    {"kati", "sim"},
+    {"kati", "util"},
+    {"kati", "net"},
+    {"kati", "monitor"},
+    {"kati", "proxy"},
+    {"kati", "core", {"host.h", "ping.h"}},
+    {"mobileip", "sim"},
+    {"mobileip", "util"},
+    {"mobileip", "net"},
+    {"mobileip", "proxy"},
+    {"mobileip", "core", {"host.h", "ping.h"}},
+    // apps share wire-protocol helpers with their filters (media layering,
+    // query protocol), not filter machinery.
+    {"apps", "sim"},
+    {"apps", "util"},
+    {"apps", "net"},
+    {"apps", "filters"},
+    {"apps", "core", {"host.h", "ping.h"}},
+    {"baselines", "sim"},
+    {"baselines", "util"},
+    {"baselines", "net"},
+    {"baselines", "tcp"},
+    {"baselines", "core", {"host.h", "ping.h"}},
+};
+
+// Returns nullptr when allowed; otherwise a reason string fragment.
+std::string CheckEdge(const std::string& from, const std::string& to,
+                      const std::string& header_file) {
+  if (from == to || from == "core") {
+    return {};
+  }
+  bool module_allowed = false;
+  for (const AllowedEdge& e : kAllowedEdges) {
+    if (e.from != from || e.to != to) {
+      continue;
+    }
+    module_allowed = true;
+    if (e.headers[0].empty()) {
+      return {};
+    }
+    for (std::string_view h : e.headers) {
+      if (!h.empty() && header_file == h) {
+        return {};
+      }
+    }
+  }
+  if (module_allowed) {
+    return "only " + std::string("the allowlisted headers of src/") + to +
+           " may be included from src/" + from;
+  }
+  return "src/" + from + " sits below src/" + to + " in the DESIGN.md layer DAG";
+}
+
+class IncludeLayeringRule : public Rule {
+ public:
+  std::string_view name() const override { return "include-layering"; }
+  std::string_view description() const override {
+    return "src/ module includes must follow the DESIGN.md layer DAG (encoded as data)";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      const std::string from = f.SrcModule();
+      if (from.empty()) {
+        continue;  // Only src/<module>/ files carry layering obligations.
+      }
+      for (size_t i = 0; i < f.lines.size(); ++i) {
+        const std::string& line = f.lines[i];
+        std::string to;
+        std::string header;
+        int col = 0;
+        if (!ParseInclude(line, &to, &header, &col)) {
+          continue;
+        }
+        const std::string reason = CheckEdge(from, to, header);
+        if (reason.empty()) {
+          continue;
+        }
+        Diagnostic d;
+        d.file = f.path;
+        d.line = static_cast<int>(i + 1);
+        d.col = col;
+        d.rule = "include-layering";
+        d.message = "forbidden include of \"src/" + to + "/" + header + "\": " + reason;
+        if (!f.IsSuppressed(d.rule, d.line)) {
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+
+ private:
+  // Matches `#include "src/<module>/<path>"`; returns the module, the
+  // filename component of <path>, and the 1-based column of the quote.
+  static bool ParseInclude(const std::string& line, std::string* module, std::string* header,
+                           int* col) {
+    size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line[p] != '#') {
+      return false;
+    }
+    p = line.find_first_not_of(" \t", p + 1);
+    if (p == std::string::npos || line.compare(p, 7, "include") != 0) {
+      return false;
+    }
+    p = line.find('"', p + 7);
+    if (p == std::string::npos || line.compare(p + 1, 4, "src/") != 0) {
+      return false;
+    }
+    const size_t close = line.find('"', p + 1);
+    if (close == std::string::npos) {
+      return false;
+    }
+    const std::string inner = line.substr(p + 1, close - p - 1);  // src/mod/path.h
+    const size_t mod_end = inner.find('/', 4);
+    if (mod_end == std::string::npos) {
+      return false;
+    }
+    *module = inner.substr(4, mod_end - 4);
+    const size_t last_slash = inner.rfind('/');
+    *header = inner.substr(last_slash + 1);
+    *col = static_cast<int>(p) + 1;
+    return true;
+  }
+};
+
+}  // namespace
+
+RulePtr MakeIncludeLayeringRule() { return std::make_unique<IncludeLayeringRule>(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,109 @@
+// metric-name-style — every metric registered with the obs::MetricRegistry
+// is also a watchable EEM variable (obs::EemMetricsBridge, PR 3), so the
+// name is API: Kati `watch` patterns, the `stats` command globs, and the
+// bench snapshot tooling all key on it. Names must stay inside the
+// namespace the bridge advertises:
+//
+//   ^(sp|ttsf|tcp|eem|trace)\.[a-z0-9_.]+$
+//
+// Only string *literals* are checked; computed names (the per-filter
+// "sp.filter.<name>." telemetry prefix) are validated at runtime by the
+// registry and exercised by tests/obs. Scope is src/ — tests register
+// synthetic names on purpose.
+#include <array>
+#include <cctype>
+#include <string>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+constexpr std::array<std::string_view, 5> kRegistrationMethods = {
+    "GetCounter", "GetGauge", "GetHistogram", "RegisterCounterSource", "RegisterGaugeSource",
+};
+
+constexpr std::array<std::string_view, 5> kAllowedPrefixes = {"sp", "ttsf", "tcp", "eem", "trace"};
+
+bool IsRegistrationMethod(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) {
+    return false;
+  }
+  for (std::string_view m : kRegistrationMethods) {
+    if (t.text == m) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Hand-rolled match of ^(sp|ttsf|tcp|eem|trace)\.[a-z0-9_.]+$ — exact
+// regex semantics, no <regex> dependency.
+bool NameMatches(const std::string& name) {
+  size_t dot = name.find('.');
+  if (dot == std::string::npos || dot + 1 >= name.size()) {
+    return false;
+  }
+  const std::string_view prefix(name.data(), dot);
+  bool prefix_ok = false;
+  for (std::string_view p : kAllowedPrefixes) {
+    if (prefix == p) {
+      prefix_ok = true;
+      break;
+    }
+  }
+  if (!prefix_ok) {
+    return false;
+  }
+  for (size_t i = dot + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class MetricNameStyleRule : public Rule {
+ public:
+  std::string_view name() const override { return "metric-name-style"; }
+  std::string_view description() const override {
+    return "MetricRegistry names must match ^(sp|ttsf|tcp|eem|trace)\\.[a-z0-9_.]+$";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      if (!PathUnder(f.path, "src/")) {
+        continue;
+      }
+      const Tokens& toks = f.tokens;
+      for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!IsRegistrationMethod(toks[i]) || !toks[i + 1].IsPunct("(")) {
+          continue;
+        }
+        const Token& arg = toks[i + 2];
+        if (arg.kind != TokenKind::kString || NameMatches(arg.text)) {
+          continue;
+        }
+        Diagnostic d;
+        d.file = f.path;
+        d.line = arg.line;
+        d.col = arg.col;
+        d.rule = "metric-name-style";
+        d.message = "metric name \"" + arg.text + "\" is outside the EEM-bridged namespace " +
+                    "^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable from Kati";
+        if (!f.IsSuppressed(d.rule, d.line)) {
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeMetricNameStyleRule() { return std::make_unique<MetricNameStyleRule>(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,280 @@
+// seq-raw-compare — the rule this linter exists for (ISSUE 5, thesis Ch. 8).
+//
+// TCP sequence numbers live in a modular 2^32 space; `a < b` on raw uint32_t
+// values gives the wrong answer once a stream crosses the wrap, and the bug
+// is invisible until a multi-gigabyte transfer hits it. Every ordering or
+// distance computation on sequence values must go through the helpers in
+// src/tcp/seq.h (SeqLt/SeqLeq/SeqGt/SeqGeq/SeqDiff), which the TTSF, snoop,
+// and the Reno stack already use.
+//
+// Detection is name- and declaration-driven: an identifier is treated as a
+// sequence value when its snake_case segments contain a sequence marker
+// (seq, ack, una, isn, nxt, end, frontier) and no counting segment (count,
+// len, bytes, ...), unless the same file declares it with a non-uint32
+// integer type (the simulator's uint64_t event `seq` tie-breaker is the
+// canonical exemption). Both operands must look like sequence values, which
+// keeps `seq - 1` and `cache_.size() > seq` out of scope.
+//
+// Flagged forms:
+//   * `a < b`, `a <= b`, `a > b`, `a >= b`, `a - b` — fixable, rewritten to
+//     the matching seq.h helper by --fix;
+//   * `COMMA_CHECK_LT(a, b)` and the other ordered CHECK/DCHECK/gtest
+//     comparison macros — same defect behind a macro; not auto-fixed
+//     because the rewrite changes the failure message shape.
+#include <array>
+#include <set>
+#include <string>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+constexpr std::array<std::string_view, 7> kMarkerSegments = {
+    "seq", "ack", "una", "isn", "nxt", "end", "frontier",
+};
+// Segments that mark a *count* of something, not a position in sequence
+// space — "ack_count" is a tally even though "ack" appears in it.
+constexpr std::array<std::string_view, 10> kBlockerSegments = {
+    "count", "cnt", "len", "bytes", "num", "seen", "id", "idx", "index", "flags",
+};
+
+// Integer types that positively mark a name as NOT a TCP sequence number
+// when they appear as the declared type in the same file.
+constexpr std::array<std::string_view, 12> kNonSeqTypes = {
+    "uint64_t", "int64_t", "uint16_t", "int16_t", "uint8_t", "int8_t",
+    "int",      "long",    "short",    "size_t",  "TimePoint", "TimerId",
+};
+
+bool SegmentsLookLikeSeq(const std::string& raw_name) {
+  std::string name = raw_name;
+  while (!name.empty() && name.back() == '_') {
+    name.pop_back();
+  }
+  bool has_marker = false;
+  size_t pos = 0;
+  while (pos <= name.size()) {
+    size_t us = name.find('_', pos);
+    if (us == std::string::npos) {
+      us = name.size();
+    }
+    const std::string_view seg(name.data() + pos, us - pos);
+    for (std::string_view b : kBlockerSegments) {
+      if (seg == b) {
+        return false;
+      }
+    }
+    for (std::string_view m : kMarkerSegments) {
+      if (seg == m) {
+        has_marker = true;
+      }
+    }
+    if (us == name.size()) {
+      break;
+    }
+    pos = us + 1;
+  }
+  return has_marker;
+}
+
+struct FileTypeInfo {
+  std::set<std::string> declared_uint32;
+  std::set<std::string> declared_other_int;
+};
+
+FileTypeInfo ScanDeclarations(const LintFile& f) {
+  FileTypeInfo info;
+  for (size_t i = 1; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind != TokenKind::kIdentifier || !SegmentsLookLikeSeq(t.text)) {
+      continue;
+    }
+    const Token& prev = f.tokens[i - 1];
+    if (prev.kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    if (prev.text == "uint32_t") {
+      info.declared_uint32.insert(t.text);
+      continue;
+    }
+    for (std::string_view nt : kNonSeqTypes) {
+      if (prev.text == nt) {
+        info.declared_other_int.insert(t.text);
+        break;
+      }
+    }
+  }
+  return info;
+}
+
+bool IsSeqValue(const std::string& name, const FileTypeInfo& info) {
+  if (!SegmentsLookLikeSeq(name)) {
+    return false;
+  }
+  if (info.declared_uint32.count(name) != 0) {
+    return true;
+  }
+  return info.declared_other_int.count(name) == 0;
+}
+
+struct OpInfo {
+  std::string_view op;
+  std::string_view helper;
+};
+constexpr std::array<OpInfo, 5> kOps = {{
+    {"<", "SeqLt"},
+    {"<=", "SeqLeq"},
+    {">", "SeqGt"},
+    {">=", "SeqGeq"},
+    {"-", "SeqDiff"},
+}};
+
+const OpInfo* FindOp(const Token& t) {
+  if (t.kind != TokenKind::kPunct) {
+    return nullptr;
+  }
+  for (const OpInfo& o : kOps) {
+    if (t.text == o.op) {
+      return &o;
+    }
+  }
+  return nullptr;
+}
+
+// Ordered comparison macros that hide the same raw operator.
+struct MacroInfo {
+  std::string_view macro;
+  std::string_view helper;
+};
+constexpr std::array<MacroInfo, 12> kOrderedMacros = {{
+    {"COMMA_CHECK_LT", "SeqLt"},
+    {"COMMA_CHECK_LE", "SeqLeq"},
+    {"COMMA_CHECK_GT", "SeqGt"},
+    {"COMMA_CHECK_GE", "SeqGeq"},
+    {"COMMA_DCHECK_LT", "SeqLt"},
+    {"COMMA_DCHECK_LE", "SeqLeq"},
+    {"COMMA_DCHECK_GT", "SeqGt"},
+    {"COMMA_DCHECK_GE", "SeqGeq"},
+    {"EXPECT_LT", "SeqLt"},
+    {"EXPECT_LE", "SeqLeq"},
+    {"EXPECT_GT", "SeqGt"},
+    {"EXPECT_GE", "SeqGeq"},
+}};
+
+const MacroInfo* FindOrderedMacro(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) {
+    return nullptr;
+  }
+  for (const MacroInfo& m : kOrderedMacros) {
+    if (t.text == m.macro) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+class SeqRawCompareRule : public Rule {
+ public:
+  std::string_view name() const override { return "seq-raw-compare"; }
+  std::string_view description() const override {
+    return "sequence-space values must be ordered/subtracted via src/tcp/seq.h helpers";
+  }
+  bool fixable() const override { return true; }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      if (!PathUnder(f.path, "src/") && !PathUnder(f.path, "tests/")) {
+        continue;
+      }
+      if (f.path == "src/tcp/seq.h") {
+        continue;  // The helpers themselves.
+      }
+      const FileTypeInfo types = ScanDeclarations(f);
+      CheckOperators(f, types, out);
+      CheckMacros(f, types, out);
+    }
+  }
+
+ private:
+  static void CheckOperators(const LintFile& f, const FileTypeInfo& types, Diagnostics* out) {
+    const Tokens& toks = f.tokens;
+    for (size_t i = 1; i + 1 < toks.size(); ++i) {
+      const OpInfo* op = FindOp(toks[i]);
+      if (op == nullptr) {
+        continue;
+      }
+      auto lhs = ChainEndingAt(toks, i - 1);
+      auto rhs = ChainStartingAt(toks, i + 1);
+      if (!lhs || !rhs) {
+        continue;
+      }
+      // The token before the left chain must not extend an expression the
+      // chain walk could not see ("operator<", "a.b" handled inside the
+      // chain already).
+      if (!IsSeqValue(lhs->name, types) || !IsSeqValue(rhs->name, types)) {
+        continue;
+      }
+      Diagnostic d;
+      d.file = f.path;
+      d.line = toks[i].line;
+      d.col = toks[i].col;
+      d.rule = "seq-raw-compare";
+      d.message = "raw '" + std::string(op->op) + "' on TCP sequence values '" + lhs->name +
+                  "' and '" + rhs->name + "' breaks at the 2^32 wrap; use comma::tcp::" +
+                  std::string(op->helper);
+      FixIt fix;
+      fix.begin = toks[lhs->begin].begin;
+      fix.end = toks[rhs->end].end;
+      const std::string lhs_text =
+          f.content.substr(toks[lhs->begin].begin, toks[lhs->end].end - toks[lhs->begin].begin);
+      const std::string rhs_text =
+          f.content.substr(toks[rhs->begin].begin, toks[rhs->end].end - toks[rhs->begin].begin);
+      fix.replacement =
+          "comma::tcp::" + std::string(op->helper) + "(" + lhs_text + ", " + rhs_text + ")";
+      fix.required_include = "src/tcp/seq.h";
+      d.fix = fix;
+      if (!f.IsSuppressed(d.rule, d.line)) {
+        out->push_back(std::move(d));
+      }
+    }
+  }
+
+  static void CheckMacros(const LintFile& f, const FileTypeInfo& types, Diagnostics* out) {
+    const Tokens& toks = f.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      const MacroInfo* m = FindOrderedMacro(toks[i]);
+      if (m == nullptr || !toks[i + 1].IsPunct("(")) {
+        continue;
+      }
+      auto first = ChainStartingAt(toks, i + 2);
+      if (!first || first->end + 1 >= toks.size() || !toks[first->end + 1].IsPunct(",")) {
+        continue;
+      }
+      auto second = ChainStartingAt(toks, first->end + 2);
+      if (!second || second->end + 1 >= toks.size() || !toks[second->end + 1].IsPunct(")")) {
+        continue;
+      }
+      if (!IsSeqValue(first->name, types) || !IsSeqValue(second->name, types)) {
+        continue;
+      }
+      Diagnostic d;
+      d.file = f.path;
+      d.line = toks[i].line;
+      d.col = toks[i].col;
+      d.rule = "seq-raw-compare";
+      d.message = toks[i].text + " on TCP sequence values '" + first->name + "' and '" +
+                  second->name + "' breaks at the 2^32 wrap; assert comma::tcp::" +
+                  std::string(m->helper) + "(...) instead";
+      if (!f.IsSuppressed(d.rule, d.line)) {
+        out->push_back(std::move(d));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeSeqRawCompareRule() { return std::make_unique<SeqRawCompareRule>(); }
+
+}  // namespace comma::lint

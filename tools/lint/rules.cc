@@ -1,0 +1,16 @@
+#include "tools/lint/rules.h"
+
+namespace comma::lint {
+
+std::vector<RulePtr> BuiltinRules() {
+  std::vector<RulePtr> rules;
+  rules.push_back(MakeSeqRawCompareRule());
+  rules.push_back(MakeBytesRawCastRule());
+  rules.push_back(MakeCheckSideEffectRule());
+  rules.push_back(MakeMetricNameStyleRule());
+  rules.push_back(MakeIncludeLayeringRule());
+  rules.push_back(MakeFilterContractRule());
+  return rules;
+}
+
+}  // namespace comma::lint

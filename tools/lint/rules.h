@@ -1,0 +1,57 @@
+// The comma-lint rule engine.
+//
+// Each rule sees the whole project (some contracts, like filter-contract,
+// span files) and appends diagnostics. Rules decide their own path scope —
+// e.g. include-layering only constrains src/, while bytes-raw-cast also
+// polices tests. The catalog lives in docs/static-analysis.md; adding a
+// rule means one .cc implementing Rule, one line in BuiltinRules(), one
+// fixture in tests/lint/testdata, and a catalog entry.
+#ifndef COMMA_TOOLS_LINT_RULES_H_
+#define COMMA_TOOLS_LINT_RULES_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/diagnostic.h"
+#include "tools/lint/source.h"
+
+namespace comma::lint {
+
+struct Project {
+  std::vector<LintFile> files;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  // The bare rule name; diagnostics and NOLINT categories prepend "comma-".
+  virtual std::string_view name() const = 0;
+  // One-line description for --list-rules and the docs.
+  virtual std::string_view description() const = 0;
+  // True when the rule attaches FixIts that --fix may apply.
+  virtual bool fixable() const { return false; }
+  virtual void Check(const Project& project, Diagnostics* out) const = 0;
+};
+
+using RulePtr = std::unique_ptr<Rule>;
+
+// Factories, one per rule (each defined in its rule_*.cc).
+RulePtr MakeSeqRawCompareRule();
+RulePtr MakeBytesRawCastRule();
+RulePtr MakeCheckSideEffectRule();
+RulePtr MakeMetricNameStyleRule();
+RulePtr MakeIncludeLayeringRule();
+RulePtr MakeFilterContractRule();
+
+// All six launch rules, in catalog order.
+std::vector<RulePtr> BuiltinRules();
+
+// Shared helper: true when `path` is under `prefix` ("src/" etc.).
+inline bool PathUnder(std::string_view path, std::string_view prefix) {
+  return path.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_RULES_H_

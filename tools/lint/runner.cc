@@ -1,0 +1,180 @@
+#include "tools/lint/runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "tools/lint/baseline.h"
+#include "tools/lint/fixer.h"
+
+namespace comma::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsLintableFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+// Directories never scanned: build trees and the linter's own fixture
+// corpus of deliberately-bad files.
+bool IsSkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "testdata" || name.rfind("build", 0) == 0 || name == ".git";
+}
+
+std::string RelPath(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+void CollectFiles(const fs::path& base, const fs::path& root, std::set<std::string>* out) {
+  if (fs::is_regular_file(base)) {
+    if (IsLintableFile(base)) {
+      out->insert(RelPath(base, root));
+    }
+    return;
+  }
+  if (!fs::is_directory(base)) {
+    return;
+  }
+  for (auto it = fs::recursive_directory_iterator(base); it != fs::recursive_directory_iterator();
+       ++it) {
+    if (it->is_directory() && IsSkippedDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsLintableFile(it->path())) {
+      out->insert(RelPath(it->path(), root));
+    }
+  }
+}
+
+}  // namespace
+
+bool RunLint(const LintOptions& options, LintResult* result, std::string* error) {
+  const fs::path root = fs::path(options.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    *error = "root is not a directory: " + options.root;
+    return false;
+  }
+
+  // Resolve the rule set.
+  std::vector<RulePtr> all = BuiltinRules();
+  std::vector<const Rule*> active;
+  for (const RulePtr& r : all) {
+    if (options.rules.empty() ||
+        std::find(options.rules.begin(), options.rules.end(), r->name()) != options.rules.end()) {
+      active.push_back(r.get());
+    }
+  }
+  if (!options.rules.empty() && active.size() != options.rules.size()) {
+    *error = "unknown rule name; use --list-rules";
+    return false;
+  }
+
+  // Collect and load files.
+  std::vector<std::string> scan_paths =
+      options.paths.empty() ? std::vector<std::string>{"src", "tests"} : options.paths;
+  std::set<std::string> rel_paths;
+  for (const std::string& p : scan_paths) {
+    const fs::path base = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (!fs::exists(base, ec)) {
+      *error = "no such path: " + base.string();
+      return false;
+    }
+    CollectFiles(base, root, &rel_paths);
+  }
+  Project project;
+  for (const std::string& rel : rel_paths) {
+    LintFile f;
+    if (!LoadLintFile((root / rel).string(), rel, &f)) {
+      *error = "cannot read " + rel;
+      return false;
+    }
+    project.files.push_back(std::move(f));
+  }
+  result->files_scanned = static_cast<int>(project.files.size());
+
+  // Run the rules. NOLINT suppression happens inside each rule (it knows
+  // the finding's anchor line).
+  Diagnostics raw;
+  for (const Rule* rule : active) {
+    rule->Check(project, &raw);
+  }
+  std::sort(raw.begin(), raw.end(), DiagnosticOrder);
+
+  // Baseline split.
+  Baseline baseline;
+  if (!options.baseline_path.empty()) {
+    const fs::path bp = fs::path(options.baseline_path).is_absolute()
+                            ? fs::path(options.baseline_path)
+                            : root / options.baseline_path;
+    if (!baseline.Load(bp.string(), error)) {
+      return false;
+    }
+  }
+  for (Diagnostic& d : raw) {
+    const LintFile* file = nullptr;
+    for (const LintFile& f : project.files) {
+      if (f.path == d.file) {
+        file = &f;
+        break;
+      }
+    }
+    const std::string line_text = file != nullptr ? file->Line(d.line) : std::string();
+    if (baseline.Absorb(d, line_text)) {
+      result->baselined.push_back(std::move(d));
+    } else {
+      result->findings.push_back(std::move(d));
+    }
+  }
+
+  if (options.write_baseline && !options.baseline_path.empty()) {
+    const fs::path bp = fs::path(options.baseline_path).is_absolute()
+                            ? fs::path(options.baseline_path)
+                            : root / options.baseline_path;
+    std::ofstream out(bp.string(), std::ios::trunc);
+    if (!out) {
+      *error = "cannot write baseline " + bp.string();
+      return false;
+    }
+    out << Baseline::Render(result->findings, project);
+  }
+
+  if (options.apply_fixes) {
+    std::map<std::string, std::vector<FixIt>> by_file;
+    for (const Diagnostic& d : result->findings) {
+      if (d.fix) {
+        by_file[d.file].push_back(*d.fix);
+      }
+    }
+    for (auto& [rel, fixes] : by_file) {
+      const LintFile* file = nullptr;
+      for (const LintFile& f : project.files) {
+        if (f.path == rel) {
+          file = &f;
+          break;
+        }
+      }
+      const std::string fixed = ApplyFixes(file->content, fixes);
+      if (fixed == file->content) {
+        continue;
+      }
+      std::ofstream out((root / rel).string(), std::ios::trunc | std::ios::binary);
+      if (!out) {
+        *error = "cannot rewrite " + rel;
+        return false;
+      }
+      out << fixed;
+      result->fixes_applied += static_cast<int>(fixes.size());
+      result->fixed_files.push_back(rel);
+    }
+  }
+  return true;
+}
+
+}  // namespace comma::lint

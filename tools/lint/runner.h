@@ -1,0 +1,43 @@
+// End-to-end lint driver shared by the comma-lint binary and tests/lint.
+#ifndef COMMA_TOOLS_LINT_RUNNER_H_
+#define COMMA_TOOLS_LINT_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/diagnostic.h"
+#include "tools/lint/rules.h"
+
+namespace comma::lint {
+
+struct LintOptions {
+  // Directory diagnostics are reported relative to; paths below are
+  // resolved against it.
+  std::string root = ".";
+  // Files or directories (relative to root) to scan; directories are
+  // walked recursively for *.h / *.cc. Defaults to {"src", "tests"}.
+  std::vector<std::string> paths;
+  // Restrict to these rule names; empty means all builtin rules.
+  std::vector<std::string> rules;
+  // Baseline file (relative to root or absolute). Empty disables.
+  std::string baseline_path;
+  bool write_baseline = false;
+  bool apply_fixes = false;
+};
+
+struct LintResult {
+  Diagnostics findings;    // New findings (post NOLINT + baseline), sorted.
+  Diagnostics baselined;   // Findings absorbed by the baseline, sorted.
+  int files_scanned = 0;
+  int fixes_applied = 0;
+  std::vector<std::string> fixed_files;  // Relative paths rewritten by --fix.
+};
+
+// Runs the configured rules. Returns false (with *error set) only on
+// environment problems — unreadable root, bad baseline, bad rule name;
+// findings are success with a non-empty `findings`.
+bool RunLint(const LintOptions& options, LintResult* result, std::string* error);
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_RUNNER_H_

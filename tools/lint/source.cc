@@ -1,0 +1,124 @@
+#include "tools/lint/source.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "tools/lint/lexer.h"
+
+namespace comma::lint {
+namespace {
+
+// True when `list` (the inside of "NOLINT(...)") names `rule`, either
+// exactly or via the "comma-" prefixed spelling used in docs.
+bool ListNamesRule(std::string_view list, std::string_view rule) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma_at = list.find(',', pos);
+    if (comma_at == std::string_view::npos) {
+      comma_at = list.size();
+    }
+    std::string_view item = list.substr(pos, comma_at - pos);
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+      item.remove_suffix(1);
+    }
+    if (item == rule) {
+      return true;
+    }
+    if (item.substr(0, 6) == "comma-" && item.substr(6) == rule) {
+      return true;
+    }
+    if (comma_at == list.size()) {
+      break;
+    }
+    pos = comma_at + 1;
+  }
+  return false;
+}
+
+bool LineSuppresses(std::string_view line, std::string_view marker, std::string_view rule) {
+  size_t at = line.find(marker);
+  while (at != std::string_view::npos) {
+    const size_t open = at + marker.size();
+    if (open < line.size() && line[open] == '(') {
+      const size_t close = line.find(')', open);
+      if (close != std::string_view::npos &&
+          ListNamesRule(line.substr(open + 1, close - open - 1), rule)) {
+        return true;
+      }
+    }
+    at = line.find(marker, at + 1);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string LintFile::Dir() const {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string LintFile::SrcModule() const {
+  if (path.rfind("src/", 0) != 0) {
+    return {};
+  }
+  const size_t next = path.find('/', 4);
+  return next == std::string::npos ? std::string() : path.substr(4, next - 4);
+}
+
+std::string LintFile::Filename() const {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+const std::string& LintFile::Line(int line_number) const {
+  static const std::string kEmpty;
+  if (line_number < 1 || static_cast<size_t>(line_number) > lines.size()) {
+    return kEmpty;
+  }
+  return lines[static_cast<size_t>(line_number) - 1];
+}
+
+bool LintFile::IsSuppressed(std::string_view rule, int line) const {
+  // NOLINTNEXTLINE is checked first so its marker is not mistaken for a
+  // same-line NOLINT (the string contains "NOLINT" as a prefix).
+  if (LineSuppresses(Line(line - 1), "NOLINTNEXTLINE", rule)) {
+    return true;
+  }
+  const std::string& text = Line(line);
+  // Avoid NOLINTNEXTLINE on the same line matching the "NOLINT" marker.
+  if (text.find("NOLINTNEXTLINE") == std::string::npos &&
+      LineSuppresses(text, "NOLINT", rule)) {
+    return true;
+  }
+  return false;
+}
+
+LintFile MakeLintFile(std::string path, std::string content) {
+  LintFile f;
+  f.path = std::move(path);
+  f.content = std::move(content);
+  std::string line;
+  std::istringstream in(f.content);
+  while (std::getline(in, line)) {
+    f.lines.push_back(line);
+  }
+  f.tokens = Lex(f.content);
+  return f;
+}
+
+bool LoadLintFile(const std::string& abs_path, std::string rel_path, LintFile* out) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = MakeLintFile(std::move(rel_path), buf.str());
+  return true;
+}
+
+}  // namespace comma::lint

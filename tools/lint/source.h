@@ -1,0 +1,50 @@
+// Source-file model shared by the rules: raw content, split lines, token
+// stream, and NOLINT suppression lookup.
+#ifndef COMMA_TOOLS_LINT_SOURCE_H_
+#define COMMA_TOOLS_LINT_SOURCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/token.h"
+
+namespace comma::lint {
+
+struct LintFile {
+  // Path relative to the scan root, with '/' separators — exactly what
+  // diagnostics print and what the baseline stores.
+  std::string path;
+  std::string content;
+  std::vector<std::string> lines;  // lines[i] is line i+1, no newline
+  Tokens tokens;
+
+  // Directory component under the scan root: "src/tcp/seq.h" -> "src/tcp".
+  std::string Dir() const;
+  // Top-level module for layering: "src/tcp/seq.h" -> "tcp"; empty when the
+  // file is not under src/.
+  std::string SrcModule() const;
+  // Filename component: "src/tcp/seq.h" -> "seq.h".
+  std::string Filename() const;
+
+  const std::string& Line(int line_number) const;  // 1-based, clamped
+
+  // True when a finding of `rule` at `line` is suppressed by a
+  // `NOLINT(<rule-list>)` comment on the same line or a
+  // `NOLINTNEXTLINE(<rule-list>)` comment on the previous line. A bare
+  // NOLINT without a rule list does NOT silence comma-lint: suppressions
+  // must name the rule so the reason survives review
+  // (docs/static-analysis.md).
+  bool IsSuppressed(std::string_view rule, int line) const;
+};
+
+// Builds a LintFile from in-memory content (used directly by tests).
+LintFile MakeLintFile(std::string path, std::string content);
+
+// Reads `abs_path` and builds a LintFile carrying `rel_path`. Returns false
+// if the file cannot be read.
+bool LoadLintFile(const std::string& abs_path, std::string rel_path, LintFile* out);
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_SOURCE_H_

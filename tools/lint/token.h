@@ -1,0 +1,42 @@
+// Token model for the comma-lint tokenizer (tools/lint/lexer.h).
+//
+// comma-lint deliberately works on tokens, not an AST: the invariants it
+// enforces (docs/static-analysis.md) are expressible as local token
+// patterns plus a little file-global bookkeeping, and a tokenizer keeps the
+// tool free of any LLVM dependency so it builds everywhere the project does.
+#ifndef COMMA_TOOLS_LINT_TOKEN_H_
+#define COMMA_TOOLS_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace comma::lint {
+
+enum class TokenKind {
+  kIdentifier,   // names and keywords, including macro names
+  kNumber,       // integer / floating literals (incl. hex, suffixes)
+  kString,       // "..." or R"...(...)..." — text is the *inner* value
+  kChar,         // '...' — text is the inner value
+  kPunct,        // operators and punctuation, maximal munch ("<<=", "->", …)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based column of the first character
+  // Byte offsets into the file content, [begin, end). For string literals
+  // these span the quotes/prefix, while `text` holds only the inner value.
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool Is(TokenKind k, std::string_view t) const { return kind == k && text == t; }
+  bool IsIdent(std::string_view t) const { return Is(TokenKind::kIdentifier, t); }
+  bool IsPunct(std::string_view t) const { return Is(TokenKind::kPunct, t); }
+};
+
+using Tokens = std::vector<Token>;
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_TOKEN_H_

@@ -1,0 +1,141 @@
+// Small token-pattern helpers shared by the rule implementations.
+#ifndef COMMA_TOOLS_LINT_TOKEN_MATCH_H_
+#define COMMA_TOOLS_LINT_TOKEN_MATCH_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "tools/lint/token.h"
+
+namespace comma::lint {
+
+inline constexpr size_t kNpos = static_cast<size_t>(-1);
+
+// Index of the ')' matching the '(' at `open`, or kNpos. Also used for
+// '<...>' is NOT supported — angle brackets don't nest reliably in C++.
+inline size_t MatchingParen(const Tokens& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].IsPunct("(")) {
+      ++depth;
+    } else if (toks[i].IsPunct(")")) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return kNpos;
+}
+
+// Index of the '(' matching the ')' at `close`, or kNpos.
+inline size_t MatchingParenBack(const Tokens& toks, size_t close) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (toks[i].IsPunct(")")) {
+      ++depth;
+    } else if (toks[i].IsPunct("(")) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return kNpos;
+}
+
+// Index of the '}' matching the '{' at `open`, or kNpos.
+inline size_t MatchingBrace(const Tokens& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].IsPunct("{")) {
+      ++depth;
+    } else if (toks[i].IsPunct("}")) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return kNpos;
+}
+
+// A postfix-expression chain of identifiers, member accesses, and calls —
+// `p.tcp().seq`, `stats_.acks`, `rcv_nxt_`. `begin`/`end` are inclusive
+// token indices; `name` is the rightmost plain identifier, which is what
+// naming-convention rules judge.
+struct Chain {
+  size_t begin = 0;
+  size_t end = 0;
+  std::string name;
+};
+
+// Parses a chain whose last token is at `last` (walking left). `last` must
+// be an identifier. Returns nullopt when the token stream does not end a
+// chain there.
+inline std::optional<Chain> ChainEndingAt(const Tokens& toks, size_t last) {
+  if (last >= toks.size() || toks[last].kind != TokenKind::kIdentifier) {
+    return std::nullopt;
+  }
+  Chain chain;
+  chain.end = last;
+  chain.name = toks[last].text;
+  size_t j = last;
+  while (j >= 2) {
+    const Token& sep = toks[j - 1];
+    if (!sep.IsPunct(".") && !sep.IsPunct("->") && !sep.IsPunct("::")) {
+      break;
+    }
+    if (toks[j - 2].kind == TokenKind::kIdentifier) {
+      j -= 2;
+      continue;
+    }
+    if (toks[j - 2].IsPunct(")")) {
+      const size_t open = MatchingParenBack(toks, j - 2);
+      if (open == kNpos || open == 0 || toks[open - 1].kind != TokenKind::kIdentifier) {
+        break;
+      }
+      j = open - 1;
+      continue;
+    }
+    break;
+  }
+  chain.begin = j;
+  return chain;
+}
+
+// Parses a chain starting at `first` (walking right). `first` must be an
+// identifier.
+inline std::optional<Chain> ChainStartingAt(const Tokens& toks, size_t first) {
+  if (first >= toks.size() || toks[first].kind != TokenKind::kIdentifier) {
+    return std::nullopt;
+  }
+  Chain chain;
+  chain.begin = first;
+  chain.end = first;
+  chain.name = toks[first].text;
+  size_t j = first;
+  while (j + 1 < toks.size()) {
+    const Token& next = toks[j + 1];
+    if (next.IsPunct("(")) {
+      const size_t close = MatchingParen(toks, j + 1);
+      if (close == kNpos) {
+        break;
+      }
+      j = close;
+      chain.end = j;
+      continue;
+    }
+    if ((next.IsPunct(".") || next.IsPunct("->") || next.IsPunct("::")) && j + 2 < toks.size() &&
+        toks[j + 2].kind == TokenKind::kIdentifier) {
+      j += 2;
+      chain.end = j;
+      chain.name = toks[j].text;
+      continue;
+    }
+    break;
+  }
+  return chain;
+}
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_TOKEN_MATCH_H_

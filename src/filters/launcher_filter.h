@@ -13,7 +13,7 @@ namespace comma::filters {
 
 // The launcher never sees packets — it acts at stream creation via
 // OnNewStream — so it has no data-path direction to declare.
-class LauncherFilter : public proxy::Filter {  // NOLINT(comma-filter-contract)
+class LauncherFilter : public proxy::Filter {  // NOLINT(comma-filter-contract): no data-path direction; acts at stream creation via OnNewStream only
  public:
   LauncherFilter() : Filter("launcher", proxy::FilterPriority::kHighest) {}
 

@@ -5,6 +5,11 @@
 // link's bandwidth, delay, loss probability, bit-error rate, and up/down
 // state can all change while the simulation runs, and the EEM reads the
 // per-side counters this class maintains.
+//
+// Concurrency (DESIGN.md §7): a Link is owned by the simulation thread.
+// Its queues, counters, and QoS state are mutated only from simulator
+// callbacks; cross-thread access stays banned until the PDES partitioning
+// assigns links to logical processes with explicit synchronization.
 #ifndef COMMA_NET_LINK_H_
 #define COMMA_NET_LINK_H_
 

@@ -10,20 +10,26 @@
 #ifndef COMMA_OBS_COUNTER_H_
 #define COMMA_OBS_COUNTER_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace comma::obs {
 
-// Monotonic event count. Plain non-atomic uint64: the simulator is
-// single-threaded, and benches must be able to leave metrics on.
+// Monotonic event count. A relaxed atomic: handles are bumped straight from
+// the packet path, and with the parallel simulator (DESIGN.md §7) those
+// paths run on worker threads while `stats`/the EEM bridge snapshot from
+// another. Relaxed ordering is enough — each counter is an independent
+// monotone value, readers only need *a* recent value, and on the
+// architectures we build for a relaxed fetch_add is a single locked add
+// (~1ns), so benches can still leave metrics on.
 class Counter {
  public:
-  void Inc(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 }  // namespace comma::obs

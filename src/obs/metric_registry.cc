@@ -33,6 +33,7 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>()).first;
@@ -40,7 +41,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name) {
   return it->second.get();
 }
 
-Gauge* MetricRegistry::GetGauge(const std::string& name) {
+Gauge* MetricRegistry::GetGaugeLocked(const std::string& name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
@@ -48,8 +49,14 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
   return it->second.get();
 }
 
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return GetGaugeLocked(name);
+}
+
 HistogramMetric* MetricRegistry::GetHistogram(const std::string& name, double lo, double hi,
                                               size_t buckets) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, std::make_unique<HistogramMetric>(lo, hi, buckets)).first;
@@ -58,11 +65,13 @@ HistogramMetric* MetricRegistry::GetHistogram(const std::string& name, double lo
 }
 
 void MetricRegistry::RegisterCounterSource(const std::string& name, CounterSource source) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   counter_sources_[name] = std::move(source);
 }
 
 void MetricRegistry::RegisterGaugeSource(const std::string& name, Gauge::Source source) {
-  GetGauge(name)->set_source(std::move(source));
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  GetGaugeLocked(name)->set_source(std::move(source));
 }
 
 bool MetricRegistry::Matches(const std::string& pattern, const std::string& name) {
@@ -102,73 +111,147 @@ bool MetricRegistry::Matches(const std::string& pattern, const std::string& name
 }
 
 std::vector<MetricSample> MetricRegistry::Snapshot(const std::string& pattern) const {
+  // Phase 1, under the map lock: resolve matching names to stable handles
+  // (and copies of the pull closures). Phase 2, lock released: evaluate.
+  // Sources and histogram accessors must run *outside* metrics_mu_ — a pull
+  // source may re-enter the registry (sp.registry_size reads size()), and
+  // handle evaluation must never hold the map lock on another thread's
+  // behalf longer than the lookup itself.
+  struct Pending {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    const Counter* counter = nullptr;
+    CounterSource source;  // Copied: the map entry may be replaced after unlock.
+    const Gauge* gauge = nullptr;
+    const HistogramMetric* histogram = nullptr;
+  };
+  std::vector<Pending> pending;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    for (const auto& [name, counter] : counters_) {
+      if (Matches(pattern, name)) {
+        pending.push_back({name, MetricKind::kCounter, counter.get(), {}, nullptr, nullptr});
+      }
+    }
+    for (const auto& [name, source] : counter_sources_) {
+      if (Matches(pattern, name)) {
+        pending.push_back({name, MetricKind::kCounter, nullptr, source, nullptr, nullptr});
+      }
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      if (Matches(pattern, name)) {
+        pending.push_back({name, MetricKind::kGauge, nullptr, {}, gauge.get(), nullptr});
+      }
+    }
+    for (const auto& [name, hist] : histograms_) {
+      if (Matches(pattern, name)) {
+        pending.push_back({name, MetricKind::kHistogram, nullptr, {}, nullptr, hist.get()});
+      }
+    }
+  }
   std::vector<MetricSample> out;
-  for (const auto& [name, counter] : counters_) {
-    if (Matches(pattern, name)) {
-      out.push_back({name, MetricKind::kCounter, static_cast<double>(counter->value()), nullptr});
+  out.reserve(pending.size());
+  for (const Pending& p : pending) {
+    MetricSample s;
+    s.name = p.name;
+    s.kind = p.kind;
+    s.histogram = p.histogram;
+    if (p.counter != nullptr) {
+      s.value = static_cast<double>(p.counter->value());
+    } else if (p.source) {
+      s.value = static_cast<double>(p.source());
+    } else if (p.gauge != nullptr) {
+      s.value = p.gauge->Read();
+    } else if (p.histogram != nullptr) {
+      s.value = static_cast<double>(p.histogram->count());
     }
-  }
-  for (const auto& [name, source] : counter_sources_) {
-    if (Matches(pattern, name)) {
-      out.push_back({name, MetricKind::kCounter, static_cast<double>(source()), nullptr});
-    }
-  }
-  for (const auto& [name, gauge] : gauges_) {
-    if (Matches(pattern, name)) {
-      out.push_back({name, MetricKind::kGauge, gauge->Read(), nullptr});
-    }
-  }
-  for (const auto& [name, hist] : histograms_) {
-    if (Matches(pattern, name)) {
-      out.push_back({name, MetricKind::kHistogram, static_cast<double>(hist->count()),
-                     hist.get()});
-    }
+    out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),
             [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
   return out;
 }
 
-std::optional<double> MetricRegistry::Read(const std::string& name) const {
+bool MetricRegistry::IsHistogramField(const std::string& field) {
+  return field == "count" || field == "mean" || field == "min" || field == "max" ||
+         field == "p50" || field == "p90" || field == "p95" || field == "p99";
+}
+
+MetricRegistry::Resolved MetricRegistry::ResolveLocked(const std::string& name) const {
+  Resolved r;
   auto counter = counters_.find(name);
   if (counter != counters_.end()) {
-    return static_cast<double>(counter->second->value());
+    r.counter = counter->second.get();
+    return r;
   }
   auto source = counter_sources_.find(name);
   if (source != counter_sources_.end()) {
-    return static_cast<double>(source->second());
+    r.source = source->second;
+    return r;
   }
   auto gauge = gauges_.find(name);
   if (gauge != gauges_.end()) {
-    return gauge->second->Read();
+    r.gauge = gauge->second.get();
+    return r;
   }
   auto hist = histograms_.find(name);
   if (hist != histograms_.end()) {
-    return static_cast<double>(hist->second->count());
+    r.histogram = hist->second.get();
+    r.field = "count";
+    return r;
   }
   // Histogram sub-fields: "<name>.count" .. "<name>.p99".
   const size_t dot = name.rfind('.');
   if (dot == std::string::npos) {
-    return std::nullopt;
+    return r;
   }
   hist = histograms_.find(name.substr(0, dot));
   if (hist == histograms_.end()) {
-    return std::nullopt;
+    return r;
   }
-  const HistogramMetric& h = *hist->second;
   const std::string field = name.substr(dot + 1);
-  if (field == "count") return static_cast<double>(h.count());
-  if (field == "mean") return h.mean();
-  if (field == "min") return h.min();
-  if (field == "max") return h.max();
-  if (field == "p50") return h.Percentile(50);
-  if (field == "p90") return h.Percentile(90);
-  if (field == "p95") return h.Percentile(95);
-  if (field == "p99") return h.Percentile(99);
+  if (!IsHistogramField(field)) {
+    return r;
+  }
+  r.histogram = hist->second.get();
+  r.field = field;
+  r.is_subfield = true;
+  return r;
+}
+
+std::optional<double> MetricRegistry::Read(const std::string& name) const {
+  // Resolve under the map lock, evaluate outside it: pull sources may
+  // re-enter the registry and histogram accessors take histogram_mu_.
+  Resolved r;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    r = ResolveLocked(name);
+  }
+  if (r.counter != nullptr) {
+    return static_cast<double>(r.counter->value());
+  }
+  if (r.source) {
+    return static_cast<double>(r.source());
+  }
+  if (r.gauge != nullptr) {
+    return r.gauge->Read();
+  }
+  if (r.histogram != nullptr) {
+    const HistogramMetric& h = *r.histogram;
+    if (r.field == "count") return static_cast<double>(h.count());
+    if (r.field == "mean") return h.mean();
+    if (r.field == "min") return h.min();
+    if (r.field == "max") return h.max();
+    if (r.field == "p50") return h.Percentile(50);
+    if (r.field == "p90") return h.Percentile(90);
+    if (r.field == "p95") return h.Percentile(95);
+    if (r.field == "p99") return h.Percentile(99);
+  }
   return std::nullopt;
 }
 
 std::optional<MetricKind> MetricRegistry::KindOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
   if (counters_.count(name) != 0 || counter_sources_.count(name) != 0) {
     return MetricKind::kCounter;
   }
@@ -178,8 +261,9 @@ std::optional<MetricKind> MetricRegistry::KindOf(const std::string& name) const 
   if (histograms_.count(name) != 0) {
     return MetricKind::kHistogram;
   }
-  if (Read(name).has_value()) {
-    return MetricKind::kGauge;  // A histogram sub-field.
+  const Resolved r = ResolveLocked(name);
+  if (r.is_subfield) {
+    return MetricKind::kGauge;  // A histogram sub-field; reads as a double.
   }
   return std::nullopt;
 }

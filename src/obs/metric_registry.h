@@ -26,37 +26,56 @@
 #ifndef COMMA_OBS_METRIC_REGISTRY_H_
 #define COMMA_OBS_METRIC_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/obs/counter.h"
 #include "src/util/stats.h"
+#include "src/util/thread_annotations.h"
 
 namespace comma::obs {
 
 // Point-in-time level. Push (Set) or pull (a source closure sampled at
 // snapshot time); setting a source wins over any pushed value.
+//
+// Thread safety: Set/Read on the pushed value are lock-free (relaxed
+// atomic — gauges are independent levels, readers only need *a* recent
+// value). set_source is registration-time wiring: it must happen-before any
+// concurrent Read, which the registry guarantees by only calling it under
+// its lock during RegisterGaugeSource. Pull sources themselves are sampled
+// at snapshot time from whichever thread snapshots; a source closure must
+// therefore read only state that is safe from that thread (DESIGN.md §7).
 class Gauge {
  public:
   using Source = std::function<double()>;
 
-  void Set(double v) { value_ = v; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   void set_source(Source source) { source_ = std::move(source); }
-  double Read() const { return source_ ? source_() : value_; }
+  double Read() const {
+    return source_ ? source_() : value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
   Source source_;
 };
 
 // Fixed-bucket histogram plus running moments and a bounded percentile
 // reservoir, built on util::Histogram / util::RunningStats / a reservoir-mode
 // util::Percentiles so long-running benches cannot grow it without bound.
+//
+// Thread safety: the three aggregates must mutate together, so Observe and
+// the readers serialize on histogram_mu_. Histograms sit off the per-packet
+// fast path (they time coarse events like queue resolution), so an
+// uncontended lock here is acceptable where an atomic per bucket would not
+// keep count/mean/reservoir mutually consistent.
 class HistogramMetric {
  public:
   static constexpr size_t kReservoirSamples = 1024;
@@ -64,23 +83,49 @@ class HistogramMetric {
   HistogramMetric(double lo, double hi, size_t buckets)
       : histogram_(lo, hi, buckets), percentiles_(kReservoirSamples) {}
 
-  void Observe(double x) {
+  void Observe(double x) COMMA_EXCLUDES(histogram_mu_) {
+    std::lock_guard<std::mutex> lock(histogram_mu_);
     histogram_.Add(x);
     running_.Add(x);
     percentiles_.Add(x);
   }
 
-  uint64_t count() const { return running_.count(); }
-  double mean() const { return running_.mean(); }
-  double min() const { return running_.min(); }
-  double max() const { return running_.max(); }
-  double Percentile(double p) const { return percentiles_.Percentile(p); }
-  const util::Histogram& histogram() const { return histogram_; }
+  uint64_t count() const COMMA_EXCLUDES(histogram_mu_) {
+    std::lock_guard<std::mutex> lock(histogram_mu_);
+    return running_.count();
+  }
+  double mean() const COMMA_EXCLUDES(histogram_mu_) {
+    std::lock_guard<std::mutex> lock(histogram_mu_);
+    return running_.mean();
+  }
+  double min() const COMMA_EXCLUDES(histogram_mu_) {
+    std::lock_guard<std::mutex> lock(histogram_mu_);
+    return running_.min();
+  }
+  double max() const COMMA_EXCLUDES(histogram_mu_) {
+    std::lock_guard<std::mutex> lock(histogram_mu_);
+    return running_.max();
+  }
+  double Percentile(double p) const COMMA_EXCLUDES(histogram_mu_) {
+    std::lock_guard<std::mutex> lock(histogram_mu_);
+    return percentiles_.Percentile(p);
+  }
+  // Direct bucket access for single-threaded render paths (bench summaries).
+  // Returns a reference into guarded state: callers must have quiesced
+  // writers, which the analysis cannot see — hence the escape hatch.
+  const util::Histogram& histogram() const COMMA_NO_THREAD_SAFETY_ANALYSIS {
+    return histogram_;
+  }
 
  private:
-  util::Histogram histogram_;
-  util::RunningStats running_;
-  util::Percentiles percentiles_;
+  // Rank 30 in the DESIGN.md §7 lock hierarchy: ordered after the registry's
+  // metrics_mu_ (rank 20). The registry currently evaluates histogram reads
+  // with its lock already released, but the declared order is what any
+  // future nesting must follow.
+  mutable std::mutex histogram_mu_;
+  util::Histogram histogram_ COMMA_GUARDED_BY(histogram_mu_);
+  util::RunningStats running_ COMMA_GUARDED_BY(histogram_mu_);
+  util::Percentiles percentiles_ COMMA_GUARDED_BY(histogram_mu_);
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -94,37 +139,49 @@ struct MetricSample {
   const HistogramMetric* histogram = nullptr;  // Set for kHistogram only.
 };
 
+// Thread safety (DESIGN.md §7): the registry is the first object the
+// parallel simulator shares across threads — instrumented worker threads
+// intern handles while `stats`, the EEM bridge, and bench snapshots read.
+// All name->metric maps are guarded by metrics_mu_; handle *use* after
+// registration is lock-free (atomic counters/gauges, self-locking
+// histograms), so the per-packet path still never takes this lock.
 class MetricRegistry {
  public:
   using CounterSource = std::function<uint64_t()>;
 
   // --- Registration (name interning happens here, once) ---
   // Get-or-create; returned pointers are stable for the registry's lifetime.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  HistogramMetric* GetHistogram(const std::string& name, double lo, double hi, size_t buckets);
+  Counter* GetCounter(const std::string& name) COMMA_EXCLUDES(metrics_mu_);
+  Gauge* GetGauge(const std::string& name) COMMA_EXCLUDES(metrics_mu_);
+  HistogramMetric* GetHistogram(const std::string& name, double lo, double hi, size_t buckets)
+      COMMA_EXCLUDES(metrics_mu_);
   // Pull-model wrappers over counters that already exist elsewhere. The
   // closure must outlive the registry or the metric must be re-registered
-  // (re-registering a name replaces the source).
-  void RegisterCounterSource(const std::string& name, CounterSource source);
-  void RegisterGaugeSource(const std::string& name, Gauge::Source source);
+  // (re-registering a name replaces the source). Sources are sampled with
+  // metrics_mu_ held, from whichever thread snapshots.
+  void RegisterCounterSource(const std::string& name, CounterSource source)
+      COMMA_EXCLUDES(metrics_mu_);
+  void RegisterGaugeSource(const std::string& name, Gauge::Source source)
+      COMMA_EXCLUDES(metrics_mu_);
 
   // --- Reading ---
   // All metrics whose name matches `pattern` (see Matches), name-sorted.
-  std::vector<MetricSample> Snapshot(const std::string& pattern = "") const;
+  std::vector<MetricSample> Snapshot(const std::string& pattern = "") const
+      COMMA_EXCLUDES(metrics_mu_);
   // Reads one metric by exact name (counters and gauges; histograms answer
   // the dotted sub-fields count/mean/min/max/p50/p90/p95/p99).
-  std::optional<double> Read(const std::string& name) const;
+  std::optional<double> Read(const std::string& name) const COMMA_EXCLUDES(metrics_mu_);
   // The kind of the metric registered under exact name `name`; histogram
   // sub-fields report kGauge (they read as doubles).
-  std::optional<MetricKind> KindOf(const std::string& name) const;
+  std::optional<MetricKind> KindOf(const std::string& name) const COMMA_EXCLUDES(metrics_mu_);
   // Line-oriented rendering: "<name> <value>" per metric, histograms as
   // "<name> count=N mean=M p50=... p95=... p99=...".
-  std::string RenderText(const std::string& pattern = "") const;
+  std::string RenderText(const std::string& pattern = "") const COMMA_EXCLUDES(metrics_mu_);
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  std::string RenderJson(const std::string& pattern = "") const;
+  std::string RenderJson(const std::string& pattern = "") const COMMA_EXCLUDES(metrics_mu_);
 
-  size_t size() const {
+  size_t size() const COMMA_EXCLUDES(metrics_mu_) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
     return counters_.size() + counter_sources_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -138,11 +195,31 @@ class MetricRegistry {
   static Gauge* NullGauge();
 
  private:
+  // A name resolved to its stable handle (or a copy of its pull closure)
+  // under metrics_mu_, evaluated after the lock is released — pull sources
+  // may re-enter the registry (e.g. sp.registry_size reads size()).
+  struct Resolved {
+    const Counter* counter = nullptr;
+    CounterSource source;
+    const Gauge* gauge = nullptr;
+    const HistogramMetric* histogram = nullptr;
+    std::string field;       // Histogram field to read ("count", "p99", ...).
+    bool is_subfield = false;  // True when `name` was "<histogram>.<field>".
+  };
+  Resolved ResolveLocked(const std::string& name) const COMMA_REQUIRES(metrics_mu_);
+  Gauge* GetGaugeLocked(const std::string& name) COMMA_REQUIRES(metrics_mu_);
+  static bool IsHistogramField(const std::string& field);
+
+  // Rank 20 in the DESIGN.md §7 lock hierarchy: ordered before histogram_mu_
+  // (rank 30), never acquired from inside a HistogramMetric accessor. Pull
+  // closures and histogram reads are evaluated with this lock released.
+  mutable std::mutex metrics_mu_;
   // std::map keeps snapshots name-sorted; unique_ptr keeps handles stable.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, CounterSource> counter_sources_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ COMMA_GUARDED_BY(metrics_mu_);
+  std::map<std::string, CounterSource> counter_sources_ COMMA_GUARDED_BY(metrics_mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ COMMA_GUARDED_BY(metrics_mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      COMMA_GUARDED_BY(metrics_mu_);
 };
 
 }  // namespace comma::obs

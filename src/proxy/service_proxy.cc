@@ -1,7 +1,6 @@
 #include "src/proxy/service_proxy.h"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
 
 #include "src/util/check.h"
@@ -67,10 +66,12 @@ ServiceProxy::ServiceProxy(net::Node* node, FilterRegistry registry)
                                [this] { return static_cast<double>(queue_cache_.size()); });
   metrics_.RegisterGaugeSource("sp.registry_size",
                                [this] { return static_cast<double>(metrics_.size()); });
-  // Wall-clock cost of resolving a stream's filter queue on a cache miss.
-  // Wall time (not sim time) is deliberate: queue resolution is real proxy
-  // CPU work, invisible to the simulated clock.
-  queue_resolve_us_ = metrics_.GetHistogram("sp.queue_resolve_us", 0.0, 1000.0, 50);
+  // Cost of resolving a stream's filter queue on a cache miss, in
+  // attachments examined (the resolve is a linear scan over the attachment
+  // set plus a sort). A deterministic work count, not wall time: wall-clock
+  // reads are banned in src/proxy (comma-lint nondeterminism-ban) so metric
+  // snapshots stay bit-for-bit reproducible for the fault-replay oracle.
+  queue_resolve_work_ = metrics_.GetHistogram("sp.queue_resolve_work", 0.0, 1000.0, 50);
 }
 
 ServiceProxy::~ServiceProxy() { node_->RemoveTap(this); }
@@ -291,11 +292,8 @@ const std::vector<Filter*>& ServiceProxy::QueueFor(const StreamKey& key) {
   if (it != queue_cache_.end()) {
     return it->second;
   }
-  const auto start = std::chrono::steady_clock::now();
   auto& queue = queue_cache_.emplace(key, ResolveQueue(key)).first->second;
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  queue_resolve_us_->Observe(
-      std::chrono::duration<double, std::micro>(elapsed).count());
+  queue_resolve_work_->Observe(static_cast<double>(attachments_.size()));
   return queue;
 }
 

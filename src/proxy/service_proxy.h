@@ -10,6 +10,11 @@
 //    (filter accounting, §5.2);
 //  - resolved per-stream filter queues, cached and invalidated whenever the
 //    attachment set changes.
+//
+// Concurrency (DESIGN.md §7): the proxy — including the stream registry
+// (streams_) and the resolved-queue cache — is owned by the simulation
+// thread. Only the embedded obs::MetricRegistry is thread-safe; everything
+// else stays single-threaded until the PDES lands.
 #ifndef COMMA_PROXY_SERVICE_PROXY_H_
 #define COMMA_PROXY_SERVICE_PROXY_H_
 
@@ -185,7 +190,7 @@ class ServiceProxy : public net::PacketTap {
   // registry outlives filters, sources, and telemetry users.
   obs::MetricRegistry metrics_;
   std::map<std::string, std::unique_ptr<FilterTelemetry>> filter_telemetry_;
-  obs::HistogramMetric* queue_resolve_us_ = nullptr;
+  obs::HistogramMetric* queue_resolve_work_ = nullptr;
 
   net::Node* node_;
   FilterRegistry registry_;

@@ -8,6 +8,11 @@
 // Timers scheduled through ScheduleTimer() return a TimerHandle that can be
 // cancelled or rescheduled; cancellation is O(1) (the queue entry is
 // tombstoned, not removed).
+//
+// Concurrency (DESIGN.md §7): the Simulator and its event queue are owned
+// by the simulation thread. Nothing here is locked or atomic, and no other
+// thread may call Schedule()/Run()/Now() until the PDES refactor introduces
+// a partitioned, explicitly synchronized event loop.
 #ifndef COMMA_SIM_SIMULATOR_H_
 #define COMMA_SIM_SIMULATOR_H_
 

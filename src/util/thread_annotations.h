@@ -1,0 +1,62 @@
+// Clang thread-safety annotations behind COMMA_* macros.
+//
+// The parallel-simulation refactor (ROADMAP item 3) will put real threads
+// under code that today runs single-threaded. These macros make the locking
+// discipline machine-checked *before* that lands: under Clang they expand to
+// the thread-safety-analysis attributes (-Wthread-safety, promoted to an
+// error on annotated targets), everywhere else they compile away. comma-lint
+// enforces the annotation side statically (rules `mutex-annotation` and
+// `lock-order`, docs/static-analysis.md), and the lock hierarchy the
+// annotations must respect is declared in DESIGN.md §7.
+//
+// Usage mirrors the upstream attributes:
+//
+//   class MetricRegistry {
+//     mutable std::mutex metrics_mu_;
+//     std::map<...> counters_ COMMA_GUARDED_BY(metrics_mu_);
+//     void Lock()   COMMA_ACQUIRE(metrics_mu_);
+//     void Unlock() COMMA_RELEASE(metrics_mu_);
+//     Counter* GetCounter(const std::string&) COMMA_EXCLUDES(metrics_mu_);
+//   };
+#ifndef COMMA_UTIL_THREAD_ANNOTATIONS_H_
+#define COMMA_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define COMMA_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef COMMA_THREAD_ANNOTATION_
+#define COMMA_THREAD_ANNOTATION_(x)  // GCC/MSVC: annotations are documentation.
+#endif
+
+// A data member that may only be read or written while `x` is held.
+#define COMMA_GUARDED_BY(x) COMMA_THREAD_ANNOTATION_(guarded_by(x))
+
+// A pointer member whose *pointee* is protected by `x` (the pointer itself
+// may be read freely).
+#define COMMA_PT_GUARDED_BY(x) COMMA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// The caller must hold `x` (exclusively / shared) when calling the function.
+#define COMMA_REQUIRES(...) COMMA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define COMMA_REQUIRES_SHARED(...) \
+  COMMA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires `x` and holds it on return / releases `x` it held.
+#define COMMA_ACQUIRE(...) COMMA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define COMMA_RELEASE(...) COMMA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// The caller must NOT hold `x` (the function acquires it internally; calling
+// with it held would self-deadlock on a non-recursive mutex).
+#define COMMA_EXCLUDES(...) COMMA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Declares a type as a capability (for wrapper mutex types) and marks RAII
+// lock guards so the analysis tracks their scope.
+#define COMMA_CAPABILITY(x) COMMA_THREAD_ANNOTATION_(capability(x))
+#define COMMA_SCOPED_CAPABILITY COMMA_THREAD_ANNOTATION_(scoped_lockable)
+
+// Escape hatch for code the analysis cannot follow (e.g. locking through an
+// alias the analyzer cannot resolve). Use sparingly, with a comment.
+#define COMMA_NO_THREAD_SAFETY_ANALYSIS COMMA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // COMMA_UTIL_THREAD_ANNOTATIONS_H_

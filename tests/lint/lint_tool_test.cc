@@ -74,6 +74,12 @@ TEST(CommaLint, FixtureCorpusExactDiagnostics) {
       "src/obs/bad_metric.cc:9:26: error: metric name \"eem.Handoff.Latency\" is outside the "
       "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable "
       "from Kati [comma-metric-name-style]",
+      "src/obs/bad_mutex.cc:12:14: error: mutex 'mu_' in class 'SilentRegistry' guards nothing; "
+      "annotate the members it protects with COMMA_GUARDED_BY(mu_) "
+      "(src/util/thread_annotations.h) [comma-mutex-annotation]",
+      "src/obs/bad_mutex.cc:13:7: error: field 'hits_locked_' in class 'SilentRegistry' claims "
+      "lock-protected state by its *_locked_ name but carries no COMMA_GUARDED_BY annotation "
+      "[comma-mutex-annotation]",
       "src/proxy/bad_cast.cc:8:10: error: reinterpret_cast outside src/util/bytes.*; route "
       "byte/text bridging through comma::util::AsBytePtr/AsCharPtr [comma-bytes-raw-cast]",
       "src/proxy/bad_cast.cc:12:10: error: reinterpret_cast outside src/util/bytes.*; route "
@@ -82,6 +88,30 @@ TEST(CommaLint, FixtureCorpusExactDiagnostics) {
       "util::ByteReader/ByteWriter or the util::bytes copy helpers [comma-bytes-raw-cast]",
       "src/proxy/bad_dcheck.cc:6:16: error: '--' inside COMMA_DCHECK mutates state the release "
       "build never executes; hoist the side effect out of the check [comma-check-side-effect]",
+      "src/proxy/bad_lock_order.cc:15:37: error: acquires 'table_mu_' (rank 10) while 'row_mu_' "
+      "(rank 20) is held; the DESIGN.md lock hierarchy orders acquisitions by increasing rank "
+      "[comma-lock-order]",
+      "src/proxy/bad_lock_order.cc:19:37: error: acquires 'rogue_mu_', which is not in the "
+      "DESIGN.md lock-hierarchy table; every lock must be ranked before it can be taken "
+      "[comma-lock-order]",
+      "src/proxy/bad_lock_order.cc:22:54: error: declared to acquire 'table_mu_' (rank 10) "
+      "while requiring 'row_mu_' (rank 20); the DESIGN.md lock hierarchy orders acquisitions "
+      "by increasing rank [comma-lock-order]",
+      "src/proxy/bad_nolint.cc:5:28: error: comma-lint suppression is missing its reason; write "
+      "`NOLINT(<rule>): <why this site is exempt>` [comma-nolint-reason]",
+      "src/sim/bad_nondet.cc:10:31: error: 'std::random_device' taps OS entropy and breaks "
+      "replay; seed a sim::Random from the scenario config [comma-nondeterminism-ban]",
+      "src/sim/bad_nondet.cc:11:28: error: 'rand()' draws from the unseeded global RNG; draw "
+      "from the scenario's seeded sim::Random instead [comma-nondeterminism-ban]",
+      "src/sim/bad_nondet.cc:12:35: error: wall-clock read via std::chrono::steady_clock in "
+      "deterministic code; event time is sim::Simulator::Now() [comma-nondeterminism-ban]",
+      "src/sim/bad_nondet.cc:13:23: error: wall-clock call 'time()' in deterministic code; "
+      "event time is sim::Simulator::Now() [comma-nondeterminism-ban]",
+      "src/sim/bad_nondet.cc:14:34: error: 'getenv()' makes behaviour host-dependent; thread "
+      "configuration through the scenario/config structs [comma-nondeterminism-ban]",
+      "src/sim/bad_nondet.cc:15:6: error: pointer-keyed std::unordered_map iterates in address "
+      "order, which varies run to run; key by a stable id or use an ordered container "
+      "[comma-nondeterminism-ban]",
       "src/tcp/bad_include.cc:4:10: error: forbidden include of \"src/filters/ttsf_filter.h\": "
       "src/tcp sits below src/filters in the DESIGN.md layer DAG [comma-include-layering]",
       "src/tcp/bad_include.cc:5:10: error: forbidden include of \"src/obs/metric_registry.h\": "
@@ -203,7 +233,8 @@ TEST(CommaLint, BaselineRoundTrip) {
   fs::remove(baseline);
 }
 
-// The catalog: six launch rules, the two mechanical ones marked fixable.
+// The catalog: ten rules, the two mechanical ones marked fixable, and the
+// instantiation-free name list (BuiltinRuleNames) in lockstep.
 TEST(CommaLint, BuiltinRuleCatalog) {
   const std::vector<RulePtr> rules = BuiltinRules();
   std::vector<std::string> names;
@@ -216,11 +247,142 @@ TEST(CommaLint, BuiltinRuleCatalog) {
     }
   }
   const std::vector<std::string> expected_names = {
-      "seq-raw-compare",   "bytes-raw-cast",   "check-side-effect",
-      "metric-name-style", "include-layering", "filter-contract",
+      "seq-raw-compare",  "bytes-raw-cast",  "check-side-effect", "metric-name-style",
+      "include-layering", "filter-contract", "mutex-annotation",  "nondeterminism-ban",
+      "lock-order",       "nolint-reason",
   };
   EXPECT_EQ(names, expected_names);
   EXPECT_EQ(fixable, (std::vector<std::string>{"seq-raw-compare", "bytes-raw-cast"}));
+  std::vector<std::string> listed;
+  for (std::string_view n : BuiltinRuleNames()) {
+    listed.emplace_back(n);
+  }
+  EXPECT_EQ(listed, expected_names);
+}
+
+// A scan fanned out over worker threads produces byte-for-byte the same
+// result as the serial scan: files land in fixed slots, rules run after
+// the barrier.
+TEST(CommaLint, ParallelScanMatchesSerial) {
+  const LintResult serial = RunOver(Testdata());
+  LintOptions opts;
+  opts.jobs = 4;
+  const LintResult parallel = RunOver(Testdata(), opts);
+  EXPECT_EQ(Rendered(parallel.findings), Rendered(serial.findings));
+  EXPECT_EQ(parallel.files_scanned, serial.files_scanned);
+}
+
+// mutex-annotation in isolation: an uncited mutex is a finding, citing it
+// from any COMMA_GUARDED_BY member clears it.
+TEST(CommaLint, MutexAnnotationCitedMutexIsClean) {
+  const auto findings_in = [](const std::string& body) {
+    Project project;
+    project.files.push_back(MakeLintFile("src/obs/fixture.h", body));
+    Diagnostics out;
+    MakeMutexAnnotationRule()->Check(project, &out);
+    return out.size();
+  };
+  const std::string unguarded =
+      "class R {\n"
+      "  std::mutex mu_;\n"
+      "  int hits_ = 0;\n"
+      "};\n";
+  const std::string guarded =
+      "class R {\n"
+      "  std::mutex mu_;\n"
+      "  int hits_ COMMA_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_EQ(findings_in(unguarded), 1u);
+  EXPECT_EQ(findings_in(guarded), 0u);
+}
+
+// The nondeterminism allowlist: a table entry (file, api) sanctions that
+// one API in that one file, like an include-layering edge; "*" sanctions
+// the whole file. Other files stay banned.
+TEST(CommaLint, NondeterminismAllowlistIsPerFileAndApi) {
+  const auto findings_with = [](std::vector<NondetAllowance> allow) {
+    Project project;
+    project.files.push_back(
+        MakeLintFile("src/sim/entropy.cc", "unsigned S() { return std::random_device{}(); }\n"));
+    project.files.push_back(
+        MakeLintFile("src/sim/other.cc", "unsigned T() { return std::random_device{}(); }\n"));
+    Diagnostics out;
+    MakeNondeterminismRule(std::move(allow))->Check(project, &out);
+    return out.size();
+  };
+  EXPECT_EQ(findings_with({}), 2u);
+  EXPECT_EQ(findings_with({{"src/sim/entropy.cc", "random_device"}}), 1u);
+  EXPECT_EQ(findings_with({{"src/sim/entropy.cc", "*"}}), 1u);
+  EXPECT_EQ(findings_with({{"src/sim/entropy.cc", "rand"}}), 2u);  // Wrong API.
+}
+
+// The lock-order hierarchy round-trips from the DESIGN.md table: ranks
+// declared there decide which nestings are findings, and a lock missing
+// from the table cannot be taken.
+TEST(CommaLint, LockOrderRoundTripsFromDesignTable) {
+  const std::string design =
+      "# Fixture\n"
+      "### Lock hierarchy\n"
+      "\n"
+      "| Rank | Lock | Owner |\n"
+      "|------|------|-------|\n"
+      "| 10 | `outer_mu_` | A |\n"
+      "| 20 | `inner_mu_` | B |\n";
+  const auto findings_in = [&](const std::string& body) {
+    Project project;
+    project.files.push_back(MakeLintFile("src/obs/fixture.cc", body));
+    project.design = MakeLintFile("DESIGN.md", design);
+    project.has_design = true;
+    Diagnostics out;
+    MakeLockOrderRule()->Check(project, &out);
+    return out;
+  };
+  const std::string good =
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> a(outer_mu_);\n"
+      "  std::lock_guard<std::mutex> b(inner_mu_);\n"
+      "}\n";
+  const std::string inverted =
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> a(inner_mu_);\n"
+      "  std::lock_guard<std::mutex> b(outer_mu_);\n"
+      "}\n";
+  const std::string unranked = "void F() { std::lock_guard<std::mutex> a(stray_mu_); }\n";
+  EXPECT_TRUE(findings_in(good).empty());
+  ASSERT_EQ(findings_in(inverted).size(), 1u);
+  EXPECT_NE(findings_in(inverted)[0].message.find("rank 10"), std::string::npos);
+  ASSERT_EQ(findings_in(unranked).size(), 1u);
+  EXPECT_NE(findings_in(unranked)[0].message.find("not in the DESIGN.md"), std::string::npos);
+
+  // Without a hierarchy table the rule has nothing to enforce.
+  Project no_design;
+  no_design.files.push_back(MakeLintFile("src/obs/fixture.cc", inverted));
+  Diagnostics out;
+  MakeLockOrderRule()->Check(no_design, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// The suppression-reason contract: a comma-rule NOLINT without a trailing
+// `: reason` is a finding; reasons and third-party suppressions are not.
+TEST(CommaLint, NolintReasonRequiredOnCommaSuppressions) {
+  const auto findings_in = [](const std::string& body) {
+    Project project;
+    project.files.push_back(MakeLintFile("src/tcp/fixture.cc", body));
+    Diagnostics out;
+    MakeNolintReasonRule()->Check(project, &out);
+    return out.size();
+  };
+  EXPECT_EQ(findings_in("int x;  // NOLINT(comma-seq-raw-compare)\n"), 1u);
+  EXPECT_EQ(findings_in("int x;  // NOLINT(seq-raw-compare)\n"), 1u);
+  EXPECT_EQ(findings_in("// NOLINTNEXTLINE(comma-seq-raw-compare)\nint x;\n"), 1u);
+  EXPECT_EQ(findings_in("int x;  // NOLINT(comma-seq-raw-compare): event seq, not TCP\n"), 0u);
+  EXPECT_EQ(findings_in("// NOLINTNEXTLINE(comma-seq-raw-compare): event seq\nint x;\n"), 0u);
+  // Third-party (clang-tidy) suppressions are not comma-lint's business.
+  EXPECT_EQ(findings_in("int x;  // NOLINT(cppcoreguidelines-pro-type-reinterpret-cast)\n"), 0u);
+  // Bare NOLINT never silences comma-lint, so no reason is demanded either.
+  EXPECT_EQ(findings_in("int x;  // NOLINT\n"), 0u);
+  // A bare suppression of this very rule does not silence it.
+  EXPECT_EQ(findings_in("int x;  // NOLINT(comma-nolint-reason)\n"), 1u);
 }
 
 // The declared-type exemption: a uint64_t `seq` (the simulator's event

@@ -1,0 +1,16 @@
+// Bad fixture: shared state whose lock story is not written down. Never
+// compiled; scanned by tests/lint.
+#include <mutex>
+
+namespace fixture {
+
+class SilentRegistry {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mu_;
+  int hits_locked_ = 0;
+};
+
+}  // namespace fixture

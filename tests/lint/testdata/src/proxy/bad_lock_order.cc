@@ -1,0 +1,24 @@
+// Bad fixture: lock acquisitions against the declared hierarchy
+// (testdata/DESIGN.md). Never compiled; scanned by tests/lint.
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace fixture {
+
+std::mutex table_mu_;
+std::mutex row_mu_;
+std::mutex rogue_mu_;
+
+void NestedAgainstRank() {
+  std::lock_guard<std::mutex> row(row_mu_);
+  std::lock_guard<std::mutex> table(table_mu_);
+}
+
+void UnrankedLock() {
+  std::lock_guard<std::mutex> rogue(rogue_mu_);
+}
+
+void Promote() COMMA_REQUIRES(row_mu_) COMMA_ACQUIRE(table_mu_);
+
+}  // namespace fixture

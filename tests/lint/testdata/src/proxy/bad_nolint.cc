@@ -1,0 +1,8 @@
+// Bad fixture: a comma suppression without its reason. Never compiled;
+// scanned by tests/lint.
+namespace fixture {
+
+int grandfathered = 0;  // NOLINT(comma-metric-name-style)
+int justified = 1;      // NOLINT(comma-metric-name-style): synthetic fixture name
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Bad fixture: every banned nondeterminism source. Never compiled; scanned
+// by tests/lint.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+unsigned Seed() { return std::random_device{}(); }
+int Jitter() { return std::rand() % 7; }
+long Wall() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long Stamp() { return time(nullptr); }
+const char* Mode() { return std::getenv("COMMA_MODE"); }
+std::unordered_map<const void*, int> visit_order;
+
+}  // namespace fixture

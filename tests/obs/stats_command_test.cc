@@ -59,8 +59,8 @@ TEST_F(ObsStatsCommandTest, JsonReflectsTraffic) {
   EXPECT_GT(m.at("counters.sp.filter.meter.out_bytes"), 0.0);
   EXPECT_GE(m.at("gauges.sp.streams"), 1.0);
   // The queue-resolve histogram saw at least the first-packet cache miss.
-  EXPECT_GT(m.at("histograms.sp.queue_resolve_us.count"), 0.0);
-  EXPECT_TRUE(m.count("histograms.sp.queue_resolve_us.p99"));
+  EXPECT_GT(m.at("histograms.sp.queue_resolve_work.count"), 0.0);
+  EXPECT_TRUE(m.count("histograms.sp.queue_resolve_work.p99"));
 }
 
 TEST_F(ObsStatsCommandTest, JsonPatternFilterApplies) {

@@ -10,6 +10,8 @@
 // Exit codes: 0 clean (or baselined), 1 findings, 2 usage/environment
 // error.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -21,8 +23,8 @@ void PrintUsage() {
   std::fputs(
       "usage: comma-lint [options] [paths...]\n"
       "\n"
-      "Scans *.h/*.cc under the given paths (default: src tests) and checks\n"
-      "the comma project invariants. Paths are relative to --root.\n"
+      "Scans *.h/*.cc under the given paths (default: src tests tools) and\n"
+      "checks the comma project invariants. Paths are relative to --root.\n"
       "\n"
       "options:\n"
       "  --root <dir>       repo root diagnostics are relative to (default .)\n"
@@ -32,8 +34,21 @@ void PrintUsage() {
       "  --write-baseline   rewrite the baseline with the current findings\n"
       "  --fix              apply mechanical fixes (rules marked fixable)\n"
       "  --rule <name>      run only this rule (repeatable)\n"
+      "  --jobs <n>         load/lex files with n worker threads (default 1)\n"
+      "  --counts-md <file> write the per-rule finding table as markdown\n"
+      "                     (CI appends it to the job summary)\n"
       "  --list-rules       print the rule catalog and exit\n",
       stderr);
+}
+
+// The per-rule tally as a markdown table, for $GITHUB_STEP_SUMMARY.
+std::string RenderCountsMarkdown(const comma::lint::LintResult& result) {
+  std::string out = "| rule | findings | baselined |\n|---|---:|---:|\n";
+  for (const comma::lint::RuleCount& c : result.rule_counts) {
+    out += "| comma-" + c.rule + " | " + std::to_string(c.findings) + " | " +
+           std::to_string(c.baselined) + " |\n";
+  }
+  return out;
 }
 
 }  // namespace
@@ -42,6 +57,7 @@ int main(int argc, char** argv) {
   comma::lint::LintOptions options;
   bool no_baseline = false;
   bool baseline_set = false;
+  std::string counts_md_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -64,6 +80,14 @@ int main(int argc, char** argv) {
       options.apply_fixes = true;
     } else if (arg == "--rule") {
       options.rules.push_back(next("--rule"));
+    } else if (arg == "--jobs") {
+      options.jobs = std::atoi(next("--jobs"));
+      if (options.jobs < 1) {
+        std::fprintf(stderr, "comma-lint: --jobs wants a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--counts-md") {
+      counts_md_path = next("--counts-md");
     } else if (arg == "--list-rules") {
       for (const auto& rule : comma::lint::BuiltinRules()) {
         std::printf("comma-%-20s %s%s\n", std::string(rule->name()).c_str(),
@@ -106,5 +130,13 @@ int main(int argc, char** argv) {
     summary += ", " + std::to_string(result.fixes_applied) + " fix(es) applied";
   }
   std::fprintf(stderr, "%s\n", summary.c_str());
+  if (!counts_md_path.empty()) {
+    std::ofstream md(counts_md_path, std::ios::trunc);
+    if (!md) {
+      std::fprintf(stderr, "comma-lint: cannot write %s\n", counts_md_path.c_str());
+      return 2;
+    }
+    md << "### comma-lint rule counts\n\n" << RenderCountsMarkdown(result);
+  }
   return result.findings.empty() ? 0 : 1;
 }

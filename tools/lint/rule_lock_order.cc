@@ -1,0 +1,364 @@
+// lock-order — the declared lock hierarchy, checked against the code.
+//
+// DESIGN.md §"Lock hierarchy" declares every lock in the tree with a
+// numeric rank; locks must only be acquired in increasing rank order, which
+// makes cross-thread deadlock impossible by construction. This rule parses
+// that table (it travels with the code, so re-ranking a lock and the sites
+// that take it land in one commit) and checks two things:
+//
+//  1. Lexically nested acquisitions: a std::lock_guard / scoped_lock /
+//     unique_lock / shared_lock taken while a guard on a same-or-higher
+//     ranked lock is still in scope.
+//  2. Annotation pairs: a declaration carrying both COMMA_REQUIRES(a) and
+//     COMMA_ACQUIRE(b) where rank(a) >= rank(b) — the caller already holds
+//     `a`, so the function body will acquire against the order.
+//
+// Every acquired lock must be in the table: an unranked mutex cannot be
+// ordered, so taking one is itself a finding. Scope is src/ and tools/
+// (tests build ad-hoc mutexes for harness plumbing).
+//
+// Table format parsed from DESIGN.md, first row after a heading line
+// containing "lock hierarchy" (case-insensitive):
+//
+//   | Rank | Lock            | Owner              | ... |
+//   |------|-----------------|--------------------|-----|
+//   | 10   | `scan_mu_`      | lint::ScanPool     | ... |
+//
+// Rank is the first cell (an integer), the lock is the first `backticked`
+// identifier in the second cell. Lock field names are globally unique by
+// convention, so the rule matches by name alone.
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+struct LockRank {
+  int rank = 0;
+  int design_line = 0;  // Where the table row lives, for messages.
+};
+
+using Hierarchy = std::map<std::string, LockRank>;
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// Splits a markdown table row into trimmed cells ("|a | b|" -> {"a","b"}).
+std::vector<std::string> RowCells(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t pos = line.find('|');
+  while (pos != std::string::npos) {
+    const size_t next = line.find('|', pos + 1);
+    if (next == std::string::npos) {
+      break;
+    }
+    std::string cell = line.substr(pos + 1, next - pos - 1);
+    const size_t b = cell.find_first_not_of(" \t");
+    const size_t e = cell.find_last_not_of(" \t");
+    cells.push_back(b == std::string::npos ? std::string() : cell.substr(b, e - b + 1));
+    pos = next;
+  }
+  return cells;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty()) {
+    return false;
+  }
+  int v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// First `backticked` span of `cell`, or empty.
+std::string BacktickedName(const std::string& cell) {
+  const size_t open = cell.find('`');
+  if (open == std::string::npos) {
+    return {};
+  }
+  const size_t close = cell.find('`', open + 1);
+  if (close == std::string::npos) {
+    return {};
+  }
+  return cell.substr(open + 1, close - open - 1);
+}
+
+Hierarchy ParseHierarchy(const LintFile& design) {
+  Hierarchy ranks;
+  bool in_section = false;
+  bool in_table = false;
+  for (size_t i = 0; i < design.lines.size(); ++i) {
+    const std::string& line = design.lines[i];
+    if (!in_section) {
+      if (line.find('#') != std::string::npos &&
+          Lowered(line).find("lock hierarchy") != std::string::npos) {
+        in_section = true;
+      }
+      continue;
+    }
+    const size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) {
+      if (in_table) {
+        break;  // Blank line after the table ends it.
+      }
+      continue;
+    }
+    if (line[b] != '|') {
+      if (in_table) {
+        break;
+      }
+      continue;  // Prose between the heading and the table.
+    }
+    in_table = true;
+    const std::vector<std::string> cells = RowCells(line);
+    int rank = 0;
+    if (cells.size() < 2 || !ParseInt(cells[0], &rank)) {
+      continue;  // Header or separator row.
+    }
+    const std::string name = BacktickedName(cells[1]);
+    if (!name.empty()) {
+      ranks[name] = {rank, static_cast<int>(i + 1)};
+    }
+  }
+  return ranks;
+}
+
+// A guard variable still in scope: which lock it holds and the brace depth
+// its enclosing scope started at.
+struct HeldLock {
+  std::string name;
+  int rank = 0;
+  int depth = 0;
+};
+
+bool IsGuardType(const Token& t) {
+  return t.IsIdent("lock_guard") || t.IsIdent("scoped_lock") || t.IsIdent("unique_lock") ||
+         t.IsIdent("shared_lock");
+}
+
+// Token index just past a `<...>` template argument list at `open`, or
+// `open` when there is none.
+size_t SkipTemplateArgs(const Tokens& toks, size_t open) {
+  if (open >= toks.size() || !toks[open].IsPunct("<")) {
+    return open;
+  }
+  int depth = 0;
+  for (size_t j = open; j < toks.size() && j < open + 128; ++j) {
+    if (toks[j].IsPunct("<")) {
+      ++depth;
+    } else if (toks[j].IsPunct(">")) {
+      if (--depth == 0) {
+        return j + 1;
+      }
+    } else if (toks[j].IsPunct(">>")) {
+      depth -= 2;
+      if (depth <= 0) {
+        return j + 1;
+      }
+    }
+  }
+  return open;
+}
+
+class LockOrderRule : public Rule {
+ public:
+  std::string_view name() const override { return "lock-order"; }
+  std::string_view description() const override {
+    return "nested lock acquisitions must follow the DESIGN.md lock-hierarchy ranks";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    if (!project.has_design) {
+      return;  // No declared hierarchy to check against.
+    }
+    const Hierarchy ranks = ParseHierarchy(project.design);
+    if (ranks.empty()) {
+      return;
+    }
+    for (const LintFile& f : project.files) {
+      if (!PathUnder(f.path, "src/") && !PathUnder(f.path, "tools/")) {
+        continue;
+      }
+      CheckLexicalNesting(f, ranks, out);
+      CheckAnnotationPairs(f, ranks, out);
+    }
+  }
+
+ private:
+  // The last identifier of one acquisition argument (`registry.metrics_mu_`
+  // -> `metrics_mu_`). Arguments are split on top-level commas.
+  static std::vector<std::pair<std::string, const Token*>> ArgLockNames(const Tokens& toks,
+                                                                        size_t open,
+                                                                        size_t close) {
+    std::vector<std::pair<std::string, const Token*>> names;
+    const Token* last_ident = nullptr;
+    int depth = 0;
+    for (size_t j = open + 1; j < close; ++j) {
+      const Token& t = toks[j];
+      if (t.IsPunct("(")) {
+        ++depth;
+      } else if (t.IsPunct(")")) {
+        --depth;
+      } else if (t.IsPunct(",") && depth == 0) {
+        if (last_ident != nullptr) {
+          names.emplace_back(last_ident->text, last_ident);
+        }
+        last_ident = nullptr;
+      } else if (t.kind == TokenKind::kIdentifier) {
+        last_ident = &t;
+      }
+    }
+    if (last_ident != nullptr) {
+      names.emplace_back(last_ident->text, last_ident);
+    }
+    return names;
+  }
+
+  void CheckLexicalNesting(const LintFile& f, const Hierarchy& ranks, Diagnostics* out) const {
+    const Tokens& toks = f.tokens;
+    std::vector<HeldLock> held;
+    int depth = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.IsPunct("{")) {
+        ++depth;
+        continue;
+      }
+      if (t.IsPunct("}")) {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) {
+          held.pop_back();
+        }
+        continue;
+      }
+      if (!IsGuardType(t)) {
+        continue;
+      }
+      // std::lock_guard<...> var ( args ) ;
+      size_t j = SkipTemplateArgs(toks, i + 1);
+      if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier ||
+          j + 1 >= toks.size() || !toks[j + 1].IsPunct("(")) {
+        continue;
+      }
+      const size_t close = MatchingParen(toks, j + 1);
+      if (close == kNpos) {
+        continue;
+      }
+      for (const auto& [name, tok] : ArgLockNames(toks, j + 1, close)) {
+        const auto rank = ranks.find(name);
+        if (rank == ranks.end()) {
+          Emit(f, *tok,
+               "acquires '" + name +
+                   "', which is not in the DESIGN.md lock-hierarchy table; every lock must be "
+                   "ranked before it can be taken",
+               out);
+          continue;
+        }
+        if (!held.empty() && held.back().rank >= rank->second.rank) {
+          Emit(f, *tok,
+               "acquires '" + name + "' (rank " + std::to_string(rank->second.rank) +
+                   ") while '" + held.back().name + "' (rank " +
+                   std::to_string(held.back().rank) +
+                   ") is held; the DESIGN.md lock hierarchy orders acquisitions by "
+                   "increasing rank",
+               out);
+        }
+        held.push_back({name, rank->second.rank, depth});
+      }
+      i = close;
+    }
+  }
+
+  void CheckAnnotationPairs(const LintFile& f, const Hierarchy& ranks, Diagnostics* out) const {
+    const Tokens& toks = f.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].IsIdent("COMMA_ACQUIRE") || i + 1 >= toks.size() ||
+          !toks[i + 1].IsPunct("(")) {
+        continue;
+      }
+      const size_t close = MatchingParen(toks, i + 1);
+      if (close == kNpos) {
+        continue;
+      }
+      const auto acquired = ArgLockNames(toks, i + 1, close);
+      // The declaration this annotation belongs to: back to the previous
+      // `;`, `{`, or `}`.
+      size_t begin = 0;
+      for (size_t j = i; j > 0; --j) {
+        const Token& t = toks[j - 1];
+        if (t.IsPunct(";") || t.IsPunct("{") || t.IsPunct("}")) {
+          begin = j;
+          break;
+        }
+      }
+      std::vector<std::pair<std::string, const Token*>> required;
+      for (size_t j = begin; j < i; ++j) {
+        if (toks[j].IsIdent("COMMA_REQUIRES") && j + 1 < i && toks[j + 1].IsPunct("(")) {
+          const size_t rclose = MatchingParen(toks, j + 1);
+          if (rclose != kNpos && rclose < i) {
+            for (auto& nm : ArgLockNames(toks, j + 1, rclose)) {
+              required.push_back(std::move(nm));
+            }
+          }
+        }
+      }
+      for (const auto& [aname, atok] : acquired) {
+        const auto arank = ranks.find(aname);
+        if (arank == ranks.end()) {
+          Emit(f, *atok,
+               "COMMA_ACQUIRE names '" + aname +
+                   "', which is not in the DESIGN.md lock-hierarchy table; every lock must be "
+                   "ranked before it can be taken",
+               out);
+          continue;
+        }
+        for (const auto& [rname, rtok] : required) {
+          const auto rrank = ranks.find(rname);
+          if (rrank == ranks.end() || rrank->second.rank < arank->second.rank) {
+            continue;
+          }
+          Emit(f, *atok,
+               "declared to acquire '" + aname + "' (rank " +
+                   std::to_string(arank->second.rank) + ") while requiring '" + rname +
+                   "' (rank " + std::to_string(rrank->second.rank) +
+                   "); the DESIGN.md lock hierarchy orders acquisitions by increasing rank",
+               out);
+        }
+      }
+    }
+  }
+
+  static void Emit(const LintFile& f, const Token& at, std::string message, Diagnostics* out) {
+    Diagnostic d;
+    d.file = f.path;
+    d.line = at.line;
+    d.col = at.col;
+    d.rule = "lock-order";
+    d.message = std::move(message);
+    if (!f.IsSuppressed(d.rule, d.line)) {
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeLockOrderRule() { return std::make_unique<LockOrderRule>(); }
+
+}  // namespace comma::lint

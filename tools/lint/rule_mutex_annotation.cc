@@ -1,0 +1,265 @@
+// mutex-annotation — a mutex must say what it protects.
+//
+// The parallel-simulator work (ROADMAP item 3) makes the lock story part of
+// the architecture, and the thread-safety annotations in
+// src/util/thread_annotations.h are how that story is written down where
+// Clang can check it. This rule keeps the annotations from rotting on
+// compilers that cannot (the tree builds with GCC, where the macros expand
+// to nothing):
+//
+//  1. Every mutex-typed class member must be referenced by at least one
+//     COMMA_GUARDED_BY / COMMA_PT_GUARDED_BY annotation in the same class.
+//     An unreferenced mutex is either dead weight or — worse — protecting
+//     state by convention nobody wrote down.
+//  2. Members named `*_locked_` declare by convention that they are
+//     lock-protected; such a field without a COMMA_GUARDED_BY annotation is
+//     a contract stated in the name but invisible to the analysis.
+//
+// Scope is src/ and tools/ — the lint tool's own worker pool (scan_pool.h)
+// eats the same dog food. Tests build ad-hoc harness types and are exempt.
+#include <array>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+constexpr std::array<std::string_view, 5> kMutexTypes = {
+    "mutex", "recursive_mutex", "timed_mutex", "shared_mutex", "shared_timed_mutex",
+};
+
+constexpr std::array<std::string_view, 2> kGuardAnnotations = {
+    "COMMA_GUARDED_BY", "COMMA_PT_GUARDED_BY",
+};
+
+bool IsMutexType(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) {
+    return false;
+  }
+  for (std::string_view m : kMutexTypes) {
+    if (t.text == m) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsGuardAnnotation(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) {
+    return false;
+  }
+  for (std::string_view a : kGuardAnnotations) {
+    if (t.text == a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct MutexMember {
+  std::string name;
+  int line = 0;
+  int col = 0;
+};
+
+struct LockedField {
+  std::string name;
+  int line = 0;
+  int col = 0;
+  bool annotated = false;
+};
+
+// One `class`/`struct` body, scanned at member-declaration depth only
+// (nested braces — member function bodies, default initializers, nested
+// classes — are skipped; nested classes get their own scan).
+struct ClassBody {
+  std::string name;
+  std::vector<MutexMember> mutexes;
+  std::vector<std::string> guarded_refs;  // Lock names cited by annotations.
+  std::vector<LockedField> locked_fields;
+};
+
+// Finds the '{' opening the body of the class-head starting at `i` (the
+// `class`/`struct` keyword). Returns kNpos for forward declarations,
+// template parameters, and anything else that is not a definition.
+size_t ClassBodyOpen(const Tokens& toks, size_t i) {
+  if (i + 2 >= toks.size() || toks[i + 1].kind != TokenKind::kIdentifier) {
+    return kNpos;  // Anonymous structs carry no contract to name.
+  }
+  if (i > 0 && toks[i - 1].IsIdent("enum")) {
+    return kNpos;  // `enum class`.
+  }
+  for (size_t j = i + 2; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.IsPunct("{")) {
+      return j;
+    }
+    // `;` → forward declaration; `,`/`>`/`(`/`)`/`=` → template parameter
+    // (`template <class T>`), default argument, or cast-like context.
+    if (t.IsPunct(";") || t.IsPunct(",") || t.IsPunct(">") || t.IsPunct("(") || t.IsPunct(")") ||
+        t.IsPunct("=")) {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// True when the member declaration containing token `at` (depth-1 tokens
+// [lo, hi] of the class body) carries a guard annotation. The statement
+// spans from the previous `;` / `{` / access-specifier `:` to the next `;`.
+bool StatementHasGuard(const Tokens& toks, size_t at, size_t lo, size_t hi) {
+  size_t begin = lo;
+  for (size_t j = at; j > lo; --j) {
+    const Token& t = toks[j - 1];
+    if (t.IsPunct(";") || t.IsPunct("{") || t.IsPunct("}") || t.IsPunct(":")) {
+      begin = j;
+      break;
+    }
+  }
+  for (size_t j = begin; j <= hi; ++j) {
+    if (IsGuardAnnotation(toks[j])) {
+      return true;
+    }
+    if (j > at && toks[j].IsPunct(";")) {
+      break;
+    }
+  }
+  return false;
+}
+
+class MutexAnnotationRule : public Rule {
+ public:
+  std::string_view name() const override { return "mutex-annotation"; }
+  std::string_view description() const override {
+    return "every mutex member must be cited by a COMMA_GUARDED_BY; *_locked_ fields must be "
+           "annotated";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      if (!PathUnder(f.path, "src/") && !PathUnder(f.path, "tools/")) {
+        continue;
+      }
+      if (f.path == "src/util/thread_annotations.h") {
+        continue;  // The macro definitions themselves.
+      }
+      const Tokens& toks = f.tokens;
+      for (size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].IsIdent("class") && !toks[i].IsIdent("struct")) {
+          continue;
+        }
+        const size_t open = ClassBodyOpen(toks, i);
+        if (open == kNpos) {
+          continue;
+        }
+        const size_t close = MatchingBrace(toks, open);
+        if (close == kNpos) {
+          continue;
+        }
+        ClassBody body;
+        body.name = toks[i + 1].text;
+        ScanBody(toks, open, close, &body);
+        Report(f, body, out);
+      }
+    }
+  }
+
+ private:
+  // Collects mutex members, annotation references, and *_locked_ fields at
+  // declaration depth of the body (open, close).
+  static void ScanBody(const Tokens& toks, size_t open, size_t close, ClassBody* body) {
+    int depth = 0;
+    for (size_t j = open; j < close; ++j) {
+      const Token& t = toks[j];
+      if (t.IsPunct("{")) {
+        ++depth;
+        continue;
+      }
+      if (t.IsPunct("}")) {
+        --depth;
+        continue;
+      }
+      if (depth != 1) {
+        continue;
+      }
+      // `std :: <mutex-type> <name>` — a mutex member declaration.
+      if (t.IsIdent("std") && j + 3 < close && toks[j + 1].IsPunct("::") &&
+          IsMutexType(toks[j + 2]) && toks[j + 3].kind == TokenKind::kIdentifier) {
+        body->mutexes.push_back({toks[j + 3].text, toks[j + 3].line, toks[j + 3].col});
+        j += 3;
+        continue;
+      }
+      if (IsGuardAnnotation(t) && j + 1 < close && toks[j + 1].IsPunct("(")) {
+        const size_t end = MatchingParen(toks, j + 1);
+        if (end == kNpos || end > close) {
+          continue;
+        }
+        for (size_t k = j + 2; k < end; ++k) {
+          if (toks[k].kind == TokenKind::kIdentifier) {
+            body->guarded_refs.push_back(toks[k].text);
+          }
+        }
+        j = end;
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier && t.text.size() > 8 &&
+          t.text.compare(t.text.size() - 8, 8, "_locked_") == 0 &&
+          !(j + 1 < close && toks[j + 1].IsPunct("("))) {
+        LockedField field{t.text, t.line, t.col, false};
+        field.annotated = StatementHasGuard(toks, j, open + 1, close - 1);
+        body->locked_fields.push_back(std::move(field));
+      }
+    }
+  }
+
+  static void Report(const LintFile& f, const ClassBody& body, Diagnostics* out) {
+    for (const MutexMember& m : body.mutexes) {
+      bool cited = false;
+      for (const std::string& ref : body.guarded_refs) {
+        if (ref == m.name) {
+          cited = true;
+          break;
+        }
+      }
+      if (cited) {
+        continue;
+      }
+      Diagnostic d;
+      d.file = f.path;
+      d.line = m.line;
+      d.col = m.col;
+      d.rule = "mutex-annotation";
+      d.message = "mutex '" + m.name + "' in class '" + body.name +
+                  "' guards nothing; annotate the members it protects with COMMA_GUARDED_BY(" +
+                  m.name + ") (src/util/thread_annotations.h)";
+      if (!f.IsSuppressed(d.rule, d.line)) {
+        out->push_back(std::move(d));
+      }
+    }
+    for (const LockedField& field : body.locked_fields) {
+      if (field.annotated) {
+        continue;
+      }
+      Diagnostic d;
+      d.file = f.path;
+      d.line = field.line;
+      d.col = field.col;
+      d.rule = "mutex-annotation";
+      d.message = "field '" + field.name + "' in class '" + body.name +
+                  "' claims lock-protected state by its *_locked_ name but carries no "
+                  "COMMA_GUARDED_BY annotation";
+      if (!f.IsSuppressed(d.rule, d.line)) {
+        out->push_back(std::move(d));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeMutexAnnotationRule() { return std::make_unique<MutexAnnotationRule>(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,129 @@
+// nolint-reason — a suppression without a reason is a time bomb.
+//
+// comma-lint already refuses bare `// NOLINT` (the rule must be named, see
+// source.cc). This rule tightens the contract one step: a suppression that
+// names a comma rule must also say *why* the site is exempt, in the
+// trailing-comment form the docs mandate:
+//
+//   ... // NOLINT(comma-filter-contract): no data-path direction; acts at
+//                                         stream creation only
+//
+// Six months later the reason is the difference between "this exemption is
+// load-bearing" and "nobody remembers, better not touch it". Suppressions
+// of third-party rules (clang-tidy's cppcoreguidelines-*, etc.) are not
+// comma-lint's business and are ignored.
+//
+// This rule deliberately does NOT honor NOLINT(nolint-reason) suppression:
+// a bare suppression that silences the rule demanding reasons would be
+// self-defeating. The only way to quiet it is to write the reason. The
+// linter's own sources and tests (tools/lint, tests/lint) spell out bare
+// suppressions as examples and test vectors, so they are out of scope.
+#include <string>
+
+#include "tools/lint/rules.h"
+
+namespace comma::lint {
+namespace {
+
+// True when the NOLINT list `list` names at least one comma rule (either
+// the bare name or the "comma-" prefixed spelling).
+bool NamesCommaRule(std::string_view list) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma_at = list.find(',', pos);
+    if (comma_at == std::string_view::npos) {
+      comma_at = list.size();
+    }
+    std::string_view item = list.substr(pos, comma_at - pos);
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+      item.remove_suffix(1);
+    }
+    std::string_view bare = item;
+    if (bare.substr(0, 6) == "comma-") {
+      bare.remove_prefix(6);
+    }
+    for (std::string_view rule : BuiltinRuleNames()) {
+      if (bare == rule) {
+        return true;
+      }
+    }
+    if (comma_at == list.size()) {
+      break;
+    }
+    pos = comma_at + 1;
+  }
+  return false;
+}
+
+class NolintReasonRule : public Rule {
+ public:
+  std::string_view name() const override { return "nolint-reason"; }
+  std::string_view description() const override {
+    return "comma-lint suppressions must carry a trailing reason: NOLINT(<rule>): <why>";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      if (PathUnder(f.path, "tools/lint/") || PathUnder(f.path, "tests/lint/")) {
+        continue;  // The linter's own sources quote bare suppressions.
+      }
+      for (size_t i = 0; i < f.lines.size(); ++i) {
+        CheckLine(f, f.lines[i], static_cast<int>(i + 1), out);
+      }
+    }
+  }
+
+ private:
+  static void CheckLine(const LintFile& f, const std::string& line, int line_no,
+                        Diagnostics* out) {
+    size_t at = line.find("NOLINT");
+    while (at != std::string::npos) {
+      const bool nextline = line.compare(at, 14, "NOLINTNEXTLINE") == 0;
+      const size_t open = at + (nextline ? 14 : 6);
+      if (open >= line.size() || line[open] != '(') {
+        at = line.find("NOLINT", at + 1);
+        continue;  // Bare NOLINT never silences comma-lint; nothing to demand.
+      }
+      const size_t close = line.find(')', open);
+      if (close == std::string::npos ||
+          !NamesCommaRule(std::string_view(line).substr(open + 1, close - open - 1))) {
+        at = line.find("NOLINT", close == std::string::npos ? at + 1 : close);
+        continue;
+      }
+      if (!HasReason(line, close)) {
+        Diagnostic d;
+        d.file = f.path;
+        d.line = line_no;
+        d.col = static_cast<int>(at) + 1;
+        d.rule = "nolint-reason";
+        d.message =
+            "comma-lint suppression is missing its reason; write "
+            "`NOLINT(<rule>): <why this site is exempt>`";
+        out->push_back(std::move(d));  // Not IsSuppressed-gated: see header comment.
+      }
+      at = line.find("NOLINT", close);
+    }
+  }
+
+  // `): <non-empty reason>` after the close paren at `close`.
+  static bool HasReason(const std::string& line, size_t close) {
+    size_t p = close + 1;
+    if (p >= line.size() || line[p] != ':') {
+      return false;
+    }
+    ++p;
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) {
+      ++p;
+    }
+    return p < line.size();
+  }
+};
+
+}  // namespace
+
+RulePtr MakeNolintReasonRule() { return std::make_unique<NolintReasonRule>(); }
+
+}  // namespace comma::lint

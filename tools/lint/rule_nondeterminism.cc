@@ -1,0 +1,224 @@
+// nondeterminism-ban — the deterministic core must stay replayable.
+//
+// The simulator's whole value (and the fault-replay oracle's correctness,
+// tools/faultcheck) rests on bit-for-bit reproducibility: the same scenario
+// and seed must produce the same event trace, the same metric snapshot, the
+// same packet bytes. That breaks the moment deterministic code reads a wall
+// clock, OS entropy, or the environment — or iterates a hash container
+// keyed by pointer, whose order is whatever the allocator handed out this
+// run.
+//
+// Scope: src/sim, src/core, src/proxy, src/tcp — the modules on the
+// simulated event path. The simulator clock (sim::Simulator::Now) and the
+// seeded sim::Random are the only sanctioned time/randomness sources;
+// anything else below is banned:
+//
+//   std::rand / srand          unseeded global RNG
+//   std::random_device         OS entropy
+//   time() / clock()           wall clock (libc)
+//   system_clock / steady_clock / high_resolution_clock::now()  (chrono)
+//   getenv                     host-dependent configuration
+//   std::unordered_{map,set,multimap,multiset} with a pointer key
+//                              address-ordered iteration
+//
+// Escapes go through the allowlist table below (like include-layering's
+// edge table), reviewed in the same commit — not through inline NOLINT.
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+constexpr std::array<std::string_view, 4> kModules = {
+    "src/sim/", "src/core/", "src/proxy/", "src/tcp/",
+};
+
+// Sanctioned uses of banned APIs. Deliberately empty at introduction: the
+// sim clock and sim::Random are implemented without OS entropy or wall
+// clocks, and src/proxy's one steady_clock read was replaced by a
+// deterministic work count (sp.queue_resolve_work). Format:
+//   {"src/sim/random.cc", "random_device"}  // one API in one file
+//   {"src/sim/debug.cc", "*"}               // every banned API in the file
+constexpr struct {
+  std::string_view file;
+  std::string_view api;
+} kNondetAllowlist[] = {
+    {"", ""},  // Sentinel so the array is never empty; never matches.
+};
+
+constexpr std::array<std::string_view, 4> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+};
+
+bool InScope(std::string_view path) {
+  for (std::string_view m : kModules) {
+    if (path.substr(0, m.size()) == m) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when the identifier at `i` is qualified by something other than
+// `std` (e.g. `sim::Random::rand` would be, `std::rand` and bare `rand`
+// are not).
+bool HasNonStdQualifier(const Tokens& toks, size_t i) {
+  if (i < 2 || !toks[i - 1].IsPunct("::")) {
+    return false;
+  }
+  return !(toks[i - 2].IsIdent("std") || toks[i - 2].IsIdent("chrono"));
+}
+
+bool IsMemberAccess(const Tokens& toks, size_t i) {
+  return i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"));
+}
+
+// Walks the template argument list opened by the '<' at `open` and returns
+// true when the *first* (key) argument contains a '*' at its top level —
+// a pointer-keyed container. Tolerates nested templates; `>>` closers are
+// counted as two.
+bool PointerKeyedFirstArg(const Tokens& toks, size_t open) {
+  int depth = 1;
+  bool in_first_arg = true;
+  for (size_t j = open + 1; j < toks.size() && j < open + 128; ++j) {
+    const Token& t = toks[j];
+    if (t.IsPunct("<")) {
+      ++depth;
+    } else if (t.IsPunct(">")) {
+      if (--depth == 0) {
+        return false;
+      }
+    } else if (t.IsPunct(">>")) {
+      depth -= 2;
+      if (depth <= 0) {
+        return false;
+      }
+    } else if (t.IsPunct(",") && depth == 1) {
+      in_first_arg = false;
+    } else if (t.IsPunct("*") && depth == 1 && in_first_arg) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class NondeterminismRule : public Rule {
+ public:
+  explicit NondeterminismRule(std::vector<NondetAllowance> allow) : allow_(std::move(allow)) {}
+
+  std::string_view name() const override { return "nondeterminism-ban"; }
+  std::string_view description() const override {
+    return "src/{sim,core,proxy,tcp} may not read wall clocks, OS entropy, getenv, or iterate "
+           "pointer-keyed hash containers";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (const LintFile& f : project.files) {
+      if (!InScope(f.path)) {
+        continue;
+      }
+      const Tokens& toks = f.tokens;
+      for (size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdentifier) {
+          continue;
+        }
+        std::string api;
+        std::string message;
+        if ((t.text == "rand" || t.text == "srand") && NextIsCall(toks, i) &&
+            !IsMemberAccess(toks, i) && !HasNonStdQualifier(toks, i)) {
+          api = t.text;
+          message = "'" + t.text + "()' draws from the unseeded global RNG; draw from the "
+                    "scenario's seeded sim::Random instead";
+        } else if (t.text == "random_device" && !IsMemberAccess(toks, i) &&
+                   !HasNonStdQualifier(toks, i)) {
+          api = t.text;
+          message = "'std::random_device' taps OS entropy and breaks replay; seed a "
+                    "sim::Random from the scenario config";
+        } else if ((t.text == "time" || t.text == "clock") && NextIsCall(toks, i) &&
+                   !IsMemberAccess(toks, i) && !HasNonStdQualifier(toks, i)) {
+          api = t.text;
+          message = "wall-clock call '" + t.text + "()' in deterministic code; event time is "
+                    "sim::Simulator::Now()";
+        } else if ((t.text == "system_clock" || t.text == "steady_clock" ||
+                    t.text == "high_resolution_clock") &&
+                   !IsMemberAccess(toks, i)) {
+          api = t.text;
+          message = "wall-clock read via std::chrono::" + t.text + " in deterministic code; "
+                    "event time is sim::Simulator::Now()";
+        } else if (t.text == "getenv" && NextIsCall(toks, i) && !IsMemberAccess(toks, i) &&
+                   !HasNonStdQualifier(toks, i)) {
+          api = t.text;
+          message = "'getenv()' makes behaviour host-dependent; thread configuration through "
+                    "the scenario/config structs";
+        } else if (IsUnorderedContainer(t.text) && i + 1 < toks.size() &&
+                   toks[i + 1].IsPunct("<") && PointerKeyedFirstArg(toks, i + 1)) {
+          api = t.text;
+          message = "pointer-keyed std::" + t.text + " iterates in address order, which varies "
+                    "run to run; key by a stable id or use an ordered container";
+        } else {
+          continue;
+        }
+        if (Allowed(f.path, api)) {
+          continue;
+        }
+        Diagnostic d;
+        d.file = f.path;
+        d.line = t.line;
+        d.col = t.col;
+        d.rule = "nondeterminism-ban";
+        d.message = std::move(message);
+        if (!f.IsSuppressed(d.rule, d.line)) {
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+
+ private:
+  static bool NextIsCall(const Tokens& toks, size_t i) {
+    return i + 1 < toks.size() && toks[i + 1].IsPunct("(");
+  }
+
+  static bool IsUnorderedContainer(const std::string& text) {
+    for (std::string_view c : kUnorderedContainers) {
+      if (text == c) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Allowed(const std::string& file, const std::string& api) const {
+    for (const auto& e : kNondetAllowlist) {
+      if (!e.file.empty() && file == e.file && (e.api == "*" || api == e.api)) {
+        return true;
+      }
+    }
+    for (const NondetAllowance& e : allow_) {
+      if (file == e.file && (e.api == "*" || api == e.api)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<NondetAllowance> allow_;
+};
+
+}  // namespace
+
+RulePtr MakeNondeterminismRule() {
+  return std::make_unique<NondeterminismRule>(std::vector<NondetAllowance>{});
+}
+
+RulePtr MakeNondeterminismRule(std::vector<NondetAllowance> allow) {
+  return std::make_unique<NondeterminismRule>(std::move(allow));
+}
+
+}  // namespace comma::lint

@@ -10,7 +10,21 @@ std::vector<RulePtr> BuiltinRules() {
   rules.push_back(MakeMetricNameStyleRule());
   rules.push_back(MakeIncludeLayeringRule());
   rules.push_back(MakeFilterContractRule());
+  rules.push_back(MakeMutexAnnotationRule());
+  rules.push_back(MakeNondeterminismRule());
+  rules.push_back(MakeLockOrderRule());
+  rules.push_back(MakeNolintReasonRule());
   return rules;
+}
+
+const std::vector<std::string_view>& BuiltinRuleNames() {
+  // Kept in lockstep with BuiltinRules(); tests/lint cross-checks the two.
+  static const std::vector<std::string_view> kNames = {
+      "seq-raw-compare",  "bytes-raw-cast", "check-side-effect", "metric-name-style",
+      "include-layering", "filter-contract", "mutex-annotation",  "nondeterminism-ban",
+      "lock-order",       "nolint-reason",
+  };
+  return kNames;
 }
 
 }  // namespace comma::lint

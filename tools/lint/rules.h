@@ -10,6 +10,7 @@
 #define COMMA_TOOLS_LINT_RULES_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -20,6 +21,12 @@ namespace comma::lint {
 
 struct Project {
   std::vector<LintFile> files;
+  // The repo's DESIGN.md, when present at the scan root. Not a lintable
+  // file itself: the lock-order rule reads its §"Lock hierarchy" table, so
+  // the declared lock ranks and the code that takes the locks travel in the
+  // same commit.
+  LintFile design;
+  bool has_design = false;
 };
 
 class Rule {
@@ -36,6 +43,16 @@ class Rule {
 
 using RulePtr = std::unique_ptr<Rule>;
 
+// One sanctioned use of a banned nondeterminism API: `api` (the banned
+// identifier, or "*" for all of them) is permitted in `file` (exact path
+// relative to the scan root). Mirrors include-layering's AllowedEdge table:
+// extending the allowlist is an architectural decision made in code review,
+// not an inline suppression.
+struct NondetAllowance {
+  std::string file;
+  std::string api;
+};
+
 // Factories, one per rule (each defined in its rule_*.cc).
 RulePtr MakeSeqRawCompareRule();
 RulePtr MakeBytesRawCastRule();
@@ -43,9 +60,19 @@ RulePtr MakeCheckSideEffectRule();
 RulePtr MakeMetricNameStyleRule();
 RulePtr MakeIncludeLayeringRule();
 RulePtr MakeFilterContractRule();
+RulePtr MakeMutexAnnotationRule();
+RulePtr MakeNondeterminismRule();  // Built-in (kNondetAllowlist) allowances.
+RulePtr MakeNondeterminismRule(std::vector<NondetAllowance> allow);
+RulePtr MakeLockOrderRule();
+RulePtr MakeNolintReasonRule();
 
-// All six launch rules, in catalog order.
+// All builtin rules, in catalog order.
 std::vector<RulePtr> BuiltinRules();
+
+// The catalog names in the same order, without instantiating the rules
+// (the nolint-reason rule consults this; a rule constructing the catalog
+// inside BuiltinRules() would recurse).
+const std::vector<std::string_view>& BuiltinRuleNames();
 
 // Shared helper: true when `path` is under `prefix` ("src/" etc.).
 inline bool PathUnder(std::string_view path, std::string_view prefix) {

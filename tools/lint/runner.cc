@@ -8,6 +8,7 @@
 
 #include "tools/lint/baseline.h"
 #include "tools/lint/fixer.h"
+#include "tools/lint/scan_pool.h"
 
 namespace comma::lint {
 namespace {
@@ -76,28 +77,36 @@ bool RunLint(const LintOptions& options, LintResult* result, std::string* error)
     return false;
   }
 
-  // Collect and load files.
+  // Collect and load files. Default paths tolerate a missing directory
+  // (a checkout without tools/ is still lintable); explicit paths do not.
+  const bool default_paths = options.paths.empty();
   std::vector<std::string> scan_paths =
-      options.paths.empty() ? std::vector<std::string>{"src", "tests"} : options.paths;
+      default_paths ? std::vector<std::string>{"src", "tests", "tools"} : options.paths;
   std::set<std::string> rel_paths;
   for (const std::string& p : scan_paths) {
     const fs::path base = fs::path(p).is_absolute() ? fs::path(p) : root / p;
     if (!fs::exists(base, ec)) {
+      if (default_paths) {
+        continue;
+      }
       *error = "no such path: " + base.string();
       return false;
     }
     CollectFiles(base, root, &rel_paths);
   }
   Project project;
-  for (const std::string& rel : rel_paths) {
-    LintFile f;
-    if (!LoadLintFile((root / rel).string(), rel, &f)) {
-      *error = "cannot read " + rel;
-      return false;
-    }
-    project.files.push_back(std::move(f));
+  const std::vector<std::string> rels(rel_paths.begin(), rel_paths.end());
+  if (!ScanPool::LoadAll(root, rels, options.jobs, &project.files, error)) {
+    return false;
   }
   result->files_scanned = static_cast<int>(project.files.size());
+
+  // DESIGN.md (the lock-hierarchy table) rides along when present; it is
+  // input to the lock-order rule, not a linted file.
+  const fs::path design = root / "DESIGN.md";
+  if (fs::is_regular_file(design, ec)) {
+    project.has_design = LoadLintFile(design.string(), "DESIGN.md", &project.design);
+  }
 
   // Run the rules. NOLINT suppression happens inside each rule (it knows
   // the finding's anchor line).
@@ -131,6 +140,20 @@ bool RunLint(const LintOptions& options, LintResult* result, std::string* error)
     } else {
       result->findings.push_back(std::move(d));
     }
+  }
+
+  // Per-rule tally, one row per active rule in catalog order (zero rows
+  // included: "this rule ran and found nothing" is the interesting datum).
+  for (const Rule* rule : active) {
+    RuleCount count;
+    count.rule = std::string(rule->name());
+    for (const Diagnostic& d : result->findings) {
+      count.findings += d.rule == count.rule ? 1 : 0;
+    }
+    for (const Diagnostic& d : result->baselined) {
+      count.baselined += d.rule == count.rule ? 1 : 0;
+    }
+    result->rule_counts.push_back(std::move(count));
   }
 
   if (options.write_baseline && !options.baseline_path.empty()) {

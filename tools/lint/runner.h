@@ -15,7 +15,9 @@ struct LintOptions {
   // resolved against it.
   std::string root = ".";
   // Files or directories (relative to root) to scan; directories are
-  // walked recursively for *.h / *.cc. Defaults to {"src", "tests"}.
+  // walked recursively for *.h / *.cc. Defaults to {"src", "tests",
+  // "tools"}; default entries missing under root are skipped (explicitly
+  // named paths still error).
   std::vector<std::string> paths;
   // Restrict to these rule names; empty means all builtin rules.
   std::vector<std::string> rules;
@@ -23,6 +25,17 @@ struct LintOptions {
   std::string baseline_path;
   bool write_baseline = false;
   bool apply_fixes = false;
+  // Worker threads for the file scan (tools/lint/scan_pool.h). Results are
+  // independent of the value: files load into fixed slots and the rules run
+  // after the barrier.
+  int jobs = 1;
+};
+
+// Per-rule tally for the run summary (CI renders this as a table).
+struct RuleCount {
+  std::string rule;
+  int findings = 0;
+  int baselined = 0;
 };
 
 struct LintResult {
@@ -31,6 +44,7 @@ struct LintResult {
   int files_scanned = 0;
   int fixes_applied = 0;
   std::vector<std::string> fixed_files;  // Relative paths rewritten by --fix.
+  std::vector<RuleCount> rule_counts;    // One entry per active rule, catalog order.
 };
 
 // Runs the configured rules. Returns false (with *error set) only on

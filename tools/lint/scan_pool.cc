@@ -1,0 +1,66 @@
+#include "tools/lint/scan_pool.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace comma::lint {
+
+bool ScanPool::LoadAll(const std::filesystem::path& root, const std::vector<std::string>& rels,
+                       int jobs, std::vector<LintFile>* out, std::string* error) {
+  out->clear();
+  out->resize(rels.size());
+  ScanPool pool(root, rels, out);
+  const int workers = std::max(1, std::min<int>(jobs, static_cast<int>(rels.size())));
+  if (workers == 1) {
+    // Serial path runs the same worker loop inline: one code path to test,
+    // and --jobs 1 behaves byte-for-byte like the pre-pool runner.
+    pool.Worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads.emplace_back([&pool] { pool.Worker(); });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  const std::string failed = pool.TakeFailure();
+  if (!failed.empty()) {
+    *error = "cannot read " + failed;
+    return false;
+  }
+  return true;
+}
+
+void ScanPool::Worker() {
+  for (std::optional<size_t> i = NextIndex(); i.has_value(); i = NextIndex()) {
+    const std::string& rel = rels_[*i];
+    if (!LoadLintFile((root_ / rel).string(), rel, &(*out_)[*i])) {
+      RecordFailure(rel);
+      return;
+    }
+  }
+}
+
+std::optional<size_t> ScanPool::NextIndex() {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  if (!failed_rel_.empty() || next_ >= rels_.size()) {
+    return std::nullopt;  // Done, or draining after a failure.
+  }
+  return next_++;
+}
+
+void ScanPool::RecordFailure(const std::string& rel) {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  if (failed_rel_.empty()) {
+    failed_rel_ = rel;
+  }
+}
+
+std::string ScanPool::TakeFailure() {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  return failed_rel_;
+}
+
+}  // namespace comma::lint

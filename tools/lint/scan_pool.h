@@ -1,0 +1,63 @@
+// Parallel file loading for the lint runner (--jobs N).
+//
+// Loading + lexing the tree dominates a comma-lint run; the rules
+// themselves are cheap token scans. The pool fans the load out over N
+// worker threads pulling indices from a shared cursor. Each worker writes
+// only its own slot of the output vector, so the one shared thing is the
+// cursor (and the first-error record) behind scan_mu_.
+//
+// This is also the lint tool eating its own dog food: scan_mu_ is rank 10
+// in the DESIGN.md lock hierarchy, the shared state carries
+// COMMA_GUARDED_BY annotations, and the mutex-annotation / lock-order rules
+// scan this file like any other (tools/ is in the default scan paths).
+#ifndef COMMA_TOOLS_LINT_SCAN_POOL_H_
+#define COMMA_TOOLS_LINT_SCAN_POOL_H_
+
+#include <cstddef>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+#include "tools/lint/source.h"
+
+namespace comma::lint {
+
+class ScanPool {
+ public:
+  // Loads root/rels[i] into (*out)[i] for every i, using up to `jobs`
+  // threads (clamped to [1, number of files]). Returns false with *error
+  // naming the first unreadable file. `out` is resized to rels.size().
+  static bool LoadAll(const std::filesystem::path& root, const std::vector<std::string>& rels,
+                      int jobs, std::vector<LintFile>* out, std::string* error);
+
+ private:
+  ScanPool(const std::filesystem::path& root, const std::vector<std::string>& rels,
+           std::vector<LintFile>* out)
+      : root_(root), rels_(rels), out_(out) {}
+
+  // Worker loop: claim an index, load that file, repeat. Thread-safe.
+  void Worker();
+  // Claims the next unprocessed index, or nullopt when the list (or the
+  // run, after a failure) is exhausted.
+  std::optional<size_t> NextIndex() COMMA_EXCLUDES(scan_mu_);
+  void RecordFailure(const std::string& rel) COMMA_EXCLUDES(scan_mu_);
+  std::string TakeFailure() COMMA_EXCLUDES(scan_mu_);
+
+  const std::filesystem::path& root_;
+  const std::vector<std::string>& rels_;
+  std::vector<LintFile>* out_;  // Workers write disjoint slots, no lock.
+
+  // Rank 10 in the DESIGN.md lock hierarchy. A leaf in practice: the pool
+  // acquires nothing while holding it, and the lint binary never holds a
+  // higher-ranked lock (those live in the simulator process).
+  std::mutex scan_mu_;
+  size_t next_ COMMA_GUARDED_BY(scan_mu_) = 0;
+  std::string failed_rel_ COMMA_GUARDED_BY(scan_mu_);  // First unreadable file.
+};
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_SCAN_POOL_H_

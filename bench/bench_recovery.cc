@@ -1,0 +1,149 @@
+// Recovery-latency characterization for stateful gateway failover
+// (docs/robustness.md, "Checkpoint & failover").
+//
+// Each seed drives one deterministic chaos scenario (core::RunChaosScenario):
+// wireless flaps, an unplanned primary-gateway crash in [4s, 8s), and bulk
+// transfers that must survive the takeover. Two latencies are reported per
+// seed:
+//   detection = takeover_at - crash_at   (standby watchdog firing)
+//   recovery  = finished_at - crash_at   (last stream byte after the crash)
+// plus restored/rebuilt stream accounting, and p50/p90/p99 across seeds.
+//
+// Flags:
+//   --seeds N            number of seeds to run (default 8, seeds 1..N)
+//   --metrics-json PATH  write the latency percentiles as one JSON object
+//   --soak N             soak mode: run N seeds and print the per-seed
+//                        determinism witnesses (applied-fault log + metric
+//                        snapshot); CI runs this twice and diffs the output
+//   --soak-log PATH      in soak mode, also write the witnesses to PATH
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/chaos.h"
+#include "src/util/stats.h"
+
+namespace {
+
+using comma::core::ChaosOptions;
+using comma::core::ChaosResult;
+using comma::core::RunChaosScenario;
+
+double ToMs(comma::sim::Duration d) { return static_cast<double>(d) / 1000.0; }
+
+int SoakMode(int seeds, const std::string& log_path) {
+  std::string witness;
+  bool all_ok = true;
+  for (int s = 1; s <= seeds; ++s) {
+    ChaosOptions options;
+    options.seed = static_cast<uint64_t>(s);
+    const ChaosResult r = RunChaosScenario(options);
+    all_ok = all_ok && r.all_completed;
+    witness += "=== seed " + std::to_string(s) + " ===\n";
+    witness += r.fault_log;
+    witness += r.metrics;
+    for (const auto& stream : r.streams) {
+      witness += "port=" + std::to_string(stream.port) +
+                 " bytes=" + std::to_string(stream.bytes) +
+                 " last_byte_at=" + std::to_string(stream.last_byte_at) + "\n";
+    }
+    std::printf("seed %2d: completed=%s crash=%llu takeover=%llu\n", s,
+                r.all_completed ? "yes" : "NO",
+                static_cast<unsigned long long>(r.crash_at),
+                static_cast<unsigned long long>(r.takeover_at));
+  }
+  if (!log_path.empty()) {
+    std::FILE* f = std::fopen(log_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write soak log: %s\n", log_path.c_str());
+      return 1;
+    }
+    std::fwrite(witness.data(), 1, witness.size(), f);
+    std::fclose(f);
+    std::printf("soak log: %s (%zu bytes)\n", log_path.c_str(), witness.size());
+  } else {
+    std::printf("%s", witness.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 8;
+  int soak = 0;
+  std::string metrics_path;
+  std::string soak_log;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      seeds = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--soak-log") == 0) {
+      soak_log = argv[i + 1];
+    }
+  }
+  if (soak > 0) {
+    return SoakMode(soak, soak_log);
+  }
+
+  std::printf("================================================================\n");
+  std::printf("E18: Stateful failover recovery latency\n");
+  std::printf("Per seed: flaps + a primary-gateway crash mid-transfer; the\n");
+  std::printf("standby restores the last checkpoint, Mobile IP re-registers,\n");
+  std::printf("and every stream must complete. Latencies are crash-relative.\n");
+  std::printf("================================================================\n");
+  std::printf("%5s %10s %12s %12s %9s %9s %10s\n", "seed", "completed", "detect ms",
+              "recover ms", "restored", "rebuilt", "streams");
+
+  comma::util::Percentiles detection_ms;
+  comma::util::Percentiles recovery_ms;
+  bool all_ok = true;
+  for (int s = 1; s <= seeds; ++s) {
+    ChaosOptions options;
+    options.seed = static_cast<uint64_t>(s);
+    const ChaosResult r = RunChaosScenario(options);
+    const double detect = ToMs(r.takeover_at - r.crash_at);
+    const double recover = ToMs(r.finished_at - r.crash_at);
+    detection_ms.Add(detect);
+    recovery_ms.Add(recover);
+    all_ok = all_ok && r.all_completed;
+    std::printf("%5d %10s %12.1f %12.1f %9llu %9llu %10llu\n", s,
+                r.all_completed ? "yes" : "NO", detect, recover,
+                static_cast<unsigned long long>(r.streams_restored),
+                static_cast<unsigned long long>(r.streams_rebuilt),
+                static_cast<unsigned long long>(r.pre_crash_streams));
+  }
+
+  std::printf("\n%12s %10s %10s %10s\n", "", "p50", "p90", "p99");
+  std::printf("%12s %10.1f %10.1f %10.1f\n", "detect ms", detection_ms.Percentile(50),
+              detection_ms.Percentile(90), detection_ms.Percentile(99));
+  std::printf("%12s %10.1f %10.1f %10.1f\n", "recover ms", recovery_ms.Percentile(50),
+              recovery_ms.Percentile(90), recovery_ms.Percentile(99));
+
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics snapshot: %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"recovery\",\"seeds\":%d,\"completed\":%s,"
+                 "\"detection_ms\":{\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f},"
+                 "\"recovery_ms\":{\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f}}\n",
+                 seeds, all_ok ? "true" : "false", detection_ms.Percentile(50),
+                 detection_ms.Percentile(90), detection_ms.Percentile(99),
+                 recovery_ms.Percentile(50), recovery_ms.Percentile(90),
+                 recovery_ms.Percentile(99));
+    std::fclose(f);
+    std::printf("metrics snapshot: %s\n", metrics_path.c_str());
+  }
+
+  std::printf("\nJSON {\"bench\":\"recovery\",\"seeds\":%d,\"completed\":%s,"
+              "\"detect_p50_ms\":%.1f,\"recover_p99_ms\":%.1f}\n",
+              seeds, all_ok ? "true" : "false", detection_ms.Percentile(50),
+              recovery_ms.Percentile(99));
+  return all_ok ? 0 : 1;
+}

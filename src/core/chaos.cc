@@ -1,0 +1,109 @@
+#include "src/core/chaos.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/apps/bulk.h"
+#include "src/sim/random.h"
+
+namespace comma::core {
+
+namespace {
+
+// All services launched on new streams toward the mobile. tdrop at 0% keeps
+// the TTSF sequence map byte-exact (no transforms ever submitted), so a
+// stream restored from even a slightly stale checkpoint resynchronizes
+// immediately — the soak proves the recovery plumbing under randomized
+// timing, while FaultRecovery* tests cover real transformed state.
+std::vector<std::string> LauncherServices(uint64_t seed) {
+  return {"tcp", "ttsf", "tdrop:0:" + std::to_string(seed)};
+}
+
+}  // namespace
+
+ChaosResult RunChaosScenario(const ChaosOptions& options) {
+  sim::Random rng(options.seed);
+
+  FailoverConfig config;
+  config.scenario.seed = options.seed;
+  FailoverSystem system(config);
+  sim::Simulator& sim = system.sim();
+
+  // --- Derive the fault timeline from the seed ---
+  // The crash lands mid-transfer; flaps of the primary wireless link end
+  // well before it (the link is about to die for good anyway, and flaps
+  // must not mask the crash from the data path's perspective).
+  const sim::TimePoint crash_at =
+      4 * sim::kSecond + static_cast<sim::TimePoint>(rng.NextBelow(4 * sim::kSecond));
+  const int flaps = 2 + static_cast<int>(rng.NextBelow(3));
+  for (int i = 0; i < flaps; ++i) {
+    const sim::TimePoint from =
+        sim::kSecond + static_cast<sim::TimePoint>(
+                           rng.NextBelow(crash_at - 2 * sim::kSecond));
+    const sim::Duration length =
+        100 * sim::kMillisecond +
+        static_cast<sim::Duration>(rng.NextBelow(300 * sim::kMillisecond));
+    net::Link* link = &system.scenario().wireless1();
+    system.fault_plan().Window(from, from + length,
+                               "link-flap wireless1 #" + std::to_string(i),
+                               [link] { link->SetUp(false); }, [link] { link->SetUp(true); });
+  }
+  if (options.crash) {
+    system.ScheduleGatewayCrash(crash_at);
+  }
+  system.ArmFaults();
+  system.Start();
+
+  // --- Services: one launcher per destination port ---
+  proxy::ServiceProxy& sp1 = *system.primary_sp();
+  for (uint32_t i = 0; i < options.streams; ++i) {
+    const uint16_t port = static_cast<uint16_t>(80 + i);
+    proxy::StreamKey wildcard{net::Ipv4Address(), 0, system.scenario().mobile_home_addr(), port};
+    std::string error;
+    sp1.AddService("launcher", wildcard, LauncherServices(options.seed + i), &error);
+  }
+
+  // --- Workload: sinks on the mobile, senders on the correspondent ---
+  std::vector<std::unique_ptr<apps::BulkSink>> sinks;
+  std::vector<std::unique_ptr<apps::BulkSender>> senders;
+  for (uint32_t i = 0; i < options.streams; ++i) {
+    const uint16_t port = static_cast<uint16_t>(80 + i);
+    sinks.push_back(std::make_unique<apps::BulkSink>(&system.scenario().mobile(), port));
+    // Senders start after the first registration settles; SYN retries cover
+    // any remaining registration latency.
+    sim.Schedule(sim::kSecond, [&system, &senders, port, &options] {
+      senders.push_back(std::make_unique<apps::BulkSender>(
+          &system.scenario().correspondent(), system.scenario().mobile_home_addr(), port,
+          apps::PatternPayload(options.bytes_per_stream)));
+    });
+  }
+
+  // Run the full horizon unconditionally: the final metric snapshot is a
+  // determinism witness, so every same-seed run must sample it at the same
+  // simulated instant.
+  sim.RunFor(options.horizon);
+
+  ChaosResult result;
+  result.fault_log = system.fault_plan().AppliedLog();
+  result.metrics = system.standby_sp().metrics().RenderText("sp.recovery") +
+                   system.standby_sp().metrics().RenderText("mip");
+  result.crash_at = system.recovery().crash_at;
+  result.takeover_at = system.recovery().takeover_at;
+  result.pre_crash_streams = system.recovery().pre_crash_streams;
+  result.streams_restored = system.recovery().restore.streams_restored;
+  result.streams_rebuilt = system.recovery().restore.streams_rebuilt;
+  result.all_completed = true;
+  for (uint32_t i = 0; i < options.streams; ++i) {
+    ChaosStreamOutcome outcome;
+    outcome.port = static_cast<uint16_t>(80 + i);
+    outcome.bytes = sinks[i]->bytes_received();
+    outcome.complete = outcome.bytes == options.bytes_per_stream;
+    outcome.last_byte_at = sinks[i]->last_byte_at();
+    result.finished_at = std::max(result.finished_at, outcome.last_byte_at);
+    result.all_completed = result.all_completed && outcome.complete;
+    result.streams.push_back(outcome);
+  }
+  return result;
+}
+
+}  // namespace comma::core

@@ -1,0 +1,64 @@
+// Deterministic chaos-soak harness for stateful failover
+// (docs/robustness.md, "Chaos soak").
+//
+// RunChaosScenario derives a randomized fault timeline — wireless link
+// flaps plus an unplanned primary-gateway crash — purely from a sim::Random
+// seed, runs bulk transfers through the failover topology, and returns the
+// determinism witnesses: the applied-fault log, a recovery-metric snapshot,
+// and the bytes every stream delivered. Two runs with the same options must
+// produce bit-for-bit identical witnesses (chaos_soak_test, the CI `chaos`
+// job); every stream must complete despite the faults.
+//
+// Fault shape (all values drawn from the seed):
+//  - the crash lands in [4s, 8s), mid-transfer;
+//  - 2-4 flaps of the primary wireless link, 100-400ms each, strictly
+//    before the crash. The wireless flaps stress the data path without
+//    touching the checkpoint path, so the standby watchdog only ever fires
+//    for the real crash.
+#ifndef COMMA_CORE_CHAOS_H_
+#define COMMA_CORE_CHAOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/failover_system.h"
+
+namespace comma::core {
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  uint32_t streams = 2;             // Sinks on ports 80, 81, ...
+  // Sized so the transfers (sharing a 1 Mbit/s wireless link) are still in
+  // flight when the crash lands anywhere in its [4s, 8s) window.
+  uint32_t bytes_per_stream = 400'000;
+  bool crash = true;                // false = flaps only, no takeover.
+  sim::Duration horizon = 120 * sim::kSecond;
+};
+
+struct ChaosStreamOutcome {
+  uint16_t port = 0;
+  uint64_t bytes = 0;
+  bool complete = false;
+  sim::TimePoint last_byte_at = 0;
+};
+
+struct ChaosResult {
+  // --- Determinism witnesses (byte-compared across same-seed runs) ---
+  std::string fault_log;  // FaultPlan::AppliedLog().
+  std::string metrics;    // "sp.recovery.*" + "mip.*" snapshot at the horizon.
+  // --- Outcome ---
+  bool all_completed = false;
+  std::vector<ChaosStreamOutcome> streams;
+  uint64_t streams_restored = 0;
+  uint64_t streams_rebuilt = 0;
+  uint64_t pre_crash_streams = 0;
+  sim::TimePoint crash_at = 0;
+  sim::TimePoint takeover_at = 0;
+  sim::TimePoint finished_at = 0;  // Last byte of the last stream.
+};
+
+ChaosResult RunChaosScenario(const ChaosOptions& options);
+
+}  // namespace comma::core
+
+#endif  // COMMA_CORE_CHAOS_H_

@@ -42,6 +42,13 @@ class QcacheFilter : public proxy::Filter {
   const QcacheStats& stats() const { return stats_; }
   size_t cache_size() const { return cache_.size(); }
 
+  // Failover (docs/robustness.md): the explicit thesis-era escape — the
+  // query cache is content a handoff deliberately rebuilds from live
+  // traffic, so it is not exported at all and a standby starts cold.
+  proxy::FilterStateKind state_kind() const override {
+    return proxy::FilterStateKind::kRebuildFromWire;
+  }
+
  private:
   proxy::StreamKey request_key_;  // Possibly wild-card (mobile -> anywhere).
   size_t capacity_ = 512;

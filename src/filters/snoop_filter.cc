@@ -2,6 +2,7 @@
 
 #include "src/proxy/service_proxy.h"
 
+#include "src/proxy/filter_state.h"
 #include "src/util/strings.h"
 
 namespace comma::filters {
@@ -161,6 +162,68 @@ void SnoopFilter::OnDetach(proxy::FilterContext& ctx, const proxy::StreamKey& ke
     ctx_ = nullptr;
     cache_.clear();
   }
+}
+
+// --- Failover state contract ---
+//
+// "SNOP" v1: u8 flags (ack_seen), u32 last_ack, 5 × u64 stats. The segment
+// cache re-warms from the sender's retransmissions after a takeover (the
+// thesis-era rebuild-from-wire escape applied to one part of the state).
+
+namespace {
+constexpr char kSnoopStateMagic[] = "SNOP";
+constexpr uint8_t kSnoopStateVersion = 1;
+}  // namespace
+
+proxy::FilterStateKind SnoopFilter::state_kind() const {
+  return proxy::FilterStateKind::kCheckpointed;
+}
+
+bool SnoopFilter::ExportState(util::Bytes* out) const {
+  util::ByteWriter w(out);
+  proxy::WriteStateHeader(&w, kSnoopStateMagic, kSnoopStateVersion);
+  w.WriteU8(ack_seen_ ? 1 : 0);
+  w.WriteU32(last_ack_);
+  w.WriteU64(stats_.segments_cached);
+  w.WriteU64(stats_.local_retransmits);
+  w.WriteU64(stats_.timer_retransmits);
+  w.WriteU64(stats_.dupacks_suppressed);
+  w.WriteU64(stats_.cache_hits);
+  return true;
+}
+
+bool SnoopFilter::ImportState(proxy::FilterContext& ctx, const util::Bytes& in,
+                              std::string* error) {
+  util::ByteReader r(in);
+  std::optional<uint8_t> version = proxy::ReadStateHeader(&r, kSnoopStateMagic);
+  if (!version.has_value() || *version != kSnoopStateVersion) {
+    if (error != nullptr) {
+      *error = "snoop import: bad magic or version";
+    }
+    return false;
+  }
+  const uint8_t flags = r.ReadU8();
+  const uint32_t last_ack = r.ReadU32();
+  SnoopStats stats;
+  stats.segments_cached = r.ReadU64();
+  stats.local_retransmits = r.ReadU64();
+  stats.timer_retransmits = r.ReadU64();
+  stats.dupacks_suppressed = r.ReadU64();
+  stats.cache_hits = r.ReadU64();
+  if (r.failed()) {
+    if (error != nullptr) {
+      *error = "snoop import: truncated blob";
+    }
+    return false;
+  }
+  ack_seen_ = (flags & 1u) != 0;
+  last_ack_ = last_ack;
+  stats_ = stats;
+  dupack_count_ = 0;
+  // The stall gate restarts from takeover time: the gap the crash tore into
+  // the ack stream must not count as a stall at the standby.
+  last_progress_ = ctx.simulator().Now();
+  return true;
 }
 
 std::string SnoopFilter::Status() const {

@@ -39,6 +39,13 @@ class SnoopFilter : public proxy::Filter {
   void OnDetach(proxy::FilterContext& ctx, const proxy::StreamKey& key) override;
   std::string Status() const override;
 
+  // Failover (docs/robustness.md): the ack-tracking state is checkpointed;
+  // the segment cache is deliberately kRebuildFromWire in spirit — it
+  // re-warms from the sender's retransmissions, so it is not exported.
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
   const SnoopStats& stats() const { return stats_; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include "src/proxy/service_proxy.h"
 
+#include "src/proxy/filter_state.h"
 #include "src/util/strings.h"
 
 namespace comma::filters {
@@ -169,6 +170,133 @@ std::string TdecompressFilter::Status() const {
   return util::Format("blobs=%llu failures=%llu",
                       static_cast<unsigned long long>(blobs_decoded_),
                       static_cast<unsigned long long>(decode_failures_));
+}
+
+// --- Failover state contracts ---
+//
+// Configuration (drop percentage, codec) is NOT in the blobs: it rides in
+// the checkpointed service args and is re-applied by OnInsert at the
+// standby. The blobs carry only what live traffic accumulated.
+
+namespace {
+constexpr char kTdropStateMagic[] = "TDRP";
+constexpr char kTcompressStateMagic[] = "TCMP";
+constexpr char kTdecompressStateMagic[] = "TDEC";
+constexpr uint8_t kTransformStateVersion = 1;
+
+bool StateVersionOk(util::ByteReader* r, const char* magic, std::string* error,
+                    const char* who) {
+  std::optional<uint8_t> version = proxy::ReadStateHeader(r, magic);
+  if (!version.has_value() || *version != kTransformStateVersion) {
+    if (error != nullptr) {
+      *error = std::string(who) + " import: bad magic or version";
+    }
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+proxy::FilterStateKind TdropFilter::state_kind() const {
+  return proxy::FilterStateKind::kCheckpointed;
+}
+
+bool TdropFilter::ExportState(util::Bytes* out) const {
+  util::ByteWriter w(out);
+  proxy::WriteStateHeader(&w, kTdropStateMagic, kTransformStateVersion);
+  uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (uint64_t word : rng_state) {
+    w.WriteU64(word);
+  }
+  w.WriteU64(dropped_);
+  w.WriteU64(passed_);
+  return true;
+}
+
+bool TdropFilter::ImportState(proxy::FilterContext&, const util::Bytes& in, std::string* error) {
+  util::ByteReader r(in);
+  if (!StateVersionOk(&r, kTdropStateMagic, error, "tdrop")) {
+    return false;
+  }
+  uint64_t rng_state[4];
+  for (uint64_t& word : rng_state) {
+    word = r.ReadU64();
+  }
+  const uint64_t dropped = r.ReadU64();
+  const uint64_t passed = r.ReadU64();
+  if (r.failed()) {
+    if (error != nullptr) {
+      *error = "tdrop import: truncated blob";
+    }
+    return false;
+  }
+  rng_.RestoreState(rng_state);
+  dropped_ = dropped;
+  passed_ = passed;
+  return true;
+}
+
+proxy::FilterStateKind TcompressFilter::state_kind() const {
+  return proxy::FilterStateKind::kCheckpointed;
+}
+
+bool TcompressFilter::ExportState(util::Bytes* out) const {
+  util::ByteWriter w(out);
+  proxy::WriteStateHeader(&w, kTcompressStateMagic, kTransformStateVersion);
+  w.WriteU64(bytes_in_);
+  w.WriteU64(bytes_out_);
+  return true;
+}
+
+bool TcompressFilter::ImportState(proxy::FilterContext&, const util::Bytes& in,
+                                  std::string* error) {
+  util::ByteReader r(in);
+  if (!StateVersionOk(&r, kTcompressStateMagic, error, "tcompress")) {
+    return false;
+  }
+  const uint64_t bytes_in = r.ReadU64();
+  const uint64_t bytes_out = r.ReadU64();
+  if (r.failed()) {
+    if (error != nullptr) {
+      *error = "tcompress import: truncated blob";
+    }
+    return false;
+  }
+  bytes_in_ = bytes_in;
+  bytes_out_ = bytes_out;
+  return true;
+}
+
+proxy::FilterStateKind TdecompressFilter::state_kind() const {
+  return proxy::FilterStateKind::kCheckpointed;
+}
+
+bool TdecompressFilter::ExportState(util::Bytes* out) const {
+  util::ByteWriter w(out);
+  proxy::WriteStateHeader(&w, kTdecompressStateMagic, kTransformStateVersion);
+  w.WriteU64(blobs_decoded_);
+  w.WriteU64(decode_failures_);
+  return true;
+}
+
+bool TdecompressFilter::ImportState(proxy::FilterContext&, const util::Bytes& in,
+                                    std::string* error) {
+  util::ByteReader r(in);
+  if (!StateVersionOk(&r, kTdecompressStateMagic, error, "tdecompress")) {
+    return false;
+  }
+  const uint64_t blobs_decoded = r.ReadU64();
+  const uint64_t decode_failures = r.ReadU64();
+  if (r.failed()) {
+    if (error != nullptr) {
+      *error = "tdecompress import: truncated blob";
+    }
+    return false;
+  }
+  blobs_decoded_ = blobs_decoded;
+  decode_failures_ = decode_failures;
+  return true;
 }
 
 }  // namespace comma::filters

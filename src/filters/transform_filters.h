@@ -63,6 +63,14 @@ class TdropFilter : public TransformFilterBase {
   bool Configure(const std::vector<std::string>& args, std::string* error) override;
   std::optional<util::Bytes> Transform(const net::Packet& packet) override;
 
+ public:
+  // Failover: the RNG state is checkpointed so a standby continues the
+  // exact drop sequence the primary would have produced — same-seed chaos
+  // runs stay byte-identical across a takeover.
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
  private:
   double drop_probability_ = 0.5;
   sim::Random rng_;
@@ -81,6 +89,12 @@ class TcompressFilter : public TransformFilterBase {
   bool Configure(const std::vector<std::string>& args, std::string* error) override;
   std::optional<util::Bytes> Transform(const net::Packet& packet) override;
 
+ public:
+  // Failover: byte accounting moves with the stream.
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
  private:
   util::Codec codec_ = util::Codec::kLz;
   uint64_t bytes_in_ = 0;
@@ -97,6 +111,12 @@ class TdecompressFilter : public TransformFilterBase {
  protected:
   bool Configure(const std::vector<std::string>& args, std::string* error) override;
   std::optional<util::Bytes> Transform(const net::Packet& packet) override;
+
+ public:
+  // Failover: decode accounting moves with the stream.
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
 
  private:
   uint64_t blobs_decoded_ = 0;

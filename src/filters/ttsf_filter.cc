@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "src/filters/ttsf_audit.h"
+#include "src/proxy/filter_state.h"
 #include "src/tcp/seq.h"
 #include "src/util/check.h"
 #include "src/util/strings.h"
@@ -210,6 +211,7 @@ void TtsfFilter::BypassDirection(proxy::FilterContext& ctx, DirState& st) {
     return;
   }
   st.bypass = true;
+  st.restored = false;
   // Frontiers freeze here; their difference is the constant shift applied to
   // everything from now on. With the records gone, MapAckToOrig reduces to
   // exactly that shift.
@@ -260,6 +262,7 @@ proxy::FilterVerdict TtsfFilter::ProcessData(proxy::FilterContext& ctx,
     st.held.clear();
     st.transforms_used = false;
     st.bypass = false;  // A fresh connection re-arms transforming.
+    st.restored = false;
     return proxy::FilterVerdict::kPass;  // SYNs are never transformed.
   }
 
@@ -280,6 +283,21 @@ proxy::FilterVerdict TtsfFilter::ProcessData(proxy::FilterContext& ctx,
   }
 
   stats_.bytes_in += len;
+
+  if (st.restored) {
+    // The map came from a checkpoint; the first live data packet tells us
+    // whether the snapshot was current. Data at or below the restored
+    // frontier confirms it (the conservative ack mapping kept the sender
+    // behind the checkpointed frontier). Data beyond it means the crashed
+    // gateway processed segments after the last checkpoint whose transforms
+    // we never saw — the map is stale, so degrade to bypass-and-drain and
+    // resync from the live stream.
+    if (st.transforms_used && SeqGt(seq, st.orig_frontier)) {
+      EnterBypass(ctx, key, "stale checkpoint: data beyond restored frontier");
+    } else {
+      st.restored = false;  // Live traffic confirmed the restored map.
+    }
+  }
 
   if (st.bypass) {
     // Degraded passthrough: constant shift, original payload, no records.
@@ -562,6 +580,144 @@ void TtsfFilter::MaybeInjectTailAck(proxy::FilterContext& ctx, const proxy::Stre
   h.window = st.peer_window != 0 ? st.peer_window : 8192;
   ++stats_.acks_injected;
   ctx.InjectPacket(net::Packet::MakeTcp(key.dst, key.src, h, {}));
+}
+
+// --- Failover state contract ---
+//
+// "TTSF" v1 blob layout (docs/robustness.md):
+//   u32 n_dirs, then per direction:
+//     StreamKey, u8 flags (initialized/ack_seen/transforms_used/bypass),
+//     u32 orig_frontier, u32 out_frontier, u32 max_acked_out,
+//     u32 peer_seq, u16 peer_window,
+//     u32 n_records, per record: u32 orig_seq, u32 orig_len, u32 out_seq,
+//       u32 out_len, u8 flags (identity/is_fin), u32 cached_len + bytes
+//   string bypass_reason
+// Held packets and pending transforms are rebuilt from the wire (the
+// sender's RTO re-delivers them).
+
+namespace {
+constexpr char kTtsfStateMagic[] = "TTSF";
+constexpr uint8_t kTtsfStateVersion = 1;
+// Import sanity caps; a well-formed exporter never exceeds them (records are
+// bounded at 4096 per direction, payloads by the MTU).
+constexpr uint32_t kMaxStateDirs = 1024;
+constexpr uint32_t kMaxStateRecords = 4096;
+constexpr uint32_t kMaxStateCached = 65536;
+}  // namespace
+
+proxy::FilterStateKind TtsfFilter::state_kind() const {
+  return proxy::FilterStateKind::kCheckpointed;
+}
+
+bool TtsfFilter::ExportState(util::Bytes* out) const {
+  if (dirs_.empty()) {
+    return false;
+  }
+  util::ByteWriter w(out);
+  proxy::WriteStateHeader(&w, kTtsfStateMagic, kTtsfStateVersion);
+  w.WriteU32(static_cast<uint32_t>(dirs_.size()));
+  for (const auto& [key, st] : dirs_) {
+    proxy::WriteStreamKey(&w, key);
+    uint8_t flags = 0;
+    flags |= st.initialized ? 1u : 0u;
+    flags |= st.ack_seen ? 2u : 0u;
+    flags |= st.transforms_used ? 4u : 0u;
+    flags |= st.bypass ? 8u : 0u;
+    w.WriteU8(flags);
+    w.WriteU32(st.orig_frontier);
+    w.WriteU32(st.out_frontier);
+    w.WriteU32(st.max_acked_out);
+    w.WriteU32(st.peer_seq);
+    w.WriteU16(st.peer_window);
+    w.WriteU32(static_cast<uint32_t>(st.records.size()));
+    for (const Record& r : st.records) {
+      w.WriteU32(r.orig_seq);
+      w.WriteU32(r.orig_len);
+      w.WriteU32(r.out_seq);
+      w.WriteU32(r.out_len);
+      uint8_t rflags = 0;
+      rflags |= r.identity ? 1u : 0u;
+      rflags |= r.is_fin ? 2u : 0u;
+      w.WriteU8(rflags);
+      w.WriteU32(static_cast<uint32_t>(r.cached.size()));
+      w.WriteBytes(r.cached);
+    }
+  }
+  w.WriteString(bypass_reason_);
+  return true;
+}
+
+bool TtsfFilter::ImportState(proxy::FilterContext&, const util::Bytes& in, std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) {
+      *error = std::string("ttsf import: ") + what;
+    }
+    return false;
+  };
+  util::ByteReader r(in);
+  std::optional<uint8_t> version = proxy::ReadStateHeader(&r, kTtsfStateMagic);
+  if (!version.has_value()) {
+    return fail("bad magic");
+  }
+  if (*version != kTtsfStateVersion) {
+    return fail("unsupported version");
+  }
+  const uint32_t n_dirs = r.ReadU32();
+  if (r.failed() || n_dirs > kMaxStateDirs) {
+    return fail("bad direction count");
+  }
+  std::map<proxy::StreamKey, DirState> dirs;
+  for (uint32_t d = 0; d < n_dirs; ++d) {
+    const proxy::StreamKey key = proxy::ReadStreamKey(&r);
+    DirState st;
+    const uint8_t flags = r.ReadU8();
+    st.initialized = (flags & 1u) != 0;
+    st.ack_seen = (flags & 2u) != 0;
+    st.transforms_used = (flags & 4u) != 0;
+    st.bypass = (flags & 8u) != 0;
+    st.orig_frontier = r.ReadU32();
+    st.out_frontier = r.ReadU32();
+    st.max_acked_out = r.ReadU32();
+    st.peer_seq = r.ReadU32();
+    st.peer_window = r.ReadU16();
+    const uint32_t n_records = r.ReadU32();
+    if (r.failed() || n_records > kMaxStateRecords) {
+      return fail("bad record count");
+    }
+    for (uint32_t i = 0; i < n_records; ++i) {
+      Record rec;
+      rec.orig_seq = r.ReadU32();
+      rec.orig_len = r.ReadU32();
+      rec.out_seq = r.ReadU32();
+      rec.out_len = r.ReadU32();
+      const uint8_t rflags = r.ReadU8();
+      rec.identity = (rflags & 1u) != 0;
+      rec.is_fin = (rflags & 2u) != 0;
+      const uint32_t cached_len = r.ReadU32();
+      if (r.failed() || cached_len > kMaxStateCached) {
+        return fail("bad cached payload");
+      }
+      rec.cached = r.ReadBytes(cached_len);
+      st.records.push_back(std::move(rec));
+    }
+    if (r.failed()) {
+      return fail("truncated direction");
+    }
+    // The map resumes provisionally; the first live packet confirms or
+    // invalidates it (see ProcessData). Bypassed directions stay bypassed.
+    st.restored = st.initialized && !st.bypass;
+    dirs[key] = std::move(st);
+  }
+  const std::string reason = r.ReadString();
+  if (r.failed()) {
+    return fail("truncated blob");
+  }
+  dirs_ = std::move(dirs);
+  pending_.clear();
+  if (!reason.empty() && bypass_reason_.empty()) {
+    bypass_reason_ = reason;
+  }
+  return true;
 }
 
 std::string TtsfFilter::Status() const {

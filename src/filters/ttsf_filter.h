@@ -106,6 +106,19 @@ class TtsfFilter : public proxy::Filter {
                            net::Packet& packet) override;
   std::string Status() const override;
 
+  // --- Failover state contract (docs/robustness.md) ---
+  // Exports every direction's offset map: frontiers, records with cached
+  // replay payloads, ack bookkeeping. Held packets and pending transforms
+  // are NOT exported — the sender's RTO re-delivers them, and the restored
+  // map replays their transforms consistently. After ImportState each
+  // restored direction is *provisional*: the first data packet either
+  // confirms the map (data at or below the restored frontier) or proves the
+  // checkpoint stale (data beyond it), in which case the direction enters
+  // bypass-and-drain and resyncs from live traffic.
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
  private:
   struct Record {
     uint32_t orig_seq = 0;
@@ -143,6 +156,10 @@ class TtsfFilter : public proxy::Filter {
     // constant shift applied to everything), records are gone, transforms
     // are ignored. Cleared by the next SYN.
     bool bypass = false;
+    // Set by ImportState: the map came from a checkpoint and has not yet
+    // been confirmed by live traffic. Cleared by the first data packet at or
+    // below the restored frontier; data beyond it enters bypass instead.
+    bool restored = false;
   };
 
   proxy::FilterVerdict ProcessData(proxy::FilterContext& ctx, const proxy::StreamKey& key,

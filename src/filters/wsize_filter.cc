@@ -3,6 +3,7 @@
 #include "src/proxy/service_proxy.h"
 
 #include "src/monitor/eem_client.h"
+#include "src/proxy/filter_state.h"
 #include "src/util/strings.h"
 
 namespace comma::filters {
@@ -133,6 +134,65 @@ void WsizeFilter::NotifyLinkUp() {
 }
 
 void WsizeFilter::OnDetach(proxy::FilterContext&, const proxy::StreamKey&) { ctx_ = nullptr; }
+
+// --- Failover state contract ---
+//
+// "WSIZ" v1: u8 flags (seen_ack), u32 last_seq, u32 last_ack,
+// u16 last_window, u64 windows_clamped, u64 zwsms_sent. Link state is
+// deliberately absent: the standby gateway learns its own wireless link's
+// status from its own EEM.
+
+namespace {
+constexpr char kWsizeStateMagic[] = "WSIZ";
+constexpr uint8_t kWsizeStateVersion = 1;
+}  // namespace
+
+proxy::FilterStateKind WsizeFilter::state_kind() const {
+  return proxy::FilterStateKind::kCheckpointed;
+}
+
+bool WsizeFilter::ExportState(util::Bytes* out) const {
+  util::ByteWriter w(out);
+  proxy::WriteStateHeader(&w, kWsizeStateMagic, kWsizeStateVersion);
+  w.WriteU8(seen_ack_ ? 1 : 0);
+  w.WriteU32(last_seq_);
+  w.WriteU32(last_ack_);
+  w.WriteU16(last_window_);
+  w.WriteU64(windows_clamped_);
+  w.WriteU64(zwsms_sent_);
+  return true;
+}
+
+bool WsizeFilter::ImportState(proxy::FilterContext&, const util::Bytes& in, std::string* error) {
+  util::ByteReader r(in);
+  std::optional<uint8_t> version = proxy::ReadStateHeader(&r, kWsizeStateMagic);
+  if (!version.has_value() || *version != kWsizeStateVersion) {
+    if (error != nullptr) {
+      *error = "wsize import: bad magic or version";
+    }
+    return false;
+  }
+  const uint8_t flags = r.ReadU8();
+  const uint32_t last_seq = r.ReadU32();
+  const uint32_t last_ack = r.ReadU32();
+  const uint16_t last_window = r.ReadU16();
+  const uint64_t clamped = r.ReadU64();
+  const uint64_t zwsms = r.ReadU64();
+  if (r.failed()) {
+    if (error != nullptr) {
+      *error = "wsize import: truncated blob";
+    }
+    return false;
+  }
+  seen_ack_ = (flags & 1u) != 0;
+  last_seq_ = last_seq;
+  last_ack_ = last_ack;
+  last_window_ = last_window;
+  windows_clamped_ = clamped;
+  zwsms_sent_ = zwsms;
+  link_down_ = false;  // Local to the gateway; re-learned at the standby.
+  return true;
+}
 
 std::string WsizeFilter::Status() const {
   return util::Format("mode=%s clamped=%llu zwsms=%llu link=%s",

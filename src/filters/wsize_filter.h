@@ -48,6 +48,13 @@ class WsizeFilter : public proxy::Filter {
   uint64_t zwsms_sent() const { return zwsms_sent_; }
   bool link_down() const { return link_down_; }
 
+  // Failover (docs/robustness.md): the observed ACK-path state (what a ZWSM
+  // needs) is checkpointed; link_down_ is NOT — link state is local to the
+  // new gateway and re-learned from its own EEM or NotifyLinkDown.
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
  private:
   void SendWindowMessage(uint16_t window);
 

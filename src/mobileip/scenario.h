@@ -53,6 +53,10 @@ class MobileIpScenario {
   net::Link& wireless1() { return *wireless1_; }
   net::Link& wireless2() { return *wireless2_; }
   net::Link& home_link() { return *home_link_; }
+  // Wired backhauls to the FA routers, exposed so failover scenarios can
+  // sever a gateway (crash = backhaul + wireless down together).
+  net::Link& backhaul1() { return *bb_fa1_; }
+  net::Link& backhaul2() { return *bb_fa2_; }
 
   net::Ipv4Address correspondent_addr() const;
   net::Ipv4Address mobile_home_addr() const;

@@ -22,6 +22,7 @@
 #include "src/proxy/stream_key.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
+#include "src/util/bytes.h"
 
 namespace comma::monitor {
 class EemClient;
@@ -50,6 +51,20 @@ enum class FilterPriority : int {
 enum class FilterVerdict {
   kPass,
   kDrop,
+};
+
+// How a filter's per-stream state relates to gateway failover
+// (docs/robustness.md, "Checkpoint & failover").
+enum class FilterStateKind {
+  // No state worth moving; a fresh instance behaves identically.
+  kStateless,
+  // Has state, but it is deliberately reconstructed from live traffic after
+  // a handoff (the thesis-era escape: caches that re-warm, link conditions
+  // that are local to the new gateway).
+  kRebuildFromWire,
+  // Exports a versioned blob that ImportState can resume from on another
+  // gateway's filter instance.
+  kCheckpointed,
 };
 
 // Services the proxy exposes to running filters.
@@ -118,6 +133,24 @@ class Filter : public std::enable_shared_from_this<Filter> {
 
   // One-line status used by `report`-style diagnostics; empty by default.
   virtual std::string Status() const { return ""; }
+
+  // --- Failover state contract (docs/robustness.md) -----------------------
+  // A checkpointed filter serializes its resumable per-stream state into a
+  // versioned, length-prefixed byte blob (magic + u8 version header via
+  // proxy::WriteStateHeader) so a warm-standby gateway can resume the stream
+  // where the crashed one left off.
+
+  virtual FilterStateKind state_kind() const;
+
+  // Appends the state blob to *out. Returns false when there is nothing to
+  // export (stateless filters, or no stream observed yet).
+  virtual bool ExportState(util::Bytes* out) const;
+
+  // Replaces this instance's state with a blob produced by ExportState on a
+  // same-name filter. Invoked after OnInsert, before any traffic is seen.
+  // Returns false (with a message in *error) on version/format mismatch; the
+  // filter must then remain usable in its freshly-inserted state.
+  virtual bool ImportState(FilterContext& ctx, const util::Bytes& in, std::string* error);
 
  private:
   std::string name_;

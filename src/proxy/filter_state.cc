@@ -1,0 +1,41 @@
+#include "src/proxy/filter_state.h"
+
+namespace comma::proxy {
+
+void WriteStateHeader(util::ByteWriter* w, const char* magic, uint8_t version) {
+  for (int i = 0; i < 4; ++i) {
+    w->WriteU8(static_cast<uint8_t>(magic[i]));
+  }
+  w->WriteU8(version);
+}
+
+std::optional<uint8_t> ReadStateHeader(util::ByteReader* r, const char* magic) {
+  for (int i = 0; i < 4; ++i) {
+    if (r->ReadU8() != static_cast<uint8_t>(magic[i])) {
+      return std::nullopt;
+    }
+  }
+  const uint8_t version = r->ReadU8();
+  if (r->failed()) {
+    return std::nullopt;
+  }
+  return version;
+}
+
+void WriteStreamKey(util::ByteWriter* w, const StreamKey& key) {
+  w->WriteU32(key.src.value());
+  w->WriteU16(key.src_port);
+  w->WriteU32(key.dst.value());
+  w->WriteU16(key.dst_port);
+}
+
+StreamKey ReadStreamKey(util::ByteReader* r) {
+  StreamKey key;
+  key.src = net::Ipv4Address(r->ReadU32());
+  key.src_port = r->ReadU16();
+  key.dst = net::Ipv4Address(r->ReadU32());
+  key.dst_port = r->ReadU16();
+  return key;
+}
+
+}  // namespace comma::proxy

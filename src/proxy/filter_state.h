@@ -1,0 +1,33 @@
+// Shared serialization helpers for the filter failover-state contract
+// (Filter::ExportState/ImportState, docs/robustness.md).
+//
+// Every exported blob starts with a 5-byte header: a 4-character magic
+// identifying the filter's format plus a u8 version. Readers verify the
+// magic and use the version to reject blobs from a future format instead of
+// misparsing them — a standby gateway running older code must fail the
+// import cleanly (the service then rebuilds from the wire).
+#ifndef COMMA_PROXY_FILTER_STATE_H_
+#define COMMA_PROXY_FILTER_STATE_H_
+
+#include <optional>
+
+#include "src/proxy/stream_key.h"
+#include "src/util/bytes.h"
+
+namespace comma::proxy {
+
+// Appends the magic (exactly 4 characters) and version.
+void WriteStateHeader(util::ByteWriter* w, const char* magic, uint8_t version);
+
+// Verifies the magic and returns the version, or nullopt on mismatch or a
+// short buffer (the reader is left in its sticky failed state).
+std::optional<uint8_t> ReadStateHeader(util::ByteReader* r, const char* magic);
+
+// Stream keys appear in both checkpoint frames and per-filter blobs:
+// 2 × (u32 address + u16 port), 12 bytes.
+void WriteStreamKey(util::ByteWriter* w, const StreamKey& key);
+StreamKey ReadStreamKey(util::ByteReader* r);
+
+}  // namespace comma::proxy
+
+#endif  // COMMA_PROXY_FILTER_STATE_H_

@@ -39,6 +39,17 @@ void Filter::OnNewStream(FilterContext&, const StreamKey&) {}
 
 void Filter::OnDetach(FilterContext&, const StreamKey&) {}
 
+FilterStateKind Filter::state_kind() const { return FilterStateKind::kStateless; }
+
+bool Filter::ExportState(util::Bytes*) const { return false; }
+
+bool Filter::ImportState(FilterContext&, const util::Bytes&, std::string* error) {
+  if (error != nullptr) {
+    *error = "filter '" + name_ + "' does not import state";
+  }
+  return false;
+}
+
 // --- ServiceProxy ---
 
 ServiceProxy::ServiceProxy(net::Node* node, FilterRegistry registry)
@@ -74,7 +85,16 @@ ServiceProxy::ServiceProxy(net::Node* node, FilterRegistry registry)
   queue_resolve_work_ = metrics_.GetHistogram("sp.queue_resolve_work", 0.0, 1000.0, 50);
 }
 
-ServiceProxy::~ServiceProxy() { node_->RemoveTap(this); }
+ServiceProxy::~ServiceProxy() {
+  // Detach every attachment first: filters with armed timers (snoop's local
+  // retransmit clock) cancel them in OnDetach, so tearing down a proxy
+  // mid-run — a crashed gateway — leaves no timer aimed at freed state.
+  while (!attachments_.empty()) {
+    Attachment att = attachments_.back();
+    Detach(att.filter, att.key);
+  }
+  node_->RemoveTap(this);
+}
 
 std::optional<std::string> ServiceProxy::LoadFilter(const std::string& file) {
   return registry_.Load(file);
@@ -180,6 +200,28 @@ void ServiceProxy::RemoveStream(const StreamKey& key) {
                   services_.end());
   streams_.erase(key);
   queue_cache_.erase(key);
+}
+
+void ServiceProxy::AdoptStream(const StreamKey& key, const StreamInfo& info) {
+  if (streams_.count(key) != 0) {
+    return;
+  }
+  StreamInfo adopted = info;
+  // A registered stream has by contract been seen at least once
+  // (StreamRegistryAuditor); the checkpoint always carries a positive count,
+  // but guard against hand-built states.
+  if (adopted.packets == 0) {
+    adopted.packets = 1;
+  }
+  if (adopted.last_seen < adopted.first_seen) {
+    adopted.last_seen = adopted.first_seen;
+  }
+  streams_.emplace(key, adopted);
+  // Counts as a stream this proxy has seen — but deliberately does NOT fire
+  // NotifyNewStream: the stream's per-key services arrive via the restored
+  // service records, and re-running wild-card launchers here would install
+  // them twice.
+  ++stats_.streams_seen;
 }
 
 void ServiceProxy::InjectPacket(net::PacketPtr packet) {

@@ -94,6 +94,13 @@ class ServiceProxy : public net::PacketTap {
   // Removes a closed stream: detaches every filter on `key`, drops its
   // queue, and forgets the stream (the tcp filter calls this on close).
   void RemoveStream(const StreamKey& key);
+  // Seeds the stream registry with a stream inherited from another gateway
+  // (checkpoint restore / hand-off, §10.2.3): accounting continues where the
+  // source proxy left off, and the launcher's OnNewStream does NOT fire
+  // again when the stream's next packet arrives — its per-stream services
+  // are reinstalled from the checkpointed service records instead. No-op if
+  // the key is already registered.
+  void AdoptStream(const StreamKey& key, const StreamInfo& info);
   void InjectPacket(net::PacketPtr packet);
   Filter* FindFilterOnKey(const StreamKey& key, const std::string& name);
   // Wires the co-located EEM client (optional).

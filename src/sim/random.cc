@@ -85,4 +85,16 @@ int64_t Random::UniformInt(int64_t lo, int64_t hi) {
 
 Random Random::Fork() { return Random(NextU64()); }
 
+void Random::SaveState(uint64_t out[4]) const {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = s_[i];
+  }
+}
+
+void Random::RestoreState(const uint64_t in[4]) {
+  for (int i = 0; i < 4; ++i) {
+    s_[i] = in[i];
+  }
+}
+
 }  // namespace comma::sim

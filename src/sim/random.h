@@ -37,6 +37,12 @@ class Random {
   // Derives an independent child generator (for per-link streams).
   Random Fork();
 
+  // Snapshots / reinstates the full generator state. Lets checkpointed
+  // components (e.g. a tdrop filter migrating to a standby gateway) resume
+  // the exact random sequence the source would have produced.
+  void SaveState(uint64_t out[4]) const;
+  void RestoreState(const uint64_t in[4]);
+
  private:
   uint64_t s_[4];
 };

@@ -1,0 +1,73 @@
+// Deterministic chaos soak (docs/robustness.md, "Chaos soak"): randomized
+// fault timelines — link flaps plus an unplanned gateway crash — are derived
+// purely from a seed. Two runs of the same seed must be bit-for-bit
+// identical in every determinism witness (applied-fault log, recovery-metric
+// snapshot, delivered bytes), and every stream must complete despite the
+// faults. CI runs the same comparison across 16 seeds (the `chaos` job).
+#include "src/core/chaos.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::core {
+namespace {
+
+void ExpectIdentical(const ChaosResult& a, const ChaosResult& b, uint64_t seed) {
+  EXPECT_EQ(a.fault_log, b.fault_log) << "seed " << seed;
+  EXPECT_EQ(a.metrics, b.metrics) << "seed " << seed;
+  EXPECT_EQ(a.crash_at, b.crash_at) << "seed " << seed;
+  EXPECT_EQ(a.takeover_at, b.takeover_at) << "seed " << seed;
+  EXPECT_EQ(a.finished_at, b.finished_at) << "seed " << seed;
+  ASSERT_EQ(a.streams.size(), b.streams.size()) << "seed " << seed;
+  for (size_t i = 0; i < a.streams.size(); ++i) {
+    EXPECT_EQ(a.streams[i].bytes, b.streams[i].bytes) << "seed " << seed;
+    EXPECT_EQ(a.streams[i].last_byte_at, b.streams[i].last_byte_at) << "seed " << seed;
+  }
+}
+
+TEST(FaultChaosSoakTest, SameSeedRunsAreByteIdentical) {
+  for (const uint64_t seed : {1u, 7u, 42u}) {
+    ChaosOptions options;
+    options.seed = seed;
+    const ChaosResult first = RunChaosScenario(options);
+    const ChaosResult second = RunChaosScenario(options);
+    ExpectIdentical(first, second, seed);
+
+    // The timeline actually exercised the failover machinery...
+    EXPECT_GT(first.crash_at, 0u) << "seed " << seed;
+    EXPECT_GT(first.takeover_at, first.crash_at) << "seed " << seed;
+    EXPECT_FALSE(first.fault_log.empty()) << "seed " << seed;
+    // ...and every stream still completed.
+    EXPECT_TRUE(first.all_completed) << "seed " << seed << "\n" << first.metrics;
+    EXPECT_EQ(first.streams_restored + first.streams_rebuilt, first.pre_crash_streams)
+        << "seed " << seed << "\n" << first.metrics;
+  }
+}
+
+TEST(FaultChaosSoakTest, DifferentSeedsProduceDifferentTimelines) {
+  ChaosOptions a;
+  a.seed = 3;
+  ChaosOptions b;
+  b.seed = 4;
+  const ChaosResult ra = RunChaosScenario(a);
+  const ChaosResult rb = RunChaosScenario(b);
+  EXPECT_NE(ra.fault_log, rb.fault_log);
+  EXPECT_NE(ra.crash_at, rb.crash_at);
+  EXPECT_TRUE(ra.all_completed);
+  EXPECT_TRUE(rb.all_completed);
+}
+
+TEST(FaultChaosSoakTest, NoCrashVariantNeverTakesOver) {
+  ChaosOptions options;
+  options.seed = 11;
+  options.crash = false;
+  options.horizon = 60 * sim::kSecond;
+  const ChaosResult result = RunChaosScenario(options);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_EQ(result.takeover_at, 0u);
+  EXPECT_EQ(result.streams_restored + result.streams_rebuilt, 0u);
+  // Flaps still fired (the fault log is not empty without the crash).
+  EXPECT_FALSE(result.fault_log.empty());
+}
+
+}  // namespace
+}  // namespace comma::core

@@ -66,13 +66,13 @@ TEST(CommaLint, FixtureCorpusExactDiagnostics) {
       "\"src/obs/metric_registry.h\": only the allowlisted headers of src/obs may be included "
       "from src/net [comma-include-layering]",
       "src/obs/bad_metric.cc:7:24: error: metric name \"SP.packets\" is outside the EEM-bridged "
-      "namespace ^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable from Kati "
+      "namespace ^(sp|ttsf|tcp|eem|trace|mip).[a-z0-9_.]+$ and would be unwatchable from Kati "
       "[comma-metric-name-style]",
       "src/obs/bad_metric.cc:8:22: error: metric name \"kati.decision_loops\" is outside the "
-      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable "
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip).[a-z0-9_.]+$ and would be unwatchable "
       "from Kati [comma-metric-name-style]",
       "src/obs/bad_metric.cc:9:26: error: metric name \"eem.Handoff.Latency\" is outside the "
-      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace).[a-z0-9_.]+$ and would be unwatchable "
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip).[a-z0-9_.]+$ and would be unwatchable "
       "from Kati [comma-metric-name-style]",
       "src/obs/bad_mutex.cc:12:14: error: mutex 'mu_' in class 'SilentRegistry' guards nothing; "
       "annotate the members it protects with COMMA_GUARDED_BY(mu_) "

@@ -7,6 +7,10 @@ void Bind(Registry* registry) {
   registry->GetCounter("SP.packets");
   registry->GetGauge("kati.decision_loops");
   registry->GetHistogram("eem.Handoff.Latency", 0.0, 1.0, 32);
+  // Clean: the failover namespaces are EEM-bridged too.
+  registry->GetCounter("mip.registrations_accepted");
+  registry->GetCounter("sp.recovery.streams_restored");
+  registry->GetGauge("mip.last_handoff_latency_us");
 }
 
 }  // namespace fixture

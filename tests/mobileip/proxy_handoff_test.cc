@@ -129,6 +129,57 @@ TEST_F(ProxyHandoffTest, StreamSurvivesHandoffWithServices) {
   EXPECT_GT(sp2_->stats().packets_inspected, 0u);
 }
 
+TEST_F(ProxyHandoffTest, PlannedHandoffCarriesExportedFilterState) {
+  // A live transformed stream hands off mid-transfer: the TTSF's offset map
+  // and the tdrop RNG state ride along (docs/robustness.md), so the
+  // destination proxy resumes with the source's exact state instead of
+  // rebuilding from the wire.
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  std::string error;
+  ASSERT_TRUE(sp1_->AddService("launcher", ToMobile(80), {"tcp", "ttsf", "tdrop:0:5"}, &error))
+      << error;
+
+  apps::BulkSink sink(&scenario_.mobile(), 80);
+  apps::BulkSender sender(&scenario_.correspondent(), scenario_.mobile_home_addr(), 80,
+                          apps::PatternPayload(600'000));
+  scenario_.sim().RunFor(3 * sim::kSecond);
+  ASSERT_GT(sink.bytes_received(), 0u);
+  ASSERT_LT(sink.bytes_received(), 600'000u);
+
+  scenario_.MoveToForeign2();
+  const int moved = manager_.OnHandoff(scenario_.mobile_home_addr(), scenario_.fa1_addr(),
+                                       scenario_.fa2_addr());
+  ASSERT_GT(moved, 0);
+  // The per-stream ttsf and tdrop are checkpointable: their state moved.
+  EXPECT_GE(manager_.stats().state_transferred, 2u);
+  // Accounting invariant: every transferred service either carried state or
+  // was explicitly rebuilt.
+  EXPECT_EQ(manager_.stats().services_transferred,
+            manager_.stats().state_transferred + manager_.stats().state_rebuilt);
+  EXPECT_EQ(manager_.stats().services_failed, 0u);
+
+  // The in-flight stream completes through the destination proxy.
+  scenario_.sim().RunFor(120 * sim::kSecond);
+  EXPECT_EQ(sink.bytes_received(), 600'000u);
+}
+
+TEST_F(ProxyHandoffTest, StatelessServicesCountAsRebuilt) {
+  scenario_.MoveToForeign1();
+  scenario_.sim().RunFor(2 * sim::kSecond);
+  std::string error;
+  // meter keeps no exportable state; the transfer re-creates it fresh.
+  ASSERT_TRUE(sp1_->AddService("meter", ToMobile(82), {}, &error)) << error;
+
+  const int moved = manager_.OnHandoff(scenario_.mobile_home_addr(), scenario_.fa1_addr(),
+                                       scenario_.fa2_addr());
+  EXPECT_EQ(moved, 1);
+  EXPECT_EQ(manager_.stats().state_transferred, 0u);
+  EXPECT_EQ(manager_.stats().state_rebuilt, 1u);
+  EXPECT_EQ(manager_.stats().services_transferred,
+            manager_.stats().state_transferred + manager_.stats().state_rebuilt);
+}
+
 TEST_F(ProxyHandoffTest, UnknownCareOfAddressesAreIgnored) {
   EXPECT_EQ(manager_.OnHandoff(scenario_.mobile_home_addr(), net::Ipv4Address(9, 9, 9, 9),
                                scenario_.fa2_addr()),

@@ -52,8 +52,8 @@ BulkSink::BulkSink(core::Host* host, uint16_t port, const tcp::TcpConfig& config
 BulkSender::BulkSender(core::Host* host, net::Ipv4Address server, uint16_t port,
                        util::Bytes payload, const tcp::TcpConfig& config)
     : host_(host),
-      remaining_(std::make_shared<util::Bytes>(std::move(payload))),
-      payload_size_(remaining_->size()),
+      payload_(std::make_shared<util::Bytes>(std::move(payload))),
+      payload_size_(payload_->size()),
       started_at_(host->simulator()->Now()) {
   conn_ = host_->tcp().Connect(server, port, config);
   conn_->set_on_connected([this] { Pump(); });
@@ -70,12 +70,15 @@ BulkSender::BulkSender(core::Host* host, net::Ipv4Address server, uint16_t port,
 }
 
 void BulkSender::Pump() {
-  while (!remaining_->empty()) {
-    const size_t n = conn_->Send(remaining_->data(), remaining_->size());
+  // Advance an offset instead of erasing the front: erase memmoves the
+  // whole remainder on every pump, turning an N-byte transfer into O(N^2)
+  // copying on multi-megabyte payloads.
+  while (offset_ < payload_->size()) {
+    const size_t n = conn_->Send(payload_->data() + offset_, payload_->size() - offset_);
     if (n == 0) {
       return;
     }
-    remaining_->erase(remaining_->begin(), remaining_->begin() + static_cast<long>(n));
+    offset_ += n;
   }
   conn_->Close();
 }

@@ -60,7 +60,8 @@ class BulkSender {
 
   core::Host* host_;
   tcp::TcpConnection* conn_;
-  std::shared_ptr<util::Bytes> remaining_;
+  std::shared_ptr<util::Bytes> payload_;
+  size_t offset_ = 0;  // Bytes of payload_ already accepted by the stack.
   size_t payload_size_;
   bool finished_ = false;
   sim::TimePoint started_at_;

@@ -26,6 +26,8 @@ ChaosResult RunChaosScenario(const ChaosOptions& options) {
 
   FailoverConfig config;
   config.scenario.seed = options.seed;
+  config.scenario.partition_regions = options.partition_regions;
+  config.scenario.sim.num_workers = options.num_workers;
   FailoverSystem system(config);
   sim::Simulator& sim = system.sim();
 
@@ -55,6 +57,9 @@ ChaosResult RunChaosScenario(const ChaosOptions& options) {
   system.Start();
 
   // --- Services: one launcher per destination port ---
+  // Proxy services and mobile-side sinks live on FA-region nodes, so the
+  // scheduling they do at construction must land in that region.
+  sim::ScopedRegion in_fa(&sim, system.scenario().fa_region());
   proxy::ServiceProxy& sp1 = *system.primary_sp();
   for (uint32_t i = 0; i < options.streams; ++i) {
     const uint16_t port = static_cast<uint16_t>(80 + i);
@@ -70,8 +75,9 @@ ChaosResult RunChaosScenario(const ChaosOptions& options) {
     const uint16_t port = static_cast<uint16_t>(80 + i);
     sinks.push_back(std::make_unique<apps::BulkSink>(&system.scenario().mobile(), port));
     // Senders start after the first registration settles; SYN retries cover
-    // any remaining registration latency.
-    sim.Schedule(sim::kSecond, [&system, &senders, port, &options] {
+    // any remaining registration latency. The correspondent lives in the
+    // main region, so the construction event is pinned there explicitly.
+    sim.ScheduleInRegion(sim::kMainRegion, sim::kSecond, [&system, &senders, port, &options] {
       senders.push_back(std::make_unique<apps::BulkSender>(
           &system.scenario().correspondent(), system.scenario().mobile_home_addr(), port,
           apps::PatternPayload(options.bytes_per_stream)));

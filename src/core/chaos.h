@@ -33,6 +33,12 @@ struct ChaosOptions {
   uint32_t bytes_per_stream = 400'000;
   bool crash = true;                // false = flaps only, no takeover.
   sim::Duration horizon = 120 * sim::kSecond;
+  // Epoch-loop knobs (docs/parallel-sim.md): split the FA side of the
+  // topology into its own region and run with this many workers. The
+  // witnesses must be bit-identical for any worker count at a fixed
+  // partitioning (parallel_determinism_test).
+  bool partition_regions = false;
+  int num_workers = 1;
 };
 
 struct ChaosStreamOutcome {

@@ -8,6 +8,10 @@ namespace comma::core {
 CommaSystem::CommaSystem(const CommaSystemConfig& config)
     : config_(config), scenario_(config.scenario), catalog_(filters::StandardCatalog()) {
   util::SetDebugChecks(config.debug_checks);
+  // Everything the system adds lives on the gateway (or mobile) side of the
+  // topology, so all of its timers/events belong to the wireless region
+  // when the scenario is partitioned (a no-op otherwise).
+  sim::ScopedRegion in_wireless(&sim(), scenario_.wireless_region());
   sp_ = std::make_unique<proxy::ServiceProxy>(&scenario_.gateway(),
                                               filters::StandardRegistry(config.load_filters));
   sp_->set_catalog(&catalog_);
@@ -75,6 +79,17 @@ void CommaSystem::RegisterSystemMetrics() {
   reg.RegisterGaugeSource("eem.server.registrations", [this] {
     return eem_server_ ? static_cast<double>(eem_server_->RegistrationCount()) : 0.0;
   });
+  // Epoch-loop telemetry (docs/parallel-sim.md). epochs/cross_region_events
+  // are deterministic; barrier_wait_us is wall clock, so determinism
+  // witnesses must filter it out (testing::FilterWallClockMetrics).
+  sim::Simulator* simulator = &sim();
+  reg.RegisterCounterSource("sim.epochs", [simulator] { return simulator->epochs(); });
+  reg.RegisterCounterSource("sim.cross_region_events",
+                            [simulator] { return simulator->cross_region_events(); });
+  reg.RegisterCounterSource("sim.barrier_wait_us",
+                            [simulator] { return simulator->barrier_wait_us(); });
+  reg.RegisterCounterSource("sim.critical_path_events",
+                            [simulator] { return simulator->critical_path_events(); });
 }
 
 void CommaSystem::BridgeMetricsIntoEem() {
@@ -88,6 +103,7 @@ void CommaSystem::BridgeMetricsIntoEem() {
 }
 
 std::unique_ptr<kati::Shell> CommaSystem::MakeKati(kati::Shell::OutputSink sink) {
+  sim::ScopedRegion in_wireless(&sim(), scenario_.wireless_region());
   return std::make_unique<kati::Shell>(&scenario_.mobile_host(),
                                        scenario_.gateway_wireless_addr(), std::move(sink));
 }
@@ -133,6 +149,7 @@ void CommaSystem::RestartEemServer() {
 
 proxy::ServiceProxy& CommaSystem::MobileProxy() {
   if (mobile_sp_ == nullptr) {
+    sim::ScopedRegion in_wireless(&sim(), scenario_.wireless_region());
     mobile_sp_ = std::make_unique<proxy::ServiceProxy>(
         &scenario_.mobile_host(), filters::StandardRegistry(config_.load_filters));
     mobile_sp_->set_catalog(&catalog_);

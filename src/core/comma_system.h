@@ -53,7 +53,12 @@ class CommaSystem {
   // Schedule* helpers below), then ArmFaults() before Run. The plan's
   // applied log is the determinism witness for a faulted run.
   sim::FaultPlan& fault_plan() { return fault_plan_; }
-  void ArmFaults() { fault_plan_.Arm(&sim(), &scenario_.gateway().tracer()); }
+  void ArmFaults() {
+    // Fault actions mutate gateway-side state, so the plan's events belong
+    // to the wireless region on a partitioned scenario.
+    sim::ScopedRegion in_wireless(&sim(), scenario_.wireless_region());
+    fault_plan_.Arm(&sim(), &scenario_.gateway().tracer());
+  }
 
   // Takes a link down at `from` and back up at `until` (in-flight packets
   // on the downed link are lost, exactly like a real carrier loss).

@@ -9,6 +9,9 @@ namespace comma::core {
 FailoverSystem::FailoverSystem(const FailoverConfig& config)
     : config_(config), scenario_(config.scenario) {
   util::SetDebugChecks(config.debug_checks);
+  // Both proxies, the checkpoint pair, and the EEM live on the FA routers,
+  // so their timers belong to the fa region when partitioned.
+  sim::ScopedRegion in_fa(&scenario_.sim(), scenario_.fa_region());
   proxy::FilterRegistry registry = filters::StandardRegistry();
   if (config_.extend_registry) {
     config_.extend_registry(registry);
@@ -39,6 +42,7 @@ FailoverSystem::FailoverSystem(const FailoverConfig& config)
 FailoverSystem::~FailoverSystem() = default;
 
 void FailoverSystem::Start() {
+  sim::ScopedRegion in_fa(&scenario_.sim(), scenario_.fa_region());
   ckpt_receiver_->Listen();
   ckpt_manager_->Start();
   scenario_.MoveToForeign1();

@@ -81,8 +81,12 @@ class FailoverSystem {
   // --- Fault injection ---
   sim::FaultPlan& fault_plan() { return fault_plan_; }
   // Arms the plan; fired faults are traced through the standby router (it
-  // survives the crash).
-  void ArmFaults() { fault_plan_.Arm(&scenario_.sim(), &scenario_.fa2_router().tracer()); }
+  // survives the crash). Fault actions mutate FA-side state, so the plan's
+  // events belong to the fa region on a partitioned scenario.
+  void ArmFaults() {
+    sim::ScopedRegion in_fa(&scenario_.sim(), scenario_.fa_region());
+    fault_plan_.Arm(&scenario_.sim(), &scenario_.fa2_router().tracer());
+  }
   // Schedules an unplanned primary death at `when`: links severed, proxy,
   // checkpoint manager, and EEM destroyed. Nothing announces the crash to
   // the standby — its watchdog has to notice.

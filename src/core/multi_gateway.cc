@@ -1,0 +1,259 @@
+#include "src/core/multi_gateway.h"
+
+#include <utility>
+
+#include "src/filters/standard_set.h"
+#include "src/sim/witness.h"
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace comma::core {
+
+namespace {
+
+// Cluster k addressing (k < 100): the wired subnet is 10.k/16, the wireless
+// subnet 11.k/16, and the backbone point-to-point pair 192.168.k/24 —
+// the Fig. 1.1 plan replicated per cluster.
+net::Ipv4Address WiredHostAddr(int k) {
+  return net::Ipv4Address(10, static_cast<uint8_t>(k), 0, 99);
+}
+net::Ipv4Address GatewayWiredAddr(int k) {
+  return net::Ipv4Address(10, static_cast<uint8_t>(k), 0, 1);
+}
+net::Ipv4Address GatewayWirelessAddr(int k) {
+  return net::Ipv4Address(11, static_cast<uint8_t>(k), 10, 1);
+}
+net::Ipv4Address MobileHostAddr(int k) {
+  return net::Ipv4Address(11, static_cast<uint8_t>(k), 10, 10);
+}
+net::Ipv4Address GatewayBackboneAddr(int k) {
+  return net::Ipv4Address(192, 168, static_cast<uint8_t>(k), 2);
+}
+net::Ipv4Address BackboneRouterAddr(int k) {
+  return net::Ipv4Address(192, 168, static_cast<uint8_t>(k), 1);
+}
+
+net::Ipv4Prefix Prefix(const std::string& text) {
+  auto parsed = net::Ipv4Prefix::Parse(text);
+  COMMA_CHECK(parsed.has_value()) << "bad prefix " << text;
+  return *parsed;
+}
+
+// Stable per-entity RNG stream indices (DeriveStreamSeed): partitioning the
+// topology differently must never shift another entity's sequence.
+enum StreamSlot : uint64_t {
+  kSlotWiredHost = 0,
+  kSlotGateway = 1,
+  kSlotMobile = 2,
+  kSlotWiredLink = 3,
+  kSlotWirelessLink = 4,
+  kSlotBackboneLink = 5,
+  kSlotFaults = 6,
+  kSlotsPerCluster = 8,
+  kSlotBackboneRouter = 1'000'000,
+};
+
+uint64_t ClusterSeed(uint64_t seed, int k, StreamSlot slot) {
+  return sim::DeriveStreamSeed(seed,
+                               static_cast<uint64_t>(k) * kSlotsPerCluster + slot);
+}
+
+}  // namespace
+
+MultiGatewayScenario::MultiGatewayScenario(const MultiGatewayConfig& config)
+    : config_(config), sim_(config.sim) {
+  COMMA_CHECK(config_.clusters >= 1 && config_.clusters < 100) << "cluster count out of range";
+
+  // Region 0 holds the backbone router; cluster k gets region k+1.
+  backbone_ = std::make_unique<Host>(&sim_, "backbone",
+                                     sim::Random(sim::DeriveStreamSeed(config_.seed,
+                                                                       kSlotBackboneRouter)));
+  clusters_.resize(static_cast<size_t>(config_.clusters));
+  for (int k = 0; k < config_.clusters; ++k) {
+    Cluster& cluster = clusters_[static_cast<size_t>(k)];
+    cluster.region = sim_.AddRegion(util::Format("cluster-%d", k));
+    sim::ScopedRegion guard(&sim_, cluster.region);
+
+    const auto host_rng = [&](StreamSlot slot) {
+      return sim::Random(ClusterSeed(config_.seed, k, slot));
+    };
+    cluster.wired_host =
+        std::make_unique<Host>(&sim_, util::Format("wired-%d", k), host_rng(kSlotWiredHost));
+    cluster.gateway =
+        std::make_unique<Host>(&sim_, util::Format("gw-%d", k), host_rng(kSlotGateway));
+    cluster.mobile =
+        std::make_unique<Host>(&sim_, util::Format("mobile-%d", k), host_rng(kSlotMobile));
+
+    cluster.wired_link = std::make_unique<net::Link>(
+        &sim_, host_rng(kSlotWiredLink), config_.wired, util::Format("wired-%d", k));
+    cluster.wireless_link = std::make_unique<net::Link>(
+        &sim_, host_rng(kSlotWirelessLink), config_.wireless, util::Format("wireless-%d", k));
+    cluster.backbone_link = std::make_unique<net::Link>(
+        &sim_, host_rng(kSlotBackboneLink), config_.backbone, util::Format("backbone-%d", k));
+    cluster.wired_link->SetRegions(cluster.region, cluster.region);
+    cluster.wireless_link->SetRegions(cluster.region, cluster.region);
+    // Side 0 is the gateway (cluster region), side 1 the backbone router:
+    // the one cross-region edge per cluster, lookahead = propagation delay.
+    cluster.backbone_link->SetRegions(cluster.region, sim::kMainRegion);
+
+    const uint32_t wh_if = cluster.wired_host->AddInterface(WiredHostAddr(k));
+    const uint32_t gw_wired_if = cluster.gateway->AddInterface(GatewayWiredAddr(k));
+    const uint32_t gw_wireless_if = cluster.gateway->AddInterface(GatewayWirelessAddr(k));
+    const uint32_t gw_backbone_if = cluster.gateway->AddInterface(GatewayBackboneAddr(k));
+    const uint32_t mh_if = cluster.mobile->AddInterface(MobileHostAddr(k));
+    const uint32_t bb_if = backbone_->AddInterface(BackboneRouterAddr(k));
+
+    cluster.wired_host->AttachLink(wh_if, cluster.wired_link.get(), 0);
+    cluster.gateway->AttachLink(gw_wired_if, cluster.wired_link.get(), 1);
+    cluster.gateway->AttachLink(gw_wireless_if, cluster.wireless_link.get(), 0);
+    cluster.mobile->AttachLink(mh_if, cluster.wireless_link.get(), 1);
+    cluster.gateway->AttachLink(gw_backbone_if, cluster.backbone_link.get(), 0);
+    backbone_->AttachLink(bb_if, cluster.backbone_link.get(), 1);
+
+    cluster.wired_host->SetDefaultRoute(wh_if);
+    cluster.mobile->SetDefaultRoute(mh_if);
+    cluster.gateway->AddRoute(Prefix(util::Format("10.%d.0.0/16", k)), gw_wired_if);
+    cluster.gateway->AddRoute(Prefix(util::Format("11.%d.0.0/16", k)), gw_wireless_if);
+    cluster.gateway->SetDefaultRoute(gw_backbone_if);
+    backbone_->AddRoute(Prefix(util::Format("10.%d.0.0/16", k)), bb_if);
+    backbone_->AddRoute(Prefix(util::Format("11.%d.0.0/16", k)), bb_if);
+    backbone_->AddRoute(Prefix(util::Format("192.168.%d.0/24", k)), bb_if);
+
+    if (config_.with_proxy) {
+      cluster.sp = std::make_unique<proxy::ServiceProxy>(cluster.gateway.get(),
+                                                         filters::StandardRegistry());
+      // All of the mobile's inbound streams run through the tcp filter —
+      // the enhanced-proxy data path every packet of cluster k crosses.
+      std::string error;
+      const proxy::StreamKey wildcard{net::Ipv4Address(), 0, MobileHostAddr(k), 0};
+      COMMA_CHECK(cluster.sp->AddService("launcher", wildcard, {"tcp"}, &error)) << error;
+    }
+
+    cluster.faults = std::make_unique<sim::FaultPlan>();
+    if (config_.with_flaps) {
+      // Two scripted wireless outages per cluster, drawn from the cluster's
+      // own stream so partitioning never shifts a neighbour's timeline.
+      sim::Random fault_rng(ClusterSeed(config_.seed, k, kSlotFaults));
+      sim::TimePoint cursor = sim::kSecond + fault_rng.UniformInt(0, 1500) * sim::kMillisecond;
+      for (int flap = 0; flap < 2; ++flap) {
+        const sim::Duration down = (100 + fault_rng.UniformInt(0, 200)) * sim::kMillisecond;
+        net::Link* link = cluster.wireless_link.get();
+        cluster.faults->Window(
+            cursor, cursor + down, util::Format("flap wireless-%d", k),
+            [link] { link->SetUp(false); }, [link] { link->SetUp(true); });
+        cursor += down + sim::kSecond + fault_rng.UniformInt(0, 1500) * sim::kMillisecond;
+      }
+      cluster.faults->Arm(&sim_, &cluster.gateway->tracer());
+    }
+  }
+}
+
+MultiGatewayScenario::~MultiGatewayScenario() = default;
+
+net::Ipv4Address MultiGatewayScenario::mobile_addr(int k) const { return MobileHostAddr(k); }
+
+void MultiGatewayScenario::StartTraffic() {
+  COMMA_CHECK(!traffic_started_) << "StartTraffic called twice";
+  traffic_started_ = true;
+  const int n = config_.clusters;
+  for (int k = 0; k < n; ++k) {
+    Cluster& cluster = clusters_[static_cast<size_t>(k)];
+    sim::ScopedRegion guard(&sim_, cluster.region);
+    cluster.local_sink = std::make_unique<apps::BulkSink>(cluster.mobile.get(), 80);
+    cluster.cross_sink = std::make_unique<apps::BulkSink>(cluster.mobile.get(), 81);
+  }
+  for (int k = 0; k < n; ++k) {
+    Cluster& cluster = clusters_[static_cast<size_t>(k)];
+    {
+      sim::ScopedRegion guard(&sim_, cluster.region);
+      cluster.local_sender = std::make_unique<apps::BulkSender>(
+          cluster.wired_host.get(), MobileHostAddr(k), 80,
+          apps::PatternPayload(config_.local_bytes));
+    }
+    // The cross stream originates in the *next* cluster's wired host and
+    // rides the backbone into this one.
+    Cluster& src = clusters_[static_cast<size_t>((k + 1) % n)];
+    sim::ScopedRegion guard(&sim_, src.region);
+    cluster.cross_sender = std::make_unique<apps::BulkSender>(
+        src.wired_host.get(), MobileHostAddr(k), 81, apps::PatternPayload(config_.cross_bytes));
+  }
+}
+
+bool MultiGatewayScenario::AllCompleted() const {
+  for (const Cluster& cluster : clusters_) {
+    if (cluster.local_sink == nullptr ||
+        cluster.local_sink->bytes_received() != config_.local_bytes ||
+        cluster.cross_sink->bytes_received() != config_.cross_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string MultiGatewayScenario::FaultLog() const {
+  std::string out;
+  for (int k = 0; k < config_.clusters; ++k) {
+    out += util::Format("## cluster %d\n", k);
+    out += clusters_[static_cast<size_t>(k)].faults->AppliedLog();
+  }
+  return out;
+}
+
+std::string MultiGatewayScenario::StreamWitness() const {
+  std::string out;
+  const auto line = [&](int k, int port, const apps::BulkSink* sink) {
+    const std::string body(sink->received().begin(), sink->received().end());
+    out += util::Format("cluster=%d port=%d bytes=%llu hash=%016llx last_byte_at=%lld\n", k,
+                        port, static_cast<unsigned long long>(sink->bytes_received()),
+                        static_cast<unsigned long long>(sim::WitnessHash(body)),
+                        static_cast<long long>(sink->last_byte_at()));
+  };
+  for (int k = 0; k < config_.clusters; ++k) {
+    const Cluster& cluster = clusters_[static_cast<size_t>(k)];
+    if (cluster.local_sink != nullptr) {
+      line(k, 80, cluster.local_sink.get());
+      line(k, 81, cluster.cross_sink.get());
+    }
+  }
+  return out;
+}
+
+std::string MultiGatewayScenario::LinkStatsWitness() const {
+  std::string out;
+  const auto stats = [&](const net::Link& link) {
+    for (int side = 0; side < 2; ++side) {
+      const net::LinkSideStats& s = link.stats(side);
+      out += util::Format(
+          "%s[%d] tx=%llu/%llu rx=%llu/%llu drops=%llu/%llu/%llu corrupt=%llu\n",
+          link.name().c_str(), side, static_cast<unsigned long long>(s.tx_packets),
+          static_cast<unsigned long long>(s.tx_bytes),
+          static_cast<unsigned long long>(s.rx_packets),
+          static_cast<unsigned long long>(s.rx_bytes),
+          static_cast<unsigned long long>(s.drops_queue),
+          static_cast<unsigned long long>(s.drops_error),
+          static_cast<unsigned long long>(s.drops_down),
+          static_cast<unsigned long long>(s.corrupted));
+    }
+  };
+  for (const Cluster& cluster : clusters_) {
+    stats(*cluster.wired_link);
+    stats(*cluster.wireless_link);
+    stats(*cluster.backbone_link);
+  }
+  return out;
+}
+
+std::string MultiGatewayScenario::Witness() const {
+  std::string out = "=== faults ===\n" + FaultLog();
+  out += "=== streams ===\n" + StreamWitness();
+  out += "=== links ===\n" + LinkStatsWitness();
+  out += util::Format(
+      "=== sim ===\nepochs=%llu cross_region_events=%llu events=%llu critical_path=%llu\n",
+      static_cast<unsigned long long>(sim_.epochs()),
+      static_cast<unsigned long long>(sim_.cross_region_events()),
+      static_cast<unsigned long long>(sim_.EventsRun()),
+      static_cast<unsigned long long>(sim_.critical_path_events()));
+  return out;
+}
+
+}  // namespace comma::core

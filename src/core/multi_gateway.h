@@ -1,0 +1,109 @@
+// Multi-gateway topology for the partitioned simulator: N wireless clusters
+// (thesis Fig. 1.1, replicated) joined by a backbone router.
+//
+//   wired-host k ──wired── gateway k ──wireless── mobile k      (region k+1)
+//                             │
+//                          backbone link (cross-region, 5 ms lookahead)
+//                             │
+//                       backbone router                          (region 0)
+//
+// Each cluster is one region; only the gateway↔backbone links cross region
+// boundaries, so their propagation delay is the PDES lookahead
+// (docs/parallel-sim.md). Per-cluster traffic is one heavy local bulk
+// transfer (wired-host k → mobile k, port 80) plus one cross-cluster bulk
+// (wired-host k+1 → mobile k, port 81) that exercises the backbone; each
+// gateway optionally runs a Service Proxy with the tcp filter on its
+// mobile's streams, and a scripted per-cluster fault plan flaps the
+// wireless link. This is the 4-gateway scenario bench_parallel scales
+// across worker counts and parallel_determinism_test diffs witnesses on.
+#ifndef COMMA_CORE_MULTI_GATEWAY_H_
+#define COMMA_CORE_MULTI_GATEWAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/bulk.h"
+#include "src/core/host.h"
+#include "src/net/link.h"
+#include "src/proxy/service_proxy.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace comma::core {
+
+struct MultiGatewayConfig {
+  int clusters = 4;
+  uint64_t seed = 42;
+  sim::SimulatorOptions sim;
+  net::LinkConfig wired = net::WiredLinkConfig();
+  net::LinkConfig wireless = net::WirelessLinkConfig();
+  net::LinkConfig backbone = net::BackboneLinkConfig();
+  // A Service Proxy (tcp filter) on every gateway, tapping its mobile.
+  bool with_proxy = true;
+  // Scripted per-cluster wireless flaps (seed-derived, region-internal).
+  bool with_flaps = false;
+  size_t local_bytes = 120'000;  // wired-host k → mobile k, port 80.
+  size_t cross_bytes = 40'000;   // wired-host k+1 → mobile k, port 81.
+};
+
+class MultiGatewayScenario {
+ public:
+  explicit MultiGatewayScenario(const MultiGatewayConfig& config = {});
+  ~MultiGatewayScenario();
+  MultiGatewayScenario(const MultiGatewayScenario&) = delete;
+  MultiGatewayScenario& operator=(const MultiGatewayScenario&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  int clusters() const { return config_.clusters; }
+  Host& backbone_router() { return *backbone_; }
+  Host& wired_host(int k) { return *clusters_[static_cast<size_t>(k)].wired_host; }
+  Host& gateway(int k) { return *clusters_[static_cast<size_t>(k)].gateway; }
+  Host& mobile_host(int k) { return *clusters_[static_cast<size_t>(k)].mobile; }
+  net::Link& wireless_link(int k) { return *clusters_[static_cast<size_t>(k)].wireless_link; }
+  net::Link& backbone_link(int k) { return *clusters_[static_cast<size_t>(k)].backbone_link; }
+  sim::RegionId cluster_region(int k) const { return clusters_[static_cast<size_t>(k)].region; }
+  net::Ipv4Address mobile_addr(int k) const;
+
+  // Constructs the senders/sinks (idempotent; call once before Run).
+  void StartTraffic();
+  bool AllCompleted() const;
+
+  // --- Determinism witnesses (docs/parallel-sim.md) ---
+  // Per-cluster applied-fault logs, in cluster order.
+  std::string FaultLog() const;
+  // One line per stream: bytes, payload hash, completion time.
+  std::string StreamWitness() const;
+  // Per-link tx/rx/drop counters, in fixed order.
+  std::string LinkStatsWitness() const;
+  // The combined witness the harness and bench hash/diff.
+  std::string Witness() const;
+
+ private:
+  struct Cluster {
+    sim::RegionId region = sim::kMainRegion;
+    std::unique_ptr<Host> wired_host;
+    std::unique_ptr<Host> gateway;
+    std::unique_ptr<Host> mobile;
+    std::unique_ptr<net::Link> wired_link;
+    std::unique_ptr<net::Link> wireless_link;
+    std::unique_ptr<net::Link> backbone_link;
+    std::unique_ptr<proxy::ServiceProxy> sp;
+    std::unique_ptr<sim::FaultPlan> faults;
+    std::unique_ptr<apps::BulkSink> local_sink;
+    std::unique_ptr<apps::BulkSink> cross_sink;
+    std::unique_ptr<apps::BulkSender> local_sender;
+    std::unique_ptr<apps::BulkSender> cross_sender;
+  };
+
+  MultiGatewayConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<Host> backbone_;
+  std::vector<Cluster> clusters_;
+  bool traffic_started_ = false;
+};
+
+}  // namespace comma::core
+
+#endif  // COMMA_CORE_MULTI_GATEWAY_H_

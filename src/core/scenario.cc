@@ -9,13 +9,28 @@ const net::Ipv4Address kGatewayWirelessAddr(11, 11, 10, 1);
 const net::Ipv4Address kMobileHostAddr(11, 11, 10, 10);
 }  // namespace
 
-WirelessScenario::WirelessScenario(const ScenarioConfig& config) : rng_(config.seed) {
-  wired_host_ = std::make_unique<Host>(&sim_, "wired-host", rng_.Fork());
-  gateway_ = std::make_unique<Host>(&sim_, "gateway", rng_.Fork());
-  mobile_host_ = std::make_unique<Host>(&sim_, "mobile-host", rng_.Fork());
+WirelessScenario::WirelessScenario(const ScenarioConfig& config)
+    : sim_(config.sim), rng_(config.seed) {
+  if (config.partition_regions) {
+    // Wired host on one side, gateway + mobile on the other; the wired
+    // link's 1 ms propagation delay becomes the PDES lookahead.
+    wired_region_ = sim_.AddRegion("wired");
+    wireless_region_ = sim_.AddRegion("wireless");
+  }
+  {
+    sim::ScopedRegion in_wired(&sim_, wired_region_);
+    wired_host_ = std::make_unique<Host>(&sim_, "wired-host", rng_.Fork());
+  }
+  {
+    sim::ScopedRegion in_wireless(&sim_, wireless_region_);
+    gateway_ = std::make_unique<Host>(&sim_, "gateway", rng_.Fork());
+    mobile_host_ = std::make_unique<Host>(&sim_, "mobile-host", rng_.Fork());
+  }
 
   wired_link_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wired, "wired");
   wireless_link_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wireless, "wireless");
+  wired_link_->SetRegions(wired_region_, wireless_region_);
+  wireless_link_->SetRegions(wireless_region_, wireless_region_);
 
   const uint32_t wh_if = wired_host_->AddInterface(kWiredHostAddr);
   const uint32_t gw_wired_if = gateway_->AddInterface(kGatewayWiredAddr);

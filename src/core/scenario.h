@@ -21,6 +21,13 @@ struct ScenarioConfig {
   net::LinkConfig wired = net::WiredLinkConfig();
   net::LinkConfig wireless = net::WirelessLinkConfig();
   uint64_t seed = 42;
+  // Simulator options (worker count for the epoch loop).
+  sim::SimulatorOptions sim;
+  // Split the topology into a wired region (wired host) and a wireless
+  // region (gateway + mobile), with the wired link as the cross-region
+  // edge. Off by default: single-region scenarios stay on the classic
+  // serial fast path. The determinism harness runs both and diffs them.
+  bool partition_regions = false;
 };
 
 // Addresses follow the thesis's interface example (§5.3.2): the mobile host
@@ -44,9 +51,15 @@ class WirelessScenario {
   net::Ipv4Address gateway_wired_addr() const;
   net::Ipv4Address gateway_wireless_addr() const;
 
+  // kMainRegion for both unless config.partition_regions was set.
+  sim::RegionId wired_region() const { return wired_region_; }
+  sim::RegionId wireless_region() const { return wireless_region_; }
+
  private:
   sim::Simulator sim_;
   sim::Random rng_;
+  sim::RegionId wired_region_ = sim::kMainRegion;
+  sim::RegionId wireless_region_ = sim::kMainRegion;
   std::unique_ptr<Host> wired_host_;
   std::unique_ptr<Host> gateway_;
   std::unique_ptr<Host> mobile_host_;

@@ -16,13 +16,20 @@ const net::Ipv4Address kFa2WirelessAddr(192, 168, 2, 1);
 const net::Ipv4Address kMobileHomeAddr(10, 1, 0, 50);
 }  // namespace
 
-MobileIpScenario::MobileIpScenario(const MobileIpConfig& config) : rng_(config.seed) {
+MobileIpScenario::MobileIpScenario(const MobileIpConfig& config)
+    : sim_(config.sim), rng_(config.seed) {
+  if (config.partition_regions) {
+    fa_region_ = sim_.AddRegion("fa");
+  }
   correspondent_ = std::make_unique<core::Host>(&sim_, "correspondent", rng_.Fork());
   backbone_ = std::make_unique<core::Host>(&sim_, "backbone", rng_.Fork());
   ha_router_ = std::make_unique<core::Host>(&sim_, "ha-router", rng_.Fork());
-  fa1_router_ = std::make_unique<core::Host>(&sim_, "fa1-router", rng_.Fork());
-  fa2_router_ = std::make_unique<core::Host>(&sim_, "fa2-router", rng_.Fork());
-  mobile_ = std::make_unique<core::Host>(&sim_, "mobile", rng_.Fork());
+  {
+    sim::ScopedRegion in_fa(&sim_, fa_region_);
+    fa1_router_ = std::make_unique<core::Host>(&sim_, "fa1-router", rng_.Fork());
+    fa2_router_ = std::make_unique<core::Host>(&sim_, "fa2-router", rng_.Fork());
+    mobile_ = std::make_unique<core::Host>(&sim_, "mobile", rng_.Fork());
+  }
 
   auto wired = [&](const char* name) {
     return std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wired, name);
@@ -34,6 +41,14 @@ MobileIpScenario::MobileIpScenario(const MobileIpConfig& config) : rng_(config.s
   home_link_ = wired("home-lan");
   wireless1_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wireless, "wireless1");
   wireless2_ = std::make_unique<net::Link>(&sim_, rng_.Fork(), config.wireless, "wireless2");
+  // Side order mirrors the Attach calls below: the backbone/HA ends stay in
+  // region 0; the FA-router and mobile ends join the fa region, making the
+  // two backhauls and the home LAN the cross-region edges.
+  bb_fa1_->SetRegions(sim::kMainRegion, fa_region_);
+  bb_fa2_->SetRegions(sim::kMainRegion, fa_region_);
+  home_link_->SetRegions(sim::kMainRegion, fa_region_);
+  wireless1_->SetRegions(fa_region_, fa_region_);
+  wireless2_->SetRegions(fa_region_, fa_region_);
 
   // Correspondent.
   const uint32_t ch_if = correspondent_->AddInterface(kCorrespondentAddr);
@@ -87,9 +102,12 @@ MobileIpScenario::MobileIpScenario(const MobileIpConfig& config) : rng_(config.s
   // Agents and client.
   home_agent_ = std::make_unique<HomeAgent>(ha_router_.get());
   home_agent_->AddMobile(kMobileHomeAddr);
-  fa1_ = std::make_unique<ForeignAgent>(fa1_router_.get(), fa1_w, config.handoff_policy);
-  fa2_ = std::make_unique<ForeignAgent>(fa2_router_.get(), fa2_w, config.handoff_policy);
-  client_ = std::make_unique<MobileClient>(mobile_.get(), kMobileHomeAddr, kHaAddr);
+  {
+    sim::ScopedRegion in_fa(&sim_, fa_region_);
+    fa1_ = std::make_unique<ForeignAgent>(fa1_router_.get(), fa1_w, config.handoff_policy);
+    fa2_ = std::make_unique<ForeignAgent>(fa2_router_.get(), fa2_w, config.handoff_policy);
+    client_ = std::make_unique<MobileClient>(mobile_.get(), kMobileHomeAddr, kHaAddr);
+  }
 
   // Start at home: only the home link is up.
   wireless1_->SetUp(false);

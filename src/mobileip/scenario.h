@@ -26,6 +26,12 @@ struct MobileIpConfig {
   net::LinkConfig wireless = net::WirelessLinkConfig();
   HandoffPolicy handoff_policy = HandoffPolicy::kDrop;
   uint64_t seed = 42;
+  // Simulator options (worker count for the epoch loop).
+  sim::SimulatorOptions sim;
+  // Split the topology: FA routers + mobile into an "fa" region, with the
+  // correspondent/backbone/HA side staying in region 0. The FA backhauls
+  // and the home LAN become the cross-region edges. Off by default.
+  bool partition_regions = false;
 };
 
 class MobileIpScenario {
@@ -64,9 +70,13 @@ class MobileIpScenario {
   net::Ipv4Address fa1_addr() const;
   net::Ipv4Address fa2_addr() const;
 
+  // kMainRegion unless config.partition_regions was set.
+  sim::RegionId fa_region() const { return fa_region_; }
+
  private:
   sim::Simulator sim_;
   sim::Random rng_;
+  sim::RegionId fa_region_ = sim::kMainRegion;
   std::unique_ptr<core::Host> correspondent_;
   std::unique_ptr<core::Host> backbone_;
   std::unique_ptr<core::Host> ha_router_;

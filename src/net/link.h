@@ -6,15 +6,23 @@
 // state can all change while the simulation runs, and the EEM reads the
 // per-side counters this class maintains.
 //
-// Concurrency (DESIGN.md §7): a Link is owned by the simulation thread.
-// Its queues, counters, and QoS state are mutated only from simulator
-// callbacks; cross-thread access stays banned until the PDES partitioning
-// assigns links to logical processes with explicit synchronization.
+// Concurrency (DESIGN.md §7, docs/parallel-sim.md): link state is held
+// per side, and each side belongs to the region of its attached node
+// (SetRegions; both default to region 0). Same-region links behave exactly
+// like the original single-owner link. A *cross-region* link is the PDES
+// partition boundary: its propagation delay registers as the edge's
+// conservative lookahead, deliveries are scheduled into the destination
+// side's region through the simulator's cross-region channels, and QoS/up
+// mutations apply to the caller's side immediately and to the remote side
+// one lookahead later (ApplyPerSide). Consequently a cross link delivers a
+// packet iff the destination side is up at *arrival* time, whereas a
+// same-region link keeps the original in-flight epoch-capture semantics.
 #ifndef COMMA_NET_LINK_H_
 #define COMMA_NET_LINK_H_
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "src/net/packet.h"
@@ -41,6 +49,9 @@ struct LinkConfig {
 // model (Fig. 1.1): a fast stable wired segment and a slow lossy wireless one.
 LinkConfig WiredLinkConfig();
 LinkConfig WirelessLinkConfig();
+// A fat, longer-haul segment for gateway backhaul in multi-gateway
+// topologies; its 5 ms propagation delay is the usual PDES lookahead.
+LinkConfig BackboneLinkConfig();
 
 struct LinkSideStats {
   uint64_t tx_packets = 0;    // Packets fully serialized onto the wire.
@@ -62,22 +73,32 @@ class Link {
   // Attaches one end. `side` is 0 or 1; `iface` is the node's interface index.
   void Attach(int side, Node* node, uint32_t iface);
 
+  // Declares the regions the two sides live in (before the first Run).
+  // Differing regions make this a cross-region link: the smaller of the two
+  // sides' propagation delays is registered as the edge lookahead.
+  void SetRegions(sim::RegionId side0, sim::RegionId side1);
+  sim::RegionId region(int side) const { return sides_[side].region; }
+  bool cross_region() const { return sides_[0].region != sides_[1].region; }
+
   // Enqueues a packet for transmission from `side` toward the other side.
   void Send(int side, PacketPtr packet);
 
   // --- Runtime QoS control (the "wireless variability" knobs) ---
-  void SetBandwidth(uint64_t bps) { config_.bandwidth_bps = bps ? bps : 1; }
-  void SetPropagationDelay(sim::Duration d) { config_.propagation_delay = d; }
-  void SetLossProbability(double p) { config_.loss_probability = p; }
-  void SetBitErrorRate(double ber) { config_.bit_error_rate = ber; }
-  void SetCorruptProbability(double p) { config_.corrupt_probability = p; }
-  void SetQueueLimit(size_t packets) { config_.queue_limit_packets = packets; }
+  // Mutations apply to both sides: instantly on a same-region link; on a
+  // cross-region link the caller's side changes now and the remote side one
+  // edge-lookahead later (the partition is honest about propagation).
+  void SetBandwidth(uint64_t bps);
+  void SetPropagationDelay(sim::Duration d);
+  void SetLossProbability(double p);
+  void SetBitErrorRate(double ber);
+  void SetCorruptProbability(double p);
+  void SetQueueLimit(size_t packets);
   // Taking a link down drops everything in flight (a mobile moving out of
   // range loses whatever was in the air).
   void SetUp(bool up);
 
-  bool IsUp() const { return up_; }
-  const LinkConfig& config() const { return config_; }
+  bool IsUp() const { return sides_[0].up && sides_[1].up; }
+  const LinkConfig& config() const { return sides_[0].config; }
   const LinkSideStats& stats(int side) const { return sides_[side].stats; }
   // The node and interface attached at `side` (nullptr before Attach).
   Node* attached_node(int side) const { return sides_[side].node; }
@@ -85,29 +106,44 @@ class Link {
   const std::string& name() const { return name_; }
   size_t QueueDepth(int side) const { return sides_[side].queue.size(); }
 
-  // Serialization time for `bytes` at the current bandwidth.
+  // Serialization time for `bytes` at side 0's current bandwidth.
   sim::Duration TransmitTime(size_t bytes) const;
 
  private:
   struct Side {
     Node* node = nullptr;
     uint32_t iface = 0;
+    sim::RegionId region = sim::kMainRegion;
+    // Every QoS knob and the up/down state live per side so that the two
+    // regions of a cross link never touch shared mutable state.
+    LinkConfig config;
+    bool up = true;
+    // Generation counter: bumped when this side goes down so in-flight
+    // same-region delivery events from before the outage cancel themselves.
+    uint64_t epoch = 0;
+    sim::Random rng;
     std::deque<PacketPtr> queue;
     bool transmitting = false;
     LinkSideStats stats;
   };
 
   void StartTransmit(int side);
-  bool LossModelDrops(size_t bytes);
+  void Deliver(int side, PacketPtr packet, uint64_t expected_epoch, bool check_epoch);
+  bool LossModelDrops(int side, size_t bytes);
+  // Same-region links draw loss/corruption from the shared rng_ (the
+  // original single-owner sequence, bit-identical for a given seed);
+  // cross-region links use per-side streams forked at SetRegions so the
+  // two regions never share mutable RNG state.
+  sim::Random& RngFor(int side);
+  // Runs `mutate(side)` on both sides: both immediately when same-region or
+  // not inside an event; caller's side now + remote side at +lookahead when
+  // invoked from a cross link's endpoint region.
+  void ApplyPerSide(const std::function<void(int)>& mutate);
+  sim::Duration TransmitTimeFor(int side, size_t bytes) const;
 
   sim::Simulator* sim_;
-  sim::Random rng_;
-  LinkConfig config_;
   std::string name_;
-  bool up_ = true;
-  // Generation counter: bumped when the link goes down so in-flight delivery
-  // events from before the outage cancel themselves.
-  uint64_t epoch_ = 0;
+  sim::Random rng_;  // Shared draw sequence for same-region links.
   Side sides_[2];
 };
 

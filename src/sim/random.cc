@@ -85,6 +85,20 @@ int64_t Random::UniformInt(int64_t lo, int64_t hi) {
 
 Random Random::Fork() { return Random(NextU64()); }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  // Feed both words through SplitMix64 so adjacent stream indices land far
+  // apart in seed space (a raw XOR would correlate neighboring regions).
+  uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  const uint64_t a = SplitMix64(x);
+  return a ^ SplitMix64(x);
+}
+
+Random Random::ForkStream(uint64_t stream) const {
+  // Only the base state word seeds the child; the sequence position of
+  // *this is deliberately not consumed.
+  return Random(DeriveStreamSeed(s_[0], stream));
+}
+
 void Random::SaveState(uint64_t out[4]) const {
   for (int i = 0; i < 4; ++i) {
     out[i] = s_[i];

@@ -37,6 +37,13 @@ class Random {
   // Derives an independent child generator (for per-link streams).
   Random Fork();
 
+  // Derives an independent child generator for a *named* stream without
+  // consuming any of this generator's sequence. Used for per-region RNG
+  // streams in partitioned scenarios: each region's drop/corruption
+  // sequence depends only on (scenario seed, stream index), never on how
+  // many other regions exist or how their draws interleave.
+  Random ForkStream(uint64_t stream) const;
+
   // Snapshots / reinstates the full generator state. Lets checkpointed
   // components (e.g. a tdrop filter migrating to a standby gateway) resume
   // the exact random sequence the source would have produced.
@@ -46,6 +53,11 @@ class Random {
  private:
   uint64_t s_[4];
 };
+
+// Mixes a scenario seed and a stream index into a child seed. Stable across
+// releases: the partition-independence of per-region random sequences
+// (docs/parallel-sim.md) depends on this mapping alone.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
 
 }  // namespace comma::sim
 

@@ -1,0 +1,37 @@
+// Network regions for the partitioned (PDES) simulator core.
+//
+// A region is a set of components — hosts, link endpoints, proxies — whose
+// events may only be scheduled from within the region itself. Regions map
+// 1:1 onto EventShards; cross-region communication flows exclusively through
+// CrossRegionChannels whose minimum latency (the link propagation delay)
+// is the conservative lookahead horizon. See docs/parallel-sim.md.
+#ifndef COMMA_SIM_REGION_H_
+#define COMMA_SIM_REGION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace comma::sim {
+
+// Dense region index. Region 0 always exists ("main"): single-region
+// simulations run entirely inside it and never pay for partitioning.
+using RegionId = uint16_t;
+inline constexpr RegionId kMainRegion = 0;
+
+struct Region {
+  RegionId id = kMainRegion;
+  std::string name;
+};
+
+// Knobs for Simulator::Run. num_workers == 1 keeps the serial event loop
+// (the default, and bit-for-bit the reference behaviour); higher values
+// shard execution across threads by region. Worker count never changes
+// results — that is the determinism contract parallel_determinism_test
+// enforces — only wall-clock time.
+struct SimulatorOptions {
+  int num_workers = 1;
+};
+
+}  // namespace comma::sim
+
+#endif  // COMMA_SIM_REGION_H_

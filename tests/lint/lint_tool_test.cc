@@ -66,13 +66,13 @@ TEST(CommaLint, FixtureCorpusExactDiagnostics) {
       "\"src/obs/metric_registry.h\": only the allowlisted headers of src/obs may be included "
       "from src/net [comma-include-layering]",
       "src/obs/bad_metric.cc:7:24: error: metric name \"SP.packets\" is outside the EEM-bridged "
-      "namespace ^(sp|ttsf|tcp|eem|trace|mip).[a-z0-9_.]+$ and would be unwatchable from Kati "
+      "namespace ^(sp|ttsf|tcp|eem|trace|mip|sim).[a-z0-9_.]+$ and would be unwatchable from Kati "
       "[comma-metric-name-style]",
       "src/obs/bad_metric.cc:8:22: error: metric name \"kati.decision_loops\" is outside the "
-      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip).[a-z0-9_.]+$ and would be unwatchable "
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip|sim).[a-z0-9_.]+$ and would be unwatchable "
       "from Kati [comma-metric-name-style]",
       "src/obs/bad_metric.cc:9:26: error: metric name \"eem.Handoff.Latency\" is outside the "
-      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip).[a-z0-9_.]+$ and would be unwatchable "
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip|sim).[a-z0-9_.]+$ and would be unwatchable "
       "from Kati [comma-metric-name-style]",
       "src/obs/bad_mutex.cc:12:14: error: mutex 'mu_' in class 'SilentRegistry' guards nothing; "
       "annotate the members it protects with COMMA_GUARDED_BY(mu_) "
@@ -110,6 +110,12 @@ TEST(CommaLint, FixtureCorpusExactDiagnostics) {
       "src/sim/bad_nondet.cc:14:34: error: 'getenv()' makes behaviour host-dependent; thread "
       "configuration through the scenario/config structs [comma-nondeterminism-ban]",
       "src/sim/bad_nondet.cc:15:6: error: pointer-keyed std::unordered_map iterates in address "
+      "order, which varies run to run; key by a stable id or use an ordered container "
+      "[comma-nondeterminism-ban]",
+      "src/sim/bad_shard.cc:15:6: error: pointer-keyed std::unordered_map iterates in address "
+      "order, which varies run to run; key by a stable id or use an ordered container "
+      "[comma-nondeterminism-ban]",
+      "src/sim/bad_shard.cc:16:6: error: pointer-keyed std::unordered_set iterates in address "
       "order, which varies run to run; key by a stable id or use an ordered container "
       "[comma-nondeterminism-ban]",
       "src/tcp/bad_include.cc:4:10: error: forbidden include of \"src/filters/ttsf_filter.h\": "

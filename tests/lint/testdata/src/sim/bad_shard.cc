@@ -1,0 +1,18 @@
+// Bad fixture: the nondeterminism traps specific to the region-sharded
+// event loop (event_shard / cross_region_channel). Never compiled; scanned
+// by tests/lint.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Event;
+struct Channel;
+
+// Draining arrivals keyed by channel *pointer* replays in allocator order,
+// which varies run to run — exactly the bug the (dst, src) map key exists
+// to prevent.
+std::unordered_map<Channel*, int> pending_by_channel;
+std::unordered_set<const Event*> cancelled;
+
+}  // namespace fixture

@@ -1,0 +1,64 @@
+#include "tests/sim/determinism_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace comma::testing {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string FirstDifference(const std::string& a, const std::string& b) {
+  if (a == b) {
+    return "";
+  }
+  const std::vector<std::string> la = SplitLines(a);
+  const std::vector<std::string> lb = SplitLines(b);
+  const size_t n = std::min(la.size(), lb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (la[i] != lb[i]) {
+      return "line " + std::to_string(i + 1) + ":\n  a: " + la[i] + "\n  b: " + lb[i];
+    }
+  }
+  return "line " + std::to_string(n + 1) + ": one witness ends (" + std::to_string(la.size()) +
+         " vs " + std::to_string(lb.size()) + " lines)";
+}
+
+std::string FilterWallClockMetrics(const std::string& metrics_text) {
+  std::string out;
+  for (const std::string& line : SplitLines(metrics_text)) {
+    if (line.find("barrier_wait_us") != std::string::npos) {
+      continue;
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void ExpectDeterministicAcrossWorkerCounts(const std::string& label, const WitnessRunner& runner,
+                                           std::initializer_list<int> worker_counts) {
+  const std::string reference = runner(1);
+  ASSERT_FALSE(reference.empty()) << label << ": serial reference witness is empty";
+  for (const int workers : worker_counts) {
+    const std::string witness = runner(workers);
+    EXPECT_EQ(reference, witness)
+        << label << ": witness diverged at " << workers
+        << " workers; first difference at " << FirstDifference(reference, witness);
+  }
+}
+
+}  // namespace comma::testing

@@ -1,0 +1,42 @@
+// Differential determinism harness for the region-sharded simulator
+// (docs/parallel-sim.md, "Proving it").
+//
+// The PDES determinism contract is *relative*: for a fixed scenario,
+// partitioning, and seed, the run's observable outcome must be bit-identical
+// at every worker count. This harness states that contract once: a test
+// provides a runner that builds the scenario with N workers and returns its
+// full witness string (trace, fault log, filtered metrics, per-stream
+// bytes); the harness runs it serially (1 worker, the reference) and at each
+// requested worker count, byte-comparing every witness against the
+// reference and pinpointing the first divergent line on failure.
+#ifndef COMMA_TESTS_SIM_DETERMINISM_HARNESS_H_
+#define COMMA_TESTS_SIM_DETERMINISM_HARNESS_H_
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+namespace comma::testing {
+
+// Produces the witness of one full simulation run at `workers` workers.
+// Must build a fresh scenario each call: runs share nothing but the seed.
+using WitnessRunner = std::function<std::string(int workers)>;
+
+// Runs `runner(1)` as the reference, then `runner(n)` for each n, expecting
+// every witness to equal the reference byte for byte. `label` prefixes
+// failure messages (include the seed).
+void ExpectDeterministicAcrossWorkerCounts(const std::string& label, const WitnessRunner& runner,
+                                           std::initializer_list<int> worker_counts = {2, 4, 8});
+
+// Strips wall-clock metric lines — sim.barrier_wait_us is real elapsed time
+// on the barrier, legitimately different every run — from a RenderText
+// snapshot so the rest can join a witness.
+std::string FilterWallClockMetrics(const std::string& metrics_text);
+
+// Human-readable location of the first difference between two witnesses:
+// "line N:\n  a: ...\n  b: ...", or "" when equal.
+std::string FirstDifference(const std::string& a, const std::string& b);
+
+}  // namespace comma::testing
+
+#endif  // COMMA_TESTS_SIM_DETERMINISM_HARNESS_H_

@@ -1,0 +1,254 @@
+// Event-ordering contracts of the region-sharded simulator: same-timestamp
+// FIFO, schedule-time clamps, timer-cancel interactions with epoch
+// boundaries, TimerId staleness across Reset(), and the cross-region
+// ordering/lookahead rules (docs/parallel-sim.md, "The total order").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+
+namespace comma::sim {
+namespace {
+
+// --- Single-region ordering ------------------------------------------------
+
+TEST(SimulatorOrderTest, SameTimestampEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::string order;
+  for (char c = 'a'; c <= 'f'; ++c) {
+    sim.Schedule(10, [&order, c] { order += c; });
+  }
+  sim.Run();
+  EXPECT_EQ(order, "abcdef");
+}
+
+TEST(SimulatorOrderTest, EventsScheduledInsideAnEventKeepFifoAtTheSameInstant) {
+  Simulator sim;
+  std::string order;
+  sim.Schedule(5, [&] {
+    order += 'a';
+    // Zero-delay children run at the same instant, after already-queued
+    // same-time events, in the order they were scheduled.
+    sim.Schedule(0, [&] { order += 'c'; });
+    sim.Schedule(0, [&] { order += 'd'; });
+  });
+  sim.Schedule(5, [&] { order += 'b'; });
+  sim.Run();
+  EXPECT_EQ(order, "abcd");
+}
+
+TEST(SimulatorOrderTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  std::vector<TimePoint> at;
+  sim.Schedule(100, [&] {
+    sim.Schedule(-50, [&] { at.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 100);
+}
+
+TEST(SimulatorOrderTest, ScheduleAtInThePastClampsToNow) {
+  Simulator sim;
+  std::vector<TimePoint> at;
+  sim.Schedule(200, [&] {
+    sim.ScheduleAt(50, [&] { at.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 200);
+}
+
+TEST(SimulatorOrderTest, RunUntilIsInclusiveAndAdvancesTheClock) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(100, [&] { ++ran; });
+  sim.Schedule(101, [&] { ++ran; });
+  sim.RunUntil(100);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.Now(), 100);
+  sim.Run();
+  EXPECT_EQ(ran, 2);
+}
+
+// --- Timers ----------------------------------------------------------------
+
+TEST(SimulatorOrderTest, CancelledTimerNeverFiresAndCancelReportsPending) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId id = sim.ScheduleTimer(100, [&] { ++fired; });
+  EXPECT_TRUE(sim.IsPending(id));
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.IsPending(id));
+  EXPECT_FALSE(sim.Cancel(id));  // Second cancel: already gone.
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorOrderTest, TimerCancelledAtItsOwnDeadlineDoesNotFire) {
+  Simulator sim;
+  int fired = 0;
+  TimerId victim = kInvalidTimerId;
+  // Both events sit at t=100; the canceller was scheduled first, so it runs
+  // first and the victim must not fire.
+  sim.Schedule(100, [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  victim = sim.ScheduleTimer(100, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorResetTest, StaleTimerIdAcrossResetIsACheckedNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const TimerId stale = sim.ScheduleTimer(100, [&] { ++fired; });
+  EXPECT_TRUE(sim.IsPending(stale));
+  sim.Reset();
+  // The generation bumped: the old id must not cancel (or report pending
+  // for) a fresh timer that recycled its counter.
+  const TimerId fresh = sim.ScheduleTimer(100, [&] { ++fired; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(sim.IsPending(stale));
+  EXPECT_FALSE(sim.Cancel(stale));
+  EXPECT_TRUE(sim.IsPending(fresh));
+  sim.Run();
+  EXPECT_EQ(fired, 1);  // Only the post-Reset timer fired.
+}
+
+TEST(SimulatorResetTest, ResetRewindsClockQueueAndCounters) {
+  Simulator sim;
+  sim.Schedule(50, [] {});
+  sim.Schedule(500, [] {});
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.EventsRun(), 1u);
+  sim.Reset();
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.QueueSize(), 0u);
+  EXPECT_EQ(sim.EventsRun(), 0u);
+}
+
+// --- Multi-region ordering -------------------------------------------------
+
+// A two-region fixture with a registered edge (lookahead 10).
+class ParallelOrderTest : public ::testing::Test {
+ protected:
+  ParallelOrderTest() {
+    other_ = sim_.AddRegion("other");
+    sim_.RegisterCrossRegionEdge(kMainRegion, other_, 10);
+  }
+
+  Simulator sim_;
+  RegionId other_ = kMainRegion;
+};
+
+TEST_F(ParallelOrderTest, SameInstantRunsLowerRegionFirst) {
+  std::string order;
+  {
+    ScopedRegion in_other(&sim_, other_);
+    sim_.Schedule(100, [&] { order += 'b'; });
+  }
+  sim_.Schedule(100, [&] { order += 'a'; });
+  sim_.Run();
+  // Region 0 drains before region 1 at the same timestamp, regardless of
+  // scheduling order.
+  EXPECT_EQ(order, "ab");
+}
+
+TEST_F(ParallelOrderTest, CrossRegionSendArrivesAtTheStampedTime) {
+  std::vector<TimePoint> at;
+  sim_.Schedule(0, [&] {
+    sim_.ScheduleInRegion(other_, 10, [&] { at.push_back(sim_.Now()); });
+  });
+  sim_.Run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 10);
+}
+
+TEST_F(ParallelOrderTest, CrossRegionArrivalsInterleaveDeterministically) {
+  // Ping-pong across the edge: each side schedules the next hop at
+  // +lookahead. The trace must be the strict alternation the timestamps
+  // dictate, independent of worker count.
+  std::string trace;
+  std::function<void(int)> hop = [&](int depth) {
+    trace += (sim_.CurrentRegion() == kMainRegion) ? 'm' : 'o';
+    if (depth == 0) {
+      return;
+    }
+    const RegionId target = sim_.CurrentRegion() == kMainRegion ? other_ : kMainRegion;
+    sim_.ScheduleInRegion(target, 10, [&hop, depth] { hop(depth - 1); });
+  };
+  sim_.Schedule(0, [&hop] { hop(6); });
+  sim_.Run();
+  EXPECT_EQ(trace, "momomom");
+}
+
+TEST_F(ParallelOrderTest, CrossRegionDelayBelowLookaheadIsChecked) {
+  util::ScopedCheckThrow guard;
+  sim_.Schedule(0, [&] {
+    EXPECT_THROW(sim_.ScheduleInRegion(other_, 5, [] {}), util::CheckFailure);
+  });
+  sim_.Run();
+}
+
+TEST_F(ParallelOrderTest, SendOnUnregisteredEdgeIsChecked) {
+  const RegionId third = sim_.AddRegion("third");
+  util::ScopedCheckThrow guard;
+  sim_.Schedule(0, [&] {
+    EXPECT_THROW(sim_.ScheduleInRegion(third, 100, [] {}), util::CheckFailure);
+  });
+  sim_.Run();
+}
+
+TEST_F(ParallelOrderTest, TimerCancelAcrossEpochBoundaries) {
+  // A timer deep in the future survives many epochs (horizon = +10 per
+  // epoch with this edge), then is cancelled from its own region just
+  // before it would fire.
+  int fired = 0;
+  TimerId id = kInvalidTimerId;
+  {
+    ScopedRegion in_other(&sim_, other_);
+    id = sim_.ScheduleTimer(95, [&] { ++fired; });
+    sim_.Schedule(90, [&] { EXPECT_TRUE(sim_.Cancel(id)); });
+  }
+  // Keep both regions busy so many epochs pass.
+  for (TimePoint t = 1; t <= 100; t += 7) {
+    sim_.Schedule(t, [] {});
+  }
+  sim_.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(ParallelOrderTest, WorkerCountDoesNotChangeTheOrder) {
+  // The contract is per-region order (the interleaving of two regions
+  // *within* an epoch is concurrent by design), so each region records its
+  // own trace; both must be worker-count invariant.
+  const auto run = [](int workers) {
+    Simulator sim(SimulatorOptions{workers});
+    const RegionId other = sim.AddRegion("other");
+    sim.RegisterCrossRegionEdge(kMainRegion, other, 10);
+    std::string main_trace;
+    std::string other_trace;
+    for (int i = 0; i < 5; ++i) {
+      sim.Schedule(i * 3, [&main_trace, i] { main_trace += static_cast<char>('0' + i); });
+      ScopedRegion in_other(&sim, other);
+      sim.Schedule(i * 3, [&other_trace, i] { other_trace += static_cast<char>('a' + i); });
+    }
+    // Bounce a cross-region message so the epochs actually interact.
+    sim.Schedule(0, [&sim, other, &main_trace] {
+      sim.ScheduleInRegion(other, 10, [&sim, &main_trace] {
+        sim.ScheduleInRegion(kMainRegion, 10, [&main_trace] { main_trace += '!'; });
+      });
+    });
+    sim.Run();
+    return main_trace + "|" + other_trace;
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+}  // namespace
+}  // namespace comma::sim

@@ -40,6 +40,11 @@ struct AllowedEdge {
 // Every permitted cross-module edge. Self-includes are always allowed, and
 // `core` (the facade) may include anything.
 constexpr AllowedEdge kAllowedEdges[] = {
+    // The simulator gained real dependencies with the region sharding:
+    // contract checks (util/check.h) and the lock annotations on the
+    // cross-region channels (util/thread_annotations.h). util stays
+    // leaf-level; the edge points downward only.
+    {"sim", "util"},
     {"net", "sim"},
     {"net", "util"},
     // The TraceTap binds raw counter handles; only the tiny header-only

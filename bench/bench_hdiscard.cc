@@ -21,7 +21,7 @@ struct MediaResult {
   double p95_latency_ms = 0;
 };
 
-MediaResult Run(const std::string& mode) {
+MediaResult Run(const std::string& mode, const std::string& metrics_path) {
   core::CommaSystemConfig config;
   config.scenario.wireless.loss_probability = 0.0;
   config.eem.check_interval = 200 * sim::kMillisecond;
@@ -54,6 +54,10 @@ MediaResult Run(const std::string& mode) {
   source.Stop();
   comma.sim().RunFor(2 * sim::kSecond);
 
+  // The auto-mode run is the registry CI smokes: it carries the sp.* and
+  // sp.filter.* families with the hdiscard service under load.
+  WriteMetricsJson(comma, metrics_path);
+
   MediaResult r;
   r.sent = source.frames_sent();
   r.base_layer_sent = (source.frames_sent() + 2) / 3;
@@ -66,7 +70,8 @@ MediaResult Run(const std::string& mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path = MetricsJsonPathFromArgs(argc, argv);
   PrintHeader("E10", "Hierarchical discard for layered media",
               "3-layer 100 fps stream (~700 kbit/s); wireless bandwidth drops to\n"
               "300 kbit/s at t=5s. What matters for real-time media is the base\n"
@@ -76,7 +81,7 @@ int main() {
               "late", "p95 latency ms");
   for (const char* mode_name : {"none", "fixed", "auto"}) {
     const std::string mode(mode_name);
-    MediaResult r = Run(mode);
+    MediaResult r = Run(mode, mode == "auto" ? metrics_path : "");
     std::printf("%-10s %8llu %8llu %6llu/%-5llu %8llu %14.1f\n", mode.c_str(),
                 static_cast<unsigned long long>(r.sent),
                 static_cast<unsigned long long>(r.received),

@@ -1,0 +1,92 @@
+// Content adaptation driven by measured link quality (docs/app-services.md).
+//
+// A mobile client streams layered media over HTTP through the gateway, with
+// the content-aware `htype` filter configured for full quality (all three
+// layers pass). Kati registers an interrupt watch on the gateway's wireless
+// interface error counter:
+//
+//     watch ifInErrors 2 gt 10
+//
+// When the link turns bad mid-transfer and the EEM reports the drops, the
+// shell's on_notify hook finds the htype filter on the live stream and cuts
+// it to the base layer — set_max_layer(0) — so every byte still crossing
+// the degraded hop is one the client's parser can consume. This is E16's
+// content-aware discard made *adaptive*, the same measurement-to-control
+// loop as `hdiscard auto`, but at HTTP message granularity.
+#include <cstdio>
+
+#include "src/apps/http.h"
+#include "src/core/comma_system.h"
+#include "src/filters/http_filters.h"
+
+using namespace comma;
+
+int main() {
+  core::CommaSystemConfig config;
+  config.scenario.wireless.loss_probability = 0.0;  // Clean until t=2s.
+  config.eem.check_interval = 200 * sim::kMillisecond;
+  config.eem.update_interval = sim::kSecond;
+  core::CommaSystem comma(config);
+  const net::Ipv4Address origin = comma.scenario().wired_addr();
+
+  // Full-quality content-aware service on every stream toward the origin.
+  std::string error;
+  proxy::StreamKey wildcard{net::Ipv4Address(), 0, origin, 80};
+  if (!comma.sp().AddService("launcher", wildcard, {"tcp", "ttsf", "hrewrite", "htype:2"},
+                             &error)) {
+    std::fprintf(stderr, "launcher: %s\n", error.c_str());
+    return 1;
+  }
+
+  auto kati = comma.MakeKati([](const std::string& text) { std::fputs(text.c_str(), stdout); });
+
+  // Interrupt the moment the wireless interface (ifindex 2 on the gateway)
+  // has eaten more than 10 packets.
+  kati->Execute("watch ifInErrors 2 gt 10");
+
+  // The reaction: cut the live stream's htype filter to the base layer.
+  bool adapted = false;
+  kati->set_on_notify([&](const monitor::VariableId& id, const monitor::Value&) {
+    if (adapted || id.name != "ifInErrors") {
+      return;
+    }
+    for (const auto& [key, info] : comma.sp().streams()) {
+      if (key.IsWildcard()) {
+        continue;
+      }
+      auto* htype = dynamic_cast<filters::HtypeFilter*>(comma.sp().FindFilterOnKey(key, "htype"));
+      if (htype != nullptr && htype->max_layer() != 0) {
+        adapted = true;
+        std::printf("hook: link degraded, htype max_layer %d -> 0 on %s\n", htype->max_layer(),
+                    key.ToString().c_str());
+        htype->set_max_layer(0);
+        return;
+      }
+    }
+  });
+
+  // The traffic: a long layered-media fetch, pipelined on one connection.
+  std::vector<apps::HttpRequestSpec> workload;
+  for (int i = 0; i < 12; ++i) {
+    workload.push_back({"GET", "/media/3/30/600", {}});
+  }
+  apps::HttpServer server(&comma.scenario().wired_host(), 80);
+  apps::HttpClient client(&comma.scenario().mobile_host(), origin, 80, workload);
+
+  // Two clean seconds, then the link turns bad and stays bad.
+  comma.sim().RunFor(2 * sim::kSecond);
+  std::printf("t=2s: wireless loss 0%% -> 8%%\n");
+  comma.scenario().wireless_link().SetLossProbability(0.08);
+  while (!client.finished() && comma.sim().Now() < 180 * sim::kSecond) {
+    comma.sim().RunFor(100 * sim::kMillisecond);
+  }
+
+  std::printf("\n--- stats http ---\n%s", comma.sp().metrics().RenderText("http").c_str());
+  std::printf("\nresponses=%zu useful_bytes=%llu adapted=%s finished=%s parse_failed=%s\n",
+              client.responses_received(),
+              static_cast<unsigned long long>(client.useful_bytes()), adapted ? "yes" : "no",
+              client.finished() ? "yes" : "no", client.failed() ? "yes" : "no");
+  // Success: the watch fired, the cut happened, and the client parsed the
+  // whole (reduced) stream to completion on the degraded link.
+  return (adapted && client.finished() && !client.failed()) ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+#include "src/apps/dns.h"
+
+namespace comma::apps {
+
+net::Ipv4Address DnsAddressFor(const std::string& name) {
+  // FNV-1a, folded into 10.x.y.z so answers are stable across runs.
+  uint32_t h = 2166136261u;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return net::Ipv4Address(10, static_cast<uint8_t>(h >> 16), static_cast<uint8_t>(h >> 8),
+                          static_cast<uint8_t>(h));
+}
+
+DnsServer::DnsServer(core::Host* host, uint32_t ttl, uint16_t port) : ttl_(ttl) {
+  socket_ = host->udp().Bind(port);
+  socket_->set_on_receive([this](const util::Bytes& payload, const udp::UdpEndpoint& from) {
+    reassembly::DnsMessage query;
+    if (!reassembly::DecodeDnsMessage(payload, &query) || query.is_response() ||
+        query.questions.empty()) {
+      return;
+    }
+    reassembly::DnsMessage response;
+    response.id = query.id;
+    response.flags = reassembly::kDnsFlagResponse |
+                     (query.flags & reassembly::kDnsFlagRecursionDesired);
+    response.questions = query.questions;
+    for (const auto& q : query.questions) {
+      if (q.qtype != reassembly::kDnsTypeA) {
+        continue;
+      }
+      reassembly::DnsRecord rec;
+      rec.name = q.name;
+      rec.rtype = reassembly::kDnsTypeA;
+      rec.rclass = reassembly::kDnsClassIn;
+      rec.ttl = ttl_;
+      const uint32_t addr = DnsAddressFor(q.name).value();
+      rec.rdata = {static_cast<uint8_t>(addr >> 24), static_cast<uint8_t>(addr >> 16),
+                   static_cast<uint8_t>(addr >> 8), static_cast<uint8_t>(addr)};
+      response.answers.push_back(std::move(rec));
+    }
+    if (response.answers.empty()) {
+      response.flags |= reassembly::kDnsRcodeNameError;
+    }
+    ++queries_answered_;
+    socket_->SendTo(from.addr, from.port, reassembly::EncodeDnsMessage(response));
+  });
+}
+
+DnsClient::DnsClient(core::Host* host, net::Ipv4Address resolver, uint16_t port)
+    : host_(host), resolver_(resolver), resolver_port_(port) {
+  socket_ = host_->udp().Bind(0);
+  socket_->set_on_receive([this](const util::Bytes& payload, const udp::UdpEndpoint&) {
+    reassembly::DnsMessage response;
+    if (!reassembly::DecodeDnsMessage(payload, &response) || !response.is_response()) {
+      return;
+    }
+    auto it = pending_.find(response.id);
+    if (it == pending_.end()) {
+      return;  // Duplicate or stale.
+    }
+    ++responses_received_;
+    ResolveCallback cb = std::move(it->second);
+    pending_.erase(it);
+    if (cb) {
+      cb(response);
+    }
+  });
+}
+
+void DnsClient::Resolve(const std::string& name, ResolveCallback cb) {
+  reassembly::DnsMessage query;
+  query.id = next_id_++;
+  query.flags = reassembly::kDnsFlagRecursionDesired;
+  query.questions.push_back(reassembly::DnsQuestion{name, reassembly::kDnsTypeA,
+                                                    reassembly::kDnsClassIn});
+  pending_[query.id] = std::move(cb);
+  ++queries_sent_;
+  socket_->SendTo(resolver_, resolver_port_, reassembly::EncodeDnsMessage(query));
+}
+
+}  // namespace comma::apps

@@ -1,0 +1,62 @@
+// DNS-over-UDP workload pair: a deterministic authoritative resolver and a
+// repeating query client, exercising the dnscache filter (ROADMAP item 5).
+#ifndef COMMA_APPS_DNS_H_
+#define COMMA_APPS_DNS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/host.h"
+#include "src/reassembly/dns_codec.h"
+
+namespace comma::apps {
+
+// The resolver fabricates A records deterministically from the name, so any
+// component (client, cache, test) can predict the answer.
+net::Ipv4Address DnsAddressFor(const std::string& name);
+
+class DnsServer {
+ public:
+  static constexpr uint16_t kDnsPort = 53;
+
+  // `ttl` is the TTL (seconds) stamped on every answer.
+  DnsServer(core::Host* host, uint32_t ttl = 300, uint16_t port = kDnsPort);
+
+  uint64_t queries_answered() const { return queries_answered_; }
+
+ private:
+  std::unique_ptr<udp::UdpSocket> socket_;
+  uint32_t ttl_;
+  uint64_t queries_answered_ = 0;
+};
+
+class DnsClient {
+ public:
+  using ResolveCallback = std::function<void(const reassembly::DnsMessage&)>;
+
+  DnsClient(core::Host* host, net::Ipv4Address resolver, uint16_t port = DnsServer::kDnsPort);
+
+  // Sends one A query. The callback fires when the matching response
+  // arrives (from the resolver or a dnscache proxy — indistinguishable).
+  void Resolve(const std::string& name, ResolveCallback cb);
+
+  uint64_t queries_sent() const { return queries_sent_; }
+  uint64_t responses_received() const { return responses_received_; }
+
+ private:
+  core::Host* host_;
+  net::Ipv4Address resolver_;
+  uint16_t resolver_port_;
+  std::unique_ptr<udp::UdpSocket> socket_;
+  uint16_t next_id_ = 1;
+  std::map<uint16_t, ResolveCallback> pending_;
+  uint64_t queries_sent_ = 0;
+  uint64_t responses_received_ = 0;
+};
+
+}  // namespace comma::apps
+
+#endif  // COMMA_APPS_DNS_H_

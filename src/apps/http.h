@@ -1,0 +1,118 @@
+// HTTP/1.1 workload pair (ROADMAP item 5): a deterministic origin server
+// and a pipelining client, driving GET/POST traffic with mixed content
+// types through the proxy so the content-aware filter family (hrewrite,
+// htype) has realistic messages to act on.
+//
+// Server routes (all bodies deterministic functions of the target):
+//   GET  /text/<n>             text/plain, TextPayload(n) (compressible)
+//   GET  /image/<n>            application/octet-stream, PatternPayload(n)
+//   GET  /media/<L>/<F>/<B>    application/x-comma-media: F frame groups of
+//                              layers 0..L-1, B payload bytes per frame
+//                              ([layer, type, u16 len, payload] frames)
+//   POST <anything>            echoes a short text/plain acknowledgement
+//   anything else              404 with a short text/plain body
+//
+// The client counts *useful bytes* per response — the application-level
+// measure bench_http compares services on: decoded original bytes for
+// compressed-frame bodies (htype's X-Comma-Encoding), complete-frame payload
+// bytes for media bodies, raw body bytes otherwise. A response that fails to
+// parse contributes nothing, which is exactly how byte-oriented dropping
+// loses to content-aware dropping.
+#ifndef COMMA_APPS_HTTP_H_
+#define COMMA_APPS_HTTP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/host.h"
+#include "src/reassembly/http_parser.h"
+
+namespace comma::apps {
+
+// Media body layout shared by the server, the client's accounting, and the
+// filter tests.
+util::Bytes MediaBody(int layers, int frame_groups, size_t frame_bytes);
+// Sums payload bytes of complete frames, optionally restricted to
+// layer <= max_layer (-1 = all layers).
+size_t MediaUsefulBytes(const util::Bytes& body, int max_layer = -1);
+
+class HttpServer {
+ public:
+  HttpServer(core::Host* host, uint16_t port, const tcp::TcpConfig& config = {});
+
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t parse_failures() const { return parse_failures_; }
+
+ private:
+  struct ConnState {
+    reassembly::HttpParser parser{reassembly::HttpParser::Mode::kRequest};
+    util::Bytes outbox;
+    size_t sent = 0;
+  };
+
+  void HandleRequest(const reassembly::HttpMessage& req, ConnState* st);
+  static void Pump(tcp::TcpConnection* conn, ConnState* st);
+
+  core::Host* host_;
+  std::vector<std::unique_ptr<ConnState>> conns_;
+  uint64_t requests_served_ = 0;
+  uint64_t parse_failures_ = 0;
+};
+
+struct HttpRequestSpec {
+  std::string method = "GET";
+  std::string target;
+  util::Bytes body;  // POST payload (Content-Length framed).
+};
+
+class HttpClient {
+ public:
+  HttpClient(core::Host* host, net::Ipv4Address server, uint16_t port,
+             std::vector<HttpRequestSpec> requests, size_t pipeline_depth = 4,
+             const tcp::TcpConfig& config = {});
+
+  bool finished() const { return finished_; }
+  // The response stream became unparseable (or the server closed early).
+  bool failed() const { return failed_; }
+  tcp::TcpConnection* connection() { return conn_; }
+  size_t responses_received() const { return responses_.size(); }
+  const std::vector<reassembly::HttpMessage>& responses() const { return responses_; }
+  uint64_t useful_bytes() const { return useful_bytes_; }
+  uint64_t body_bytes() const { return body_bytes_; }
+  sim::TimePoint started_at() const { return started_at_; }
+  sim::TimePoint finished_at() const { return finished_at_; }
+  // Useful application bytes per second over the connection lifetime; counts
+  // a failed run's partial progress against the full elapsed time.
+  double UsefulGoodputBps(sim::TimePoint now) const;
+
+  void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
+
+ private:
+  void SendNext();
+  void Pump();
+  void HandleResponse(const reassembly::HttpMessage& resp);
+  void Finish(bool failed);
+
+  core::Host* host_;
+  tcp::TcpConnection* conn_;
+  std::vector<HttpRequestSpec> requests_;
+  size_t next_request_ = 0;  // Next spec to put on the wire.
+  size_t pipeline_depth_;
+  reassembly::HttpParser parser_{reassembly::HttpParser::Mode::kResponse};
+  std::vector<reassembly::HttpMessage> responses_;
+  util::Bytes outbox_;
+  size_t sent_ = 0;
+  uint64_t useful_bytes_ = 0;
+  uint64_t body_bytes_ = 0;
+  bool finished_ = false;
+  bool failed_ = false;
+  sim::TimePoint started_at_;
+  sim::TimePoint finished_at_ = 0;
+  std::function<void()> on_finished_;
+};
+
+}  // namespace comma::apps
+
+#endif  // COMMA_APPS_HTTP_H_

@@ -1,0 +1,173 @@
+#include "src/filters/dnscache_filter.h"
+
+#include "src/proxy/filter_state.h"
+#include "src/proxy/service_proxy.h"
+#include "src/util/strings.h"
+
+namespace comma::filters {
+
+namespace {
+constexpr char kDnscacheStateMagic[] = "DNSC";
+constexpr uint8_t kDnscacheStateVersion = 1;
+}  // namespace
+
+bool DnscacheFilter::OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                              const std::vector<std::string>& args, std::string* error) {
+  if (!args.empty()) {
+    uint32_t capacity = 0;
+    if (!util::ParseU32(args[0], &capacity) || capacity == 0) {
+      if (error != nullptr) {
+        *error = "dnscache: optional argument is the cache capacity (entries)";
+      }
+      return false;
+    }
+    capacity_ = capacity;
+  }
+  obs_queries_ = ctx.metrics()->GetCounter("dns.queries_seen");
+  obs_hits_ = ctx.metrics()->GetCounter("dns.cache_hits");
+  obs_misses_ = ctx.metrics()->GetCounter("dns.cache_misses");
+  obs_cached_ = ctx.metrics()->GetCounter("dns.responses_cached");
+  // Watch the response path too (resolver -> mobile) to populate the cache.
+  ctx.proxy().Attach(shared_from_this(), key.Reversed());
+  return true;
+}
+
+proxy::FilterVerdict DnscacheFilter::Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                                         net::Packet& packet) {
+  if (!packet.has_udp()) {
+    return proxy::FilterVerdict::kPass;
+  }
+  reassembly::DnsMessage msg;
+  if (!reassembly::DecodeDnsMessage(packet.payload(), &msg) || msg.questions.empty()) {
+    return proxy::FilterVerdict::kPass;  // Not DNS (or not a shape we parse).
+  }
+  const sim::TimePoint now = ctx.simulator().Now();
+
+  if (msg.is_response()) {
+    // Learn it: key by the first question, expire on the minimum answer TTL.
+    if (msg.rcode() != 0 || msg.answers.empty()) {
+      return proxy::FilterVerdict::kPass;  // Don't cache failures.
+    }
+    uint32_t min_ttl = msg.answers.front().ttl;
+    for (const auto& a : msg.answers) {
+      min_ttl = std::min(min_ttl, a.ttl);
+    }
+    if (min_ttl == 0) {
+      return proxy::FilterVerdict::kPass;  // Uncacheable.
+    }
+    CacheKey ck{msg.questions.front().name, msg.questions.front().qtype};
+    if (cache_.size() >= capacity_ && cache_.count(ck) == 0) {
+      cache_.erase(cache_.begin());  // Simple bounded eviction.
+    }
+    cache_[ck] = CacheEntry{msg.answers, now + static_cast<sim::Duration>(min_ttl) * sim::kSecond};
+    ++stats_.responses_cached;
+    obs_cached_->Inc();
+    return proxy::FilterVerdict::kPass;
+  }
+
+  // Query from the mobile: answer locally when we can.
+  ++stats_.queries_seen;
+  obs_queries_->Inc();
+  CacheKey ck{msg.questions.front().name, msg.questions.front().qtype};
+  auto hit = cache_.find(ck);
+  if (hit != cache_.end() && hit->second.expires_at <= now) {
+    cache_.erase(hit);
+    hit = cache_.end();
+    ++stats_.expired;
+  }
+  if (hit == cache_.end()) {
+    ++stats_.misses;
+    obs_misses_->Inc();
+    return proxy::FilterVerdict::kPass;  // The real resolver answers.
+  }
+  ++stats_.hits;
+  obs_hits_->Inc();
+  reassembly::DnsMessage answer;
+  answer.id = msg.id;
+  answer.flags = reassembly::kDnsFlagResponse | (msg.flags & reassembly::kDnsFlagRecursionDesired);
+  answer.questions = msg.questions;
+  answer.answers = hit->second.answers;
+  ctx.InjectPacket(net::Packet::MakeUdp(packet.ip().dst, packet.ip().src, packet.udp().dst_port,
+                                        packet.udp().src_port,
+                                        reassembly::EncodeDnsMessage(answer)));
+  (void)key;
+  return proxy::FilterVerdict::kDrop;  // The query never goes upstream.
+}
+
+std::string DnscacheFilter::Status() const {
+  return util::Format("entries=%zu hits=%llu misses=%llu cached=%llu", cache_.size(),
+                      static_cast<unsigned long long>(stats_.hits),
+                      static_cast<unsigned long long>(stats_.misses),
+                      static_cast<unsigned long long>(stats_.responses_cached));
+}
+
+bool DnscacheFilter::ExportState(util::Bytes* out) const {
+  util::ByteWriter w(out);
+  proxy::WriteStateHeader(&w, kDnscacheStateMagic, kDnscacheStateVersion);
+  w.WriteU32(static_cast<uint32_t>(cache_.size()));
+  for (const auto& [ck, entry] : cache_) {
+    w.WriteString(ck.name);
+    w.WriteU16(ck.qtype);
+    w.WriteU64(static_cast<uint64_t>(entry.expires_at));
+    w.WriteU16(static_cast<uint16_t>(entry.answers.size()));
+    for (const auto& rec : entry.answers) {
+      w.WriteString(rec.name);
+      w.WriteU16(rec.rtype);
+      w.WriteU16(rec.rclass);
+      w.WriteU32(rec.ttl);
+      w.WriteString(util::ToString(rec.rdata));
+    }
+  }
+  w.WriteU64(stats_.hits);
+  w.WriteU64(stats_.misses);
+  w.WriteU64(stats_.responses_cached);
+  return true;
+}
+
+bool DnscacheFilter::ImportState(proxy::FilterContext&, const util::Bytes& in,
+                                 std::string* error) {
+  util::ByteReader r(in);
+  std::optional<uint8_t> version = proxy::ReadStateHeader(&r, kDnscacheStateMagic);
+  if (!version.has_value() || *version != kDnscacheStateVersion) {
+    if (error != nullptr) {
+      *error = "dnscache import: bad magic or version";
+    }
+    return false;
+  }
+  std::map<CacheKey, CacheEntry> cache;
+  const uint32_t entries = r.ReadU32();
+  for (uint32_t i = 0; i < entries && !r.failed(); ++i) {
+    CacheKey ck;
+    ck.name = r.ReadString();
+    ck.qtype = r.ReadU16();
+    CacheEntry entry;
+    entry.expires_at = static_cast<sim::TimePoint>(r.ReadU64());
+    const uint16_t answers = r.ReadU16();
+    for (uint16_t j = 0; j < answers && !r.failed(); ++j) {
+      reassembly::DnsRecord rec;
+      rec.name = r.ReadString();
+      rec.rtype = r.ReadU16();
+      rec.rclass = r.ReadU16();
+      rec.ttl = r.ReadU32();
+      rec.rdata = util::ToBytes(r.ReadString());
+      entry.answers.push_back(std::move(rec));
+    }
+    cache.emplace(std::move(ck), std::move(entry));
+  }
+  const uint64_t hits = r.ReadU64();
+  const uint64_t misses = r.ReadU64();
+  const uint64_t cached = r.ReadU64();
+  if (r.failed()) {
+    if (error != nullptr) {
+      *error = "dnscache import: truncated blob";
+    }
+    return false;
+  }
+  cache_ = std::move(cache);
+  stats_.hits = hits;
+  stats_.misses = misses;
+  stats_.responses_cached = cached;
+  return true;
+}
+
+}  // namespace comma::filters

@@ -1,0 +1,80 @@
+// The `dnscache` filter: a DNS-over-UDP answering cache at the proxy
+// (thesis Ch. 1 application partitioning, at a real protocol instead of the
+// synthetic query app).
+//
+// Responses passing toward the mobile are decoded (src/reassembly/dns_codec)
+// and their answer records remembered per (name, qtype) with the record TTL
+// against the simulation clock. A later query for a cached name is answered
+// directly from the proxy — forged as if from the queried server — and never
+// crosses the wired network. Expired entries and unknown names pass through.
+//
+// Attach to the request direction (mobile -> resolver); the insertion method
+// also attaches to the response path, like qcache.
+#ifndef COMMA_FILTERS_DNSCACHE_FILTER_H_
+#define COMMA_FILTERS_DNSCACHE_FILTER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/obs/metric_registry.h"
+#include "src/proxy/filter.h"
+#include "src/reassembly/dns_codec.h"
+
+namespace comma::filters {
+
+struct DnscacheStats {
+  uint64_t queries_seen = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t responses_cached = 0;
+  uint64_t expired = 0;  // Hits refused because the TTL ran out.
+};
+
+class DnscacheFilter : public proxy::Filter {
+ public:
+  DnscacheFilter() : Filter("dnscache", proxy::FilterPriority::kLow) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+  std::string Status() const override;
+
+  const DnscacheStats& stats() const { return stats_; }
+  size_t cache_size() const { return cache_.size(); }
+
+  // Failover: unlike qcache's rebuild-from-wire escape, the DNS cache is
+  // checkpointed — answers carry absolute expiry times on the shared
+  // simulation clock, so a standby can keep answering without re-warming
+  // (docs/app-services.md).
+  proxy::FilterStateKind state_kind() const override {
+    return proxy::FilterStateKind::kCheckpointed;
+  }
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
+ private:
+  struct CacheKey {
+    std::string name;
+    uint16_t qtype = 0;
+    friend bool operator<(const CacheKey& a, const CacheKey& b) {
+      return std::tie(a.name, a.qtype) < std::tie(b.name, b.qtype);
+    }
+  };
+  struct CacheEntry {
+    std::vector<reassembly::DnsRecord> answers;
+    sim::TimePoint expires_at = 0;
+  };
+
+  size_t capacity_ = 512;
+  std::map<CacheKey, CacheEntry> cache_;
+  DnscacheStats stats_;
+  obs::Counter* obs_queries_ = obs::MetricRegistry::NullCounter();
+  obs::Counter* obs_hits_ = obs::MetricRegistry::NullCounter();
+  obs::Counter* obs_misses_ = obs::MetricRegistry::NullCounter();
+  obs::Counter* obs_cached_ = obs::MetricRegistry::NullCounter();
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_DNSCACHE_FILTER_H_

@@ -1,0 +1,193 @@
+// Content-aware HTTP stream services (thesis §8.3 at message granularity).
+//
+// The byte-oriented transform filters (tdrop/tcompress) act on whatever
+// segment boundaries the sender happens to emit. These filters instead
+// recover the application byte stream with a reassembly::StreamReassembler,
+// interpret HTTP/1.1 message structure, and rewrite it — then hand the
+// per-segment replacement payloads to the TTSF exactly like any other
+// transformer, so end-to-end TCP semantics stay intact.
+//
+//  hrewrite                  Header-rewriting proxy mode on the request
+//                            direction: injects Via and X-Forwarded-For,
+//                            strips hop-by-hop headers (Connection,
+//                            Keep-Alive, Proxy-Connection, TE, Upgrade,
+//                            Trailer). Bodies pass through untouched.
+//
+//  htype [max_layer]         Content-type-directed transcoding on the
+//                            response direction (§8.3.2/§8.3.3 closed at the
+//                            application tier): text/* bodies are re-framed
+//                            as chunked sequences of compressed blobs (the
+//                            tcompress wire format, so tdecompress-style
+//                            decoding applies); application/x-comma-media
+//                            bodies are hierarchically discarded above
+//                            `max_layer` (default 1); everything else passes
+//                            identity.
+//
+// Reassembler/TTSF protocol (see docs/app-services.md for the proof sketch):
+// the filter runs at kLow priority, before the TTSF, and keeps its
+// reassembler frontier in lock-step with the TTSF's original-space frontier.
+//  - segment at the frontier: reassemble, scan, submit the scanner's output
+//    as this segment's transform (possibly empty, possibly larger);
+//  - segment beyond the frontier: buffer in the reassembler AND submit an
+//    empty transform — the TTSF holds the packet, and when the gap fills the
+//    gap-filler's transform carries the combined output while the held
+//    packets release as drops;
+//  - segment below the frontier: submit nothing; the TTSF replays its
+//    recorded transforms (§8.1.4 consistency).
+// Any loss of interpretability (reassembler overflow, malformed HTTP, TTSF
+// bypass, RST) latches *fail-open*: the filter stops submitting and the
+// remaining stream passes as raw bytes. Content already consumed into an
+// unfinished rewrite may be truncated — transparency of the *transport* is
+// preserved, content fidelity is the documented casualty (http.fail_open).
+#ifndef COMMA_FILTERS_HTTP_FILTERS_H_
+#define COMMA_FILTERS_HTTP_FILTERS_H_
+
+#include <string>
+
+#include "src/obs/metric_registry.h"
+#include "src/proxy/filter.h"
+#include "src/reassembly/http_parser.h"
+#include "src/reassembly/stream_reassembler.h"
+
+namespace comma::filters {
+
+class TtsfFilter;
+
+// Base for filters that rewrite one direction of an HTTP byte stream
+// through a TTSF. Subclasses implement the stream scanner.
+class HttpStreamFilterBase : public proxy::Filter {
+ public:
+  explicit HttpStreamFilterBase(std::string name)
+      : Filter(std::move(name), proxy::FilterPriority::kLow) {}
+
+  bool OnInsert(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                const std::vector<std::string>& args, std::string* error) override;
+  proxy::FilterVerdict Out(proxy::FilterContext& ctx, const proxy::StreamKey& key,
+                           net::Packet& packet) override;
+
+  bool fail_open() const { return fail_open_; }
+  const reassembly::StreamReassembler& reassembler() const { return reassembler_; }
+
+ protected:
+  // True when the filter rewrites the *response* direction and must attach
+  // to the reversed key (htype); false for the request direction (hrewrite).
+  virtual bool WatchesResponses() const = 0;
+  virtual bool Configure(proxy::FilterContext& ctx, const std::vector<std::string>& args,
+                         std::string* error) = 0;
+  // Consumes newly contiguous stream bytes; returns the rewritten bytes to
+  // put on the wire in their place. Sets *failed on unparseable content, in
+  // which case the return value must carry every byte the scanner still
+  // holds (buffered head etc.) plus `data` raw, so nothing already consumed
+  // is silently lost at the fail-open boundary.
+  virtual util::Bytes ScanBytes(const util::Bytes& data, bool* failed) = 0;
+  // The stream finished cleanly (FIN, all bytes delivered): flush whatever
+  // the scanner still buffers, raw.
+  virtual util::Bytes FlushScanner() = 0;
+  // A new connection reused the key (fresh SYN): reset scanner state.
+  virtual void ResetScanner() = 0;
+
+  void LatchFailOpen(proxy::FilterContext& ctx, const char* reason);
+
+  proxy::StreamKey data_key_;
+  reassembly::StreamReassembler reassembler_;
+  bool fail_open_ = false;
+  obs::Counter* obs_fail_open_ = obs::MetricRegistry::NullCounter();
+  obs::Counter* obs_bytes_in_ = obs::MetricRegistry::NullCounter();
+  obs::Counter* obs_bytes_out_ = obs::MetricRegistry::NullCounter();
+};
+
+class HrewriteFilter : public HttpStreamFilterBase {
+ public:
+  HrewriteFilter() : HttpStreamFilterBase("hrewrite") {}
+
+  uint64_t requests_rewritten() const { return requests_rewritten_; }
+  uint64_t headers_stripped() const { return headers_stripped_; }
+  std::string Status() const override;
+
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
+ protected:
+  bool WatchesResponses() const override { return false; }
+  bool Configure(proxy::FilterContext& ctx, const std::vector<std::string>& args,
+                 std::string* error) override;
+  util::Bytes ScanBytes(const util::Bytes& data, bool* failed) override;
+  util::Bytes FlushScanner() override;
+  void ResetScanner() override;
+
+ private:
+  // Rewrites one complete header block (start line through blank line).
+  util::Bytes RewriteHead(const std::string& head, bool* failed);
+
+  std::string client_addr_;  // X-Forwarded-For value, from the stream key.
+  std::string head_buf_;     // Bytes of the in-progress header block.
+  size_t body_remaining_ = 0;
+  bool in_body_ = false;
+  uint64_t requests_rewritten_ = 0;
+  uint64_t headers_stripped_ = 0;
+  obs::Counter* obs_requests_ = obs::MetricRegistry::NullCounter();
+  obs::Counter* obs_stripped_ = obs::MetricRegistry::NullCounter();
+};
+
+class HtypeFilter : public HttpStreamFilterBase {
+ public:
+  // Marker header on rewritten responses: the body is a chunked sequence of
+  // length-prefixed compressed blobs (FrameCompressedBlob wire format).
+  static constexpr const char* kEncodingHeader = "X-Comma-Encoding";
+  static constexpr const char* kEncodingFrames = "frames";
+  // Media content type whose body is [layer, type, u16 len, payload] frames.
+  static constexpr const char* kMediaContentType = "application/x-comma-media";
+
+  HtypeFilter() : HttpStreamFilterBase("htype") {}
+
+  // Runtime discard-aggressiveness control (examples/http_adapt): layers
+  // above this are dropped from media bodies. Takes effect at the next
+  // response head.
+  void set_max_layer(int max_layer) { max_layer_ = max_layer; }
+  int max_layer() const { return max_layer_; }
+
+  uint64_t responses_transcoded() const { return responses_transcoded_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  std::string Status() const override;
+
+  proxy::FilterStateKind state_kind() const override;
+  bool ExportState(util::Bytes* out) const override;
+  bool ImportState(proxy::FilterContext& ctx, const util::Bytes& in, std::string* error) override;
+
+ protected:
+  bool WatchesResponses() const override { return true; }
+  bool Configure(proxy::FilterContext& ctx, const std::vector<std::string>& args,
+                 std::string* error) override;
+  util::Bytes ScanBytes(const util::Bytes& data, bool* failed) override;
+  util::Bytes FlushScanner() override;
+  void ResetScanner() override;
+
+ private:
+  enum class BodyMode : uint8_t {
+    kNone = 0,      // Parsing a head.
+    kIdentity = 1,  // Pass-through body.
+    kText = 2,      // Compress into chunked frames.
+    kMedia = 3,     // Hierarchical discard into chunked frames.
+  };
+
+  util::Bytes RewriteHead(const std::string& head, bool* failed);
+  // Processes `n` body bytes from `data[idx...]` under the current mode,
+  // appending output. Emits the chunked terminator when the body completes.
+  void ConsumeBody(const util::Bytes& data, size_t* idx, util::Bytes* out);
+  void EmitChunk(const util::Bytes& piece, util::Bytes* out);
+
+  int max_layer_ = 1;
+  std::string head_buf_;
+  BodyMode mode_ = BodyMode::kNone;
+  size_t body_remaining_ = 0;
+  util::Bytes carry_;  // Partial media frame straddling deliveries.
+  uint64_t responses_transcoded_ = 0;
+  uint64_t frames_dropped_ = 0;
+  obs::Counter* obs_transcoded_ = obs::MetricRegistry::NullCounter();
+  obs::Counter* obs_frames_dropped_ = obs::MetricRegistry::NullCounter();
+};
+
+}  // namespace comma::filters
+
+#endif  // COMMA_FILTERS_HTTP_FILTERS_H_

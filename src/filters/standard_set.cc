@@ -1,5 +1,7 @@
 #include "src/filters/standard_set.h"
 
+#include "src/filters/dnscache_filter.h"
+#include "src/filters/http_filters.h"
 #include "src/filters/launcher_filter.h"
 #include "src/filters/media_filters.h"
 #include "src/filters/qcache_filter.h"
@@ -41,6 +43,12 @@ void RegisterStandardFilters(proxy::FilterRegistry* registry) {
                      [] { return std::make_unique<MeterFilter>(); });
   registry->Register("qcache", "application partitioning: proxy-side query cache",
                      [] { return std::make_unique<QcacheFilter>(); });
+  registry->Register("hrewrite", "HTTP request header rewriting: Via/X-Forwarded-For, hop-by-hop",
+                     [] { return std::make_unique<HrewriteFilter>(); });
+  registry->Register("htype", "HTTP content-type transcode/discard on responses (requires ttsf)",
+                     [] { return std::make_unique<HtypeFilter>(); });
+  registry->Register("dnscache", "DNS-over-UDP answering cache at the proxy",
+                     [] { return std::make_unique<DnscacheFilter>(); });
 }
 
 proxy::ServiceCatalog StandardCatalog() {
@@ -74,6 +82,15 @@ proxy::ServiceCatalog StandardCatalog() {
   catalog.Register("partitioned-query",
                    Entry{"answer repeated queries at the proxy (app partitioning, ch. 1)",
                          {{"qcache", {}}}});
+  catalog.Register("web-proxy",
+                   Entry{"HTTP proxy mode: header rewriting on requests (8.3 at message tier)",
+                         {{"tcp", {}}, {"ttsf", {}}, {"hrewrite", {}}}});
+  catalog.Register("web-adaptive",
+                   Entry{"HTTP content-aware transcode/discard on responses (8.3.2/8.3.3)",
+                         {{"tcp", {}}, {"ttsf", {}}, {"htype", {"1"}}}});
+  catalog.Register("dns-answering",
+                   Entry{"answer repeated DNS queries at the proxy (app partitioning, ch. 1)",
+                         {{"dnscache", {}}}});
   return catalog;
 }
 

@@ -1,0 +1,164 @@
+#include "src/reassembly/dns_codec.h"
+
+namespace comma::reassembly {
+
+namespace {
+
+constexpr size_t kMaxNameLength = 255;
+constexpr size_t kMaxSections = 64;  // Sanity cap on question/answer counts.
+
+bool EncodeName(const std::string& name, util::ByteWriter* w) {
+  if (name.size() > kMaxNameLength) {
+    return false;
+  }
+  size_t start = 0;
+  while (start <= name.size()) {
+    size_t dot = name.find('.', start);
+    if (dot == std::string::npos) {
+      dot = name.size();
+    }
+    const size_t len = dot - start;
+    if (len > 63) {
+      return false;
+    }
+    if (len > 0) {
+      w->WriteU8(static_cast<uint8_t>(len));
+      w->WriteBytes(util::AsBytePtr(name.data()) + start, len);
+    } else if (dot < name.size()) {
+      return false;  // Empty label inside the name ("a..b").
+    }
+    if (dot >= name.size()) {
+      break;
+    }
+    start = dot + 1;
+  }
+  w->WriteU8(0);  // Root label.
+  return true;
+}
+
+// Decodes a possibly-compressed name starting at *pos in `data`. Advances
+// *pos past the name as stored (pointers count as two bytes). Bounded by a
+// jump budget so malicious pointer loops cannot spin forever.
+bool DecodeName(const util::Bytes& data, size_t* pos, std::string* out) {
+  out->clear();
+  size_t p = *pos;
+  bool jumped = false;
+  int jumps = 0;
+  while (true) {
+    if (p >= data.size()) {
+      return false;
+    }
+    const uint8_t len = data[p];
+    if ((len & 0xC0) == 0xC0) {
+      if (p + 1 >= data.size() || ++jumps > 16) {
+        return false;
+      }
+      const size_t target = (static_cast<size_t>(len & 0x3F) << 8) | data[p + 1];
+      if (!jumped) {
+        *pos = p + 2;
+        jumped = true;
+      }
+      if (target >= p) {
+        return false;  // Pointers may only point backwards.
+      }
+      p = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0) {
+      return false;  // 01/10 label types are unsupported.
+    }
+    if (len == 0) {
+      if (!jumped) {
+        *pos = p + 1;
+      }
+      return true;
+    }
+    if (p + 1 + len > data.size() || out->size() + len + 1 > kMaxNameLength) {
+      return false;
+    }
+    if (!out->empty()) {
+      out->push_back('.');
+    }
+    out->append(util::AsCharPtr(data.data()) + p + 1, len);
+    p += 1 + static_cast<size_t>(len);
+  }
+}
+
+}  // namespace
+
+util::Bytes EncodeDnsMessage(const DnsMessage& msg) {
+  util::Bytes out;
+  util::ByteWriter w(&out);
+  w.WriteU16(msg.id);
+  w.WriteU16(msg.flags);
+  w.WriteU16(static_cast<uint16_t>(msg.questions.size()));
+  w.WriteU16(static_cast<uint16_t>(msg.answers.size()));
+  w.WriteU16(0);  // NSCOUNT
+  w.WriteU16(0);  // ARCOUNT
+  for (const auto& q : msg.questions) {
+    if (!EncodeName(q.name, &w)) {
+      return {};
+    }
+    w.WriteU16(q.qtype);
+    w.WriteU16(q.qclass);
+  }
+  for (const auto& r : msg.answers) {
+    if (!EncodeName(r.name, &w)) {
+      return {};
+    }
+    w.WriteU16(r.rtype);
+    w.WriteU16(r.rclass);
+    w.WriteU32(r.ttl);
+    w.WriteU16(static_cast<uint16_t>(r.rdata.size()));
+    w.WriteBytes(r.rdata);
+  }
+  return out;
+}
+
+bool DecodeDnsMessage(const util::Bytes& payload, DnsMessage* out) {
+  *out = DnsMessage{};
+  util::ByteReader r(payload);
+  out->id = r.ReadU16();
+  out->flags = r.ReadU16();
+  const uint16_t qdcount = r.ReadU16();
+  const uint16_t ancount = r.ReadU16();
+  r.ReadU16();  // NSCOUNT (ignored).
+  r.ReadU16();  // ARCOUNT (ignored).
+  if (r.failed() || qdcount > kMaxSections || ancount > kMaxSections) {
+    return false;
+  }
+  size_t pos = r.position();
+  for (uint16_t i = 0; i < qdcount; ++i) {
+    DnsQuestion q;
+    if (!DecodeName(payload, &pos, &q.name) || pos + 4 > payload.size()) {
+      return false;
+    }
+    util::ByteReader fixed(payload.data() + pos, 4);
+    q.qtype = fixed.ReadU16();
+    q.qclass = fixed.ReadU16();
+    pos += 4;
+    out->questions.push_back(std::move(q));
+  }
+  for (uint16_t i = 0; i < ancount; ++i) {
+    DnsRecord rec;
+    if (!DecodeName(payload, &pos, &rec.name) || pos + 10 > payload.size()) {
+      return false;
+    }
+    util::ByteReader fixed(payload.data() + pos, 10);
+    rec.rtype = fixed.ReadU16();
+    rec.rclass = fixed.ReadU16();
+    rec.ttl = fixed.ReadU32();
+    const uint16_t rdlen = fixed.ReadU16();
+    pos += 10;
+    if (pos + rdlen > payload.size()) {
+      return false;
+    }
+    rec.rdata.assign(payload.begin() + static_cast<long>(pos),
+                     payload.begin() + static_cast<long>(pos + rdlen));
+    pos += rdlen;
+    out->answers.push_back(std::move(rec));
+  }
+  return true;
+}
+
+}  // namespace comma::reassembly

@@ -1,0 +1,56 @@
+// DNS-over-UDP message codec (RFC 1035 subset) for the dnscache filter and
+// the DNS app pair. Encodes/decodes the header, question section, and
+// resource records with A-record rdata kept as raw bytes; name compression
+// pointers are followed on decode (with a loop guard) but never emitted on
+// encode — the simulator's messages are small enough that plain labels keep
+// the wire format trivially deterministic.
+#ifndef COMMA_REASSEMBLY_DNS_CODEC_H_
+#define COMMA_REASSEMBLY_DNS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace comma::reassembly {
+
+inline constexpr uint16_t kDnsTypeA = 1;
+inline constexpr uint16_t kDnsClassIn = 1;
+inline constexpr uint16_t kDnsFlagResponse = 0x8000;
+inline constexpr uint16_t kDnsFlagRecursionDesired = 0x0100;
+inline constexpr uint16_t kDnsRcodeNameError = 0x0003;
+
+struct DnsQuestion {
+  std::string name;  // Dotted form, lowercase preferred ("host.example").
+  uint16_t qtype = kDnsTypeA;
+  uint16_t qclass = kDnsClassIn;
+};
+
+struct DnsRecord {
+  std::string name;
+  uint16_t rtype = kDnsTypeA;
+  uint16_t rclass = kDnsClassIn;
+  uint32_t ttl = 0;  // Seconds.
+  util::Bytes rdata;  // For A records: 4 address bytes.
+};
+
+struct DnsMessage {
+  uint16_t id = 0;
+  uint16_t flags = 0;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+
+  bool is_response() const { return (flags & kDnsFlagResponse) != 0; }
+  uint16_t rcode() const { return flags & 0x000F; }
+};
+
+util::Bytes EncodeDnsMessage(const DnsMessage& msg);
+
+// False on any malformed input (truncation, bad label, pointer loop);
+// `*out` is unspecified on failure.
+bool DecodeDnsMessage(const util::Bytes& payload, DnsMessage* out);
+
+}  // namespace comma::reassembly
+
+#endif  // COMMA_REASSEMBLY_DNS_CODEC_H_

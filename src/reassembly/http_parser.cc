@@ -1,0 +1,366 @@
+#include "src/reassembly/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace comma::reassembly {
+
+namespace {
+
+char AsciiLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+bool HeaderNameEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValueHasPrefix(const std::string& value, const std::string& prefix) {
+  if (value.size() < prefix.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (AsciiLower(value[i]) != AsciiLower(prefix[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseHeaderLine(const std::string& line, HttpHeader* out) {
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return false;
+  }
+  out->name = line.substr(0, colon);
+  // Field names may not contain whitespace (obsolete line folding is not
+  // supported; a folded continuation line will fail here and latch failed()).
+  if (out->name.find(' ') != std::string::npos || out->name.find('\t') != std::string::npos) {
+    return false;
+  }
+  out->value = Trim(line.substr(colon + 1));
+  return true;
+}
+
+const std::string* HttpMessage::FindHeader(const std::string& name) const {
+  for (const auto& h : headers) {
+    if (HeaderNameEquals(h.name, name)) {
+      return &h.value;
+    }
+  }
+  return nullptr;
+}
+
+bool HttpParser::Feed(const util::Bytes& data) { return Feed(data.data(), data.size()); }
+
+bool HttpParser::Feed(const uint8_t* data, size_t len) {
+  if (failed_) {
+    return false;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+  Parse();
+  return !failed_;
+}
+
+void HttpParser::FinishStream() {
+  if (failed_) {
+    return;
+  }
+  Parse();
+  if (state_ == State::kBodyUntilClose) {
+    current_.complete_on_close = true;
+    CompleteMessage();
+    return;
+  }
+  // EOF between messages is a clean close; anywhere else it truncated one.
+  if (state_ != State::kStartLine || pending_bytes() > 0) {
+    Fail();
+  }
+}
+
+HttpMessage HttpParser::PopMessage() {
+  HttpMessage m = std::move(messages_.front());
+  messages_.pop_front();
+  return m;
+}
+
+bool HttpParser::NextLine(std::string* line) {
+  for (size_t i = consumed_; i < buffer_.size(); ++i) {
+    if (buffer_[i] == '\n') {
+      size_t end = i;
+      if (end > consumed_ && buffer_[end - 1] == '\r') {
+        --end;
+      }
+      line->assign(util::AsCharPtr(buffer_.data() + consumed_), end - consumed_);
+      consumed_ = i + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+void HttpParser::Fail() {
+  failed_ = true;
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+void HttpParser::CompleteMessage() {
+  messages_.push_back(std::move(current_));
+  current_ = HttpMessage{};
+  ++messages_parsed_;
+  state_ = State::kStartLine;
+}
+
+bool HttpParser::BeginBody() {
+  const std::string* te = current_.FindHeader("Transfer-Encoding");
+  if (te != nullptr) {
+    // Only the terminal "chunked" coding is supported; anything else means
+    // we cannot find the message boundary.
+    if (!HeaderNameEquals(Trim(*te), "chunked")) {
+      Fail();
+      return false;
+    }
+    current_.chunked = true;
+    state_ = State::kBodyChunkSize;
+    return true;
+  }
+  const std::string* cl = current_.FindHeader("Content-Length");
+  if (cl != nullptr) {
+    size_t value = 0;
+    if (cl->empty()) {
+      Fail();
+      return false;
+    }
+    for (char c : *cl) {
+      if (c < '0' || c > '9') {
+        Fail();
+        return false;
+      }
+      value = value * 10 + static_cast<size_t>(c - '0');
+      if (value > (1u << 30)) {  // Reject absurd lengths before buffering.
+        Fail();
+        return false;
+      }
+    }
+    current_.has_content_length = true;
+    if (value == 0) {
+      CompleteMessage();
+      return true;
+    }
+    body_remaining_ = value;
+    state_ = State::kBodyContentLength;
+    return true;
+  }
+  if (mode_ == Mode::kRequest) {
+    // A request without a length has no body.
+    CompleteMessage();
+    return true;
+  }
+  // Responses without explicit framing: bodiless statuses end at the head;
+  // everything else reads until the peer closes.
+  if (current_.status_code == 204 || current_.status_code == 304 ||
+      (current_.status_code >= 100 && current_.status_code < 200)) {
+    CompleteMessage();
+    return true;
+  }
+  state_ = State::kBodyUntilClose;
+  return true;
+}
+
+void HttpParser::Parse() {
+  while (!failed_) {
+    switch (state_) {
+      case State::kStartLine: {
+        std::string line;
+        if (!NextLine(&line)) {
+          goto compact;
+        }
+        if (line.empty()) {
+          continue;  // Tolerate a stray CRLF between pipelined messages.
+        }
+        const size_t sp1 = line.find(' ');
+        const size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos) {
+          Fail();
+          return;
+        }
+        if (mode_ == Mode::kRequest) {
+          if (sp2 == std::string::npos) {
+            Fail();
+            return;
+          }
+          current_.method = line.substr(0, sp1);
+          current_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+          current_.version = line.substr(sp2 + 1);
+          if (current_.method.empty() || current_.target.empty() ||
+              current_.version.rfind("HTTP/", 0) != 0) {
+            Fail();
+            return;
+          }
+        } else {
+          current_.version = line.substr(0, sp1);
+          const std::string code =
+              sp2 == std::string::npos ? line.substr(sp1 + 1) : line.substr(sp1 + 1, sp2 - sp1 - 1);
+          current_.reason = sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+          if (current_.version.rfind("HTTP/", 0) != 0 || code.size() != 3 ||
+              !std::all_of(code.begin(), code.end(),
+                           [](char c) { return c >= '0' && c <= '9'; })) {
+            Fail();
+            return;
+          }
+          current_.status_code = (code[0] - '0') * 100 + (code[1] - '0') * 10 + (code[2] - '0');
+        }
+        state_ = State::kHeaders;
+        continue;
+      }
+      case State::kHeaders: {
+        std::string line;
+        if (!NextLine(&line)) {
+          goto compact;
+        }
+        if (line.empty()) {
+          if (!BeginBody()) {
+            return;
+          }
+          continue;
+        }
+        HttpHeader h;
+        if (!ParseHeaderLine(line, &h)) {
+          Fail();
+          return;
+        }
+        current_.headers.push_back(std::move(h));
+        continue;
+      }
+      case State::kBodyContentLength:
+      case State::kBodyChunkData:
+      case State::kBodyUntilClose: {
+        size_t avail = buffer_.size() - consumed_;
+        if (state_ == State::kBodyUntilClose) {
+          body_remaining_ = avail;  // Take everything; EOF delimits.
+        }
+        const size_t take = std::min(avail, body_remaining_);
+        current_.body.insert(current_.body.end(), buffer_.begin() + static_cast<long>(consumed_),
+                             buffer_.begin() + static_cast<long>(consumed_ + take));
+        consumed_ += take;
+        if (state_ == State::kBodyUntilClose) {
+          goto compact;
+        }
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) {
+          goto compact;
+        }
+        if (state_ == State::kBodyContentLength) {
+          CompleteMessage();
+        } else {
+          state_ = State::kBodyChunkDataEnd;
+        }
+        continue;
+      }
+      case State::kBodyChunkSize: {
+        std::string line;
+        if (!NextLine(&line)) {
+          goto compact;
+        }
+        // Strip any chunk extension.
+        const size_t semi = line.find(';');
+        if (semi != std::string::npos) {
+          line = line.substr(0, semi);
+        }
+        line = Trim(line);
+        if (line.empty()) {
+          Fail();
+          return;
+        }
+        size_t size = 0;
+        for (char c : line) {
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            Fail();
+            return;
+          }
+          size = size * 16 + static_cast<size_t>(digit);
+          if (size > (1u << 30)) {
+            Fail();
+            return;
+          }
+        }
+        if (size == 0) {
+          state_ = State::kBodyTrailers;
+        } else {
+          body_remaining_ = size;
+          state_ = State::kBodyChunkData;
+        }
+        continue;
+      }
+      case State::kBodyChunkDataEnd: {
+        std::string line;
+        if (!NextLine(&line)) {
+          goto compact;
+        }
+        if (!line.empty()) {
+          Fail();  // Chunk data must be followed by a bare CRLF.
+          return;
+        }
+        state_ = State::kBodyChunkSize;
+        continue;
+      }
+      case State::kBodyTrailers: {
+        std::string line;
+        if (!NextLine(&line)) {
+          goto compact;
+        }
+        if (line.empty()) {
+          CompleteMessage();
+          continue;
+        }
+        HttpHeader h;
+        if (!ParseHeaderLine(line, &h)) {
+          Fail();
+          return;
+        }
+        current_.headers.push_back(std::move(h));  // Trailers join the headers.
+        continue;
+      }
+    }
+  }
+  return;
+
+compact:
+  // Drop the consumed prefix so pending_bytes() reflects only unparsed data.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+}  // namespace comma::reassembly

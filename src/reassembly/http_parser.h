@@ -1,0 +1,115 @@
+// Incremental HTTP/1.1 message parser (ROADMAP item 5).
+//
+// Feed() accepts stream bytes in any piece sizes (straight off a
+// StreamReassembler) and produces complete messages in order, so pipelined
+// requests and responses parse naturally: when one message ends, parsing
+// continues into the next with whatever bytes remain. Supported framing:
+// request line / status line, header block, Content-Length bodies, chunked
+// transfer coding (with trailers), and — for responses — read-until-close
+// (FinishStream() completes the open message).
+//
+// The parser is deliberately strict about structure (a malformed start line
+// or chunk size latches failed()) but tolerant about header content: it
+// stores headers verbatim and lets callers interpret them. A proxy filter
+// that sees failed() must stop interpreting the stream and fail open.
+#ifndef COMMA_REASSEMBLY_HTTP_PARSER_H_
+#define COMMA_REASSEMBLY_HTTP_PARSER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace comma::reassembly {
+
+struct HttpHeader {
+  std::string name;   // As received (case preserved).
+  std::string value;  // Leading/trailing whitespace trimmed.
+};
+
+struct HttpMessage {
+  // Request fields (kRequest mode).
+  std::string method;
+  std::string target;
+  // Response fields (kResponse mode).
+  int status_code = 0;
+  std::string reason;
+
+  std::string version;  // "HTTP/1.1"
+  std::vector<HttpHeader> headers;
+  util::Bytes body;
+  bool chunked = false;             // Body arrived chunk-encoded.
+  bool has_content_length = false;  // Body was Content-Length-delimited.
+  bool complete_on_close = false;   // Body was delimited by stream end.
+
+  // First header matching `name` (ASCII case-insensitive), or nullptr.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+// Shared header-block utilities (also used by the content-aware filters,
+// which rewrite heads without buffering bodies).
+bool ParseHeaderLine(const std::string& line, HttpHeader* out);
+bool HeaderNameEquals(const std::string& a, const std::string& b);
+// Case-insensitive prefix match on a header value ("text/" vs "Text/Plain").
+bool ValueHasPrefix(const std::string& value, const std::string& prefix);
+
+class HttpParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+
+  explicit HttpParser(Mode mode) : mode_(mode) {}
+
+  // Appends stream bytes and parses as far as possible. Returns false once
+  // the parser has latched failed().
+  bool Feed(const util::Bytes& data);
+  bool Feed(const uint8_t* data, size_t len);
+
+  // The stream ended (FIN). Completes a read-until-close response body;
+  // a mid-message EOF in any other framing latches failed().
+  void FinishStream();
+
+  bool failed() const { return failed_; }
+  bool HasMessage() const { return !messages_.empty(); }
+  HttpMessage PopMessage();
+  uint64_t messages_parsed() const { return messages_parsed_; }
+  // Bytes buffered for the in-progress message (bounded by callers feeding
+  // bounded streams; the parser itself never reorders).
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  enum class State {
+    kStartLine,
+    kHeaders,
+    kBodyContentLength,
+    kBodyChunkSize,
+    kBodyChunkData,
+    kBodyChunkDataEnd,  // CRLF after each chunk.
+    kBodyTrailers,
+    kBodyUntilClose,
+  };
+
+  void Parse();
+  // Reads one CRLF- (or LF-) terminated line from the buffer; false when no
+  // complete line is buffered yet.
+  bool NextLine(std::string* line);
+  void Fail();
+  void CompleteMessage();
+  bool BeginBody();  // Decides framing from the parsed header block.
+
+  Mode mode_;
+  State state_ = State::kStartLine;
+  bool failed_ = false;
+  util::Bytes buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already parsed.
+  HttpMessage current_;
+  size_t body_remaining_ = 0;  // Content-Length or current-chunk countdown.
+  std::deque<HttpMessage> messages_;
+  uint64_t messages_parsed_ = 0;
+};
+
+}  // namespace comma::reassembly
+
+#endif  // COMMA_REASSEMBLY_HTTP_PARSER_H_

@@ -1,0 +1,195 @@
+#include "src/reassembly/stream_reassembler.h"
+
+namespace comma::reassembly {
+
+using tcp::SeqDiff;
+using tcp::SeqGeq;
+using tcp::SeqGt;
+using tcp::SeqLeq;
+using tcp::SeqLt;
+
+void StreamReassembler::OnSyn(uint32_t isn) {
+  if (initialized_) {
+    return;  // Retransmitted SYN; the frontier is already set.
+  }
+  initialized_ = true;
+  frontier_ = isn + 1;
+}
+
+void StreamReassembler::RestoreFrontier(uint32_t frontier) {
+  initialized_ = true;
+  frontier_ = frontier;
+  pending_.clear();
+  buffered_bytes_ = 0;
+}
+
+void StreamReassembler::OnRst() {
+  pending_.clear();
+  buffered_bytes_ = 0;
+  failed_ = true;
+}
+
+size_t StreamReassembler::OnSegment(uint32_t seq, const util::Bytes& payload, bool fin,
+                                    util::Bytes* out) {
+  ++stats_.segments_in;
+  if (failed_) {
+    return 0;
+  }
+  if (!initialized_) {
+    // Mid-stream attachment: adopt this packet's seq as the frontier.
+    initialized_ = true;
+    frontier_ = seq;
+  }
+
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t end = seq + len;
+
+  if (fin) {
+    const uint32_t fin_seq = end;
+    if (!fin_seen_) {
+      fin_seen_ = true;
+      fin_seq_ = fin_seq;
+    } else if (fin_seq != fin_seq_) {
+      // A FIN moved in sequence space: the stream is incoherent.
+      FailOpen();
+      return 0;
+    }
+  }
+
+  if (len == 0) {
+    return 0;  // Pure ACK or bare FIN: no payload to deliver.
+  }
+
+  // Window check: a segment starting beyond frontier + window cannot be
+  // buffered without breaking the bound (and, far enough out, the SeqLt
+  // ordering); it is the sender's job to stay inside the receive window.
+  if (SeqGt(end, frontier_ + static_cast<uint32_t>(config_.max_buffered_bytes) +
+                     static_cast<uint32_t>(config_.max_buffered_bytes))) {
+    ++stats_.out_of_window;
+    return 0;
+  }
+
+  if (SeqLeq(end, frontier_)) {
+    ++stats_.duplicate_segments;
+    return 0;  // Entirely old data; already delivered.
+  }
+
+  // Clip the prefix that is already delivered (partial retransmission).
+  size_t offset = 0;
+  uint32_t first_new = seq;
+  if (SeqLt(seq, frontier_)) {
+    offset = static_cast<uint32_t>(SeqDiff(frontier_, seq));
+    first_new = frontier_;
+  }
+
+  if (first_new == frontier_) {
+    // In-order new data: deliver directly, then drain anything buffered
+    // that has become contiguous.
+    const size_t n = payload.size() - offset;
+    out->insert(out->end(), payload.begin() + static_cast<long>(offset), payload.end());
+    frontier_ = end;
+    stats_.bytes_delivered += n;
+    size_t drained = 0;
+    if (!pending_.empty()) {
+      drained = Drain(out);
+      if (drained > 0) {
+        ++stats_.gaps_filled;
+      }
+    }
+    return n + drained;
+  }
+
+  // Out of order: buffer beyond the hole.
+  BufferSegment(first_new, payload, offset);
+  return 0;
+}
+
+void StreamReassembler::BufferSegment(uint32_t seq, const util::Bytes& payload, size_t offset) {
+  uint32_t pos = seq;
+  size_t idx = offset;
+  const uint32_t end = seq + static_cast<uint32_t>(payload.size() - offset);
+
+  // Walk the pending map, fill the gaps the new segment covers, and verify
+  // the overlapped stretches byte-by-byte (first arrival wins).
+  auto it = pending_.begin();
+  while (SeqLt(pos, end)) {
+    // Skip buffered ranges entirely before pos.
+    while (it != pending_.end() &&
+           SeqLeq(it->first + static_cast<uint32_t>(it->second.size()), pos)) {
+      ++it;
+    }
+    uint32_t gap_end = end;
+    if (it != pending_.end() && SeqLt(it->first, gap_end)) {
+      gap_end = tcp::SeqMax(it->first, pos);
+    }
+    if (SeqLt(pos, gap_end)) {
+      // [pos, gap_end) is new. Respect the buffering bound.
+      const size_t n = static_cast<uint32_t>(SeqDiff(gap_end, pos));
+      if (buffered_bytes_ + n > config_.max_buffered_bytes) {
+        FailOpen();
+        return;
+      }
+      util::Bytes piece(payload.begin() + static_cast<long>(idx),
+                        payload.begin() + static_cast<long>(idx + n));
+      buffered_bytes_ += piece.size();
+      it = pending_.emplace(pos, std::move(piece)).first;
+      ++it;
+      pos = gap_end;
+      idx += n;
+      continue;
+    }
+    if (it == pending_.end()) {
+      break;
+    }
+    // [pos, ...) overlaps the buffered range at it: compare, keep first.
+    const uint32_t buf_end = it->first + static_cast<uint32_t>(it->second.size());
+    const uint32_t upto = tcp::SeqMin(buf_end, end);
+    const size_t buf_off = static_cast<uint32_t>(SeqDiff(pos, it->first));
+    const size_t n = static_cast<uint32_t>(SeqDiff(upto, pos));
+    bool conflict = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (it->second[buf_off + i] != payload[idx + i]) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) {
+      ++stats_.overlap_conflicts;
+    }
+    pos = upto;
+    idx += n;
+  }
+}
+
+size_t StreamReassembler::Drain(util::Bytes* out) {
+  size_t drained = 0;
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    const uint32_t seq = it->first;
+    if (SeqGt(seq, frontier_)) {
+      break;  // Still a hole.
+    }
+    util::Bytes data = std::move(it->second);
+    buffered_bytes_ -= data.size();
+    pending_.erase(it);
+    const uint32_t data_end = seq + static_cast<uint32_t>(data.size());
+    if (SeqLeq(data_end, frontier_)) {
+      continue;  // Fully superseded by a wider delivery.
+    }
+    const size_t skip = static_cast<uint32_t>(SeqDiff(frontier_, seq));
+    out->insert(out->end(), data.begin() + static_cast<long>(skip), data.end());
+    drained += data.size() - skip;
+    frontier_ = data_end;
+  }
+  stats_.bytes_delivered += drained;
+  return drained;
+}
+
+void StreamReassembler::FailOpen() {
+  pending_.clear();
+  buffered_bytes_ = 0;
+  failed_ = true;
+  ++stats_.buffered_evictions;
+}
+
+}  // namespace comma::reassembly

@@ -1,0 +1,117 @@
+// In-order TCP stream reassembly for application-layer services (ROADMAP
+// item 5; thesis §8.3 — data-manipulation services act on *message*
+// semantics, which first requires recovering the byte stream from the
+// segment soup a proxy taps mid-path).
+//
+// A StreamReassembler tracks one direction of one TCP stream. Segments are
+// fed in arrival order; the reassembler keys its out-of-order buffer in
+// sequence space (via the src/tcp/seq.h helpers, so the 2^32 wrap is
+// handled) and hands back the newly contiguous bytes as they become
+// deliverable. Design points, mirrored in docs/app-services.md:
+//
+//  - Overlap resolution is first-arrival-wins: a retransmission carrying
+//    different bytes for an already-buffered range is counted
+//    (`overlap_conflicts`) and its conflicting bytes discarded, so one
+//    consistent stream image is delivered no matter how the sender
+//    retransmits.
+//  - Buffering is bounded (`max_buffered_bytes`). On overflow the
+//    reassembler *fails open*: the pending buffer is dropped, `failed()`
+//    latches, and the owner is expected to stop interpreting the stream and
+//    let the raw bytes through — a proxy service must degrade to
+//    pass-through, never stall the stream (thesis §5.2's transparency
+//    contract).
+//  - Segments entirely below the frontier are duplicates (delivered
+//    already); segments beyond the buffering window are out-of-window and
+//    ignored. Both are counted, neither is an error.
+//  - FIN consumes one sequence number and marks the stream finished once
+//    every byte before it has been delivered; RST tears down immediately.
+#ifndef COMMA_REASSEMBLY_STREAM_REASSEMBLER_H_
+#define COMMA_REASSEMBLY_STREAM_REASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/tcp/seq.h"
+#include "src/util/bytes.h"
+
+namespace comma::reassembly {
+
+struct ReassemblerConfig {
+  // Ceiling on buffered out-of-order payload bytes. A receive window's
+  // worth is plenty: the sender cannot usefully keep more in flight.
+  size_t max_buffered_bytes = 64 * 1024;
+};
+
+struct ReassemblerStats {
+  uint64_t segments_in = 0;
+  uint64_t bytes_delivered = 0;
+  uint64_t duplicate_segments = 0;   // Entirely at or below the frontier.
+  uint64_t overlap_conflicts = 0;    // Retransmitted bytes disagreed.
+  uint64_t out_of_window = 0;        // Beyond the buffering window.
+  uint64_t buffered_evictions = 0;   // Overflow -> fail-open.
+  uint64_t gaps_filled = 0;          // A hole closed and buffered data drained.
+};
+
+class StreamReassembler {
+ public:
+  explicit StreamReassembler(ReassemblerConfig config = {}) : config_(config) {}
+
+  // Establishes the frontier from a SYN (first data byte is isn+1). Without
+  // this, the first segment fed adopts its own seq as the frontier
+  // (mid-stream attachment, exactly like the TTSF).
+  void OnSyn(uint32_t isn);
+
+  // Feeds one segment. Newly deliverable in-order bytes are *appended* to
+  // `*out` (which may gain zero bytes: a duplicate, a hole, or a failed
+  // stream). Returns the number of bytes appended. `fin` marks the segment
+  // as carrying FIN at seq+payload size.
+  size_t OnSegment(uint32_t seq, const util::Bytes& payload, bool fin, util::Bytes* out);
+
+  // RST: drops all buffered state and latches failed().
+  void OnRst();
+
+  bool initialized() const { return initialized_; }
+  uint32_t frontier() const { return frontier_; }
+  // Fail-open latch: buffering overflowed or the stream was reset. The
+  // owner must stop interpreting stream content once this is set.
+  bool failed() const { return failed_; }
+  // FIN seen and every byte before it delivered.
+  bool finished() const { return fin_seen_ && initialized_ && frontier_ == fin_seq_; }
+  size_t buffered_bytes() const { return buffered_bytes_; }
+  const ReassemblerStats& stats() const { return stats_; }
+
+  // Failover support (docs/app-services.md): a checkpoint restores only the
+  // frontier — pending out-of-order buffers are deliberately dropped, the
+  // sender's RTO redelivers them (same contract as the TTSF's state blob).
+  void RestoreFrontier(uint32_t frontier);
+
+ private:
+  struct SeqBefore {
+    bool operator()(uint32_t a, uint32_t b) const { return tcp::SeqLt(a, b); }
+  };
+
+  // Buffers [seq, seq+data size) clipped against already-buffered ranges;
+  // first arrival wins on conflicts.
+  void BufferSegment(uint32_t seq, const util::Bytes& payload, size_t offset);
+  // Drains buffered segments now contiguous with the frontier into *out.
+  size_t Drain(util::Bytes* out);
+  void FailOpen();
+
+  ReassemblerConfig config_;
+  bool initialized_ = false;
+  bool failed_ = false;
+  uint32_t frontier_ = 0;  // Next in-order sequence number expected.
+  bool fin_seen_ = false;
+  uint32_t fin_seq_ = 0;   // Sequence number of the FIN itself.
+  // Out-of-order payloads keyed by their first sequence number. Keys stay
+  // within the buffering window (a fraction of the 2^31 half-space), so the
+  // SeqLt comparator is a valid strict weak ordering over the live key set.
+  std::map<uint32_t, util::Bytes, SeqBefore> pending_;
+  size_t buffered_bytes_ = 0;
+  ReassemblerStats stats_;
+};
+
+}  // namespace comma::reassembly
+
+#endif  // COMMA_REASSEMBLY_STREAM_REASSEMBLER_H_

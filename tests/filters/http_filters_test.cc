@@ -1,0 +1,400 @@
+// End-to-end suites for the application-layer service tier (ROADMAP item 5):
+// the HTTP workload pair through the proxy, the hrewrite/htype content-aware
+// filters riding the reassembler/TTSF protocol, and the dnscache UDP filter.
+// Suites are named Http*/Dns* so the http CI job can select them
+// (ctest -R '^Http|^Reassm|^Dns').
+#include "src/filters/http_filters.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/apps/dns.h"
+#include "src/apps/http.h"
+#include "src/filters/dnscache_filter.h"
+#include "src/filters/transform_filters.h"
+#include "src/reassembly/http_parser.h"
+#include "tests/proxy/proxy_fixture.h"
+
+namespace comma::filters {
+namespace {
+
+using proxy::ProxyFixture;
+using proxy::StreamKey;
+
+// --- HTTP workload + filters ------------------------------------------------
+
+class HttpFilterTest : public ProxyFixture {
+ protected:
+  // Origin on the wired host, client on the mobile host; `services` are
+  // installed on the connection's concrete key before any packet moves.
+  void StartWorkload(std::vector<apps::HttpRequestSpec> requests,
+                     const std::vector<std::pair<std::string, std::vector<std::string>>>& services) {
+    server_ = std::make_unique<apps::HttpServer>(&scenario().wired_host(), 80);
+    client_ = std::make_unique<apps::HttpClient>(&scenario().mobile_host(),
+                                                 scenario().wired_addr(), 80,
+                                                 std::move(requests));
+    key_ = StreamKey{scenario().mobile_addr(), client_->connection()->local_port(),
+                     scenario().wired_addr(), 80};
+    for (const auto& [name, args] : services) {
+      MustAdd(name, key_, args);
+    }
+  }
+
+  bool RunUntilFinished(int seconds = 60) {
+    for (int i = 0; i < seconds * 10 && !client_->finished(); ++i) {
+      sim().RunFor(100 * sim::kMillisecond);
+    }
+    return client_->finished();
+  }
+
+  std::unique_ptr<apps::HttpServer> server_;
+  std::unique_ptr<apps::HttpClient> client_;
+  StreamKey key_;
+};
+
+TEST_F(HttpFilterTest, MixedWorkloadRoundTripsWithoutServices) {
+  StartWorkload({{"GET", "/text/5000", {}},
+                 {"GET", "/media/3/10/400", {}},
+                 {"GET", "/image/3000", {}},
+                 {"POST", "/upload", apps::PatternPayload(1500)},
+                 {"GET", "/missing", {}}},
+                {});
+  ASSERT_TRUE(RunUntilFinished());
+  EXPECT_FALSE(client_->failed());
+  ASSERT_EQ(client_->responses_received(), 5u);
+  EXPECT_EQ(client_->responses()[0].body, apps::TextPayload(5000));
+  EXPECT_EQ(client_->responses()[2].body, apps::PatternPayload(3000));
+  EXPECT_EQ(client_->responses()[4].status_code, 404);
+  // Without transcoding every byte is useful except media frame headers:
+  // 3 layers x 10 groups = 30 frames x 4 header bytes.
+  EXPECT_EQ(client_->useful_bytes() + 30 * 4, client_->body_bytes());
+  EXPECT_EQ(server_->requests_served(), 5u);
+  EXPECT_EQ(server_->parse_failures(), 0u);
+}
+
+TEST_F(HttpFilterTest, HtypeCompressesTextAndClientRecoversOriginalBytes) {
+  StartWorkload({{"GET", "/text/20000", {}}},
+                {{"tcp", {}}, {"ttsf", {}}, {"htype", {"1"}}});
+  ASSERT_TRUE(RunUntilFinished());
+  ASSERT_FALSE(client_->failed());
+  ASSERT_EQ(client_->responses_received(), 1u);
+  const reassembly::HttpMessage& resp = client_->responses()[0];
+  ASSERT_NE(resp.FindHeader(HtypeFilter::kEncodingHeader), nullptr);
+  EXPECT_TRUE(resp.chunked);
+  EXPECT_EQ(resp.FindHeader("Content-Length"), nullptr);
+  auto decoded = DecodeCompressedFrames(resp.body, nullptr);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, apps::TextPayload(20000));  // Bit-exact original.
+  EXPECT_LT(resp.body.size(), 20000u / 2);        // And materially smaller.
+  EXPECT_EQ(client_->useful_bytes(), 20000u);
+
+  auto* htype = dynamic_cast<HtypeFilter*>(sp().FindFilterOnKey(key_, "htype"));
+  ASSERT_NE(htype, nullptr);
+  EXPECT_EQ(htype->responses_transcoded(), 1u);
+  EXPECT_FALSE(htype->fail_open());
+  EXPECT_EQ(sp().metrics().GetCounter("http.fail_open")->value(), 0u);
+}
+
+TEST_F(HttpFilterTest, HtypeDiscardsEnhancementLayers) {
+  StartWorkload({{"GET", "/media/3/10/400", {}}},
+                {{"tcp", {}}, {"ttsf", {}}, {"htype", {"0"}}});
+  ASSERT_TRUE(RunUntilFinished());
+  ASSERT_FALSE(client_->failed());
+  ASSERT_EQ(client_->responses_received(), 1u);
+  const reassembly::HttpMessage& resp = client_->responses()[0];
+  // Only the 10 base-layer frames survive, intact.
+  EXPECT_EQ(apps::MediaUsefulBytes(resp.body), 10u * 400u);
+  EXPECT_EQ(apps::MediaUsefulBytes(resp.body, 0), 10u * 400u);
+  auto* htype = dynamic_cast<HtypeFilter*>(sp().FindFilterOnKey(key_, "htype"));
+  ASSERT_NE(htype, nullptr);
+  EXPECT_EQ(htype->frames_dropped(), 20u);  // Layers 1 and 2 of 10 groups.
+}
+
+TEST_F(HttpFilterTest, HrewriteInjectsViaAndStripsHopByHopHeaders) {
+  // Raw endpoints so the exact request bytes arriving at the origin are
+  // observable.
+  util::Bytes at_origin;
+  scenario().wired_host().tcp().Listen(8080, [&](tcp::TcpConnection* conn) {
+    conn->set_on_data([&](const util::Bytes& data) {
+      at_origin.insert(at_origin.end(), data.begin(), data.end());
+    });
+    conn->set_on_remote_close([conn] { conn->Close(); });
+  });
+  tcp::TcpConnection* raw =
+      scenario().mobile_host().tcp().Connect(scenario().wired_addr(), 8080);
+  const StreamKey key{scenario().mobile_addr(), raw->local_port(), scenario().wired_addr(),
+                      8080};
+  MustAdd("tcp", key);
+  MustAdd("ttsf", key);
+  MustAdd("hrewrite", key);
+  const std::string request =
+      "POST /submit HTTP/1.1\r\n"
+      "Host: origin\r\n"
+      "Proxy-Connection: keep-alive\r\n"
+      "Connection: keep-alive\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello";
+  raw->set_on_connected([raw, request] {
+    const util::Bytes wire = util::ToBytes(request);
+    raw->Send(wire.data(), wire.size());
+  });
+  sim().RunFor(5 * sim::kSecond);
+
+  const std::string got = util::ToString(at_origin);
+  EXPECT_NE(got.find("Via: 1.1 comma-proxy\r\n"), std::string::npos) << got;
+  EXPECT_NE(got.find("X-Forwarded-For: " + scenario().mobile_addr().ToString()),
+            std::string::npos);
+  EXPECT_EQ(got.find("Proxy-Connection"), std::string::npos);
+  EXPECT_EQ(got.find("Connection:"), std::string::npos);
+  EXPECT_NE(got.find("Content-Length: 5\r\n"), std::string::npos);  // Kept.
+  EXPECT_NE(got.find("\r\n\r\nhello"), std::string::npos);          // Body intact.
+  auto* hrewrite = dynamic_cast<HrewriteFilter*>(sp().FindFilterOnKey(key, "hrewrite"));
+  ASSERT_NE(hrewrite, nullptr);
+  EXPECT_EQ(hrewrite->requests_rewritten(), 1u);
+  EXPECT_EQ(hrewrite->headers_stripped(), 2u);
+}
+
+TEST_F(HttpFilterTest, ChunkedTruncationAtLinkFlapFailsOpenWithoutStalling) {
+  // The origin speaks chunked encoding itself (which htype refuses to
+  // interpret) and dies mid-chunk while the wireless link flaps: the filter
+  // must latch fail-open and let raw bytes through; the client's parser
+  // sees a truncated chunked body, fails cleanly, and nothing deadlocks.
+  tcp::TcpConnection* origin_conn = nullptr;
+  scenario().wired_host().tcp().Listen(8081, [&](tcp::TcpConnection* conn) {
+    origin_conn = conn;
+    conn->set_on_data([conn](const util::Bytes&) {
+      const std::string head =
+          "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2710\r\n";
+      util::Bytes wire = util::ToBytes(head);
+      const util::Bytes partial = apps::TextPayload(4000);  // Of 0x2710 = 10000.
+      wire.insert(wire.end(), partial.begin(), partial.end());
+      conn->Send(wire.data(), wire.size());
+    });
+  });
+
+  util::Bytes at_client;
+  bool closed = false;
+  reassembly::HttpParser parser(reassembly::HttpParser::Mode::kResponse);
+  tcp::TcpConnection* raw =
+      scenario().mobile_host().tcp().Connect(scenario().wired_addr(), 8081);
+  raw->set_on_data([&](const util::Bytes& data) {
+    at_client.insert(at_client.end(), data.begin(), data.end());
+    parser.Feed(data);
+  });
+  raw->set_on_remote_close([&] {
+    parser.FinishStream();
+    raw->Close();
+  });
+  raw->set_on_closed([&] { closed = true; });
+  const StreamKey key{scenario().mobile_addr(), raw->local_port(), scenario().wired_addr(),
+                      8081};
+  MustAdd("tcp", key);
+  MustAdd("ttsf", key);
+  MustAdd("htype", key, {"1"});
+  raw->set_on_connected([raw] {
+    const util::Bytes req = util::ToBytes("GET /stream HTTP/1.1\r\n\r\n");
+    raw->Send(req.data(), req.size());
+  });
+
+  sim().RunFor(2 * sim::kSecond);
+  scenario().wireless_link().SetUp(false);  // The flap.
+  sim().RunFor(1 * sim::kSecond);
+  scenario().wireless_link().SetUp(true);
+  sim().RunFor(2 * sim::kSecond);
+  ASSERT_NE(origin_conn, nullptr);
+  origin_conn->Close();  // Truncation: the chunk never completes.
+  for (int i = 0; i < 600 && !closed; ++i) {
+    sim().RunFor(100 * sim::kMillisecond);
+  }
+
+  EXPECT_TRUE(closed) << "teardown stalled";
+  auto* htype = dynamic_cast<HtypeFilter*>(sp().FindFilterOnKey(key, "htype"));
+  ASSERT_NE(htype, nullptr);
+  EXPECT_TRUE(htype->fail_open());
+  EXPECT_EQ(sp().metrics().GetCounter("http.fail_open")->value(), 1u);
+  // Fail-open means raw pass-through: every origin byte reached the client.
+  const std::string got = util::ToString(at_client);
+  EXPECT_NE(got.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_EQ(at_client.size(), std::string("HTTP/1.1 200 OK\r\nTransfer-Encoding: "
+                                          "chunked\r\n\r\n2710\r\n")
+                                      .size() +
+                                  4000u);
+  // And the truncated chunked body is a clean parse failure, not a hang.
+  EXPECT_TRUE(parser.failed());
+  EXPECT_FALSE(parser.HasMessage());
+}
+
+TEST_F(HttpFilterTest, CheckpointBlobsRoundTrip) {
+  StartWorkload({{"GET", "/text/8000", {}}, {"GET", "/media/2/6/300", {}}},
+                {{"tcp", {}}, {"ttsf", {}}, {"hrewrite", {}}, {"htype", {"0"}}});
+  ASSERT_TRUE(RunUntilFinished());
+  ASSERT_FALSE(client_->failed());
+
+  auto* htype = dynamic_cast<HtypeFilter*>(sp().FindFilterOnKey(key_, "htype"));
+  auto* hrewrite = dynamic_cast<HrewriteFilter*>(sp().FindFilterOnKey(key_, "hrewrite"));
+  ASSERT_NE(htype, nullptr);
+  ASSERT_NE(hrewrite, nullptr);
+  EXPECT_EQ(htype->state_kind(), proxy::FilterStateKind::kCheckpointed);
+  EXPECT_EQ(hrewrite->state_kind(), proxy::FilterStateKind::kCheckpointed);
+
+  util::Bytes blob;
+  ASSERT_TRUE(htype->ExportState(&blob));
+  HtypeFilter fresh_htype;
+  std::string error;
+  ASSERT_TRUE(fresh_htype.ImportState(sp().context(), blob, &error)) << error;
+  EXPECT_EQ(fresh_htype.max_layer(), htype->max_layer());
+  EXPECT_EQ(fresh_htype.responses_transcoded(), htype->responses_transcoded());
+  EXPECT_EQ(fresh_htype.frames_dropped(), htype->frames_dropped());
+  EXPECT_EQ(fresh_htype.reassembler().frontier(), htype->reassembler().frontier());
+
+  blob.clear();
+  ASSERT_TRUE(hrewrite->ExportState(&blob));
+  HrewriteFilter fresh_hrewrite;
+  ASSERT_TRUE(fresh_hrewrite.ImportState(sp().context(), blob, &error)) << error;
+  EXPECT_EQ(fresh_hrewrite.requests_rewritten(), hrewrite->requests_rewritten());
+  EXPECT_EQ(fresh_hrewrite.reassembler().frontier(), hrewrite->reassembler().frontier());
+
+  // Garbage is rejected, not half-imported.
+  HtypeFilter victim;
+  EXPECT_FALSE(victim.ImportState(sp().context(), util::Bytes{9, 9, 9}, &error));
+}
+
+// --- Pipelined responses under wireless loss --------------------------------
+
+class HttpLossyTest : public ProxyFixture {
+ protected:
+  static core::ScenarioConfig LossyConfig() {
+    core::ScenarioConfig cfg = CleanConfig();
+    cfg.wireless.loss_probability = 0.03;
+    cfg.seed = 77;
+    return cfg;
+  }
+  HttpLossyTest() : ProxyFixture(LossyConfig()) {}
+};
+
+TEST_F(HttpLossyTest, InterleavedPipelinedResponsesSurviveLossAndReordering) {
+  apps::HttpServer server(&scenario().wired_host(), 80);
+  std::vector<apps::HttpRequestSpec> requests;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back({"GET", "/text/9000", {}});
+    requests.push_back({"GET", "/media/3/8/350", {}});
+    requests.push_back({"GET", "/image/4000", {}});
+  }
+  apps::HttpClient client(&scenario().mobile_host(), scenario().wired_addr(), 80, requests,
+                          /*pipeline_depth=*/6);
+  const StreamKey key{scenario().mobile_addr(), client.connection()->local_port(),
+                      scenario().wired_addr(), 80};
+  MustAdd("tcp", key);
+  MustAdd("ttsf", key);
+  MustAdd("hrewrite", key);
+  MustAdd("htype", key, {"1"});
+
+  for (int i = 0; i < 1200 && !client.finished(); ++i) {
+    sim().RunFor(100 * sim::kMillisecond);
+  }
+  ASSERT_TRUE(client.finished());
+  EXPECT_FALSE(client.failed());
+  EXPECT_EQ(client.responses_received(), requests.size());
+  // Loss forced retransmissions and out-of-order arrival at the proxy, yet
+  // message structure survived: every text body decodes bit-exact.
+  for (const auto& resp : client.responses()) {
+    if (resp.FindHeader(HtypeFilter::kEncodingHeader) != nullptr) {
+      auto decoded = DecodeCompressedFrames(resp.body, nullptr);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, apps::TextPayload(9000));
+    }
+  }
+  auto* htype = dynamic_cast<HtypeFilter*>(sp().FindFilterOnKey(key, "htype"));
+  ASSERT_NE(htype, nullptr);
+  EXPECT_FALSE(htype->fail_open());
+  EXPECT_EQ(sp().metrics().GetCounter("http.fail_open")->value(), 0u);
+  EXPECT_EQ(htype->responses_transcoded(), 6u);  // 3 text + 3 media.
+}
+
+// --- dnscache ----------------------------------------------------------------
+
+class DnsCacheTest : public ProxyFixture {
+ protected:
+  // Resolver on the wired side; queries cross the proxy. `ttl` stamps the
+  // resolver's answers.
+  void Start(uint32_t ttl) {
+    resolver_ = std::make_unique<apps::DnsServer>(&scenario().wired_host(), ttl);
+    client_ = std::make_unique<apps::DnsClient>(&scenario().mobile_host(),
+                                                scenario().wired_addr());
+    key_ = StreamKey{scenario().mobile_addr(), 0, scenario().wired_addr(),
+                     apps::DnsServer::kDnsPort};
+    MustAdd("dnscache", key_);
+    cache_ = dynamic_cast<DnscacheFilter*>(sp().FindFilterOnKey(key_, "dnscache"));
+    ASSERT_NE(cache_, nullptr);
+  }
+
+  std::optional<reassembly::DnsMessage> Resolve(const std::string& name) {
+    std::optional<reassembly::DnsMessage> result;
+    client_->Resolve(name, [&](const reassembly::DnsMessage& m) { result = m; });
+    for (int i = 0; i < 100 && !result.has_value(); ++i) {
+      sim().RunFor(100 * sim::kMillisecond);
+    }
+    return result;
+  }
+
+  std::unique_ptr<apps::DnsServer> resolver_;
+  std::unique_ptr<apps::DnsClient> client_;
+  StreamKey key_;
+  DnscacheFilter* cache_ = nullptr;
+};
+
+TEST_F(DnsCacheTest, SecondQueryIsAnsweredAtTheProxy) {
+  Start(/*ttl=*/300);
+  auto first = Resolve("host.example");
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->answers.size(), 1u);
+  EXPECT_EQ(resolver_->queries_answered(), 1u);
+  EXPECT_EQ(cache_->stats().misses, 1u);
+
+  auto second = Resolve("host.example");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(resolver_->queries_answered(), 1u);  // Never left the gateway.
+  EXPECT_EQ(cache_->stats().hits, 1u);
+  EXPECT_EQ(second->answers[0].rdata, first->answers[0].rdata);
+  // The forged answer is the deterministic resolver answer.
+  const uint32_t addr = apps::DnsAddressFor("host.example").value();
+  EXPECT_EQ(second->answers[0].rdata,
+            (util::Bytes{static_cast<uint8_t>(addr >> 24), static_cast<uint8_t>(addr >> 16),
+                         static_cast<uint8_t>(addr >> 8), static_cast<uint8_t>(addr)}));
+  EXPECT_EQ(sp().metrics().GetCounter("dns.cache_hits")->value(), 1u);
+}
+
+TEST_F(DnsCacheTest, ExpiredEntriesGoUpstreamAgain) {
+  Start(/*ttl=*/2);
+  ASSERT_TRUE(Resolve("ttl.example").has_value());
+  sim().RunFor(3 * sim::kSecond);  // Past the 2 s TTL.
+  ASSERT_TRUE(Resolve("ttl.example").has_value());
+  EXPECT_EQ(resolver_->queries_answered(), 2u);
+  EXPECT_EQ(cache_->stats().hits, 0u);
+}
+
+TEST_F(DnsCacheTest, ZeroTtlAnswersAreNotCached) {
+  Start(/*ttl=*/0);
+  ASSERT_TRUE(Resolve("zero.example").has_value());
+  ASSERT_TRUE(Resolve("zero.example").has_value());
+  EXPECT_EQ(resolver_->queries_answered(), 2u);
+  EXPECT_EQ(cache_->stats().responses_cached, 0u);
+}
+
+TEST_F(DnsCacheTest, CheckpointRoundTripCarriesTheCache) {
+  Start(/*ttl=*/300);
+  ASSERT_TRUE(Resolve("a.example").has_value());
+  ASSERT_TRUE(Resolve("b.example").has_value());
+  util::Bytes blob;
+  ASSERT_TRUE(cache_->ExportState(&blob));
+
+  DnscacheFilter standby;
+  std::string error;
+  ASSERT_TRUE(standby.ImportState(sp().context(), blob, &error)) << error;
+  EXPECT_EQ(standby.Status(), cache_->Status());
+  EXPECT_FALSE(standby.ImportState(sp().context(), util::Bytes{1, 2}, &error));
+}
+
+}  // namespace
+}  // namespace comma::filters

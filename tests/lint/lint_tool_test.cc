@@ -66,14 +66,14 @@ TEST(CommaLint, FixtureCorpusExactDiagnostics) {
       "\"src/obs/metric_registry.h\": only the allowlisted headers of src/obs may be included "
       "from src/net [comma-include-layering]",
       "src/obs/bad_metric.cc:7:24: error: metric name \"SP.packets\" is outside the EEM-bridged "
-      "namespace ^(sp|ttsf|tcp|eem|trace|mip|sim).[a-z0-9_.]+$ and would be unwatchable from Kati "
-      "[comma-metric-name-style]",
+      "namespace ^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns).[a-z0-9_.]+$ and would be unwatchable "
+      "from Kati [comma-metric-name-style]",
       "src/obs/bad_metric.cc:8:22: error: metric name \"kati.decision_loops\" is outside the "
-      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip|sim).[a-z0-9_.]+$ and would be unwatchable "
-      "from Kati [comma-metric-name-style]",
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns).[a-z0-9_.]+$ and would be "
+      "unwatchable from Kati [comma-metric-name-style]",
       "src/obs/bad_metric.cc:9:26: error: metric name \"eem.Handoff.Latency\" is outside the "
-      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip|sim).[a-z0-9_.]+$ and would be unwatchable "
-      "from Kati [comma-metric-name-style]",
+      "EEM-bridged namespace ^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns).[a-z0-9_.]+$ and would be "
+      "unwatchable from Kati [comma-metric-name-style]",
       "src/obs/bad_mutex.cc:12:14: error: mutex 'mu_' in class 'SilentRegistry' guards nothing; "
       "annotate the members it protects with COMMA_GUARDED_BY(mu_) "
       "(src/util/thread_annotations.h) [comma-mutex-annotation]",
@@ -99,6 +99,13 @@ TEST(CommaLint, FixtureCorpusExactDiagnostics) {
       "by increasing rank [comma-lock-order]",
       "src/proxy/bad_nolint.cc:5:28: error: comma-lint suppression is missing its reason; write "
       "`NOLINT(<rule>): <why this site is exempt>` [comma-nolint-reason]",
+      "src/reassembly/bad_http.cc:9:19: error: raw '<' on TCP sequence values 'frontier' and "
+      "'seg_seq' breaks at the 2^32 wrap; use comma::tcp::SeqLt [comma-seq-raw-compare]",
+      "src/reassembly/bad_http.cc:13:18: error: raw '-' on TCP sequence values 'seg_end' and "
+      "'frontier' breaks at the 2^32 wrap; use comma::tcp::SeqDiff [comma-seq-raw-compare]",
+      "src/reassembly/bad_http.cc:17:3: error: COMMA_DCHECK_LT on TCP sequence values 'frontier' "
+      "and 'fin_seq' breaks at the 2^32 wrap; assert comma::tcp::SeqLt(...) instead "
+      "[comma-seq-raw-compare]",
       "src/sim/bad_nondet.cc:10:31: error: 'std::random_device' taps OS entropy and breaks "
       "replay; seed a sim::Random from the scenario config [comma-nondeterminism-ban]",
       "src/sim/bad_nondet.cc:11:28: error: 'rand()' draws from the unseeded global RNG; draw "
@@ -149,7 +156,7 @@ TEST(CommaLint, RuleSelectionRestrictsFindings) {
   LintOptions opts;
   opts.rules = {"seq-raw-compare"};
   const LintResult result = RunOver(Testdata(), opts);
-  ASSERT_EQ(result.findings.size(), 4u);
+  ASSERT_EQ(result.findings.size(), 7u);  // 4 in bad_seq.cc + 3 in bad_http.cc.
   for (const Diagnostic& d : result.findings) {
     EXPECT_EQ(d.rule, "seq-raw-compare");
   }
@@ -196,13 +203,17 @@ TEST(CommaLint, FixRewritesMatchGoldenFiles) {
   LintOptions opts;
   opts.apply_fixes = true;
   const LintResult result = RunOver(tmp.string(), opts);
-  EXPECT_EQ(result.fixes_applied, 5);  // 3 in bad_seq.cc + 2 in bad_cast.cc.
-  const std::vector<std::string> expected_fixed = {"src/proxy/bad_cast.cc", "src/tcp/bad_seq.cc"};
+  EXPECT_EQ(result.fixes_applied, 7);  // 3 in bad_seq.cc + 2 in bad_cast.cc + 2 in bad_http.cc.
+  const std::vector<std::string> expected_fixed = {"src/proxy/bad_cast.cc",
+                                                   "src/reassembly/bad_http.cc",
+                                                   "src/tcp/bad_seq.cc"};
   EXPECT_EQ(result.fixed_files, expected_fixed);
 
   const fs::path golden = fs::path(Testdata()) / "golden";
   EXPECT_EQ(ReadFile(tmp / "src/tcp/bad_seq.cc"), ReadFile(golden / "bad_seq.cc.golden"));
   EXPECT_EQ(ReadFile(tmp / "src/proxy/bad_cast.cc"), ReadFile(golden / "bad_cast.cc.golden"));
+  EXPECT_EQ(ReadFile(tmp / "src/reassembly/bad_http.cc"),
+            ReadFile(golden / "bad_http.cc.golden"));
   // Non-fixable rules leave their files untouched.
   EXPECT_EQ(ReadFile(tmp / "src/proxy/bad_dcheck.cc"),
             ReadFile(fs::path(Testdata()) / "src/proxy/bad_dcheck.cc"));

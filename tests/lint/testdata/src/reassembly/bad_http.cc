@@ -1,0 +1,20 @@
+// seq-raw-compare fixtures for the reassembly tier. Never compiled; scanned
+// by tests/lint. The stream reassembler keys its pending buffers by raw
+// sequence numbers, so the wrap bugs this rule exists for land here first.
+#include <cstdint>
+
+namespace fixture {
+
+bool SegmentBeyondFrontier(uint32_t frontier, uint32_t seg_seq) {
+  return frontier < seg_seq;
+}
+
+uint32_t BytesPastFrontier(uint32_t seg_end, uint32_t frontier) {
+  return seg_end - frontier;
+}
+
+void CheckFinOrdering(uint32_t frontier, uint32_t fin_seq) {
+  COMMA_DCHECK_LT(frontier, fin_seq);
+}
+
+}  // namespace fixture

@@ -1,0 +1,113 @@
+// DNS codec suite: encode/decode round trips, compression-pointer
+// following with the loop guard, and malformed-input rejection.
+#include "src/reassembly/dns_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::reassembly {
+namespace {
+
+TEST(DnsCodecTest, QueryRoundTrip) {
+  DnsMessage q;
+  q.id = 0x1234;
+  q.flags = kDnsFlagRecursionDesired;
+  q.questions.push_back({"host.example", kDnsTypeA, kDnsClassIn});
+
+  DnsMessage back;
+  ASSERT_TRUE(DecodeDnsMessage(EncodeDnsMessage(q), &back));
+  EXPECT_EQ(back.id, 0x1234);
+  EXPECT_FALSE(back.is_response());
+  ASSERT_EQ(back.questions.size(), 1u);
+  EXPECT_EQ(back.questions[0].name, "host.example");
+  EXPECT_EQ(back.questions[0].qtype, kDnsTypeA);
+  EXPECT_TRUE(back.answers.empty());
+}
+
+TEST(DnsCodecTest, ResponseWithAnswersRoundTrip) {
+  DnsMessage r;
+  r.id = 7;
+  r.flags = kDnsFlagResponse | kDnsFlagRecursionDesired;
+  r.questions.push_back({"a.b.c", kDnsTypeA, kDnsClassIn});
+  DnsRecord rec;
+  rec.name = "a.b.c";
+  rec.ttl = 300;
+  rec.rdata = {10, 1, 2, 3};
+  r.answers.push_back(rec);
+  r.answers.push_back(rec);
+
+  DnsMessage back;
+  ASSERT_TRUE(DecodeDnsMessage(EncodeDnsMessage(r), &back));
+  EXPECT_TRUE(back.is_response());
+  EXPECT_EQ(back.rcode(), 0u);
+  ASSERT_EQ(back.answers.size(), 2u);
+  EXPECT_EQ(back.answers[0].name, "a.b.c");
+  EXPECT_EQ(back.answers[0].ttl, 300u);
+  EXPECT_EQ(back.answers[0].rdata, (util::Bytes{10, 1, 2, 3}));
+}
+
+TEST(DnsCodecTest, RcodeSurvivesRoundTrip) {
+  DnsMessage r;
+  r.flags = kDnsFlagResponse | kDnsRcodeNameError;
+  DnsMessage back;
+  ASSERT_TRUE(DecodeDnsMessage(EncodeDnsMessage(r), &back));
+  EXPECT_EQ(back.rcode(), kDnsRcodeNameError);
+}
+
+// Hand-built wire bytes: header (12 bytes) + one question whose name uses a
+// compression pointer back into a previously decoded name.
+TEST(DnsCodecTest, BackwardsCompressionPointerIsFollowed) {
+  util::Bytes wire = {
+      0x00, 0x01,  // id
+      0x84, 0x00,  // flags: response
+      0x00, 0x01,  // qdcount
+      0x00, 0x01,  // ancount
+      0x00, 0x00, 0x00, 0x00,  // ns/ar
+      // Question at offset 12: "ab.cd"
+      2, 'a', 'b', 2, 'c', 'd', 0,
+      0x00, 0x01, 0x00, 0x01,  // qtype A, qclass IN
+      // Answer name: pointer to offset 12.
+      0xC0, 0x0C,
+      0x00, 0x01, 0x00, 0x01,              // type A, class IN
+      0x00, 0x00, 0x01, 0x2C,              // ttl 300
+      0x00, 0x04, 10, 0, 0, 1,             // rdlength 4 + address
+  };
+  DnsMessage m;
+  ASSERT_TRUE(DecodeDnsMessage(wire, &m));
+  ASSERT_EQ(m.answers.size(), 1u);
+  EXPECT_EQ(m.answers[0].name, "ab.cd");
+  EXPECT_EQ(m.questions[0].name, "ab.cd");
+}
+
+TEST(DnsCodecTest, PointerLoopIsRejected) {
+  util::Bytes wire = {
+      0x00, 0x01, 0x00, 0x00,
+      0x00, 0x01,              // one question
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // Question name: a pointer to itself (offset 12).
+      0xC0, 0x0C,
+      0x00, 0x01, 0x00, 0x01,
+  };
+  DnsMessage m;
+  EXPECT_FALSE(DecodeDnsMessage(wire, &m));
+}
+
+TEST(DnsCodecTest, TruncatedMessagesAreRejected) {
+  DnsMessage q;
+  q.questions.push_back({"host.example", kDnsTypeA, kDnsClassIn});
+  const util::Bytes wire = EncodeDnsMessage(q);
+  for (size_t cut = 1; cut < wire.size(); ++cut) {
+    util::Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(cut));
+    DnsMessage m;
+    EXPECT_FALSE(DecodeDnsMessage(prefix, &m)) << "cut=" << cut;
+  }
+}
+
+TEST(DnsCodecTest, OverlongLabelIsRejected) {
+  DnsMessage q;
+  q.questions.push_back({std::string(64, 'x') + ".example", kDnsTypeA, kDnsClassIn});
+  // Labels cap at 63 bytes: encode refuses the whole message.
+  EXPECT_TRUE(EncodeDnsMessage(q).empty());
+}
+
+}  // namespace
+}  // namespace comma::reassembly

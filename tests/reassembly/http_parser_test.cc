@@ -1,0 +1,132 @@
+// Incremental HTTP/1.1 parser suite: byte-at-a-time feeding, pipelining,
+// chunked bodies with trailers, truncation (the link-flap case: the stream
+// ends mid-message), and malformed input latching failed().
+#include "src/reassembly/http_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::reassembly {
+namespace {
+
+util::Bytes B(const std::string& s) { return util::ToBytes(s); }
+
+TEST(HttpParserTest, SimpleRequest) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.Feed(B("GET /index.html HTTP/1.1\r\nHost: origin\r\n\r\n")));
+  ASSERT_TRUE(p.HasMessage());
+  const HttpMessage m = p.PopMessage();
+  EXPECT_EQ(m.method, "GET");
+  EXPECT_EQ(m.target, "/index.html");
+  EXPECT_EQ(m.version, "HTTP/1.1");
+  ASSERT_NE(m.FindHeader("host"), nullptr);  // Case-insensitive.
+  EXPECT_EQ(*m.FindHeader("host"), "origin");
+  EXPECT_TRUE(m.body.empty());
+}
+
+TEST(HttpParserTest, ResponseWithContentLength) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.Feed(B("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello")));
+  ASSERT_TRUE(p.HasMessage());
+  const HttpMessage m = p.PopMessage();
+  EXPECT_EQ(m.status_code, 200);
+  EXPECT_EQ(m.reason, "OK");
+  EXPECT_EQ(m.body, B("hello"));
+  EXPECT_TRUE(m.has_content_length);
+}
+
+TEST(HttpParserTest, ByteAtATimeFeeding) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nabc";
+  HttpParser p(HttpParser::Mode::kResponse);
+  for (char c : wire) {
+    ASSERT_TRUE(p.Feed(util::AsBytePtr(&c), 1));
+  }
+  ASSERT_TRUE(p.HasMessage());
+  EXPECT_EQ(p.PopMessage().body, B("abc"));
+}
+
+TEST(HttpParserTest, PipelinedResponsesSplitAcrossFeeds) {
+  // Two responses, the split point mid-way through the second's head —
+  // exactly what TCP segmentation does to interleaved pipelined responses.
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nAAAA"
+      "HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno";
+  HttpParser p(HttpParser::Mode::kResponse);
+  const size_t split = 55;  // Inside the second status line.
+  ASSERT_TRUE(p.Feed(B(wire.substr(0, split))));
+  ASSERT_TRUE(p.Feed(B(wire.substr(split))));
+  ASSERT_TRUE(p.HasMessage());
+  EXPECT_EQ(p.PopMessage().body, B("AAAA"));
+  ASSERT_TRUE(p.HasMessage());
+  const HttpMessage second = p.PopMessage();
+  EXPECT_EQ(second.status_code, 404);
+  EXPECT_EQ(second.body, B("no"));
+  EXPECT_EQ(p.messages_parsed(), 2u);
+}
+
+TEST(HttpParserTest, ChunkedBodyWithTrailers) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.Feed(B("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+                       "4\r\nWiki\r\n5;ext=1\r\npedia\r\n0\r\nX-Sum: ok\r\n\r\n")));
+  ASSERT_TRUE(p.HasMessage());
+  const HttpMessage m = p.PopMessage();
+  EXPECT_TRUE(m.chunked);
+  EXPECT_EQ(m.body, B("Wikipedia"));
+  ASSERT_NE(m.FindHeader("X-Sum"), nullptr);  // Trailer joined the headers.
+}
+
+TEST(HttpParserTest, ChunkedTruncationIsNotAMessage) {
+  // The wireless link flapped mid-chunk: the stream ends inside chunk data.
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.Feed(B("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+                       "10\r\nonly-six")));
+  p.FinishStream();
+  EXPECT_FALSE(p.HasMessage());
+  EXPECT_TRUE(p.failed());  // Truncated mid-body: the message never parsed.
+}
+
+TEST(HttpParserTest, ReadUntilCloseBody) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.Feed(B("HTTP/1.1 200 OK\r\n\r\nstream until the end")));
+  EXPECT_FALSE(p.HasMessage());  // Unbounded body: only the close ends it.
+  p.FinishStream();
+  ASSERT_TRUE(p.HasMessage());
+  const HttpMessage m = p.PopMessage();
+  EXPECT_TRUE(m.complete_on_close);
+  EXPECT_EQ(m.body, B("stream until the end"));
+}
+
+TEST(HttpParserTest, BodilessStatusHasNoBody) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.Feed(B("HTTP/1.1 304 Not Modified\r\nETag: x\r\n\r\n")));
+  ASSERT_TRUE(p.HasMessage());
+  EXPECT_TRUE(p.PopMessage().body.empty());
+}
+
+TEST(HttpParserTest, MalformedStartLineFails) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  EXPECT_FALSE(p.Feed(B("this is not http\r\n\r\n")));
+  EXPECT_TRUE(p.failed());
+  // A failed parser stays failed.
+  EXPECT_FALSE(p.Feed(B("GET / HTTP/1.1\r\n\r\n")));
+}
+
+TEST(HttpParserTest, AbsurdContentLengthFails) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  EXPECT_FALSE(p.Feed(B("HTTP/1.1 200 OK\r\nContent-Length: 99999999999\r\n\r\n")));
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(HttpParserTest, PostWithBodyThenPipelinedGet) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.Feed(B("POST /up HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz"
+                       "GET /next HTTP/1.1\r\n\r\n")));
+  ASSERT_TRUE(p.HasMessage());
+  EXPECT_EQ(p.PopMessage().body, B("xyz"));
+  ASSERT_TRUE(p.HasMessage());
+  EXPECT_EQ(p.PopMessage().target, "/next");
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace comma::reassembly

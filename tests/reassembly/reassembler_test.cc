@@ -1,0 +1,209 @@
+// StreamReassembler unit suite (docs/app-services.md): delivery order,
+// overlap/retransmission resolution, window and buffering bounds, the
+// fail-open contract, and sequence-space wrap. Suites are named Reassm* so
+// the http CI job can select them (ctest -R '^Http|^Reassm|^Dns').
+#include "src/reassembly/stream_reassembler.h"
+
+#include <gtest/gtest.h>
+
+namespace comma::reassembly {
+namespace {
+
+util::Bytes Seq(uint8_t first, size_t n) {
+  util::Bytes b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>(first + i);
+  }
+  return b;
+}
+
+TEST(ReassmTest, InOrderDelivery) {
+  StreamReassembler r;
+  r.OnSyn(1000);
+  EXPECT_TRUE(r.initialized());
+  EXPECT_EQ(r.frontier(), 1001u);
+
+  util::Bytes out;
+  EXPECT_EQ(r.OnSegment(1001, Seq(0, 10), false, &out), 10u);
+  EXPECT_EQ(r.OnSegment(1011, Seq(10, 5), false, &out), 5u);
+  EXPECT_EQ(out, Seq(0, 15));
+  EXPECT_EQ(r.frontier(), 1016u);
+  EXPECT_EQ(r.stats().bytes_delivered, 15u);
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(ReassmTest, MidStreamAttachmentAdoptsFirstSeq) {
+  StreamReassembler r;
+  util::Bytes out;
+  EXPECT_EQ(r.OnSegment(777, Seq(1, 4), false, &out), 4u);
+  EXPECT_EQ(r.frontier(), 781u);
+}
+
+TEST(ReassmTest, GapBuffersThenDrains) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  // Bytes [11,21) arrive before [1,11): buffered, not delivered.
+  EXPECT_EQ(r.OnSegment(11, Seq(10, 10), false, &out), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(r.buffered_bytes(), 10u);
+  // The gap filler releases everything at once.
+  EXPECT_EQ(r.OnSegment(1, Seq(0, 10), false, &out), 20u);
+  EXPECT_EQ(out, Seq(0, 20));
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+  EXPECT_EQ(r.stats().gaps_filled, 1u);
+}
+
+TEST(ReassmTest, DuplicateBelowFrontierIsCounted) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  r.OnSegment(1, Seq(0, 10), false, &out);
+  EXPECT_EQ(r.OnSegment(1, Seq(0, 10), false, &out), 0u);
+  EXPECT_EQ(r.stats().duplicate_segments, 1u);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(ReassmTest, StraddlingRetransmissionDeliversOnlyNewBytes) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  r.OnSegment(1, Seq(0, 10), false, &out);
+  // Retransmission covering [1,16): the first 10 bytes are old.
+  EXPECT_EQ(r.OnSegment(1, Seq(0, 15), false, &out), 5u);
+  EXPECT_EQ(out, Seq(0, 15));
+  EXPECT_EQ(r.frontier(), 16u);
+}
+
+TEST(ReassmTest, OverlappingRetransmissionConflictKeepsFirstArrival) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  // [11,21) buffered beyond a hole.
+  const util::Bytes original = Seq(100, 10);
+  EXPECT_EQ(r.OnSegment(11, original, false, &out), 0u);
+  // A conflicting retransmission of the same range: different bytes.
+  EXPECT_EQ(r.OnSegment(11, Seq(200, 10), false, &out), 0u);
+  EXPECT_EQ(r.stats().overlap_conflicts, 1u);
+  // Fill the gap: the *first* arrival's bytes come out.
+  r.OnSegment(1, Seq(0, 10), false, &out);
+  util::Bytes expected = Seq(0, 10);
+  expected.insert(expected.end(), original.begin(), original.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ReassmTest, AgreeingOverlapIsNotAConflict) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  r.OnSegment(11, Seq(10, 10), false, &out);
+  r.OnSegment(11, Seq(10, 10), false, &out);  // Identical bytes.
+  EXPECT_EQ(r.stats().overlap_conflicts, 0u);
+  // A partial overlap extending the buffered range buffers only the tail.
+  r.OnSegment(16, Seq(15, 10), false, &out);
+  EXPECT_EQ(r.buffered_bytes(), 15u);
+  r.OnSegment(1, Seq(0, 10), false, &out);
+  EXPECT_EQ(out, Seq(0, 25));
+}
+
+TEST(ReassmTest, OutOfWindowSegmentIsIgnored) {
+  ReassemblerConfig cfg;
+  cfg.max_buffered_bytes = 1024;
+  StreamReassembler r(cfg);
+  r.OnSyn(0);
+  util::Bytes out;
+  // Ends beyond frontier + 2*max_buffered: refused, not buffered, not fatal.
+  EXPECT_EQ(r.OnSegment(5000, Seq(0, 100), false, &out), 0u);
+  EXPECT_EQ(r.stats().out_of_window, 1u);
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+  EXPECT_FALSE(r.failed());
+  // The stream still works.
+  EXPECT_EQ(r.OnSegment(1, Seq(0, 10), false, &out), 10u);
+}
+
+TEST(ReassmTest, BufferOverflowFailsOpen) {
+  ReassemblerConfig cfg;
+  cfg.max_buffered_bytes = 64;
+  StreamReassembler r(cfg);
+  r.OnSyn(0);
+  util::Bytes out;
+  // Two 40-byte out-of-order segments exceed the 64-byte bound.
+  EXPECT_EQ(r.OnSegment(11, Seq(0, 40), false, &out), 0u);
+  EXPECT_FALSE(r.failed());
+  r.OnSegment(61, Seq(0, 40), false, &out);
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.buffered_bytes(), 0u);  // Evicted, not retained.
+  EXPECT_EQ(r.stats().buffered_evictions, 1u);
+  // Failed streams deliver nothing more.
+  EXPECT_EQ(r.OnSegment(1, Seq(0, 10), false, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ReassmTest, FinFinishesOnceEveryByteDelivered) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  // FIN arrives with the out-of-order tail: not finished while the hole is
+  // open.
+  r.OnSegment(11, Seq(10, 10), true, &out);
+  EXPECT_FALSE(r.finished());
+  r.OnSegment(1, Seq(0, 10), false, &out);
+  EXPECT_TRUE(r.finished());
+  EXPECT_EQ(out, Seq(0, 20));
+}
+
+TEST(ReassmTest, BareFinFinishesImmediately) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  r.OnSegment(1, Seq(0, 10), false, &out);
+  r.OnSegment(11, {}, true, &out);
+  EXPECT_TRUE(r.finished());
+}
+
+TEST(ReassmTest, MovedFinFailsOpen) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  r.OnSegment(11, {}, true, &out);
+  r.OnSegment(21, {}, true, &out);  // FIN at a different sequence number.
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(ReassmTest, RstTearsDown) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  r.OnSegment(11, Seq(0, 10), false, &out);
+  r.OnRst();
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+}
+
+TEST(ReassmTest, SequenceSpaceWrap) {
+  StreamReassembler r;
+  const uint32_t isn = 0xFFFFFFF0u;
+  r.OnSyn(isn);
+  util::Bytes out;
+  // 32 bytes crossing the 2^32 boundary, second half first.
+  EXPECT_EQ(r.OnSegment(isn + 17, Seq(16, 16), false, &out), 0u);
+  EXPECT_EQ(r.OnSegment(isn + 1, Seq(0, 16), false, &out), 32u);
+  EXPECT_EQ(out, Seq(0, 32));
+  EXPECT_EQ(r.frontier(), isn + 33);  // Wrapped.
+}
+
+TEST(ReassmTest, RestoreFrontierDropsPendingBuffers) {
+  StreamReassembler r;
+  r.OnSyn(0);
+  util::Bytes out;
+  r.OnSegment(11, Seq(10, 10), false, &out);
+  EXPECT_EQ(r.buffered_bytes(), 10u);
+  r.RestoreFrontier(1);
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+  EXPECT_EQ(r.frontier(), 1u);
+  // The sender's retransmission from the frontier rebuilds the stream.
+  EXPECT_EQ(r.OnSegment(1, Seq(0, 20), false, &out), 20u);
+}
+
+}  // namespace
+}  // namespace comma::reassembly

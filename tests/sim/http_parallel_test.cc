@@ -1,0 +1,88 @@
+// Worker-count invariance for the application-layer service tier: the full
+// HTTP workload — pipelined mixed-content requests through launcher + ttsf +
+// hrewrite + htype over a lossy wireless hop — re-run partitioned at 1, 2,
+// 4, and 8 workers, with every witness (response bodies, http/tcp metric
+// snapshots, event counts) byte-identical to the serial reference. Content
+// rewriting happens at the gateway between the regions, so this pins the
+// reassembler/TTSF protocol under epoch-parallel execution. The suite name
+// starts with Http so the http CI job selects it (ctest -R '^Http|...').
+#include <gtest/gtest.h>
+
+#include "src/apps/bulk.h"
+#include "src/apps/http.h"
+#include "src/core/comma_system.h"
+#include "src/sim/witness.h"
+#include "src/util/strings.h"
+#include "tests/sim/determinism_harness.h"
+
+namespace comma {
+namespace {
+
+std::string PartitionedHttpRun(uint64_t seed, int workers) {
+  core::CommaSystemConfig cfg;
+  cfg.scenario.seed = seed;
+  cfg.scenario.wireless.loss_probability = 0.02;
+  cfg.scenario.partition_regions = true;
+  cfg.scenario.sim.num_workers = workers;
+  cfg.start_command_server = false;
+  cfg.start_eem = false;
+  core::CommaSystem system(cfg);
+  sim::Simulator& sim = system.sim();
+
+  std::string error;
+  proxy::StreamKey wildcard{net::Ipv4Address(), 0, system.scenario().wired_addr(), 80};
+  EXPECT_TRUE(system.sp().AddService("launcher", wildcard,
+                                     {"tcp", "ttsf", "hrewrite", "htype:1"}, &error))
+      << error;
+
+  std::unique_ptr<apps::HttpServer> server;
+  {
+    sim::ScopedRegion in_wired(&sim, system.scenario().wired_region());
+    server = std::make_unique<apps::HttpServer>(&system.scenario().wired_host(), 80);
+  }
+  const std::vector<apps::HttpRequestSpec> requests = {
+      {"GET", "/text/12000", {}},  {"GET", "/media/3/20/400", {}},
+      {"GET", "/image/8000", {}},  {"POST", "/upload", apps::PatternPayload(1200)},
+      {"GET", "/text/6000", {}},
+  };
+  std::unique_ptr<apps::HttpClient> client;
+  {
+    sim::ScopedRegion in_wireless(&sim, system.scenario().wireless_region());
+    client = std::make_unique<apps::HttpClient>(&system.scenario().mobile_host(),
+                                                system.scenario().wired_addr(), 80, requests);
+  }
+
+  sim.RunFor(120 * sim::kSecond);
+  EXPECT_TRUE(client->finished()) << "seed " << seed << " workers " << workers;
+  EXPECT_FALSE(client->failed()) << "seed " << seed << " workers " << workers;
+
+  std::string bodies;
+  std::string witness =
+      util::Format("responses=%zu useful=%llu failed=%d served=%llu\n",
+                   client->responses_received(),
+                   static_cast<unsigned long long>(client->useful_bytes()),
+                   client->failed() ? 1 : 0,
+                   static_cast<unsigned long long>(server->requests_served()));
+  for (const auto& resp : client->responses()) {
+    bodies += util::ToString(resp.body);
+  }
+  witness += util::Format("bodies bytes=%zu hash=%016llx\n", bodies.size(),
+                          static_cast<unsigned long long>(sim::WitnessHash(bodies)));
+  witness += testing::FilterWallClockMetrics(system.sp().metrics().RenderText("http"));
+  witness += testing::FilterWallClockMetrics(system.sp().metrics().RenderText("tcp"));
+  witness += util::Format("events=%llu epochs=%llu\n",
+                          static_cast<unsigned long long>(sim.EventsRun()),
+                          static_cast<unsigned long long>(sim.epochs()));
+  return witness;
+}
+
+TEST(HttpParallelTest, WitnessIsWorkerCountInvariant) {
+  for (const uint64_t seed : {5u, 21u}) {
+    testing::ExpectDeterministicAcrossWorkerCounts(
+        "http seed " + std::to_string(seed),
+        [seed](int workers) { return PartitionedHttpRun(seed, workers); });
+  }
+}
+
+}  // namespace
+}  // namespace comma

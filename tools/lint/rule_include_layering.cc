@@ -4,6 +4,8 @@
 //   sim, util                         deterministic core, no deps
 //   net                               packets/links; obs only via counter.h
 //   tcp, udp                          endpoint stacks
+//   reassembly                        stream/message codecs; tcp only via
+//                                     seq.h (sequence arithmetic)
 //   obs                               metric registry (+ the EEM bridge)
 //   core(host)                        Host/ping — the *restricted* slice of
 //                                     src/core mid modules may touch
@@ -34,7 +36,7 @@ struct AllowedEdge {
   std::string_view to;
   // When non-empty, only these headers of `to` may be included (filename
   // component only, e.g. "host.h").
-  std::array<std::string_view, 2> headers{};
+  std::array<std::string_view, 3> headers{};
 };
 
 // Every permitted cross-module edge. Self-includes are always allowed, and
@@ -56,6 +58,10 @@ constexpr AllowedEdge kAllowedEdges[] = {
     {"tcp", "net"},
     {"tcp", "sim"},
     {"tcp", "util"},
+    // The reassembly codecs are pure byte-stream/message logic: no packets,
+    // no sim. Sequence-space arithmetic is the one sanctioned tcp import.
+    {"reassembly", "util"},
+    {"reassembly", "tcp", {"seq.h"}},
     {"obs", "sim"},
     {"obs", "util"},
     // The EEM bridge is the designated obs->monitor adapter.
@@ -78,6 +84,9 @@ constexpr AllowedEdge kAllowedEdges[] = {
     {"filters", "obs"},
     {"filters", "monitor"},
     {"filters", "proxy"},
+    // The content-aware family (hrewrite/htype/dnscache) recovers streams
+    // and messages through the reassembly codecs.
+    {"filters", "reassembly", {"stream_reassembler.h", "http_parser.h", "dns_codec.h"}},
     {"kati", "sim"},
     {"kati", "util"},
     {"kati", "net"},
@@ -95,6 +104,10 @@ constexpr AllowedEdge kAllowedEdges[] = {
     {"apps", "util"},
     {"apps", "net"},
     {"apps", "filters"},
+    // The HTTP/DNS workload apps speak the same message codecs the filters
+    // rewrite — message parsing, not the reassembler (the endpoint TCP stack
+    // already delivers ordered bytes).
+    {"apps", "reassembly", {"http_parser.h", "dns_codec.h"}},
     {"apps", "core", {"host.h", "ping.h"}},
     {"baselines", "sim"},
     {"baselines", "util"},

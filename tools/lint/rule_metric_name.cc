@@ -4,7 +4,7 @@
 // bench snapshot tooling all key on it. Names must stay inside the
 // namespace the bridge advertises:
 //
-//   ^(sp|ttsf|tcp|eem|trace|mip|sim)\.[a-z0-9_.]+$
+//   ^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns)\.[a-z0-9_.]+$
 //
 // "mip" joined the namespace with the failover work: Mobile IP client and
 // hand-off counters are exported through the standby proxy's registry
@@ -13,6 +13,10 @@
 // (sim.epochs, sim.cross_region_events, sim.barrier_wait_us,
 // sim.critical_path_events; docs/parallel-sim.md) is bridged like any
 // other counter so Kati and the bench snapshots can watch it.
+// "http" and "dns" joined with the application-layer service tier: the
+// content-aware filter family's fail-open/transcode counters and the
+// dnscache hit rates (docs/app-services.md) drive the examples/http_adapt
+// Kati policy and the bench_http snapshots.
 //
 // Only string *literals* are checked; computed names (the per-filter
 // "sp.filter.<name>." telemetry prefix) are validated at runtime by the
@@ -32,8 +36,8 @@ constexpr std::array<std::string_view, 5> kRegistrationMethods = {
     "GetCounter", "GetGauge", "GetHistogram", "RegisterCounterSource", "RegisterGaugeSource",
 };
 
-constexpr std::array<std::string_view, 7> kAllowedPrefixes = {"sp",  "ttsf",  "tcp", "eem",
-                                                              "trace", "mip", "sim"};
+constexpr std::array<std::string_view, 9> kAllowedPrefixes = {
+    "sp", "ttsf", "tcp", "eem", "trace", "mip", "sim", "http", "dns"};
 
 bool IsRegistrationMethod(const Token& t) {
   if (t.kind != TokenKind::kIdentifier) {
@@ -47,8 +51,8 @@ bool IsRegistrationMethod(const Token& t) {
   return false;
 }
 
-// Hand-rolled match of ^(sp|ttsf|tcp|eem|trace|mip|sim)\.[a-z0-9_.]+$ — exact
-// regex semantics, no <regex> dependency.
+// Hand-rolled match of ^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns)\.[a-z0-9_.]+$
+// — exact regex semantics, no <regex> dependency.
 bool NameMatches(const std::string& name) {
   size_t dot = name.find('.');
   if (dot == std::string::npos || dot + 1 >= name.size()) {
@@ -79,7 +83,8 @@ class MetricNameStyleRule : public Rule {
  public:
   std::string_view name() const override { return "metric-name-style"; }
   std::string_view description() const override {
-    return "MetricRegistry names must match ^(sp|ttsf|tcp|eem|trace|mip|sim)\\.[a-z0-9_.]+$";
+    return "MetricRegistry names must match "
+           "^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns)\\.[a-z0-9_.]+$";
   }
 
   void Check(const Project& project, Diagnostics* out) const override {
@@ -102,8 +107,8 @@ class MetricNameStyleRule : public Rule {
         d.col = arg.col;
         d.rule = "metric-name-style";
         d.message = "metric name \"" + arg.text + "\" is outside the EEM-bridged namespace " +
-                    "^(sp|ttsf|tcp|eem|trace|mip|sim).[a-z0-9_.]+$ and would be unwatchable "
-                    "from Kati";
+                    "^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns).[a-z0-9_.]+$ and would be "
+                    "unwatchable from Kati";
         if (!f.IsSuppressed(d.rule, d.line)) {
           out->push_back(std::move(d));
         }

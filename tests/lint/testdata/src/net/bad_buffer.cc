@@ -1,0 +1,43 @@
+// buffer-lifetime fixtures. Never compiled; scanned by tests/lint.
+//
+// payload() hands out a reference into the packet's own storage; these
+// functions keep pointers into it across the three points where the
+// storage can move (set_payload, std::move to the requeue path, a field).
+
+namespace fixture {
+
+class PayloadStash {
+ public:
+  void Capture(net::Packet& pkt);
+
+ private:
+  const uint8_t* tail_ = nullptr;
+};
+
+// Field retention: tail_ outlives the call; the packet's buffer does not.
+void PayloadStash::Capture(net::Packet& pkt) {
+  tail_ = pkt.payload().data();
+}
+
+// Use after set_payload(): `head` points into the replaced buffer.
+uint8_t FirstByteAfterSwap(net::Packet& pkt) {
+  const uint8_t* head = pkt.payload().data();
+  pkt.set_payload(util::Bytes());
+  return head[0];
+}
+
+// Use after the packet is std::move()d to the requeue path.
+void Requeue(net::PacketPtr pkt, Queue* queue) {
+  const uint8_t* head = pkt->payload().data();
+  queue->Push(std::move(pkt));
+  Log(head);
+}
+
+// Clean: the alias belongs to `keep`; only `toss` is invalidated.
+void Splice(net::Packet& keep, net::Packet& toss) {
+  const uint8_t* left = keep.payload().data();
+  toss.set_payload(util::Bytes());
+  Log(left);
+}
+
+}  // namespace fixture

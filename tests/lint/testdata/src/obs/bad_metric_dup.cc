@@ -1,0 +1,25 @@
+// metric-consistency fixtures. Never compiled; scanned by tests/lint.
+//
+// Every name here is inside the EEM-bridged namespace (metric-name-style
+// stays quiet); the bugs are cross-site: one name under two families, a
+// replaced source registration, and a watch example naming a metric no
+// registration site interns.
+
+namespace fixture {
+
+void BindPrimary(Registry* registry) {
+  registry->GetCounter("sp.proxy.rebinds");
+  registry->RegisterGaugeSource("sp.proxy.queue_depth", [] { return 0.0; });
+}
+
+void BindSecondary(Registry* registry) {
+  // Same name, different family: the registry interns per family.
+  registry->GetGauge("sp.proxy.rebinds");
+  // Second source site: source registrations replace, so this one wins.
+  registry->RegisterGaugeSource("sp.proxy.queue_depth", [] { return 1.0; });
+}
+
+// The runbook hint points at a metric nothing registers.
+const char* kWatchHint = "watch sp.proxy.ghost_metric 5s";
+
+}  // namespace fixture

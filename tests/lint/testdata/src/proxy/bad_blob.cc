@@ -1,0 +1,111 @@
+// checkpoint-blob-symmetry fixtures. Never compiled; scanned by tests/lint.
+//
+// Each Skew* class breaks the Export/ImportState contract one way;
+// Mirrored is the clean control whose import replays the export exactly.
+
+namespace fixture {
+
+// Clean: header, count, then a depth-1 loop of (u16, string) on both sides.
+bool Mirrored::ExportState(util::ByteWriter* w) const {
+  proxy::WriteStateHeader(w, kMirroredMagic, kMirroredVersion);
+  w->WriteU32(static_cast<uint32_t>(rows_.size()));
+  for (const Row& row : rows_) {
+    w->WriteU16(row.id);
+    w->WriteString(row.name);
+  }
+  return true;
+}
+
+bool Mirrored::ImportState(util::ByteReader* r) {
+  if (!proxy::ReadStateHeader(r, kMirroredMagic, kMirroredVersion)) return false;
+  const uint32_t n = r->ReadU32();
+  for (uint32_t i = 0; i < n; ++i) {
+    Row row;
+    row.id = r->ReadU16();
+    row.name = r->ReadString();
+    rows_.push_back(row);
+  }
+  return true;
+}
+
+// Width desync: the export writes the port as u16, the import reads u32.
+bool SkewWidth::ExportState(util::ByteWriter* w) const {
+  proxy::WriteStateHeader(w, kSkewWidthMagic, kSkewWidthVersion);
+  w->WriteU16(port_);
+  w->WriteU64(bytes_seen_);
+  return true;
+}
+
+bool SkewWidth::ImportState(util::ByteReader* r) {
+  if (!proxy::ReadStateHeader(r, kSkewWidthMagic, kSkewWidthVersion)) return false;
+  port_ = r->ReadU32();
+  bytes_seen_ = r->ReadU64();
+  return true;
+}
+
+// Magic mismatch: the two halves name different tag constants.
+bool SkewMagic::ExportState(util::ByteWriter* w) const {
+  proxy::WriteStateHeader(w, kSkewMagicNew, kSkewMagicVersion);
+  w->WriteU8(mode_);
+  return true;
+}
+
+bool SkewMagic::ImportState(util::ByteReader* r) {
+  if (!proxy::ReadStateHeader(r, kSkewMagicOld, kSkewMagicVersion)) return false;
+  mode_ = r->ReadU8();
+  return true;
+}
+
+// Version skew: the import checks a version constant the export never wrote.
+bool SkewVersion::ExportState(util::ByteWriter* w) const {
+  proxy::WriteStateHeader(w, kSkewVerMagic, kSkewVerV2Version);
+  w->WriteU8(flags_);
+  return true;
+}
+
+bool SkewVersion::ImportState(util::ByteReader* r) {
+  if (!proxy::ReadStateHeader(r, kSkewVerMagic, kSkewVerV1Version)) return false;
+  flags_ = r->ReadU8();
+  return true;
+}
+
+// Loop-depth skew: the export writes every key inside the loop; the import
+// reads exactly one key outside any loop.
+bool SkewLoop::ExportState(util::ByteWriter* w) const {
+  proxy::WriteStateHeader(w, kSkewLoopMagic, kSkewLoopVersion);
+  w->WriteU32(static_cast<uint32_t>(keys_.size()));
+  for (uint64_t key : keys_) {
+    w->WriteU64(key);
+  }
+  return true;
+}
+
+bool SkewLoop::ImportState(util::ByteReader* r) {
+  if (!proxy::ReadStateHeader(r, kSkewLoopMagic, kSkewLoopVersion)) return false;
+  const uint32_t n = r->ReadU32();
+  keys_.push_back(r->ReadU64());
+  return true;
+}
+
+// Truncated import: the restore stops before the drop counter.
+bool SkewTail::ExportState(util::ByteWriter* w) const {
+  proxy::WriteStateHeader(w, kSkewTailMagic, kSkewTailVersion);
+  w->WriteU32(acked_);
+  w->WriteU32(dropped_);
+  return true;
+}
+
+bool SkewTail::ImportState(util::ByteReader* r) {
+  if (!proxy::ReadStateHeader(r, kSkewTailMagic, kSkewTailVersion)) return false;
+  acked_ = r->ReadU32();
+  return true;
+}
+
+// Lone half: a blob nobody can ever restore.
+bool Orphan::ExportState(util::ByteWriter* w) const {
+  proxy::WriteStateHeader(w, kOrphanMagic, kOrphanVersion);
+  w->WriteU64(epoch_);
+  return true;
+}
+
+}  // namespace fixture

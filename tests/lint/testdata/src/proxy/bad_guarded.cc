@@ -1,0 +1,55 @@
+// guarded-field-flow fixtures. Never compiled; scanned by tests/lint.
+//
+// Ledger's fields carry COMMA_GUARDED_BY(ledger_mu_); the rule's CFG
+// must-analysis should accept Post (guard covers the access) and flag the
+// three accesses where some path reaches the field without the lock.
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void Post(uint64_t amount);
+  void Flush(bool fast);
+  void Reset();
+  uint64_t Total();
+
+ private:
+  std::mutex ledger_mu_;
+  uint64_t posted_ COMMA_GUARDED_BY(ledger_mu_) = 0;
+  uint64_t flushed_ COMMA_GUARDED_BY(ledger_mu_) = 0;
+};
+
+// Clean: the RAII guard is live at the access.
+void Ledger::Post(uint64_t amount) {
+  std::lock_guard<std::mutex> lk(ledger_mu_);
+  posted_ += amount;
+}
+
+// Path-sensitive: the lock is only taken when `fast` is false, so the
+// access is unguarded on the fast path. Lexical matching cannot see this.
+void Ledger::Flush(bool fast) {
+  if (!fast) {
+    ledger_mu_.lock();
+  }
+  flushed_ += 1;
+  if (!fast) {
+    ledger_mu_.unlock();
+  }
+}
+
+// Scope-sensitive: the guard dies at the inner closing brace, so the
+// second store runs unlocked.
+void Ledger::Reset() {
+  {
+    std::lock_guard<std::mutex> lk(ledger_mu_);
+    posted_ = 0;
+  }
+  flushed_ = 0;
+}
+
+// Plain unguarded read.
+uint64_t Ledger::Total() {
+  return posted_;
+}
+
+}  // namespace fixture

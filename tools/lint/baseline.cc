@@ -51,9 +51,32 @@ bool Baseline::Load(const std::string& path, std::string* error) {
       }
       return false;
     }
+    ++loaded_[line];
     ++remaining_[line];
   }
   return true;
+}
+
+int Baseline::StaleCount() const {
+  int stale = 0;
+  for (const auto& [entry, count] : remaining_) {
+    stale += count;
+  }
+  return stale;
+}
+
+std::string Baseline::RenderPruned() const {
+  std::ostringstream out;
+  out << Header();
+  // loaded_ is sorted, matching Render()'s sorted output.
+  for (const auto& [entry, count] : loaded_) {
+    const auto rem = remaining_.find(entry);
+    const int consumed = count - (rem == remaining_.end() ? 0 : rem->second);
+    for (int i = 0; i < consumed; ++i) {
+      out << entry << "\n";
+    }
+  }
+  return out.str();
 }
 
 bool Baseline::Absorb(const Diagnostic& d, const std::string& line_text) {
@@ -65,11 +88,15 @@ bool Baseline::Absorb(const Diagnostic& d, const std::string& line_text) {
   return true;
 }
 
+std::string Baseline::Header() {
+  return "# comma-lint baseline — grandfathered findings (docs/static-analysis.md).\n"
+         "# One entry per line: <rule>|<path>|<normalized source line>.\n"
+         "# Regenerate with: comma-lint --write-baseline\n";
+}
+
 std::string Baseline::Render(const Diagnostics& findings, const Project& project) {
   std::ostringstream out;
-  out << "# comma-lint baseline — grandfathered findings (docs/static-analysis.md).\n"
-      << "# One entry per line: <rule>|<path>|<normalized source line>.\n"
-      << "# Regenerate with: comma-lint --write-baseline\n";
+  out << Header();
   std::vector<std::string> entries;
   for (const Diagnostic& d : findings) {
     const LintFile* file = nullptr;

@@ -31,6 +31,16 @@ class Baseline {
   // `line_text` is the source line the diagnostic points at.
   bool Absorb(const Diagnostic& d, const std::string& line_text);
 
+  // Entries loaded but not consumed by any Absorb() call — findings that
+  // were fixed (or moved) since the baseline was written. Reported every
+  // run so the baseline's drift is visible; --prune-baseline rewrites the
+  // file without them.
+  int StaleCount() const;
+
+  // Renders the loaded entries minus the stale ones (i.e. only entries some
+  // finding actually consumed), for --prune-baseline.
+  std::string RenderPruned() const;
+
   // Renders entries for the given findings, ready to write back with
   // --write-baseline. `project` supplies the source lines.
   static std::string Render(const Diagnostics& findings, const Project& project);
@@ -39,8 +49,10 @@ class Baseline {
   static std::string Normalize(const std::string& line);
   static std::string Key(const std::string& rule, const std::string& file,
                          const std::string& normalized_line);
+  static std::string Header();
 
-  std::map<std::string, int> remaining_;
+  std::map<std::string, int> loaded_;     // Entry -> count as read from disk.
+  std::map<std::string, int> remaining_;  // Decremented by Absorb().
 };
 
 }  // namespace comma::lint

@@ -1,0 +1,344 @@
+#include "tools/lint/cfg/cfg.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(const Tokens& toks) : toks_(toks) {}
+
+  Cfg Run(size_t body_open, size_t body_close) {
+    cur_ = NewBlock();
+    cfg_.entry = cur_;
+    ParseSeq(body_open + 1, body_close);
+    return std::move(cfg_);
+  }
+
+ private:
+  struct LoopCtx {
+    size_t continue_target = kNpos;  // kNpos inside switch: continue belongs
+                                     // to the enclosing loop (approximated
+                                     // as falling out of the block).
+    std::vector<size_t> break_sources;
+  };
+
+  size_t NewBlock() {
+    cfg_.blocks.emplace_back();
+    return cfg_.blocks.size() - 1;
+  }
+
+  void Edge(size_t from, size_t to) { cfg_.blocks[from].succs.push_back(to); }
+
+  void Append(CfgStmt::Kind kind, size_t begin, size_t end) {
+    cfg_.blocks[cur_].stmts.push_back({kind, begin, end});
+  }
+
+  // Index of the ';' ending the statement starting at `i`, skipping nested
+  // parens and braces (lambdas, braced init). Returns limit-1 when the
+  // statement runs to the end of the enclosing range.
+  size_t StmtSemi(size_t i, size_t limit) const {
+    for (size_t j = i; j < limit; ++j) {
+      if (toks_[j].IsPunct("(")) {
+        const size_t c = MatchingParen(toks_, j);
+        if (c == kNpos || c >= limit) {
+          return limit - 1;
+        }
+        j = c;
+      } else if (toks_[j].IsPunct("{")) {
+        const size_t c = MatchingBrace(toks_, j);
+        if (c == kNpos || c >= limit) {
+          return limit - 1;
+        }
+        j = c;
+      } else if (toks_[j].IsPunct(";")) {
+        return j;
+      }
+    }
+    return limit - 1;
+  }
+
+  void ParseSeq(size_t i, size_t limit) {
+    while (i < limit) {
+      i = ParseStmt(i, limit);
+    }
+  }
+
+  // Parses one statement starting at `i`; returns the index just past it.
+  size_t ParseStmt(size_t i, size_t limit) {
+    if (i >= limit) {
+      return limit;
+    }
+    const Token& t = toks_[i];
+
+    if (t.IsPunct("{")) {
+      const size_t close = MatchingBrace(toks_, i);
+      const size_t end = (close == kNpos || close > limit) ? limit : close;
+      ParseSeq(i + 1, end);
+      Append(CfgStmt::Kind::kScopeExit, i, end);
+      return end + 1;
+    }
+    if (t.IsPunct(";")) {
+      return i + 1;  // Empty statement.
+    }
+    if (t.IsIdent("case") || t.IsIdent("default")) {
+      // Labels carry no effects; skip to the ':'.
+      for (size_t j = i; j < limit; ++j) {
+        if (toks_[j].IsPunct(":")) {
+          return j + 1;
+        }
+      }
+      return limit;
+    }
+    if (t.IsIdent("if")) {
+      return ParseIf(i, limit);
+    }
+    if (t.IsIdent("while")) {
+      return ParseWhile(i, limit);
+    }
+    if (t.IsIdent("for")) {
+      return ParseFor(i, limit);
+    }
+    if (t.IsIdent("do")) {
+      return ParseDo(i, limit);
+    }
+    if (t.IsIdent("switch")) {
+      return ParseSwitch(i, limit);
+    }
+    if (t.IsIdent("return") || t.IsIdent("throw")) {
+      const size_t semi = StmtSemi(i, limit);
+      Append(CfgStmt::Kind::kNormal, i, semi);
+      cur_ = NewBlock();  // Unreachable continuation (TOP in dataflow).
+      return semi + 1;
+    }
+    if (t.IsIdent("break") || t.IsIdent("continue")) {
+      Append(CfgStmt::Kind::kNormal, i, i);
+      if (!loops_.empty()) {
+        if (t.IsIdent("break")) {
+          loops_.back().break_sources.push_back(cur_);
+        } else if (loops_.back().continue_target != kNpos) {
+          Edge(cur_, loops_.back().continue_target);
+        }
+      }
+      cur_ = NewBlock();
+      const size_t semi = StmtSemi(i, limit);
+      return semi + 1;
+    }
+    const size_t semi = StmtSemi(i, limit);
+    Append(CfgStmt::Kind::kNormal, i, semi);
+    return semi + 1;
+  }
+
+  // `cond_open` must be the '(' after the keyword at `i`; returns the
+  // matching ')' clamped to the range, or kNpos.
+  size_t CondClose(size_t i, size_t limit) const {
+    if (i + 1 >= limit || !toks_[i + 1].IsPunct("(")) {
+      return kNpos;
+    }
+    const size_t close = MatchingParen(toks_, i + 1);
+    return (close == kNpos || close >= limit) ? kNpos : close;
+  }
+
+  size_t ParseIf(size_t i, size_t limit) {
+    const size_t close = CondClose(i, limit);
+    if (close == kNpos) {
+      const size_t semi = StmtSemi(i, limit);
+      Append(CfgStmt::Kind::kNormal, i, semi);
+      return semi + 1;
+    }
+    Append(CfgStmt::Kind::kNormal, i, close);
+    const size_t cond_block = cur_;
+
+    const size_t then_entry = NewBlock();
+    Edge(cond_block, then_entry);
+    cur_ = then_entry;
+    size_t next = ParseStmt(close + 1, limit);
+    const size_t then_exit = cur_;
+
+    if (next < limit && toks_[next].IsIdent("else")) {
+      const size_t else_entry = NewBlock();
+      Edge(cond_block, else_entry);
+      cur_ = else_entry;
+      next = ParseStmt(next + 1, limit);
+      const size_t else_exit = cur_;
+      const size_t merge = NewBlock();
+      Edge(then_exit, merge);
+      Edge(else_exit, merge);
+      cur_ = merge;
+      return next;
+    }
+    const size_t merge = NewBlock();
+    Edge(then_exit, merge);
+    Edge(cond_block, merge);
+    cur_ = merge;
+    return next;
+  }
+
+  size_t ParseWhile(size_t i, size_t limit) {
+    const size_t close = CondClose(i, limit);
+    if (close == kNpos) {
+      const size_t semi = StmtSemi(i, limit);
+      Append(CfgStmt::Kind::kNormal, i, semi);
+      return semi + 1;
+    }
+    const size_t header = NewBlock();
+    Edge(cur_, header);
+    cur_ = header;
+    Append(CfgStmt::Kind::kNormal, i, close);
+
+    loops_.push_back({header, {}});
+    const size_t body_entry = NewBlock();
+    Edge(header, body_entry);
+    cur_ = body_entry;
+    const size_t next = ParseStmt(close + 1, limit);
+    Edge(cur_, header);
+    const LoopCtx ctx = loops_.back();
+    loops_.pop_back();
+
+    const size_t after = NewBlock();
+    Edge(header, after);
+    for (size_t b : ctx.break_sources) {
+      Edge(b, after);
+    }
+    cur_ = after;
+    return next;
+  }
+
+  size_t ParseFor(size_t i, size_t limit) {
+    // The whole `for (init; cond; inc)` head is one header statement; the
+    // must-analysis re-applies init/inc each trip, which only shrinks facts.
+    return ParseWhile(i, limit);
+  }
+
+  size_t ParseDo(size_t i, size_t limit) {
+    const size_t body_entry = NewBlock();
+    Edge(cur_, body_entry);
+    const size_t cond_block = NewBlock();
+    loops_.push_back({cond_block, {}});
+    cur_ = body_entry;
+    size_t next = ParseStmt(i + 1, limit);
+    Edge(cur_, cond_block);
+    const LoopCtx ctx = loops_.back();
+    loops_.pop_back();
+
+    cur_ = cond_block;
+    // `while (cond) ;`
+    if (next < limit && toks_[next].IsIdent("while")) {
+      const size_t close = CondClose(next, limit);
+      const size_t semi = close == kNpos ? StmtSemi(next, limit) : StmtSemi(close, limit);
+      Append(CfgStmt::Kind::kNormal, next, close == kNpos ? semi : close);
+      next = semi + 1;
+    }
+    Edge(cond_block, body_entry);
+    const size_t after = NewBlock();
+    Edge(cond_block, after);
+    for (size_t b : ctx.break_sources) {
+      Edge(b, after);
+    }
+    cur_ = after;
+    return next;
+  }
+
+  size_t ParseSwitch(size_t i, size_t limit) {
+    const size_t close = CondClose(i, limit);
+    if (close == kNpos || close + 1 >= limit || !toks_[close + 1].IsPunct("{")) {
+      const size_t semi = StmtSemi(i, limit);
+      Append(CfgStmt::Kind::kNormal, i, semi);
+      return semi + 1;
+    }
+    Append(CfgStmt::Kind::kNormal, i, close);
+    const size_t header = cur_;
+    const size_t body_open = close + 1;
+    size_t body_close = MatchingBrace(toks_, body_open);
+    if (body_close == kNpos || body_close > limit) {
+      body_close = limit;
+    }
+    // The body is approximated as one optional alternative; `break` exits.
+    loops_.push_back({kNpos, {}});
+    const size_t body_entry = NewBlock();
+    Edge(header, body_entry);
+    cur_ = body_entry;
+    ParseSeq(body_open + 1, body_close);
+    Append(CfgStmt::Kind::kScopeExit, body_open, body_close);
+    const LoopCtx ctx = loops_.back();
+    loops_.pop_back();
+
+    const size_t after = NewBlock();
+    Edge(cur_, after);
+    Edge(header, after);
+    for (size_t b : ctx.break_sources) {
+      Edge(b, after);
+    }
+    cur_ = after;
+    return body_close + 1;
+  }
+
+  const Tokens& toks_;
+  Cfg cfg_;
+  size_t cur_ = 0;
+  std::vector<LoopCtx> loops_;
+};
+
+FactSet Intersect(const FactSet& a, const FactSet& b) {
+  FactSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+}  // namespace
+
+Cfg BuildCfg(const Tokens& toks, size_t body_open, size_t body_close) {
+  return Builder(toks).Run(body_open, body_close);
+}
+
+StmtFacts RunMustDataflow(const Cfg& cfg, const FactSet& entry_facts,
+                          const std::function<void(const CfgStmt&, FactSet*)>& transfer) {
+  std::vector<std::optional<FactSet>> in(cfg.blocks.size());
+  in[cfg.entry] = entry_facts;
+  std::deque<size_t> worklist = {cfg.entry};
+  std::vector<bool> queued(cfg.blocks.size(), false);
+  queued[cfg.entry] = true;
+  // Each iteration transfers one block and narrows its successors; facts
+  // only shrink, so the fixpoint is reached in O(blocks * facts) rounds.
+  while (!worklist.empty()) {
+    const size_t b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+    FactSet facts = *in[b];
+    for (const CfgStmt& s : cfg.blocks[b].stmts) {
+      transfer(s, &facts);
+    }
+    for (size_t succ : cfg.blocks[b].succs) {
+      std::optional<FactSet> merged =
+          in[succ].has_value() ? Intersect(*in[succ], facts) : facts;
+      if (in[succ] != merged) {
+        in[succ] = std::move(merged);
+        if (!queued[succ]) {
+          worklist.push_back(succ);
+          queued[succ] = true;
+        }
+      }
+    }
+  }
+  // Final per-statement facts from the converged block-entry sets.
+  StmtFacts out(cfg.blocks.size());
+  for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+    out[b].resize(cfg.blocks[b].stmts.size());
+    if (!in[b].has_value()) {
+      continue;  // Unreachable: every entry stays TOP (nullopt).
+    }
+    FactSet facts = *in[b];
+    for (size_t s = 0; s < cfg.blocks[b].stmts.size(); ++s) {
+      out[b][s] = facts;
+      transfer(cfg.blocks[b].stmts[s], &facts);
+    }
+  }
+  return out;
+}
+
+}  // namespace comma::lint

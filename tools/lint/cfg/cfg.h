@@ -1,0 +1,69 @@
+// Pass 2 of the two-pass analyzer: a lightweight per-function control-flow
+// graph built straight from the token stream.
+//
+// The flow-sensitive rules (guarded-field-flow today; the buffer-lifetime
+// slab-pool guard rail as ROADMAP item 1 lands) need more than lexical
+// scanning: `if (x) mu_.lock(); field_ = 1;` holds the lock on one path
+// only, which no scope walk can see. The CFG stays deliberately small —
+// statement-granularity basic blocks with edges for if/else, the three
+// loops, switch, return/throw, break/continue — because the analyses over
+// it are must-analyses with intersection joins: approximating an unknown
+// construct as a branch both ways is safe (facts only shrink).
+//
+// Scope exits are materialized as synthetic kScopeExit statements spanning
+// the compound's braces, so RAII facts (lock_guard lifetimes) can be killed
+// exactly where the destructor runs without the CFG knowing about locks.
+#ifndef COMMA_TOOLS_LINT_CFG_CFG_H_
+#define COMMA_TOOLS_LINT_CFG_CFG_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/token.h"
+
+namespace comma::lint {
+
+struct CfgStmt {
+  enum class Kind {
+    kNormal,     // [begin, end] is a statement's (or condition's) token range.
+    kScopeExit,  // begin/end are the '{' / '}' token indices of a compound
+                 // whose locals are destroyed here.
+  };
+  Kind kind = Kind::kNormal;
+  size_t begin = 0;
+  size_t end = 0;  // Inclusive.
+};
+
+struct CfgBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<size_t> succs;
+};
+
+struct Cfg {
+  std::vector<CfgBlock> blocks;
+  size_t entry = 0;
+};
+
+// Builds the CFG of a function body: `body_open`/`body_close` are the token
+// indices of the outermost '{' / '}'. Never fails — unknown constructs
+// degrade to straight-line statements.
+Cfg BuildCfg(const Tokens& toks, size_t body_open, size_t body_close);
+
+// Forward must-dataflow over string facts (e.g. names of held mutexes):
+// facts merge by intersection at joins, so a fact survives only when it
+// holds on every path. `transfer` mutates the fact set across one
+// statement. Returns the fact set at entry to each statement, indexed
+// [block][stmt]. Unreachable blocks report TOP (nullopt), which callers
+// should treat as "everything holds" — no diagnostics in dead code.
+using FactSet = std::set<std::string>;
+using StmtFacts = std::vector<std::vector<std::optional<FactSet>>>;
+StmtFacts RunMustDataflow(const Cfg& cfg, const FactSet& entry_facts,
+                          const std::function<void(const CfgStmt&, FactSet*)>& transfer);
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_CFG_CFG_H_

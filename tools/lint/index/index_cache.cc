@@ -1,0 +1,74 @@
+#include "tools/lint/index/index_cache.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace comma::lint {
+namespace {
+
+constexpr char kCacheHeader[] = "comma-lint-index-cache v1";
+
+}  // namespace
+
+void IndexCache::Load(const std::string& path) {
+  entries_.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheHeader) {
+    return;  // Version skew or garbage: cold run.
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    std::string tag;
+    std::string hash_hex;
+    size_t blob_len = 0;
+    row >> tag >> hash_hex >> blob_len;
+    if (row.fail() || tag != "E") {
+      entries_.clear();
+      return;
+    }
+    uint64_t hash = 0;
+    std::istringstream(hash_hex) >> std::hex >> hash;
+    std::string blob(blob_len, '\0');
+    in.read(blob.data(), static_cast<std::streamsize>(blob_len));
+    if (in.gcount() != static_cast<std::streamsize>(blob_len)) {
+      entries_.clear();
+      return;  // Truncated cache: cold run.
+    }
+    entries_[hash] = std::move(blob);
+  }
+}
+
+bool IndexCache::Lookup(uint64_t hash, FileIndex* out) const {
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    return false;
+  }
+  return FileIndex::Deserialize(it->second, out);
+}
+
+void IndexCache::Insert(uint64_t hash, const FileIndex& index) {
+  entries_[hash] = index.Serialize();
+}
+
+bool IndexCache::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << kCacheHeader << '\n';
+  for (const auto& [hash, blob] : entries_) {
+    std::ostringstream hex;
+    hex << std::hex << hash;
+    out << "E " << hex.str() << ' ' << blob.size() << '\n' << blob;
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace comma::lint

@@ -1,0 +1,50 @@
+// Content-hash cache for the pass-1 semantic index (--index-cache <file>).
+//
+// The per-file index (tools/lint/index/symbol_index.h) is a pure function
+// of the file content, so entries key on IndexContentHash(content) — no
+// paths, no mtimes. A warm run re-extracts only changed files; renames are
+// free hits. The cache file is a plain text artifact CI can stash between
+// runs; a corrupt or version-skewed file degrades to a cold run, never to
+// wrong results (the hash is salted with the index format version).
+//
+// Format:
+//   comma-lint-index-cache v1
+//   E <hash-hex> <byte-length-of-blob>
+//   <blob bytes, exactly as FileIndex::Serialize produced them>
+//   ... repeated ...
+#ifndef COMMA_TOOLS_LINT_INDEX_INDEX_CACHE_H_
+#define COMMA_TOOLS_LINT_INDEX_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tools/lint/index/symbol_index.h"
+
+namespace comma::lint {
+
+class IndexCache {
+ public:
+  // Loads `path`. A missing, unreadable, or malformed file is an empty
+  // cache (cold run), not an error.
+  void Load(const std::string& path);
+
+  // Returns true and fills *out when `hash` is cached and deserializes.
+  bool Lookup(uint64_t hash, FileIndex* out) const;
+
+  // Records the index of a file (overwrites any entry with the same hash).
+  void Insert(uint64_t hash, const FileIndex& index);
+
+  // Writes every entry back to `path`. Returns false when the file cannot
+  // be written.
+  bool Save(const std::string& path) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<uint64_t, std::string> entries_;  // hash -> serialized FileIndex.
+};
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_INDEX_INDEX_CACHE_H_

@@ -1,0 +1,664 @@
+#include "tools/lint/index/symbol_index.h"
+
+#include <array>
+#include <sstream>
+
+#include "tools/lint/metric_namespace.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+constexpr uint64_t kIndexFormatVersion = 1;
+
+constexpr std::array<std::string_view, 5> kMutexTypes = {
+    "mutex", "recursive_mutex", "timed_mutex", "shared_mutex", "shared_timed_mutex",
+};
+
+// Keywords that look like `name (...)` but never open a function definition.
+constexpr std::array<std::string_view, 12> kNotAFunction = {
+    "if", "for", "while", "switch", "catch", "return",
+    "sizeof", "alignof", "new", "delete", "do", "else",
+};
+
+bool IsMutexType(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) {
+    return false;
+  }
+  for (std::string_view m : kMutexTypes) {
+    if (t.text == m) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsNotAFunctionName(const std::string& text) {
+  for (std::string_view k : kNotAFunction) {
+    if (text == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsCommaAnnotation(const Token& t) {
+  return t.kind == TokenKind::kIdentifier && t.text.rfind("COMMA_", 0) == 0;
+}
+
+// Collects the identifier arguments of an annotation like
+// COMMA_REQUIRES(a, b) starting at the macro name token `i`. Returns the
+// index just past the closing paren (or past the name when there is none).
+size_t ReadAnnotationArgs(const Tokens& toks, size_t i, std::vector<std::string>* args) {
+  if (i + 1 >= toks.size() || !toks[i + 1].IsPunct("(")) {
+    return i + 1;
+  }
+  const size_t close = MatchingParen(toks, i + 1);
+  if (close == kNpos) {
+    return i + 1;
+  }
+  if (args != nullptr) {
+    for (size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier) {
+        args->push_back(toks[j].text);
+      }
+    }
+  }
+  return close + 1;
+}
+
+// Finds the '{' opening the body of the class-head at `i` (the keyword).
+// Mirrors the mutex-annotation rule: kNpos for forward declarations,
+// template parameters, `enum class`, and anonymous structs.
+size_t ClassBodyOpen(const Tokens& toks, size_t i) {
+  if (i + 2 >= toks.size() || toks[i + 1].kind != TokenKind::kIdentifier) {
+    return kNpos;
+  }
+  if (i > 0 && toks[i - 1].IsIdent("enum")) {
+    return kNpos;
+  }
+  for (size_t j = i + 2; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.IsPunct("{")) {
+      return j;
+    }
+    if (t.IsPunct(";") || t.IsPunct(",") || t.IsPunct(">") || t.IsPunct("(") || t.IsPunct(")") ||
+        t.IsPunct("=")) {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// True when `sig_end` (the token after a parameter list and its trailing
+// qualifiers) opens a definition body; advances past constructor
+// initializer lists. Returns the '{' index or kNpos.
+size_t DefinitionBodyOpen(const Tokens& toks, size_t after_params,
+                          std::vector<std::string>* requires_locks, bool* no_analysis) {
+  size_t j = after_params;
+  int sanity = 0;
+  while (j < toks.size() && ++sanity < 64) {
+    const Token& t = toks[j];
+    if (t.IsPunct("{")) {
+      return j;
+    }
+    if (t.IsIdent("const") || t.IsIdent("noexcept") || t.IsIdent("override") ||
+        t.IsIdent("final") || t.IsIdent("try")) {
+      ++j;
+      continue;
+    }
+    if (t.IsIdent("COMMA_REQUIRES") || t.IsIdent("COMMA_ACQUIRE") ||
+        t.IsIdent("COMMA_RELEASE") || t.IsIdent("COMMA_EXCLUDES")) {
+      std::vector<std::string> args;
+      j = ReadAnnotationArgs(toks, j, &args);
+      if (requires_locks != nullptr && t.IsIdent("COMMA_REQUIRES")) {
+        requires_locks->insert(requires_locks->end(), args.begin(), args.end());
+      }
+      continue;
+    }
+    if (IsCommaAnnotation(t)) {
+      if (no_analysis != nullptr && t.text == "COMMA_NO_THREAD_SAFETY_ANALYSIS") {
+        *no_analysis = true;
+      }
+      j = ReadAnnotationArgs(toks, j, nullptr);
+      continue;
+    }
+    if (t.IsPunct(":")) {
+      // Constructor initializer list: `name(args)` / `name{args}` items
+      // separated by commas, then the body '{'.
+      ++j;
+      while (j < toks.size()) {
+        if (toks[j].kind != TokenKind::kIdentifier) {
+          return kNpos;
+        }
+        ++j;
+        // Qualified member or template argument spellings are skipped
+        // conservatively: walk to the next '(' or '{' at this level.
+        while (j < toks.size() && (toks[j].IsPunct("::") || toks[j].IsPunct("<") ||
+                                   toks[j].IsPunct(">") || toks[j].IsPunct(",") ||
+                                   toks[j].kind == TokenKind::kIdentifier)) {
+          if (toks[j].IsPunct(",")) {
+            break;
+          }
+          ++j;
+        }
+        if (j >= toks.size()) {
+          return kNpos;
+        }
+        if (toks[j].IsPunct("(")) {
+          const size_t c = MatchingParen(toks, j);
+          if (c == kNpos) {
+            return kNpos;
+          }
+          j = c + 1;
+        } else if (toks[j].IsPunct("{")) {
+          const size_t c = MatchingBrace(toks, j);
+          if (c == kNpos) {
+            return kNpos;
+          }
+          j = c + 1;
+        } else {
+          return kNpos;
+        }
+        if (j < toks.size() && toks[j].IsPunct(",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (j < toks.size() && toks[j].IsPunct("{")) {
+        return j;
+      }
+      return kNpos;
+    }
+    if (t.IsPunct("->")) {
+      // Trailing return type: accept type-ish tokens up to the body.
+      ++j;
+      while (j < toks.size() &&
+             (toks[j].kind == TokenKind::kIdentifier || toks[j].IsPunct("::") ||
+              toks[j].IsPunct("<") || toks[j].IsPunct(">") || toks[j].IsPunct("*") ||
+              toks[j].IsPunct("&"))) {
+        ++j;
+      }
+      continue;
+    }
+    return kNpos;
+  }
+  return kNpos;
+}
+
+// True when the tokens before the candidate name look like a declaration
+// head (type or qualified-id context) rather than an expression. Filters
+// out plain calls `Foo(x);` at statement scope in macros etc.
+bool LooksLikeDefinitionContext(const Tokens& toks, size_t name_idx) {
+  if (name_idx == 0) {
+    return true;
+  }
+  const Token& prev = toks[name_idx - 1];
+  if (prev.IsPunct(";") || prev.IsPunct("}") || prev.IsPunct("{")) {
+    return true;  // Start of a statement at file/class scope (e.g. TEST macros).
+  }
+  if (prev.kind == TokenKind::kIdentifier || prev.IsPunct("::") || prev.IsPunct("*") ||
+      prev.IsPunct("&") || prev.IsPunct(">") || prev.IsPunct("~")) {
+    return true;  // Preceded by a return type, class qualifier, or '~'.
+  }
+  return false;
+}
+
+struct MemberScanResult {
+  IndexClass klass;
+  std::vector<IndexFunction> inline_methods;
+};
+
+// Scans one class body (open, close) at member depth. Inline method bodies
+// are recorded as functions and skipped; nested classes are left for the
+// outer loop (it scans every `class` keyword).
+void ScanClassBody(const LintFile& f, size_t head, size_t open, size_t close,
+                   MemberScanResult* out) {
+  const Tokens& toks = f.tokens;
+  IndexClass& k = out->klass;
+  k.name = toks[head + 1].text;
+  k.line = toks[head + 1].line;
+  int depth = 0;
+  for (size_t j = open; j < close; ++j) {
+    const Token& t = toks[j];
+    if (t.IsPunct("{")) {
+      ++depth;
+      continue;
+    }
+    if (t.IsPunct("}")) {
+      --depth;
+      continue;
+    }
+    if (depth != 1) {
+      continue;
+    }
+    // Mutex member: `std :: <mutex-type> <name>`.
+    if (t.IsIdent("std") && j + 3 < close && toks[j + 1].IsPunct("::") &&
+        IsMutexType(toks[j + 2]) && toks[j + 3].kind == TokenKind::kIdentifier) {
+      IndexField field;
+      field.name = toks[j + 3].text;
+      field.is_mutex = true;
+      field.line = toks[j + 3].line;
+      field.col = toks[j + 3].col;
+      k.fields.push_back(std::move(field));
+      j += 3;
+      continue;
+    }
+    // Guarded field: `<type> <name> COMMA_GUARDED_BY(lock) [= init];`.
+    if ((t.IsIdent("COMMA_GUARDED_BY") || t.IsIdent("COMMA_PT_GUARDED_BY")) && j > open &&
+        toks[j - 1].kind == TokenKind::kIdentifier) {
+      std::vector<std::string> args;
+      const size_t next = ReadAnnotationArgs(toks, j, &args);
+      if (!args.empty()) {
+        IndexField field;
+        field.name = toks[j - 1].text;
+        field.guarded_by = args.front();
+        field.line = toks[j - 1].line;
+        field.col = toks[j - 1].col;
+        k.fields.push_back(std::move(field));
+      }
+      j = next - 1;
+      continue;
+    }
+    // Method declaration or inline definition: `<name> ( ... ) ...`.
+    if (t.kind == TokenKind::kIdentifier && !IsCommaAnnotation(t) &&
+        !IsNotAFunctionName(t.text) && j + 1 < close && toks[j + 1].IsPunct("(")) {
+      const size_t params_close = MatchingParen(toks, j + 1);
+      if (params_close == kNpos || params_close > close) {
+        continue;
+      }
+      IndexMethodDecl decl;
+      decl.name = t.text;
+      size_t after = params_close + 1;
+      // Collect trailing annotations whether or not a body follows.
+      const size_t body =
+          DefinitionBodyOpen(toks, after, &decl.requires_locks, &decl.no_thread_safety);
+      if (!decl.requires_locks.empty() || decl.no_thread_safety) {
+        k.methods.push_back(decl);
+      } else {
+        // Keep annotation-free declarations too: FindMethodDecl answers
+        // "declared here, no annotations" distinctly from "unknown".
+        k.methods.push_back(decl);
+      }
+      if (body != kNpos) {
+        const size_t body_close = MatchingBrace(toks, body);
+        if (body_close != kNpos && body_close <= close) {
+          IndexFunction fn;
+          fn.class_name = k.name;
+          fn.name = decl.name;
+          fn.line = t.line;
+          fn.col = t.col;
+          fn.body_open = body;
+          fn.body_close = body_close;
+          fn.is_ctor_dtor =
+              decl.name == k.name || (j > open && toks[j - 1].IsPunct("~"));
+          fn.requires_locks = decl.requires_locks;
+          fn.no_thread_safety = decl.no_thread_safety;
+          out->inline_methods.push_back(std::move(fn));
+          j = body_close;
+          continue;
+        }
+      }
+      j = params_close;
+      continue;
+    }
+  }
+}
+
+void ScanMetricLiterals(const LintFile& f, FileIndex* out) {
+  const Tokens& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kString) {
+      if (t.text.rfind("watch ", 0) == 0) {
+        // `watch <name> [...]` command literal.
+        std::istringstream in(t.text);
+        std::string cmd;
+        std::string name;
+        in >> cmd >> name;
+        if (!name.empty()) {
+          out->watch_refs.push_back({name, t.line, t.col});
+        }
+      }
+      // Dynamic-prefix literal: "<family>." or "<family>.<path>." used to
+      // build metric names at runtime ("sp.filter.", "sp.recovery.").
+      // IsMetricName on the prefix minus its trailing dot keeps arbitrary
+      // dotted prose ("e.g.") out of the index.
+      if (t.text.size() > 2 && t.text.back() == '.' &&
+          IsMetricName(std::string_view(t.text).substr(0, t.text.size() - 1))) {
+        out->metric_prefixes.push_back(t.text);
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    MetricFamily family;
+    bool is_source = false;
+    if (t.text == "GetCounter") {
+      family = MetricFamily::kCounter;
+    } else if (t.text == "GetGauge") {
+      family = MetricFamily::kGauge;
+    } else if (t.text == "GetHistogram") {
+      family = MetricFamily::kHistogram;
+    } else if (t.text == "RegisterCounterSource") {
+      family = MetricFamily::kCounter;
+      is_source = true;
+    } else if (t.text == "RegisterGaugeSource") {
+      family = MetricFamily::kGauge;
+      is_source = true;
+    } else {
+      continue;
+    }
+    if (i + 2 < toks.size() && toks[i + 1].IsPunct("(") &&
+        toks[i + 2].kind == TokenKind::kString) {
+      MetricRef ref;
+      ref.name = toks[i + 2].text;
+      ref.family = family;
+      ref.is_source = is_source;
+      ref.line = toks[i + 2].line;
+      ref.col = toks[i + 2].col;
+      out->metric_refs.push_back(std::move(ref));
+    }
+  }
+}
+
+// --- Serialization ---
+// Line-oriented; identifiers and metric names never contain spaces, so
+// space-separated fields round-trip.
+
+std::string JoinLocks(const std::vector<std::string>& locks) {
+  std::string out = "-";
+  if (!locks.empty()) {
+    out.clear();
+    for (size_t i = 0; i < locks.size(); ++i) {
+      out += (i != 0 ? "," : "") + locks[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLocks(const std::string& s) {
+  std::vector<std::string> out;
+  if (s == "-") {
+    return out;
+  }
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    const size_t comma = s.find(',', pos);
+    out.push_back(s.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+FileIndex IndexFile(const LintFile& f) {
+  FileIndex out;
+  const Tokens& toks = f.tokens;
+
+  // Class bodies, with their member depth scanned for fields/methods.
+  // Stack of (class index in out.classes, body close token) for resolving
+  // the class of out-of-line scans below.
+  std::vector<std::pair<size_t, size_t>> class_stack;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    while (!class_stack.empty() && i > class_stack.back().second) {
+      class_stack.pop_back();
+    }
+    const Token& t = toks[i];
+    if (t.IsIdent("class") || t.IsIdent("struct")) {
+      const size_t open = ClassBodyOpen(toks, i);
+      if (open == kNpos) {
+        continue;
+      }
+      const size_t close = MatchingBrace(toks, open);
+      if (close == kNpos) {
+        continue;
+      }
+      MemberScanResult scan;
+      ScanClassBody(f, i, open, close, &scan);
+      out.classes.push_back(std::move(scan.klass));
+      for (IndexFunction& fn : scan.inline_methods) {
+        out.functions.push_back(std::move(fn));
+      }
+      class_stack.emplace_back(out.classes.size() - 1, close);
+      continue;
+    }
+    // Out-of-class function definitions (free functions and
+    // `Class::Method(...) { ... }`). Skip anything inside a class body —
+    // ScanClassBody already recorded inline methods.
+    if (!class_stack.empty()) {
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier || IsNotAFunctionName(t.text) || IsCommaAnnotation(t) ||
+        i + 1 >= toks.size() || !toks[i + 1].IsPunct("(")) {
+      continue;
+    }
+    if (!LooksLikeDefinitionContext(toks, i)) {
+      continue;
+    }
+    const size_t params_close = MatchingParen(toks, i + 1);
+    if (params_close == kNpos) {
+      continue;
+    }
+    IndexFunction fn;
+    const size_t body =
+        DefinitionBodyOpen(toks, params_close + 1, &fn.requires_locks, &fn.no_thread_safety);
+    if (body == kNpos) {
+      continue;
+    }
+    const size_t body_close = MatchingBrace(toks, body);
+    if (body_close == kNpos) {
+      continue;
+    }
+    fn.name = t.text;
+    fn.line = t.line;
+    fn.col = t.col;
+    fn.body_open = body;
+    fn.body_close = body_close;
+    if (i >= 2 && toks[i - 1].IsPunct("::") && toks[i - 2].kind == TokenKind::kIdentifier) {
+      fn.class_name = toks[i - 2].text;
+    }
+    if (i >= 1 && toks[i - 1].IsPunct("~")) {
+      fn.is_ctor_dtor = true;
+      if (i >= 3 && toks[i - 2].IsPunct("::") && toks[i - 3].kind == TokenKind::kIdentifier) {
+        fn.class_name = toks[i - 3].text;
+      }
+    }
+    if (!fn.class_name.empty() && fn.name == fn.class_name) {
+      fn.is_ctor_dtor = true;
+    }
+    out.functions.push_back(std::move(fn));
+    i = body_close;  // Function bodies nest no further definitions we index.
+  }
+
+  ScanMetricLiterals(f, &out);
+  return out;
+}
+
+std::string FileIndex::Serialize() const {
+  std::ostringstream out;
+  for (const IndexClass& k : classes) {
+    out << "C " << k.name << ' ' << k.line << '\n';
+    for (const IndexField& field : k.fields) {
+      out << "f " << field.name << ' ' << (field.guarded_by.empty() ? "-" : field.guarded_by)
+          << ' ' << (field.is_mutex ? 1 : 0) << ' ' << field.line << ' ' << field.col << '\n';
+    }
+    for (const IndexMethodDecl& m : k.methods) {
+      out << "m " << m.name << ' ' << (m.no_thread_safety ? 1 : 0) << ' '
+          << JoinLocks(m.requires_locks) << '\n';
+    }
+  }
+  for (const IndexFunction& fn : functions) {
+    out << "U " << (fn.class_name.empty() ? "-" : fn.class_name) << ' ' << fn.name << ' '
+        << fn.line << ' ' << fn.col << ' ' << fn.body_open << ' ' << fn.body_close << ' '
+        << (fn.is_ctor_dtor ? 1 : 0) << ' ' << (fn.no_thread_safety ? 1 : 0) << ' '
+        << JoinLocks(fn.requires_locks) << '\n';
+  }
+  for (const MetricRef& ref : metric_refs) {
+    out << "M " << static_cast<int>(ref.family) << ' ' << (ref.is_source ? 1 : 0) << ' '
+        << ref.line << ' ' << ref.col << ' ' << ref.name << '\n';
+  }
+  for (const std::string& prefix : metric_prefixes) {
+    out << "P " << prefix << '\n';
+  }
+  for (const WatchRef& ref : watch_refs) {
+    out << "W " << ref.line << ' ' << ref.col << ' ' << ref.name << '\n';
+  }
+  return out.str();
+}
+
+bool FileIndex::Deserialize(const std::string& blob, FileIndex* out) {
+  *out = FileIndex();
+  std::istringstream in(blob);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    std::string tag;
+    row >> tag;
+    if (tag == "C") {
+      IndexClass k;
+      row >> k.name >> k.line;
+      if (row.fail()) {
+        return false;
+      }
+      out->classes.push_back(std::move(k));
+    } else if (tag == "f") {
+      if (out->classes.empty()) {
+        return false;
+      }
+      IndexField field;
+      std::string guard;
+      int is_mutex = 0;
+      row >> field.name >> guard >> is_mutex >> field.line >> field.col;
+      if (row.fail()) {
+        return false;
+      }
+      field.guarded_by = guard == "-" ? "" : guard;
+      field.is_mutex = is_mutex != 0;
+      out->classes.back().fields.push_back(std::move(field));
+    } else if (tag == "m") {
+      if (out->classes.empty()) {
+        return false;
+      }
+      IndexMethodDecl m;
+      int no_analysis = 0;
+      std::string locks;
+      row >> m.name >> no_analysis >> locks;
+      if (row.fail()) {
+        return false;
+      }
+      m.no_thread_safety = no_analysis != 0;
+      m.requires_locks = SplitLocks(locks);
+      out->classes.back().methods.push_back(std::move(m));
+    } else if (tag == "U") {
+      IndexFunction fn;
+      std::string class_name;
+      std::string locks;
+      int ctor = 0;
+      int no_analysis = 0;
+      row >> class_name >> fn.name >> fn.line >> fn.col >> fn.body_open >> fn.body_close >>
+          ctor >> no_analysis >> locks;
+      if (row.fail()) {
+        return false;
+      }
+      fn.class_name = class_name == "-" ? "" : class_name;
+      fn.is_ctor_dtor = ctor != 0;
+      fn.no_thread_safety = no_analysis != 0;
+      fn.requires_locks = SplitLocks(locks);
+      out->functions.push_back(std::move(fn));
+    } else if (tag == "M") {
+      MetricRef ref;
+      int family = 0;
+      int is_source = 0;
+      row >> family >> is_source >> ref.line >> ref.col >> ref.name;
+      if (row.fail()) {
+        return false;
+      }
+      ref.family = static_cast<MetricFamily>(family);
+      ref.is_source = is_source != 0;
+      out->metric_refs.push_back(std::move(ref));
+    } else if (tag == "P") {
+      std::string prefix;
+      row >> prefix;
+      if (row.fail()) {
+        return false;
+      }
+      out->metric_prefixes.push_back(std::move(prefix));
+    } else if (tag == "W") {
+      WatchRef ref;
+      row >> ref.line >> ref.col >> ref.name;
+      if (row.fail()) {
+        return false;
+      }
+      out->watch_refs.push_back(std::move(ref));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+const IndexMethodDecl* ProjectIndex::FindMethodDecl(const std::string& class_name,
+                                                    const std::string& method) const {
+  const auto it = classes.find(class_name);
+  if (it == classes.end()) {
+    return nullptr;
+  }
+  for (const IndexMethodDecl& m : it->second.methods) {
+    if (m.name == method) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<IndexField> ProjectIndex::GuardedFields(const std::string& class_name) const {
+  std::vector<IndexField> out;
+  const auto it = classes.find(class_name);
+  if (it == classes.end()) {
+    return out;
+  }
+  for (const IndexField& field : it->second.fields) {
+    if (!field.guarded_by.empty()) {
+      out.push_back(field);
+    }
+  }
+  return out;
+}
+
+ProjectIndex ProjectIndex::Build(const std::vector<FileIndex>& per_file) {
+  ProjectIndex out;
+  out.per_file = per_file;
+  for (const FileIndex& file : out.per_file) {
+    for (const IndexClass& k : file.classes) {
+      IndexClass& merged = out.classes[k.name];
+      if (merged.name.empty()) {
+        merged.name = k.name;
+        merged.line = k.line;
+      }
+      merged.fields.insert(merged.fields.end(), k.fields.begin(), k.fields.end());
+      merged.methods.insert(merged.methods.end(), k.methods.begin(), k.methods.end());
+    }
+  }
+  return out;
+}
+
+uint64_t IndexContentHash(const std::string& content) {
+  uint64_t h = 14695981039346656037ull ^ (kIndexFormatVersion * 1099511628211ull);
+  for (unsigned char c : content) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace comma::lint

@@ -1,0 +1,129 @@
+// Pass 1 of the two-pass analyzer: the project-wide semantic index.
+//
+// The token rules of PR 4/6 see one file at a time; the contracts added
+// since (checkpoint blobs that must round-trip, COMMA_GUARDED_BY fields
+// whose guards are declared in a header but taken in a .cc, metric names
+// that must agree across code, docs, and the EEM bridge) span files. The
+// index is the cross-file half: a cheap, deterministic extraction of the
+// declarations those rules reason about — class bodies with their mutex and
+// guarded members, method declarations with their thread-safety
+// annotations, function definitions with their body token ranges,
+// and metric-name string literals with their registration family.
+//
+// The per-file extraction (FileIndex) is a pure function of the file
+// content, so it serializes and caches by content hash
+// (tools/lint/index/index_cache.h): an incremental CI run re-extracts only
+// the files that changed. Token indices stored in the index refer to the
+// owning LintFile's token stream, which is itself deterministic in the
+// content, so cached entries stay valid as long as the hash matches.
+#ifndef COMMA_TOOLS_LINT_INDEX_SYMBOL_INDEX_H_
+#define COMMA_TOOLS_LINT_INDEX_SYMBOL_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/source.h"
+
+namespace comma::lint {
+
+// A data member recorded for the concurrency rules: either a mutex, or a
+// field carrying a COMMA_GUARDED_BY annotation naming its lock.
+struct IndexField {
+  std::string name;
+  std::string guarded_by;  // Lock named by COMMA_GUARDED_BY; empty for mutexes.
+  bool is_mutex = false;
+  int line = 0;
+  int col = 0;
+};
+
+// A method declared in a class body, with the declaration-side thread-safety
+// annotations. Definitions in a .cc usually do not repeat the annotation, so
+// flow rules join the definition with this record by (class, method) name.
+struct IndexMethodDecl {
+  std::string name;
+  std::vector<std::string> requires_locks;  // COMMA_REQUIRES(...) arguments.
+  bool no_thread_safety = false;            // COMMA_NO_THREAD_SAFETY_ANALYSIS.
+};
+
+struct IndexClass {
+  std::string name;
+  int line = 0;
+  std::vector<IndexField> fields;
+  std::vector<IndexMethodDecl> methods;
+};
+
+// A function definition with a body. `body_open`/`body_close` are token
+// indices of the '{'/'}' in the owning file's token stream.
+struct IndexFunction {
+  std::string class_name;  // Empty for free functions.
+  std::string name;
+  int line = 0;
+  int col = 0;
+  size_t body_open = 0;
+  size_t body_close = 0;
+  bool is_ctor_dtor = false;
+  std::vector<std::string> requires_locks;  // Definition-site annotations.
+  bool no_thread_safety = false;
+};
+
+// A metric-name string literal at a registration call site.
+enum class MetricFamily { kCounter, kGauge, kHistogram };
+struct MetricRef {
+  std::string name;
+  MetricFamily family = MetricFamily::kCounter;
+  bool is_source = false;  // Register{Counter,Gauge}Source (replaces on re-register).
+  int line = 0;
+  int col = 0;
+};
+
+// Everything extracted from one file. Serializes for the content-hash cache.
+struct FileIndex {
+  std::vector<IndexClass> classes;
+  std::vector<IndexFunction> functions;
+  std::vector<MetricRef> metric_refs;
+  // String literals like "sp.filter." — prefixes of dynamically-built metric
+  // names; docs references under such a prefix are resolvable.
+  std::vector<std::string> metric_prefixes;
+  // Metric names referenced by `watch <name> ...` command literals in code
+  // (Kati examples, closed-loop tests); they must exist in the registry.
+  struct WatchRef {
+    std::string name;
+    int line = 0;
+    int col = 0;
+  };
+  std::vector<WatchRef> watch_refs;
+
+  std::string Serialize() const;
+  static bool Deserialize(const std::string& blob, FileIndex* out);
+};
+
+// Extracts the FileIndex of one file. Deterministic in f.content.
+FileIndex IndexFile(const LintFile& f);
+
+// The merged project view rules query in pass 2. `per_file[i]` belongs to
+// `Project::files[i]`; the class map merges declarations across files (a
+// class declared in a header and implemented in a .cc appears once).
+struct ProjectIndex {
+  std::vector<FileIndex> per_file;
+  // Class name -> merged declaration. Names are unqualified; the project
+  // keeps class names unique per module by convention.
+  std::map<std::string, IndexClass> classes;
+
+  // Declaration-side annotations for (class, method), or nullptr.
+  const IndexMethodDecl* FindMethodDecl(const std::string& class_name,
+                                        const std::string& method) const;
+  // Guarded fields of `class_name` (fields with a non-empty guarded_by).
+  std::vector<IndexField> GuardedFields(const std::string& class_name) const;
+
+  static ProjectIndex Build(const std::vector<FileIndex>& per_file);
+};
+
+// FNV-1a 64-bit over the content, salted with the index format version so a
+// format change invalidates every cached entry.
+uint64_t IndexContentHash(const std::string& content);
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_INDEX_SYMBOL_INDEX_H_

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "tools/lint/runner.h"
+#include "tools/lint/sarif.h"
 
 namespace {
 
@@ -32,23 +33,18 @@ void PrintUsage() {
       "                     tools/lint/baseline.txt under root, if present)\n"
       "  --no-baseline      ignore any baseline file\n"
       "  --write-baseline   rewrite the baseline with the current findings\n"
+      "  --prune-baseline   rewrite the baseline without its stale entries\n"
       "  --fix              apply mechanical fixes (rules marked fixable)\n"
       "  --rule <name>      run only this rule (repeatable)\n"
       "  --jobs <n>         load/lex files with n worker threads (default 1)\n"
+      "  --index-cache <f>  cache the pass-1 semantic index by content hash\n"
+      "                     (warm runs re-extract only changed files)\n"
+      "  --format <fmt>     finding output: text (default) or sarif\n"
+      "                     (SARIF 2.1.0 on stdout, for code scanning)\n"
       "  --counts-md <file> write the per-rule finding table as markdown\n"
       "                     (CI appends it to the job summary)\n"
       "  --list-rules       print the rule catalog and exit\n",
       stderr);
-}
-
-// The per-rule tally as a markdown table, for $GITHUB_STEP_SUMMARY.
-std::string RenderCountsMarkdown(const comma::lint::LintResult& result) {
-  std::string out = "| rule | findings | baselined |\n|---|---:|---:|\n";
-  for (const comma::lint::RuleCount& c : result.rule_counts) {
-    out += "| comma-" + c.rule + " | " + std::to_string(c.findings) + " | " +
-           std::to_string(c.baselined) + " |\n";
-  }
-  return out;
 }
 
 }  // namespace
@@ -57,6 +53,7 @@ int main(int argc, char** argv) {
   comma::lint::LintOptions options;
   bool no_baseline = false;
   bool baseline_set = false;
+  bool sarif = false;
   std::string counts_md_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,6 +73,17 @@ int main(int argc, char** argv) {
       no_baseline = true;
     } else if (arg == "--write-baseline") {
       options.write_baseline = true;
+    } else if (arg == "--prune-baseline") {
+      options.prune_baseline = true;
+    } else if (arg == "--index-cache") {
+      options.index_cache_path = next("--index-cache");
+    } else if (arg == "--format") {
+      const std::string fmt = next("--format");
+      if (fmt != "text" && fmt != "sarif") {
+        std::fprintf(stderr, "comma-lint: --format wants text or sarif\n");
+        return 2;
+      }
+      sarif = fmt == "sarif";
     } else if (arg == "--fix") {
       options.apply_fixes = true;
     } else if (arg == "--rule") {
@@ -120,12 +128,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "comma-lint: %s\n", error.c_str());
     return 2;
   }
-  for (const auto& d : result.findings) {
-    std::printf("%s\n", d.Render().c_str());
+  if (sarif) {
+    std::fputs(comma::lint::RenderSarif(result).c_str(), stdout);
+  } else {
+    for (const auto& d : result.findings) {
+      std::printf("%s\n", d.Render().c_str());
+    }
   }
   std::string summary = "comma-lint: " + std::to_string(result.files_scanned) + " file(s), " +
                         std::to_string(result.findings.size()) + " finding(s), " +
-                        std::to_string(result.baselined.size()) + " baselined";
+                        std::to_string(result.baselined.size()) + " baselined, " +
+                        std::to_string(result.stale_baseline) + " stale baseline entr" +
+                        (result.stale_baseline == 1 ? "y" : "ies") +
+                        (options.prune_baseline && result.stale_baseline > 0 ? " (pruned)" : "");
+  if (!options.index_cache_path.empty()) {
+    summary += ", index cache " + std::to_string(result.index_cache_hits) + " hit(s) / " +
+               std::to_string(result.index_cache_misses) + " miss(es)";
+  }
   if (result.fixes_applied > 0) {
     summary += ", " + std::to_string(result.fixes_applied) + " fix(es) applied";
   }
@@ -136,7 +155,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "comma-lint: cannot write %s\n", counts_md_path.c_str());
       return 2;
     }
-    md << "### comma-lint rule counts\n\n" << RenderCountsMarkdown(result);
+    md << "### comma-lint rule counts\n\n" << comma::lint::RenderCountsMarkdown(result);
   }
   return result.findings.empty() ? 0 : 1;
 }

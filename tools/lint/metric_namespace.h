@@ -1,0 +1,62 @@
+// The EEM-bridged metric namespace, shared by the metric-name-style rule,
+// the semantic index (pass 1), and the metric-consistency rule (pass 2).
+//
+// Every metric the obs::MetricRegistry interns is also a watchable EEM
+// variable (obs::EemMetricsBridge), so the family prefixes below are the
+// bridge's allowlist: a name outside them is unwatchable from Kati, and a
+// docs/watch reference outside them is not a metric reference at all.
+#ifndef COMMA_TOOLS_LINT_METRIC_NAMESPACE_H_
+#define COMMA_TOOLS_LINT_METRIC_NAMESPACE_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace comma::lint {
+
+inline constexpr std::array<std::string_view, 9> kMetricFamilies = {
+    "sp", "ttsf", "tcp", "eem", "trace", "mip", "sim", "http", "dns"};
+
+// Matches ^(sp|ttsf|tcp|eem|trace|mip|sim|http|dns)\.[a-z0-9_.]+$ — the
+// regex the metric-name-style rule enforces and the bridge advertises.
+inline bool IsMetricName(std::string_view name) {
+  const size_t dot = name.find('.');
+  if (dot == std::string_view::npos || dot + 1 >= name.size()) {
+    return false;
+  }
+  bool family_ok = false;
+  for (std::string_view f : kMetricFamilies) {
+    if (name.substr(0, dot) == f) {
+      family_ok = true;
+      break;
+    }
+  }
+  if (!family_ok) {
+    return false;
+  }
+  for (size_t i = dot + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The histogram sub-fields the registry and the EEM bridge answer for a
+// histogram metric "<name>.<field>".
+inline constexpr std::array<std::string_view, 8> kHistogramFields = {
+    "count", "mean", "min", "max", "p50", "p90", "p95", "p99"};
+
+inline bool IsHistogramFieldSuffix(std::string_view field) {
+  for (std::string_view f : kHistogramFields) {
+    if (field == f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_METRIC_NAMESPACE_H_

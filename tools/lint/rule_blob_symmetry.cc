@@ -1,0 +1,390 @@
+// checkpoint-blob-symmetry — ExportState and ImportState are two halves of
+// one wire format (src/proxy/filter_state.h): the byte sequence the writer
+// produces must be exactly what the reader consumes, or a warm-standby
+// proxy resumes from garbage. The compiler cannot see that contract — the
+// two functions share no types beyond ByteWriter/ByteReader — so this rule
+// recovers it from the semantic index: each Export/ImportState body is
+// lowered to a canonical op sequence (header, u8..u64, bytes, string,
+// stream-key) tagged with its loop depth, and the two sequences must match
+// op-for-op, including the magic tag and version constant. Same-file free
+// helpers that take a ByteReader*/ByteWriter* (the StateVersionOk idiom in
+// transform_filters.cc / http_filters.cc) are inlined one level, with the
+// call-site magic constant substituted for the helper's parameter.
+//
+// Loop depth, not trip count, is what's comparable statically: a count
+// written as u32 followed by a depth-1 loop of reads mirrors the export's
+// depth-1 loop of writes whatever the runtime count is. The diagnostic
+// anchors at the first diverging import-side op — the exact field where a
+// restore would desynchronize.
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+enum class BlobOpKind { kHeader, kU8, kU16, kU32, kU64, kBytes, kString, kStreamKey };
+
+std::string_view OpName(BlobOpKind k) {
+  switch (k) {
+    case BlobOpKind::kHeader:
+      return "header";
+    case BlobOpKind::kU8:
+      return "u8";
+    case BlobOpKind::kU16:
+      return "u16";
+    case BlobOpKind::kU32:
+      return "u32";
+    case BlobOpKind::kU64:
+      return "u64";
+    case BlobOpKind::kBytes:
+      return "bytes";
+    case BlobOpKind::kString:
+      return "string";
+    case BlobOpKind::kStreamKey:
+      return "stream-key";
+  }
+  return "?";
+}
+
+struct BlobOp {
+  BlobOpKind kind = BlobOpKind::kU8;
+  int loop_depth = 0;
+  std::string magic;  // kHeader only: the magic constant's identifier.
+  int line = 0;
+  int col = 0;
+};
+
+// One side of a format: the lowered op sequence plus the identity constants.
+struct BlobSeq {
+  std::vector<BlobOp> ops;
+  std::string magic;    // First header op's magic identifier.
+  std::string version;  // First k...Version identifier seen in the body.
+  int line = 0;         // Function definition anchor.
+  int col = 0;
+  const LintFile* file = nullptr;
+};
+
+struct MethodOp {
+  std::string_view method;
+  BlobOpKind kind;
+};
+
+// ByteWriter / WriteStreamKey vocabulary and the ByteReader mirror
+// (src/util/bytes.h, src/proxy/filter_state.h).
+constexpr std::array<MethodOp, 7> kWriteOps = {{
+    {"WriteU8", BlobOpKind::kU8},
+    {"WriteU16", BlobOpKind::kU16},
+    {"WriteU32", BlobOpKind::kU32},
+    {"WriteU64", BlobOpKind::kU64},
+    {"WriteBytes", BlobOpKind::kBytes},
+    {"WriteString", BlobOpKind::kString},
+    {"WriteStreamKey", BlobOpKind::kStreamKey},
+}};
+constexpr std::array<MethodOp, 7> kReadOps = {{
+    {"ReadU8", BlobOpKind::kU8},
+    {"ReadU16", BlobOpKind::kU16},
+    {"ReadU32", BlobOpKind::kU32},
+    {"ReadU64", BlobOpKind::kU64},
+    {"ReadBytes", BlobOpKind::kBytes},
+    {"ReadString", BlobOpKind::kString},
+    {"ReadStreamKey", BlobOpKind::kStreamKey},
+}};
+
+// Statement end for the loop-depth prepass: the ';' closing the statement
+// at `i`, skipping parens/braces.
+size_t SingleStmtEnd(const Tokens& toks, size_t i, size_t limit) {
+  for (size_t j = i; j < limit; ++j) {
+    if (toks[j].IsPunct("(")) {
+      const size_t c = MatchingParen(toks, j);
+      if (c == kNpos || c >= limit) return limit - 1;
+      j = c;
+    } else if (toks[j].IsPunct("{")) {
+      const size_t c = MatchingBrace(toks, j);
+      if (c == kNpos || c >= limit) return limit - 1;
+      j = c;
+    } else if (toks[j].IsPunct(";")) {
+      return j;
+    }
+  }
+  return limit - 1;
+}
+
+// Fills depth[i] for i in [begin, end) with the loop-nesting depth. Only
+// for/while/do bodies count; if/switch do not change depth.
+void ComputeLoopDepth(const Tokens& toks, size_t begin, size_t end, int base,
+                      std::vector<int>* depth) {
+  for (size_t i = begin; i < end; ++i) {
+    (*depth)[i] = base;
+    const Token& t = toks[i];
+    const bool is_loop_kw = t.IsIdent("for") || t.IsIdent("while");
+    if (is_loop_kw && i + 1 < end && toks[i + 1].IsPunct("(")) {
+      const size_t close = MatchingParen(toks, i + 1);
+      if (close == kNpos || close + 1 >= end) continue;
+      // `} while (cond);` is a do-while tail: no body follows.
+      if (t.IsIdent("while") && toks[close + 1].IsPunct(";")) {
+        for (size_t j = i + 1; j <= close; ++j) (*depth)[j] = base;
+        i = close + 1;
+        (*depth)[i] = base;
+        continue;
+      }
+      for (size_t j = i + 1; j <= close; ++j) (*depth)[j] = base;
+      size_t body_end;
+      if (toks[close + 1].IsPunct("{")) {
+        const size_t bc = MatchingBrace(toks, close + 1);
+        body_end = (bc == kNpos || bc > end) ? end : bc;
+        (*depth)[close + 1] = base;
+        ComputeLoopDepth(toks, close + 2, body_end, base + 1, depth);
+        if (body_end < end) (*depth)[body_end] = base;
+      } else {
+        body_end = SingleStmtEnd(toks, close + 1, end);
+        ComputeLoopDepth(toks, close + 1, body_end + 1, base + 1, depth);
+      }
+      i = body_end;
+    } else if (t.IsIdent("do") && i + 1 < end && toks[i + 1].IsPunct("{")) {
+      const size_t bc = MatchingBrace(toks, i + 1);
+      const size_t body_end = (bc == kNpos || bc > end) ? end : bc;
+      (*depth)[i + 1] = base;
+      ComputeLoopDepth(toks, i + 2, body_end, base + 1, depth);
+      if (body_end < end) (*depth)[body_end] = base;
+      i = body_end;
+    }
+  }
+}
+
+// First argument inside `(args)` that names a magic constant: an identifier
+// starting with 'k', or a string literal (fixtures write "TTSF" inline).
+std::string FindMagicArg(const Tokens& toks, size_t open, size_t close) {
+  for (size_t j = open + 1; j < close; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokenKind::kIdentifier && t.text.size() > 1 && t.text[0] == 'k') {
+      return t.text;
+    }
+    if (t.kind == TokenKind::kString) {
+      return t.text;
+    }
+  }
+  return std::string();
+}
+
+bool EndsWithVersion(const std::string& s) {
+  constexpr std::string_view kSuffix = "Version";
+  return s.size() > kSuffix.size() &&
+         std::string_view(s).substr(s.size() - kSuffix.size()) == kSuffix;
+}
+
+// Lowers a body token range to its blob-op sequence. `helpers` maps a
+// same-file free function name to its (already lowered) sequence; calls to
+// one are spliced in with the call-site magic substituted — one level only,
+// so helper extraction passes an empty map.
+BlobSeq ExtractOps(const LintFile& f, size_t body_open, size_t body_close,
+                   const std::map<std::string, BlobSeq>& helpers) {
+  BlobSeq seq;
+  seq.file = &f;
+  const Tokens& toks = f.tokens;
+  if (body_open >= toks.size() || body_close >= toks.size() || body_close <= body_open) {
+    return seq;
+  }
+  std::vector<int> depth(toks.size(), 0);
+  ComputeLoopDepth(toks, body_open + 1, body_close, 0, &depth);
+
+  for (size_t i = body_open + 1; i < body_close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (seq.version.empty() && EndsWithVersion(t.text)) {
+      seq.version = t.text;
+    }
+    if (i + 1 >= body_close || !toks[i + 1].IsPunct("(")) continue;
+    const size_t close = MatchingParen(toks, i + 1);
+    if (close == kNpos) continue;
+
+    if (t.text == "WriteStateHeader" || t.text == "ReadStateHeader") {
+      BlobOp op;
+      op.kind = BlobOpKind::kHeader;
+      op.loop_depth = depth[i];
+      op.magic = FindMagicArg(toks, i + 1, close);
+      op.line = t.line;
+      op.col = t.col;
+      if (seq.magic.empty()) seq.magic = op.magic;
+      seq.ops.push_back(std::move(op));
+      continue;
+    }
+    bool matched = false;
+    for (const auto& table : {kWriteOps, kReadOps}) {
+      for (const MethodOp& m : table) {
+        if (t.text == m.method) {
+          seq.ops.push_back({m.kind, depth[i], std::string(), t.line, t.col});
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    if (matched) continue;
+
+    const auto helper = helpers.find(t.text);
+    if (helper != helpers.end()) {
+      const std::string call_magic = FindMagicArg(toks, i + 1, close);
+      for (BlobOp op : helper->second.ops) {
+        op.loop_depth += depth[i];
+        // The splice anchors at the call site: that is the line a reader
+        // sees and the line NOLINT must be able to suppress.
+        op.line = t.line;
+        op.col = t.col;
+        if (op.kind == BlobOpKind::kHeader && !call_magic.empty()) {
+          op.magic = call_magic;
+        }
+        if (seq.magic.empty() && op.kind == BlobOpKind::kHeader) seq.magic = op.magic;
+        seq.ops.push_back(std::move(op));
+      }
+      if (seq.version.empty()) seq.version = helper->second.version;
+    }
+  }
+  return seq;
+}
+
+struct FormatPair {
+  BlobSeq export_seq;
+  BlobSeq import_seq;
+  bool has_export = false;
+  bool has_import = false;
+};
+
+class BlobSymmetryRule : public Rule {
+ public:
+  std::string_view name() const override { return "checkpoint-blob-symmetry"; }
+  std::string_view description() const override {
+    return "ImportState must read exactly the byte sequence ExportState writes "
+           "(magic, version, field order/widths, loop structure)";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    // Keyed by class name: Export/Import halves may live in different files.
+    std::map<std::string, FormatPair> pairs;
+    for (size_t fi = 0; fi < project.files.size() && fi < project.index.per_file.size(); ++fi) {
+      const LintFile& f = project.files[fi];
+      if (!PathUnder(f.path, "src/")) continue;
+      const FileIndex& idx = project.index.per_file[fi];
+
+      // Same-file free helpers (StateVersionOk and friends), lowered first
+      // so Export/Import extraction can splice them.
+      std::map<std::string, BlobSeq> helpers;
+      for (const IndexFunction& fn : idx.functions) {
+        if (!fn.class_name.empty()) continue;
+        BlobSeq seq = ExtractOps(f, fn.body_open, fn.body_close, {});
+        if (!seq.ops.empty()) {
+          helpers[fn.name] = std::move(seq);
+        }
+      }
+      for (const IndexFunction& fn : idx.functions) {
+        if (fn.class_name.empty()) continue;
+        const bool is_export = fn.name == "ExportState";
+        const bool is_import = fn.name == "ImportState";
+        if (!is_export && !is_import) continue;
+        BlobSeq seq = ExtractOps(f, fn.body_open, fn.body_close, helpers);
+        seq.line = fn.line;
+        seq.col = fn.col;
+        FormatPair& pair = pairs[fn.class_name];
+        if (is_export) {
+          pair.export_seq = std::move(seq);
+          pair.has_export = true;
+        } else {
+          pair.import_seq = std::move(seq);
+          pair.has_import = true;
+        }
+      }
+    }
+
+    for (const auto& [cls, pair] : pairs) {
+      ComparePair(cls, pair, out);
+    }
+  }
+
+ private:
+  static void Emit(const LintFile* f, int line, int col, std::string message, Diagnostics* out) {
+    if (f == nullptr) return;
+    Diagnostic d;
+    d.file = f->path;
+    d.line = line;
+    d.col = col;
+    d.rule = "checkpoint-blob-symmetry";
+    d.message = std::move(message);
+    if (!f->IsSuppressed(d.rule, d.line)) {
+      out->push_back(std::move(d));
+    }
+  }
+
+  static void ComparePair(const std::string& cls, const FormatPair& pair, Diagnostics* out) {
+    // A lone half with real ops is a broken contract; the default
+    // Filter::Export/ImportState pair has no ops on either side and passes.
+    if (pair.has_export != pair.has_import) {
+      const BlobSeq& present = pair.has_export ? pair.export_seq : pair.import_seq;
+      if (!present.ops.empty()) {
+        Emit(present.file, present.line, present.col,
+             cls + "::" + (pair.has_export ? "ExportState" : "ImportState") +
+                 " serializes a checkpoint blob but the " +
+                 (pair.has_export ? "ImportState" : "ExportState") +
+                 " counterpart is missing",
+             out);
+      }
+      return;
+    }
+    if (!pair.has_export) return;
+    const BlobSeq& ex = pair.export_seq;
+    const BlobSeq& im = pair.import_seq;
+    if (!ex.magic.empty() && !im.magic.empty() && ex.magic != im.magic) {
+      Emit(im.file, im.ops.empty() ? im.line : im.ops[0].line,
+           im.ops.empty() ? im.col : im.ops[0].col,
+           cls + "::ImportState expects magic " + im.magic + " but ExportState writes " + ex.magic,
+           out);
+      return;
+    }
+    if (!ex.version.empty() && !im.version.empty() && ex.version != im.version) {
+      Emit(im.file, im.ops.empty() ? im.line : im.ops[0].line,
+           im.ops.empty() ? im.col : im.ops[0].col,
+           cls + "::ImportState checks version " + im.version + " but ExportState writes " +
+               ex.version,
+           out);
+      return;
+    }
+    const size_t n = std::min(ex.ops.size(), im.ops.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (ex.ops[i].kind == im.ops[i].kind && ex.ops[i].loop_depth == im.ops[i].loop_depth) {
+        continue;
+      }
+      Emit(im.file, im.ops[i].line, im.ops[i].col,
+           cls + " checkpoint blob desync at step " + std::to_string(i + 1) + ": import reads " +
+               std::string(OpName(im.ops[i].kind)) + " at loop depth " +
+               std::to_string(im.ops[i].loop_depth) + " but export writes " +
+               std::string(OpName(ex.ops[i].kind)) + " at loop depth " +
+               std::to_string(ex.ops[i].loop_depth),
+           out);
+      return;  // Everything after the first divergence is noise.
+    }
+    if (ex.ops.size() > im.ops.size()) {
+      const BlobOp& extra = ex.ops[im.ops.size()];
+      Emit(im.file, im.line, im.col,
+           cls + "::ImportState stops after " + std::to_string(im.ops.size()) +
+               " field(s) but ExportState also writes " + std::string(OpName(extra.kind)) +
+               " at step " + std::to_string(im.ops.size() + 1),
+           out);
+    } else if (im.ops.size() > ex.ops.size()) {
+      const BlobOp& extra = im.ops[ex.ops.size()];
+      Emit(im.file, extra.line, extra.col,
+           cls + "::ImportState reads " + std::string(OpName(extra.kind)) + " at step " +
+               std::to_string(ex.ops.size() + 1) + " past the end of the exported blob (" +
+               std::to_string(ex.ops.size()) + " field(s))",
+           out);
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeBlobSymmetryRule() { return std::make_unique<BlobSymmetryRule>(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,218 @@
+// buffer-lifetime — pointers into packet payloads must not outlive the
+// payload.
+//
+// net::Packet::payload() hands out util::Bytes& — a live reference into the
+// packet's own storage. Filters routinely take `.data()` pointers or bind
+// references to it for zero-copy parsing (the HTTP/DNS service tier), which
+// is fine *within* a processing call. It stops being fine the moment the
+// packet's storage can move: set_payload() replaces the buffer,
+// Decapsulate() hands the inner packet away, and std::move()-ing the
+// PacketPtr requeues it to another owner (the proxy's reinjection path).
+// Any use of a previously-taken alias after such a point is a
+// use-after-free waiting for a reallocation.
+//
+// The check is deliberately local and token-ordered, per function body from
+// the pass-1 index: (a) record aliases — `auto* p = pkt->payload().data()`,
+// `util::Bytes& b = pkt->payload()` — keyed by the packet variable;
+// (b) after a mutation/requeue of that same packet variable, flag any later
+// use of one of its aliases; (c) flag member-field retention
+// (`member_ = pkt->payload().data()`) outright — a field outlives the call
+// by definition. Aliases of distinct packet variables are independent, so
+// two-packet splice code stays clean. Scope is src/.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+// Calls on a packet variable after which payload aliases are dead.
+bool IsPayloadMutator(const std::string& method) {
+  return method == "set_payload" || method == "Decapsulate";
+}
+
+struct Alias {
+  std::string var;     // The alias variable.
+  std::string packet;  // The packet variable it points into.
+  int decl_line = 0;
+};
+
+struct Invalidation {
+  size_t at = 0;  // Token index of the mutation/requeue.
+  std::string packet;
+  std::string what;  // For the message: "set_payload()", "std::move", ...
+};
+
+class BufferLifetimeRule : public Rule {
+ public:
+  std::string_view name() const override { return "buffer-lifetime"; }
+  std::string_view description() const override {
+    return "pointers/references into a packet payload must not be used after the "
+           "packet is mutated, moved, or requeued, nor stored in fields";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (size_t fi = 0; fi < project.files.size() && fi < project.index.per_file.size(); ++fi) {
+      const LintFile& f = project.files[fi];
+      if (!PathUnder(f.path, "src/")) {
+        continue;
+      }
+      for (const IndexFunction& fn : project.index.per_file[fi].functions) {
+        CheckFunction(project, f, fn, out);
+      }
+    }
+  }
+
+ private:
+  void CheckFunction(const Project& project, const LintFile& f, const IndexFunction& fn,
+                     Diagnostics* out) const {
+    const Tokens& toks = f.tokens;
+    if (fn.body_open >= toks.size() || fn.body_close >= toks.size() ||
+        fn.body_close <= fn.body_open) {
+      return;
+    }
+    const std::vector<IndexField> fields =
+        fn.class_name.empty() ? std::vector<IndexField>()
+                              : FieldNames(project, fn.class_name);
+
+    std::vector<Alias> aliases;
+    std::vector<Invalidation> invalidations;
+
+    for (size_t i = fn.body_open + 1; i < fn.body_close; ++i) {
+      const Token& t = toks[i];
+      if (!t.IsIdent("payload") || i + 1 >= fn.body_close || !toks[i + 1].IsPunct("(") ||
+          i + 2 >= fn.body_close || !toks[i + 2].IsPunct(")")) {
+        if (t.kind == TokenKind::kIdentifier) {
+          RecordInvalidation(toks, i, fn.body_close, &invalidations);
+        }
+        continue;
+      }
+      // `<pkt> . payload ( )` — the packet variable is the identifier
+      // before the member access.
+      if (i < 2 || (!toks[i - 1].IsPunct(".") && !toks[i - 1].IsPunct("->")) ||
+          toks[i - 2].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const std::string packet = toks[i - 2].text;
+      const bool takes_pointer = i + 4 < fn.body_close &&
+                                 (toks[i + 3].IsPunct(".") || toks[i + 3].IsPunct("->")) &&
+                                 toks[i + 4].IsIdent("data");
+
+      // Assignment target: walk back across the packet expression to `=`.
+      const size_t expr_begin = i - 2;
+      if (expr_begin == 0 || !toks[expr_begin - 1].IsPunct("=")) {
+        continue;
+      }
+      const size_t lhs = expr_begin - 2;
+      if (lhs >= toks.size() || toks[lhs].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const std::string target = toks[lhs].text;
+
+      // Field retention: `member_ = pkt.payload().data()` (or binding the
+      // reference into a field). The field outlives the call; flag now.
+      // Members are recognized by the index or by the project's trailing-
+      // underscore style (the index only records mutex/guarded fields).
+      const bool is_member =
+          IsField(fields, target) ||
+          (!fn.class_name.empty() && target.size() > 1 && target.back() == '_');
+      // `stored_ = pkt.payload()` copies the bytes — only a retained
+      // `.data()` pointer aliases the packet's storage.
+      if (is_member && takes_pointer) {
+        Emit(f, toks[lhs],
+             "field '" + target + "' retains a pointer into '" + packet +
+                 "'s payload; the buffer can be reallocated or requeued after this call "
+                 "returns",
+             out);
+        continue;
+      }
+      // Local alias: `auto* p = pkt.payload().data()` or
+      // `util::Bytes& b = pkt.payload()` (declaration has '&' or '*'
+      // before the variable name).
+      const bool is_ref_decl =
+          lhs > 0 && (toks[lhs - 1].IsPunct("&") || toks[lhs - 1].IsPunct("*"));
+      if (takes_pointer || is_ref_decl) {
+        aliases.push_back({target, packet, t.line});
+      }
+    }
+
+    // Any use of an alias after an invalidation of its packet.
+    for (const Invalidation& inv : invalidations) {
+      for (const Alias& alias : aliases) {
+        if (alias.packet != inv.packet) {
+          continue;
+        }
+        for (size_t j = inv.at + 1; j < fn.body_close; ++j) {
+          const Token& t = toks[j];
+          if (t.kind != TokenKind::kIdentifier || t.text != alias.var) {
+            continue;
+          }
+          if (j > 0 && (toks[j - 1].IsPunct(".") || toks[j - 1].IsPunct("->") ||
+                        toks[j - 1].IsPunct("::"))) {
+            continue;  // Someone else's member with the same name.
+          }
+          Emit(f, t,
+               "'" + alias.var + "' points into '" + alias.packet + "'s payload (taken at line " +
+                   std::to_string(alias.decl_line) + ") but '" + alias.packet + "' was " +
+                   inv.what + " at line " + std::to_string(toks[inv.at].line) +
+                   "; the buffer may have been reallocated or handed away",
+               out);
+          break;  // One finding per (alias, invalidation) pair.
+        }
+      }
+    }
+  }
+
+  // Records an invalidation at token `i` when it starts one of:
+  //   pkt.set_payload(... / pkt.Decapsulate(... — storage replaced/detached
+  //   std::move(pkt)                            — ownership handed away
+  static void RecordInvalidation(const Tokens& toks, size_t i, size_t limit,
+                                 std::vector<Invalidation>* out) {
+    const Token& t = toks[i];
+    if (t.IsIdent("move") && i + 2 < limit && toks[i + 1].IsPunct("(") &&
+        toks[i + 2].kind == TokenKind::kIdentifier && i + 3 < limit && toks[i + 3].IsPunct(")")) {
+      out->push_back({i, toks[i + 2].text, "std::move()d away"});
+      return;
+    }
+    if (IsPayloadMutator(t.text) && i >= 2 && i + 1 < limit && toks[i + 1].IsPunct("(") &&
+        (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) &&
+        toks[i - 2].kind == TokenKind::kIdentifier) {
+      out->push_back({i, toks[i - 2].text, t.text + "()'d"});
+    }
+  }
+
+  static std::vector<IndexField> FieldNames(const Project& project, const std::string& cls) {
+    const auto it = project.index.classes.find(cls);
+    return it == project.index.classes.end() ? std::vector<IndexField>() : it->second.fields;
+  }
+
+  static bool IsField(const std::vector<IndexField>& fields, const std::string& name) {
+    for (const IndexField& f : fields) {
+      if (f.name == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static void Emit(const LintFile& f, const Token& at, std::string message, Diagnostics* out) {
+    Diagnostic d;
+    d.file = f.path;
+    d.line = at.line;
+    d.col = at.col;
+    d.rule = "buffer-lifetime";
+    d.message = std::move(message);
+    if (!f.IsSuppressed(d.rule, d.line)) {
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeBufferLifetimeRule() { return std::make_unique<BufferLifetimeRule>(); }
+
+}  // namespace comma::lint

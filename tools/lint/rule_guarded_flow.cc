@@ -1,0 +1,295 @@
+// guarded-field-flow — flow-sensitive COMMA_GUARDED_BY checking.
+//
+// The mutex-annotation rule (PR 6) enforces that shared fields carry
+// COMMA_GUARDED_BY; on Clang the annotations also feed
+// -Wthread-safety-analysis, but GCC compiles them away (src/util/thread.h),
+// so half the CI matrix never checks that the annotated lock is actually
+// held. This rule closes that gap without a compiler: for every method of a
+// class with guarded fields, it builds the function's CFG
+// (tools/lint/cfg/cfg.h) and runs a must-dataflow of held locks — RAII
+// guards live until their scope's kScopeExit, explicit lock()/unlock()
+// toggle, COMMA_REQUIRES seeds the entry state — then flags any guarded
+// field access where the annotated lock is not held on *every* path.
+// Lexical checking cannot see `if (flag) mu_.lock(); field_ = 1;`; the
+// intersection join does.
+//
+// Deliberate scope cuts, calibrated against the real guarded classes
+// (HistogramMetric, MetricRegistry, CrossRegionChannel, ScanPool):
+// constructors/destructors are exempt (no concurrent access before the
+// object escapes), COMMA_NO_THREAD_SAFETY_ANALYSIS opts a function out
+// exactly as it does for Clang, and only `field_` / `this->field_`
+// accesses are checked — `other.field_` is the copy-from-peer idiom whose
+// lock is the peer's, which a name-based analysis cannot resolve. Scope is
+// src/ and tools/ (tests poke internals single-threaded on purpose).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/cfg/cfg.h"
+#include "tools/lint/rules.h"
+#include "tools/lint/token_match.h"
+
+namespace comma::lint {
+namespace {
+
+bool IsGuardType(const Token& t) {
+  return t.IsIdent("lock_guard") || t.IsIdent("scoped_lock") || t.IsIdent("unique_lock") ||
+         t.IsIdent("shared_lock");
+}
+
+size_t SkipTemplateArgs(const Tokens& toks, size_t open) {
+  if (open >= toks.size() || !toks[open].IsPunct("<")) {
+    return open;
+  }
+  int depth = 0;
+  for (size_t j = open; j < toks.size() && j < open + 128; ++j) {
+    if (toks[j].IsPunct("<")) {
+      ++depth;
+    } else if (toks[j].IsPunct(">")) {
+      if (--depth == 0) {
+        return j + 1;
+      }
+    } else if (toks[j].IsPunct(">>")) {
+      depth -= 2;
+      if (depth <= 0) {
+        return j + 1;
+      }
+    }
+  }
+  return open;
+}
+
+// Last identifier of each top-level comma-separated argument — the lock's
+// base name, with `this->` / `registry.` qualifiers stripped.
+std::vector<std::string> ArgLockNames(const Tokens& toks, size_t open, size_t close) {
+  std::vector<std::string> names;
+  const Token* last_ident = nullptr;
+  int depth = 0;
+  for (size_t j = open + 1; j < close; ++j) {
+    const Token& t = toks[j];
+    if (t.IsPunct("(")) {
+      ++depth;
+    } else if (t.IsPunct(")")) {
+      --depth;
+    } else if (t.IsPunct(",") && depth == 0) {
+      if (last_ident != nullptr) {
+        names.push_back(last_ident->text);
+      }
+      last_ident = nullptr;
+    } else if (t.kind == TokenKind::kIdentifier) {
+      last_ident = &t;
+    }
+  }
+  if (last_ident != nullptr) {
+    names.push_back(last_ident->text);
+  }
+  return names;
+}
+
+// A lock-state event at a token position: a RAII guard declaration, or an
+// explicit .lock()/.unlock() call.
+struct LockEvent {
+  size_t at = 0;
+  bool acquire = true;
+  bool is_raii = false;  // RAII guards die at their scope's kScopeExit.
+  std::vector<std::string> locks;
+};
+
+// All lock-state events in the body, in token order, plus the guard-var ->
+// locks map so `lk.unlock()` resolves to the guarded mutexes.
+std::vector<LockEvent> CollectLockEvents(const Tokens& toks, size_t body_open, size_t body_close) {
+  std::vector<LockEvent> events;
+  std::map<std::string, std::vector<std::string>> guard_vars;
+  for (size_t i = body_open + 1; i < body_close; ++i) {
+    const Token& t = toks[i];
+    if (IsGuardType(t)) {
+      // std::lock_guard<...> var ( locks... ) ;
+      const size_t v = SkipTemplateArgs(toks, i + 1);
+      if (v >= body_close || toks[v].kind != TokenKind::kIdentifier || v + 1 >= body_close ||
+          !toks[v + 1].IsPunct("(")) {
+        continue;
+      }
+      const size_t close = MatchingParen(toks, v + 1);
+      if (close == kNpos || close > body_close) {
+        continue;
+      }
+      LockEvent ev;
+      ev.at = i;
+      ev.is_raii = true;
+      ev.locks = ArgLockNames(toks, v + 1, close);
+      guard_vars[toks[v].text] = ev.locks;
+      events.push_back(std::move(ev));
+      i = close;
+      continue;
+    }
+    // X.lock() / X.unlock(): X is a guard variable or the mutex itself.
+    if ((t.IsIdent("lock") || t.IsIdent("unlock")) && i >= 2 && i + 2 < body_close &&
+        (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) && toks[i + 1].IsPunct("(") &&
+        toks[i + 2].IsPunct(")") && toks[i - 2].kind == TokenKind::kIdentifier) {
+      LockEvent ev;
+      ev.at = i;
+      ev.acquire = t.IsIdent("lock");
+      const auto guard = guard_vars.find(toks[i - 2].text);
+      ev.locks = guard != guard_vars.end() ? guard->second
+                                           : std::vector<std::string>{toks[i - 2].text};
+      events.push_back(std::move(ev));
+    }
+  }
+  return events;
+}
+
+class GuardedFlowRule : public Rule {
+ public:
+  std::string_view name() const override { return "guarded-field-flow"; }
+  std::string_view description() const override {
+    return "COMMA_GUARDED_BY fields must only be accessed with the named lock held "
+           "on every path (CFG must-analysis)";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    for (size_t fi = 0; fi < project.files.size() && fi < project.index.per_file.size(); ++fi) {
+      const LintFile& f = project.files[fi];
+      if (!PathUnder(f.path, "src/") && !PathUnder(f.path, "tools/")) {
+        continue;
+      }
+      for (const IndexFunction& fn : project.index.per_file[fi].functions) {
+        CheckFunction(project, f, fn, out);
+      }
+    }
+  }
+
+ private:
+  void CheckFunction(const Project& project, const LintFile& f, const IndexFunction& fn,
+                     Diagnostics* out) const {
+    if (fn.class_name.empty() || fn.is_ctor_dtor || fn.no_thread_safety) {
+      return;
+    }
+    const std::vector<IndexField> guarded = project.index.GuardedFields(fn.class_name);
+    if (guarded.empty()) {
+      return;
+    }
+    const IndexMethodDecl* decl = project.index.FindMethodDecl(fn.class_name, fn.name);
+    if (decl != nullptr && decl->no_thread_safety) {
+      return;
+    }
+
+    FactSet entry;
+    for (const std::string& lock : fn.requires_locks) {
+      entry.insert(lock);
+    }
+    if (decl != nullptr) {
+      for (const std::string& lock : decl->requires_locks) {
+        entry.insert(lock);
+      }
+    }
+
+    const Tokens& toks = f.tokens;
+    if (fn.body_open >= toks.size() || fn.body_close >= toks.size() ||
+        fn.body_close <= fn.body_open) {
+      return;
+    }
+    const std::vector<LockEvent> events = CollectLockEvents(toks, fn.body_open, fn.body_close);
+    const Cfg cfg = BuildCfg(toks, fn.body_open, fn.body_close);
+
+    const auto apply_range = [&events](size_t begin, size_t end, FactSet* facts) {
+      for (const LockEvent& ev : events) {
+        if (ev.at < begin || ev.at > end) {
+          continue;
+        }
+        for (const std::string& lock : ev.locks) {
+          if (ev.acquire) {
+            facts->insert(lock);
+          } else {
+            facts->erase(lock);
+          }
+        }
+      }
+    };
+    const auto transfer = [&events, &apply_range](const CfgStmt& s, FactSet* facts) {
+      if (s.kind == CfgStmt::Kind::kNormal) {
+        apply_range(s.begin, s.end, facts);
+        return;
+      }
+      // kScopeExit: RAII guards declared inside this compound die here.
+      for (const LockEvent& ev : events) {
+        if (ev.is_raii && ev.at > s.begin && ev.at < s.end) {
+          for (const std::string& lock : ev.locks) {
+            facts->erase(lock);
+          }
+        }
+      }
+    };
+    const StmtFacts facts = RunMustDataflow(cfg, entry, transfer);
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+      for (size_t s = 0; s < cfg.blocks[b].stmts.size(); ++s) {
+        const CfgStmt& stmt = cfg.blocks[b].stmts[s];
+        if (stmt.kind != CfgStmt::Kind::kNormal || !facts[b][s].has_value()) {
+          continue;  // Scope exits touch no fields; TOP is unreachable code.
+        }
+        CheckStatement(f, stmt, *facts[b][s], guarded, apply_range, out);
+      }
+    }
+  }
+
+  template <typename ApplyRange>
+  void CheckStatement(const LintFile& f, const CfgStmt& stmt, const FactSet& entry_facts,
+                      const std::vector<IndexField>& guarded, const ApplyRange& apply_range,
+                      Diagnostics* out) const {
+    const Tokens& toks = f.tokens;
+    for (size_t j = stmt.begin; j <= stmt.end && j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const IndexField* field = nullptr;
+      for (const IndexField& g : guarded) {
+        if (t.text == g.name) {
+          field = &g;
+          break;
+        }
+      }
+      if (field == nullptr) {
+        continue;
+      }
+      // Only bare `field_` / `this->field_` are this object's state.
+      if (j > 0 && (toks[j - 1].IsPunct(".") || toks[j - 1].IsPunct("->"))) {
+        if (j < 2 || !toks[j - 2].IsIdent("this")) {
+          continue;
+        }
+      }
+      if (j > 0 && toks[j - 1].IsPunct("::")) {
+        continue;
+      }
+      // Facts at the access: the statement's entry state plus any guard
+      // taken earlier in the same statement (the lambda-body idiom:
+      // `pool.emplace_back([&]{ lock_guard lk(mu_); ++field_; });` is one
+      // statement to the CFG).
+      FactSet at_access = entry_facts;
+      if (j > stmt.begin) {
+        apply_range(stmt.begin, j - 1, &at_access);
+      }
+      if (at_access.count(field->guarded_by) != 0) {
+        continue;
+      }
+      Diagnostic d;
+      d.file = f.path;
+      d.line = t.line;
+      d.col = t.col;
+      d.rule = "guarded-field-flow";
+      d.message = "field '" + field->name + "' is guarded by '" + field->guarded_by +
+                  "' (COMMA_GUARDED_BY) but the lock is not held on every path to this access";
+      if (!f.IsSuppressed(d.rule, d.line)) {
+        out->push_back(std::move(d));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeGuardedFlowRule() { return std::make_unique<GuardedFlowRule>(); }
+
+}  // namespace comma::lint

@@ -1,0 +1,271 @@
+// metric-consistency — the metric namespace as one cross-file contract.
+//
+// metric-name-style (PR 4) checks each registration literal in isolation;
+// this rule checks the *set*. Three invariants, all enforced from the
+// pass-1 index (MetricRef / metric_prefixes / watch_refs), so no tokens are
+// re-walked here:
+//
+//  1. One name, one family. GetCounter/GetGauge/GetHistogram are
+//     get-or-create, so registering the same name from many sites is fine —
+//     but registering it as a counter in one file and a gauge in another
+//     silently forks the metric (the registry interns per family).
+//  2. Register{Counter,Gauge}Source replaces on re-register
+//     (src/obs/metric_registry.h), so two source registrations for one name
+//     is a real bug: the second silently wins.
+//  3. Every metric name referenced outside the registry must exist in it:
+//     `watch <name> ...` command literals in code, and metric references in
+//     docs/*.md and README.md. An orphaned reference is a broken runbook —
+//     the Kati example would answer "unknown variable". Names that are not
+//     in the EEM-bridged namespace (ifInErrors and other EEM-native
+//     variables) are not metric references and are skipped; so are
+//     placeholders ("sp.filter.<name>.drops") past the '<', globs past the
+//     '*', and histogram sub-fields (resolved against the base name).
+//
+// Registration scope is src/ — tests intern synthetic names on purpose.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/metric_namespace.h"
+#include "tools/lint/rules.h"
+
+namespace comma::lint {
+namespace {
+
+std::string_view FamilyName(MetricFamily f) {
+  switch (f) {
+    case MetricFamily::kCounter:
+      return "counter";
+    case MetricFamily::kGauge:
+      return "gauge";
+    case MetricFamily::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+struct RefSite {
+  const LintFile* file = nullptr;
+  MetricFamily family = MetricFamily::kCounter;
+  bool is_source = false;
+  int line = 0;
+  int col = 0;
+};
+
+// The registered-name universe a reference resolves against.
+struct Universe {
+  std::set<std::string> names;
+  std::set<std::string> prefixes;  // Dynamic prefixes like "sp.filter.".
+
+  bool Resolves(std::string name) const {
+    // A trailing dot is a prefix mention ("the sp.recovery. namespace").
+    const bool is_prefix_ref = !name.empty() && name.back() == '.';
+    if (is_prefix_ref) {
+      name.pop_back();
+    }
+    // Placeholders and globs resolve up to the variable part.
+    for (const char wildcard : {'<', '*'}) {
+      const size_t pos = name.find(wildcard);
+      if (pos != std::string::npos) {
+        name = name.substr(0, pos);
+        while (!name.empty() && name.back() == '.') {
+          name.pop_back();
+        }
+        return name.empty() || ResolvesPrefix(name);
+      }
+    }
+    if (is_prefix_ref) {
+      return ResolvesPrefix(name);
+    }
+    if (names.count(name) != 0 || UnderDynamicPrefix(name)) {
+      return true;
+    }
+    // Histogram sub-field: "trace.filter_us.p99" -> "trace.filter_us".
+    const size_t dot = name.rfind('.');
+    if (dot != std::string::npos && IsHistogramFieldSuffix(std::string_view(name).substr(dot + 1))) {
+      const std::string base = name.substr(0, dot);
+      return names.count(base) != 0 || UnderDynamicPrefix(base);
+    }
+    return false;
+  }
+
+ private:
+  bool ResolvesPrefix(const std::string& p) const {
+    for (const std::string& name : names) {
+      if (name.size() >= p.size() && name.compare(0, p.size(), p) == 0) {
+        return true;
+      }
+    }
+    for (const std::string& prefix : prefixes) {
+      if (prefix.compare(0, p.size(), p) == 0 || p.compare(0, prefix.size(), prefix) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool UnderDynamicPrefix(const std::string& name) const {
+    for (const std::string& prefix : prefixes) {
+      if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class MetricConsistencyRule : public Rule {
+ public:
+  std::string_view name() const override { return "metric-consistency"; }
+  std::string_view description() const override {
+    return "metric names must register under one family, one source site, and every "
+           "docs/watch reference must resolve";
+  }
+
+  void Check(const Project& project, Diagnostics* out) const override {
+    std::map<std::string, std::vector<RefSite>> by_name;
+    Universe universe;
+    for (size_t fi = 0; fi < project.files.size() && fi < project.index.per_file.size(); ++fi) {
+      const LintFile& f = project.files[fi];
+      if (!PathUnder(f.path, "src/")) {
+        continue;
+      }
+      const FileIndex& idx = project.index.per_file[fi];
+      for (const MetricRef& ref : idx.metric_refs) {
+        by_name[ref.name].push_back({&f, ref.family, ref.is_source, ref.line, ref.col});
+        universe.names.insert(ref.name);
+      }
+      for (const std::string& prefix : idx.metric_prefixes) {
+        universe.prefixes.insert(prefix);
+      }
+    }
+
+    // 1 + 2: family conflicts and duplicate source registrations. Sites are
+    // already in (file, line) order because the index is built in file
+    // order; the first site wins and later conflicting sites are flagged.
+    for (const auto& [name, sites] : by_name) {
+      const RefSite& first = sites.front();
+      int source_sites = 0;
+      for (const RefSite& site : sites) {
+        if (site.family != first.family) {
+          Emit(*site.file, site.line, site.col,
+               "metric '" + name + "' is registered as a " + std::string(FamilyName(site.family)) +
+                   " here but as a " + std::string(FamilyName(first.family)) + " in " +
+                   first.file->path + ":" + std::to_string(first.line) +
+                   "; the registry interns per family, so this silently forks the metric",
+               out);
+        }
+        if (site.is_source && ++source_sites > 1) {
+          Emit(*site.file, site.line, site.col,
+               "metric '" + name +
+                   "' has a second Register*Source site; source registrations replace, so "
+                   "this one silently wins over the earlier site",
+               out);
+        }
+      }
+    }
+
+    // 3a: `watch <name>` literals in src/ must resolve.
+    for (size_t fi = 0; fi < project.files.size() && fi < project.index.per_file.size(); ++fi) {
+      const LintFile& f = project.files[fi];
+      if (!PathUnder(f.path, "src/")) {
+        continue;
+      }
+      for (const FileIndex::WatchRef& ref : project.index.per_file[fi].watch_refs) {
+        if (!MetricReference(ref.name) || universe.Resolves(ref.name)) {
+          continue;
+        }
+        Emit(f, ref.line, ref.col,
+             "watch example references metric '" + ref.name +
+                 "', which no src/ registration site interns (orphan)",
+             out);
+      }
+    }
+
+    // 3b: metric references in the docs must resolve.
+    for (const LintFile& doc : project.docs) {
+      for (size_t li = 0; li < doc.lines.size(); ++li) {
+        for (const auto& [name, col] : DocMetricTokens(doc.lines[li])) {
+          if (universe.Resolves(name)) {
+            continue;
+          }
+          Diagnostic d;
+          d.file = doc.path;
+          d.line = static_cast<int>(li + 1);
+          d.col = col;
+          d.rule = "metric-consistency";
+          d.message = "doc references metric '" + name +
+                      "', which no src/ registration site interns (orphan)";
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+
+ private:
+  // A watch ref is only a metric reference when it is inside the bridged
+  // namespace; "watch ifInErrors" watches an EEM-native variable.
+  static bool MetricReference(const std::string& name) { return IsMetricName(name); }
+
+  // Metric-shaped words of one markdown line, with their 1-based columns.
+  // A candidate is a maximal run of [a-zA-Z0-9_.<>*] containing a '.'; it
+  // counts when the part up to the first placeholder/glob is a well-formed
+  // (possibly truncated-at-dot) metric name.
+  static std::vector<std::pair<std::string, int>> DocMetricTokens(const std::string& line) {
+    std::vector<std::pair<std::string, int>> out;
+    size_t i = 0;
+    const auto is_word = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+             c == '_' || c == '.' || c == '<' || c == '>' || c == '*';
+    };
+    while (i < line.size()) {
+      if (!is_word(line[i])) {
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < line.size() && is_word(line[j])) {
+        ++j;
+      }
+      // Not a metric reference: a path fragment ("docs/parallel-sim.md"
+      // splits at '-' and '/'), or a C++ call expression ("sp.metrics()").
+      if ((i > 0 && (line[i - 1] == '-' || line[i - 1] == '/')) ||
+          (j < line.size() && line[j] == '(')) {
+        i = j;
+        continue;
+      }
+      const std::string word = line.substr(i, j - i);
+      // A trailing dot (sentence end or prefix mention) and wildcards are
+      // fine: Resolves() treats both as prefix references.
+      const size_t wildcard = word.find_first_of("<*");
+      std::string head = wildcard == std::string::npos ? word : word.substr(0, wildcard);
+      while (!head.empty() && head.back() == '.') {
+        head.pop_back();
+      }
+      if (IsMetricName(head)) {
+        out.emplace_back(word, static_cast<int>(i + 1));
+      }
+      i = j;
+    }
+    return out;
+  }
+
+  static void Emit(const LintFile& f, int line, int col, std::string message, Diagnostics* out) {
+    Diagnostic d;
+    d.file = f.path;
+    d.line = line;
+    d.col = col;
+    d.rule = "metric-consistency";
+    d.message = std::move(message);
+    if (!f.IsSuppressed(d.rule, d.line)) {
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+RulePtr MakeMetricConsistencyRule() { return std::make_unique<MetricConsistencyRule>(); }
+
+}  // namespace comma::lint

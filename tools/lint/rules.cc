@@ -14,15 +14,21 @@ std::vector<RulePtr> BuiltinRules() {
   rules.push_back(MakeNondeterminismRule());
   rules.push_back(MakeLockOrderRule());
   rules.push_back(MakeNolintReasonRule());
+  rules.push_back(MakeBlobSymmetryRule());
+  rules.push_back(MakeGuardedFlowRule());
+  rules.push_back(MakeMetricConsistencyRule());
+  rules.push_back(MakeBufferLifetimeRule());
   return rules;
 }
 
 const std::vector<std::string_view>& BuiltinRuleNames() {
   // Kept in lockstep with BuiltinRules(); tests/lint cross-checks the two.
   static const std::vector<std::string_view> kNames = {
-      "seq-raw-compare",  "bytes-raw-cast", "check-side-effect", "metric-name-style",
-      "include-layering", "filter-contract", "mutex-annotation",  "nondeterminism-ban",
-      "lock-order",       "nolint-reason",
+      "seq-raw-compare",  "bytes-raw-cast",          "check-side-effect",
+      "metric-name-style", "include-layering",       "filter-contract",
+      "mutex-annotation", "nondeterminism-ban",      "lock-order",
+      "nolint-reason",    "checkpoint-blob-symmetry", "guarded-field-flow",
+      "metric-consistency", "buffer-lifetime",
   };
   return kNames;
 }

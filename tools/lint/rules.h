@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "tools/lint/diagnostic.h"
+#include "tools/lint/index/symbol_index.h"
 #include "tools/lint/source.h"
 
 namespace comma::lint {
@@ -27,6 +28,15 @@ struct Project {
   // same commit.
   LintFile design;
   bool has_design = false;
+  // Markdown that references metric names (docs/*.md plus README.md at the
+  // scan root). Input to metric-consistency: `watch`/`stats` examples in
+  // the docs must name metrics that exist in code.
+  std::vector<LintFile> docs;
+  // Pass-1 semantic index over `files` (index.per_file[i] matches
+  // files[i]). The cross-file rules — checkpoint-blob-symmetry,
+  // guarded-field-flow, metric-consistency — query this instead of
+  // re-walking tokens.
+  ProjectIndex index;
 };
 
 class Rule {
@@ -65,6 +75,10 @@ RulePtr MakeNondeterminismRule();  // Built-in (kNondetAllowlist) allowances.
 RulePtr MakeNondeterminismRule(std::vector<NondetAllowance> allow);
 RulePtr MakeLockOrderRule();
 RulePtr MakeNolintReasonRule();
+RulePtr MakeBlobSymmetryRule();       // checkpoint-blob-symmetry
+RulePtr MakeGuardedFlowRule();        // guarded-field-flow
+RulePtr MakeMetricConsistencyRule();  // metric-consistency
+RulePtr MakeBufferLifetimeRule();     // buffer-lifetime
 
 // All builtin rules, in catalog order.
 std::vector<RulePtr> BuiltinRules();

@@ -8,6 +8,7 @@
 
 #include "tools/lint/baseline.h"
 #include "tools/lint/fixer.h"
+#include "tools/lint/index/index_cache.h"
 #include "tools/lint/scan_pool.h"
 
 namespace comma::lint {
@@ -73,7 +74,25 @@ bool RunLint(const LintOptions& options, LintResult* result, std::string* error)
     }
   }
   if (!options.rules.empty() && active.size() != options.rules.size()) {
-    *error = "unknown rule name; use --list-rules";
+    // Name the offender and print the catalog: a typo'd --rule should not
+    // send the user to a second command to find the right spelling.
+    std::string unknown;
+    for (const std::string& want : options.rules) {
+      bool found = false;
+      for (const RulePtr& r : all) {
+        if (r->name() == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        unknown += (unknown.empty() ? "" : ", ") + want;
+      }
+    }
+    *error = "unknown rule name: " + unknown + "\navailable rules:";
+    for (const RulePtr& r : all) {
+      *error += "\n  comma-" + std::string(r->name()) + "  " + std::string(r->description());
+    }
     return false;
   }
 
@@ -106,6 +125,62 @@ bool RunLint(const LintOptions& options, LintResult* result, std::string* error)
   const fs::path design = root / "DESIGN.md";
   if (fs::is_regular_file(design, ec)) {
     project.has_design = LoadLintFile(design.string(), "DESIGN.md", &project.design);
+  }
+
+  // docs/*.md and README.md feed metric-consistency (watch examples must
+  // name real metrics). Sorted for deterministic diagnostic order.
+  {
+    std::set<std::string> doc_rels;
+    const fs::path docs_dir = root / "docs";
+    if (fs::is_directory(docs_dir, ec)) {
+      for (const auto& entry : fs::directory_iterator(docs_dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".md") {
+          doc_rels.insert(RelPath(entry.path(), root));
+        }
+      }
+    }
+    if (fs::is_regular_file(root / "README.md", ec)) {
+      doc_rels.insert("README.md");
+    }
+    for (const std::string& rel : doc_rels) {
+      LintFile doc;
+      if (LoadLintFile((root / rel).string(), rel, &doc)) {
+        project.docs.push_back(std::move(doc));
+      }
+    }
+  }
+
+  // Pass 1: the semantic index, by content hash through the cache when one
+  // is configured. A cold cache (missing/corrupt/version-skewed file) just
+  // re-extracts everything.
+  IndexCache cache;
+  const bool use_cache = !options.index_cache_path.empty();
+  const fs::path cache_path = use_cache ? (fs::path(options.index_cache_path).is_absolute()
+                                               ? fs::path(options.index_cache_path)
+                                               : root / options.index_cache_path)
+                                        : fs::path();
+  if (use_cache) {
+    cache.Load(cache_path.string());
+  }
+  std::vector<FileIndex> per_file;
+  per_file.reserve(project.files.size());
+  for (const LintFile& f : project.files) {
+    const uint64_t hash = IndexContentHash(f.content);
+    FileIndex fi;
+    if (use_cache && cache.Lookup(hash, &fi)) {
+      ++result->index_cache_hits;
+    } else {
+      fi = IndexFile(f);
+      ++result->index_cache_misses;
+      if (use_cache) {
+        cache.Insert(hash, fi);
+      }
+    }
+    per_file.push_back(std::move(fi));
+  }
+  project.index = ProjectIndex::Build(per_file);
+  if (use_cache) {
+    cache.Save(cache_path.string());  // Best-effort; a read-only FS is fine.
   }
 
   // Run the rules. NOLINT suppression happens inside each rule (it knows
@@ -141,6 +216,7 @@ bool RunLint(const LintOptions& options, LintResult* result, std::string* error)
       result->findings.push_back(std::move(d));
     }
   }
+  result->stale_baseline = baseline.StaleCount();
 
   // Per-rule tally, one row per active rule in catalog order (zero rows
   // included: "this rule ran and found nothing" is the interesting datum).
@@ -166,6 +242,18 @@ bool RunLint(const LintOptions& options, LintResult* result, std::string* error)
       return false;
     }
     out << Baseline::Render(result->findings, project);
+  } else if (options.prune_baseline && !options.baseline_path.empty() &&
+             result->stale_baseline > 0) {
+    // Drop the entries nothing matched; the consumed ones survive verbatim.
+    const fs::path bp = fs::path(options.baseline_path).is_absolute()
+                            ? fs::path(options.baseline_path)
+                            : root / options.baseline_path;
+    std::ofstream out(bp.string(), std::ios::trunc);
+    if (!out) {
+      *error = "cannot write baseline " + bp.string();
+      return false;
+    }
+    out << baseline.RenderPruned();
   }
 
   if (options.apply_fixes) {
@@ -198,6 +286,20 @@ bool RunLint(const LintOptions& options, LintResult* result, std::string* error)
     }
   }
   return true;
+}
+
+std::string RenderCountsMarkdown(const LintResult& result) {
+  std::vector<RuleCount> counts = result.rule_counts;
+  std::sort(counts.begin(), counts.end(), [](const RuleCount& a, const RuleCount& b) {
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.findings < b.findings;
+  });
+  std::string out = "| rule | findings | baselined |\n|---|---:|---:|\n";
+  for (const RuleCount& c : counts) {
+    out += "| comma-" + c.rule + " | " + std::to_string(c.findings) + " | " +
+           std::to_string(c.baselined) + " |\n";
+  }
+  return out;
 }
 
 }  // namespace comma::lint

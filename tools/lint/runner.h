@@ -24,7 +24,13 @@ struct LintOptions {
   // Baseline file (relative to root or absolute). Empty disables.
   std::string baseline_path;
   bool write_baseline = false;
+  // Rewrite the baseline without its stale entries (entries no finding
+  // consumed this run). Mutually meaningful with baseline_path only.
+  bool prune_baseline = false;
   bool apply_fixes = false;
+  // Pass-1 index cache file (relative to root or absolute). Empty disables
+  // caching; the index is then rebuilt from scratch (tools/lint/index/).
+  std::string index_cache_path;
   // Worker threads for the file scan (tools/lint/scan_pool.h). Results are
   // independent of the value: files load into fixed slots and the rules run
   // after the barrier.
@@ -45,12 +51,23 @@ struct LintResult {
   int fixes_applied = 0;
   std::vector<std::string> fixed_files;  // Relative paths rewritten by --fix.
   std::vector<RuleCount> rule_counts;    // One entry per active rule, catalog order.
+  // Baseline entries loaded but unmatched this run (fixed findings whose
+  // entries linger). Reported in every summary; --prune-baseline drops them.
+  int stale_baseline = 0;
+  // Pass-1 index cache effectiveness, for the CI step summary.
+  int index_cache_hits = 0;
+  int index_cache_misses = 0;
 };
 
 // Runs the configured rules. Returns false (with *error set) only on
 // environment problems — unreadable root, bad baseline, bad rule name;
 // findings are success with a non-empty `findings`.
 bool RunLint(const LintOptions& options, LintResult* result, std::string* error);
+
+// The per-rule tally as a markdown table, for $GITHUB_STEP_SUMMARY.
+// Sorted by rule id, then finding count — not catalog order — so the table
+// is diffable across runs and across catalog reorderings.
+std::string RenderCountsMarkdown(const LintResult& result);
 
 }  // namespace comma::lint
 

@@ -1,0 +1,95 @@
+#include "tools/lint/sarif.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "tools/lint/rules.h"
+
+namespace comma::lint {
+namespace {
+
+// Minimal JSON string escaping; diagnostics are ASCII by construction.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderSarif(const LintResult& result) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+         "sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"comma-lint\",\n"
+      << "          \"informationUri\": \"docs/static-analysis.md\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RulePtr> rules = BuiltinRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\n"
+        << "              \"id\": \"comma-" << rules[i]->name() << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << JsonEscape(rules[i]->description()) << "\" }\n"
+        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    const Diagnostic& d = result.findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"comma-" << d.rule << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << JsonEscape(d.message) << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \"" << JsonEscape(d.file)
+        << "\" },\n"
+        << "                \"region\": { \"startLine\": " << d.line
+        << ", \"startColumn\": " << d.col << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < result.findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace comma::lint

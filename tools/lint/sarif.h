@@ -1,0 +1,24 @@
+// SARIF 2.1.0 rendering of a lint run, for GitHub code scanning.
+//
+// CI runs `comma-lint --format=sarif > comma-lint.sarif` and uploads the
+// file with github/codeql-action/upload-sarif, which turns findings into
+// code-scanning annotations on the PR diff. Only new findings are emitted —
+// baselined ones are grandfathered by definition and would re-annotate
+// every PR that touches a dirty file.
+#ifndef COMMA_TOOLS_LINT_SARIF_H_
+#define COMMA_TOOLS_LINT_SARIF_H_
+
+#include <string>
+
+#include "tools/lint/runner.h"
+
+namespace comma::lint {
+
+// Renders `result.findings` as one SARIF run. The rule catalog (every
+// builtin rule, whether or not it fired) goes into tool.driver.rules so
+// GitHub can show descriptions for rules with zero current findings.
+std::string RenderSarif(const LintResult& result);
+
+}  // namespace comma::lint
+
+#endif  // COMMA_TOOLS_LINT_SARIF_H_
